@@ -1,0 +1,1 @@
+bin/debug_repl.ml: Ebp_core Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Ebp_util In_channel List Option Printf String Unix

@@ -1,0 +1,1 @@
+bin/ebp.ml: Arg Cmd Cmdliner Debug_repl Ebp_core Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Ebp_sessions Ebp_trace Ebp_wms Ebp_workloads Format Fun List Option Printf Sys Term

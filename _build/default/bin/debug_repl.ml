@@ -1,0 +1,230 @@
+(* An interactive watchpoint debugger — the product surface the paper's
+   WMS exists to support ("our hope is that data breakpoints will be
+   routinely supported in future debuggers", §9).
+
+   Reads commands from stdin (scriptable via a pipe):
+
+     strategy nh|vm|tp|cp|cp+hoist|cp-inline   choose the WMS (before run)
+     watch global <name>                       data breakpoint on a global
+     watch local <func> <var>                  armed per activation
+     watch heap <func> <n>                     nth allocation by <func>
+     break [<value>]                           stop on [the first hit /
+                                               the first hit storing value]
+     run                                       execute to completion or break
+     hits [<n>]                                show the last n hits (default 10)
+     errors                                    arming failures, if any
+     info                                      strategy, watches, stats
+     help                                      this text
+     quit                                      leave
+
+   Used by `ebp debug <workload|file.mc>`. *)
+
+module Debugger = Ebp_core.Debugger
+module Loader = Ebp_runtime.Loader
+module Machine = Ebp_machine.Machine
+
+type state = {
+  compiled : Ebp_lang.Compiler.output;
+  mutable strategy : Debugger.strategy_kind;
+  mutable watches : (string * (Debugger.t -> unit)) list;  (* reversed *)
+  mutable break_value : int option option;
+      (* None = no break; Some None = any hit; Some (Some v) = value v *)
+  mutable last : Debugger.t option;  (* debugger of the last run *)
+  seed : int;
+}
+
+let help_text =
+  {|commands:
+  strategy nh|vm|tp|cp|cp+hoist|cp-inline
+  watch global <name> | watch local <func> <var> | watch heap <func> <n>
+  break [<value>]
+  run
+  hits [<n>] | errors | info
+  help | quit|}
+
+let strategy_of_name = function
+  | "nh" -> Some Debugger.Native_hardware
+  | "vm" -> Some Debugger.Virtual_memory
+  | "tp" -> Some Debugger.Trap_patch
+  | "cp" -> Some Debugger.Code_patch
+  | "cp+hoist" -> Some Debugger.Code_patch_hoisted
+  | "cp-inline" -> Some Debugger.Code_patch_inline
+  | _ -> None
+
+let pp_hit i (h : Debugger.hit) =
+  Printf.printf "  #%-3d %s = %d at pc %d in %s  (%s)\n" i
+    (Ebp_util.Interval.to_string h.Debugger.write)
+    h.Debugger.value h.Debugger.pc
+    (Option.value ~default:"?" h.Debugger.func)
+    (match h.Debugger.instr with
+    | Some instr -> Ebp_isa.Instr.to_string instr
+    | None -> "?")
+
+let cmd_run st =
+  let dbg = Debugger.load ~strategy:st.strategy ~seed:st.seed st.compiled in
+  List.iter (fun (_, arm) -> arm dbg) (List.rev st.watches);
+  (match st.break_value with
+  | None -> ()
+  | Some None -> Debugger.break_when dbg (fun _ -> true)
+  | Some (Some v) -> Debugger.break_when dbg (fun h -> h.Debugger.value = v));
+  let result = Debugger.run dbg in
+  print_string result.Loader.output;
+  (match result.Loader.status with
+  | Machine.Halted 42 when Debugger.break_hit dbg <> None ->
+      print_endline "stopped at data breakpoint:";
+      Option.iter (pp_hit 0) (Debugger.break_hit dbg)
+  | Machine.Halted code -> Printf.printf "program exited with code %d\n" code
+  | Machine.Out_of_fuel -> print_endline "out of fuel"
+  | Machine.Machine_error msg -> Printf.printf "machine error: %s\n" msg);
+  Printf.printf "%d hits, %d cycles (%.2f ms simulated)\n"
+    (List.length (Debugger.hits dbg))
+    (Debugger.cycles dbg)
+    (Ebp_machine.Cost_model.ms_of_cycles (Debugger.cycles dbg));
+  st.last <- Some dbg
+
+let cmd_hits st n =
+  match st.last with
+  | None -> print_endline "nothing has run yet"
+  | Some dbg ->
+      let hits = Debugger.hits dbg in
+      let total = List.length hits in
+      let shown = min n total in
+      Printf.printf "%d hits total, showing last %d:\n" total shown;
+      List.iteri
+        (fun i h -> if i >= total - shown then pp_hit i h)
+        hits
+
+let cmd_errors st =
+  match st.last with
+  | None -> print_endline "nothing has run yet"
+  | Some dbg -> (
+      match Debugger.errors dbg with
+      | [] -> print_endline "no arming errors"
+      | errors -> List.iter (fun e -> Printf.printf "  %s\n" e) errors)
+
+let cmd_info st =
+  Printf.printf "strategy: %s\n" (Debugger.strategy_name st.strategy);
+  Printf.printf "watches (%d):\n" (List.length st.watches);
+  List.iter (fun (desc, _) -> Printf.printf "  %s\n" desc) (List.rev st.watches);
+  (match st.break_value with
+  | None -> ()
+  | Some None -> print_endline "break: on first hit"
+  | Some (Some v) -> Printf.printf "break: on first write of %d\n" v);
+  match st.last with
+  | None -> ()
+  | Some dbg ->
+      Printf.printf "last run: %d hits, %d errors\n"
+        (List.length (Debugger.hits dbg))
+        (List.length (Debugger.errors dbg))
+
+let handle st line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> true
+  | [ "quit" ] | [ "q" ] | [ "exit" ] -> false
+  | [ "help" ] ->
+      print_endline help_text;
+      true
+  | [ "strategy"; name ] ->
+      (match strategy_of_name name with
+      | Some s ->
+          st.strategy <- s;
+          Printf.printf "strategy set to %s\n" (Debugger.strategy_name s)
+      | None -> print_endline "unknown strategy (nh|vm|tp|cp|cp+hoist|cp-inline)");
+      true
+  | [ "watch"; "global"; name ] ->
+      st.watches <-
+        ( Printf.sprintf "global %s" name,
+          fun dbg ->
+            match Debugger.watch_global dbg name with
+            | Ok () -> ()
+            | Error e -> Printf.printf "watch failed: %s\n" e )
+        :: st.watches;
+      Printf.printf "watching global %s\n" name;
+      true
+  | [ "watch"; "local"; func; var ] ->
+      st.watches <-
+        ( Printf.sprintf "local %s.%s" func var,
+          fun dbg ->
+            match Debugger.watch_local dbg ~func ~var with
+            | Ok () -> ()
+            | Error e -> Printf.printf "watch failed: %s\n" e )
+        :: st.watches;
+      Printf.printf "watching local %s.%s\n" func var;
+      true
+  | [ "watch"; "heap"; site; nth ] -> (
+      match int_of_string_opt nth with
+      | Some nth when nth > 0 ->
+          st.watches <-
+            ( Printf.sprintf "heap %s#%d" site nth,
+              fun dbg -> Debugger.watch_alloc dbg ~site ~nth )
+            :: st.watches;
+          Printf.printf "watching allocation %s#%d\n" site nth;
+          true
+      | _ ->
+          print_endline "usage: watch heap <func> <n>";
+          true)
+  | [ "break" ] ->
+      st.break_value <- Some None;
+      print_endline "breaking on the first hit";
+      true
+  | [ "break"; v ] -> (
+      match int_of_string_opt v with
+      | Some v ->
+          st.break_value <- Some (Some v);
+          Printf.printf "breaking on the first write of %d\n" v;
+          true
+      | None ->
+          print_endline "usage: break [<value>]";
+          true)
+  | [ "run" ] | [ "r" ] ->
+      cmd_run st;
+      true
+  | [ "hits" ] ->
+      cmd_hits st 10;
+      true
+  | [ "hits"; n ] ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> cmd_hits st n
+      | _ -> print_endline "usage: hits [<n>]");
+      true
+  | [ "errors" ] ->
+      cmd_errors st;
+      true
+  | [ "info" ] ->
+      cmd_info st;
+      true
+  | _ ->
+      print_endline "unknown command; try 'help'";
+      true
+
+let run ~source ~seed =
+  match Ebp_lang.Compiler.compile source with
+  | Error msg ->
+      prerr_endline ("compile error: " ^ msg);
+      1
+  | Ok compiled ->
+      let st =
+        {
+          compiled;
+          strategy = Debugger.Code_patch;
+          watches = [];
+          break_value = None;
+          last = None;
+          seed;
+        }
+      in
+      let interactive = Unix.isatty Unix.stdin in
+      let rec loop () =
+        if interactive then (
+          print_string "(ebp) ";
+          flush stdout);
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line -> if handle st line then loop ()
+      in
+      loop ();
+      0

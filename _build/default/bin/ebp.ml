@@ -1,0 +1,275 @@
+(* ebp — command-line front end for the data-breakpoints experiment.
+
+   Subcommands:
+     list                      list the benchmark workloads
+     run <workload|file.mc>    compile and run a MiniC program
+     trace <workload> [-o F]   record a program event trace
+     sessions <workload>       discover monitor sessions and their counts
+     experiment [--only T1..]  run the full experiment and print reports
+     disasm <file.mc>          compile a MiniC file and print its assembly *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_of_arg arg =
+  match Ebp_workloads.Workload.by_name arg with
+  | Some w -> Ok (w.Ebp_workloads.Workload.source, w.Ebp_workloads.Workload.seed)
+  | None ->
+      if Sys.file_exists arg then Ok (read_file arg, 42)
+      else Error (Printf.sprintf "no workload or file named %S" arg)
+
+let exit_err msg =
+  prerr_endline ("ebp: " ^ msg);
+  exit 1
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the benchmark workloads." in
+  let f () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-10s %s (stands in for %s)\n" w.Ebp_workloads.Workload.name
+          w.Ebp_workloads.Workload.description w.Ebp_workloads.Workload.paper_analogue)
+      Ebp_workloads.Workload.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const f $ const ())
+
+(* --- run --- *)
+
+let target_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD|FILE.mc")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let run_cmd =
+  let doc = "Compile and run a MiniC program or named workload." in
+  let f target seed =
+    match source_of_arg target with
+    | Error msg -> exit_err msg
+    | Ok (source, default_seed) -> (
+        let seed = Option.value ~default:default_seed seed in
+        match Ebp_runtime.Loader.run_source ~seed source with
+        | Error msg -> exit_err msg
+        | Ok r ->
+            print_string r.Ebp_runtime.Loader.output;
+            (match r.Ebp_runtime.Loader.runtime_error with
+            | Some e -> exit_err ("runtime error: " ^ e)
+            | None -> ());
+            (match r.Ebp_runtime.Loader.status with
+            | Ebp_machine.Machine.Halted code ->
+                Printf.eprintf "[%d instructions, %d cycles, %.1f ms simulated]\n"
+                  r.Ebp_runtime.Loader.instructions r.Ebp_runtime.Loader.cycles
+                  (Ebp_machine.Cost_model.ms_of_cycles r.Ebp_runtime.Loader.cycles);
+                exit code
+            | Ebp_machine.Machine.Out_of_fuel -> exit_err "out of fuel"
+            | Ebp_machine.Machine.Machine_error msg -> exit_err msg))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const f $ target_arg $ seed_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let doc = "Record a program event trace (phase 1)." in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write a binary trace to $(docv) instead of a summary to stdout.")
+  in
+  let text_arg =
+    Arg.(value & flag & info [ "text" ] ~doc:"Dump the trace as text to stdout.")
+  in
+  let f target out text =
+    match source_of_arg target with
+    | Error msg -> exit_err msg
+    | Ok (source, seed) -> (
+        match Ebp_trace.Recorder.record_source ~seed source with
+        | Error msg -> exit_err msg
+        | Ok (_result, trace, _debug) -> (
+            (match out with
+            | Some path ->
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> Ebp_trace.Trace.write_binary oc trace);
+                Printf.eprintf "wrote %d events to %s\n"
+                  (Ebp_trace.Trace.length trace) path
+            | None -> ());
+            if text then print_string (Ebp_trace.Trace.to_text trace)
+            else if out = None then
+              Format.printf "%a@." Ebp_trace.Trace.pp_stats
+                (Ebp_trace.Trace.stats trace)))
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const f $ target_arg $ out_arg $ text_arg)
+
+(* --- sessions --- *)
+
+let sessions_cmd =
+  let doc =
+    "Discover monitor sessions and replay a trace against them (phase 2). \
+     The trace comes from running the program, or from a binary trace file \
+     saved with $(b,ebp trace -o)."
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Include sessions with zero monitor hits.")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:"Replay a saved binary trace instead of running anything; the \
+                positional argument is ignored.")
+  in
+  let f target all from =
+    let trace =
+      match from with
+      | Some path -> (
+          if not (Sys.file_exists path) then
+            exit_err (Printf.sprintf "no trace file %S" path);
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match Ebp_trace.Trace.read_binary ic with
+              | Ok t -> t
+              | Error msg -> exit_err ("bad trace file: " ^ msg)))
+      | None -> (
+          match source_of_arg target with
+          | Error msg -> exit_err msg
+          | Ok (source, seed) -> (
+              match Ebp_trace.Recorder.record_source ~seed source with
+              | Error msg -> exit_err msg
+              | Ok (_result, trace, _debug) -> trace))
+    in
+    let results =
+      Ebp_sessions.Replay.discover_and_replay ~keep_hitless:all trace
+    in
+    List.iter
+      (fun (s, c) ->
+        Format.printf "%-50s %a@." (Ebp_sessions.Session.to_string s)
+          Ebp_sessions.Counts.pp c)
+      results;
+    Printf.printf "%d sessions\n" (List.length results)
+  in
+  let target_or_dash =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
+  in
+  Cmd.v (Cmd.info "sessions" ~doc) Term.(const f $ target_or_dash $ all_arg $ from_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let doc = "Run the full simulation experiment and print the paper's artifacts." in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"ARTIFACT"
+          ~doc:
+            "Print a single artifact: table1, table2, table3, table4, fig7, \
+             fig8, fig9, breakdown, expansion.")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "workloads" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of workloads to run.")
+  in
+  let f only workloads =
+    let workloads =
+      match workloads with
+      | None -> Ebp_workloads.Workload.all
+      | Some names ->
+          List.map
+            (fun n ->
+              match Ebp_workloads.Workload.by_name n with
+              | Some w -> w
+              | None -> exit_err (Printf.sprintf "unknown workload %S" n))
+            names
+    in
+    match Ebp_core.Experiment.run ~workloads () with
+    | Error msg -> exit_err msg
+    | Ok t -> (
+        let module E = Ebp_core.Experiment in
+        match only with
+        | None -> print_string (E.full_report t)
+        | Some "table1" -> print_string (E.table1 t)
+        | Some "table2" -> print_string (E.table2 t)
+        | Some "table3" -> print_string (E.table3 t)
+        | Some "table4" -> print_string (E.table4 t)
+        | Some "fig7" -> print_string (E.figure t ~stat:E.Max)
+        | Some "fig8" -> print_string (E.figure t ~stat:E.P90)
+        | Some "fig9" -> print_string (E.figure t ~stat:E.T_mean)
+        | Some "breakdown" -> print_string (E.breakdown_report t)
+        | Some "expansion" -> print_string (E.code_expansion_report t)
+        | Some other -> exit_err (Printf.sprintf "unknown artifact %S" other))
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const f $ only_arg $ workloads_arg)
+
+(* --- debug --- *)
+
+let debug_cmd =
+  let doc = "Interactive watchpoint debugger (scriptable via a pipe)." in
+  let f target seed =
+    match source_of_arg target with
+    | Error msg -> exit_err msg
+    | Ok (source, default_seed) ->
+        exit (Debug_repl.run ~source ~seed:(Option.value ~default:default_seed seed))
+  in
+  Cmd.v (Cmd.info "debug" ~doc) Term.(const f $ target_arg $ seed_arg)
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let doc = "Compile a MiniC program and print its assembly listing." in
+  let patch_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("tp", `Tp); ("cp", `Cp); ("hcp", `Hcp) ])) None
+      & info [ "patch" ] ~docv:"STRATEGY"
+          ~doc:
+            "Show the program after an instrumentation pass: $(b,tp) \
+             (TrapPatch), $(b,cp) (CodePatch), or $(b,hcp) (CodePatch with \
+             loop hoisting).")
+  in
+  let f target patch =
+    match source_of_arg target with
+    | Error msg -> exit_err msg
+    | Ok (source, _seed) -> (
+        match Ebp_lang.Compiler.compile source with
+        | Error msg -> exit_err msg
+        | Ok compiled ->
+            let base = compiled.Ebp_lang.Compiler.program in
+            let program =
+              match patch with
+              | None -> base
+              | Some `Tp -> Ebp_wms.Trap_patch.program (Ebp_wms.Trap_patch.instrument base)
+              | Some `Cp -> Ebp_wms.Code_patch.program (Ebp_wms.Code_patch.instrument base)
+              | Some `Hcp ->
+                  let patched = Ebp_wms.Hoisted_code_patch.instrument base in
+                  Printf.eprintf "; %d stores, %d hoisted, %d loops optimized\n"
+                    (Ebp_wms.Hoisted_code_patch.patched_stores patched)
+                    (Ebp_wms.Hoisted_code_patch.hoisted_stores patched)
+                    (Ebp_wms.Hoisted_code_patch.loops_optimized patched);
+                  Ebp_wms.Hoisted_code_patch.program patched
+            in
+            print_string (Ebp_isa.Asm.print program))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const f $ target_arg $ patch_arg)
+
+let () =
+  let doc = "Efficient data breakpoints: write-monitor-service experiment" in
+  let info = Cmd.info "ebp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd; disasm_cmd; debug_cmd ]))

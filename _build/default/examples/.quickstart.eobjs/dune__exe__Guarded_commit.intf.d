@@ -1,0 +1,1 @@
+examples/guarded_commit.mli:

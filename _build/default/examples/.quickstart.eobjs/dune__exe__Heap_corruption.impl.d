@@ -1,0 +1,1 @@
+examples/heap_corruption.ml: Ebp_core Ebp_runtime Ebp_util List Option Printf

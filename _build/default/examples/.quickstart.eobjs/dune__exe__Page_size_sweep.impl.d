@@ -1,0 +1,1 @@
+examples/page_size_sweep.ml: Array Ebp_model Ebp_sessions Ebp_util Ebp_wms Ebp_workloads List Printf

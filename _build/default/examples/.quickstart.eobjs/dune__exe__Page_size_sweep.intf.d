@@ -1,0 +1,1 @@
+examples/page_size_sweep.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ebp_core Ebp_isa Ebp_runtime Int List Option Printf

@@ -1,0 +1,1 @@
+examples/read_watch.ml: Ebp_lang Ebp_machine Ebp_runtime Ebp_util Ebp_wms List Option Printf

@@ -1,0 +1,1 @@
+examples/strategy_comparison.ml: Ebp_core Ebp_lang Ebp_machine Ebp_runtime List Printf

@@ -1,0 +1,1 @@
+examples/strategy_comparison.mli:

@@ -1,0 +1,91 @@
+(* Finding a stray-pointer bug with a data breakpoint.
+
+   This is the paper's motivating scenario (§1): "identify pointer uses
+   that are inadvertently modifying an otherwise unrelated data structure".
+
+   The MiniC program keeps a heap-allocated name table whose checksum
+   mysteriously changes. Nothing in the source ever writes to the table
+   after initialization — the culprit is an off-by-one loop in
+   [reset_counters] that runs one element past the end of an adjacent
+   heap block.
+
+   A data breakpoint on the table pinpoints the offending store in one
+   run: the hit's function is [reset_counters], not any table-touching
+   code. A control breakpoint could not catch this — there is no table
+   code to break in.
+
+   Run with: dune exec examples/heap_corruption.exe *)
+
+let program =
+  {|
+int table_checksum_before;
+int table_checksum_after;
+
+int checksum(int* t, int n) {
+  int i;
+  int c;
+  c = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = c + t[i] * (i + 1);
+  }
+  return c;
+}
+
+// BUG: the loop bound should be i < 10; i <= 10 writes one element past
+// the end of the counters block, into whatever the allocator placed next.
+void reset_counters(int* counters) {
+  int i;
+  for (i = 0; i <= 10; i = i + 1) {
+    counters[i] = 0;
+  }
+}
+
+int main() {
+  int* counters;
+  int* table;
+  int i;
+  counters = malloc(40);           // 10 counters
+  table = malloc(40);              // 10 table entries, right after it
+  for (i = 0; i < 10; i = i + 1) {
+    table[i] = 100 + i;
+    counters[i] = i;
+  }
+  table_checksum_before = checksum(table, 10);
+  reset_counters(counters);        // corrupts table[0]
+  table_checksum_after = checksum(table, 10);
+  print_int(table_checksum_before);
+  print_int(table_checksum_after);
+  return 0;
+}
+|}
+
+let () =
+  let dbg =
+    match Ebp_core.Debugger.load_source program with
+    | Ok d -> d
+    | Error msg -> failwith ("compile error: " ^ msg)
+  in
+  (* Watch the 2nd heap object allocated in main: the table. *)
+  Ebp_core.Debugger.watch_alloc dbg ~site:"main" ~nth:2;
+  let result = Ebp_core.Debugger.run dbg in
+  print_string result.Ebp_runtime.Loader.output;
+  print_newline ();
+  (* The expected writes come from main's init loop. Anything writing the
+     table from another function is the corruption. *)
+  let hits = Ebp_core.Debugger.hits dbg in
+  let legit, stray =
+    List.partition
+      (fun (h : Ebp_core.Debugger.hit) -> h.func = Some "main")
+      hits
+  in
+  Printf.printf "%d legitimate initialization writes (from main)\n"
+    (List.length legit);
+  List.iter
+    (fun (h : Ebp_core.Debugger.hit) ->
+      Printf.printf
+        "CORRUPTION: %s written at pc %d inside %s — the stray pointer bug\n"
+        (Ebp_util.Interval.to_string h.Ebp_core.Debugger.write)
+        h.Ebp_core.Debugger.pc
+        (Option.value ~default:"?" h.Ebp_core.Debugger.func))
+    stray;
+  if stray = [] then print_endline "no corruption detected (unexpected)"

@@ -1,0 +1,82 @@
+(* Access breakpoints: watching reads, not just writes.
+
+   The paper's WMS answers "who modified this object?". The symmetric
+   debugging question — "who is still *reading* this deprecated flag?" —
+   falls out of the CodePatch design almost for free, because the same
+   pass that checks store targets can check load targets. This example
+   uses Ebp_wms.Access_code_patch to find every reader of a configuration
+   global, then demonstrates independent read/write monitors on the same
+   address.
+
+   Run with: dune exec examples/read_watch.exe *)
+
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Acp = Ebp_wms.Access_code_patch
+
+let program =
+  {|
+int legacy_mode;     // deprecated flag: who still reads it?
+int out;
+
+int new_path(int x) {
+  return x * 2;
+}
+
+int old_path(int x) {
+  if (legacy_mode) {          // reader #1
+    return x + x;
+  }
+  return new_path(x);
+}
+
+int audit() {
+  return legacy_mode * 100;   // reader #2
+}
+
+int main() {
+  legacy_mode = 1;            // a write, not a read
+  out = old_path(21);
+  out = out + audit();
+  print_int(out);
+  return 0;
+}
+|}
+
+let () =
+  let compiled =
+    match Ebp_lang.Compiler.compile program with
+    | Ok c -> c
+    | Error e -> failwith ("compile error: " ^ e)
+  in
+  let debug = compiled.Ebp_lang.Compiler.debug in
+  let patched = Acp.instrument compiled.Ebp_lang.Compiler.program in
+  Printf.printf "instrumented %d stores and %d loads (%.0f%% code growth)\n\n"
+    (Acp.patched_stores patched) (Acp.patched_loads patched)
+    ((Acp.expansion patched -. 1.0) *. 100.0);
+  let loader =
+    Ebp_runtime.Loader.load
+      { Ebp_lang.Compiler.program = Acp.program patched; debug }
+  in
+  let machine = Ebp_runtime.Loader.machine loader in
+  let events = ref [] in
+  let t =
+    Acp.attach patched machine ~notify:(fun n -> events := n :: !events)
+  in
+  let flag = Option.get (Ebp_lang.Debug_info.global_by_name debug "legacy_mode") in
+  let range =
+    Interval.of_base_size ~base:flag.Ebp_lang.Debug_info.g_addr
+      ~size:flag.Ebp_lang.Debug_info.g_size
+  in
+  (* Watch reads AND writes of the flag independently. *)
+  (match Acp.install t ~on:`Both range with Ok () -> () | Error e -> failwith e);
+  let result = Ebp_runtime.Loader.run loader in
+  print_string result.Ebp_runtime.Loader.output;
+  Printf.printf "\n%d reads, %d writes of legacy_mode:\n" (Acp.read_hits t)
+    (Acp.write_hits t);
+  List.iter
+    (fun (n : Acp.notification) ->
+      Printf.printf "  %s at pc %d\n"
+        (match n.Acp.access with Acp.Read -> "READ " | Acp.Write -> "WRITE")
+        n.Acp.pc)
+    (List.rev !events)

@@ -1,0 +1,1 @@
+lib/core/debugger.ml: Array Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Ebp_util Ebp_wms Hashtbl Int Lazy List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/debugger.mli: Ebp_isa Ebp_lang Ebp_runtime Ebp_util Ebp_wms

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Buffer Ebp_isa Ebp_lang Ebp_model Ebp_sessions Ebp_util Ebp_wms Ebp_workloads Float List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ebp_model Ebp_sessions Ebp_wms Ebp_workloads

@@ -1,0 +1,343 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Reg = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+module Debug_info = Ebp_lang.Debug_info
+module Loader = Ebp_runtime.Loader
+module Allocator = Ebp_runtime.Allocator
+module Wms = Ebp_wms.Wms
+
+type strategy_kind =
+  | Native_hardware
+  | Virtual_memory
+  | Trap_patch
+  | Code_patch
+  | Code_patch_hoisted
+  | Code_patch_inline
+
+let strategy_name = function
+  | Native_hardware -> "NativeHardware"
+  | Virtual_memory -> "VirtualMemory"
+  | Trap_patch -> "TrapPatch"
+  | Code_patch -> "CodePatch"
+  | Code_patch_hoisted -> "CodePatch+hoist"
+  | Code_patch_inline -> "CodePatch-inline"
+
+type hit = {
+  write : Interval.t;
+  pc : int;
+  func : string option;
+  instr : Ebp_isa.Instr.t option;
+  value : int;
+}
+
+type alloc_watch = {
+  aw_site : string;
+  aw_nth : int;
+  mutable aw_seen : int;
+  mutable aw_range : Interval.t option;  (* armed range, tracked across realloc *)
+}
+
+type t = {
+  loader : Loader.t;
+  debug : Debug_info.t;
+  original : Program.t;  (* un-instrumented program, for attribution *)
+  strategy : Wms.strategy;
+  site_of : (int, int) Hashtbl.t;  (* instrumented pc -> original pc *)
+  func_starts : (int * string) array;  (* ascending by index *)
+  mutable local_watches : (string * string) list;  (* (func, var) *)
+  mutable active_locals : ((string * string) * Interval.t) list list;
+      (* per live activation: the watched-local monitors it armed *)
+  mutable alloc_watches : alloc_watch list;
+  mutable hits : hit list;  (* reversed *)
+  mutable errors : string list;  (* reversed *)
+  mutable user_on_hit : (hit -> unit) option;
+  mutable break_pred : (hit -> bool) option;
+  mutable break_hit : hit option;
+}
+
+let func_starts_of program =
+  let starts =
+    List.filter_map
+      (fun (label, idx) ->
+        if String.length label > 2 && String.sub label 0 2 = "f_" then
+          Some (idx, String.sub label 2 (String.length label - 2))
+        else None)
+      (Program.labels program)
+  in
+  Array.of_list (List.sort (fun (a, _) (b, _) -> Int.compare a b) starts)
+
+let function_at t pc =
+  let starts = t.func_starts in
+  let n = Array.length starts in
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let idx, name = starts.(mid) in
+      if idx <= pc then search (mid + 1) hi (Some name) else search lo (mid - 1) best
+  in
+  if pc < 0 || pc >= Program.length t.original then None
+  else search 0 (n - 1) None
+
+let record_error t msg = t.errors <- msg :: t.errors
+
+let deliver_hit t (n : Wms.notification) =
+  let pc =
+    match Hashtbl.find_opt t.site_of n.Wms.pc with Some orig -> orig | None -> n.Wms.pc
+  in
+  let machine = Loader.machine t.loader in
+  let value =
+    (* The write has completed (or been emulated) by notification time; a
+       sub-word write is reported with its containing word's value. *)
+    let addr = Interval.lo n.Wms.write in
+    Ebp_machine.Memory.load_word (Machine.memory machine) (addr land lnot 3)
+  in
+  let hit =
+    {
+      write = n.Wms.write;
+      pc;
+      func = function_at t pc;
+      instr =
+        (if pc >= 0 && pc < Program.length t.original then
+           Some (Program.get t.original pc)
+         else None);
+      value;
+    }
+  in
+  t.hits <- hit :: t.hits;
+  (match t.user_on_hit with Some f -> f hit | None -> ());
+  match t.break_pred with
+  | Some pred when t.break_hit = None && pred hit ->
+      t.break_hit <- Some hit;
+      Machine.halt machine 42
+  | Some _ | None -> ()
+
+let var_range ~fp (v : Debug_info.variable) =
+  match v.Debug_info.location with
+  | Debug_info.Frame off -> Interval.of_base_size ~base:(fp + off) ~size:v.Debug_info.size
+  | Debug_info.Static addr -> Interval.of_base_size ~base:addr ~size:v.Debug_info.size
+
+let on_enter t machine fid =
+  let func = Debug_info.find_func t.debug fid in
+  let fname = func.Debug_info.name in
+  let watched_vars =
+    List.filter_map
+      (fun (f, v) -> if f = fname then Some v else None)
+      t.local_watches
+  in
+  let installed =
+    List.filter_map
+      (fun var ->
+        match
+          List.find_opt
+            (fun (v : Debug_info.variable) ->
+              v.Debug_info.var_name = var && not v.Debug_info.is_static)
+            func.Debug_info.vars
+        with
+        | None -> None
+        | Some v -> (
+            let range = var_range ~fp:(Machine.get_reg machine Reg.fp) v in
+            match t.strategy.Wms.install range with
+            | Ok () -> Some ((fname, var), range)
+            | Error msg ->
+                record_error t
+                  (Printf.sprintf "arming %s.%s: %s" fname var msg);
+                None))
+      watched_vars
+  in
+  t.active_locals <- installed :: t.active_locals
+
+let on_leave t _machine _fid =
+  match t.active_locals with
+  | installed :: rest ->
+      List.iter
+        (fun ((f, v), range) ->
+          match t.strategy.Wms.remove range with
+          | Ok () -> ()
+          | Error msg -> record_error t (Printf.sprintf "disarming %s.%s: %s" f v msg))
+        installed;
+      t.active_locals <- rest
+  | [] -> ()
+
+let context_head t machine =
+  match Machine.func_stack machine with
+  | fid :: _ -> Some (Debug_info.find_func t.debug fid).Debug_info.name
+  | [] -> None
+
+let on_alloc_event t event =
+  let machine = Loader.machine t.loader in
+  match event with
+  | Allocator.Alloc { addr; size } ->
+      let site = context_head t machine in
+      List.iter
+        (fun aw ->
+          if Some aw.aw_site = site then begin
+            aw.aw_seen <- aw.aw_seen + 1;
+            if aw.aw_seen = aw.aw_nth && aw.aw_range = None then begin
+              let range = Interval.of_base_size ~base:addr ~size in
+              match t.strategy.Wms.install range with
+              | Ok () -> aw.aw_range <- Some range
+              | Error msg ->
+                  record_error t
+                    (Printf.sprintf "arming heap %s#%d: %s" aw.aw_site aw.aw_nth msg)
+            end
+          end)
+        t.alloc_watches
+  | Allocator.Free { addr; size = _ } ->
+      List.iter
+        (fun aw ->
+          match aw.aw_range with
+          | Some range when Interval.lo range = addr ->
+              (match t.strategy.Wms.remove range with
+              | Ok () -> ()
+              | Error msg -> record_error t ("disarming heap watch: " ^ msg));
+              aw.aw_range <- None
+          | Some _ | None -> ())
+        t.alloc_watches
+  | Allocator.Realloc { old_addr; old_size = _; new_addr; new_size } ->
+      List.iter
+        (fun aw ->
+          match aw.aw_range with
+          | Some range when Interval.lo range = old_addr ->
+              (match t.strategy.Wms.remove range with
+              | Ok () -> ()
+              | Error msg -> record_error t ("re-arming heap watch: " ^ msg));
+              let range = Interval.of_base_size ~base:new_addr ~size:new_size in
+              (match t.strategy.Wms.install range with
+              | Ok () -> aw.aw_range <- Some range
+              | Error msg ->
+                  record_error t ("re-arming heap watch: " ^ msg);
+                  aw.aw_range <- None)
+          | Some _ | None -> ())
+        t.alloc_watches
+
+let load ?(strategy = Code_patch) ?timing ?seed ?monitor_reg_count
+    (compiled : Ebp_lang.Compiler.output) =
+  let original = compiled.Ebp_lang.Compiler.program in
+  let site_of = Hashtbl.create 64 in
+  let exec_program, make_strategy =
+    match strategy with
+    | Code_patch ->
+        let patched = Ebp_wms.Code_patch.instrument original in
+        (* Map each stub's Chk site (second stub slot) back to the
+           original store index. *)
+        let ilen = Program.length original in
+        List.iteri
+          (fun i (store_idx, _) ->
+            Hashtbl.replace site_of (ilen + (3 * i) + 1) store_idx)
+          (Program.stores original);
+        ( Ebp_wms.Code_patch.program patched,
+          fun machine notify ->
+            Ebp_wms.Code_patch.strategy
+              (Ebp_wms.Code_patch.attach ?timing patched machine ~notify) )
+    | Code_patch_hoisted ->
+        let patched = Ebp_wms.Hoisted_code_patch.instrument original in
+        let hp = Ebp_wms.Hoisted_code_patch.program patched in
+        (* Translate every per-store check pc back to its original site. *)
+        for pc = Program.length original to Program.length hp - 1 do
+          match Ebp_wms.Hoisted_code_patch.original_site patched pc with
+          | Some orig -> Hashtbl.replace site_of pc orig
+          | None -> ()
+        done;
+        ( hp,
+          fun machine notify ->
+            Ebp_wms.Hoisted_code_patch.strategy
+              (Ebp_wms.Hoisted_code_patch.attach ?timing patched machine ~notify) )
+    | Code_patch_inline ->
+        let patched = Ebp_wms.Inline_code_patch.instrument original in
+        ( Ebp_wms.Inline_code_patch.program patched,
+          fun machine notify ->
+            Ebp_wms.Inline_code_patch.strategy
+              (Ebp_wms.Inline_code_patch.attach ?timing patched machine ~notify) )
+    | Trap_patch ->
+        let patched = Ebp_wms.Trap_patch.instrument original in
+        ( Ebp_wms.Trap_patch.program patched,
+          fun machine notify ->
+            Ebp_wms.Trap_patch.strategy
+              (Ebp_wms.Trap_patch.attach ?timing patched machine ~notify) )
+    | Virtual_memory ->
+        ( original,
+          fun machine notify ->
+            Ebp_wms.Virtual_memory.strategy
+              (Ebp_wms.Virtual_memory.attach ?timing machine ~notify) )
+    | Native_hardware ->
+        ( original,
+          fun machine notify ->
+            Ebp_wms.Native_hardware.strategy
+              (Ebp_wms.Native_hardware.attach ?timing machine ~notify) )
+  in
+  let loader =
+    Loader.load ?seed ?monitor_reg_count
+      { Ebp_lang.Compiler.program = exec_program;
+        debug = compiled.Ebp_lang.Compiler.debug }
+  in
+  let machine = Loader.machine loader in
+  let rec t =
+    lazy
+      {
+        loader;
+        debug = compiled.Ebp_lang.Compiler.debug;
+        original;
+        strategy = make_strategy machine (fun n -> deliver_hit (Lazy.force t) n);
+        site_of;
+        func_starts = func_starts_of original;
+        local_watches = [];
+        active_locals = [];
+        alloc_watches = [];
+        hits = [];
+        errors = [];
+        user_on_hit = None;
+        break_pred = None;
+        break_hit = None;
+      }
+  in
+  let t = Lazy.force t in
+  Machine.set_enter_hook machine (Some (on_enter t));
+  Machine.set_leave_hook machine (Some (on_leave t));
+  Allocator.set_event_hook (Loader.allocator loader) (Some (on_alloc_event t));
+  t
+
+let load_source ?strategy ?timing ?seed ?monitor_reg_count source =
+  Result.map
+    (load ?strategy ?timing ?seed ?monitor_reg_count)
+    (Ebp_lang.Compiler.compile source)
+
+let watch_global t name =
+  match Debug_info.global_by_name t.debug name with
+  | None -> Error (Printf.sprintf "no global named %s" name)
+  | Some g ->
+      t.strategy.Wms.install
+        (Interval.of_base_size ~base:g.Debug_info.g_addr ~size:g.Debug_info.g_size)
+
+let watch_local t ~func ~var =
+  match Debug_info.func_by_name t.debug func with
+  | None -> Error (Printf.sprintf "no function named %s" func)
+  | Some f ->
+      let known =
+        List.exists
+          (fun (v : Debug_info.variable) ->
+            v.Debug_info.var_name = var && not v.Debug_info.is_static)
+          f.Debug_info.vars
+      in
+      if not known then Error (Printf.sprintf "no local %s in %s" var func)
+      else begin
+        t.local_watches <- (func, var) :: t.local_watches;
+        Ok ()
+      end
+
+let watch_alloc t ~site ~nth =
+  t.alloc_watches <-
+    { aw_site = site; aw_nth = nth; aw_seen = 0; aw_range = None } :: t.alloc_watches
+
+let on_hit t f = t.user_on_hit <- Some f
+let break_when t pred = t.break_pred <- Some pred
+let break_hit t = t.break_hit
+
+let run ?fuel t = Loader.run ?fuel t.loader
+
+let hits t = List.rev t.hits
+let errors t = List.rev t.errors
+let cycles t = Machine.cycles (Loader.machine t.loader)
+let strategy t = t.strategy
+let loader t = t.loader

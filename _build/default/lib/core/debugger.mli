@@ -1,0 +1,101 @@
+(** A miniature source-level debugger built on the write monitor service —
+    the paper's end goal ("our hope is that data breakpoints will be
+    routinely supported in future debuggers", §9).
+
+    [Debugger.load] prepares a compiled MiniC program for execution under
+    one of the four WMS strategies (instrumenting the code for the patching
+    strategies). Data breakpoints can then be set on source-level objects:
+
+    - {!watch_global} — a global variable, armed immediately;
+    - {!watch_local} — a local of a function: armed at every activation,
+      disarmed on return (monitors for automatic variables live on function
+      boundaries, §6);
+    - {!watch_alloc} — the [n]th heap object allocated by a function: armed
+      when the allocation happens, follows [realloc], disarmed on [free].
+
+    Monitor notifications become {!hit} records carrying the write range,
+    the program counter, and the enclosing function name. *)
+
+type strategy_kind =
+  | Native_hardware
+  | Virtual_memory
+  | Trap_patch
+  | Code_patch
+  | Code_patch_hoisted
+      (** CodePatch with the §9 loop-invariant check hoisting *)
+  | Code_patch_inline
+      (** CodePatch with the check compiled to real machine code walking an
+          in-debuggee-memory monitor map (no modeled lookup charge) *)
+
+val strategy_name : strategy_kind -> string
+
+type hit = {
+  write : Ebp_util.Interval.t;
+  pc : int;
+  func : string option;  (** function containing the write, when known *)
+  instr : Ebp_isa.Instr.t option;  (** the offending instruction *)
+  value : int;  (** the value now stored at the written location — write
+                    monitors notify after the write succeeds (§2), so this
+                    is the new value *)
+}
+
+type t
+
+val load :
+  ?strategy:strategy_kind ->
+  ?timing:Ebp_wms.Timing.t ->
+  ?seed:int ->
+  ?monitor_reg_count:int ->
+  Ebp_lang.Compiler.output ->
+  t
+(** Default strategy: [Code_patch]. [monitor_reg_count] only matters for
+    [Native_hardware] (default 4, as in §3.1). *)
+
+val load_source :
+  ?strategy:strategy_kind ->
+  ?timing:Ebp_wms.Timing.t ->
+  ?seed:int ->
+  ?monitor_reg_count:int ->
+  string ->
+  (t, string) result
+(** Compile MiniC source and {!load} it. *)
+
+val watch_global : t -> string -> (unit, string) result
+(** Fails on an unknown global or when the strategy is out of capacity. *)
+
+val watch_local : t -> func:string -> var:string -> (unit, string) result
+(** Fails on an unknown variable. Capacity failures at activation time are
+    recorded in {!errors} (execution continues, as a debugger would). *)
+
+val watch_alloc : t -> site:string -> nth:int -> unit
+(** Arm a pending watch on the [nth] (1-based) allocation whose innermost
+    allocating function is [site]. *)
+
+val on_hit : t -> (hit -> unit) -> unit
+(** Called on every monitor notification, in addition to {!hits} recording. *)
+
+val break_when : t -> (hit -> bool) -> unit
+(** Conditional data breakpoint: stop the program (exit code 42) at the
+    first hit satisfying the predicate — e.g. "suspend execution whenever a
+    certain object is modified" to a particular value (§1). The triggering
+    hit is retrievable via {!hits}/{!break_hit}. *)
+
+val break_hit : t -> hit option
+(** The hit that satisfied {!break_when}, if the run stopped on one. *)
+
+val run : ?fuel:int -> t -> Ebp_runtime.Loader.run_result
+
+val hits : t -> hit list
+(** All hits, in execution order. *)
+
+val errors : t -> string list
+(** Install/remove failures encountered during the run (e.g. NativeHardware
+    register exhaustion), oldest first. *)
+
+val cycles : t -> int
+val strategy : t -> Ebp_wms.Wms.strategy
+val loader : t -> Ebp_runtime.Loader.t
+
+val function_at : t -> int -> string option
+(** Function whose code contains an instruction index, from the compiler's
+    [f_<name>] labels. *)

@@ -1,0 +1,311 @@
+module Workload = Ebp_workloads.Workload
+module Session = Ebp_sessions.Session
+module Counts = Ebp_sessions.Counts
+module Replay = Ebp_sessions.Replay
+module Timing = Ebp_wms.Timing
+module Model = Ebp_model.Strategy_model
+module Stats = Ebp_util.Stats
+module Text_table = Ebp_util.Text_table
+module Bar_chart = Ebp_util.Bar_chart
+
+type program_data = {
+  run : Workload.run;
+  sessions : (Session.t * Counts.t) list;
+}
+
+type t = {
+  programs : program_data list;
+  timing : Timing.t;
+  page_sizes : int list;
+  approaches : Model.approach list;
+}
+
+let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
+    ?(page_sizes = Replay.default_page_sizes) ?fuel () =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> (
+        match Workload.record ?fuel w with
+        | Error msg -> Error msg
+        | Ok run ->
+            let sessions =
+              Replay.discover_and_replay ~page_sizes run.Workload.trace
+            in
+            go ({ run; sessions } :: acc) rest)
+  in
+  Result.map
+    (fun programs ->
+      {
+        programs;
+        timing;
+        page_sizes;
+        approaches =
+          Model.NH :: List.map (fun ps -> Model.VM ps) page_sizes @ [ Model.TP; Model.CP ];
+      })
+    (go [] workloads)
+
+let relative_overheads t pd approach =
+  let base_ms = pd.run.Workload.base_ms in
+  Array.of_list
+    (List.map
+       (fun (_, counts) ->
+         Model.relative (Model.overhead t.timing approach counts) ~base_ms)
+       pd.sessions)
+
+(* --- Table 1 --- *)
+
+let table1 t =
+  let kind_count sessions kind =
+    List.length (List.filter (fun (s, _) -> Session.kind s = kind) sessions)
+  in
+  let rows =
+    List.map
+      (fun pd ->
+        pd.run.Workload.workload.Workload.name
+        :: List.map
+             (fun kind -> string_of_int (kind_count pd.sessions kind))
+             Session.all_kinds
+        @ [ Printf.sprintf "%.0f" pd.run.Workload.base_ms ])
+      t.programs
+  in
+  "Table 1: monitor sessions studied (with >= 1 hit) and base execution time\n"
+  ^ Text_table.render
+      ~header:
+        ([ "Program" ]
+        @ List.map Session.kind_name Session.all_kinds
+        @ [ "Exec (ms)" ])
+      ~rows ()
+
+(* --- Table 2 --- *)
+
+let table2 t =
+  let tv = t.timing in
+  let rows =
+    [
+      [ "SoftwareUpdate"; Printf.sprintf "%.2f" tv.Timing.software_update_us ];
+      [ "SoftwareLookup"; Printf.sprintf "%.2f" tv.Timing.software_lookup_us ];
+      [ "NHFaultHandler"; Printf.sprintf "%.2f" tv.Timing.nh_fault_handler_us ];
+      [ "VMFaultHandler"; Printf.sprintf "%.2f" tv.Timing.vm_fault_handler_us ];
+      [ "VMProtectPage"; Printf.sprintf "%.2f" tv.Timing.vm_protect_us ];
+      [ "VMUnprotectPage"; Printf.sprintf "%.2f" tv.Timing.vm_unprotect_us ];
+      [ "TPFaultHandler"; Printf.sprintf "%.2f" tv.Timing.tp_fault_handler_us ];
+    ]
+  in
+  "Table 2: timing variable data (microseconds)\n"
+  ^ Text_table.render ~header:[ "Timing Variable"; "Time (us)" ] ~rows ()
+
+(* --- Table 3 --- *)
+
+let mean_of f sessions =
+  if sessions = [] then 0.0
+  else
+    List.fold_left (fun acc (_, c) -> acc +. float_of_int (f c)) 0.0 sessions
+    /. float_of_int (List.length sessions)
+
+let table3 t =
+  let header =
+    [ "Program"; "Install/Remove"; "MonitorHit"; "MonitorMiss" ]
+    @ List.concat_map
+        (fun ps ->
+          let k = ps / 1024 in
+          [
+            Printf.sprintf "VM-%dK Prot/Unprot" k;
+            Printf.sprintf "VM-%dK ActivePageMiss" k;
+          ])
+        t.page_sizes
+  in
+  let rows =
+    List.map
+      (fun pd ->
+        let m f = mean_of f pd.sessions in
+        [
+          pd.run.Workload.workload.Workload.name;
+          Printf.sprintf "%.0f" (m (fun c -> c.Counts.installs));
+          Printf.sprintf "%.0f" (m (fun c -> c.Counts.hits));
+          Printf.sprintf "%.0f" (m (fun c -> c.Counts.misses));
+        ]
+        @ List.concat_map
+            (fun ps ->
+              [
+                Printf.sprintf "%.0f"
+                  (m (fun c -> (Counts.vm_for c ~page_size:ps).Counts.protects));
+                Printf.sprintf "%.0f"
+                  (m (fun c ->
+                       (Counts.vm_for c ~page_size:ps).Counts.active_page_misses));
+              ])
+            t.page_sizes)
+      t.programs
+  in
+  "Table 3: mean counting variable data over all monitor sessions\n"
+  ^ Text_table.render ~header ~rows ()
+
+(* --- Table 4 --- *)
+
+let table4 t =
+  let header =
+    "Program" :: "Statistic" :: List.map Model.name t.approaches
+  in
+  let fmt v =
+    if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+  in
+  let rows =
+    List.concat_map
+      (fun pd ->
+        let summaries =
+          List.map
+            (fun a -> Stats.summarize (relative_overheads t pd a))
+            t.approaches
+        in
+        let name = pd.run.Workload.workload.Workload.name in
+        let row label f = (label, List.map (fun s -> fmt (f s)) summaries) in
+        let lines =
+          [
+            row "Min" (fun s -> s.Stats.min);
+            row "Max" (fun s -> s.Stats.max);
+            row "T-Mean" (fun s -> s.Stats.t_mean);
+            row "Mean" (fun s -> s.Stats.mean);
+            row "90%" (fun s -> s.Stats.p90);
+            row "98%" (fun s -> s.Stats.p98);
+          ]
+        in
+        List.mapi
+          (fun i (label, cells) -> (if i = 0 then name else "") :: label :: cells)
+          lines)
+      t.programs
+  in
+  Printf.sprintf
+    "Table 4: relative overhead statistics over %s sessions per program\n"
+    (String.concat "/"
+       (List.map (fun pd -> string_of_int (List.length pd.sessions)) t.programs))
+  ^ Text_table.render ~header ~rows ()
+
+(* --- Figures 7, 8, 9 --- *)
+
+type figure_stat = Max | P90 | T_mean
+
+let figure t ~stat =
+  let title, pick, log_scale =
+    match stat with
+    | Max ->
+        ( "Figure 7: maximum relative overhead over all monitor sessions (log bars)",
+          (fun s -> s.Stats.max),
+          true )
+    | P90 ->
+        ( "Figure 8: 90th percentile relative overhead (log bars)",
+          (fun s -> s.Stats.p90),
+          true )
+    | T_mean ->
+        ( "Figure 9: mean relative overhead, sessions between 10th and 90th percentiles",
+          (fun s -> s.Stats.t_mean),
+          false )
+  in
+  let groups =
+    List.map
+      (fun pd ->
+        {
+          Bar_chart.name = pd.run.Workload.workload.Workload.name;
+          series =
+            List.map
+              (fun a ->
+                {
+                  Bar_chart.label = Model.name a;
+                  value = pick (Stats.summarize (relative_overheads t pd a));
+                })
+              t.approaches;
+        })
+      t.programs
+  in
+  Bar_chart.render ~log_scale ~title ~groups ()
+
+(* --- Section 8 breakdown --- *)
+
+let breakdown_report t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Overhead breakdown: mean share of each timing variable (Section 8)\n";
+  List.iter
+    (fun pd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s:\n" pd.run.Workload.workload.Workload.name);
+      List.iter
+        (fun a ->
+          let overheads =
+            List.map (fun (_, c) -> Model.overhead t.timing a c) pd.sessions
+          in
+          let shares = Ebp_model.Breakdown.mean_percentages overheads in
+          Buffer.add_string buf
+            (Printf.sprintf "    %-6s %s\n" (Model.name a)
+               (String.concat " "
+                  (List.map (fun (v, p) -> Printf.sprintf "%s=%.1f%%" v p) shares))))
+        t.approaches)
+    t.programs;
+  Buffer.contents buf
+
+(* --- Section 8 code expansion --- *)
+
+let code_expansion_report t =
+  let rows =
+    List.map
+      (fun pd ->
+        let prog = pd.run.Workload.compiled.Ebp_lang.Compiler.program in
+        let stores = List.length (Ebp_isa.Program.stores prog) in
+        let total = Ebp_isa.Program.length prog in
+        let expansion = Ebp_wms.Code_patch.expansion_of_program prog in
+        [
+          pd.run.Workload.workload.Workload.name;
+          string_of_int total;
+          string_of_int stores;
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int stores /. float_of_int total);
+          Printf.sprintf "%.1f%%" ((expansion -. 1.0) *. 100.0);
+        ])
+      t.programs
+  in
+  "CodePatch static code expansion (Section 8; paper estimates 12-15%)\n"
+  ^ Text_table.render
+      ~header:[ "Program"; "Instructions"; "Stores"; "Store fraction"; "Expansion" ]
+      ~rows ()
+
+let extremes_report ?(top = 4) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Extreme points: most expensive sessions (Section 8 discussion)\n";
+  List.iter
+    (fun pd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s:\n" pd.run.Workload.workload.Workload.name);
+      List.iter
+        (fun approach ->
+          let overheads = relative_overheads t pd approach in
+          let ranked =
+            List.mapi (fun i (s, _) -> (s, overheads.(i))) pd.sessions
+            |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+          in
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          Buffer.add_string buf (Printf.sprintf "    %s worst:\n" (Model.name approach));
+          List.iter
+            (fun (session, ov) ->
+              Buffer.add_string buf
+                (Printf.sprintf "      %8.1fx  %s\n" ov (Session.to_string session)))
+            (take top ranked))
+        [ Model.NH; Model.VM 4096 ])
+    t.programs;
+  Buffer.contents buf
+
+let full_report t =
+  String.concat "\n"
+    [
+      table1 t;
+      table2 t;
+      table3 t;
+      table4 t;
+      figure t ~stat:Max;
+      figure t ~stat:P90;
+      figure t ~stat:T_mean;
+      breakdown_report t;
+      code_expansion_report t;
+      extremes_report t;
+    ]

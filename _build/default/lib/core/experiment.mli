@@ -1,0 +1,62 @@
+(** The full simulation experiment (paper Figure 1).
+
+    {!run} executes both phases for every benchmark program: phase 1 traces
+    each program once; phase 2 discovers all monitor sessions, replays the
+    trace against them, and discards sessions with no hits. The report
+    functions then regenerate each artifact of the paper's §8:
+
+    - {!table1} — session counts by type and base execution time;
+    - {!table2} — the timing variables in use;
+    - {!table3} — mean counting variables per program;
+    - {!table4} — relative-overhead statistics per program × approach;
+    - {!figure} — Figures 7 (Max), 8 (90th percentile), 9 (trimmed mean)
+      as ASCII bar charts;
+    - {!breakdown_report} — mean share of each timing variable (§8);
+    - {!code_expansion_report} — CodePatch static code growth (§8). *)
+
+type program_data = {
+  run : Ebp_workloads.Workload.run;
+  sessions : (Ebp_sessions.Session.t * Ebp_sessions.Counts.t) list;
+      (** discovered sessions with at least one monitor hit *)
+}
+
+type t = {
+  programs : program_data list;
+  timing : Ebp_wms.Timing.t;
+  page_sizes : int list;
+  approaches : Ebp_model.Strategy_model.approach list;
+}
+
+val run :
+  ?workloads:Ebp_workloads.Workload.t list ->
+  ?timing:Ebp_wms.Timing.t ->
+  ?page_sizes:int list ->
+  ?fuel:int ->
+  unit ->
+  (t, string) result
+(** Defaults: all five workloads, SPARCstation 2 timing, 4K and 8K pages. *)
+
+val relative_overheads :
+  t -> program_data -> Ebp_model.Strategy_model.approach -> float array
+(** Relative overhead of every session of a program under an approach, in
+    session order. *)
+
+type figure_stat = Max | P90 | T_mean
+
+val table1 : t -> string
+val table2 : t -> string
+val table3 : t -> string
+val table4 : t -> string
+val figure : t -> stat:figure_stat -> string
+val breakdown_report : t -> string
+val code_expansion_report : t -> string
+
+val extremes_report : ?top:int -> t -> string
+(** §8's qualitative analysis of the extreme points: the most expensive
+    sessions per program under NativeHardware and VirtualMemory. The paper
+    reports that NH's worst sessions monitor induction variables and
+    heap-allocating functions, while VM's monitor local variables of
+    functions toward the root of the call graph. *)
+
+val full_report : t -> string
+(** All of the above, in paper order. *)

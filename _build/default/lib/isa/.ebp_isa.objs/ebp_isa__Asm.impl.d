@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Hashtbl Instr List Printf Program Reg Result String

@@ -1,0 +1,1 @@
+lib/isa/cfg.ml: Hashtbl Instr Int List Program Reg

@@ -1,0 +1,1 @@
+lib/isa/cfg.mli: Instr Program Reg

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Format Hashtbl Instr List Printf

@@ -1,0 +1,167 @@
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize line =
+  (* Split on whitespace and commas; "(", ")" become separate tokens so that
+     memory operands like "-4(fp)" parse uniformly. *)
+  let buf = Buffer.create 8 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | '(' | ')' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+type operand = O_reg of Reg.t | O_imm of int | O_mem of int * Reg.t | O_sym of string
+
+let parse_operands tokens =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: "(" :: reg :: ")" :: rest -> (
+        match (int_of_string_opt tok, Reg.of_name reg) with
+        | Some off, Some r -> go (O_mem (off, r) :: acc) rest
+        | None, _ -> Error (Printf.sprintf "bad memory offset %S" tok)
+        | _, None -> Error (Printf.sprintf "bad register %S" reg))
+    | tok :: rest -> (
+        match Reg.of_name tok with
+        | Some r -> go (O_reg r :: acc) rest
+        | None -> (
+            match int_of_string_opt tok with
+            | Some i -> go (O_imm i :: acc) rest
+            | None -> go (O_sym tok :: acc) rest))
+  in
+  go [] tokens
+
+let target_of = function
+  | O_sym s when String.length s > 1 && s.[0] = '@' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i -> Ok (Instr.Abs i)
+      | None -> Error (Printf.sprintf "bad absolute target %S" s))
+  | O_sym s -> Ok (Instr.Label s)
+  | O_imm i -> Ok (Instr.Abs i)
+  | O_reg _ | O_mem _ -> Error "expected a label or target"
+
+let alu_ops =
+  [
+    ("add", Instr.Add); ("sub", Instr.Sub); ("mul", Instr.Mul); ("div", Instr.Div);
+    ("rem", Instr.Rem); ("and", Instr.And); ("or", Instr.Or); ("xor", Instr.Xor);
+    ("sll", Instr.Sll); ("srl", Instr.Srl); ("sra", Instr.Sra); ("slt", Instr.Slt);
+    ("sle", Instr.Sle); ("seq", Instr.Seq); ("sne", Instr.Sne);
+  ]
+
+let conds =
+  [
+    ("beq", Instr.Eq); ("bne", Instr.Ne); ("blt", Instr.Lt); ("bge", Instr.Ge);
+    ("bgt", Instr.Gt); ("ble", Instr.Le);
+  ]
+
+let parse_instr mnemonic operands =
+  let open Instr in
+  let err what = Error (Printf.sprintf "%s: %s" mnemonic what) in
+  match (mnemonic, operands) with
+  | "nop", [] -> Ok Nop
+  | "halt", [] -> Ok Halt
+  | "li", [ O_reg rd; O_imm i ] -> Ok (Li (rd, i))
+  | "mv", [ O_reg rd; O_reg rs ] -> Ok (Mv (rd, rs))
+  | "lw", [ O_reg rd; O_mem (off, rs) ] -> Ok (Lw (rd, rs, off))
+  | "lb", [ O_reg rd; O_mem (off, rs) ] -> Ok (Lb (rd, rs, off))
+  | "sw", [ O_reg rd; O_mem (off, rs) ] -> Ok (Sw (rd, rs, off))
+  | "sb", [ O_reg rd; O_mem (off, rs) ] -> Ok (Sb (rd, rs, off))
+  | "jmp", [ t ] -> Result.map (fun t -> Jmp t) (target_of t)
+  | "jal", [ t ] -> Result.map (fun t -> Jal t) (target_of t)
+  | "jalr", [ O_reg rs ] -> Ok (Jalr rs)
+  | "ret", [] -> Ok Ret
+  | "syscall", [ O_imm n ] -> Ok (Syscall n)
+  | "trap", [ O_imm n ] -> Ok (Trap n)
+  | "chk", [ O_mem (off, base); O_imm width ] -> Ok (Chk { base; off; width })
+  | "enter", [ O_imm f ] -> Ok (Enter f)
+  | "leave", [ O_imm f ] -> Ok (Leave f)
+  | _, _ -> (
+      match List.assoc_opt mnemonic conds with
+      | Some c -> (
+          match operands with
+          | [ O_reg r1; O_reg r2; t ] ->
+              Result.map (fun t -> Br (c, r1, r2, t)) (target_of t)
+          | _ -> err "expects two registers and a target")
+      | None -> (
+          match List.assoc_opt mnemonic alu_ops with
+          | Some op -> (
+              match operands with
+              | [ O_reg rd; O_reg r1; O_reg r2 ] -> Ok (Alu (op, rd, r1, r2))
+              | _ -> err "expects three registers")
+          | None ->
+              (* Immediate ALU forms: "addi", "slti", ... *)
+              let n = String.length mnemonic in
+              if n > 1 && mnemonic.[n - 1] = 'i' then
+                match List.assoc_opt (String.sub mnemonic 0 (n - 1)) alu_ops with
+                | Some op -> (
+                    match operands with
+                    | [ O_reg rd; O_reg r1; O_imm imm ] ->
+                        Ok (Alui (op, rd, r1, imm))
+                    | _ -> err "expects two registers and an immediate")
+                | None -> err "unknown mnemonic"
+              else err "unknown mnemonic"))
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let items = ref [] and labels = ref [] and count = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then
+        let line = String.trim (strip_comment line) in
+        if line <> "" then
+          if String.length line > 1 && line.[String.length line - 1] = ':' then
+            labels := (String.sub line 0 (String.length line - 1), !count) :: !labels
+          else begin
+            let implicit = line.[0] = '!' in
+            let line = if implicit then String.sub line 1 (String.length line - 1) else line in
+            match tokenize line with
+            | [] -> ()
+            | mnemonic :: rest -> (
+                match
+                  Result.bind (parse_operands rest) (parse_instr mnemonic)
+                with
+                | Ok instr ->
+                    items := { Program.instr; implicit } :: !items;
+                    incr count
+                | Error msg ->
+                    error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+          end)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (Program.of_items ~labels:(List.rev !labels) (List.rev !items))
+
+let parse_resolved source = Result.bind (parse source) Program.resolve
+
+let print program =
+  let buf = Buffer.create 1024 in
+  let by_index = Hashtbl.create 16 in
+  List.iter (fun (name, idx) -> Hashtbl.add by_index idx name) (Program.labels program);
+  let n = Program.length program in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun name -> Buffer.add_string buf (name ^ ":\n"))
+      (Hashtbl.find_all by_index i);
+    let prefix = if Program.implicit program i then "  !" else "  " in
+    Buffer.add_string buf (prefix ^ Instr.to_string (Program.get program i) ^ "\n")
+  done;
+  List.iter
+    (fun (name, idx) -> if idx = n then Buffer.add_string buf (name ^ ":\n"))
+    (Program.labels program);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Textual assembler for the simulated ISA.
+
+    The syntax is one instruction or label per line, [;] starts a comment,
+    and the mnemonics match {!Instr.pp} output, so disassembling a program
+    with {!Program.pp}-style formatting and re-assembling it round-trips:
+
+    {v
+    main:
+      li   t0, 41
+      alui add t0, t0, 1   ; rendered as "addi t0, t0, 1"
+      sw   t0, -4(fp)
+      beq  t0, zero, done
+      jmp  main
+    done:
+      halt
+    v}
+
+    A [!] immediately before a mnemonic marks the instruction implicit
+    (compiler bookkeeping, excluded from write traces):
+    [  !sw ra, 4(sp)]. *)
+
+val parse : string -> (Program.t, string) result
+(** Parse assembly source into an unresolved program. The error string
+    includes the 1-based line number. *)
+
+val parse_resolved : string -> (Program.t, string) result
+(** {!parse} followed by {!Program.resolve}. *)
+
+val print : Program.t -> string
+(** Render a program back to parseable assembly text. *)

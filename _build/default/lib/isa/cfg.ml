@@ -1,0 +1,76 @@
+type loop = { header : int; back_edge : int }
+
+let target_of instr =
+  match Instr.branch_target instr with
+  | Some (Instr.Abs t) -> Some t
+  | Some (Instr.Label l) -> invalid_arg ("Cfg: unresolved label " ^ l)
+  | None -> None
+
+let defined_regs (instr : Instr.t) =
+  match instr with
+  | Instr.Li (rd, _) | Instr.Mv (rd, _) | Instr.Alu (_, rd, _, _)
+  | Instr.Alui (_, rd, _, _) | Instr.Lw (rd, _, _) | Instr.Lb (rd, _, _) ->
+      [ rd ]
+  | Instr.Jal _ | Instr.Jalr _ -> [ Reg.ra ]
+  | Instr.Syscall _ -> [ Reg.v0; Reg.v1 ]
+  | Instr.Nop | Instr.Halt | Instr.Sw _ | Instr.Sb _ | Instr.Br _
+  | Instr.Jmp _ | Instr.Ret | Instr.Trap _ | Instr.Chk _ | Instr.Enter _
+  | Instr.Leave _ ->
+      []
+
+let reg_invariant prog ~lo ~hi reg =
+  Reg.equal reg Reg.zero
+  ||
+  let rec go i =
+    i > hi
+    || ((not (List.exists (Reg.equal reg) (defined_regs (Program.get prog i))))
+       && go (i + 1))
+  in
+  go lo
+
+(* Would accepting [header, back_edge] as a loop be sound? *)
+let self_contained prog ~header ~back_edge =
+  let n = Program.length prog in
+  let ok = ref (header > 0) in
+  for i = header to back_edge do
+    (match Program.get prog i with
+    | Instr.Jal _ | Instr.Jalr _ | Instr.Ret -> ok := false
+    | _ -> ());
+    match target_of (Program.get prog i) with
+    | Some t when t < header -> ok := false
+    | Some _ | None -> ()
+  done;
+  (* No branch from outside may land strictly inside the region. *)
+  for i = 0 to n - 1 do
+    if i < header || i > back_edge then
+      match target_of (Program.get prog i) with
+      | Some t when t > header && t <= back_edge -> ok := false
+      | Some _ | None -> ()
+  done;
+  !ok
+
+let loops prog =
+  if not (Program.is_resolved prog) then invalid_arg "Cfg.loops: unresolved program";
+  let n = Program.length prog in
+  let found = ref [] in
+  let seen_headers = Hashtbl.create 8 in
+  (* Scan backward edges; for a shared header keep the smallest body, which
+     is found first when scanning back edges in ascending order. *)
+  for u = 0 to n - 1 do
+    match target_of (Program.get prog u) with
+    | Some h
+      when h <= u
+           && (not (Hashtbl.mem seen_headers h))
+           && self_contained prog ~header:h ~back_edge:u ->
+        Hashtbl.add seen_headers h ();
+        found := { header = h; back_edge = u } :: !found
+    | Some _ | None -> ()
+  done;
+  List.sort
+    (fun a b ->
+      Int.compare (a.back_edge - a.header) (b.back_edge - b.header))
+    !found
+
+let innermost_containing loops idx =
+  (* [loops] is sorted innermost-first. *)
+  List.find_opt (fun l -> l.header <= idx && idx <= l.back_edge) loops

@@ -1,0 +1,45 @@
+(** Control-flow analysis: loop detection and register invariance.
+
+    Supports the CodePatch loop-hoisting optimization sketched in the
+    paper's §9: "a preliminary check outside the loop may be applied for
+    write instructions whose target is a loop-invariant memory range".
+
+    Loop detection is deliberately conservative. A candidate loop is a
+    backward control transfer at index [back_edge] to a [header] at a lower
+    index; it is accepted only when the contiguous region
+    [[header, back_edge]] is self-contained:
+
+    - no instruction inside the region branches to an index below the
+      header or into a different backward region;
+    - no instruction outside the region branches {e into} its interior
+      (branches to the header itself are entry edges and are fine);
+    - the region contains no calls or returns ([Jal]/[Jalr]/[Ret]) — a
+      call could write any register or memory, defeating invariance;
+    - the header is not instruction 0 (there must be room for a preheader
+      edge).
+
+    Structured code produced by the MiniC compiler always satisfies these
+    conditions for its [while]/[for] loops; arbitrary assembly that does
+    not is simply left unoptimized. *)
+
+type loop = {
+  header : int;  (** first instruction of the loop body *)
+  back_edge : int;  (** index of the backward branch to [header] *)
+}
+
+val loops : Program.t -> loop list
+(** Accepted loops, sorted by ascending body size (innermost first for
+    nests). At most one loop per header is reported (the smallest).
+    The program must be resolved. *)
+
+val innermost_containing : loop list -> int -> loop option
+(** Smallest accepted loop whose body [[header, back_edge]] contains the
+    instruction index. *)
+
+val defined_regs : Instr.t -> Reg.t list
+(** Registers an instruction may write. [Syscall] is credited with [v0]
+    and [v1] (the runtime ABI's result registers); [Jal]/[Jalr] with [ra]. *)
+
+val reg_invariant : Program.t -> lo:int -> hi:int -> Reg.t -> bool
+(** Is the register never written by instructions in [[lo, hi]]? Register
+    [zero] is always invariant. *)

@@ -1,0 +1,122 @@
+type target = Label of string | Abs of int
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+
+type cond = Eq | Ne | Lt | Ge | Gt | Le
+
+type t =
+  | Nop
+  | Halt
+  | Li of Reg.t * int
+  | Mv of Reg.t * Reg.t
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+  | Alui of alu_op * Reg.t * Reg.t * int
+  | Lw of Reg.t * Reg.t * int
+  | Lb of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Sb of Reg.t * Reg.t * int
+  | Br of cond * Reg.t * Reg.t * target
+  | Jmp of target
+  | Jal of target
+  | Jalr of Reg.t
+  | Ret
+  | Syscall of int
+  | Trap of int
+  | Chk of { base : Reg.t; off : int; width : int }
+  | Enter of int
+  | Leave of int
+
+let is_store = function Sw _ | Sb _ -> true | _ -> false
+
+let store_width = function Sw _ -> Some 4 | Sb _ -> Some 1 | _ -> None
+
+let branch_target = function
+  | Br (_, _, _, t) | Jmp t | Jal t -> Some t
+  | Nop | Halt | Li _ | Mv _ | Alu _ | Alui _ | Lw _ | Lb _ | Sw _ | Sb _
+  | Jalr _ | Ret | Syscall _ | Trap _ | Chk _ | Enter _ | Leave _ ->
+      None
+
+let with_target t target =
+  match t with
+  | Br (c, r1, r2, _) -> Br (c, r1, r2, target)
+  | Jmp _ -> Jmp target
+  | Jal _ -> Jal target
+  | Nop | Halt | Li _ | Mv _ | Alu _ | Alui _ | Lw _ | Lb _ | Sw _ | Sb _
+  | Jalr _ | Ret | Syscall _ | Trap _ | Chk _ | Enter _ | Leave _ ->
+      invalid_arg "Instr.with_target: instruction has no target"
+
+let equal (a : t) (b : t) = a = b
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+  | Sne -> "sne"
+
+let cond_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Ge -> "bge"
+  | Gt -> "bgt"
+  | Le -> "ble"
+
+let pp_target ppf = function
+  | Label l -> Format.pp_print_string ppf l
+  | Abs i -> Format.fprintf ppf "@%d" i
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Li (rd, imm) -> Format.fprintf ppf "li %a, %d" Reg.pp rd imm
+  | Mv (rd, rs) -> Format.fprintf ppf "mv %a, %a" Reg.pp rd Reg.pp rs
+  | Alu (op, rd, r1, r2) ->
+      Format.fprintf ppf "%s %a, %a, %a" (alu_name op) Reg.pp rd Reg.pp r1
+        Reg.pp r2
+  | Alui (op, rd, r1, imm) ->
+      Format.fprintf ppf "%si %a, %a, %d" (alu_name op) Reg.pp rd Reg.pp r1 imm
+  | Lw (rd, rs, off) -> Format.fprintf ppf "lw %a, %d(%a)" Reg.pp rd off Reg.pp rs
+  | Lb (rd, rs, off) -> Format.fprintf ppf "lb %a, %d(%a)" Reg.pp rd off Reg.pp rs
+  | Sw (rd, rs, off) -> Format.fprintf ppf "sw %a, %d(%a)" Reg.pp rd off Reg.pp rs
+  | Sb (rd, rs, off) -> Format.fprintf ppf "sb %a, %d(%a)" Reg.pp rd off Reg.pp rs
+  | Br (c, r1, r2, t) ->
+      Format.fprintf ppf "%s %a, %a, %a" (cond_name c) Reg.pp r1 Reg.pp r2
+        pp_target t
+  | Jmp t -> Format.fprintf ppf "jmp %a" pp_target t
+  | Jal t -> Format.fprintf ppf "jal %a" pp_target t
+  | Jalr rs -> Format.fprintf ppf "jalr %a" Reg.pp rs
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Syscall n -> Format.fprintf ppf "syscall %d" n
+  | Trap n -> Format.fprintf ppf "trap %d" n
+  | Chk { base; off; width } ->
+      Format.fprintf ppf "chk %d(%a), %d" off Reg.pp base width
+  | Enter f -> Format.fprintf ppf "enter %d" f
+  | Leave f -> Format.fprintf ppf "leave %d" f
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,78 @@
+(** Instruction set of the simulated machine.
+
+    A small load/store RISC in the spirit of the paper's SPARC target. The
+    properties the experiment depends on are:
+
+    - store instructions ({!Sw}, {!Sb}) are syntactically identifiable, so
+      instrumentation passes can find and rewrite every write instruction;
+    - {!Trap} transfers control to a user-registered trap handler, the
+      mechanism behind the TrapPatch strategy;
+    - {!Chk} is the inline monitor check inserted by the CodePatch strategy
+      (the ISA-level equivalent of the paper's two-instruction call stub);
+    - {!Enter}/{!Leave} are zero-cost function-boundary markers emitted by
+      the compiler, standing in for the paper's assembly post-processing
+      hooks that install/remove monitors for automatic variables.
+
+    Branch and jump targets are symbolic {!Label}s until {!Program.resolve}
+    turns them into absolute instruction indices. *)
+
+type target = Label of string | Abs of int
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** traps on division by zero *)
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt  (** set if less-than, signed *)
+  | Sle
+  | Seq
+  | Sne
+
+type cond = Eq | Ne | Lt | Ge | Gt | Le
+
+type t =
+  | Nop
+  | Halt  (** stop the machine; exit code in [v0] *)
+  | Li of Reg.t * int  (** [rd <- imm] *)
+  | Mv of Reg.t * Reg.t  (** [rd <- rs] *)
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** [rd <- rs1 op rs2] *)
+  | Alui of alu_op * Reg.t * Reg.t * int  (** [rd <- rs1 op imm] *)
+  | Lw of Reg.t * Reg.t * int  (** [rd <- word mem\[rs + off\]] *)
+  | Lb of Reg.t * Reg.t * int  (** [rd <- byte mem\[rs + off\]], zero-extended *)
+  | Sw of Reg.t * Reg.t * int  (** [word mem\[rs + off\] <- rd] — a write instruction *)
+  | Sb of Reg.t * Reg.t * int  (** [byte mem\[rs + off\] <- rd] — a write instruction *)
+  | Br of cond * Reg.t * Reg.t * target  (** branch when [rs1 cond rs2] *)
+  | Jmp of target
+  | Jal of target  (** [ra <- pc + 1; pc <- target] *)
+  | Jalr of Reg.t  (** [ra <- pc + 1; pc <- rs] *)
+  | Ret  (** [pc <- ra] *)
+  | Syscall of int  (** operating-system service; args in [a0..], result [v0] *)
+  | Trap of int  (** software trap to the registered handler *)
+  | Chk of { base : Reg.t; off : int; width : int }
+      (** monitor check of [mem\[base+off .. base+off+width-1\]] *)
+  | Enter of int  (** function-entry marker carrying a function id *)
+  | Leave of int  (** function-exit marker *)
+
+val is_store : t -> bool
+(** True for {!Sw} and {!Sb}. *)
+
+val store_width : t -> int option
+(** [Some 4] for {!Sw}, [Some 1] for {!Sb}, [None] otherwise. *)
+
+val branch_target : t -> target option
+(** The control-transfer target of {!Br}, {!Jmp}, {!Jal}, if any. *)
+
+val with_target : t -> target -> t
+(** Replace the control-transfer target.
+    @raise Invalid_argument when the instruction has no target. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

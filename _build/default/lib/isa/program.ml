@@ -1,0 +1,110 @@
+type item = { instr : Instr.t; implicit : bool }
+
+type t = { items : item array; labels : (string * int) list }
+
+let of_items ?(labels = []) items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, idx) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Program.of_items: duplicate label %s" name);
+      if idx < 0 || idx > n then
+        invalid_arg
+          (Printf.sprintf "Program.of_items: label %s out of range (%d)" name idx);
+      Hashtbl.add seen name ())
+    labels;
+  { items; labels }
+
+let of_instrs ?labels instrs =
+  of_items ?labels (List.map (fun instr -> { instr; implicit = false }) instrs)
+
+let length t = Array.length t.items
+
+let check t i name =
+  if i < 0 || i >= Array.length t.items then
+    invalid_arg
+      (Printf.sprintf "Program.%s: index %d outside [0,%d)" name i
+         (Array.length t.items))
+
+let get t i =
+  check t i "get";
+  t.items.(i).instr
+
+let implicit t i =
+  check t i "implicit";
+  t.items.(i).implicit
+
+let items t = Array.copy t.items
+
+let label_index t name = List.assoc_opt name t.labels
+let labels t = t.labels
+
+let resolve t =
+  let missing = ref None in
+  let resolve_target = function
+    | Instr.Abs _ as a -> a
+    | Instr.Label l -> (
+        match label_index t l with
+        | Some i -> Instr.Abs i
+        | None ->
+            if !missing = None then missing := Some l;
+            Instr.Abs 0)
+  in
+  let items =
+    Array.map
+      (fun item ->
+        match Instr.branch_target item.instr with
+        | None -> item
+        | Some target ->
+            { item with instr = Instr.with_target item.instr (resolve_target target) })
+      t.items
+  in
+  match !missing with
+  | Some l -> Error (Printf.sprintf "undefined label: %s" l)
+  | None -> Ok { t with items }
+
+let is_resolved t =
+  Array.for_all
+    (fun item ->
+      match Instr.branch_target item.instr with
+      | Some (Instr.Label _) -> false
+      | Some (Instr.Abs _) | None -> true)
+    t.items
+
+let set t i instr =
+  check t i "set";
+  let items = Array.copy t.items in
+  items.(i) <- { items.(i) with instr };
+  { t with items }
+
+let append t extra =
+  let first = Array.length t.items in
+  { t with items = Array.append t.items (Array.of_list extra) }, first
+
+let stores t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i item ->
+      if Instr.is_store item.instr && not item.implicit then
+        acc := (i, item.instr) :: !acc)
+    t.items;
+  List.rev !acc
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i item -> acc := f i item !acc) t.items;
+  !acc
+
+let pp ppf t =
+  let by_index = Hashtbl.create 16 in
+  List.iter (fun (name, idx) -> Hashtbl.add by_index idx name) t.labels;
+  Array.iteri
+    (fun i item ->
+      List.iter
+        (fun name -> Format.fprintf ppf "%s:@\n" name)
+        (Hashtbl.find_all by_index i);
+      Format.fprintf ppf "  %4d  %a%s@\n" i Instr.pp item.instr
+        (if item.implicit then "  ; implicit" else ""))
+    t.items

@@ -1,0 +1,59 @@
+(** Executable programs: instruction sequences with symbolic labels.
+
+    Instructions live in a flat array indexed by instruction address (the
+    program counter counts instructions, not bytes — a Harvard-style code
+    store, which is safe here because the paper's experiment only ever
+    monitors data writes, never code). Each instruction carries an
+    [implicit] flag: writes marked implicit are compiler-generated frame
+    bookkeeping (saved [ra]/[fp], expression spills). The paper's traces
+    exclude such writes ("implicit writes (e.g., register spilling) do not
+    appear in the trace", §6), and instrumentation passes skip them too.
+
+    A program whose control transfers are all {!Instr.Abs} is {e resolved}
+    and can execute; {!resolve} converts labels. Instrumentation passes
+    ({!Ebp_wms.Trap_patch}, {!Ebp_wms.Code_patch}) operate on resolved
+    programs, replacing stores in place and appending stub code at the end
+    so that no existing instruction index moves. *)
+
+type item = { instr : Instr.t; implicit : bool }
+
+type t
+
+val of_items : ?labels:(string * int) list -> item list -> t
+(** Build a program from instructions and label definitions (label name ->
+    instruction index).
+    @raise Invalid_argument on duplicate labels or out-of-range indices. *)
+
+val of_instrs : ?labels:(string * int) list -> Instr.t list -> t
+(** Like {!of_items} with every instruction explicit (non-implicit). *)
+
+val length : t -> int
+val get : t -> int -> Instr.t
+val implicit : t -> int -> bool
+val items : t -> item array
+(** A copy of the underlying items. *)
+
+val label_index : t -> string -> int option
+val labels : t -> (string * int) list
+
+val resolve : t -> (t, string) result
+(** Replace every {!Instr.Label} target with the {!Instr.Abs} index it names.
+    Returns [Error] naming the first undefined label. *)
+
+val is_resolved : t -> bool
+
+val set : t -> int -> Instr.t -> t
+(** Functional single-instruction replacement (preserves the implicit flag).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val append : t -> item list -> t * int
+(** [append t extra] adds [extra] at the end, returning the new program and
+    the index of the first appended instruction. *)
+
+val stores : t -> (int * Instr.t) list
+(** Indices and instructions of every non-implicit store, in program order. *)
+
+val fold : (int -> item -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with label definitions interleaved. *)

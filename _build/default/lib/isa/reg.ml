@@ -1,0 +1,59 @@
+type t = int
+
+let count = 32
+
+let of_int i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Reg.of_int: %d outside [0,31]" i);
+  i
+
+let to_int t = t
+let zero = 0
+let ra = 1
+let sp = 2
+let fp = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let a4 = 8
+let a5 = 9
+let v0 = 10
+let v1 = 11
+
+let t_ i =
+  if i < 0 || i > 7 then invalid_arg "Reg.t_: index outside [0,7]";
+  12 + i
+
+let s_ i =
+  if i < 0 || i > 7 then invalid_arg "Reg.s_: index outside [0,7]";
+  20 + i
+
+let k0 = 28
+let k1 = 29
+
+(* Registers 30 and 31 are unnamed spares; [name] renders them as rNN. *)
+let names =
+  [|
+    "zero"; "ra"; "sp"; "fp"; "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "v0"; "v1";
+    "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "s0"; "s1"; "s2"; "s3";
+    "s4"; "s5"; "s6"; "s7"; "k0"; "k1"; "r30"; "r31";
+  |]
+
+let name t = names.(t)
+
+let of_name s =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = s then found := Some i) names;
+  (match !found with
+  | Some _ -> ()
+  | None ->
+      if String.length s > 1 && s.[0] = 'r' then
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some i when i >= 0 && i < count -> found := Some i
+        | Some _ | None -> ());
+  !found
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,56 @@
+(** Machine registers.
+
+    The simulated CPU (a SPARC-class load/store RISC, see DESIGN.md) has 32
+    general-purpose integer registers. Register 0 is hard-wired to zero, as
+    on SPARC/MIPS. The remaining names follow a MIPS-like software
+    convention, which the MiniC code generator relies on:
+
+    - [ra] return address, [sp] stack pointer, [fp] frame pointer
+    - [a0]–[a5] argument registers
+    - [v0], [v1] result registers
+    - [t0]–[t7] caller-saved temporaries (expression evaluation stack)
+    - [s0]–[s7] callee-saved registers
+    - [k0], [k1] reserved for instrumentation stubs (never used by
+      generated code, so patch-inserted code can clobber them freely) *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument unless the index is in [[0, 31]]. *)
+
+val to_int : t -> int
+
+val zero : t
+val ra : t
+val sp : t
+val fp : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val v0 : t
+val v1 : t
+
+val t_ : int -> t
+(** [t_ i] is temporary register [ti] for [i] in [[0, 7]]. *)
+
+val s_ : int -> t
+(** [s_ i] is callee-saved register [si] for [i] in [[0, 7]]. *)
+
+val k0 : t
+val k1 : t
+
+val count : int
+(** Number of registers (32). *)
+
+val name : t -> string
+(** Conventional name, e.g. ["fp"], ["t3"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}; also accepts ["r12"]-style raw names. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/abi.ml: Typed

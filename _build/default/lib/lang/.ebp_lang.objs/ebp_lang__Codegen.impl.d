@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Abi Array Ast Debug_info Ebp_isa Layout List Printf Typed

@@ -1,0 +1,1 @@
+lib/lang/codegen.mli: Debug_info Ebp_isa Typed

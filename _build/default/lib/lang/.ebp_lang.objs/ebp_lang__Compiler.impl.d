@@ -1,0 +1,1 @@
+lib/lang/compiler.ml: Codegen Debug_info Ebp_isa Parser Result Sema

@@ -1,0 +1,1 @@
+lib/lang/compiler.mli: Debug_info Ebp_isa

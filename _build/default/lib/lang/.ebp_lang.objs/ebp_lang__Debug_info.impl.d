@@ -1,0 +1,1 @@
+lib/lang/debug_info.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/lang/debug_info.mli: Format

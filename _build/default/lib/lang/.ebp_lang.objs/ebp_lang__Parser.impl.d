@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Array Ast Format Hashtbl List Option Printf Typed

@@ -1,0 +1,1 @@
+lib/lang/sema.mli: Ast Typed

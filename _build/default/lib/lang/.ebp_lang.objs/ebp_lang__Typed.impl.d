@@ -1,0 +1,1 @@
+lib/lang/typed.ml: Ast

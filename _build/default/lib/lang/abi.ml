@@ -1,0 +1,25 @@
+(* The ABI shared between the code generator and the runtime: system-call
+   numbers and the register calling convention (args in a0..a5, result in
+   v0). The runtime's loader and syscall dispatcher must agree with the
+   code the compiler emits. *)
+
+let sys_exit = 0
+let sys_print_int = 1
+let sys_print_char = 2
+let sys_malloc = 3
+let sys_free = 4
+let sys_realloc = 5
+let sys_rand = 6
+let sys_srand = 7
+
+let syscall_of_builtin = function
+  | Typed.B_malloc -> sys_malloc
+  | Typed.B_free -> sys_free
+  | Typed.B_realloc -> sys_realloc
+  | Typed.B_print_int -> sys_print_int
+  | Typed.B_print_char -> sys_print_char
+  | Typed.B_rand -> sys_rand
+  | Typed.B_srand -> sys_srand
+  | Typed.B_exit -> sys_exit
+
+let max_args = 6

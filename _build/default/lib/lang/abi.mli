@@ -1,0 +1,18 @@
+(** The ABI shared between the code generator and the runtime: system-call
+    numbers and the calling convention (arguments in [a0]–[a5], result in
+    [v0]). The loader's syscall dispatcher must agree with the code the
+    compiler emits. *)
+
+val sys_exit : int
+val sys_print_int : int
+val sys_print_char : int
+val sys_malloc : int
+val sys_free : int
+val sys_realloc : int
+val sys_rand : int
+val sys_srand : int
+
+val syscall_of_builtin : Typed.builtin -> int
+
+val max_args : int
+(** Register-passed argument limit (6). *)

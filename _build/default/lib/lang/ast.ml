@@ -1,0 +1,88 @@
+(* Abstract syntax of MiniC.
+
+   MiniC is the C subset the benchmark workloads are written in: 32-bit
+   [int], pointers, fixed-size arrays of int (or of pointers), functions,
+   static locals, and the usual expression operators. Strings, structs,
+   floats, and function pointers are deliberately absent — the experiment
+   needs write behaviour over locals/globals/heap, not full C. *)
+
+type ty = T_int | T_ptr of ty | T_void
+
+type unop = U_neg | U_not (* logical ! *) | U_bnot (* bitwise ~ *)
+
+type binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_div
+  | B_rem
+  | B_and
+  | B_or
+  | B_xor
+  | B_shl
+  | B_shr
+  | B_land (* && *)
+  | B_lor (* || *)
+  | B_eq
+  | B_ne
+  | B_lt
+  | B_le
+  | B_gt
+  | B_ge
+
+type expr = { e : expr_node; e_line : int }
+
+and expr_node =
+  | E_int of int
+  | E_var of string
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_deref of expr
+  | E_addr of lvalue
+  | E_index of expr * expr
+  | E_call of string * expr list
+
+and lvalue = L_var of string | L_deref of expr | L_index of expr * expr
+
+type var_decl = {
+  v_name : string;
+  v_ty : ty;  (* element type for arrays *)
+  v_array : int option;  (* Some n for "ty name[n]" *)
+  v_static : bool;
+  v_init : expr option;
+  v_line : int;
+}
+
+type stmt = { s : stmt_node; s_line : int }
+
+and stmt_node =
+  | S_decl of var_decl
+  | S_assign of lvalue * expr
+  | S_expr of expr
+  | S_if of expr * block * block option
+  | S_while of expr * block
+  | S_for of stmt option * expr option * stmt option * block
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_block of block
+
+and block = stmt list
+
+type func = {
+  f_name : string;
+  f_ret : ty;
+  f_params : (string * ty) list;
+  f_body : block;
+  f_line : int;
+}
+
+type program = { globals : var_decl list; funcs : func list }
+
+let rec pp_ty ppf = function
+  | T_int -> Format.pp_print_string ppf "int"
+  | T_void -> Format.pp_print_string ppf "void"
+  | T_ptr t -> Format.fprintf ppf "%a*" pp_ty t
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+let ty_equal (a : ty) (b : ty) = a = b

@@ -1,0 +1,373 @@
+module I = Ebp_isa.Instr
+module R = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+
+type ctx = {
+  mutable items : Program.item list;  (* reversed *)
+  mutable count : int;
+  mutable labels : (string * int) list;
+  mutable next_label : int;
+  func_names : string array;  (* indexed by function id *)
+  global_addrs : int array;  (* indexed by global index *)
+}
+
+let emit ?(implicit = false) ctx instr =
+  ctx.items <- { Program.instr; implicit } :: ctx.items;
+  ctx.count <- ctx.count + 1
+
+let def_label ctx name = ctx.labels <- (name, ctx.count) :: ctx.labels
+
+let fresh ctx prefix =
+  let n = ctx.next_label in
+  ctx.next_label <- n + 1;
+  Printf.sprintf ".%s%d" prefix n
+
+let func_label name = "f_" ^ name
+let treg d = R.t_ d
+
+(* Temporary pushes are frame bookkeeping: implicit writes. *)
+let push ctx reg =
+  emit ctx (I.Alui (I.Add, R.sp, R.sp, -4));
+  emit ~implicit:true ctx (I.Sw (reg, R.sp, 0))
+
+(* Per-function generation state. *)
+type fctx = {
+  ctx : ctx;
+  slot_loc : Debug_info.location array;
+  ret_label : string;
+  mutable loop_stack : (string * string) list;  (* (continue, break) *)
+}
+
+let var_location fc = function
+  | Typed.V_local i -> fc.slot_loc.(i)
+  | Typed.V_global i -> Debug_info.Static fc.ctx.global_addrs.(i)
+
+let alu_of_binop = function
+  | Ast.B_add -> (I.Add, false)
+  | Ast.B_sub -> (I.Sub, false)
+  | Ast.B_mul -> (I.Mul, false)
+  | Ast.B_div -> (I.Div, false)
+  | Ast.B_rem -> (I.Rem, false)
+  | Ast.B_and -> (I.And, false)
+  | Ast.B_or -> (I.Or, false)
+  | Ast.B_xor -> (I.Xor, false)
+  | Ast.B_shl -> (I.Sll, false)
+  | Ast.B_shr -> (I.Srl, false)
+  | Ast.B_eq -> (I.Seq, false)
+  | Ast.B_ne -> (I.Sne, false)
+  | Ast.B_lt -> (I.Slt, false)
+  | Ast.B_le -> (I.Sle, false)
+  | Ast.B_gt -> (I.Slt, true)  (* a > b  ==  b < a *)
+  | Ast.B_ge -> (I.Sle, true)
+  | Ast.B_land | Ast.B_lor -> invalid_arg "alu_of_binop: short-circuit op"
+
+let max_depth = 7
+
+(* Evaluate [e] into temporary register [treg d], with d in [0, max_depth].
+   Binops at the depth ceiling spill the left operand to the stack (implicit
+   write) and reload it into [v1]; calls save all live temporaries. *)
+let rec eval fc d (e : Typed.texpr) =
+  let ctx = fc.ctx in
+  let rd = treg d in
+  match e.Typed.te with
+  | Typed.T_int v -> emit ctx (I.Li (rd, v))
+  | Typed.T_load (Typed.TL_var vr) -> (
+      match var_location fc vr with
+      | Debug_info.Frame off -> emit ctx (I.Lw (rd, R.fp, off))
+      | Debug_info.Static addr -> emit ctx (I.Lw (rd, R.zero, addr)))
+  | Typed.T_load (Typed.TL_mem a) ->
+      eval fc d a;
+      emit ctx (I.Lw (rd, rd, 0))
+  | Typed.T_addr (Typed.TL_var vr) -> (
+      match var_location fc vr with
+      | Debug_info.Frame off -> emit ctx (I.Alui (I.Add, rd, R.fp, off))
+      | Debug_info.Static addr -> emit ctx (I.Li (rd, addr)))
+  | Typed.T_addr (Typed.TL_mem a) -> eval fc d a
+  | Typed.T_unop (op, e1) -> (
+      eval fc d e1;
+      match op with
+      | Ast.U_neg -> emit ctx (I.Alu (I.Sub, rd, R.zero, rd))
+      | Ast.U_not -> emit ctx (I.Alu (I.Seq, rd, rd, R.zero))
+      | Ast.U_bnot -> emit ctx (I.Alui (I.Xor, rd, rd, -1)))
+  | Typed.T_binop (Ast.B_land, e1, e2) ->
+      let l_false = fresh ctx "and_false" and l_end = fresh ctx "and_end" in
+      eval fc d e1;
+      emit ctx (I.Br (I.Eq, rd, R.zero, I.Label l_false));
+      eval fc d e2;
+      emit ctx (I.Alu (I.Sne, rd, rd, R.zero));
+      emit ctx (I.Jmp (I.Label l_end));
+      def_label ctx l_false;
+      emit ctx (I.Li (rd, 0));
+      def_label ctx l_end
+  | Typed.T_binop (Ast.B_lor, e1, e2) ->
+      let l_true = fresh ctx "or_true" and l_end = fresh ctx "or_end" in
+      eval fc d e1;
+      emit ctx (I.Br (I.Ne, rd, R.zero, I.Label l_true));
+      eval fc d e2;
+      emit ctx (I.Alu (I.Sne, rd, rd, R.zero));
+      emit ctx (I.Jmp (I.Label l_end));
+      def_label ctx l_true;
+      emit ctx (I.Li (rd, 1));
+      def_label ctx l_end
+  | Typed.T_binop (op, e1, e2) ->
+      let alu, swapped = alu_of_binop op in
+      if d < max_depth then begin
+        eval fc d e1;
+        eval fc (d + 1) e2;
+        let r1, r2 = if swapped then (treg (d + 1), rd) else (rd, treg (d + 1)) in
+        emit ctx (I.Alu (alu, rd, r1, r2))
+      end
+      else begin
+        eval fc d e1;
+        push ctx rd;
+        eval fc d e2;
+        emit ctx (I.Mv (R.v1, rd));
+        emit ctx (I.Lw (rd, R.sp, 0));
+        emit ctx (I.Alui (I.Add, R.sp, R.sp, 4));
+        let r1, r2 = if swapped then (R.v1, rd) else (rd, R.v1) in
+        emit ctx (I.Alu (alu, rd, r1, r2))
+      end
+  | Typed.T_call (fid, args) ->
+      gen_call fc d (`User fid) args;
+      emit ctx (I.Mv (rd, R.v0))
+  | Typed.T_builtin (b, args) ->
+      gen_call fc d (`Builtin b) args;
+      if Typed.builtin_ret b <> Ast.T_void then emit ctx (I.Mv (rd, R.v0))
+
+and gen_call fc d callee args =
+  let ctx = fc.ctx in
+  let nargs = List.length args in
+  assert (nargs <= Abi.max_args);
+  (* Argument evaluation reuses the whole temporary bank at depth 0, so the
+     live temporaries t0..t(d-1) must be saved regardless of callee kind. *)
+  for i = 0 to d - 1 do
+    push ctx (treg i)
+  done;
+  List.iter
+    (fun arg ->
+      eval fc 0 arg;
+      push ctx (treg 0))
+    args;
+  List.iteri
+    (fun i _ ->
+      emit ctx (I.Lw (R.of_int (R.to_int R.a0 + i), R.sp, 4 * (nargs - 1 - i))))
+    args;
+  if nargs > 0 then emit ctx (I.Alui (I.Add, R.sp, R.sp, 4 * nargs));
+  (match callee with
+  | `User fid -> emit ctx (I.Jal (I.Label (func_label ctx.func_names.(fid))))
+  | `Builtin b -> emit ctx (I.Syscall (Abi.syscall_of_builtin b)));
+  for i = d - 1 downto 0 do
+    emit ctx (I.Lw (treg i, R.sp, 4 * (d - 1 - i)))
+  done;
+  if d > 0 then emit ctx (I.Alui (I.Add, R.sp, R.sp, 4 * d))
+
+(* --- statements --- *)
+
+let rec gen_stmt fc (s : Typed.tstmt) =
+  let ctx = fc.ctx in
+  match s with
+  | Typed.TS_store (lv, e) -> (
+      match lv with
+      | Typed.TL_var vr -> (
+          eval fc 0 e;
+          match var_location fc vr with
+          | Debug_info.Frame off -> emit ctx (I.Sw (treg 0, R.fp, off))
+          | Debug_info.Static addr -> emit ctx (I.Sw (treg 0, R.zero, addr)))
+      | Typed.TL_mem a ->
+          eval fc 0 e;
+          eval fc 1 a;
+          emit ctx (I.Sw (treg 0, treg 1, 0)))
+  | Typed.TS_expr e -> eval fc 0 e
+  | Typed.TS_if (cond, then_blk, else_blk) ->
+      let l_else = fresh ctx "else" and l_end = fresh ctx "endif" in
+      eval fc 0 cond;
+      emit ctx (I.Br (I.Eq, treg 0, R.zero, I.Label l_else));
+      List.iter (gen_stmt fc) then_blk;
+      emit ctx (I.Jmp (I.Label l_end));
+      def_label ctx l_else;
+      List.iter (gen_stmt fc) else_blk;
+      def_label ctx l_end
+  | Typed.TS_loop { cond; body; step } ->
+      let l_top = fresh ctx "loop" in
+      let l_step = fresh ctx "step" in
+      let l_end = fresh ctx "endloop" in
+      def_label ctx l_top;
+      (match cond with
+      | Some c ->
+          eval fc 0 c;
+          emit ctx (I.Br (I.Eq, treg 0, R.zero, I.Label l_end))
+      | None -> ());
+      fc.loop_stack <- (l_step, l_end) :: fc.loop_stack;
+      List.iter (gen_stmt fc) body;
+      fc.loop_stack <- List.tl fc.loop_stack;
+      def_label ctx l_step;
+      List.iter (gen_stmt fc) step;
+      emit ctx (I.Jmp (I.Label l_top));
+      def_label ctx l_end
+  | Typed.TS_return e ->
+      (match e with
+      | Some e ->
+          eval fc 0 e;
+          emit ctx (I.Mv (R.v0, treg 0))
+      | None -> ());
+      emit ctx (I.Jmp (I.Label fc.ret_label))
+  | Typed.TS_break -> (
+      match fc.loop_stack with
+      | (_, l_end) :: _ -> emit ctx (I.Jmp (I.Label l_end))
+      | [] -> failwith "codegen: break outside loop")
+  | Typed.TS_continue -> (
+      match fc.loop_stack with
+      | (l_step, _) :: _ -> emit ctx (I.Jmp (I.Label l_step))
+      | [] -> failwith "codegen: continue outside loop")
+
+(* --- functions --- *)
+
+(* Lay out the frame: every non-static slot gets contiguous words below fp.
+   Slot base offset = -frame_size + word_index * 4 (arrays grow upward). *)
+let layout_function ~data_cursor (f : Typed.tfunc) =
+  let n = Array.length f.Typed.tf_slots in
+  let locs = Array.make n (Debug_info.Frame 0) in
+  let frame_words = ref 0 in
+  let cursor = ref data_cursor in
+  Array.iteri
+    (fun i slot ->
+      if slot.Typed.sl_static then begin
+        locs.(i) <- Debug_info.Static !cursor;
+        cursor := !cursor + (slot.Typed.sl_words * Layout.word_size)
+      end
+      else begin
+        locs.(i) <- Debug_info.Frame !frame_words;  (* word index for now *)
+        frame_words := !frame_words + slot.Typed.sl_words
+      end)
+    f.Typed.tf_slots;
+  let frame_size = !frame_words * Layout.word_size in
+  Array.iteri
+    (fun i slot ->
+      if not slot.Typed.sl_static then
+        match locs.(i) with
+        | Debug_info.Frame w -> locs.(i) <- Debug_info.Frame ((w * 4) - frame_size)
+        | Debug_info.Static _ -> assert false)
+    f.Typed.tf_slots;
+  (locs, frame_size, !cursor)
+
+let gen_function ctx (f : Typed.tfunc) locs frame_size =
+  def_label ctx (func_label f.Typed.tf_name);
+  let ret_label = Printf.sprintf ".ret_%s" f.Typed.tf_name in
+  let fc = { ctx; slot_loc = locs; ret_label; loop_stack = [] } in
+  emit ctx (I.Alui (I.Add, R.sp, R.sp, -8));
+  emit ~implicit:true ctx (I.Sw (R.ra, R.sp, 4));
+  emit ~implicit:true ctx (I.Sw (R.fp, R.sp, 0));
+  emit ctx (I.Mv (R.fp, R.sp));
+  if frame_size > 0 then emit ctx (I.Alui (I.Add, R.sp, R.sp, -frame_size));
+  emit ctx (I.Enter f.Typed.tf_id);
+  (* Parameter spills: the incoming register arguments become ordinary
+     stack locals. Implicit, as on SPARC (register-window spills). *)
+  Array.iteri
+    (fun i slot ->
+      let p = slot.Typed.sl_param_index in
+      if p >= 0 then
+        match locs.(i) with
+        | Debug_info.Frame off ->
+            emit ~implicit:true ctx
+              (I.Sw (R.of_int (R.to_int R.a0 + p), R.fp, off))
+        | Debug_info.Static _ -> assert false)
+    f.Typed.tf_slots;
+  List.iter (gen_stmt fc) f.Typed.tf_body;
+  (* Fall-through default return value. *)
+  if f.Typed.tf_ret <> Ast.T_void then emit ctx (I.Li (R.v0, 0));
+  def_label ctx ret_label;
+  emit ctx (I.Leave f.Typed.tf_id);
+  emit ctx (I.Mv (R.sp, R.fp));
+  emit ctx (I.Lw (R.ra, R.sp, 4));
+  emit ctx (I.Lw (R.fp, R.sp, 0));
+  emit ctx (I.Alui (I.Add, R.sp, R.sp, 8));
+  emit ctx I.Ret
+
+let generate (prog : Typed.tprogram) =
+  (* Data segment: globals first, then per-function statics. *)
+  let global_addrs = Array.make (Array.length prog.Typed.t_globals) 0 in
+  let cursor = ref Layout.data_base in
+  let init_words = ref [] in
+  Array.iteri
+    (fun i (g : Typed.tglobal) ->
+      global_addrs.(i) <- !cursor;
+      if g.Typed.tg_init <> 0 then init_words := (!cursor, g.Typed.tg_init) :: !init_words;
+      cursor := !cursor + (g.Typed.tg_words * Layout.word_size))
+    prog.Typed.t_globals;
+  let ctx =
+    {
+      items = [];
+      count = 0;
+      labels = [];
+      next_label = 0;
+      func_names = Array.map (fun f -> f.Typed.tf_name) prog.Typed.t_funcs;
+      global_addrs;
+    }
+  in
+  (* Entry stub. *)
+  def_label ctx "_start";
+  emit ctx (I.Li (R.sp, Layout.stack_top));
+  emit ctx (I.Li (R.fp, Layout.stack_top));
+  emit ctx (I.Jal (I.Label (func_label "main")));
+  emit ctx I.Halt;
+  let dbg_funcs =
+    Array.map
+      (fun (f : Typed.tfunc) ->
+        let locs, frame_size, cursor' = layout_function ~data_cursor:!cursor f in
+        (* Record static-local initializers. *)
+        Array.iteri
+          (fun i slot ->
+            if slot.Typed.sl_static && slot.Typed.sl_static_init <> 0 then
+              match locs.(i) with
+              | Debug_info.Static addr ->
+                  init_words := (addr, slot.Typed.sl_static_init) :: !init_words
+              | Debug_info.Frame _ -> assert false)
+          f.Typed.tf_slots;
+        cursor := cursor';
+        gen_function ctx f locs frame_size;
+        let vars =
+          Array.to_list
+            (Array.mapi
+               (fun i (slot : Typed.slot) ->
+                 {
+                   Debug_info.var_name = slot.Typed.sl_name;
+                   size = slot.Typed.sl_words * Layout.word_size;
+                   location = locs.(i);
+                   is_param = slot.Typed.sl_param_index >= 0;
+                   is_array = slot.Typed.sl_is_array;
+                   is_static = slot.Typed.sl_static;
+                 })
+               f.Typed.tf_slots)
+        in
+        { Debug_info.id = f.Typed.tf_id; name = f.Typed.tf_name; vars })
+      prog.Typed.t_funcs
+  in
+  let globals =
+    Array.to_list
+      (Array.mapi
+         (fun i (g : Typed.tglobal) ->
+           {
+             Debug_info.g_name = g.Typed.tg_name;
+             g_addr = global_addrs.(i);
+             g_size = g.Typed.tg_words * Layout.word_size;
+             g_is_array = g.Typed.tg_is_array;
+           })
+         prog.Typed.t_globals)
+  in
+  let program =
+    Program.of_items ~labels:(List.rev ctx.labels) (List.rev ctx.items)
+  in
+  let program =
+    match Program.resolve program with
+    | Ok p -> p
+    | Error msg -> failwith ("codegen: " ^ msg)
+  in
+  let dbg =
+    {
+      Debug_info.functions = dbg_funcs;
+      globals;
+      data_end = !cursor;
+      init_words = List.rev !init_words;
+    }
+  in
+  (program, dbg)

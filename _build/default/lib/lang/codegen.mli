@@ -1,0 +1,19 @@
+(** Code generation from the typed IR to the simulated ISA.
+
+    The generated code deliberately mirrors the paper's compilation setup
+    (§6): no variable lives in a register — every read loads from memory and
+    every assignment is a store instruction — matching "No variables were
+    allocated to registers". Frame-management stores (saved [ra]/[fp],
+    parameter spills, temporary pushes) are marked {e implicit} so that the
+    trace generator and the instrumentation passes skip them, just as the
+    paper's traces exclude register spills.
+
+    Calling convention: arguments in [a0]–[a5], result in [v0]; [fp] points
+    at the saved-[fp] slot; locals at negative [fp] offsets. [Enter]/[Leave]
+    markers are placed where [fp] is valid for the new frame. Execution
+    starts at instruction 0 ([_start]), which sets up the stack, calls
+    [main], and halts with [main]'s return value. *)
+
+val generate : Typed.tprogram -> Ebp_isa.Program.t * Debug_info.t
+(** The returned program is resolved (no symbolic labels remain).
+    @raise Failure on internal inconsistencies (a sema bug). *)

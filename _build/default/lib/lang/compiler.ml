@@ -1,0 +1,9 @@
+type output = { program : Ebp_isa.Program.t; debug : Debug_info.t }
+
+let compile source =
+  Result.bind (Parser.parse source) (fun ast ->
+      Result.map
+        (fun typed ->
+          let program, debug = Codegen.generate typed in
+          { program; debug })
+        (Sema.analyze ast))

@@ -1,0 +1,9 @@
+(** Compilation driver: MiniC source to executable program + debug info. *)
+
+type output = {
+  program : Ebp_isa.Program.t;  (** resolved, ready for {!Ebp_machine.Machine.create} *)
+  debug : Debug_info.t;
+}
+
+val compile : string -> (output, string) result
+(** Lex, parse, analyze, and generate code for a translation unit. *)

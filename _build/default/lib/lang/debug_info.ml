@@ -1,0 +1,51 @@
+type location = Frame of int | Static of int
+
+type variable = {
+  var_name : string;
+  size : int;
+  location : location;
+  is_param : bool;
+  is_array : bool;
+  is_static : bool;
+}
+
+type func = { id : int; name : string; vars : variable list }
+
+type global = { g_name : string; g_addr : int; g_size : int; g_is_array : bool }
+
+type t = {
+  functions : func array;
+  globals : global list;
+  data_end : int;
+  init_words : (int * int) list;
+}
+
+let find_func t id =
+  if id < 0 || id >= Array.length t.functions then
+    invalid_arg (Printf.sprintf "Debug_info.find_func: unknown function id %d" id);
+  t.functions.(id)
+
+let func_by_name t name = Array.find_opt (fun f -> f.name = name) t.functions
+
+let global_by_name t name = List.find_opt (fun g -> g.g_name = name) t.globals
+
+let pp_location ppf = function
+  | Frame off -> Format.fprintf ppf "fp%+d" off
+  | Static addr -> Format.fprintf ppf "0x%x" addr
+
+let pp ppf t =
+  Format.fprintf ppf "globals:@\n";
+  List.iter
+    (fun g -> Format.fprintf ppf "  %s: 0x%x (%d bytes)@\n" g.g_name g.g_addr g.g_size)
+    t.globals;
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "function %s (id %d):@\n" f.name f.id;
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "  %s: %a (%d bytes)%s%s@\n" v.var_name pp_location
+            v.location v.size
+            (if v.is_param then " param" else "")
+            (if v.is_static then " static" else ""))
+        f.vars)
+    t.functions

@@ -1,0 +1,46 @@
+(** Compiler-emitted symbol information ("-g" output).
+
+    This is what the write-monitor service needs to map source-level objects
+    to address ranges: for each function, its automatic variables as frame
+    offsets and its static locals as absolute addresses; for the program,
+    each global's address and size. The trace recorder uses it to install
+    and remove monitors at function boundaries (paper §6), and the session
+    layer uses it to enumerate candidate monitor sessions. *)
+
+type location =
+  | Frame of int  (** byte offset from the frame pointer (negative) *)
+  | Static of int  (** absolute data-segment address *)
+
+type variable = {
+  var_name : string;
+  size : int;  (** bytes *)
+  location : location;
+  is_param : bool;
+  is_array : bool;
+  is_static : bool;
+}
+
+type func = {
+  id : int;  (** matches the [Enter]/[Leave] marker argument *)
+  name : string;
+  vars : variable list;  (** declaration order; params first *)
+}
+
+type global = { g_name : string; g_addr : int; g_size : int; g_is_array : bool }
+
+type t = {
+  functions : func array;  (** indexed by function id *)
+  globals : global list;
+  data_end : int;  (** first free data-segment address *)
+  init_words : (int * int) list;
+      (** (address, value) pairs the loader writes before execution:
+          global and static-local initializers *)
+}
+
+val find_func : t -> int -> func
+(** @raise Invalid_argument on an unknown id. *)
+
+val func_by_name : t -> string -> func option
+val global_by_name : t -> string -> global option
+
+val pp : Format.formatter -> t -> unit

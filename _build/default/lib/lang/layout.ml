@@ -1,0 +1,18 @@
+(* Address-space layout of compiled MiniC programs.
+
+   The machine's address space is sparse, so these regions cost nothing
+   until touched. Code lives outside data memory (instruction indices),
+   which is safe for this experiment: the paper never monitors code. *)
+
+let data_base = 0x0001_0000
+(* Globals and static locals, allocated upward from [data_base]. *)
+
+let heap_base = 0x0010_0000
+let heap_size = 0x0040_0000 (* 4 MiB *)
+let heap_limit = heap_base + heap_size
+
+let stack_top = 0x00F0_0000
+(* The stack grows down from [stack_top]; a 4 MiB gap separates it from the
+   heap so stray pointer bugs fault loudly instead of corrupting silently. *)
+
+let word_size = 4

@@ -1,0 +1,21 @@
+(** Address-space layout of compiled MiniC programs.
+
+    The machine's memory is sparse, so these regions cost nothing until
+    touched. Code lives outside data memory (the program counter indexes
+    instructions, Harvard-style), which is safe for this experiment: the
+    paper never monitors code. *)
+
+val data_base : int
+(** Globals and static locals, allocated upward from here. *)
+
+val heap_base : int
+val heap_size : int
+val heap_limit : int
+(** The [malloc] arena is [[heap_base, heap_limit)]. *)
+
+val stack_top : int
+(** The stack grows down from here; a gap separates it from the heap so
+    stray pointer bugs fault loudly instead of corrupting silently. *)
+
+val word_size : int
+(** 4 bytes; MiniC [int] and pointers are one word. *)

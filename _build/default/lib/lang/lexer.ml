@@ -1,0 +1,118 @@
+type spanned = { token : Token.t; line : int }
+
+let keywords =
+  [
+    ("int", Token.Kw_int); ("void", Token.Kw_void); ("if", Token.Kw_if);
+    ("else", Token.Kw_else); ("while", Token.Kw_while); ("for", Token.Kw_for);
+    ("return", Token.Kw_return); ("break", Token.Kw_break);
+    ("continue", Token.Kw_continue); ("static", Token.Kw_static);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+exception Lex_error of string
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let advance () =
+    (if source.[!pos] = '\n' then incr line);
+    incr pos
+  in
+  let fail msg = raise (Lex_error (Printf.sprintf "line %d: %s" !line msg)) in
+  try
+    while !pos < n do
+      let c = source.[!pos] in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+      else if c = '/' && peek 1 = Some '/' then
+        while !pos < n && source.[!pos] <> '\n' do
+          advance ()
+        done
+      else if c = '/' && peek 1 = Some '*' then begin
+        advance ();
+        advance ();
+        let closed = ref false in
+        while (not !closed) && !pos < n do
+          if source.[!pos] = '*' && peek 1 = Some '/' then begin
+            advance ();
+            advance ();
+            closed := true
+          end
+          else advance ()
+        done;
+        if not !closed then fail "unterminated block comment"
+      end
+      else if is_digit c then begin
+        let start = !pos in
+        if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+          advance ();
+          advance ();
+          while !pos < n && is_hex_digit source.[!pos] do
+            advance ()
+          done
+        end
+        else
+          while !pos < n && is_digit source.[!pos] do
+            advance ()
+          done;
+        let text = String.sub source start (!pos - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (Token.Int_lit v)
+        | None -> fail (Printf.sprintf "bad integer literal %S" text)
+      end
+      else if is_ident_start c then begin
+        let start = !pos in
+        while !pos < n && is_ident_char source.[!pos] do
+          advance ()
+        done;
+        let text = String.sub source start (!pos - start) in
+        match List.assoc_opt text keywords with
+        | Some kw -> emit kw
+        | None -> emit (Token.Ident text)
+      end
+      else begin
+        let two tok = advance (); advance (); emit tok in
+        let one tok = advance (); emit tok in
+        match (c, peek 1) with
+        | '&', Some '&' -> two Token.And_and
+        | '|', Some '|' -> two Token.Or_or
+        | '=', Some '=' -> two Token.Eq_eq
+        | '!', Some '=' -> two Token.Bang_eq
+        | '<', Some '=' -> two Token.Le
+        | '>', Some '=' -> two Token.Ge
+        | '<', Some '<' -> two Token.Shl
+        | '>', Some '>' -> two Token.Shr
+        | '+', _ -> one Token.Plus
+        | '-', _ -> one Token.Minus
+        | '*', _ -> one Token.Star
+        | '/', _ -> one Token.Slash
+        | '%', _ -> one Token.Percent
+        | '&', _ -> one Token.Amp
+        | '|', _ -> one Token.Pipe
+        | '^', _ -> one Token.Caret
+        | '~', _ -> one Token.Tilde
+        | '!', _ -> one Token.Bang
+        | '=', _ -> one Token.Assign
+        | '<', _ -> one Token.Lt
+        | '>', _ -> one Token.Gt
+        | '(', _ -> one Token.Lparen
+        | ')', _ -> one Token.Rparen
+        | '{', _ -> one Token.Lbrace
+        | '}', _ -> one Token.Rbrace
+        | '[', _ -> one Token.Lbracket
+        | ']', _ -> one Token.Rbracket
+        | ',', _ -> one Token.Comma
+        | ';', _ -> one Token.Semi
+        | _ -> fail (Printf.sprintf "unexpected character %C" c)
+      end
+    done;
+    emit Token.Eof;
+    Ok (List.rev !tokens)
+  with Lex_error msg -> Error msg

@@ -1,0 +1,10 @@
+(** Hand-written lexer for MiniC.
+
+    Supports decimal and [0x] hexadecimal integer literals, [//] line
+    comments, and [/* ... */] block comments. *)
+
+type spanned = { token : Token.t; line : int }
+
+val tokenize : string -> (spanned list, string) result
+(** The resulting list always ends with {!Token.Eof}. Errors include the
+    1-based line number. *)

@@ -1,0 +1,361 @@
+exception Parse_error of string
+
+type state = { tokens : Lexer.spanned array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+let peek_tok st = (current st).token
+let peek2_tok st =
+  if st.pos + 1 < Array.length st.tokens then Some st.tokens.(st.pos + 1).token
+  else None
+
+let line st = (current st).line
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s (at %S)" (line st) msg
+                        (Token.to_string (peek_tok st))))
+
+let advance st = if st.pos + 1 < Array.length st.tokens then st.pos <- st.pos + 1
+
+let eat st tok =
+  if Token.equal (peek_tok st) tok then advance st
+  else fail st (Printf.sprintf "expected %S" (Token.to_string tok))
+
+let accept st tok =
+  if Token.equal (peek_tok st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek_tok st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | _ -> fail st "expected an identifier"
+
+(* --- types --- *)
+
+let base_type st =
+  match peek_tok st with
+  | Token.Kw_int ->
+      advance st;
+      Ast.T_int
+  | Token.Kw_void ->
+      advance st;
+      Ast.T_void
+  | _ -> fail st "expected a type"
+
+let with_stars st base =
+  let rec go t = if accept st Token.Star then go (Ast.T_ptr t) else t in
+  go base
+
+let parse_type st = with_stars st (base_type st)
+
+let starts_type st =
+  match peek_tok st with Token.Kw_int | Token.Kw_void -> true | _ -> false
+
+(* --- expressions --- *)
+
+let binop_of_token = function
+  | Token.Plus -> Some Ast.B_add
+  | Token.Minus -> Some Ast.B_sub
+  | Token.Star -> Some Ast.B_mul
+  | Token.Slash -> Some Ast.B_div
+  | Token.Percent -> Some Ast.B_rem
+  | Token.Amp -> Some Ast.B_and
+  | Token.Pipe -> Some Ast.B_or
+  | Token.Caret -> Some Ast.B_xor
+  | Token.Shl -> Some Ast.B_shl
+  | Token.Shr -> Some Ast.B_shr
+  | Token.And_and -> Some Ast.B_land
+  | Token.Or_or -> Some Ast.B_lor
+  | Token.Eq_eq -> Some Ast.B_eq
+  | Token.Bang_eq -> Some Ast.B_ne
+  | Token.Lt -> Some Ast.B_lt
+  | Token.Le -> Some Ast.B_le
+  | Token.Gt -> Some Ast.B_gt
+  | Token.Ge -> Some Ast.B_ge
+  | _ -> None
+
+(* C precedence levels, highest binding first. *)
+let precedence = function
+  | Ast.B_mul | Ast.B_div | Ast.B_rem -> 10
+  | Ast.B_add | Ast.B_sub -> 9
+  | Ast.B_shl | Ast.B_shr -> 8
+  | Ast.B_lt | Ast.B_le | Ast.B_gt | Ast.B_ge -> 7
+  | Ast.B_eq | Ast.B_ne -> 6
+  | Ast.B_and -> 5
+  | Ast.B_xor -> 4
+  | Ast.B_or -> 3
+  | Ast.B_land -> 2
+  | Ast.B_lor -> 1
+
+let mk st e = { Ast.e; e_line = line st }
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match binop_of_token (peek_tok st) with
+  | Some op when precedence op >= min_prec ->
+      let prec = precedence op in
+      advance st;
+      let rhs = parse_expr_prec st (prec + 1) in
+      climb st { Ast.e = Ast.E_binop (op, lhs, rhs); e_line = lhs.Ast.e_line } min_prec
+  | Some _ | None -> lhs
+
+and parse_unary st =
+  match peek_tok st with
+  | Token.Minus ->
+      advance st;
+      mk st (Ast.E_unop (Ast.U_neg, parse_unary st))
+  | Token.Bang ->
+      advance st;
+      mk st (Ast.E_unop (Ast.U_not, parse_unary st))
+  | Token.Tilde ->
+      advance st;
+      mk st (Ast.E_unop (Ast.U_bnot, parse_unary st))
+  | Token.Star ->
+      advance st;
+      mk st (Ast.E_deref (parse_unary st))
+  | Token.Amp ->
+      advance st;
+      let e = parse_unary st in
+      mk st (Ast.E_addr (lvalue_of_expr st e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec go e =
+    if accept st Token.Lbracket then begin
+      let idx = parse_expr_prec st 0 in
+      eat st Token.Rbracket;
+      go { Ast.e = Ast.E_index (e, idx); e_line = e.Ast.e_line }
+    end
+    else e
+  in
+  go e
+
+and parse_primary st =
+  match peek_tok st with
+  | Token.Int_lit v ->
+      advance st;
+      { Ast.e = Ast.E_int v; e_line = line st }
+  | Token.Ident name -> (
+      let ln = line st in
+      advance st;
+      match peek_tok st with
+      | Token.Lparen ->
+          advance st;
+          let args = parse_args st in
+          eat st Token.Rparen;
+          { Ast.e = Ast.E_call (name, args); e_line = ln }
+      | _ -> { Ast.e = Ast.E_var name; e_line = ln })
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr_prec st 0 in
+      eat st Token.Rparen;
+      e
+  | _ -> fail st "expected an expression"
+
+and parse_args st =
+  if Token.equal (peek_tok st) Token.Rparen then []
+  else begin
+    let first = parse_expr_prec st 0 in
+    let rec go acc = if accept st Token.Comma then go (parse_expr_prec st 0 :: acc) else List.rev acc in
+    go [ first ]
+  end
+
+and lvalue_of_expr st (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.E_var name -> Ast.L_var name
+  | Ast.E_deref inner -> Ast.L_deref inner
+  | Ast.E_index (base, idx) -> Ast.L_index (base, idx)
+  | Ast.E_int _ | Ast.E_unop _ | Ast.E_binop _ | Ast.E_addr _ | Ast.E_call _ ->
+      fail st "expression is not assignable"
+
+(* --- statements --- *)
+
+let parse_var_decl st ~static =
+  let v_line = line st in
+  let elem_ty = parse_type st in
+  let v_name = ident st in
+  let v_array =
+    if accept st Token.Lbracket then begin
+      match peek_tok st with
+      | Token.Int_lit n when n > 0 ->
+          advance st;
+          eat st Token.Rbracket;
+          Some n
+      | _ -> fail st "array size must be a positive integer literal"
+    end
+    else None
+  in
+  let v_init = if accept st Token.Assign then Some (parse_expr_prec st 0) else None in
+  if v_array <> None && v_init <> None then
+    fail st "array declarations cannot have initializers";
+  { Ast.v_name; v_ty = elem_ty; v_array; v_static = static; v_init; v_line }
+
+(* A "simple" statement usable in for-headers: declaration, assignment, or
+   expression. Does not consume the trailing separator. *)
+let rec parse_simple st =
+  let s_line = line st in
+  if Token.equal (peek_tok st) Token.Kw_static then begin
+    advance st;
+    { Ast.s = Ast.S_decl (parse_var_decl st ~static:true); s_line }
+  end
+  else if starts_type st then { Ast.s = Ast.S_decl (parse_var_decl st ~static:false); s_line }
+  else begin
+    let e = parse_expr_prec st 0 in
+    if accept st Token.Assign then begin
+      let lv = lvalue_of_expr st e in
+      let rhs = parse_expr_prec st 0 in
+      { Ast.s = Ast.S_assign (lv, rhs); s_line }
+    end
+    else { Ast.s = Ast.S_expr e; s_line }
+  end
+
+and parse_stmt st =
+  let s_line = line st in
+  match peek_tok st with
+  | Token.Lbrace -> { Ast.s = Ast.S_block (parse_block st); s_line }
+  | Token.Kw_if ->
+      advance st;
+      eat st Token.Lparen;
+      let cond = parse_expr_prec st 0 in
+      eat st Token.Rparen;
+      let then_blk = parse_block_or_stmt st in
+      let else_blk =
+        if accept st Token.Kw_else then Some (parse_block_or_stmt st) else None
+      in
+      { Ast.s = Ast.S_if (cond, then_blk, else_blk); s_line }
+  | Token.Kw_while ->
+      advance st;
+      eat st Token.Lparen;
+      let cond = parse_expr_prec st 0 in
+      eat st Token.Rparen;
+      { Ast.s = Ast.S_while (cond, parse_block_or_stmt st); s_line }
+  | Token.Kw_for ->
+      advance st;
+      eat st Token.Lparen;
+      let init =
+        if Token.equal (peek_tok st) Token.Semi then None else Some (parse_simple st)
+      in
+      eat st Token.Semi;
+      let cond =
+        if Token.equal (peek_tok st) Token.Semi then None
+        else Some (parse_expr_prec st 0)
+      in
+      eat st Token.Semi;
+      let step =
+        if Token.equal (peek_tok st) Token.Rparen then None else Some (parse_simple st)
+      in
+      eat st Token.Rparen;
+      { Ast.s = Ast.S_for (init, cond, step, parse_block_or_stmt st); s_line }
+  | Token.Kw_return ->
+      advance st;
+      let value =
+        if Token.equal (peek_tok st) Token.Semi then None
+        else Some (parse_expr_prec st 0)
+      in
+      eat st Token.Semi;
+      { Ast.s = Ast.S_return value; s_line }
+  | Token.Kw_break ->
+      advance st;
+      eat st Token.Semi;
+      { Ast.s = Ast.S_break; s_line }
+  | Token.Kw_continue ->
+      advance st;
+      eat st Token.Semi;
+      { Ast.s = Ast.S_continue; s_line }
+  | _ ->
+      let stmt = parse_simple st in
+      eat st Token.Semi;
+      stmt
+
+and parse_block st =
+  eat st Token.Lbrace;
+  let rec go acc =
+    if accept st Token.Rbrace then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_block_or_stmt st =
+  if Token.equal (peek_tok st) Token.Lbrace then parse_block st
+  else [ parse_stmt st ]
+
+(* --- top level --- *)
+
+let parse_params st =
+  eat st Token.Lparen;
+  if accept st Token.Rparen then []
+  else if Token.equal (peek_tok st) Token.Kw_void && peek2_tok st = Some Token.Rparen
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let param () =
+      let ty = parse_type st in
+      let name = ident st in
+      (name, ty)
+    in
+    let first = param () in
+    let rec go acc = if accept st Token.Comma then go (param () :: acc) else List.rev acc in
+    let params = go [ first ] in
+    eat st Token.Rparen;
+    params
+  end
+
+let parse_top st =
+  let globals = ref [] and funcs = ref [] in
+  while not (Token.equal (peek_tok st) Token.Eof) do
+    let f_line = line st in
+    let static = accept st Token.Kw_static in
+    let ty = parse_type st in
+    let name = ident st in
+    if Token.equal (peek_tok st) Token.Lparen then begin
+      if static then fail st "static functions are not supported";
+      let params = parse_params st in
+      let body = parse_block st in
+      funcs := { Ast.f_name = name; f_ret = ty; f_params = params; f_body = body; f_line } :: !funcs
+    end
+    else begin
+      (* Re-parse the declaration tail: array suffix and initializer. *)
+      let v_array =
+        if accept st Token.Lbracket then begin
+          match peek_tok st with
+          | Token.Int_lit n when n > 0 ->
+              advance st;
+              eat st Token.Rbracket;
+              Some n
+          | _ -> fail st "array size must be a positive integer literal"
+        end
+        else None
+      in
+      let v_init = if accept st Token.Assign then Some (parse_expr_prec st 0) else None in
+      eat st Token.Semi;
+      globals :=
+        { Ast.v_name = name; v_ty = ty; v_array; v_static = static; v_init; v_line = f_line }
+        :: !globals
+    end
+  done;
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let with_state source f =
+  match Lexer.tokenize source with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      try Ok (f st) with Parse_error msg -> Error msg)
+
+let parse source = with_state source parse_top
+
+let parse_expr source =
+  with_state source (fun st ->
+      let e = parse_expr_prec st 0 in
+      eat st Token.Eof;
+      e)

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch (standard C expression precedence):
+
+    {v
+    program   := (global-decl | function)*
+    function  := type ident '(' params ')' block
+    decl      := ['static'] type ident ['[' int ']'] ['=' expr] ';'
+    stmt      := decl | lvalue '=' expr ';' | expr ';' | 'if' ... | 'while' ...
+               | 'for' '(' simple? ';' expr? ';' simple? ')' block
+               | 'return' expr? ';' | 'break' ';' | 'continue' ';' | block
+    v}
+
+    Assignment is a statement, not an expression (assignment targets are
+    recognized syntactically); [for] headers accept a declaration or an
+    assignment in the init slot and an assignment or call in the step slot. *)
+
+val parse : string -> (Ast.program, string) result
+(** Lex and parse a full translation unit. Errors carry a line number. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** Parse a single expression (used by tests). *)

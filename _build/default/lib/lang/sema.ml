@@ -1,0 +1,383 @@
+exception Sema_error of string
+
+let err line fmt =
+  Format.kasprintf (fun msg -> raise (Sema_error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let rec const_eval (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.E_int v -> Some v
+  | Ast.E_unop (Ast.U_neg, e1) -> Option.map (fun v -> -v) (const_eval e1)
+  | Ast.E_unop (Ast.U_bnot, e1) -> Option.map lnot (const_eval e1)
+  | Ast.E_unop (Ast.U_not, e1) ->
+      Option.map (fun v -> if v = 0 then 1 else 0) (const_eval e1)
+  | Ast.E_binop (op, e1, e2) -> (
+      match (const_eval e1, const_eval e2) with
+      | Some a, Some b -> (
+          match op with
+          | Ast.B_add -> Some (a + b)
+          | Ast.B_sub -> Some (a - b)
+          | Ast.B_mul -> Some (a * b)
+          | Ast.B_div -> if b = 0 then None else Some (a / b)
+          | Ast.B_rem -> if b = 0 then None else Some (a mod b)
+          | Ast.B_and -> Some (a land b)
+          | Ast.B_or -> Some (a lor b)
+          | Ast.B_xor -> Some (a lxor b)
+          | Ast.B_shl -> Some (a lsl (b land 31))
+          | Ast.B_shr -> Some ((a land 0xFFFFFFFF) lsr (b land 31))
+          | Ast.B_land | Ast.B_lor | Ast.B_eq | Ast.B_ne | Ast.B_lt | Ast.B_le
+          | Ast.B_gt | Ast.B_ge ->
+              None)
+      | _ -> None)
+  | Ast.E_var _ | Ast.E_deref _ | Ast.E_addr _ | Ast.E_index _ | Ast.E_call _ ->
+      None
+
+type func_sig = { fs_id : int; fs_ret : Ast.ty; fs_params : Ast.ty list }
+
+type env = {
+  globals : (string, int) Hashtbl.t;  (* name -> global index *)
+  global_tys : (Ast.ty * bool) array;  (* element type, is_array *)
+  funcs : (string, func_sig) Hashtbl.t;
+  (* Per-function state: *)
+  mutable scopes : (string * int) list list;  (* name -> slot index *)
+  mutable slots : Typed.slot list;  (* reversed *)
+  mutable slot_count : int;
+  mutable loop_depth : int;
+  func_name : string;
+}
+
+let is_ptr = function Ast.T_ptr _ -> true | Ast.T_int | Ast.T_void -> false
+
+let lookup_var env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some slot -> Some (Typed.V_local slot)
+        | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some v -> Some v
+  | None -> Option.map (fun i -> Typed.V_global i) (Hashtbl.find_opt env.globals name)
+
+let var_info env = function
+  | Typed.V_local i ->
+      let slot = List.nth env.slots (env.slot_count - 1 - i) in
+      (slot.Typed.sl_ty, slot.Typed.sl_is_array)
+  | Typed.V_global i -> env.global_tys.(i)
+
+(* Scale an index expression by the 4-byte element size. *)
+let scaled idx =
+  { Typed.te = Typed.T_binop (Ast.B_mul, idx, { Typed.te = Typed.T_int 4; ty = Ast.T_int });
+    ty = Ast.T_int }
+
+let elem_ty line = function
+  | Ast.T_ptr t -> t
+  | Ast.T_int -> err line "cannot dereference a non-pointer"
+  | Ast.T_void -> err line "cannot dereference void"
+
+let rec check_expr env (e : Ast.expr) : Typed.texpr =
+  let line = e.Ast.e_line in
+  match e.Ast.e with
+  | Ast.E_int v -> { te = Typed.T_int v; ty = Ast.T_int }
+  | Ast.E_var name -> (
+      match lookup_var env name with
+      | None -> err line "undefined variable %s" name
+      | Some v ->
+          let ty, is_array = var_info env v in
+          if is_array then
+            (* Array-to-pointer decay. *)
+            { te = Typed.T_addr (Typed.TL_var v); ty = Ast.T_ptr ty }
+          else { te = Typed.T_load (Typed.TL_var v); ty })
+  | Ast.E_unop (op, e1) ->
+      let t1 = check_expr env e1 in
+      { te = Typed.T_unop (op, t1); ty = Ast.T_int }
+  | Ast.E_binop (op, e1, e2) -> check_binop env line op e1 e2
+  | Ast.E_deref e1 ->
+      let t1 = check_expr env e1 in
+      { te = Typed.T_load (Typed.TL_mem t1); ty = elem_ty line t1.ty }
+  | Ast.E_addr lv ->
+      let tlv, ty = check_lvalue env line lv in
+      { te = Typed.T_addr tlv; ty = Ast.T_ptr ty }
+  | Ast.E_index (base, idx) ->
+      let addr, ty = index_address env line base idx in
+      { te = Typed.T_load (Typed.TL_mem addr); ty }
+  | Ast.E_call (name, args) -> check_call env line name args
+
+and check_call env line name args =
+  let targs = List.map (check_expr env) args in
+  match Typed.builtin_of_name name with
+  | Some b ->
+      if List.length targs <> Typed.builtin_arity b then
+        err line "%s expects %d argument(s)" name (Typed.builtin_arity b);
+      { te = Typed.T_builtin (b, targs); ty = Typed.builtin_ret b }
+  | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> err line "undefined function %s" name
+      | Some fs ->
+          if List.length targs <> List.length fs.fs_params then
+            err line "%s expects %d argument(s), got %d" name
+              (List.length fs.fs_params) (List.length targs);
+          { te = Typed.T_call (fs.fs_id, targs); ty = fs.fs_ret })
+
+and check_binop env line op e1 e2 =
+  let t1 = check_expr env e1 and t2 = check_expr env e2 in
+  let mk te ty = { Typed.te; ty } in
+  match op with
+  | Ast.B_add -> (
+      match (is_ptr t1.ty, is_ptr t2.ty) with
+      | true, false -> mk (Typed.T_binop (op, t1, scaled t2)) t1.ty
+      | false, true -> mk (Typed.T_binop (op, scaled t1, t2)) t2.ty
+      | false, false -> mk (Typed.T_binop (op, t1, t2)) Ast.T_int
+      | true, true -> err line "cannot add two pointers")
+  | Ast.B_sub -> (
+      match (is_ptr t1.ty, is_ptr t2.ty) with
+      | true, false -> mk (Typed.T_binop (op, t1, scaled t2)) t1.ty
+      | true, true ->
+          (* ptr - ptr: byte difference divided by the element size. The
+             difference of two same-object pointers is non-negative here or
+             a small negative multiple of 4; a logical shift is wrong for
+             negatives, so divide. *)
+          let diff = mk (Typed.T_binop (op, t1, t2)) Ast.T_int in
+          mk (Typed.T_binop (Ast.B_div, diff, mk (Typed.T_int 4) Ast.T_int)) Ast.T_int
+      | false, true -> err line "cannot subtract a pointer from an integer"
+      | false, false -> mk (Typed.T_binop (op, t1, t2)) Ast.T_int)
+  | Ast.B_mul | Ast.B_div | Ast.B_rem | Ast.B_and | Ast.B_or | Ast.B_xor
+  | Ast.B_shl | Ast.B_shr ->
+      mk (Typed.T_binop (op, t1, t2)) Ast.T_int
+  | Ast.B_land | Ast.B_lor | Ast.B_eq | Ast.B_ne | Ast.B_lt | Ast.B_le
+  | Ast.B_gt | Ast.B_ge ->
+      mk (Typed.T_binop (op, t1, t2)) Ast.T_int
+
+and index_address env line base idx =
+  let tbase = check_expr env base in
+  let tidx = check_expr env idx in
+  if is_ptr tidx.ty then err line "array index must be an integer";
+  let ty = elem_ty line tbase.ty in
+  let addr =
+    { Typed.te = Typed.T_binop (Ast.B_add, tbase, scaled tidx); ty = tbase.ty }
+  in
+  (addr, ty)
+
+and check_lvalue env line = function
+  | Ast.L_var name -> (
+      match lookup_var env name with
+      | None -> err line "undefined variable %s" name
+      | Some v ->
+          let ty, is_array = var_info env v in
+          if is_array then err line "cannot assign to an array";
+          (Typed.TL_var v, ty))
+  | Ast.L_deref e ->
+      let t = check_expr env e in
+      (Typed.TL_mem t, elem_ty line t.ty)
+  | Ast.L_index (base, idx) ->
+      let addr, ty = index_address env line base idx in
+      (Typed.TL_mem addr, ty)
+
+(* --- statements --- *)
+
+let add_slot env (d : Ast.var_decl) =
+  let line = d.Ast.v_line in
+  if Typed.builtin_of_name d.Ast.v_name <> None then
+    err line "%s shadows a builtin function" d.Ast.v_name;
+  let index = env.slot_count in
+  (* Shadowed names get a ".n" suffix so debug info stays unambiguous. *)
+  let unique =
+    let taken name = List.exists (fun s -> s.Typed.sl_name = name) env.slots in
+    if not (taken d.Ast.v_name) then d.Ast.v_name
+    else
+      let rec go i =
+        let candidate = Printf.sprintf "%s.%d" d.Ast.v_name i in
+        if taken candidate then go (i + 1) else candidate
+      in
+      go 1
+  in
+  let words = match d.Ast.v_array with Some n -> n | None -> 1 in
+  let static_init =
+    if not d.Ast.v_static then 0
+    else
+      match d.Ast.v_init with
+      | None -> 0
+      | Some e -> (
+          match const_eval e with
+          | Some v -> v
+          | None -> err line "static initializer must be a constant")
+  in
+  let slot =
+    {
+      Typed.sl_name = unique;
+      sl_source_name = d.Ast.v_name;
+      sl_ty = d.Ast.v_ty;
+      sl_words = words;
+      sl_is_array = d.Ast.v_array <> None;
+      sl_static = d.Ast.v_static;
+      sl_param_index = -1;
+      sl_static_init = static_init;
+    }
+  in
+  env.slots <- slot :: env.slots;
+  env.slot_count <- env.slot_count + 1;
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((d.Ast.v_name, index) :: scope) :: rest
+  | [] -> assert false);
+  index
+
+let rec check_stmt env (s : Ast.stmt) : Typed.tstmt list =
+  let line = s.Ast.s_line in
+  match s.Ast.s with
+  | Ast.S_decl d ->
+      if d.Ast.v_ty = Ast.T_void && d.Ast.v_array = None then
+        err line "cannot declare a void variable";
+      let init =
+        match d.Ast.v_init with
+        | Some e when not d.Ast.v_static -> Some (check_expr env e)
+        | Some _ | None -> None
+      in
+      let index = add_slot env d in
+      (match init with
+      | Some te -> [ Typed.TS_store (Typed.TL_var (Typed.V_local index), te) ]
+      | None -> [])
+  | Ast.S_assign (lv, e) ->
+      let tlv, _ty = check_lvalue env line lv in
+      let te = check_expr env e in
+      if te.Typed.ty = Ast.T_void then err line "cannot assign a void value";
+      [ Typed.TS_store (tlv, te) ]
+  | Ast.S_expr e -> [ Typed.TS_expr (check_expr env e) ]
+  | Ast.S_if (cond, then_blk, else_blk) ->
+      let tc = check_expr env cond in
+      let tt = check_block env then_blk in
+      let te = match else_blk with Some b -> check_block env b | None -> [] in
+      [ Typed.TS_if (tc, tt, te) ]
+  | Ast.S_while (cond, body) ->
+      let tc = check_expr env cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let tb = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      [ Typed.TS_loop { cond = Some tc; body = tb; step = [] } ]
+  | Ast.S_for (init, cond, step, body) ->
+      (* The init declaration scopes over the loop: open a scope around the
+         whole desugaring. *)
+      env.scopes <- [] :: env.scopes;
+      let t_init = match init with Some s -> check_stmt env s | None -> [] in
+      let t_cond = Option.map (check_expr env) cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let t_body = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let t_step = match step with Some s -> check_stmt env s | None -> [] in
+      env.scopes <- List.tl env.scopes;
+      t_init @ [ Typed.TS_loop { cond = t_cond; body = t_body; step = t_step } ]
+  | Ast.S_return e -> [ Typed.TS_return (Option.map (check_expr env) e) ]
+  | Ast.S_break ->
+      if env.loop_depth = 0 then err line "break outside a loop";
+      [ Typed.TS_break ]
+  | Ast.S_continue ->
+      if env.loop_depth = 0 then err line "continue outside a loop";
+      [ Typed.TS_continue ]
+  | Ast.S_block b -> check_block env b
+
+and check_block env block =
+  env.scopes <- [] :: env.scopes;
+  let stmts = List.concat_map (check_stmt env) block in
+  env.scopes <- List.tl env.scopes;
+  stmts
+
+(* --- top level --- *)
+
+let max_params = 6
+
+let check_func globals global_tys funcs (f : Ast.func) fs =
+  if List.length f.Ast.f_params > max_params then
+    err f.Ast.f_line "%s: more than %d parameters" f.Ast.f_name max_params;
+  let env =
+    {
+      globals;
+      global_tys;
+      funcs;
+      scopes = [ [] ];
+      slots = [];
+      slot_count = 0;
+      loop_depth = 0;
+      func_name = f.Ast.f_name;
+    }
+  in
+  ignore env.func_name;
+  (* Parameters become the first slots, flagged with their index. *)
+  List.iteri
+    (fun i (name, ty) ->
+      let idx =
+        add_slot env
+          {
+            Ast.v_name = name;
+            v_ty = ty;
+            v_array = None;
+            v_static = false;
+            v_init = None;
+            v_line = f.Ast.f_line;
+          }
+      in
+      let slot = List.hd env.slots in
+      env.slots <- { slot with Typed.sl_param_index = i } :: List.tl env.slots;
+      ignore idx)
+    f.Ast.f_params;
+  let body = check_block env f.Ast.f_body in
+  {
+    Typed.tf_id = fs.fs_id;
+    tf_name = f.Ast.f_name;
+    tf_ret = f.Ast.f_ret;
+    tf_param_count = List.length f.Ast.f_params;
+    tf_slots = Array.of_list (List.rev env.slots);
+    tf_body = body;
+  }
+
+let analyze (prog : Ast.program) =
+  try
+    let globals = Hashtbl.create 16 in
+    let global_list =
+      List.mapi
+        (fun i (d : Ast.var_decl) ->
+          if Hashtbl.mem globals d.Ast.v_name then
+            err d.Ast.v_line "duplicate global %s" d.Ast.v_name;
+          if d.Ast.v_ty = Ast.T_void then err d.Ast.v_line "void global";
+          Hashtbl.add globals d.Ast.v_name i;
+          let init =
+            match d.Ast.v_init with
+            | None -> 0
+            | Some e -> (
+                match const_eval e with
+                | Some v -> v
+                | None -> err d.Ast.v_line "global initializer must be a constant")
+          in
+          {
+            Typed.tg_name = d.Ast.v_name;
+            tg_ty = d.Ast.v_ty;
+            tg_words = (match d.Ast.v_array with Some n -> n | None -> 1);
+            tg_is_array = d.Ast.v_array <> None;
+            tg_init = init;
+          })
+        prog.Ast.globals
+    in
+    let global_tys =
+      Array.of_list
+        (List.map (fun g -> (g.Typed.tg_ty, g.Typed.tg_is_array)) global_list)
+    in
+    let funcs = Hashtbl.create 16 in
+    List.iteri
+      (fun i (f : Ast.func) ->
+        if Hashtbl.mem funcs f.Ast.f_name then
+          err f.Ast.f_line "duplicate function %s" f.Ast.f_name;
+        if Typed.builtin_of_name f.Ast.f_name <> None then
+          err f.Ast.f_line "%s is a builtin" f.Ast.f_name;
+        Hashtbl.add funcs f.Ast.f_name
+          { fs_id = i; fs_ret = f.Ast.f_ret; fs_params = List.map snd f.Ast.f_params })
+      prog.Ast.funcs;
+    (match Hashtbl.find_opt funcs "main" with
+    | None -> raise (Sema_error "no main function")
+    | Some fs ->
+        if fs.fs_params <> [] then raise (Sema_error "main must take no parameters"));
+    let tfuncs =
+      List.map
+        (fun (f : Ast.func) ->
+          check_func globals global_tys funcs f (Hashtbl.find funcs f.Ast.f_name))
+        prog.Ast.funcs
+    in
+    Ok { Typed.t_globals = Array.of_list global_list; t_funcs = Array.of_list tfuncs }
+  with Sema_error msg -> Error msg

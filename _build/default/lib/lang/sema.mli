@@ -1,0 +1,17 @@
+(** Semantic analysis: name resolution, type checking, loop desugaring.
+
+    Typing follows early-C permissiveness where it does not affect code
+    generation: pointers and integers may be assigned and compared across
+    each other. The checks that matter are enforced strictly — every name
+    must resolve, call arities must match, pointer arithmetic is scaled by
+    the 4-byte element size, [ptr - ptr] divides by the element size, and
+    global/static initializers must be compile-time constants.
+
+    A [main] function with no parameters must exist. Functions may have at
+    most 6 parameters (the register calling convention). *)
+
+val analyze : Ast.program -> (Typed.tprogram, string) result
+(** Errors are prefixed with the offending line or function name. *)
+
+val const_eval : Ast.expr -> int option
+(** Evaluate a constant integer expression (literals and arithmetic only). *)

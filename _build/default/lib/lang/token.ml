@@ -1,0 +1,92 @@
+(* Lexical tokens of MiniC, the C subset the benchmark workloads are written
+   in (see DESIGN.md §2: it stands in for the paper's ANSI C + GCC 1.4). *)
+
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_void
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_static
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Bang
+  | And_and
+  | Or_or
+  | Assign
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Eof
+
+let to_string = function
+  | Int_lit i -> string_of_int i
+  | Ident s -> s
+  | Kw_int -> "int"
+  | Kw_void -> "void"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_static -> "static"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Bang -> "!"
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Assign -> "="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semi -> ";"
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

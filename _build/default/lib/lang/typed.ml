@@ -1,0 +1,109 @@
+(* Typed intermediate representation produced by semantic analysis.
+
+   Name resolution is complete (variables refer to slot or global indices),
+   pointer arithmetic scaling is explicit, [for] loops are desugared into a
+   single loop node with an explicit step (so that [continue] can target
+   it), and calls are split into user calls and runtime builtins. *)
+
+type ty = Ast.ty
+
+type builtin =
+  | B_malloc
+  | B_free
+  | B_realloc
+  | B_print_int
+  | B_print_char
+  | B_rand  (* rand(n): uniform in [0, n) *)
+  | B_srand
+  | B_exit  (* exit(code): stop the program immediately *)
+
+type var_ref =
+  | V_local of int  (* slot index within the enclosing function *)
+  | V_global of int  (* index into the program's globals table *)
+
+type texpr = { te : texpr_node; ty : ty }
+
+and texpr_node =
+  | T_int of int
+  | T_load of tlvalue  (* read a scalar variable or memory word *)
+  | T_addr of tlvalue  (* address-of; also array-to-pointer decay *)
+  | T_unop of Ast.unop * texpr
+  | T_binop of Ast.binop * texpr * texpr  (* scaling already applied *)
+  | T_call of int * texpr list  (* function id *)
+  | T_builtin of builtin * texpr list
+
+and tlvalue =
+  | TL_var of var_ref
+  | TL_mem of texpr  (* store/load through a computed address *)
+
+type tstmt =
+  | TS_store of tlvalue * texpr
+  | TS_expr of texpr
+  | TS_if of texpr * tstmt list * tstmt list
+  | TS_loop of { cond : texpr option; body : tstmt list; step : tstmt list }
+      (* while/for; [step] runs on normal fallthrough and on [continue] *)
+  | TS_return of texpr option
+  | TS_break
+  | TS_continue
+
+type slot = {
+  sl_name : string;  (* unique within the function (shadowing renamed) *)
+  sl_source_name : string;  (* name as written *)
+  sl_ty : ty;  (* element type for arrays *)
+  sl_words : int;  (* 1 for scalars *)
+  sl_is_array : bool;
+  sl_static : bool;
+  sl_param_index : int;  (* [-1] when not a parameter *)
+  sl_static_init : int;  (* load-time value for statics; 0 otherwise *)
+}
+
+type tfunc = {
+  tf_id : int;
+  tf_name : string;
+  tf_ret : ty;
+  tf_param_count : int;
+  tf_slots : slot array;  (* params first, then locals and statics *)
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ty;
+  tg_words : int;
+  tg_is_array : bool;
+  tg_init : int;  (* load-time value; 0 for arrays *)
+}
+
+type tprogram = { t_globals : tglobal array; t_funcs : tfunc array }
+
+let builtin_name = function
+  | B_malloc -> "malloc"
+  | B_free -> "free"
+  | B_realloc -> "realloc"
+  | B_print_int -> "print_int"
+  | B_print_char -> "print_char"
+  | B_rand -> "rand"
+  | B_srand -> "srand"
+  | B_exit -> "exit"
+
+let builtin_of_name = function
+  | "malloc" -> Some B_malloc
+  | "free" -> Some B_free
+  | "realloc" -> Some B_realloc
+  | "print_int" -> Some B_print_int
+  | "print_char" -> Some B_print_char
+  | "rand" -> Some B_rand
+  | "srand" -> Some B_srand
+  | "exit" -> Some B_exit
+  | _ -> None
+
+(* Builtin signatures: argument count and result type. Argument types are
+   checked loosely (int/pointer interchange is permitted, K&R style). *)
+let builtin_arity = function
+  | B_malloc | B_free | B_print_int | B_print_char | B_rand | B_srand | B_exit -> 1
+  | B_realloc -> 2
+
+let builtin_ret = function
+  | B_malloc | B_realloc -> Ast.T_ptr Ast.T_int
+  | B_free | B_print_int | B_print_char | B_srand | B_exit -> Ast.T_void
+  | B_rand -> Ast.T_int

@@ -1,0 +1,1 @@
+lib/machine/cost_model.mli: Ebp_isa

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cost_model Ebp_isa Ebp_util Memory Printf

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cost_model Ebp_isa Ebp_util Memory

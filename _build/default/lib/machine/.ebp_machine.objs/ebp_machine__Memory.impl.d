@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Ebp_util Hashtbl List

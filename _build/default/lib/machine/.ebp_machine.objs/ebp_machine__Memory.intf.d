@@ -1,0 +1,1 @@
+lib/machine/memory.mli: Ebp_util

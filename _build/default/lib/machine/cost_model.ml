@@ -1,0 +1,52 @@
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+  call : int;
+  syscall : int;
+  trap_dispatch : int;
+  chk : int;
+  marker : int;
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 4;
+    div = 12;
+    load = 2;
+    store = 2;
+    branch = 1;
+    jump = 1;
+    call = 2;
+    syscall = 20;
+    trap_dispatch = 4;
+    chk = 2;
+    marker = 0;
+  }
+
+let clock_hz = 40_000_000.0
+
+let cycles_of_us us = int_of_float (Float.round (us *. clock_hz /. 1_000_000.0))
+
+let ms_of_cycles cycles = float_of_int cycles /. clock_hz *. 1000.0
+
+let cost t (instr : Ebp_isa.Instr.t) =
+  match instr with
+  | Nop | Halt -> 1
+  | Li _ | Mv _ -> t.alu
+  | Alu (op, _, _, _) | Alui (op, _, _, _) -> (
+      match op with Mul -> t.mul | Div | Rem -> t.div | _ -> t.alu)
+  | Lw _ | Lb _ -> t.load
+  | Sw _ | Sb _ -> t.store
+  | Br _ -> t.branch
+  | Jmp _ -> t.jump
+  | Jal _ | Jalr _ | Ret -> t.call
+  | Syscall _ -> t.syscall
+  | Trap _ -> t.trap_dispatch
+  | Chk _ -> t.chk
+  | Enter _ | Leave _ -> t.marker

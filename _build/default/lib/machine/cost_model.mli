@@ -1,0 +1,37 @@
+(** Per-instruction cycle costs.
+
+    The machine accumulates a cycle count which the experiment converts to
+    time via the clock rate. The defaults are generic single-issue RISC
+    latencies; the absolute values only matter for base execution time
+    (Table 1), since strategy overheads are charged separately from the
+    paper's measured timing variables. *)
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+  call : int;
+  syscall : int;
+  trap_dispatch : int;  (** machine-level cost of reaching the trap handler *)
+  chk : int;  (** machine-level cost of the inline check instruction *)
+  marker : int;  (** Enter/Leave markers; 0 = free, as the paper's
+                     post-processing hooks are outside the measured program *)
+}
+
+val default : t
+
+val clock_hz : float
+(** Simulated clock rate: 40 MHz, matching the paper's SPARCstation 2. *)
+
+val cycles_of_us : float -> int
+(** Convert microseconds of modeled service time to machine cycles at
+    {!clock_hz} (rounded to nearest). *)
+
+val ms_of_cycles : int -> float
+(** Convert a cycle count to milliseconds at {!clock_hz}. *)
+
+val cost : t -> Ebp_isa.Instr.t -> int

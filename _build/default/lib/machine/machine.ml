@@ -1,0 +1,308 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Reg = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+
+type stop_reason = Halted of int | Out_of_fuel | Machine_error of string
+
+type t = {
+  mem : Memory.t;
+  costs : Cost_model.t;
+  prog : Program.t;
+  code : Program.item array;
+  regs : int array;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable executed : int;
+  mutable funcs : int list;
+  mutable halted : int option;
+  monitor_regs : Interval.t option array;
+  mutable store_hook :
+    (t -> addr:int -> width:int -> value:int -> pc:int -> implicit:bool -> unit) option;
+  mutable enter_hook : (t -> int -> unit) option;
+  mutable leave_hook : (t -> int -> unit) option;
+  mutable syscall_handler : (t -> int -> unit) option;
+  mutable trap_handler : (t -> code:int -> trap_pc:int -> unit) option;
+  mutable write_fault_handler :
+    (t -> addr:int -> width:int -> value:int -> pc:int -> unit) option;
+  mutable monitor_fault_handler :
+    (t -> reg:int -> addr:int -> width:int -> pc:int -> unit) option;
+  mutable chk_handler : (t -> range:Interval.t -> pc:int -> unit) option;
+}
+
+let create ?mem ?(costs = Cost_model.default) ?(monitor_reg_count = 4) prog =
+  if not (Program.is_resolved prog) then
+    invalid_arg "Machine.create: program has unresolved labels";
+  if monitor_reg_count < 0 then
+    invalid_arg "Machine.create: negative monitor register count";
+  let mem = match mem with Some m -> m | None -> Memory.create () in
+  {
+    mem;
+    costs;
+    prog;
+    code = Program.items prog;
+    regs = Array.make Reg.count 0;
+    pc = 0;
+    cycles = 0;
+    executed = 0;
+    funcs = [];
+    halted = None;
+    monitor_regs = Array.make monitor_reg_count None;
+    store_hook = None;
+    enter_hook = None;
+    leave_hook = None;
+    syscall_handler = None;
+    trap_handler = None;
+    write_fault_handler = None;
+    monitor_fault_handler = None;
+    chk_handler = None;
+  }
+
+let memory t = t.mem
+let program t = t.prog
+
+let truncate32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let get_reg t r = t.regs.(Reg.to_int r)
+
+let set_reg t r v =
+  let i = Reg.to_int r in
+  if i <> 0 then t.regs.(i) <- truncate32 v
+
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let cycles t = t.cycles
+let charge t c = t.cycles <- t.cycles + c
+let instructions_executed t = t.executed
+let func_stack t = t.funcs
+let halt t code = t.halted <- Some code
+
+let set_store_hook t h = t.store_hook <- h
+let set_enter_hook t h = t.enter_hook <- h
+let set_leave_hook t h = t.leave_hook <- h
+let set_syscall_handler t h = t.syscall_handler <- h
+let set_trap_handler t h = t.trap_handler <- h
+let set_write_fault_handler t h = t.write_fault_handler <- h
+let set_monitor_fault_handler t h = t.monitor_fault_handler <- h
+let set_chk_handler t h = t.chk_handler <- h
+
+let monitor_reg_count t = Array.length t.monitor_regs
+
+let check_monitor_idx t i =
+  if i < 0 || i >= Array.length t.monitor_regs then
+    invalid_arg (Printf.sprintf "Machine: monitor register %d out of range" i)
+
+let set_monitor_reg t i v =
+  check_monitor_idx t i;
+  t.monitor_regs.(i) <- v
+
+let monitor_reg t i =
+  check_monitor_idx t i;
+  t.monitor_regs.(i)
+
+let monitor_hit t range =
+  let n = Array.length t.monitor_regs in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.monitor_regs.(i) with
+      | Some m when Interval.overlaps m range -> Some i
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let alu_eval op a b =
+  let bool_int c = if c then 1 else 0 in
+  match (op : Instr.alu_op) with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Rem -> if b = 0 then None else Some (a mod b)
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+  | Sll -> Some (a lsl (b land 31))
+  | Srl -> Some ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Sra -> Some (a asr (b land 31))
+  | Slt -> Some (bool_int (a < b))
+  | Sle -> Some (bool_int (a <= b))
+  | Seq -> Some (bool_int (a = b))
+  | Sne -> Some (bool_int (a <> b))
+
+let cond_eval c a b =
+  match (c : Instr.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Gt -> a > b
+  | Le -> a <= b
+
+let target_index = function
+  | Instr.Abs i -> i
+  | Instr.Label l -> invalid_arg ("Machine: unresolved label " ^ l)
+
+(* Execute a store. Order of events (§2, §3.1): protection is checked
+   before the write (VM faults are barriers at the page level); hardware
+   monitor notification happens after the write has succeeded. *)
+let exec_store t instr_pc ~addr ~width ~value ~implicit =
+  let store () =
+    if width = 4 then Memory.store_word t.mem addr value
+    else Memory.store_byte t.mem addr value
+  in
+  match store () with
+  | () ->
+      t.pc <- instr_pc + 1;
+      (match monitor_hit t (Interval.of_base_size ~base:addr ~size:width) with
+      | Some reg -> (
+          match t.monitor_fault_handler with
+          | Some h -> h t ~reg ~addr ~width ~pc:instr_pc
+          | None -> ())
+      | None -> ());
+      (match t.store_hook with
+      | Some h -> h t ~addr ~width ~value ~pc:instr_pc ~implicit
+      | None -> ());
+      None
+  | exception Memory.Write_fault _ -> (
+      match t.write_fault_handler with
+      | Some h ->
+          t.pc <- instr_pc + 1;
+          h t ~addr ~width ~value ~pc:instr_pc;
+          None
+      | None ->
+          Some
+            (Machine_error
+               (Printf.sprintf "unhandled write fault at 0x%x (pc %d)" addr
+                  instr_pc)))
+
+let step t =
+  match t.halted with
+  | Some code -> Some (Halted code)
+  | None ->
+      if t.pc < 0 || t.pc >= Array.length t.code then
+        Some (Machine_error (Printf.sprintf "pc out of range: %d" t.pc))
+      else begin
+        let { Program.instr; implicit } = t.code.(t.pc) in
+        let instr_pc = t.pc in
+        t.executed <- t.executed + 1;
+        t.cycles <- t.cycles + Cost_model.cost t.costs instr;
+        let continue () =
+          t.pc <- instr_pc + 1;
+          None
+        in
+        let result =
+          match instr with
+          | Nop -> continue ()
+          | Halt -> Some (Halted (get_reg t Reg.v0))
+          | Li (rd, imm) ->
+              set_reg t rd imm;
+              continue ()
+          | Mv (rd, rs) ->
+              set_reg t rd (get_reg t rs);
+              continue ()
+          | Alu (op, rd, r1, r2) -> (
+              match alu_eval op (get_reg t r1) (get_reg t r2) with
+              | Some v ->
+                  set_reg t rd v;
+                  continue ()
+              | None ->
+                  Some (Machine_error (Printf.sprintf "division by zero at pc %d" instr_pc)))
+          | Alui (op, rd, r1, imm) -> (
+              match alu_eval op (get_reg t r1) imm with
+              | Some v ->
+                  set_reg t rd v;
+                  continue ()
+              | None ->
+                  Some (Machine_error (Printf.sprintf "division by zero at pc %d" instr_pc)))
+          | Lw (rd, rs, off) ->
+              set_reg t rd (Memory.load_word t.mem (get_reg t rs + off));
+              continue ()
+          | Lb (rd, rs, off) ->
+              set_reg t rd (Memory.load_byte t.mem (get_reg t rs + off));
+              continue ()
+          | Sw (rd, rs, off) ->
+              exec_store t instr_pc ~addr:(get_reg t rs + off) ~width:4
+                ~value:(get_reg t rd) ~implicit
+          | Sb (rd, rs, off) ->
+              exec_store t instr_pc ~addr:(get_reg t rs + off) ~width:1
+                ~value:(get_reg t rd land 0xff) ~implicit
+          | Br (c, r1, r2, target) ->
+              if cond_eval c (get_reg t r1) (get_reg t r2) then
+                t.pc <- target_index target
+              else t.pc <- instr_pc + 1;
+              None
+          | Jmp target ->
+              t.pc <- target_index target;
+              None
+          | Jal target ->
+              set_reg t Reg.ra (instr_pc + 1);
+              t.pc <- target_index target;
+              None
+          | Jalr rs ->
+              let dest = get_reg t rs in
+              set_reg t Reg.ra (instr_pc + 1);
+              t.pc <- dest;
+              None
+          | Ret ->
+              t.pc <- get_reg t Reg.ra;
+              None
+          | Syscall n -> (
+              match t.syscall_handler with
+              | Some h ->
+                  t.pc <- instr_pc + 1;
+                  h t n;
+                  None
+              | None ->
+                  Some
+                    (Machine_error
+                       (Printf.sprintf "syscall %d with no handler at pc %d" n instr_pc)))
+          | Trap code -> (
+              match t.trap_handler with
+              | Some h ->
+                  t.pc <- instr_pc + 1;
+                  h t ~code ~trap_pc:instr_pc;
+                  None
+              | None ->
+                  Some
+                    (Machine_error
+                       (Printf.sprintf "trap %d with no handler at pc %d" code instr_pc)))
+          | Chk { base; off; width } ->
+              let lo = get_reg t base + off in
+              (match t.chk_handler with
+              | Some h ->
+                  h t ~range:(Interval.of_base_size ~base:lo ~size:width) ~pc:instr_pc
+              | None -> ());
+              continue ()
+          | Enter f ->
+              t.funcs <- f :: t.funcs;
+              (match t.enter_hook with Some h -> h t f | None -> ());
+              continue ()
+          | Leave f ->
+              (match t.funcs with
+              | g :: rest when g = f -> t.funcs <- rest
+              | _ -> ());
+              (match t.leave_hook with Some h -> h t f | None -> ());
+              continue ()
+        in
+        match result with
+        | Some _ as stop -> stop
+        | None -> (
+            (* A handler may have requested an orderly halt. *)
+            match t.halted with Some code -> Some (Halted code) | None -> None)
+      end
+
+exception Stop of stop_reason
+
+let run ?(fuel = 200_000_000) t =
+  try
+    for _ = 1 to fuel do
+      match step t with Some reason -> raise (Stop reason) | None -> ()
+    done;
+    Out_of_fuel
+  with
+  | Stop reason -> reason
+  | Memory.Bad_address { addr; what } ->
+      Machine_error (Printf.sprintf "%s: bad address 0x%x (pc %d)" what addr t.pc)

@@ -1,0 +1,113 @@
+(** The simulated CPU.
+
+    Executes a resolved {!Ebp_isa.Program.t} over a {!Memory.t}, accumulating
+    a cycle count. The machine provides every architectural facility the
+    paper's four write-monitor strategies need:
+
+    - {b hardware monitor registers} (NativeHardware): a small, configurable
+      number of address-range registers; a store that overlaps an active one
+      completes and then transfers control to the monitor-fault handler —
+      write {e monitors}, not write barriers (§2);
+    - {b page protection faults} (VirtualMemory): a store to a read-only page
+      does not complete; the write-fault handler is expected to emulate it
+      via the privileged memory interface and execution resumes after the
+      faulting instruction;
+    - {b software traps} (TrapPatch): [Trap n] invokes the registered trap
+      handler with the trapping pc;
+    - {b inline checks} (CodePatch): [Chk] invokes the check handler with the
+      effective address range;
+    - {b store/enter/leave hooks} (trace generation): every successful,
+      directly-executed store is reported, together with function-boundary
+      markers and the current dynamic function context.
+
+    Handlers are ordinary OCaml closures standing in for the operating
+    system's signal delivery; the time they model is charged explicitly with
+    {!charge} by the strategy implementations. *)
+
+type t
+
+type stop_reason =
+  | Halted of int  (** [Halt] executed or {!halt} called; carries exit code *)
+  | Out_of_fuel
+  | Machine_error of string
+      (** invalid pc, unaligned access, division by zero, unhandled fault *)
+
+val create :
+  ?mem:Memory.t ->
+  ?costs:Cost_model.t ->
+  ?monitor_reg_count:int ->
+  Ebp_isa.Program.t ->
+  t
+(** [monitor_reg_count] defaults to 4, the most any processor of the paper's
+    era provided (§3.1). @raise Invalid_argument on an unresolved program. *)
+
+val memory : t -> Memory.t
+val program : t -> Ebp_isa.Program.t
+
+val get_reg : t -> Ebp_isa.Reg.t -> int
+val set_reg : t -> Ebp_isa.Reg.t -> int -> unit
+(** Writes to register [zero] are ignored. Values are truncated to 32-bit
+    two's complement. *)
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val cycles : t -> int
+val charge : t -> int -> unit
+(** Add modeled service time (in cycles) to the cycle counter. *)
+
+val instructions_executed : t -> int
+
+val func_stack : t -> int list
+(** Dynamic function context, innermost first, maintained by
+    [Enter]/[Leave] markers. *)
+
+val halt : t -> int -> unit
+(** Request an orderly stop with the given exit code (used by the [exit]
+    system call). *)
+
+(** {2 Hooks and handlers} *)
+
+val set_store_hook :
+  t -> (t -> addr:int -> width:int -> value:int -> pc:int -> implicit:bool -> unit) option -> unit
+(** Called after every store that executes directly (not via a fault
+    handler's emulation). *)
+
+val set_enter_hook : t -> (t -> int -> unit) option -> unit
+val set_leave_hook : t -> (t -> int -> unit) option -> unit
+
+val set_syscall_handler : t -> (t -> int -> unit) option -> unit
+(** Without a handler, [Syscall] is a machine error. *)
+
+val set_trap_handler : t -> (t -> code:int -> trap_pc:int -> unit) option -> unit
+
+val set_write_fault_handler :
+  t -> (t -> addr:int -> width:int -> value:int -> pc:int -> unit) option -> unit
+(** Invoked when a store hits a read-only page. The store has {e not} been
+    performed; the handler must emulate it (privileged store) if execution
+    is to proceed correctly. Resumes after the faulting instruction. *)
+
+val set_monitor_fault_handler :
+  t -> (t -> reg:int -> addr:int -> width:int -> pc:int -> unit) option -> unit
+(** Invoked after a store that overlaps an active monitor register. *)
+
+val set_chk_handler :
+  t -> (t -> range:Ebp_util.Interval.t -> pc:int -> unit) option -> unit
+(** Invoked by the [Chk] instruction. Without a handler, [Chk] is a no-op
+    (unpatched programs never execute one). *)
+
+(** {2 Hardware monitor registers} *)
+
+val monitor_reg_count : t -> int
+val set_monitor_reg : t -> int -> Ebp_util.Interval.t option -> unit
+(** @raise Invalid_argument on an out-of-range register index. *)
+
+val monitor_reg : t -> int -> Ebp_util.Interval.t option
+
+(** {2 Execution} *)
+
+val step : t -> stop_reason option
+(** Execute one instruction; [None] means the machine can continue. *)
+
+val run : ?fuel:int -> t -> stop_reason
+(** Run until halt, error, or [fuel] instructions (default 200 million). *)

@@ -1,0 +1,115 @@
+module Interval = Ebp_util.Interval
+
+type protection = Read_write | Read_only
+
+type page = { bytes : Bytes.t; mutable prot : protection }
+
+type t = {
+  page_size : int;
+  page_shift : int;
+  pages : (int, page) Hashtbl.t;
+}
+
+exception Write_fault of { addr : int; width : int }
+exception Bad_address of { addr : int; what : string }
+
+let address_space = 1 lsl 32
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(page_size = 4096) () =
+  if not (is_power_of_two page_size) then
+    invalid_arg "Memory.create: page_size must be a positive power of two";
+  let rec log2 n = if n = 1 then 0 else 1 + log2 (n lsr 1) in
+  { page_size; page_shift = log2 page_size; pages = Hashtbl.create 64 }
+
+let page_size t = t.page_size
+
+let check_addr _t addr width what =
+  if addr < 0 || addr + width > address_space then
+    raise (Bad_address { addr; what });
+  if width = 4 && addr land 3 <> 0 then
+    raise (Bad_address { addr; what = what ^ ": unaligned word access" })
+
+let page_of t addr = addr lsr t.page_shift
+
+let pages_of_range t range =
+  let first = page_of t (Interval.lo range) and last = page_of t (Interval.hi range) in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let find_page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      let p = { bytes = Bytes.make t.page_size '\000'; prot = Read_write } in
+      Hashtbl.add t.pages idx p;
+      p
+
+(* A word access never spans pages because page sizes are power-of-two
+   multiples of the word size and word accesses are aligned. *)
+
+let load_byte t addr =
+  check_addr t addr 1 "load_byte";
+  match Hashtbl.find_opt t.pages (page_of t addr) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p.bytes (addr land (t.page_size - 1)))
+
+let load_word t addr =
+  check_addr t addr 4 "load_word";
+  match Hashtbl.find_opt t.pages (page_of t addr) with
+  | None -> 0
+  | Some p ->
+      let off = addr land (t.page_size - 1) in
+      let b i = Char.code (Bytes.unsafe_get p.bytes (off + i)) in
+      let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+      if v land 0x80000000 <> 0 then v - address_space else v
+
+let raw_store_byte t addr v =
+  let p = find_page t (page_of t addr) in
+  Bytes.unsafe_set p.bytes (addr land (t.page_size - 1)) (Char.chr (v land 0xff))
+
+let raw_store_word t addr v =
+  let p = find_page t (page_of t addr) in
+  let off = addr land (t.page_size - 1) in
+  Bytes.unsafe_set p.bytes off (Char.chr (v land 0xff));
+  Bytes.unsafe_set p.bytes (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set p.bytes (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set p.bytes (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let writable t addr =
+  match Hashtbl.find_opt t.pages (page_of t addr) with
+  | None -> true
+  | Some p -> p.prot = Read_write
+
+let store_byte t addr v =
+  check_addr t addr 1 "store_byte";
+  if not (writable t addr) then raise (Write_fault { addr; width = 1 });
+  raw_store_byte t addr v
+
+let store_word t addr v =
+  check_addr t addr 4 "store_word";
+  if not (writable t addr) then raise (Write_fault { addr; width = 4 });
+  raw_store_word t addr v
+
+let privileged_store_byte t addr v =
+  check_addr t addr 1 "privileged_store_byte";
+  raw_store_byte t addr v
+
+let privileged_store_word t addr v =
+  check_addr t addr 4 "privileged_store_word";
+  raw_store_word t addr v
+
+let protect t ~page prot = (find_page t page).prot <- prot
+
+let protection t ~page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> Read_write
+  | Some p -> p.prot
+
+let protect_range t range prot =
+  List.iter (fun page -> protect t ~page prot) (pages_of_range t range)
+
+let protected_page_count t =
+  Hashtbl.fold (fun _ p acc -> if p.prot = Read_only then acc + 1 else acc) t.pages 0
+
+let materialized_pages t = Hashtbl.length t.pages

@@ -1,0 +1,55 @@
+(** Sparse, paged byte-addressable memory with per-page write protection.
+
+    This is the substrate for the VirtualMemory strategy: the WMS write
+    protects the pages a monitor resides on and catches the resulting write
+    faults. Pages are materialized on demand and zero-filled, so a machine
+    with a 4 GiB address space costs only what it touches.
+
+    Word accesses are 4-byte little-endian and must be aligned. Stores
+    truncate to 32 bits; word loads sign-extend, byte loads zero-extend.
+
+    Protected stores raise {!Write_fault}; they never modify memory. The
+    privileged accessors bypass protection — they model the fault handler
+    (or the debugger) emulating the faulting instruction. *)
+
+type t
+
+type protection = Read_write | Read_only
+
+exception Write_fault of { addr : int; width : int }
+exception Bad_address of { addr : int; what : string }
+(** Raised on negative, out-of-space, or (for words) unaligned addresses. *)
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] must be a positive power of two (default 4096). *)
+
+val page_size : t -> int
+
+val page_of : t -> int -> int
+(** Page index containing a byte address. *)
+
+val pages_of_range : t -> Ebp_util.Interval.t -> int list
+(** Ascending page indices covering an address interval. *)
+
+val load_word : t -> int -> int
+val load_byte : t -> int -> int
+
+val store_word : t -> int -> int -> unit
+(** [store_word t addr v]: respects protection. @raise Write_fault *)
+
+val store_byte : t -> int -> int -> unit
+
+val privileged_store_word : t -> int -> int -> unit
+val privileged_store_byte : t -> int -> int -> unit
+
+val protect : t -> page:int -> protection -> unit
+val protection : t -> page:int -> protection
+
+val protect_range : t -> Ebp_util.Interval.t -> protection -> unit
+(** Apply a protection to every page covering the interval. *)
+
+val protected_page_count : t -> int
+(** Number of pages currently read-only. *)
+
+val materialized_pages : t -> int
+(** Number of pages backed by storage (diagnostics). *)

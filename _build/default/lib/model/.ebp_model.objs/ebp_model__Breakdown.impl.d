@@ -1,0 +1,1 @@
+lib/model/breakdown.ml: Float Format Hashtbl List Option Strategy_model

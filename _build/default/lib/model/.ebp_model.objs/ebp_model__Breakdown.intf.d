@@ -1,0 +1,1 @@
+lib/model/breakdown.mli: Format Strategy_model

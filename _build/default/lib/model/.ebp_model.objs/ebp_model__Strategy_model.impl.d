@@ -1,0 +1,1 @@
+lib/model/strategy_model.ml: Ebp_sessions Ebp_wms List Printf

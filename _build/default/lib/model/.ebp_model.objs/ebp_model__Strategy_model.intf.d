@@ -1,0 +1,1 @@
+lib/model/strategy_model.mli: Ebp_sessions Ebp_wms

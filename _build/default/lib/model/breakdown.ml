@@ -1,0 +1,22 @@
+let mean_percentages overheads =
+  let sums = Hashtbl.create 8 in
+  let counted = ref 0 in
+  List.iter
+    (fun (o : Strategy_model.overhead) ->
+      if o.Strategy_model.total_us > 0.0 then begin
+        incr counted;
+        List.iter
+          (fun (var, us) ->
+            let share = us /. o.Strategy_model.total_us *. 100.0 in
+            let current = Option.value ~default:0.0 (Hashtbl.find_opt sums var) in
+            Hashtbl.replace sums var (current +. share))
+          o.Strategy_model.breakdown
+      end)
+    overheads;
+  if !counted = 0 then []
+  else
+    Hashtbl.fold (fun var sum acc -> (var, sum /. float_of_int !counted) :: acc) sums []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let pp ppf shares =
+  List.iter (fun (var, pct) -> Format.fprintf ppf "%s=%.1f%% " var pct) shares

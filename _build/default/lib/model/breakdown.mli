@@ -1,0 +1,15 @@
+(** Overhead breakdown by timing variable (paper §8, penultimate analysis).
+
+    "For each program we calculated the mean, over all monitor sessions, of
+    the percentage of time taken by each of the operations corresponding to
+    our timing variables." The paper reports NHFaultHandler at 100% for NH,
+    VMFaultHandler at 86–97% for VM-4K, TPFaultHandler at ~97% for TP, and
+    SoftwareLookup at 98–99% for CP. *)
+
+val mean_percentages :
+  Strategy_model.overhead list -> (string * float) list
+(** Mean share (in percent) of each timing variable across the given
+    session overheads. Sessions with zero total overhead are skipped.
+    Sorted descending by share. *)
+
+val pp : Format.formatter -> (string * float) list -> unit

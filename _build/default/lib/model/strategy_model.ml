@@ -1,0 +1,143 @@
+module Timing = Ebp_wms.Timing
+module Counts = Ebp_sessions.Counts
+
+type approach = NH | VM of int | TP | CP | Remote of approach
+
+let rec name = function
+  | NH -> "NH"
+  | VM ps when ps mod 1024 = 0 -> Printf.sprintf "VM-%dK" (ps / 1024)
+  | VM ps -> Printf.sprintf "VM-%d" ps
+  | TP -> "TP"
+  | CP -> "CP"
+  | Remote a -> name a ^ "-rem"
+
+let rec long_name = function
+  | NH -> "NativeHardware"
+  | VM ps when ps mod 1024 = 0 -> Printf.sprintf "VirtualMemory-%dK" (ps / 1024)
+  | VM ps -> Printf.sprintf "VirtualMemory-%d" ps
+  | TP -> "TrapPatch"
+  | CP -> "CodePatch"
+  | Remote a -> long_name a ^ "-remote"
+
+let default_approaches = [ NH; VM 4096; VM 8192; TP; CP ]
+
+type overhead = {
+  hit_us : float;
+  miss_us : float;
+  install_us : float;
+  remove_us : float;
+  total_us : float;
+  breakdown : (string * float) list;
+}
+
+let f = float_of_int
+
+let finish ~hit_us ~miss_us ~install_us ~remove_us ~breakdown =
+  let breakdown = List.filter (fun (_, v) -> v <> 0.0) breakdown in
+  {
+    hit_us;
+    miss_us;
+    install_us;
+    remove_us;
+    total_us = hit_us +. miss_us +. install_us +. remove_us;
+    breakdown;
+  }
+
+(* Fault-driven events that would cross the address-space boundary under
+   the §3.4 ptrace-style arrangement, split into (hit-side, miss-side):
+   each pays a context-switch round trip. *)
+let remote_faults approach (c : Counts.t) =
+  match approach with
+  | NH -> (c.Counts.hits, 0)
+  | VM page_size ->
+      (c.Counts.hits, (Counts.vm_for c ~page_size).Counts.active_page_misses)
+  | TP -> (c.Counts.hits, c.Counts.misses)
+  | CP | Remote _ -> invalid_arg "Strategy_model: Remote applies to NH, VM, TP only"
+
+let rec overhead (t : Timing.t) approach (c : Counts.t) =
+  match approach with
+  | Remote base ->
+      let o = overhead t base c in
+      let hit_faults, miss_faults = remote_faults base c in
+      let round_trip = 2.0 *. t.Timing.context_switch_us in
+      let hit_switch = f hit_faults *. round_trip in
+      let miss_switch = f miss_faults *. round_trip in
+      {
+        hit_us = o.hit_us +. hit_switch;
+        miss_us = o.miss_us +. miss_switch;
+        install_us = o.install_us;
+        remove_us = o.remove_us;
+        total_us = o.total_us +. hit_switch +. miss_switch;
+        breakdown = ("ContextSwitch", hit_switch +. miss_switch) :: o.breakdown;
+      }
+  | NH ->
+      let hit_us = f c.Counts.hits *. t.Timing.nh_fault_handler_us in
+      finish ~hit_us ~miss_us:0.0 ~install_us:0.0 ~remove_us:0.0
+        ~breakdown:[ ("NHFaultHandler", hit_us) ]
+  | VM page_size ->
+      let vm = Counts.vm_for c ~page_size in
+      let faults = c.Counts.hits + vm.Counts.active_page_misses in
+      let hit_us =
+        f c.Counts.hits *. (t.Timing.vm_fault_handler_us +. t.Timing.software_lookup_us)
+      in
+      let miss_us =
+        f vm.Counts.active_page_misses
+        *. (t.Timing.vm_fault_handler_us +. t.Timing.software_lookup_us)
+      in
+      let update_triple =
+        t.Timing.vm_unprotect_us +. t.Timing.software_update_us +. t.Timing.vm_protect_us
+      in
+      let install_us =
+        (f c.Counts.installs *. update_triple)
+        +. (f vm.Counts.protects *. t.Timing.vm_protect_us)
+      in
+      let remove_us =
+        (f c.Counts.removes *. update_triple)
+        +. (f vm.Counts.unprotects *. t.Timing.vm_unprotect_us)
+      in
+      finish ~hit_us ~miss_us ~install_us ~remove_us
+        ~breakdown:
+          [
+            ("VMFaultHandler", f faults *. t.Timing.vm_fault_handler_us);
+            ("SoftwareLookup", f faults *. t.Timing.software_lookup_us);
+            ( "SoftwareUpdate",
+              f (c.Counts.installs + c.Counts.removes) *. t.Timing.software_update_us );
+            ( "VMProtect",
+              f (c.Counts.installs + c.Counts.removes + vm.Counts.protects)
+              *. t.Timing.vm_protect_us );
+            ( "VMUnprotect",
+              f (c.Counts.installs + c.Counts.removes + vm.Counts.unprotects)
+              *. t.Timing.vm_unprotect_us );
+          ]
+  | TP ->
+      let writes = c.Counts.hits + c.Counts.misses in
+      let per_write = t.Timing.tp_fault_handler_us +. t.Timing.software_lookup_us in
+      let hit_us = f c.Counts.hits *. per_write in
+      let miss_us = f c.Counts.misses *. per_write in
+      let install_us = f c.Counts.installs *. t.Timing.software_update_us in
+      let remove_us = f c.Counts.removes *. t.Timing.software_update_us in
+      finish ~hit_us ~miss_us ~install_us ~remove_us
+        ~breakdown:
+          [
+            ("TPFaultHandler", f writes *. t.Timing.tp_fault_handler_us);
+            ("SoftwareLookup", f writes *. t.Timing.software_lookup_us);
+            ( "SoftwareUpdate",
+              f (c.Counts.installs + c.Counts.removes) *. t.Timing.software_update_us );
+          ]
+  | CP ->
+      let writes = c.Counts.hits + c.Counts.misses in
+      let hit_us = f c.Counts.hits *. t.Timing.software_lookup_us in
+      let miss_us = f c.Counts.misses *. t.Timing.software_lookup_us in
+      let install_us = f c.Counts.installs *. t.Timing.software_update_us in
+      let remove_us = f c.Counts.removes *. t.Timing.software_update_us in
+      finish ~hit_us ~miss_us ~install_us ~remove_us
+        ~breakdown:
+          [
+            ("SoftwareLookup", f writes *. t.Timing.software_lookup_us);
+            ( "SoftwareUpdate",
+              f (c.Counts.installs + c.Counts.removes) *. t.Timing.software_update_us );
+          ]
+
+let relative overhead ~base_ms =
+  if base_ms <= 0.0 then invalid_arg "Strategy_model.relative: base_ms <= 0";
+  overhead.total_us /. (base_ms *. 1000.0)

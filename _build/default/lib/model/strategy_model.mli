@@ -1,0 +1,65 @@
+(** The paper's analytical models (§7.1, Figures 3–6).
+
+    Each model combines a monitor session's counting variables
+    ({!Ebp_sessions.Counts.t}) with timing variables ({!Ebp_wms.Timing.t})
+    to estimate the overhead the strategy would impose on that session.
+    The total is the sum of four components — handling hits, handling
+    misses, installing monitors, removing monitors — exactly as in the
+    paper's figures:
+
+    {v
+    NH: hit = Hits × NHFaultHandler                          (Figure 3)
+    VM: hit  = Hits × (VMFaultHandler + SoftwareLookup)      (Figure 4)
+        miss = ActivePageMiss × (VMFaultHandler + SoftwareLookup)
+        inst = Installs × (VMUnprotect + SoftwareUpdate + VMProtect)
+               + Protects × VMProtect
+        rem  = Removes × (VMUnprotect + SoftwareUpdate + VMProtect)
+               + Unprotects × VMUnprotect
+    TP: hit/miss = (Hits|Misses) × (TPFaultHandler + SoftwareLookup)
+        inst/rem = (Installs|Removes) × SoftwareUpdate       (Figure 5)
+    CP: hit/miss = (Hits|Misses) × SoftwareLookup
+        inst/rem = (Installs|Removes) × SoftwareUpdate       (Figure 6)
+    v} *)
+
+type approach =
+  | NH
+  | VM of int  (** page size in bytes (the paper reports 4096 and 8192) *)
+  | TP
+  | CP
+  | Remote of approach
+      (** the §3.4 ptrace-style variant: the WMS mapping lives in a separate
+          address space (typically the debugger's), so every fault-driven
+          event additionally pays a context-switch round trip. Applies to
+          NH, VM, and TP; [Remote CP] is rejected — CodePatch's inline
+          checks {e must} read the mapping in-process, which is exactly the
+          paper's argument for keeping a little read-only WMS data in the
+          debuggee (§3.4, §9). *)
+
+val name : approach -> string
+(** ["NH"], ["VM-4K"], ["VM-8K"], ["VM-<n>"], ["TP"], ["CP"]. *)
+
+val long_name : approach -> string
+(** ["NativeHardware"], ["VirtualMemory-4K"], ... *)
+
+val default_approaches : approach list
+(** The paper's five columns: [NH; VM 4096; VM 8192; TP; CP]. *)
+
+(** Modeled overhead of one session under one approach, in microseconds. *)
+type overhead = {
+  hit_us : float;
+  miss_us : float;
+  install_us : float;
+  remove_us : float;
+  total_us : float;
+  breakdown : (string * float) list;
+      (** per timing variable, e.g. [("VMFaultHandler", 123.0)]; sums to
+          [total_us] *)
+}
+
+val overhead : Ebp_wms.Timing.t -> approach -> Ebp_sessions.Counts.t -> overhead
+(** @raise Invalid_argument for [VM ps] when the counts lack page size [ps],
+    and for [Remote CP] or nested [Remote]. *)
+
+val relative : overhead -> base_ms:float -> float
+(** Relative overhead: modeled overhead divided by base execution time
+    (both in consistent units). [base_ms] must be positive. *)

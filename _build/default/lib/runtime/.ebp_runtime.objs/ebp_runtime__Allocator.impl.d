@@ -1,0 +1,1 @@
+lib/runtime/allocator.ml: Ebp_lang Hashtbl Int List Printf

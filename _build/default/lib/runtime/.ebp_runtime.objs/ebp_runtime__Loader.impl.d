@@ -1,0 +1,1 @@
+lib/runtime/loader.ml: Allocator Buffer Char Ebp_isa Ebp_lang Ebp_machine Ebp_util List Printf Result

@@ -1,0 +1,1 @@
+lib/runtime/loader.mli: Allocator Ebp_lang Ebp_machine

@@ -1,0 +1,123 @@
+type event =
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int; size : int }
+  | Realloc of { old_addr : int; old_size : int; new_addr : int; new_size : int }
+
+type t = {
+  base : int;
+  limit : int;
+  mutable free_list : (int * int) list;  (* (addr, size), ascending, coalesced *)
+  allocated : (int, int) Hashtbl.t;  (* addr -> size *)
+  mutable hook : (event -> unit) option;
+}
+
+let align4 n = (n + 3) land lnot 3
+
+let create ?(base = Ebp_lang.Layout.heap_base) ?(limit = Ebp_lang.Layout.heap_limit) () =
+  if base land 3 <> 0 || limit land 3 <> 0 then
+    invalid_arg "Allocator.create: unaligned heap bounds";
+  if limit <= base then invalid_arg "Allocator.create: empty heap";
+  {
+    base;
+    limit;
+    free_list = [ (base, limit - base) ];
+    allocated = Hashtbl.create 64;
+    hook = None;
+  }
+
+let set_event_hook t hook = t.hook <- hook
+
+let fire t event = match t.hook with Some h -> h event | None -> ()
+
+let alloc_block t size =
+  let size = max 4 (align4 size) in
+  let rec take acc = function
+    | [] -> None
+    | (addr, block_size) :: rest when block_size >= size ->
+        let remaining =
+          if block_size = size then rest else (addr + size, block_size - size) :: rest
+        in
+        Some (addr, List.rev_append acc remaining)
+    | block :: rest -> take (block :: acc) rest
+  in
+  match take [] t.free_list with
+  | None -> None
+  | Some (addr, free_list) ->
+      t.free_list <- free_list;
+      Hashtbl.replace t.allocated addr size;
+      Some (addr, size)
+
+let malloc t size =
+  match alloc_block t size with
+  | None -> None
+  | Some (addr, size) ->
+      fire t (Alloc { addr; size });
+      Some addr
+
+(* Insert a block into the free list, coalescing with neighbours. *)
+let release t addr size =
+  let rec insert = function
+    | [] -> [ (addr, size) ]
+    | (a, s) :: rest ->
+        if addr + size < a then (addr, size) :: (a, s) :: rest
+        else if addr + size = a then (addr, size + s) :: rest
+        else if a + s = addr then
+          match insert_after (a, s + size) rest with l -> l
+        else (a, s) :: insert rest
+  and insert_after (a, s) = function
+    | (a2, s2) :: rest when a + s = a2 -> (a, s + s2) :: rest
+    | rest -> (a, s) :: rest
+  in
+  t.free_list <- insert t.free_list
+
+let free_block t addr =
+  match Hashtbl.find_opt t.allocated addr with
+  | None -> Error (Printf.sprintf "free of non-allocated address 0x%x" addr)
+  | Some size ->
+      Hashtbl.remove t.allocated addr;
+      release t addr size;
+      Ok size
+
+let free t addr =
+  match free_block t addr with
+  | Error _ as e -> e
+  | Ok size ->
+      fire t (Free { addr; size });
+      Ok ()
+
+let realloc t addr size ~copy =
+  if addr = 0 then
+    match alloc_block t size with
+    | None -> Ok None
+    | Some (new_addr, new_size) ->
+        fire t (Alloc { addr = new_addr; size = new_size });
+        Ok (Some new_addr)
+  else
+    match Hashtbl.find_opt t.allocated addr with
+    | None -> Error (Printf.sprintf "realloc of non-allocated address 0x%x" addr)
+    | Some old_size -> (
+        let wanted = max 4 (align4 size) in
+        if wanted <= old_size then begin
+          (* Shrink in place; the object keeps its full original extent in
+             the allocator (C allows this) but reports the new size. *)
+          fire t (Realloc { old_addr = addr; old_size; new_addr = addr; new_size = old_size });
+          Ok (Some addr)
+        end
+        else
+          match alloc_block t wanted with
+          | None -> Ok None
+          | Some (new_addr, new_size) ->
+              copy ~src:addr ~dst:new_addr ~len:(min old_size new_size);
+              Hashtbl.remove t.allocated addr;
+              release t addr old_size;
+              fire t (Realloc { old_addr = addr; old_size; new_addr; new_size });
+              Ok (Some new_addr))
+
+let size_of t addr = Hashtbl.find_opt t.allocated addr
+
+let live_blocks t =
+  Hashtbl.fold (fun addr size acc -> (addr, size) :: acc) t.allocated []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let live_bytes t = Hashtbl.fold (fun _ size acc -> acc + size) t.allocated 0
+let free_bytes t = List.fold_left (fun acc (_, s) -> acc + s) 0 t.free_list

@@ -1,0 +1,50 @@
+(** First-fit free-list heap allocator.
+
+    Plays the role of the C library's [malloc]/[free]/[realloc]. Its
+    bookkeeping lives on the host side, not in simulated memory — mirroring
+    the paper's setup where writes made by the standard library do not
+    appear in the program event trace (§6). Allocation events are reported
+    through a hook so the trace recorder can install and remove heap-object
+    write monitors; following the paper's footnote 4, a [realloc] keeps the
+    object's identity.
+
+    Blocks are 4-byte aligned, so distinct objects never share a machine
+    word and the word-granular monitor map cannot produce cross-object
+    false hits. *)
+
+type t
+
+type event =
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int; size : int }
+  | Realloc of { old_addr : int; old_size : int; new_addr : int; new_size : int }
+
+val create : ?base:int -> ?limit:int -> unit -> t
+(** Manage the byte range [[base, limit)]. Defaults to the MiniC heap
+    segment ({!Ebp_lang.Layout.heap_base}..[heap_limit]).
+    @raise Invalid_argument if the range is empty or misaligned. *)
+
+val set_event_hook : t -> (event -> unit) option -> unit
+
+val malloc : t -> int -> int option
+(** [malloc t size] returns the address of a fresh block of at least [size]
+    bytes, or [None] when the heap is exhausted. [size <= 0] allocates a
+    minimal (4-byte) block, like most C libraries. *)
+
+val free : t -> int -> (unit, string) result
+(** Freeing an address that is not the base of a live block is an error. *)
+
+val realloc : t -> int -> int -> copy:(src:int -> dst:int -> len:int -> unit) -> (int option, string) result
+(** [realloc t addr size ~copy] resizes the block at [addr]. When the block
+    moves, [copy] transfers the surviving prefix. [Ok None] means the heap
+    is exhausted (the original block survives). [realloc t 0 size] behaves
+    like [malloc]. *)
+
+val size_of : t -> int -> int option
+(** Size of the live block based at an address, if any. *)
+
+val live_blocks : t -> (int * int) list
+(** Live (address, size) pairs, ascending by address. *)
+
+val live_bytes : t -> int
+val free_bytes : t -> int

@@ -1,0 +1,99 @@
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+module Reg = Ebp_isa.Reg
+module Abi = Ebp_lang.Abi
+module Prng = Ebp_util.Prng
+
+type t = {
+  machine : Machine.t;
+  allocator : Allocator.t;
+  debug : Ebp_lang.Debug_info.t;
+  out : Buffer.t;
+  mutable prng : Prng.t;
+  mutable runtime_error : string option;
+}
+
+type run_result = {
+  status : Machine.stop_reason;
+  cycles : int;
+  instructions : int;
+  output : string;
+  runtime_error : string option;
+}
+
+let machine t = t.machine
+let allocator t = t.allocator
+let debug t = t.debug
+let output t = Buffer.contents t.out
+
+let fail (t : t) machine msg =
+  t.runtime_error <- Some msg;
+  Machine.halt machine (-1)
+
+let copy_words mem ~src ~dst ~len =
+  let words = len / 4 in
+  for i = 0 to words - 1 do
+    Memory.privileged_store_word mem (dst + (4 * i)) (Memory.load_word mem (src + (4 * i)))
+  done
+
+let dispatch_syscall t machine n =
+  let a0 = Machine.get_reg machine Reg.a0 in
+  let a1 = Machine.get_reg machine Reg.a1 in
+  if n = Abi.sys_exit then Machine.halt machine a0
+  else if n = Abi.sys_print_int then
+    Buffer.add_string t.out (string_of_int a0 ^ "\n")
+  else if n = Abi.sys_print_char then
+    Buffer.add_char t.out (Char.chr (a0 land 0xff))
+  else if n = Abi.sys_malloc then
+    let addr = match Allocator.malloc t.allocator a0 with Some a -> a | None -> 0 in
+    Machine.set_reg machine Reg.v0 addr
+  else if n = Abi.sys_free then begin
+    match Allocator.free t.allocator a0 with
+    | Ok () -> ()
+    | Error msg -> fail t machine msg
+  end
+  else if n = Abi.sys_realloc then begin
+    let copy = copy_words (Machine.memory machine) in
+    match Allocator.realloc t.allocator a0 a1 ~copy with
+    | Ok (Some addr) -> Machine.set_reg machine Reg.v0 addr
+    | Ok None -> Machine.set_reg machine Reg.v0 0
+    | Error msg -> fail t machine msg
+  end
+  else if n = Abi.sys_rand then
+    Machine.set_reg machine Reg.v0 (if a0 <= 0 then 0 else Prng.int t.prng a0)
+  else if n = Abi.sys_srand then t.prng <- Prng.create a0
+  else fail t machine (Printf.sprintf "unknown system call %d" n)
+
+let load ?(seed = 42) ?costs ?monitor_reg_count ?mem (compiled : Ebp_lang.Compiler.output) =
+  let machine = Machine.create ?mem ?costs ?monitor_reg_count compiled.Ebp_lang.Compiler.program in
+  let mem = Machine.memory machine in
+  List.iter
+    (fun (addr, value) -> Memory.privileged_store_word mem addr value)
+    compiled.Ebp_lang.Compiler.debug.Ebp_lang.Debug_info.init_words;
+  let t =
+    {
+      machine;
+      allocator = Allocator.create ();
+      debug = compiled.Ebp_lang.Compiler.debug;
+      out = Buffer.create 256;
+      prng = Prng.create seed;
+      runtime_error = None;
+    }
+  in
+  Machine.set_syscall_handler machine (Some (dispatch_syscall t));
+  t
+
+let run ?fuel t =
+  let status = Machine.run ?fuel t.machine in
+  {
+    status;
+    cycles = Machine.cycles t.machine;
+    instructions = Machine.instructions_executed t.machine;
+    output = Buffer.contents t.out;
+    runtime_error = t.runtime_error;
+  }
+
+let run_source ?seed ?fuel source =
+  Result.map
+    (fun compiled -> run ?fuel (load ?seed compiled))
+    (Ebp_lang.Compiler.compile source)

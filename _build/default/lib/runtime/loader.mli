@@ -1,0 +1,42 @@
+(** Program loader and operating-system personality.
+
+    Couples a compiled MiniC program to a {!Ebp_machine.Machine.t}: applies
+    global/static initializers (load-time privileged writes, invisible to
+    traces), wires the system-call dispatcher ([exit], [print_int],
+    [print_char], [malloc], [free], [realloc], [rand], [srand]) to the
+    {!Allocator} and a deterministic PRNG, and runs the machine.
+
+    Program output is collected in a buffer so tests can assert on it.
+    Runtime errors (bad [free], heap exhaustion on [malloc] is reported as a
+    null return instead) stop the machine with a descriptive error. *)
+
+type t
+
+type run_result = {
+  status : Ebp_machine.Machine.stop_reason;
+  cycles : int;
+  instructions : int;
+  output : string;
+  runtime_error : string option;
+      (** set when a system call failed (e.g. bad [free]) *)
+}
+
+val load :
+  ?seed:int ->
+  ?costs:Ebp_machine.Cost_model.t ->
+  ?monitor_reg_count:int ->
+  ?mem:Ebp_machine.Memory.t ->
+  Ebp_lang.Compiler.output ->
+  t
+(** [seed] (default 42) seeds the [rand] builtin. *)
+
+val machine : t -> Ebp_machine.Machine.t
+val allocator : t -> Allocator.t
+val debug : t -> Ebp_lang.Debug_info.t
+val output : t -> string
+(** Output produced so far. *)
+
+val run : ?fuel:int -> t -> run_result
+
+val run_source : ?seed:int -> ?fuel:int -> string -> (run_result, string) result
+(** Convenience: compile MiniC source, load, and run it. *)

@@ -1,0 +1,1 @@
+lib/sessions/counts.ml: Format List Printf

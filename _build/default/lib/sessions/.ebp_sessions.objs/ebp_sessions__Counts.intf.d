@@ -1,0 +1,1 @@
+lib/sessions/counts.mli: Format

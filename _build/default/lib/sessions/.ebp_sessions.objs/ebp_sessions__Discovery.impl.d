@@ -1,0 +1,1 @@
+lib/sessions/discovery.ml: Array Ebp_trace Hashtbl Int List Session String

@@ -1,0 +1,1 @@
+lib/sessions/discovery.mli: Ebp_trace Session

@@ -1,0 +1,1 @@
+lib/sessions/replay.ml: Array Counts Discovery Ebp_trace Hashtbl List Option Session

@@ -1,0 +1,1 @@
+lib/sessions/replay.mli: Counts Ebp_trace Session

@@ -1,0 +1,1 @@
+lib/sessions/session.ml: Ebp_trace Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/sessions/session.mli: Ebp_trace Format

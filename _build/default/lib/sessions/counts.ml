@@ -1,0 +1,36 @@
+(* Counting variables (paper §7, Figure 2): per-session totals the
+   analytical models consume. The VM-specific counters are computed per
+   page size (the paper reports 4K and 8K). *)
+
+type vm = {
+  page_size : int;
+  protects : int;  (** VMProtect_σ: page monitor count went 0 → 1 *)
+  unprotects : int;  (** VMUnprotect_σ: page monitor count went 1 → 0 *)
+  active_page_misses : int;
+      (** VMActivePageMiss_σ: monitor misses that wrote a page holding an
+          active monitor of this session *)
+}
+
+type t = {
+  installs : int;  (** InstallMonitor_σ *)
+  removes : int;  (** RemoveMonitor_σ *)
+  hits : int;  (** MonitorHit_σ *)
+  misses : int;  (** MonitorMiss_σ: every other write in the run *)
+  vm : vm list;  (** one entry per requested page size *)
+}
+
+let vm_for t ~page_size =
+  match List.find_opt (fun v -> v.page_size = page_size) t.vm with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Counts.vm_for: no counters for page size %d" page_size)
+
+let pp ppf t =
+  Format.fprintf ppf "installs=%d removes=%d hits=%d misses=%d" t.installs
+    t.removes t.hits t.misses;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf " [%dK: protect=%d unprotect=%d active_miss=%d]"
+        (v.page_size / 1024) v.protects v.unprotects v.active_page_misses)
+    t.vm

@@ -1,0 +1,25 @@
+(** Counting variables (paper §7, Figure 2): the per-session totals the
+    analytical models consume. VM-specific counters are computed once per
+    page size (the paper reports 4 KiB and 8 KiB). *)
+
+type vm = {
+  page_size : int;
+  protects : int;  (** VMProtect_σ: a page's monitor count went 0 → 1 *)
+  unprotects : int;  (** VMUnprotect_σ: a page's monitor count went 1 → 0 *)
+  active_page_misses : int;
+      (** VMActivePageMiss_σ: monitor misses that wrote to a page holding
+          an active monitor of this session *)
+}
+
+type t = {
+  installs : int;  (** InstallMonitor_σ *)
+  removes : int;  (** RemoveMonitor_σ *)
+  hits : int;  (** MonitorHit_σ *)
+  misses : int;  (** MonitorMiss_σ: every other write in the run *)
+  vm : vm list;  (** one entry per replayed page size *)
+}
+
+val vm_for : t -> page_size:int -> vm
+(** @raise Invalid_argument when no counters exist for the page size. *)
+
+val pp : Format.formatter -> t -> unit

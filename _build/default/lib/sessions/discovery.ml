@@ -1,0 +1,46 @@
+module Object_desc = Ebp_trace.Object_desc
+module Trace = Ebp_trace.Trace
+
+let discover trace =
+  let seen = Hashtbl.create 256 in
+  let sessions = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      sessions := s :: !sessions
+    end
+  in
+  Array.iter
+    (fun (obj : Object_desc.t) ->
+      match obj with
+      | Object_desc.Local { func; var; inst = _ } ->
+          add (Session.One_local_auto { func; var });
+          add (Session.All_local_in_func { func })
+      | Object_desc.Local_static { func; var = _ } ->
+          add (Session.All_local_in_func { func })
+      | Object_desc.Global { var } -> add (Session.One_global_static { var })
+      | Object_desc.Heap { context; seq } -> (
+          match context with
+          | [] -> ()
+          | site :: _ ->
+              add (Session.One_heap { site; seq });
+              let distinct = List.sort_uniq String.compare context in
+              List.iter (fun func -> add (Session.All_heap_in_func { func })) distinct))
+    (Trace.objects trace);
+  let order s =
+    match Session.kind s with
+    | Session.K_one_local_auto -> 0
+    | Session.K_all_local_in_func -> 1
+    | Session.K_one_global_static -> 2
+    | Session.K_one_heap -> 3
+    | Session.K_all_heap_in_func -> 4
+  in
+  List.stable_sort
+    (fun a b -> Int.compare (order a) (order b))
+    (List.rev !sessions)
+
+let count_by_kind sessions =
+  List.map
+    (fun kind ->
+      (kind, List.length (List.filter (fun s -> Session.kind s = kind) sessions)))
+    Session.all_kinds

@@ -1,0 +1,20 @@
+(** Session discovery (paper §8): "for each benchmark program, we discovered
+    all instances of the monitor session types described in Section 5".
+
+    Candidates are derived from the objects appearing in a trace:
+
+    - each distinct local automatic variable → a OneLocalAuto session;
+    - each function with any local (automatic or static) → AllLocalInFunc;
+    - each global → OneGlobalStatic;
+    - each heap object → OneHeap;
+    - each function appearing in any heap object's allocation context →
+      AllHeapInFunc.
+
+    The paper then discards sessions with no monitor hits; that filtering
+    happens after replay (see {!Replay}), not here. *)
+
+val discover : Ebp_trace.Trace.t -> Session.t list
+(** Deduplicated, in deterministic order (by kind, then definition order of
+    first appearance). *)
+
+val count_by_kind : Session.t list -> (Session.kind * int) list

@@ -1,0 +1,220 @@
+module Trace = Ebp_trace.Trace
+
+let default_page_sizes = [ 4096; 8192 ]
+
+(* Reverse index value: a small mutable set of session ids. Sessions
+   monitoring the same word are few (a heap word belongs to one OneHeap
+   session plus its enclosing AllHeapInFunc sessions), so a list is fine. *)
+type id_set = { mutable ids : int list }
+
+let set_add s id = if not (List.memq id s.ids) then s.ids <- id :: s.ids
+let set_remove s id = s.ids <- List.filter (fun x -> x != id) s.ids
+
+(* Per page size state: page-index maps for protection-transition counting
+   and the "write touched an active page" statistic. *)
+type page_state = {
+  page_size : int;
+  page_shift : int;
+  (* (session, page) -> number of active monitors of that session on page.
+     Key packed as session lsl 22 lor page: pages of a 32-bit space at 4 KiB
+     granularity need 20 bits; sessions stay well under 2^40. *)
+  counts : (int, int) Hashtbl.t;
+  (* page -> sessions with at least one active monitor there *)
+  active : (int, id_set) Hashtbl.t;
+  protects : int array;
+  unprotects : int array;
+  touches : int array;  (* writes landing on an active page, per session *)
+}
+
+let log2_exact n =
+  let rec go i v = if v = 1 then i else go (i + 1) (v lsr 1) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Replay: page size must be a positive power of two"
+  else go 0 n
+
+let make_page_state nsessions page_size =
+  {
+    page_size;
+    page_shift = log2_exact page_size;
+    counts = Hashtbl.create 1024;
+    active = Hashtbl.create 1024;
+    protects = Array.make nsessions 0;
+    unprotects = Array.make nsessions 0;
+    touches = Array.make nsessions 0;
+  }
+
+let pack session page = (session lsl 22) lor page
+
+let page_install ps session ~lo ~hi =
+  let first = lo lsr ps.page_shift and last = hi lsr ps.page_shift in
+  for page = first to last do
+    let key = pack session page in
+    let count = Option.value ~default:0 (Hashtbl.find_opt ps.counts key) in
+    Hashtbl.replace ps.counts key (count + 1);
+    if count = 0 then begin
+      ps.protects.(session) <- ps.protects.(session) + 1;
+      let set =
+        match Hashtbl.find_opt ps.active page with
+        | Some s -> s
+        | None ->
+            let s = { ids = [] } in
+            Hashtbl.add ps.active page s;
+            s
+      in
+      set_add set session
+    end
+  done
+
+let page_remove ps session ~lo ~hi =
+  let first = lo lsr ps.page_shift and last = hi lsr ps.page_shift in
+  for page = first to last do
+    let key = pack session page in
+    match Hashtbl.find_opt ps.counts key with
+    | None -> ()
+    | Some count ->
+        if count <= 1 then begin
+          Hashtbl.remove ps.counts key;
+          ps.unprotects.(session) <- ps.unprotects.(session) + 1;
+          match Hashtbl.find_opt ps.active page with
+          | Some set ->
+              set_remove set session;
+              if set.ids = [] then Hashtbl.remove ps.active page
+          | None -> ()
+        end
+        else Hashtbl.replace ps.counts key (count - 1)
+  done
+
+let page_write ps ~lo ~hi touch =
+  let first = lo lsr ps.page_shift and last = hi lsr ps.page_shift in
+  (match Hashtbl.find_opt ps.active first with
+  | Some set -> List.iter touch set.ids
+  | None -> ());
+  if last <> first then
+    match Hashtbl.find_opt ps.active last with
+    | Some set ->
+        (* Avoid double-counting sessions active on both touched pages. *)
+        let first_set =
+          match Hashtbl.find_opt ps.active first with
+          | Some s -> s.ids
+          | None -> []
+        in
+        List.iter (fun id -> if not (List.memq id first_set) then touch id) set.ids
+    | None -> ()
+
+let replay_all ?(page_sizes = default_page_sizes) trace sessions =
+  let sessions_arr = Array.of_list sessions in
+  let nsessions = Array.length sessions_arr in
+  (* Which sessions does each interned object belong to? Precomputed per
+     object id, so the per-event work is a list walk. *)
+  let objs = Trace.objects trace in
+  let obj_sessions =
+    Array.map
+      (fun obj ->
+        let acc = ref [] in
+        for s = nsessions - 1 downto 0 do
+          if Session.matches sessions_arr.(s) obj then acc := s :: !acc
+        done;
+        !acc)
+      objs
+  in
+  let installs = Array.make nsessions 0 in
+  let removes = Array.make nsessions 0 in
+  let hits = Array.make nsessions 0 in
+  (* word index -> sessions actively monitoring that word *)
+  let word_sessions : (int, id_set) Hashtbl.t = Hashtbl.create 4096 in
+  let page_states = List.map (make_page_state nsessions) page_sizes in
+  let total_writes = ref 0 in
+  let word_install session ~lo ~hi =
+    for w = lo lsr 2 to hi lsr 2 do
+      let set =
+        match Hashtbl.find_opt word_sessions w with
+        | Some s -> s
+        | None ->
+            let s = { ids = [] } in
+            Hashtbl.add word_sessions w s;
+            s
+      in
+      set_add set session
+    done
+  in
+  let word_remove session ~lo ~hi =
+    for w = lo lsr 2 to hi lsr 2 do
+      match Hashtbl.find_opt word_sessions w with
+      | Some set ->
+          set_remove set session;
+          if set.ids = [] then Hashtbl.remove word_sessions w
+      | None -> ()
+    done
+  in
+  (* Scratch buffer for per-write hit dedup (a write touches <= 2 words). *)
+  let hit_scratch = ref [] in
+  Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc:_ ->
+      if tag = 0 then
+        List.iter
+          (fun s ->
+            installs.(s) <- installs.(s) + 1;
+            word_install s ~lo ~hi;
+            List.iter (fun ps -> page_install ps s ~lo ~hi) page_states)
+          obj_sessions.(obj)
+      else if tag = 1 then
+        List.iter
+          (fun s ->
+            removes.(s) <- removes.(s) + 1;
+            word_remove s ~lo ~hi;
+            List.iter (fun ps -> page_remove ps s ~lo ~hi) page_states)
+          obj_sessions.(obj)
+      else begin
+        incr total_writes;
+        hit_scratch := [];
+        let first_word = lo lsr 2 and last_word = hi lsr 2 in
+        for w = first_word to last_word do
+          match Hashtbl.find_opt word_sessions w with
+          | Some set ->
+              List.iter
+                (fun s ->
+                  if not (List.memq s !hit_scratch) then begin
+                    hit_scratch := s :: !hit_scratch;
+                    hits.(s) <- hits.(s) + 1
+                  end)
+                set.ids
+          | None -> ()
+        done;
+        List.iter
+          (fun ps -> page_write ps ~lo ~hi (fun s -> ps.touches.(s) <- ps.touches.(s) + 1))
+          page_states
+      end);
+  List.mapi
+    (fun s session ->
+      let vm =
+        List.map
+          (fun ps ->
+            {
+              Counts.page_size = ps.page_size;
+              protects = ps.protects.(s);
+              unprotects = ps.unprotects.(s);
+              (* Every hit lands on an active page, so misses-on-active-pages
+                 = touches - hits. *)
+              active_page_misses = ps.touches.(s) - hits.(s);
+            })
+          page_states
+      in
+      ( session,
+        {
+          Counts.installs = installs.(s);
+          removes = removes.(s);
+          hits = hits.(s);
+          misses = !total_writes - hits.(s);
+          vm;
+        } ))
+    sessions
+
+let replay ?page_sizes trace session =
+  match replay_all ?page_sizes trace [ session ] with
+  | [ (_, counts) ] -> counts
+  | _ -> assert false
+
+let discover_and_replay ?page_sizes ?(keep_hitless = false) trace =
+  let sessions = Discovery.discover trace in
+  let results = replay_all ?page_sizes trace sessions in
+  if keep_hitless then results
+  else List.filter (fun (_, c) -> c.Counts.hits > 0) results

@@ -1,0 +1,40 @@
+(** Phase 2 of the experiment (Figure 1): replay a program event trace
+    against monitor sessions and produce the counting variables.
+
+    For each session the replay maintains the set of active monitors (the
+    install/remove events whose object matches the session) and counts:
+
+    - monitor hits: writes overlapping an active monitored word (monitors
+      are word-aligned, footnote 7);
+    - monitor misses: every other write in the trace — software strategies
+      check all writes, so [misses = total writes - hits];
+    - per page size, the page-protection transitions (active monitor count
+      on a page crossing zero) and [VMActivePageMiss] (misses landing on a
+      page holding an active monitor of the session).
+
+    {!replay_all} processes any number of sessions in a single pass over the
+    trace using a word-level reverse index, so whole-program session
+    populations (thousands of sessions, millions of events) replay in
+    seconds. {!replay} is the single-session convenience. *)
+
+val default_page_sizes : int list
+(** [[4096; 8192]], the paper's VM-4K and VM-8K. *)
+
+val replay_all :
+  ?page_sizes:int list ->
+  Ebp_trace.Trace.t ->
+  Session.t list ->
+  (Session.t * Counts.t) list
+(** Order is preserved. @raise Invalid_argument on an invalid page size. *)
+
+val replay :
+  ?page_sizes:int list -> Ebp_trace.Trace.t -> Session.t -> Counts.t
+
+val discover_and_replay :
+  ?page_sizes:int list ->
+  ?keep_hitless:bool ->
+  Ebp_trace.Trace.t ->
+  (Session.t * Counts.t) list
+(** {!Discovery.discover} + {!replay_all}; unless [keep_hitless] is set,
+    sessions with zero monitor hits are dropped, as in the paper ("monitor
+    sessions that had no monitor hits were discarded", §8). *)

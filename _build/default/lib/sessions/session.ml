@@ -1,0 +1,64 @@
+module Object_desc = Ebp_trace.Object_desc
+
+type t =
+  | One_local_auto of { func : string; var : string }
+  | All_local_in_func of { func : string }
+  | One_global_static of { var : string }
+  | One_heap of { site : string; seq : int }
+  | All_heap_in_func of { func : string }
+
+type kind =
+  | K_one_local_auto
+  | K_all_local_in_func
+  | K_one_global_static
+  | K_one_heap
+  | K_all_heap_in_func
+
+let kind = function
+  | One_local_auto _ -> K_one_local_auto
+  | All_local_in_func _ -> K_all_local_in_func
+  | One_global_static _ -> K_one_global_static
+  | One_heap _ -> K_one_heap
+  | All_heap_in_func _ -> K_all_heap_in_func
+
+let kind_name = function
+  | K_one_local_auto -> "OneLocalAuto"
+  | K_all_local_in_func -> "AllLocalInFunc"
+  | K_one_global_static -> "OneGlobalStatic"
+  | K_one_heap -> "OneHeap"
+  | K_all_heap_in_func -> "AllHeapInFunc"
+
+let all_kinds =
+  [ K_one_local_auto; K_all_local_in_func; K_one_global_static; K_one_heap;
+    K_all_heap_in_func ]
+
+let matches t (obj : Object_desc.t) =
+  match (t, obj) with
+  | One_local_auto { func; var }, Object_desc.Local l ->
+      String.equal l.func func && String.equal l.var var
+  | All_local_in_func { func }, Object_desc.Local l -> String.equal l.func func
+  | All_local_in_func { func }, Object_desc.Local_static l ->
+      String.equal l.func func
+  | One_global_static { var }, Object_desc.Global g -> String.equal g.var var
+  | One_heap { site; seq }, Object_desc.Heap h -> (
+      seq = h.seq
+      && match h.context with f :: _ -> String.equal f site | [] -> false)
+  | All_heap_in_func { func }, Object_desc.Heap h ->
+      List.exists (String.equal func) h.context
+  | ( ( One_local_auto _ | All_local_in_func _ | One_global_static _
+      | One_heap _ | All_heap_in_func _ ),
+      ( Object_desc.Local _ | Object_desc.Local_static _ | Object_desc.Global _
+      | Object_desc.Heap _ ) ) ->
+      false
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | One_local_auto { func; var } -> Format.fprintf ppf "OneLocalAuto(%s.%s)" func var
+  | All_local_in_func { func } -> Format.fprintf ppf "AllLocalInFunc(%s)" func
+  | One_global_static { var } -> Format.fprintf ppf "OneGlobalStatic(%s)" var
+  | One_heap { site; seq } -> Format.fprintf ppf "OneHeap(%s#%d)" site seq
+  | All_heap_in_func { func } -> Format.fprintf ppf "AllHeapInFunc(%s)" func
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,40 @@
+(** Monitor sessions (paper §5).
+
+    A monitor session is a program-independent description of what to watch
+    during one debugging run. The five types are the paper's:
+
+    - [One_local_auto] — a single local automatic variable; {e all}
+      instantiations (activations) belong to the session;
+    - [All_local_in_func] — every local variable of one function, including
+      local statics;
+    - [One_global_static] — a single global;
+    - [One_heap] — a single heap object, identified by its allocating
+      function and allocation sequence number (realloc preserves identity);
+    - [All_heap_in_func] — every heap object allocated by [func] or by any
+      function executing in [func]'s dynamic context. *)
+
+type t =
+  | One_local_auto of { func : string; var : string }
+  | All_local_in_func of { func : string }
+  | One_global_static of { var : string }
+  | One_heap of { site : string; seq : int }
+  | All_heap_in_func of { func : string }
+
+type kind =
+  | K_one_local_auto
+  | K_all_local_in_func
+  | K_one_global_static
+  | K_one_heap
+  | K_all_heap_in_func
+
+val kind : t -> kind
+val kind_name : kind -> string
+val all_kinds : kind list
+
+val matches : t -> Ebp_trace.Object_desc.t -> bool
+(** Does an install/remove event for this object belong to the session? *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/trace/object_desc.ml: Format Option String

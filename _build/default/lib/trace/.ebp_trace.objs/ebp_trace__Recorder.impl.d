@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Array Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Ebp_util Hashtbl List Object_desc Option Result Trace

@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Ebp_lang Ebp_runtime Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Buffer Bytes Ebp_util Format Hashtbl List Object_desc Printf String

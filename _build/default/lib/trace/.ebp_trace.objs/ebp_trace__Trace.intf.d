@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Ebp_util Format Object_desc

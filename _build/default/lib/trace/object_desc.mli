@@ -1,0 +1,34 @@
+(** Program-object descriptors: the [ObjectDesc] argument of the paper's
+    install/remove trace events (§6). The phase-2 simulator uses them to
+    decide which write monitors belong to the monitor session under study.
+
+    - [Local] — one instantiation of an automatic variable (parameters
+      included); [inst] is the activation number of the enclosing function,
+      so recursion produces distinct descriptors that the session layer
+      groups back together ("all instantiations of the variable belong to
+      the same monitor session", §5).
+    - [Local_static] — a function-scoped static: not automatic (excluded
+      from OneLocalAuto) but included in AllLocalInFunc (§5).
+    - [Global] — a global static variable.
+    - [Heap] — one heap object. [context] is the dynamic function context
+      at allocation time, innermost first; OneHeap keys on the allocating
+      function (the head) plus [seq], AllHeapInFunc matches any function in
+      the context. A realloc'd object keeps its descriptor (footnote 4). *)
+
+type t =
+  | Local of { func : string; var : string; inst : int }
+  | Local_static of { func : string; var : string }
+  | Global of { var : string }
+  | Heap of { context : string list; seq : int }
+
+val site : t -> string option
+(** The allocating function of a heap object (head of its context). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Stable textual form, e.g. ["local:f.x#2"], ["heap:alloc<main#17"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on malformed input. *)

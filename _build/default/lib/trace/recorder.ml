@@ -1,0 +1,169 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Reg = Ebp_isa.Reg
+module Debug_info = Ebp_lang.Debug_info
+module Loader = Ebp_runtime.Loader
+module Allocator = Ebp_runtime.Allocator
+
+type t = {
+  builder : Trace.Builder.t;
+  debug : Debug_info.t;
+  loader : Loader.t;
+  activations : (string, int) Hashtbl.t;  (* function -> activation count *)
+  mutable frames : (Object_desc.t * Interval.t) list list;  (* per live activation *)
+  heap_live : (int, Object_desc.t * Interval.t) Hashtbl.t;  (* addr -> object *)
+  mutable heap_seq : int;
+  mutable statics : (Object_desc.t * Interval.t) list;  (* globals + static locals *)
+  mutable finished : bool;
+}
+
+let var_range ~fp (v : Debug_info.variable) =
+  match v.Debug_info.location with
+  | Debug_info.Frame off -> Interval.of_base_size ~base:(fp + off) ~size:v.Debug_info.size
+  | Debug_info.Static addr -> Interval.of_base_size ~base:addr ~size:v.Debug_info.size
+
+let on_enter t machine fid =
+  let func = Debug_info.find_func t.debug fid in
+  let fp = Machine.get_reg machine Reg.fp in
+  let act =
+    let current = Option.value ~default:0 (Hashtbl.find_opt t.activations func.Debug_info.name) in
+    Hashtbl.replace t.activations func.Debug_info.name (current + 1);
+    current + 1
+  in
+  let installed =
+    List.filter_map
+      (fun (v : Debug_info.variable) ->
+        if v.Debug_info.is_static then None
+        else begin
+          let obj =
+            Object_desc.Local
+              { func = func.Debug_info.name; var = v.Debug_info.var_name; inst = act }
+          in
+          let range = var_range ~fp v in
+          Trace.Builder.add_install t.builder obj range;
+          Some (obj, range)
+        end)
+      func.Debug_info.vars
+  in
+  t.frames <- installed :: t.frames
+
+let on_leave t _machine _fid =
+  match t.frames with
+  | installed :: rest ->
+      List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) installed;
+      t.frames <- rest
+  | [] -> ()
+
+let context_names t machine =
+  List.map
+    (fun fid -> (Debug_info.find_func t.debug fid).Debug_info.name)
+    (Machine.func_stack machine)
+
+let on_alloc_event t event =
+  match event with
+  | Allocator.Alloc { addr; size } ->
+      t.heap_seq <- t.heap_seq + 1;
+      let obj =
+        Object_desc.Heap
+          { context = context_names t (Loader.machine t.loader); seq = t.heap_seq }
+      in
+      let range = Interval.of_base_size ~base:addr ~size in
+      Trace.Builder.add_install t.builder obj range;
+      Hashtbl.replace t.heap_live addr (obj, range)
+  | Allocator.Free { addr; size = _ } -> (
+      match Hashtbl.find_opt t.heap_live addr with
+      | Some (obj, range) ->
+          Trace.Builder.add_remove t.builder obj range;
+          Hashtbl.remove t.heap_live addr
+      | None -> ())
+  | Allocator.Realloc { old_addr; old_size = _; new_addr; new_size } -> (
+      (* Same object, possibly relocated (footnote 4): remove the old
+         range, install the new one under the same descriptor. *)
+      match Hashtbl.find_opt t.heap_live old_addr with
+      | Some (obj, old_range) ->
+          Trace.Builder.add_remove t.builder obj old_range;
+          Hashtbl.remove t.heap_live old_addr;
+          let range = Interval.of_base_size ~base:new_addr ~size:new_size in
+          Trace.Builder.add_install t.builder obj range;
+          Hashtbl.replace t.heap_live new_addr (obj, range)
+      | None -> ())
+
+let on_store t _machine ~addr ~width ~value:_ ~pc ~implicit =
+  if not implicit then
+    Trace.Builder.add_write t.builder (Interval.of_base_size ~base:addr ~size:width) ~pc
+
+let attach loader =
+  let debug = Loader.debug loader in
+  let t =
+    {
+      builder = Trace.Builder.create ();
+      debug;
+      loader;
+      activations = Hashtbl.create 32;
+      frames = [];
+      heap_live = Hashtbl.create 64;
+      heap_seq = 0;
+      statics = [];
+      finished = false;
+    }
+  in
+  (* Globals and static locals exist for the whole run: install up front. *)
+  List.iter
+    (fun (g : Debug_info.global) ->
+      let obj = Object_desc.Global { var = g.Debug_info.g_name } in
+      let range = Interval.of_base_size ~base:g.Debug_info.g_addr ~size:g.Debug_info.g_size in
+      Trace.Builder.add_install t.builder obj range;
+      t.statics <- (obj, range) :: t.statics)
+    debug.Debug_info.globals;
+  Array.iter
+    (fun (f : Debug_info.func) ->
+      List.iter
+        (fun (v : Debug_info.variable) ->
+          if v.Debug_info.is_static then begin
+            let obj =
+              Object_desc.Local_static
+                { func = f.Debug_info.name; var = v.Debug_info.var_name }
+            in
+            let range = var_range ~fp:0 v in
+            Trace.Builder.add_install t.builder obj range;
+            t.statics <- (obj, range) :: t.statics
+          end)
+        f.Debug_info.vars)
+    debug.Debug_info.functions;
+  let machine = Loader.machine loader in
+  Machine.set_enter_hook machine (Some (on_enter t));
+  Machine.set_leave_hook machine (Some (on_leave t));
+  Machine.set_store_hook machine (Some (on_store t));
+  Allocator.set_event_hook (Loader.allocator loader) (Some (on_alloc_event t));
+  t
+
+let finish t =
+  if t.finished then invalid_arg "Recorder.finish: already finished";
+  t.finished <- true;
+  (* An exit() mid-call-chain leaves frames live; remove them innermost
+     first, then leaked heap objects, then the statics. *)
+  List.iter
+    (fun installed ->
+      List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) installed)
+    t.frames;
+  t.frames <- [];
+  Hashtbl.iter
+    (fun _ (obj, range) -> Trace.Builder.add_remove t.builder obj range)
+    t.heap_live;
+  Hashtbl.reset t.heap_live;
+  List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) t.statics;
+  t.statics <- [];
+  Trace.Builder.finish t.builder
+
+let record ?fuel loader =
+  let t = attach loader in
+  let result = Loader.run ?fuel loader in
+  (result, finish t)
+
+let record_source ?seed ?fuel source =
+  Result.map
+    (fun compiled ->
+      let loader = Loader.load ?seed compiled in
+      let result, trace = record ?fuel loader in
+      (result, trace, compiled.Ebp_lang.Compiler.debug))
+    (Ebp_lang.Compiler.compile source)

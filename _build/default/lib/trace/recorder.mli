@@ -1,0 +1,36 @@
+(** Trace generation (phase 1): run an instrumented program once and record
+    its program event trace.
+
+    This is the OCaml equivalent of the paper's assembly post-processing
+    (§6): it attaches to a loaded program and
+
+    - installs monitors for globals and static locals at start of run;
+    - on every function entry, installs monitors for that activation's
+      automatic variables (from debug info + the live frame pointer), and
+      removes them on exit — "write monitors for automatic variables are
+      installed and removed on function boundaries";
+    - tracks heap objects through the allocator's event hook, preserving
+      object identity across [realloc];
+    - records a [Write] event for every explicit user-code store (implicit
+      frame bookkeeping and allocator writes never appear).
+
+    At {!finish}, Remove events are emitted for everything still live so
+    install/remove counts balance. *)
+
+type t
+
+val attach : Ebp_runtime.Loader.t -> t
+(** Install hooks on the loader's machine and allocator. The recorder owns
+    the machine's store/enter/leave hooks and the allocator's event hook
+    from this point. *)
+
+val finish : t -> Trace.t
+(** Emit final removes and freeze the trace. Call after the run completes. *)
+
+val record : ?fuel:int -> Ebp_runtime.Loader.t -> Ebp_runtime.Loader.run_result * Trace.t
+(** Convenience: attach, run, finish. *)
+
+val record_source :
+  ?seed:int -> ?fuel:int -> string ->
+  (Ebp_runtime.Loader.run_result * Trace.t * Ebp_lang.Debug_info.t, string) result
+(** Compile MiniC source and record a run of it. *)

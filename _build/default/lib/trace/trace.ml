@@ -1,0 +1,256 @@
+module Interval = Ebp_util.Interval
+
+type event =
+  | Install of { obj : Object_desc.t; range : Interval.t }
+  | Remove of { obj : Object_desc.t; range : Interval.t }
+  | Write of { range : Interval.t; pc : int }
+
+(* Packed storage: 4 ints per event — tagged object word, lo, hi, pc.
+   The tag lives in the low 2 bits of the first word; the object id (or 0
+   for writes) in the remaining bits. *)
+let stride = 4
+let tag_install = 0
+let tag_remove = 1
+let tag_write = 2
+
+type t = {
+  data : int array;
+  count : int;
+  objs : Object_desc.t array;
+}
+
+module Builder = struct
+  type t = {
+    mutable data : int array;
+    mutable count : int;
+    mutable objs : Object_desc.t list;  (* reversed *)
+    mutable obj_count : int;
+    intern : (Object_desc.t, int) Hashtbl.t;
+  }
+
+  let create () =
+    { data = Array.make 4096 0; count = 0; objs = []; obj_count = 0;
+      intern = Hashtbl.create 64 }
+
+  let ensure b =
+    let needed = (b.count + 1) * stride in
+    if needed > Array.length b.data then begin
+      let bigger = Array.make (max needed (2 * Array.length b.data)) 0 in
+      Array.blit b.data 0 bigger 0 (b.count * stride);
+      b.data <- bigger
+    end
+
+  let intern b obj =
+    match Hashtbl.find_opt b.intern obj with
+    | Some id -> id
+    | None ->
+        let id = b.obj_count in
+        Hashtbl.add b.intern obj id;
+        b.objs <- obj :: b.objs;
+        b.obj_count <- id + 1;
+        id
+
+  let push b w0 lo hi pc =
+    ensure b;
+    let base = b.count * stride in
+    b.data.(base) <- w0;
+    b.data.(base + 1) <- lo;
+    b.data.(base + 2) <- hi;
+    b.data.(base + 3) <- pc;
+    b.count <- b.count + 1
+
+  let add_install b obj range =
+    push b
+      ((intern b obj lsl 2) lor tag_install)
+      (Interval.lo range) (Interval.hi range) (-1)
+
+  let add_remove b obj range =
+    push b
+      ((intern b obj lsl 2) lor tag_remove)
+      (Interval.lo range) (Interval.hi range) (-1)
+
+  let add_write b range ~pc =
+    push b tag_write (Interval.lo range) (Interval.hi range) pc
+
+  let length b = b.count
+
+  let finish b =
+    {
+      data = Array.sub b.data 0 (b.count * stride);
+      count = b.count;
+      objs = Array.of_list (List.rev b.objs);
+    }
+end
+
+let length t = t.count
+
+let get t i =
+  if i < 0 || i >= t.count then invalid_arg "Trace.get: index out of range";
+  let base = i * stride in
+  let w0 = t.data.(base) in
+  let tag = w0 land 3 in
+  let range = Interval.make ~lo:t.data.(base + 1) ~hi:t.data.(base + 2) in
+  if tag = tag_write then Write { range; pc = t.data.(base + 3) }
+  else
+    let obj = t.objs.(w0 lsr 2) in
+    if tag = tag_install then Install { obj; range } else Remove { obj; range }
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f (get t i)
+  done
+
+let iter_raw t f =
+  let data = t.data in
+  for i = 0 to t.count - 1 do
+    let base = i * stride in
+    let w0 = Array.unsafe_get data base in
+    let tag = w0 land 3 in
+    f ~tag
+      ~obj:(if tag = tag_write then -1 else w0 lsr 2)
+      ~lo:(Array.unsafe_get data (base + 1))
+      ~hi:(Array.unsafe_get data (base + 2))
+      ~pc:(if tag = tag_write then Array.unsafe_get data (base + 3) else -1)
+  done
+
+let object_count t = Array.length t.objs
+let object_of_id t id = t.objs.(id)
+let objects t = Array.copy t.objs
+
+type stats = {
+  events : int;
+  installs : int;
+  removes : int;
+  writes : int;
+  distinct_objects : int;
+  write_bytes : int;
+}
+
+let stats t =
+  let installs = ref 0 and removes = ref 0 and writes = ref 0 and bytes = ref 0 in
+  iter_raw t (fun ~tag ~obj:_ ~lo ~hi ~pc:_ ->
+      if tag = tag_install then incr installs
+      else if tag = tag_remove then incr removes
+      else begin
+        incr writes;
+        bytes := !bytes + (hi - lo + 1)
+      end);
+  {
+    events = t.count;
+    installs = !installs;
+    removes = !removes;
+    writes = !writes;
+    distinct_objects = Array.length t.objs;
+    write_bytes = !bytes;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "events=%d installs=%d removes=%d writes=%d objects=%d write_bytes=%d"
+    s.events s.installs s.removes s.writes s.distinct_objects s.write_bytes
+
+(* --- text codec --- *)
+
+let to_text t =
+  let buf = Buffer.create (t.count * 24) in
+  iter t (fun event ->
+      (match event with
+      | Install { obj; range } ->
+          Buffer.add_string buf
+            (Printf.sprintf "I %s %d %d" (Object_desc.to_string obj)
+               (Interval.lo range) (Interval.hi range))
+      | Remove { obj; range } ->
+          Buffer.add_string buf
+            (Printf.sprintf "R %s %d %d" (Object_desc.to_string obj)
+               (Interval.lo range) (Interval.hi range))
+      | Write { range; pc } ->
+          Buffer.add_string buf
+            (Printf.sprintf "W %d %d %d" (Interval.lo range) (Interval.hi range) pc));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let of_text text =
+  let b = Builder.create () in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None && String.trim line <> "" then
+        let fail msg = error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "W"; lo; hi; pc ] -> (
+            match (int_of_string_opt lo, int_of_string_opt hi, int_of_string_opt pc) with
+            | Some lo, Some hi, Some pc when lo <= hi ->
+                Builder.add_write b (Interval.make ~lo ~hi) ~pc
+            | _ -> fail "bad write event")
+        | [ tag; obj; lo; hi ] when tag = "I" || tag = "R" -> (
+            match
+              (Object_desc.of_string obj, int_of_string_opt lo, int_of_string_opt hi)
+            with
+            | Some obj, Some lo, Some hi when lo <= hi ->
+                let range = Interval.make ~lo ~hi in
+                if tag = "I" then Builder.add_install b obj range
+                else Builder.add_remove b obj range
+            | _ -> fail "bad install/remove event")
+        | _ -> fail "unrecognized event")
+    (String.split_on_char '\n' text);
+  match !error with Some msg -> Error msg | None -> Ok (Builder.finish b)
+
+(* --- binary codec --- *)
+
+let magic = "EBPT1"
+
+let write_binary oc t =
+  output_string oc magic;
+  let write_int v =
+    (* 63-bit values, little-endian, 8 bytes. *)
+    for i = 0 to 7 do
+      output_byte oc ((v lsr (8 * i)) land 0xff)
+    done
+  in
+  write_int (Array.length t.objs);
+  Array.iter
+    (fun obj ->
+      let s = Object_desc.to_string obj in
+      write_int (String.length s);
+      output_string oc s)
+    t.objs;
+  write_int t.count;
+  Array.iter write_int t.data
+
+let read_binary ic =
+  let read_exact n =
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    Bytes.to_string b
+  in
+  let read_int () =
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := !v lor (input_byte ic lsl (8 * i))
+    done;
+    !v
+  in
+  try
+    if read_exact (String.length magic) <> magic then Error "bad trace magic"
+    else begin
+      let nobjs = read_int () in
+      let objs =
+        Array.init nobjs (fun _ ->
+            let len = read_int () in
+            read_exact len)
+      in
+      let objs =
+        Array.map
+          (fun s ->
+            match Object_desc.of_string s with
+            | Some o -> o
+            | None -> raise Exit)
+          objs
+      in
+      let count = read_int () in
+      let data = Array.init (count * stride) (fun _ -> read_int ()) in
+      Ok { data; count; objs }
+    end
+  with
+  | Exit -> Error "bad object descriptor in trace"
+  | End_of_file -> Error "truncated trace"

@@ -1,0 +1,75 @@
+(** Program event traces (phase 1 of the paper's experiment, Figure 1).
+
+    A trace is the session-independent record of one program run:
+
+    - [Install (obj, range)] — a monitorable object came to life at [range];
+    - [Remove (obj, range)] — it died (or moved, for realloc);
+    - [Write (range, pc)] — a user-code store wrote [range].
+
+    Install/Remove events exist for {e every} object any monitor session
+    might care about; the phase-2 replay filters them per session. Writes
+    from system calls, the allocator, and implicit frame bookkeeping are
+    absent by construction (§6).
+
+    Traces can hold millions of events, so they are stored packed (four
+    integers per event, object descriptors interned in a side table); use
+    {!iter_raw} for throughput-critical consumers. *)
+
+type event =
+  | Install of { obj : Object_desc.t; range : Ebp_util.Interval.t }
+  | Remove of { obj : Object_desc.t; range : Ebp_util.Interval.t }
+  | Write of { range : Ebp_util.Interval.t; pc : int }
+
+type t
+
+(** Growable trace under construction. *)
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : unit -> t
+  val add_install : t -> Object_desc.t -> Ebp_util.Interval.t -> unit
+  val add_remove : t -> Object_desc.t -> Ebp_util.Interval.t -> unit
+  val add_write : t -> Ebp_util.Interval.t -> pc:int -> unit
+  val length : t -> int
+  val finish : t -> trace
+end
+
+val length : t -> int
+val get : t -> int -> event
+val iter : t -> (event -> unit) -> unit
+
+(** Raw iteration: [tag] 0 = install, 1 = remove, 2 = write; [obj] is an
+    object id valid for {!object_of_id}, or [-1] for writes; the write range
+    is [[lo, hi]]; [pc] is [-1] for install/remove. *)
+val iter_raw : t -> (tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> unit) -> unit
+
+val object_count : t -> int
+val object_of_id : t -> int -> Object_desc.t
+val objects : t -> Object_desc.t array
+(** All interned descriptors, indexed by object id. *)
+
+(** Summary counts. *)
+type stats = {
+  events : int;
+  installs : int;
+  removes : int;
+  writes : int;
+  distinct_objects : int;
+  write_bytes : int;  (** total bytes written *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Serialization} *)
+
+val to_text : t -> string
+(** One event per line: ["I <obj> <lo> <hi>"], ["R <obj> <lo> <hi>"],
+    ["W <lo> <hi> <pc>"]. *)
+
+val of_text : string -> (t, string) result
+
+val write_binary : out_channel -> t -> unit
+val read_binary : in_channel -> (t, string) result
+(** Compact length-prefixed binary codec ("EBPT1" magic). *)

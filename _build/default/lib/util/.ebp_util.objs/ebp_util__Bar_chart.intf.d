@@ -1,0 +1,1 @@
+lib/util/bar_chart.mli:

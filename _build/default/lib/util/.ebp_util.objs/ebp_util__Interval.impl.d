@@ -1,0 +1,1 @@
+lib/util/interval.ml: Format Int Printf

@@ -1,0 +1,44 @@
+type series = { label : string; value : float }
+type group = { name : string; series : series list }
+
+let render ?(width = 50) ?(log_scale = false) ~title ~groups () =
+  let scale v =
+    if v < 0.0 then invalid_arg "Bar_chart.render: negative value";
+    if log_scale then log10 (1.0 +. v) else v
+  in
+  let max_scaled =
+    List.fold_left
+      (fun acc g ->
+        List.fold_left (fun acc s -> Float.max acc (scale s.value)) acc g.series)
+      0.0 groups
+  in
+  let label_width =
+    List.fold_left
+      (fun acc g ->
+        List.fold_left (fun acc s -> max acc (String.length s.label)) acc g.series)
+      0 groups
+  in
+  let bar v =
+    let len =
+      if max_scaled = 0.0 then 0
+      else int_of_float (Float.round (scale v /. max_scaled *. float_of_int width))
+    in
+    String.make len '#'
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun g ->
+      Buffer.add_string buf g.name;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %10.2f |%s\n" label_width s.label s.value
+               (bar s.value)))
+        g.series)
+    groups;
+  Buffer.contents buf

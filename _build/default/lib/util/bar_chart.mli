@@ -1,0 +1,23 @@
+(** ASCII grouped bar charts.
+
+    Figures 7–9 of the paper are grouped bar charts (one group per benchmark
+    program, one bar per strategy). This module renders the same data as
+    horizontal ASCII bars so the bench harness output is self-contained. *)
+
+type series = { label : string; value : float }
+type group = { name : string; series : series list }
+
+val render :
+  ?width:int ->
+  ?log_scale:bool ->
+  title:string ->
+  groups:group list ->
+  unit ->
+  string
+(** [render ~title ~groups ()] draws one horizontal bar per series entry,
+    grouped under each group name, scaled to the global maximum. [width]
+    (default 50) is the maximum bar length in characters. With [log_scale]
+    (default false) bars are proportional to [log10 (1 + value)], which keeps
+    heavy-tailed data (e.g. Figure 7's maxima) readable. Values must be
+    non-negative.
+    @raise Invalid_argument on a negative value. *)

@@ -1,0 +1,72 @@
+type t = { bits : Bytes.t; length : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitmap.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n }
+
+let length t = t.length
+
+let check t i name =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitmap.%s: index %d out of [0,%d)" name i t.length)
+
+let get t i =
+  check t i "get";
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i "set";
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i "clear";
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let iter_range name f t ~lo ~hi =
+  check t lo name;
+  check t hi name;
+  if lo > hi then invalid_arg (Printf.sprintf "Bitmap.%s: lo > hi" name);
+  for i = lo to hi do
+    f t i
+  done
+
+let set_range t ~lo ~hi = iter_range "set_range" set t ~lo ~hi
+let clear_range t ~lo ~hi = iter_range "clear_range" clear t ~lo ~hi
+
+let any_in_range t ~lo ~hi =
+  check t lo "any_in_range";
+  check t hi "any_in_range";
+  if lo > hi then invalid_arg "Bitmap.any_in_range: lo > hi";
+  (* Scan by bytes where possible: interior bytes can be tested whole. *)
+  let rec scan i =
+    if i > hi then false
+    else if i land 7 = 0 && i + 7 <= hi then
+      if Bytes.unsafe_get t.bits (i lsr 3) <> '\000' then true else scan (i + 8)
+    else if get t i then true
+    else scan (i + 1)
+  in
+  scan lo
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to t.length - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let is_empty t =
+  let nbytes = Bytes.length t.bits in
+  let rec go i = i >= nbytes || (Bytes.unsafe_get t.bits i = '\000' && go (i + 1)) in
+  go 0
+
+let copy t = { bits = Bytes.copy t.bits; length = t.length }
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
+
+let pp ppf t =
+  for i = 0 to t.length - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

@@ -1,0 +1,36 @@
+(** Fixed-size bitsets.
+
+    The write-monitor map of the paper (Appendix A.5) keeps, for each page
+    holding an active monitor, a bitmap with one bit per machine word. This
+    module provides the underlying bit operations. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitmap of [n] bits, all clear.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val set_range : t -> lo:int -> hi:int -> unit
+(** Sets bits [lo..hi] inclusive. *)
+
+val clear_range : t -> lo:int -> hi:int -> unit
+
+val any_in_range : t -> lo:int -> hi:int -> bool
+(** True when at least one bit in [lo..hi] inclusive is set. *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

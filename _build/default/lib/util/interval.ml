@@ -1,0 +1,29 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo (%d) > hi (%d)" lo hi);
+  { lo; hi }
+
+let of_base_size ~base ~size =
+  if size <= 0 then invalid_arg "Interval.of_base_size: size <= 0";
+  { lo = base; hi = base + size - 1 }
+
+let lo t = t.lo
+let hi t = t.hi
+let size t = t.hi - t.lo + 1
+let contains t a = t.lo <= a && a <= t.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let subsumes a b = a.lo <= b.lo && b.hi <= a.hi
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf t = Format.fprintf ppf "[0x%x,0x%x]" t.lo t.hi
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** Closed integer intervals [[lo, hi]] used to describe address ranges.
+
+    An interval is well-formed when [lo <= hi]. All write monitors, write
+    events, and memory regions in this library are described by closed
+    byte-address intervals, matching the paper's (BA, EA) convention. *)
+
+type t = private { lo : int; hi : int }
+
+val make : lo:int -> hi:int -> t
+(** [make ~lo ~hi] builds the interval [[lo, hi]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val of_base_size : base:int -> size:int -> t
+(** [of_base_size ~base ~size] is [[base, base + size - 1]].
+    @raise Invalid_argument if [size <= 0]. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val size : t -> int
+(** Number of addresses covered; at least 1. *)
+
+val contains : t -> int -> bool
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is true when [a] and [b] share at least one address. *)
+
+val intersect : t -> t -> t option
+(** Largest interval contained in both arguments, if any. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] is true when every address of [b] lies in [a]. *)
+
+val compare : t -> t -> int
+(** Order by [lo], then by [hi]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["[0x1000,0x1fff]"]. *)
+
+val to_string : t -> string

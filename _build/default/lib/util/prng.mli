@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every random choice in the experiment — workload inputs, the Appendix A
+    "random element with/without replacement" benchmark protocol — draws from
+    an explicit generator state so that runs are reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the closed range [[lo, hi]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array ("RandYesReplace" of Appendix A).
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,37 @@
+(** Descriptive statistics used by the paper's Table 4.
+
+    The paper reports, per program and strategy, the minimum, maximum, mean,
+    "T-Mean" (mean over the observations between the 10th and 90th
+    percentiles), and the 90th and 98th percentiles of relative overhead. *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  t_mean : float;  (** mean of observations within [p10, p90] *)
+  p90 : float;
+  p98 : float;
+  stddev : float;
+}
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [[0, 100]], by linear interpolation between
+    order statistics (the common "linear" / R type-7 definition). The input
+    need not be sorted; it is not modified.
+    @raise Invalid_argument on an empty array or [p] outside [[0, 100]]. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. @raise Invalid_argument on empty input. *)
+
+val trimmed_mean : float array -> lo_pct:float -> hi_pct:float -> float
+(** Mean of the observations [x] with [percentile lo_pct <= x <= percentile
+    hi_pct]. Falls back to the plain mean when the trim empties the sample. *)
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header ~rows () =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Text_table.render: row wider than header";
+    row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    let base = match align with None -> [ Left; Right ] | Some a -> a in
+    let base = if base = [] then [ Left ] else base in
+    let last = List.nth base (List.length base - 1) in
+    List.init ncols (fun i ->
+        if i < List.length base then List.nth base i else last)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"

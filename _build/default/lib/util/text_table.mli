@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment reports.
+
+    The benchmark harness reprints the paper's tables; this module renders
+    aligned ASCII tables with a header row. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** [render ~header ~rows ()] lays out [header] and [rows] in columns padded
+    to the widest cell. [align] gives per-column alignment (default: first
+    column left, others right); when shorter than the column count, the last
+    entry is repeated. Rows shorter than the header are padded with empty
+    cells; longer rows raise.
+    @raise Invalid_argument if a row is wider than the header. *)

@@ -1,0 +1,1 @@
+lib/wms/access_code_patch.ml: Ebp_isa Ebp_machine Ebp_util Hashtbl List Monitor_map Timing

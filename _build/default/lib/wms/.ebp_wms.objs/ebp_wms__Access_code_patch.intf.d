@@ -1,0 +1,1 @@
+lib/wms/access_code_patch.mli: Ebp_isa Ebp_machine Ebp_util Timing

@@ -1,0 +1,1 @@
+lib/wms/code_patch.ml: Ebp_isa Ebp_machine Ebp_util List Monitor_map Timing Wms

@@ -1,0 +1,1 @@
+lib/wms/code_patch.mli: Ebp_isa Ebp_machine Timing Wms

@@ -1,0 +1,1 @@
+lib/wms/hoisted_code_patch.ml: Array Ebp_isa Ebp_machine Ebp_util Hashtbl List Monitor_map Option Timing Wms

@@ -1,0 +1,1 @@
+lib/wms/inline_code_patch.ml: Ebp_isa Ebp_machine Ebp_util Hashtbl List Timing Wms

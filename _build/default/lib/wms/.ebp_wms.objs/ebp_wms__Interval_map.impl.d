@@ -1,0 +1,1 @@
+lib/wms/interval_map.ml: Ebp_util List Printf

@@ -1,0 +1,1 @@
+lib/wms/interval_map.mli: Ebp_util

@@ -1,0 +1,1 @@
+lib/wms/monitor_map.ml: Ebp_util Hashtbl

@@ -1,0 +1,1 @@
+lib/wms/monitor_map.mli: Ebp_util

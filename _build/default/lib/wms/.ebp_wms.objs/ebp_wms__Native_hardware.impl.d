@@ -1,0 +1,1 @@
+lib/wms/native_hardware.ml: Ebp_machine Ebp_util Printf Timing Wms

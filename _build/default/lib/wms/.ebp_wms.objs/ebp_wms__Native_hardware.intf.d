@@ -1,0 +1,1 @@
+lib/wms/native_hardware.mli: Ebp_machine Timing Wms

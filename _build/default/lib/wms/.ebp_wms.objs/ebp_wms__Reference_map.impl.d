@@ -1,0 +1,1 @@
+lib/wms/reference_map.ml: Ebp_util Hashtbl

@@ -1,0 +1,1 @@
+lib/wms/reference_map.mli: Ebp_util

@@ -1,0 +1,1 @@
+lib/wms/timing.ml: Ebp_machine Format

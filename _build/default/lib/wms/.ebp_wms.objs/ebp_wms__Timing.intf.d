@@ -1,0 +1,1 @@
+lib/wms/timing.mli: Format

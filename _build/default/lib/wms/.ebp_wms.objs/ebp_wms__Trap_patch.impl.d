@@ -1,0 +1,1 @@
+lib/wms/trap_patch.ml: Ebp_isa Ebp_machine Ebp_util Hashtbl List Monitor_map Timing Wms

@@ -1,0 +1,1 @@
+lib/wms/virtual_memory.ml: Ebp_machine Ebp_util Hashtbl List Monitor_map Option Timing Wms

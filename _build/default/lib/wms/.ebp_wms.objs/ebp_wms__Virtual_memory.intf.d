@@ -1,0 +1,1 @@
+lib/wms/virtual_memory.mli: Ebp_machine Timing Wms

@@ -1,0 +1,1 @@
+lib/wms/wms.ml: Ebp_util

@@ -1,0 +1,1 @@
+lib/wms/wms.mli: Ebp_util

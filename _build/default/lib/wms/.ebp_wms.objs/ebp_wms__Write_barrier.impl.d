@@ -1,0 +1,1 @@
+lib/wms/write_barrier.ml: Ebp_machine Ebp_util Hashtbl List Monitor_map Option Timing

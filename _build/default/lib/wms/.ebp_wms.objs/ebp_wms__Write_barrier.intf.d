@@ -1,0 +1,1 @@
+lib/wms/write_barrier.mli: Ebp_machine Ebp_util Timing

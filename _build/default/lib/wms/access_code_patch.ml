@@ -1,0 +1,134 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Machine = Ebp_machine.Machine
+
+type access = Read | Write
+
+type notification = { access : access; range : Interval.t; pc : int }
+
+type patched = {
+  prog : Program.t;
+  original_length : int;
+  store_count : int;
+  load_count : int;
+  (* Chk pc -> (access kind, original instruction index) *)
+  check_sites : (int, access * int) Hashtbl.t;
+}
+
+let item instr = { Program.instr; implicit = false }
+
+let access_parts = function
+  | Instr.Sw (_, rs, off) -> Some (Write, rs, off, 4)
+  | Instr.Sb (_, rs, off) -> Some (Write, rs, off, 1)
+  | Instr.Lw (_, rs, off) -> Some (Read, rs, off, 4)
+  | Instr.Lb (_, rs, off) -> Some (Read, rs, off, 1)
+  | _ -> None
+
+let instrument orig =
+  if not (Program.is_resolved orig) then
+    invalid_arg "Access_code_patch.instrument: program has unresolved labels";
+  let original_length = Program.length orig in
+  let check_sites = Hashtbl.create 128 in
+  let stores = ref 0 and loads = ref 0 in
+  (* Collect patch sites: explicit stores plus all loads. *)
+  let sites = ref [] in
+  for idx = Program.length orig - 1 downto 0 do
+    match access_parts (Program.get orig idx) with
+    | Some ((Write, _, _, _) as parts) when not (Program.implicit orig idx) ->
+        incr stores;
+        sites := (idx, parts) :: !sites
+    | Some ((Read, _, _, _) as parts) ->
+        incr loads;
+        sites := (idx, parts) :: !sites
+    | Some (Write, _, _, _) | None -> ()
+  done;
+  let prog =
+    List.fold_left
+      (fun prog (idx, (access, rs, off, width)) ->
+        let instr = Program.get prog idx in
+        let chk = item (Instr.Chk { base = rs; off; width }) in
+        let back = item (Instr.Jmp (Instr.Abs (idx + 1))) in
+        let stub =
+          match access with
+          | Write -> [ item instr; chk; back ]  (* notify after the write *)
+          | Read -> [ chk; item instr; back ]  (* the load may clobber rs *)
+        in
+        let prog, s = Program.append prog stub in
+        let chk_pc = match access with Write -> s + 1 | Read -> s in
+        Hashtbl.replace check_sites chk_pc (access, idx);
+        Program.set prog idx (Instr.Jmp (Instr.Abs s)))
+      orig !sites
+  in
+  { prog; original_length; store_count = !stores; load_count = !loads; check_sites }
+
+let program p = p.prog
+let patched_stores p = p.store_count
+let patched_loads p = p.load_count
+
+let expansion p =
+  float_of_int (Program.length p.prog) /. float_of_int p.original_length
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  read_map : Monitor_map.t;
+  write_map : Monitor_map.t;
+  patched : patched;
+  notify : notification -> unit;
+  mutable read_hits : int;
+  mutable write_hits : int;
+  mutable lookups : int;
+}
+
+let on_chk t machine ~range ~pc =
+  Machine.charge machine (Timing.cycles t.timing.Timing.software_lookup_us);
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.patched.check_sites pc with
+  | Some (Read, orig) ->
+      if Monitor_map.overlaps t.read_map range then begin
+        t.read_hits <- t.read_hits + 1;
+        t.notify { access = Read; range; pc = orig }
+      end
+  | Some (Write, orig) ->
+      if Monitor_map.overlaps t.write_map range then begin
+        t.write_hits <- t.write_hits + 1;
+        t.notify { access = Write; range; pc = orig }
+      end
+  | None -> ()
+
+let attach ?(timing = Timing.sparcstation2) patched machine ~notify =
+  let t =
+    {
+      machine;
+      timing;
+      read_map = Monitor_map.create ();
+      write_map = Monitor_map.create ();
+      patched;
+      notify;
+      read_hits = 0;
+      write_hits = 0;
+      lookups = 0;
+    }
+  in
+  Machine.set_chk_handler machine (Some (on_chk t));
+  t
+
+let maps t = function
+  | `Read -> [ t.read_map ]
+  | `Write -> [ t.write_map ]
+  | `Both -> [ t.read_map; t.write_map ]
+
+let install t ~on range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  List.iter (fun m -> Monitor_map.install m range) (maps t on);
+  Ok ()
+
+let remove t ~on range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  List.iter (fun m -> Monitor_map.remove m range) (maps t on);
+  Ok ()
+
+let read_hits t = t.read_hits
+let write_hits t = t.write_hits
+let lookups t = t.lookups

@@ -1,0 +1,62 @@
+(** Access breakpoints: read {e and} write monitoring via code patching.
+
+    The paper's WMS monitors writes only — "a notification each time the
+    program writes to a distinguished region of memory" (§1). A debugger
+    also wants the symmetric question answered: {e who reads this value?}
+    CodePatch generalizes directly, which is itself an argument for the
+    paper's conclusion: neither monitor registers (write-only on the i386)
+    nor write-protection faults extend to reads this easily.
+
+    {!instrument} patches every explicit store {e and} every load:
+
+    - store stubs are [store; check; jump back] (notify after the write
+      succeeds, §2);
+    - load stubs are [check; load; jump back] — the check must precede the
+      load because a load may clobber its own base register
+      ([lw t0, 0(t0)]), and for a read the value is unchanged either way.
+
+    Read and write monitors are independent {!Monitor_map}s; a range can be
+    watched for reads, writes, or both. Every check charges one
+    [SoftwareLookup], so enabling read monitoring roughly doubles
+    CodePatch's per-instruction tax (loads outnumber stores in compiled
+    code) — the price of the extra service. *)
+
+type access = Read | Write
+
+type notification = {
+  access : access;
+  range : Ebp_util.Interval.t;
+  pc : int;  (** original index of the load/store *)
+}
+
+type patched
+
+val instrument : Ebp_isa.Program.t -> patched
+(** The input must be resolved. Implicit stores are skipped as always;
+    all loads are patched (the MiniC compiler's frame reloads read saved
+    registers, never user variables, so they cannot false-hit). *)
+
+val program : patched -> Ebp_isa.Program.t
+val patched_stores : patched -> int
+val patched_loads : patched -> int
+val expansion : patched -> float
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  patched ->
+  Ebp_machine.Machine.t ->
+  notify:(notification -> unit) ->
+  t
+(** Takes over the machine's [Chk] handler. *)
+
+val install :
+  t -> on:[ `Read | `Write | `Both ] -> Ebp_util.Interval.t -> (unit, string) result
+
+val remove :
+  t -> on:[ `Read | `Write | `Both ] -> Ebp_util.Interval.t -> (unit, string) result
+
+val read_hits : t -> int
+val write_hits : t -> int
+val lookups : t -> int

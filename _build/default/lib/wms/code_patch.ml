@@ -1,0 +1,99 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Machine = Ebp_machine.Machine
+
+type patched = {
+  prog : Program.t;
+  original_length : int;
+  store_count : int;
+}
+
+(* Each stub is [original store; Chk effective-address; Jmp back] — the
+   check runs after the write so the notification arrives once the write
+   has succeeded (write monitors, not barriers, §2). The base register is
+   still intact at check time: stores define no registers. The replaced
+   site becomes a jump to the stub, so the net growth is three
+   instructions per store. *)
+let stub_for instr ~return_to =
+  let base, off, width =
+    match instr with
+    | Instr.Sw (_, rs, off) -> (rs, off, 4)
+    | Instr.Sb (_, rs, off) -> (rs, off, 1)
+    | _ -> invalid_arg "Code_patch: not a store"
+  in
+  [
+    { Program.instr; implicit = false };
+    { Program.instr = Instr.Chk { base; off; width }; implicit = false };
+    { Program.instr = Instr.Jmp (Instr.Abs return_to); implicit = false };
+  ]
+
+let instrument prog =
+  if not (Program.is_resolved prog) then
+    invalid_arg "Code_patch.instrument: program has unresolved labels";
+  let original_length = Program.length prog in
+  let stores = Program.stores prog in
+  let patched =
+    List.fold_left
+      (fun prog (idx, instr) ->
+        let prog, stub_start = Program.append prog (stub_for instr ~return_to:(idx + 1)) in
+        Program.set prog idx (Instr.Jmp (Instr.Abs stub_start)))
+      prog stores
+  in
+  { prog = patched; original_length; store_count = List.length stores }
+
+let program p = p.prog
+let patched_stores p = p.store_count
+
+let expansion p =
+  float_of_int (Program.length p.prog) /. float_of_int p.original_length
+
+let expansion_of_program prog =
+  let stores = List.length (Program.stores prog) in
+  float_of_int (Program.length prog + (3 * stores)) /. float_of_int (Program.length prog)
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  map : Monitor_map.t;
+  stats : Wms.stats;
+  notify : Wms.notification -> unit;
+}
+
+let on_chk t machine ~range ~pc =
+  Machine.charge machine (Timing.cycles t.timing.Timing.software_lookup_us);
+  t.stats.Wms.lookups <- t.stats.Wms.lookups + 1;
+  if Monitor_map.overlaps t.map range then begin
+    t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+    t.notify { Wms.write = range; pc }
+  end
+
+let attach ?(timing = Timing.sparcstation2) _patched machine ~notify =
+  let t =
+    { machine; timing; map = Monitor_map.create (); stats = Wms.fresh_stats ();
+      notify }
+  in
+  Machine.set_chk_handler machine (Some (on_chk t));
+  t
+
+let install t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.install t.map range;
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.remove t.map range;
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "CodePatch";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> Monitor_map.monitored_words t.map);
+  }
+
+let stats t = t.stats

@@ -1,0 +1,44 @@
+(** CodePatch (CP) strategy: inline checks before stores (§3.3, Figure 6).
+
+    {!instrument} rewrites the program so the target of every explicit
+    store is checked: the store at index [i] becomes a jump to an appended
+    stub — [Chk] of the effective address, the relocated store, and a jump
+    back to [i+1]. No existing instruction index moves and no register is
+    clobbered, so patching is transparent to the rest of the code. This is
+    the ISA-level equivalent of the paper's subroutine call with the target
+    address in a spare register.
+
+    Per write the only modeled cost is [SoftwareLookup] (~2.75 µs) plus the
+    stub's few machine cycles — the uniform, low-variance tax that makes CP
+    the paper's recommended design. Install/remove charge [SoftwareUpdate].
+
+    {!expansion} reports static code growth; the paper estimates 12–15% on
+    SPARC from the write-instruction fraction. *)
+
+type patched
+
+val instrument : Ebp_isa.Program.t -> patched
+(** The input must be resolved. *)
+
+val program : patched -> Ebp_isa.Program.t
+val patched_stores : patched -> int
+
+val expansion : patched -> float
+(** Instrumented size / original size, e.g. [1.13] for 13% growth. *)
+
+val expansion_of_program : Ebp_isa.Program.t -> float
+(** Static estimate without building the patched program. *)
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  patched ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** The machine must have been created from [program patched]. Takes over
+    the machine's [Chk] handler. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats

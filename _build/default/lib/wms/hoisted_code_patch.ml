@@ -1,0 +1,276 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Reg = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+module Cfg = Ebp_isa.Cfg
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+(* A scratch region between the heap and the stack of MiniC programs: the
+   WMS flag words live here, written only by the (privileged) service, read
+   by the guard loads — "a small amount of read-only WMS data in the
+   debuggee's address space" (§3.4, §9). *)
+let flag_region_base = 0x00E0_0000
+
+let flag_addr f = flag_region_base + (4 * f)
+
+type patched = {
+  prog : Program.t;
+  original_length : int;
+  store_count : int;
+  hoisted : int;
+  loops_optimized : int;
+  flag_count : int;
+  pre_check_flags : (int, int) Hashtbl.t;  (* pre-check Chk pc -> flag index *)
+  check_sites : (int, int) Hashtbl.t;  (* per-store Chk pc -> original index *)
+  guarded_check_pcs : (int, unit) Hashtbl.t;
+  guarded_store_pcs : (int, unit) Hashtbl.t;  (* relocated store slots of guarded stubs *)
+  (* base/off/width of each flag's store, for pre-check emission order. *)
+  flag_ranges_hint : (int * Instr.t) array;  (* flag -> (store idx, store instr) *)
+}
+
+let store_parts = function
+  | Instr.Sw (rd, rs, off) -> (rd, rs, off, 4)
+  | Instr.Sb (rd, rs, off) -> (rd, rs, off, 1)
+  | _ -> invalid_arg "Hoisted_code_patch: not a store"
+
+let item instr = { Program.instr; implicit = false }
+
+let instrument orig =
+  if not (Program.is_resolved orig) then
+    invalid_arg "Hoisted_code_patch.instrument: program has unresolved labels";
+  let original_length = Program.length orig in
+  let stores = Program.stores orig in
+  let loops = Cfg.loops orig in
+  (* Decide hoistability against the ORIGINAL program. *)
+  let classify (idx, instr) =
+    let _, rs, _, _ = store_parts instr in
+    match Cfg.innermost_containing loops idx with
+    | Some l when Cfg.reg_invariant orig ~lo:l.Cfg.header ~hi:l.Cfg.back_edge rs ->
+        `Hoisted l
+    | Some _ | None -> `Plain
+  in
+  let classified = List.map (fun s -> (s, classify s)) stores in
+  let pre_check_flags = Hashtbl.create 16 in
+  let check_sites = Hashtbl.create 64 in
+  let guarded_check_pcs = Hashtbl.create 16 in
+  let guarded_store_pcs = Hashtbl.create 16 in
+  let flag_counter = ref 0 in
+  let hints = ref [] in
+  (* Phase A: replace each store with a jump to its stub. *)
+  let prog, per_loop =
+    List.fold_left
+      (fun (prog, per_loop) (((idx, instr) : int * Instr.t), kind) ->
+        let _, rs, off, width = store_parts instr in
+        match kind with
+        | `Plain ->
+            (* Store first, check after: notifications arrive once the
+               write has succeeded (§2). *)
+            let stub =
+              [ item instr; item (Instr.Chk { base = rs; off; width });
+                item (Instr.Jmp (Instr.Abs (idx + 1))) ]
+            in
+            let prog, s = Program.append prog stub in
+            Hashtbl.replace check_sites (s + 1) idx;
+            (Program.set prog idx (Instr.Jmp (Instr.Abs s)), per_loop)
+        | `Hoisted l ->
+            let f = !flag_counter in
+            incr flag_counter;
+            hints := (idx, instr) :: !hints;
+            let prog, s =
+              Program.append prog
+                [ item instr;
+                  item (Instr.Lw (Reg.k0, Reg.zero, flag_addr f));
+                  item (Instr.Br (Instr.Eq, Reg.k0, Reg.zero, Instr.Abs 0));
+                  item (Instr.Chk { base = rs; off; width });
+                  item (Instr.Jmp (Instr.Abs (idx + 1))) ]
+            in
+            (* Patch the guard's skip target now that [s] is known. *)
+            let prog =
+              Program.set prog (s + 2)
+                (Instr.Br (Instr.Eq, Reg.k0, Reg.zero, Instr.Abs (s + 4)))
+            in
+            Hashtbl.replace check_sites (s + 3) idx;
+            Hashtbl.replace guarded_check_pcs (s + 3) ();
+            Hashtbl.replace guarded_store_pcs s ();
+            let prog = Program.set prog idx (Instr.Jmp (Instr.Abs s)) in
+            let existing =
+              Option.value ~default:[] (List.assoc_opt l.Cfg.header per_loop)
+            in
+            ( prog,
+              (l.Cfg.header, (f, rs, off, width, l) :: existing)
+              :: List.remove_assoc l.Cfg.header per_loop ))
+      (orig, []) classified
+  in
+  (* Phase B: per optimized loop, build the preheader and redirect every
+     entry edge through it. *)
+  let falls_through = function
+    | Instr.Jmp _ | Instr.Ret | Instr.Halt -> false
+    | _ -> true
+  in
+  let prog =
+    List.fold_left
+      (fun prog (header, hoisted) ->
+        let _, _, _, _, l = List.hd hoisted in
+        let u = l.Cfg.back_edge in
+        (* Preheader: one pre-check per hoisted store, then enter the loop. *)
+        let pre_items =
+          List.rev_map
+            (fun (_, rs, off, width, _) -> item (Instr.Chk { base = rs; off; width }))
+            hoisted
+          @ [ item (Instr.Jmp (Instr.Abs header)) ]
+        in
+        let prog, p_branch = Program.append prog pre_items in
+        List.iteri
+          (fun i (f, _, _, _, _) -> Hashtbl.replace pre_check_flags (p_branch + i) f)
+          (List.rev hoisted);
+        (* Redirect every branch to [header] from outside the loop body and
+           outside the preheader itself. *)
+        let prog = ref prog in
+        for i = 0 to p_branch - 1 do
+          if i < header || i > u then
+            match Instr.branch_target (Program.get !prog i) with
+            | Some (Instr.Abs t) when t = header ->
+                prog :=
+                  Program.set !prog i
+                    (Instr.with_target (Program.get !prog i) (Instr.Abs p_branch))
+            | Some _ | None -> ()
+        done;
+        let prog = !prog in
+        (* Fall-through entry: relocate the predecessor instruction into a
+           trampoline that runs it and then takes the preheader. *)
+        let pred = Program.get prog (header - 1) in
+        if falls_through pred then begin
+          let pred =
+            match Instr.branch_target pred with
+            | Some (Instr.Abs t) when t = header ->
+                Instr.with_target pred (Instr.Abs p_branch)
+            | Some _ | None -> pred
+          in
+          let prog, p_fall =
+            Program.append prog [ item pred; item (Instr.Jmp (Instr.Abs p_branch)) ]
+          in
+          Program.set prog (header - 1) (Instr.Jmp (Instr.Abs p_fall))
+        end
+        else prog)
+      prog per_loop
+  in
+  {
+    prog;
+    original_length;
+    store_count = List.length stores;
+    hoisted = !flag_counter;
+    loops_optimized = List.length per_loop;
+    flag_count = !flag_counter;
+    pre_check_flags;
+    check_sites;
+    guarded_check_pcs;
+    guarded_store_pcs;
+    flag_ranges_hint = Array.of_list (List.rev !hints);
+  }
+
+let program p = p.prog
+let patched_stores p = p.store_count
+let hoisted_stores p = p.hoisted
+let loops_optimized p = p.loops_optimized
+
+let expansion p =
+  float_of_int (Program.length p.prog) /. float_of_int p.original_length
+
+let original_site p pc = Hashtbl.find_opt p.check_sites pc
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  map : Monitor_map.t;
+  stats : Wms.stats;
+  patched : patched;
+  notify : Wms.notification -> unit;
+  mutable pre_checks : int;
+  mutable guarded_entries : int;
+  mutable guarded_lookups : int;
+  flag_meta : Interval.t option array;  (* last pre-checked range per flag *)
+}
+
+let set_flag t f value =
+  Memory.privileged_store_word (Machine.memory t.machine) (flag_addr f)
+    (if value then 1 else 0)
+
+let on_chk t machine ~range ~pc =
+  match Hashtbl.find_opt t.patched.pre_check_flags pc with
+  | Some f ->
+      (* Preliminary check at loop entry: evaluate once, arm or disarm the
+         per-store flag. *)
+      Machine.charge machine (Timing.cycles t.timing.Timing.software_lookup_us);
+      t.pre_checks <- t.pre_checks + 1;
+      t.flag_meta.(f) <- Some range;
+      set_flag t f (Monitor_map.overlaps t.map range)
+  | None ->
+      Machine.charge machine (Timing.cycles t.timing.Timing.software_lookup_us);
+      t.stats.Wms.lookups <- t.stats.Wms.lookups + 1;
+      if Hashtbl.mem t.patched.guarded_check_pcs pc then
+        t.guarded_lookups <- t.guarded_lookups + 1;
+      if Monitor_map.overlaps t.map range then begin
+        t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+        t.notify { Wms.write = range; pc }
+      end
+
+let on_store t _machine ~addr:_ ~width:_ ~value:_ ~pc ~implicit:_ =
+  if Hashtbl.mem t.patched.guarded_store_pcs pc then
+    t.guarded_entries <- t.guarded_entries + 1
+
+let attach ?(timing = Timing.sparcstation2) patched machine ~notify =
+  let t =
+    {
+      machine;
+      timing;
+      map = Monitor_map.create ();
+      stats = Wms.fresh_stats ();
+      patched;
+      notify;
+      pre_checks = 0;
+      guarded_entries = 0;
+      guarded_lookups = 0;
+      flag_meta = Array.make (max 1 patched.flag_count) None;
+    }
+  in
+  Machine.set_chk_handler machine (Some (on_chk t));
+  Machine.set_store_hook machine (Some (on_store t));
+  t
+
+(* Install/remove must refresh any flag whose range was already evaluated,
+   otherwise a monitor armed mid-loop would be missed (or a removed one
+   would keep notifying) until the next loop entry. *)
+let refresh_flags t =
+  Array.iteri
+    (fun f meta ->
+      match meta with
+      | Some range -> set_flag t f (Monitor_map.overlaps t.map range)
+      | None -> ())
+    t.flag_meta
+
+let install t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.install t.map range;
+  refresh_flags t;
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.remove t.map range;
+  refresh_flags t;
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "CodePatch+hoist";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> Monitor_map.monitored_words t.map);
+  }
+
+let stats t = t.stats
+let pre_checks_executed t = t.pre_checks
+let guarded_checks_skipped t = t.guarded_entries - t.guarded_lookups

@@ -1,0 +1,67 @@
+(** CodePatch with the loop-hoisting optimization of §9.
+
+    "A simple optimization reduces the overhead for candidate instructions
+    inside loops. A preliminary check {e outside} the loop may be applied
+    for write instructions whose target is a loop-invariant memory range.
+    If the preliminary check determines that the instruction will be a
+    monitor hit, the loop body can be dynamically patched so that each
+    iteration correctly results in a monitor notification."
+
+    Implementation: every store whose base register is invariant across
+    its innermost enclosing loop ({!Ebp_isa.Cfg}) gets a {e guarded} stub —
+    a one-word flag load and a conditional skip around the check — instead
+    of the unconditional check. Each loop entry edge is redirected through
+    a preheader stub whose pre-checks evaluate the monitor lookup once and
+    write the flags (the "dynamic patching": the flag word lives in the
+    debuggee's address space, in a reserved scratch region). When the flag
+    is clear, an iteration costs a handful of machine cycles instead of a
+    SoftwareLookup; when set, the guarded check runs and notifies exactly
+    like plain CodePatch.
+
+    Monitors installed or removed {e while} a loop is running (e.g. a heap
+    watch armed by an allocation inside the loop) are handled by refreshing
+    every previously-evaluated flag on install/remove, so hit behaviour is
+    identical to plain CodePatch in all cases — verified by the test
+    suite's CP-vs-hoisted-CP equivalence checks. *)
+
+val flag_region_base : int
+(** Debuggee-address-space home of the per-store flags: a small read-only
+    (to the program) WMS data area, as §3.4 anticipates. *)
+
+type patched
+
+val instrument : Ebp_isa.Program.t -> patched
+(** The input must be resolved. Stores in loops with invariant addresses
+    get guarded stubs; everything else is patched exactly like
+    {!Code_patch.instrument}. *)
+
+val program : patched -> Ebp_isa.Program.t
+val patched_stores : patched -> int
+val hoisted_stores : patched -> int
+(** How many stores received guarded stubs. *)
+
+val loops_optimized : patched -> int
+val expansion : patched -> float
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  patched ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** Takes over the machine's [Chk] handler. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats
+
+val pre_checks_executed : t -> int
+(** Preheader lookups performed (each charged one SoftwareLookup). *)
+
+val guarded_checks_skipped : t -> int
+(** Loop-iteration stores that skipped their lookup because the flag was
+    clear — each one saved a SoftwareLookup versus plain CodePatch. *)
+
+val original_site : patched -> int -> int option
+(** Map an instrumented check pc back to the original store index. *)

@@ -1,0 +1,176 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Reg = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+let l1_base = 0x0200_0000
+let arena_base = 0x0201_0000
+let chunk_shift = 22 (* 4 MiB chunks: address bits 31..22 *)
+let words_per_chunk = 1 lsl 20
+let map_stride = 1 lsl 20 (* one byte per word -> 1 MiB per chunk map *)
+
+type patched = {
+  prog : Program.t;
+  original_length : int;
+  store_count : int;
+  trap_sites : (int, Instr.t) Hashtbl.t;  (* trap code (= store idx) -> store *)
+}
+
+let store_parts = function
+  | Instr.Sw (rd, rs, off) -> (rd, rs, off, 4)
+  | Instr.Sb (rd, rs, off) -> (rd, rs, off, 1)
+  | _ -> invalid_arg "Inline_code_patch: not a store"
+
+let item instr = { Program.instr; implicit = false }
+
+(* The inline check sequence for the store at [idx]. Clobbers only the
+   patch-reserved registers k0/k1. *)
+let stub_for instr ~idx =
+  let _, rs, off, _ = store_parts instr in
+  fun base ->
+    [
+      item instr;  (* the store runs first: notify-after-write, §2 *)
+      item (Instr.Alui (Instr.Add, Reg.k0, rs, off));      (* k0 = address *)
+      item (Instr.Alui (Instr.Srl, Reg.k1, Reg.k0, chunk_shift));
+      item (Instr.Alui (Instr.Sll, Reg.k1, Reg.k1, 2));
+      item (Instr.Lw (Reg.k1, Reg.k1, l1_base));           (* k1 = L1[chunk] *)
+      item (Instr.Br (Instr.Eq, Reg.k1, Reg.zero, Instr.Abs (base + 12)));
+      item (Instr.Alui (Instr.Srl, Reg.k0, Reg.k0, 2));    (* word index *)
+      item (Instr.Alui (Instr.And, Reg.k0, Reg.k0, words_per_chunk - 1));
+      item (Instr.Alu (Instr.Add, Reg.k1, Reg.k1, Reg.k0));
+      item (Instr.Lb (Reg.k1, Reg.k1, 0));                 (* map byte *)
+      item (Instr.Br (Instr.Eq, Reg.k1, Reg.zero, Instr.Abs (base + 12)));
+      item (Instr.Trap idx);                               (* monitor hit *)
+      item (Instr.Jmp (Instr.Abs (idx + 1)));              (* base + 12 *)
+    ]
+
+let stub_length = 12
+
+let instrument orig =
+  if not (Program.is_resolved orig) then
+    invalid_arg "Inline_code_patch.instrument: program has unresolved labels";
+  let original_length = Program.length orig in
+  let stores = Program.stores orig in
+  let trap_sites = Hashtbl.create 64 in
+  let prog =
+    List.fold_left
+      (fun prog (idx, instr) ->
+        Hashtbl.replace trap_sites idx instr;
+        let base = Program.length prog in
+        let stub = stub_for instr ~idx base in
+        assert (List.length stub = stub_length + 1);
+        let prog, s = Program.append prog stub in
+        assert (s = base);
+        Program.set prog idx (Instr.Jmp (Instr.Abs s)))
+      orig stores
+  in
+  { prog; original_length; store_count = List.length stores; trap_sites }
+
+(* Each stub slot maps back to the original store index for attribution. *)
+let original_site p pc =
+  if pc < p.original_length then None
+  else begin
+    let stub_index = (pc - p.original_length) / (stub_length + 1) in
+    (* Recover the idx from the stub's final jump. *)
+    let jmp_pc = p.original_length + (stub_index * (stub_length + 1)) + stub_length in
+    if jmp_pc >= Program.length p.prog then None
+    else
+      match Program.get p.prog jmp_pc with
+      | Instr.Jmp (Instr.Abs next) -> Some (next - 1)
+      | _ -> None
+  end
+
+let program p = p.prog
+let patched_stores p = p.store_count
+
+let expansion p =
+  float_of_int (Program.length p.prog) /. float_of_int p.original_length
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  patched : patched;
+  stats : Wms.stats;
+  notify : Wms.notification -> unit;
+  chunk_maps : (int, int) Hashtbl.t;  (* chunk index -> byte-map base *)
+  mutable next_map : int;
+  mutable words : int;  (* currently monitored words *)
+}
+
+let on_trap t machine ~code ~trap_pc:_ =
+  match Hashtbl.find_opt t.patched.trap_sites code with
+  | None -> ()
+  | Some store ->
+      let _, rs, off, width = store_parts store in
+      (* rs is intact: the stub clobbers only k0/k1. *)
+      let addr = Machine.get_reg machine rs + off in
+      t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+      t.notify { Wms.write = Interval.of_base_size ~base:addr ~size:width; pc = code }
+
+let attach ?(timing = Timing.sparcstation2) patched machine ~notify =
+  let t =
+    {
+      machine;
+      timing;
+      patched;
+      stats = Wms.fresh_stats ();
+      notify;
+      chunk_maps = Hashtbl.create 8;
+      next_map = arena_base;
+      words = 0;
+    }
+  in
+  Machine.set_trap_handler machine (Some (on_trap t));
+  t
+
+let chunk_map t chunk =
+  match Hashtbl.find_opt t.chunk_maps chunk with
+  | Some base -> base
+  | None ->
+      let base = t.next_map in
+      t.next_map <- t.next_map + map_stride;
+      Hashtbl.add t.chunk_maps chunk base;
+      Memory.privileged_store_word (Machine.memory t.machine)
+        (l1_base + (chunk * 4))
+        base;
+      base
+
+let set_words t range value =
+  let mem = Machine.memory t.machine in
+  let first = Interval.lo range lsr 2 and last = Interval.hi range lsr 2 in
+  for w = first to last do
+    let chunk = w lsr 20 in
+    let base = chunk_map t chunk in
+    let addr = base + (w land (words_per_chunk - 1)) in
+    let old = Memory.load_byte mem addr in
+    if old <> value then begin
+      Memory.privileged_store_byte mem addr value;
+      t.words <- t.words + (if value <> 0 then 1 else -1)
+    end
+  done
+
+let install t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  set_words t range 1;
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  set_words t range 0;
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "CodePatch-inline";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> t.words);
+  }
+
+let stats t = t.stats
+let mapped_chunks t = Hashtbl.length t.chunk_maps
+let monitored_words t = t.words

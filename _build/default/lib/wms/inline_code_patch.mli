@@ -1,0 +1,66 @@
+(** CodePatch with the monitor check compiled to real machine code.
+
+    {!Code_patch} models the per-write check by charging the paper's
+    measured [SoftwareLookup] time from a host-side handler. This variant
+    instead implements the check the way a production WMS would (§3.3,
+    §9): the address→monitor mapping lives {e in the debuggee's address
+    space} and each store site is patched with an instruction sequence
+    that walks it directly — no host involvement on the fast path at all.
+
+    The in-memory structure is a two-level map chosen to be walkable in a
+    dozen instructions using only the two patch-reserved registers
+    [k0]/[k1]:
+
+    - a level-1 table of 1024 words at {!l1_base}, indexed by address bits
+      31..22 (one entry per 4 MiB chunk); zero means "no monitors in this
+      chunk";
+    - per mapped chunk, a byte map with one byte per machine word (1 MiB of
+      sparse simulated memory), nonzero meaning "word monitored".
+
+    The 13-instruction stub: compute the effective address, index the L1
+    table, fall through to the store if the chunk is unmapped, otherwise
+    load the word's map byte and trap to the notification handler when it
+    is set. A miss on an unmapped chunk costs 7 machine cycles; a mapped
+    chunk costs 12 — versus the 110 cycles (2.75 µs at 40 MHz) the paper
+    measured for its subroutine-call check on a SPARCstation 2.
+
+    Install/remove update the in-memory structure through the privileged
+    memory interface (the debugger writing the debuggee, §3.4) and charge
+    [SoftwareUpdate]. The test suite proves notification behaviour is
+    identical to {!Code_patch} on live programs. *)
+
+val l1_base : int
+(** Debuggee address of the level-1 table (a reserved WMS region well away
+    from the MiniC program layout). *)
+
+val arena_base : int
+(** Where per-chunk byte maps are allocated, 1 MiB apart. *)
+
+type patched
+
+val instrument : Ebp_isa.Program.t -> patched
+(** The input must be resolved. *)
+
+val program : patched -> Ebp_isa.Program.t
+val patched_stores : patched -> int
+val expansion : patched -> float
+val original_site : patched -> int -> int option
+(** Map a stub trap pc back to the original store index. *)
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  patched ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** Takes over the machine's trap handler. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats
+
+val mapped_chunks : t -> int
+(** Number of 4 MiB chunks with a live byte map. *)
+
+val monitored_words : t -> int

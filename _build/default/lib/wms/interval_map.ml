@@ -1,0 +1,31 @@
+module Interval = Ebp_util.Interval
+
+type t = { mutable monitors : Interval.t list }
+
+let create () = { monitors = [] }
+
+(* Widen to word boundaries so semantics match Monitor_map (footnote 7). *)
+let word_align range =
+  Interval.make
+    ~lo:(Interval.lo range land lnot 3)
+    ~hi:(Interval.hi range lor 3)
+
+let install t range = t.monitors <- word_align range :: t.monitors
+
+let remove t range =
+  let aligned = word_align range in
+  let rec go acc = function
+    | [] -> Error (Printf.sprintf "no monitor installed at %s" (Interval.to_string aligned))
+    | m :: rest when Interval.equal m aligned ->
+        t.monitors <- List.rev_append acc rest;
+        Ok ()
+    | m :: rest -> go (m :: acc) rest
+  in
+  go [] t.monitors
+
+let overlaps t range =
+  let aligned = word_align range in
+  List.exists (fun m -> Interval.overlaps m aligned) t.monitors
+
+let active_monitors t = List.length t.monitors
+let is_empty t = t.monitors = []

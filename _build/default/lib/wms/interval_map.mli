@@ -1,0 +1,21 @@
+(** Naive interval-list monitor map: the ablation baseline.
+
+    Stores active monitors as an unordered list of word-aligned intervals
+    and answers lookups by linear scan. This is what a straightforward WMS
+    might do instead of the paper's page-hash-of-bitmaps; the
+    [ablation/lookup] benchmark compares the two (DESIGN.md, decision 1).
+
+    Unlike {!Monitor_map}, removal is by exact installed range, so this
+    structure is {e not} region-based; the experiment's disjoint monitors
+    make the two observationally equivalent (verified by property tests). *)
+
+type t
+
+val create : unit -> t
+val install : t -> Ebp_util.Interval.t -> unit
+val remove : t -> Ebp_util.Interval.t -> (unit, string) result
+(** Removes one monitor previously installed with exactly this range. *)
+
+val overlaps : t -> Ebp_util.Interval.t -> bool
+val active_monitors : t -> int
+val is_empty : t -> bool

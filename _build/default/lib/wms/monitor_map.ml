@@ -1,0 +1,79 @@
+module Interval = Ebp_util.Interval
+module Bitmap = Ebp_util.Bitmap
+
+type t = {
+  page_size : int;
+  page_shift : int;
+  words_per_page : int;
+  pages : (int, Bitmap.t) Hashtbl.t;
+}
+
+let create ?(page_size = 4096) () =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 || page_size < 4 then
+    invalid_arg "Monitor_map.create: page_size must be a power of two >= 4";
+  let rec log2 n = if n = 1 then 0 else 1 + log2 (n lsr 1) in
+  {
+    page_size;
+    page_shift = log2 page_size;
+    words_per_page = page_size / 4;
+    pages = Hashtbl.create 32;
+  }
+
+let page_size t = t.page_size
+
+(* Word-aligned extent of a byte range: first and last word indices. *)
+let word_extent range = (Interval.lo range lsr 2, Interval.hi range lsr 2)
+
+let iter_page_words t ~first_word ~last_word f =
+  let words_per_page = t.words_per_page in
+  let first_page = first_word / words_per_page
+  and last_page = last_word / words_per_page in
+  for page = first_page to last_page do
+    let page_first = page * words_per_page in
+    let lo = max first_word page_first - page_first in
+    let hi = min last_word (page_first + words_per_page - 1) - page_first in
+    f page ~lo ~hi
+  done
+
+let install t range =
+  let first_word, last_word = word_extent range in
+  iter_page_words t ~first_word ~last_word (fun page ~lo ~hi ->
+      let bitmap =
+        match Hashtbl.find_opt t.pages page with
+        | Some b -> b
+        | None ->
+            let b = Bitmap.create t.words_per_page in
+            Hashtbl.add t.pages page b;
+            b
+      in
+      Bitmap.set_range bitmap ~lo ~hi)
+
+let remove t range =
+  let first_word, last_word = word_extent range in
+  iter_page_words t ~first_word ~last_word (fun page ~lo ~hi ->
+      match Hashtbl.find_opt t.pages page with
+      | None -> ()
+      | Some bitmap ->
+          Bitmap.clear_range bitmap ~lo ~hi;
+          if Bitmap.is_empty bitmap then Hashtbl.remove t.pages page)
+
+let overlaps t range =
+  let first_word, last_word = word_extent range in
+  let hit = ref false in
+  iter_page_words t ~first_word ~last_word (fun page ~lo ~hi ->
+      if not !hit then
+        match Hashtbl.find_opt t.pages page with
+        | None -> ()
+        | Some bitmap -> if Bitmap.any_in_range bitmap ~lo ~hi then hit := true);
+  !hit
+
+let monitored_words t =
+  Hashtbl.fold (fun _ bitmap acc -> acc + Bitmap.count bitmap) t.pages 0
+
+let active_pages t = Hashtbl.length t.pages
+
+let page_is_active t page = Hashtbl.mem t.pages page
+
+let is_empty t = Hashtbl.length t.pages = 0
+
+let clear t = Hashtbl.reset t.pages

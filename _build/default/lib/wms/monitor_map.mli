@@ -1,0 +1,37 @@
+(** The address→monitor mapping of Appendix A.5.
+
+    "For each page that has an active write monitor we maintain a bitmap;
+    each bit corresponds to a word of memory. Using the page number as a
+    key, the bitmaps are stored in a hash table."
+
+    Monitors are word-aligned (footnote 7): an installed range is widened to
+    word boundaries, so a 1-byte monitor covers its whole 4-byte word.
+    Higher-level clients compensate, exactly as the paper prescribes.
+
+    Semantics are {e region-based}, matching a bitmap: installing two
+    overlapping ranges and removing one clears the shared words. The
+    experiment never installs overlapping monitors (distinct program objects
+    occupy disjoint storage), so this never bites in practice. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] in bytes; a positive multiple of 4 that is a power of two
+    (default 4096). *)
+
+val page_size : t -> int
+
+val install : t -> Ebp_util.Interval.t -> unit
+val remove : t -> Ebp_util.Interval.t -> unit
+
+val overlaps : t -> Ebp_util.Interval.t -> bool
+(** The SoftwareLookup operation: does any monitored word intersect the
+    (byte-address) range? *)
+
+val monitored_words : t -> int
+val active_pages : t -> int
+(** Pages currently holding at least one monitored word. *)
+
+val page_is_active : t -> int -> bool
+val is_empty : t -> bool
+val clear : t -> unit

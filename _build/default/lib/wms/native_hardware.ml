@@ -1,0 +1,65 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  stats : Wms.stats;
+  notify : Wms.notification -> unit;
+}
+
+let on_monitor_fault t machine ~reg:_ ~addr ~width ~pc =
+  Machine.charge machine (Timing.cycles t.timing.Timing.nh_fault_handler_us);
+  t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+  t.notify { Wms.write = Interval.of_base_size ~base:addr ~size:width; pc }
+
+let attach ?(timing = Timing.sparcstation2) machine ~notify =
+  let t = { machine; timing; stats = Wms.fresh_stats (); notify } in
+  Machine.set_monitor_fault_handler machine (Some (on_monitor_fault t));
+  t
+
+let capacity t = Machine.monitor_reg_count t.machine
+
+let find_reg t p =
+  let n = capacity t in
+  let rec go i = if i >= n then None else if p (Machine.monitor_reg t.machine i) then Some i else go (i + 1) in
+  go 0
+
+let install t range =
+  match find_reg t (( = ) None) with
+  | None ->
+      Error
+        (Printf.sprintf "out of monitor registers (%d in use): cannot monitor %s"
+           (capacity t) (Interval.to_string range))
+  | Some i ->
+      Machine.set_monitor_reg t.machine i (Some range);
+      t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+      Ok ()
+
+let remove t range =
+  match
+    find_reg t (function Some m -> Interval.equal m range | None -> false)
+  with
+  | None -> Error (Printf.sprintf "no monitor register holds %s" (Interval.to_string range))
+  | Some i ->
+      Machine.set_monitor_reg t.machine i None;
+      t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+      Ok ()
+
+let active t =
+  let n = capacity t in
+  let rec go i acc =
+    if i >= n then acc
+    else go (i + 1) (if Machine.monitor_reg t.machine i <> None then acc + 1 else acc)
+  in
+  go 0 0
+
+let strategy t =
+  {
+    Wms.name = "NativeHardware";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> active t);
+  }
+
+let stats t = t.stats

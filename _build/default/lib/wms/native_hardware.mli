@@ -1,0 +1,27 @@
+(** NativeHardware (NH) strategy: CPU monitor registers (§3.1, Figure 3).
+
+    Monitors live in the machine's hardware monitor registers; a store that
+    overlaps one traps {e after} completing, and the fault handler delivers
+    the notification, charging [NHFaultHandler] time. Installs and removes
+    are free (the paper assumes user-accessible registers whose update cost
+    "can be safely ignored").
+
+    The decisive limitation is capacity: the machine has as many registers
+    as it was created with (4 by default, like the i386/R4000), and
+    {!Wms.strategy.install} fails with an error once they are exhausted —
+    "no widely-used chip today supports more than four concurrent write
+    monitors". *)
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** Takes over the machine's monitor-fault handler. [timing] defaults to
+    {!Timing.sparcstation2}. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats
+val capacity : t -> int

@@ -1,0 +1,27 @@
+module Interval = Ebp_util.Interval
+
+type t = (int, unit) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let word_extent range = (Interval.lo range lsr 2, Interval.hi range lsr 2)
+
+let install t range =
+  let lo, hi = word_extent range in
+  for w = lo to hi do
+    Hashtbl.replace t w ()
+  done
+
+let remove t range =
+  let lo, hi = word_extent range in
+  for w = lo to hi do
+    Hashtbl.remove t w
+  done
+
+let overlaps t range =
+  let lo, hi = word_extent range in
+  let rec go w = w <= hi && (Hashtbl.mem t w || go (w + 1)) in
+  go lo
+
+let monitored_words t = Hashtbl.length t
+let is_empty t = Hashtbl.length t = 0

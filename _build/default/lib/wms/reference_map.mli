@@ -1,0 +1,14 @@
+(** Obviously-correct reference implementation of the monitor map.
+
+    Keeps the set of monitored word indices in a hash set. Used by the
+    property-based tests as an oracle for {!Monitor_map} and
+    {!Interval_map}, and by nothing else — it is O(words) per operation. *)
+
+type t
+
+val create : unit -> t
+val install : t -> Ebp_util.Interval.t -> unit
+val remove : t -> Ebp_util.Interval.t -> unit
+val overlaps : t -> Ebp_util.Interval.t -> bool
+val monitored_words : t -> int
+val is_empty : t -> bool

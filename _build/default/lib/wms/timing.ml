@@ -1,0 +1,42 @@
+type t = {
+  software_update_us : float;
+  software_lookup_us : float;
+  nh_fault_handler_us : float;
+  vm_fault_handler_us : float;
+  vm_protect_us : float;
+  vm_unprotect_us : float;
+  tp_fault_handler_us : float;
+  context_switch_us : float;
+}
+
+let sparcstation2 =
+  {
+    software_update_us = 22.0;
+    software_lookup_us = 2.75;
+    nh_fault_handler_us = 131.0;
+    vm_fault_handler_us = 561.0;
+    vm_protect_us = 80.0;
+    vm_unprotect_us = 299.0;
+    tp_fault_handler_us = 102.0;
+    context_switch_us = 200.0;
+  }
+
+let zero =
+  {
+    software_update_us = 0.0;
+    software_lookup_us = 0.0;
+    nh_fault_handler_us = 0.0;
+    vm_fault_handler_us = 0.0;
+    vm_protect_us = 0.0;
+    vm_unprotect_us = 0.0;
+    tp_fault_handler_us = 0.0;
+    context_switch_us = 0.0;
+  }
+
+let cycles = Ebp_machine.Cost_model.cycles_of_us
+
+let pp ppf t =
+  Format.fprintf ppf
+    "update=%.2fus lookup=%.2fus nh=%.0fus vm=%.0fus protect=%.0fus unprotect=%.0fus tp=%.0fus"
+    t.software_update_us t.software_lookup_us t.nh_fault_handler_us
+    t.vm_fault_handler_us t.vm_protect_us t.vm_unprotect_us t.tp_fault_handler_us

@@ -1,0 +1,42 @@
+(** Timing variables (paper Table 2).
+
+    The measured cost, in microseconds, of each primitive operation a
+    write-monitor-service implementation performs. {!sparcstation2} holds
+    the paper's values, measured on a 40 MHz SPARCstation 2 under
+    SunOS 4.1.1 with the Appendix A protocols. The analytical models are
+    parametric in these values, and the live strategies charge them to the
+    machine's cycle counter (at the simulated 40 MHz clock) so that live
+    runs and model predictions agree. *)
+
+type t = {
+  software_update_us : float;
+      (** update the address→monitor mapping on install/remove *)
+  software_lookup_us : float;
+      (** decide whether an address range intersects an active monitor *)
+  nh_fault_handler_us : float;
+      (** receive a user-level monitor-register fault and continue *)
+  vm_fault_handler_us : float;
+      (** receive a write fault, emulate the instruction, continue *)
+  vm_protect_us : float;  (** protect one page *)
+  vm_unprotect_us : float;  (** unprotect one page *)
+  tp_fault_handler_us : float;
+      (** receive a trap fault, emulate the instruction, continue *)
+  context_switch_us : float;
+      (** one process context switch — the cost of routing a fault through a
+          debugger in a separate address space, ptrace-style (§3.4). Not a
+          Table 2 value; estimated at 200 µs for a SunOS 4.1.1 workstation. *)
+}
+
+val sparcstation2 : t
+(** Table 2: update 22, lookup 2.75, NH fault 131, VM fault 561,
+    protect 80, unprotect 299, TP fault 102 (all µs); context switch
+    estimated at 200 µs. *)
+
+val zero : t
+(** All-zero costs (useful to isolate one term in tests). *)
+
+val cycles : float -> int
+(** Microseconds to cycles at the simulated clock
+    ({!Ebp_machine.Cost_model.clock_hz}). *)
+
+val pp : Format.formatter -> t -> unit

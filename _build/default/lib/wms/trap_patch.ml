@@ -1,0 +1,95 @@
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+type patched = {
+  prog : Program.t;
+  originals : (int, Instr.t) Hashtbl.t;  (* trap code (= index) -> store *)
+}
+
+let instrument prog =
+  if not (Program.is_resolved prog) then
+    invalid_arg "Trap_patch.instrument: program has unresolved labels";
+  let originals = Hashtbl.create 64 in
+  let prog =
+    List.fold_left
+      (fun prog (idx, instr) ->
+        Hashtbl.add originals idx instr;
+        Program.set prog idx (Instr.Trap idx))
+      prog (Program.stores prog)
+  in
+  { prog; originals }
+
+let program p = p.prog
+let patched_stores p = Hashtbl.length p.originals
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  map : Monitor_map.t;
+  stats : Wms.stats;
+  notify : Wms.notification -> unit;
+}
+
+let emulate_store machine instr =
+  let mem = Machine.memory machine in
+  match instr with
+  | Instr.Sw (rd, rs, off) ->
+      let addr = Machine.get_reg machine rs + off in
+      Memory.privileged_store_word mem addr (Machine.get_reg machine rd);
+      (addr, 4)
+  | Instr.Sb (rd, rs, off) ->
+      let addr = Machine.get_reg machine rs + off in
+      Memory.privileged_store_byte mem addr (Machine.get_reg machine rd land 0xff);
+      (addr, 1)
+  | _ -> invalid_arg "Trap_patch: side table holds a non-store instruction"
+
+let on_trap t patched machine ~code ~trap_pc =
+  match Hashtbl.find_opt patched.originals code with
+  | None ->
+      (* Not one of ours: a genuine program trap would go here; MiniC
+         programs never execute one. *)
+      ()
+  | Some store ->
+      Machine.charge machine
+        (Timing.cycles
+           (t.timing.Timing.tp_fault_handler_us +. t.timing.Timing.software_lookup_us));
+      t.stats.Wms.lookups <- t.stats.Wms.lookups + 1;
+      let addr, width = emulate_store machine store in
+      let range = Interval.of_base_size ~base:addr ~size:width in
+      if Monitor_map.overlaps t.map range then begin
+        t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+        t.notify { Wms.write = range; pc = trap_pc }
+      end
+
+let attach ?(timing = Timing.sparcstation2) patched machine ~notify =
+  let t =
+    { machine; timing; map = Monitor_map.create (); stats = Wms.fresh_stats ();
+      notify }
+  in
+  Machine.set_trap_handler machine (Some (on_trap t patched));
+  t
+
+let install t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.install t.map range;
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  Machine.charge t.machine (Timing.cycles t.timing.Timing.software_update_us);
+  Monitor_map.remove t.map range;
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "TrapPatch";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> Monitor_map.monitored_words t.map);
+  }
+
+let stats t = t.stats

@@ -1,0 +1,35 @@
+(** TrapPatch (TP) strategy: stores replaced by traps (§3.3, Figure 5).
+
+    At "compile time" ({!instrument}) every explicit store instruction is
+    replaced by a [Trap] carrying its original index — the mechanism gdb and
+    dbx use for breakpoints. At run time the trap handler recovers the
+    original store from the side table, performs the monitor lookup
+    (charging [TPFaultHandler + SoftwareLookup]), notifies on a hit, and
+    emulates the store.
+
+    Every write in the program pays the trap cost whether or not it is
+    anywhere near a monitor; that uniform tax is why the paper finds TP
+    "unacceptably slow for most debugging applications" while noting its
+    usefully low variance. *)
+
+type patched
+
+val instrument : Ebp_isa.Program.t -> patched
+(** Replace every explicit store with a trap. The input must be resolved. *)
+
+val program : patched -> Ebp_isa.Program.t
+val patched_stores : patched -> int
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  patched ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** The machine must have been created from [program patched]. Takes over
+    the machine's trap handler. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats

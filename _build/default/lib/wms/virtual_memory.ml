@@ -1,0 +1,101 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  map : Monitor_map.t;
+  page_monitors : (int, int) Hashtbl.t;  (* page -> active monitor count *)
+  stats : Wms.stats;
+  mutable page_misses : int;
+  notify : Wms.notification -> unit;
+}
+
+let on_write_fault t machine ~addr ~width ~value ~pc =
+  let mem = Machine.memory machine in
+  Machine.charge machine
+    (Timing.cycles
+       (t.timing.Timing.vm_fault_handler_us +. t.timing.Timing.software_lookup_us));
+  t.stats.Wms.lookups <- t.stats.Wms.lookups + 1;
+  (* Emulate the faulting instruction first (unprotect/step/reprotect
+     collapses to a privileged store in the simulator): the notification
+     must arrive after the write has succeeded — write monitors, not write
+     barriers (§2). *)
+  if width = 4 then Memory.privileged_store_word mem addr value
+  else Memory.privileged_store_byte mem addr value;
+  let range = Interval.of_base_size ~base:addr ~size:width in
+  if Monitor_map.overlaps t.map range then begin
+    t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+    t.notify { Wms.write = range; pc }
+  end
+  else t.page_misses <- t.page_misses + 1
+
+let attach ?(timing = Timing.sparcstation2) machine ~notify =
+  let mem = Machine.memory machine in
+  let t =
+    {
+      machine;
+      timing;
+      map = Monitor_map.create ~page_size:(Memory.page_size mem) ();
+      page_monitors = Hashtbl.create 32;
+      stats = Wms.fresh_stats ();
+      page_misses = 0;
+      notify;
+    }
+  in
+  Machine.set_write_fault_handler machine (Some (on_write_fault t));
+  t
+
+(* Cost of updating the WMS mapping, which lives on a protected page of the
+   debuggee's address space: unprotect it, update, reprotect (§7.1.2). *)
+let update_cost timing =
+  Timing.cycles
+    (timing.Timing.vm_unprotect_us +. timing.Timing.software_update_us
+   +. timing.Timing.vm_protect_us)
+
+let install t range =
+  let mem = Machine.memory t.machine in
+  Machine.charge t.machine (update_cost t.timing);
+  Monitor_map.install t.map range;
+  List.iter
+    (fun page ->
+      let count = Option.value ~default:0 (Hashtbl.find_opt t.page_monitors page) in
+      Hashtbl.replace t.page_monitors page (count + 1);
+      if count = 0 then begin
+        Memory.protect mem ~page Memory.Read_only;
+        Machine.charge t.machine (Timing.cycles t.timing.Timing.vm_protect_us)
+      end)
+    (Memory.pages_of_range mem range);
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  let mem = Machine.memory t.machine in
+  Machine.charge t.machine (update_cost t.timing);
+  Monitor_map.remove t.map range;
+  List.iter
+    (fun page ->
+      match Hashtbl.find_opt t.page_monitors page with
+      | None -> ()
+      | Some count ->
+          if count <= 1 then begin
+            Hashtbl.remove t.page_monitors page;
+            Memory.protect mem ~page Memory.Read_write;
+            Machine.charge t.machine (Timing.cycles t.timing.Timing.vm_unprotect_us)
+          end
+          else Hashtbl.replace t.page_monitors page (count - 1))
+    (Memory.pages_of_range mem range);
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "VirtualMemory";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> Monitor_map.active_pages t.map);
+  }
+
+let stats t = t.stats
+let page_miss_faults t = t.page_misses

@@ -1,0 +1,30 @@
+(** VirtualMemory (VM) strategy: page protection (§3.2, Figure 4).
+
+    Installing a monitor write-protects every page it touches; the write
+    fault handler looks the faulting range up in the monitor map, delivers a
+    notification on a hit, {e emulates} the faulting store via the
+    privileged memory interface, and continues after the faulting
+    instruction. Stores that miss the monitors but land on a protected page
+    (the paper's [VMActivePageMiss]) pay the full fault + lookup cost too —
+    the strategy's Achilles heel.
+
+    Per the model, installs and removes charge
+    [VMUnprotect + SoftwareUpdate + VMProtect] for the protected WMS data
+    page, plus [VMProtect]/[VMUnprotect] for each monitored page whose
+    active-monitor count crosses zero. *)
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** Takes over the machine's write-fault handler. The monitor map's page
+    size follows the machine memory's page size. *)
+
+val strategy : t -> Wms.strategy
+val stats : t -> Wms.stats
+
+val page_miss_faults : t -> int
+(** Faults taken by stores that hit a protected page but no monitor. *)

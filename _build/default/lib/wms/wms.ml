@@ -1,0 +1,28 @@
+(* Common write-monitor-service types (paper §2).
+
+   A strategy, once attached to a machine, exposes the WMS interface:
+   InstallMonitor / RemoveMonitor, with MonitorNotification delivered to
+   the callback supplied at attach time. *)
+
+type notification = {
+  write : Ebp_util.Interval.t;  (** the byte range the hit store wrote *)
+  pc : int;  (** program counter of the monitor hit *)
+}
+
+(* First-class handle so examples and tests can treat the four strategies
+   uniformly. *)
+type strategy = {
+  name : string;
+  install : Ebp_util.Interval.t -> (unit, string) result;
+  remove : Ebp_util.Interval.t -> (unit, string) result;
+  active_monitors : unit -> int;
+}
+
+type stats = {
+  mutable hits : int;  (** monitor notifications delivered *)
+  mutable lookups : int;  (** software lookups performed *)
+  mutable installs : int;
+  mutable removes : int;
+}
+
+let fresh_stats () = { hits = 0; lookups = 0; installs = 0; removes = 0 }

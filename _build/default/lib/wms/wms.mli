@@ -1,0 +1,29 @@
+(** Common write-monitor-service types (paper §2).
+
+    A strategy, once attached to a machine, exposes the WMS interface —
+    InstallMonitor / RemoveMonitor — with MonitorNotification delivered to
+    the callback supplied at attach time. *)
+
+type notification = {
+  write : Ebp_util.Interval.t;  (** the byte range the hit store wrote *)
+  pc : int;  (** program counter of the monitor hit *)
+}
+
+(** First-class strategy handle, so clients (the {!Ebp_core.Debugger},
+    examples, tests) can treat the strategies uniformly. *)
+type strategy = {
+  name : string;
+  install : Ebp_util.Interval.t -> (unit, string) result;
+  remove : Ebp_util.Interval.t -> (unit, string) result;
+  active_monitors : unit -> int;
+}
+
+(** Operation counters every strategy maintains. *)
+type stats = {
+  mutable hits : int;  (** monitor notifications delivered *)
+  mutable lookups : int;  (** software lookups performed *)
+  mutable installs : int;
+  mutable removes : int;
+}
+
+val fresh_stats : unit -> stats

@@ -1,0 +1,89 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+type verdict = Allow | Deny
+
+type attempt = { write : Interval.t; value : int; pc : int; guarded : bool }
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  map : Monitor_map.t;
+  page_guards : (int, int) Hashtbl.t;  (* page -> guarded-range count *)
+  decide : attempt -> verdict;
+  mutable allowed : int;
+  mutable denied : int;
+  mutable bystanders : int;
+}
+
+let on_write_fault t machine ~addr ~width ~value ~pc =
+  let mem = Machine.memory machine in
+  Machine.charge machine
+    (Timing.cycles
+       (t.timing.Timing.vm_fault_handler_us +. t.timing.Timing.software_lookup_us));
+  let write = Interval.of_base_size ~base:addr ~size:width in
+  let guarded = Monitor_map.overlaps t.map write in
+  let verdict =
+    if guarded then t.decide { write; value; pc; guarded }
+    else begin
+      t.bystanders <- t.bystanders + 1;
+      Allow
+    end
+  in
+  match verdict with
+  | Allow ->
+      if guarded then t.allowed <- t.allowed + 1;
+      if width = 4 then Memory.privileged_store_word mem addr value
+      else Memory.privileged_store_byte mem addr value
+  | Deny ->
+      (* The store is suppressed: that is the point of a barrier. *)
+      t.denied <- t.denied + 1
+
+let attach ?(timing = Timing.sparcstation2) machine ~decide =
+  let mem = Machine.memory machine in
+  let t =
+    {
+      machine;
+      timing;
+      map = Monitor_map.create ~page_size:(Memory.page_size mem) ();
+      page_guards = Hashtbl.create 16;
+      decide;
+      allowed = 0;
+      denied = 0;
+      bystanders = 0;
+    }
+  in
+  Machine.set_write_fault_handler machine (Some (on_write_fault t));
+  t
+
+let guard t range =
+  let mem = Machine.memory t.machine in
+  Monitor_map.install t.map range;
+  List.iter
+    (fun page ->
+      let count = Option.value ~default:0 (Hashtbl.find_opt t.page_guards page) in
+      Hashtbl.replace t.page_guards page (count + 1);
+      if count = 0 then Memory.protect mem ~page Memory.Read_only)
+    (Memory.pages_of_range mem range);
+  Ok ()
+
+let unguard t range =
+  let mem = Machine.memory t.machine in
+  Monitor_map.remove t.map range;
+  List.iter
+    (fun page ->
+      match Hashtbl.find_opt t.page_guards page with
+      | None -> ()
+      | Some count ->
+          if count <= 1 then begin
+            Hashtbl.remove t.page_guards page;
+            Memory.protect mem ~page Memory.Read_write
+          end
+          else Hashtbl.replace t.page_guards page (count - 1))
+    (Memory.pages_of_range mem range);
+  Ok ()
+
+let allowed t = t.allowed
+let denied t = t.denied
+let bystanders t = t.bystanders

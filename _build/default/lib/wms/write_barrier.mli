@@ -1,0 +1,52 @@
+(** Write barriers via page protection — the {e other} service §2 takes
+    care to distinguish from write monitors: "The notification may occur
+    after the write has succeeded, distinguishing write monitors from
+    write barriers."
+
+    A barrier consults its client {e before} the write lands and may veto
+    it. This is what Sullivan & Stonebraker's write-protected database
+    structures do ([SS91], cited by §3.2 among the virtual-memory
+    approaches): committed data lives on protected pages, and only writes
+    the guard recognizes as legitimate are allowed through.
+
+    Built on the same machinery as {!Virtual_memory}: guarded ranges
+    write-protect their pages; the write-fault handler asks the client for
+    a verdict, then either emulates the store (allow) or drops it (deny) —
+    either way execution continues after the faulting instruction. Writes
+    to a protected page {e outside} any guarded range are always allowed
+    (the false-sharing cost, as for the VM monitor strategy). Each fault
+    charges [VMFaultHandler] + [SoftwareLookup]. *)
+
+type verdict = Allow | Deny
+
+type attempt = {
+  write : Ebp_util.Interval.t;  (** the range the store would modify *)
+  value : int;  (** the value it would store *)
+  pc : int;
+  guarded : bool;  (** whether the target intersects a guarded range *)
+}
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  Ebp_machine.Machine.t ->
+  decide:(attempt -> verdict) ->
+  t
+(** Takes over the machine's write-fault handler. [decide] is only called
+    for attempts on guarded ranges; unguarded same-page writes are allowed
+    without consultation. *)
+
+val guard : t -> Ebp_util.Interval.t -> (unit, string) result
+(** Protect a range: subsequent stores into it go through [decide]. *)
+
+val unguard : t -> Ebp_util.Interval.t -> (unit, string) result
+
+val allowed : t -> int
+(** Guarded writes the client permitted. *)
+
+val denied : t -> int
+(** Guarded writes the client vetoed — the store never happened. *)
+
+val bystanders : t -> int
+(** Unguarded writes that faulted only because they shared a page. *)

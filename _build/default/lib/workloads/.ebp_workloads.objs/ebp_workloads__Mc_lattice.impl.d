@@ -1,0 +1,1 @@
+lib/workloads/mc_lattice.ml:

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Ebp_lang Ebp_machine Ebp_runtime Ebp_trace List Mc_circuit Mc_compiler Mc_lattice Mc_puzzle Mc_typeset Printf

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ebp_lang Ebp_runtime Ebp_trace

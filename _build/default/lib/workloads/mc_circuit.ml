@@ -1,0 +1,166 @@
+(* Spice analogue: transient nodal analysis by Gauss–Seidel relaxation in
+   fixed-point (millivolt) arithmetic.
+
+   Matches Spice's trace signature: a few hundred heap objects (per-node
+   conductance rows plus per-timestep scratch vectors that are allocated
+   and freed every step), moderate globals, and a relaxation kernel whose
+   writes concentrate on the heap-resident voltage vectors. A waveform log
+   grows via realloc, exercising realloc's keep-identity semantics. *)
+
+let source =
+  {|
+// circuit: Gauss-Seidel transient analysis (Spice analogue)
+
+int n_nodes;
+int total_iters;
+int steps_done;
+int nonconverged;
+int log_len;
+int log_cap;
+
+int** rows;      // per-node conductance row vectors (n of them)
+int* diag;       // diagonal conductance, scaled by 1000
+int* v_now;      // node voltages (mV)
+int* i_src;      // source currents
+int* wave_log;   // growable waveform log (realloc'd)
+
+int abs_i(int x) {
+  if (x < 0) {
+    return 0 - x;
+  }
+  return x;
+}
+
+int* alloc_vec(int n) {
+  return malloc(n * 4);
+}
+
+void build_circuit(int n) {
+  int i;
+  int j;
+  int g;
+  int* row;
+  n_nodes = n;
+  rows = malloc(n * 4);
+  diag = alloc_vec(n);
+  v_now = alloc_vec(n);
+  i_src = alloc_vec(n);
+  for (i = 0; i < n; i = i + 1) {
+    row = alloc_vec(n);
+    rows[i] = row;
+    diag[i] = 0;
+    for (j = 0; j < n; j = j + 1) {
+      if (j != i && rand(100) < 18) {
+        g = 50 + rand(400);
+        row[j] = g;
+        diag[i] = diag[i] + g;
+      } else {
+        row[j] = 0;
+      }
+    }
+    diag[i] = diag[i] + 100 + rand(200);  // grounding conductance
+    v_now[i] = 0;
+    i_src[i] = 0;
+  }
+}
+
+// One relaxation pass; returns the largest voltage change (mV).
+int solve_pass() {
+  int i;
+  int j;
+  int acc;
+  int v;
+  int delta;
+  int maxd;
+  int* row;
+  maxd = 0;
+  for (i = 0; i < n_nodes; i = i + 1) {
+    acc = i_src[i];
+    row = rows[i];
+    for (j = 0; j < n_nodes; j = j + 1) {
+      // v_i = (I_i + sum_j g_ij * v_j) / (sum_j g_ij + g_ground):
+      // diagonally dominant, so the sweep converges.
+      if (row[j] != 0) {
+        acc = acc + row[j] * v_now[j] / 1000;
+      }
+    }
+    v = acc * 1000 / diag[i];
+    delta = abs_i(v - v_now[i]);
+    v_now[i] = v;
+    if (delta > maxd) {
+      maxd = delta;
+    }
+  }
+  return maxd;
+}
+
+// Relax until converged (< 2 mV change) or the iteration cap.
+int solve_step(int cap) {
+  int it;
+  int maxd;
+  int* scratch;
+  scratch = alloc_vec(n_nodes);   // per-step temperature estimates
+  it = 0;
+  maxd = 1000000;
+  while (it < cap && maxd >= 2) {
+    maxd = solve_pass();
+    scratch[it % n_nodes] = maxd;
+    it = it + 1;
+  }
+  free(scratch);
+  total_iters = total_iters + it;
+  if (maxd >= 2) {
+    nonconverged = nonconverged + 1;
+  }
+  return it;
+}
+
+void log_sample(int value) {
+  if (log_len >= log_cap) {
+    log_cap = log_cap * 2;
+    wave_log = realloc(wave_log, log_cap * 4);
+  }
+  wave_log[log_len] = value;
+  log_len = log_len + 1;
+}
+
+void transient(int steps) {
+  int t;
+  int probe;
+  for (t = 0; t < steps; t = t + 1) {
+    // Square-wave stimulus on node 0, small ramp on node 1.
+    if ((t / 4) % 2 == 0) {
+      i_src[0] = 5000;
+    } else {
+      i_src[0] = 0 - 2000;
+    }
+    i_src[1] = t * 37 % 1500;
+    solve_step(40);
+    for (probe = 0; probe < 4; probe = probe + 1) {
+      log_sample(v_now[probe * (n_nodes / 4)]);
+    }
+    steps_done = steps_done + 1;
+  }
+}
+
+int main() {
+  int i;
+  int checksum;
+  srand(314);
+  log_cap = 8;
+  log_len = 0;
+  wave_log = malloc(log_cap * 4);
+  build_circuit(36);
+  transient(24);
+  print_int(steps_done);
+  print_int(total_iters);
+  print_int(nonconverged);
+  print_int(log_len);
+  checksum = 0;
+  for (i = 0; i < log_len; i = i + 1) {
+    checksum = (checksum + wave_log[i] * (i % 13 + 1)) % 1000000007;
+  }
+  print_int(checksum);
+  return 0;
+}
+|}

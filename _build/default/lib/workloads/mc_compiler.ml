@@ -1,0 +1,255 @@
+(* GCC analogue: token processing, symbol interning, recursive expression
+   tree construction, folding, and teardown.
+
+   Matches GCC's trace signature: heap-heavy (hundreds of tree nodes built
+   and freed through a recursive allocator, giving deep AllHeapInFunc
+   contexts), a populated global symbol table, and bursty write behaviour.
+
+   MiniC has no structs or casts; heap records are accessed through two
+   pointer views of the same block — an int* view ("v") for scalar fields
+   and an int** view ("node") for child pointers — relying on the
+   language's K&R-style assignment permissiveness. Layout of a tree node
+   (12 bytes): word 0 = tag (0 leaf, 1..4 operator), words 1-2 = leaf value
+   and spare, or left/right child pointers. *)
+
+let source =
+  {|
+// compiler: expression scanner/parser/folder (GCC analogue)
+
+int sym_table[512];   // open-addressing hash of interned names
+int sym_vals[512];
+int sym_count;
+int sym_probes;
+int node_count;
+int fold_count;
+int free_count;
+int parse_errors;
+int checksum;
+int code_buf[4096];   // emitted (opcode, operand) pairs
+int code_len;
+int vm_stack[256];
+int vm_mismatches;
+int vm_runs;
+
+int intern(int name) {
+  int h;
+  int i;
+  h = (name * 40503) % 512;
+  if (h < 0) {
+    h = h + 512;
+  }
+  i = 0;
+  while (i < 512) {
+    sym_probes = sym_probes + 1;
+    if (sym_table[h] == 0) {
+      sym_table[h] = name;
+      sym_vals[h] = name % 97;
+      sym_count = sym_count + 1;
+      return h;
+    }
+    if (sym_table[h] == name) {
+      return h;
+    }
+    h = (h + 1) % 512;
+    i = i + 1;
+  }
+  parse_errors = parse_errors + 1;
+  return 0 - 1;
+}
+
+int** alloc_node(int tag) {
+  int** node;
+  int* v;
+  node = malloc(12);
+  v = node;
+  v[0] = tag;
+  node_count = node_count + 1;
+  return node;
+}
+
+int** parse_expr(int depth) {
+  int** node;
+  int* v;
+  int r;
+  r = rand(100);
+  if (depth <= 0 || r < 35) {
+    node = alloc_node(0);
+    v = node;
+    v[1] = 1 + rand(999);
+    if (rand(100) < 40) {
+      intern(v[1] * 3 + 11);
+    }
+    return node;
+  }
+  node = alloc_node(1 + rand(4));
+  node[1] = parse_expr(depth - 1);
+  node[2] = parse_expr(depth - 1);
+  return node;
+}
+
+int eval_expr(int** node) {
+  int* v;
+  int a;
+  int b;
+  int op;
+  v = node;
+  op = v[0];
+  if (op == 0) {
+    return v[1];
+  }
+  a = eval_expr(node[1]);
+  b = eval_expr(node[2]);
+  if (op == 1) {
+    return (a + b) % 999983;
+  }
+  if (op == 2) {
+    return (a - b) % 999983;
+  }
+  if (op == 3) {
+    return a * b % 999983;
+  }
+  if (b == 0) {
+    return a;
+  }
+  return a / b;
+}
+
+// Constant folding: collapse operator nodes whose children are leaves.
+int fold_expr(int** node) {
+  int* v;
+  int* lv;
+  int* rv;
+  int folded;
+  v = node;
+  if (v[0] == 0) {
+    return 0;
+  }
+  folded = fold_expr(node[1]);
+  folded = folded + fold_expr(node[2]);
+  lv = node[1];
+  rv = node[2];
+  if (lv[0] == 0 && rv[0] == 0) {
+    free(node[1]);
+    free(node[2]);
+    v[1] = (lv[1] + rv[1]) % 999983;
+    v[0] = 0;
+    fold_count = fold_count + 1;
+    free_count = free_count + 2;
+    return folded + 1;
+  }
+  return folded;
+}
+
+int free_tree(int** node) {
+  int* v;
+  int n;
+  v = node;
+  n = 1;
+  if (v[0] != 0) {
+    n = n + free_tree(node[1]);
+    n = n + free_tree(node[2]);
+  }
+  free(node);
+  return n;
+}
+
+void emit(int op, int arg) {
+  if (code_len < 4094) {
+    code_buf[code_len] = op;
+    code_buf[code_len + 1] = arg;
+    code_len = code_len + 2;
+  }
+}
+
+// Code generation: postorder walk emitting a stack-machine program.
+void gen_code(int** node) {
+  int* v;
+  v = node;
+  if (v[0] == 0) {
+    emit(1, v[1]);
+    return;
+  }
+  gen_code(node[1]);
+  gen_code(node[2]);
+  emit(2, v[0]);
+}
+
+// Execute the emitted stack program; must agree with eval_expr.
+int run_code() {
+  int sp;
+  int i;
+  int op;
+  int a;
+  int b;
+  int r;
+  sp = 0;
+  for (i = 0; i < code_len; i = i + 2) {
+    op = code_buf[i];
+    if (op == 1) {
+      vm_stack[sp] = code_buf[i + 1];
+      sp = sp + 1;
+    } else {
+      b = vm_stack[sp - 1];
+      a = vm_stack[sp - 2];
+      op = code_buf[i + 1];
+      if (op == 1) {
+        r = (a + b) % 999983;
+      } else {
+        if (op == 2) {
+          r = (a - b) % 999983;
+        } else {
+          if (op == 3) {
+            r = a * b % 999983;
+          } else {
+            if (b == 0) {
+              r = a;
+            } else {
+              r = a / b;
+            }
+          }
+        }
+      }
+      sp = sp - 1;
+      vm_stack[sp - 1] = r;
+    }
+  }
+  vm_runs = vm_runs + 1;
+  return vm_stack[0];
+}
+
+int main() {
+  int i;
+  int pass;
+  int direct;
+  int compiled;
+  int** t;
+  srand(1992);
+  checksum = 0;
+  for (i = 0; i < 120; i = i + 1) {
+    t = parse_expr(5);
+    direct = eval_expr(t);
+    checksum = (checksum + direct) % 1000000007;
+    code_len = 0;
+    gen_code(t);
+    for (pass = 0; pass < 4; pass = pass + 1) {
+      compiled = run_code();
+      if (compiled != direct) {
+        vm_mismatches = vm_mismatches + 1;
+      }
+    }
+    fold_expr(t);
+    checksum = (checksum + eval_expr(t)) % 1000000007;
+    free_count = free_count + free_tree(t);
+  }
+  print_int(node_count);
+  print_int(fold_count);
+  print_int(free_count);
+  print_int(sym_count);
+  print_int(sym_probes);
+  print_int(parse_errors);
+  print_int(vm_runs);
+  print_int(vm_mismatches);
+  print_int(checksum);
+  return 0;
+}
+|}

@@ -1,0 +1,101 @@
+(* QCD analogue: iterative stencil relaxation over a global lattice.
+
+   Matches QCD's trace signature: the most write events and the most
+   monitor installs of the five programs (tiny helper functions called once
+   per site create floods of local-variable monitors), hot induction
+   variables (NativeHardware's worst case in §8), and zero heap. *)
+
+let source =
+  {|
+// lattice: 48x48 integer field relaxation, double-buffered (QCD analogue)
+
+int lat[2304];        // current field, 48 * 48
+int nxt[2304];        // next field
+int energy_hist[32];  // per-sweep change counts
+int sweep_count;
+int sites_changed;
+int hot_links;
+
+int neighbors_sum(int x, int y) {
+  int s;
+  int xm;
+  int xp;
+  int ym;
+  int yp;
+  xp = (x + 1) % 48;
+  xm = (x + 47) % 48;
+  yp = (y + 1) % 48;
+  ym = (y + 47) % 48;
+  s = lat[xp * 48 + y] + lat[xm * 48 + y] + lat[x * 48 + yp] + lat[x * 48 + ym];
+  return s;
+}
+
+int update_site(int x, int y) {
+  int s;
+  int v;
+  int nv;
+  s = neighbors_sum(x, y);
+  v = lat[x * 48 + y];
+  nv = (s + v * 2) / 6 + ((s ^ v) & 1);
+  nxt[x * 48 + y] = nv;
+  if (nv != v) {
+    return 1;
+  }
+  return 0;
+}
+
+int sweep() {
+  int x;
+  int y;
+  int changed;
+  changed = 0;
+  for (x = 0; x < 48; x = x + 1) {
+    for (y = 0; y < 48; y = y + 1) {
+      changed = changed + update_site(x, y);
+    }
+  }
+  for (x = 0; x < 2304; x = x + 1) {
+    lat[x] = nxt[x];
+  }
+  return changed;
+}
+
+int count_hot_links() {
+  int i;
+  int n;
+  n = 0;
+  for (i = 0; i < 2303; i = i + 1) {
+    if ((lat[i] ^ lat[i + 1]) & 1) {
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+int main() {
+  int i;
+  int s;
+  int e;
+  int checksum;
+  srand(7);
+  for (i = 0; i < 2304; i = i + 1) {
+    lat[i] = rand(16);
+  }
+  for (s = 0; s < 20; s = s + 1) {
+    e = sweep();
+    energy_hist[s % 32] = e;
+    sweep_count = sweep_count + 1;
+    sites_changed = sites_changed + e;
+  }
+  hot_links = count_hot_links();
+  print_int(sweep_count);
+  print_int(sites_changed);
+  print_int(hot_links);
+  checksum = 0;
+  for (i = 0; i < 2304; i = i + 1) {
+    checksum = (checksum + lat[i] * (i % 7 + 1)) % 1000000007;
+  }
+  print_int(checksum);
+  return 0;
+}
+|}

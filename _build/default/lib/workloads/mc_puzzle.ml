@@ -1,0 +1,285 @@
+(* BPS analogue: best-first search arranging 8 numbers on a 3x3 grid into
+   ascending order by sliding them through the empty cell (the paper's
+   exact problem, §6, solved greedily rather than with Bayesian evidence).
+
+   Matches BPS's trace signature: thousands of small heap nodes — BPS
+   dominates the OneHeap session count in Table 1 (4184 of 4476 sessions) —
+   allocated from a single constructor reached through several dynamic
+   contexts, with most writes coming from node initialization and sorted
+   open-list insertion.
+
+   Node layout (56 bytes, int* view "v" / int** view "node"):
+   words 0-8 grid, word 9 g-cost, word 10 h-cost, word 11 f = g + h,
+   word 12 link to the next open-list node (via the int** view). *)
+
+let source =
+  {|
+// puzzle: 8-puzzle best-first search (BPS analogue)
+
+int expansions;
+int generated;
+int max_open;
+int goal_found;
+int goal_depth;
+int open_len;
+int dup_hits;
+int closed_count;
+
+int** open_head;
+int closed[8192];     // open-addressing set of visited state codes
+
+int heuristic(int* g) {
+  int i;
+  int tile;
+  int d;
+  int want;
+  d = 0;
+  for (i = 0; i < 9; i = i + 1) {
+    tile = g[i];
+    if (tile != 0) {
+      want = tile - 1;       // goal: 1 2 3 / 4 5 6 / 7 8 _
+      d = d + abs_m(i / 3 - want / 3) + abs_m(i % 3 - want % 3);
+    }
+  }
+  return d;
+}
+
+int abs_m(int x) {
+  if (x < 0) {
+    return 0 - x;
+  }
+  return x;
+}
+
+int** make_node(int* grid, int g) {
+  int** node;
+  int* v;
+  int i;
+  node = malloc(56);
+  v = node;
+  for (i = 0; i < 9; i = i + 1) {
+    v[i] = grid[i];
+  }
+  v[9] = g;
+  v[10] = heuristic(v);
+  v[11] = v[9] + v[10];
+  node[12] = 0;
+  generated = generated + 1;
+  return node;
+}
+
+// Sorted insertion by f; ties broken toward newer nodes.
+void insert_open(int** node) {
+  int* v;
+  int* cv;
+  int** cur;
+  int** nxt;
+  v = node;
+  open_len = open_len + 1;
+  if (open_len > max_open) {
+    max_open = open_len;
+  }
+  if (open_head == 0) {
+    open_head = node;
+    return;
+  }
+  cv = open_head;
+  if (v[11] <= cv[11]) {
+    node[12] = open_head;
+    open_head = node;
+    return;
+  }
+  cur = open_head;
+  nxt = cur[12];
+  while (nxt != 0) {
+    cv = nxt;
+    if (v[11] <= cv[11]) {
+      node[12] = nxt;
+      cur[12] = node;
+      return;
+    }
+    cur = nxt;
+    nxt = cur[12];
+  }
+  cur[12] = node;
+}
+
+// Exact state code: 9 base-9 digits fit well inside 31 bits.
+int encode(int* g) {
+  int i;
+  int code;
+  code = 0;
+  for (i = 8; i >= 0; i = i - 1) {
+    code = code * 9 + g[i];
+  }
+  return code;
+}
+
+// Returns 1 when the state was already visited, else records it.
+int check_closed(int* g) {
+  int code;
+  int h;
+  int probes;
+  code = encode(g) + 1;   // avoid 0, the empty-slot marker
+  h = code % 8192;
+  if (h < 0) {
+    h = h + 8192;
+  }
+  probes = 0;
+  while (probes < 8192) {
+    if (closed[h] == code) {
+      dup_hits = dup_hits + 1;
+      return 1;
+    }
+    if (closed[h] == 0) {
+      closed[h] = code;
+      closed_count = closed_count + 1;
+      return 0;
+    }
+    h = (h + 1) % 8192;
+    probes = probes + 1;
+  }
+  return 0;
+}
+
+int** pop_open() {
+  int** node;
+  node = open_head;
+  if (node != 0) {
+    open_head = node[12];
+    open_len = open_len - 1;
+  }
+  return node;
+}
+
+// Expand one node: slide the blank in each legal direction.
+void expand(int** node) {
+  int* v;
+  int blank;
+  int i;
+  int dir;
+  int target;
+  int tmp[9];
+  int** child;
+  int* cv;
+  v = node;
+  blank = 0;
+  for (i = 0; i < 9; i = i + 1) {
+    if (v[i] == 0) {
+      blank = i;
+    }
+  }
+  for (dir = 0; dir < 4; dir = dir + 1) {
+    target = 0 - 1;
+    if (dir == 0 && blank >= 3) {
+      target = blank - 3;
+    }
+    if (dir == 1 && blank < 6) {
+      target = blank + 3;
+    }
+    if (dir == 2 && blank % 3 > 0) {
+      target = blank - 1;
+    }
+    if (dir == 3 && blank % 3 < 2) {
+      target = blank + 1;
+    }
+    if (target >= 0) {
+      for (i = 0; i < 9; i = i + 1) {
+        tmp[i] = v[i];
+      }
+      tmp[blank] = tmp[target];
+      tmp[target] = 0;
+      if (check_closed(tmp) == 0) {
+        child = make_node(tmp, v[9] + 1);
+        cv = child;
+        if (cv[10] == 0) {
+          goal_found = 1;
+          goal_depth = cv[9];
+        }
+        insert_open(child);
+      }
+    }
+  }
+  expansions = expansions + 1;
+}
+
+// Solve one scrambled instance; returns the solution depth (0 if the
+// expansion budget ran out).
+int solve_instance(int seed, int budget) {
+  int start[9];
+  int i;
+  int moves;
+  int blank;
+  int target;
+  int t;
+  int** node;
+  int prev;
+  int spent;
+  srand(seed);
+  // Reset per-instance search state.
+  for (i = 0; i < 8192; i = i + 1) {
+    closed[i] = 0;
+  }
+  open_head = 0;
+  open_len = 0;
+  goal_found = 0;
+  goal_depth = 0;
+  // Start from the goal and scramble with random legal moves, never
+  // undoing the previous move, so the start state is genuinely deep.
+  for (i = 0; i < 8; i = i + 1) {
+    start[i] = i + 1;
+  }
+  start[8] = 0;
+  blank = 8;
+  prev = 0 - 1;
+  for (moves = 0; moves < 400; moves = moves + 1) {
+    target = 0 - 1;
+    t = rand(4);
+    if (t == 0 && blank >= 3) {
+      target = blank - 3;
+    }
+    if (t == 1 && blank < 6) {
+      target = blank + 3;
+    }
+    if (t == 2 && blank % 3 > 0) {
+      target = blank - 1;
+    }
+    if (t == 3 && blank % 3 < 2) {
+      target = blank + 1;
+    }
+    if (target >= 0 && target != prev) {
+      start[blank] = start[target];
+      start[target] = 0;
+      prev = blank;
+      blank = target;
+    }
+  }
+  check_closed(start);
+  insert_open(make_node(start, 0));
+  spent = 0;
+  while (goal_found == 0 && spent < budget) {
+    node = pop_open();
+    if (node == 0) {
+      goal_found = 0 - 1;
+    } else {
+      expand(node);
+      spent = spent + 1;
+    }
+  }
+  return goal_depth;
+}
+
+int main() {
+  int depth_sum;
+  depth_sum = 0;
+  depth_sum = depth_sum + solve_instance(8892, 2000);
+  depth_sum = depth_sum + solve_instance(4117, 2000);
+  print_int(expansions);
+  print_int(generated);
+  print_int(max_open);
+  print_int(depth_sum);
+  print_int(dup_hits);
+  print_int(closed_count);
+  return 0;
+}
+|}

@@ -1,0 +1,111 @@
+(* CommonTeX analogue: dynamic-programming paragraph line-breaking.
+
+   Matches CTeX's trace signature from the paper: all state in global
+   static arrays and locals, zero heap allocation (Table 1 shows CTeX with
+   no OneHeap/AllHeapInFunc sessions), and a compute kernel dominated by
+   scans over static data. *)
+
+let source =
+  {|
+// typeset: greedy-window DP line breaker over static arrays (CTeX analogue)
+
+int widths[448];        // word widths of the current paragraph
+int best[449];          // DP: minimal cost breaking words [0, i)
+int brk[449];           // DP: chosen break point before word i
+int line_len_hist[64];  // histogram of produced line lengths
+int total_cost;
+int total_lines;
+int paragraphs_done;
+int overfull_boxes;
+
+int make_paragraph(int n, int seed) {
+  int i;
+  srand(seed);
+  for (i = 0; i < n; i = i + 1) {
+    widths[i] = 2 + rand(9);
+  }
+  return n;
+}
+
+// Badness of setting words [i, j) on one line of the given width.
+int line_cost(int i, int j, int width) {
+  int w;
+  int k;
+  int slack;
+  w = 0;
+  for (k = i; k < j; k = k + 1) {
+    w = w + widths[k];
+  }
+  w = w + (j - i - 1);
+  if (w > width) {
+    return 10000000;
+  }
+  slack = width - w;
+  return slack * slack * slack;
+}
+
+int break_lines(int n, int width) {
+  int i;
+  int j;
+  int c;
+  int bc;
+  int bj;
+  int span;
+  best[0] = 0;
+  for (i = 1; i <= n; i = i + 1) {
+    bc = 100000000;
+    bj = i - 1;
+    j = i - 1;
+    span = 0;
+    while (j >= 0 && span < 14) {
+      c = best[j] + line_cost(j, i, width);
+      if (c < bc) {
+        bc = c;
+        bj = j;
+      }
+      j = j - 1;
+      span = span + 1;
+    }
+    best[i] = bc;
+    brk[i] = bj;
+  }
+  i = n;
+  c = 0;
+  while (i > 0) {
+    span = i - brk[i];
+    line_len_hist[span % 64] = line_len_hist[span % 64] + 1;
+    c = c + 1;
+    i = brk[i];
+  }
+  total_lines = total_lines + c;
+  if (best[n] >= 10000000) {
+    overfull_boxes = overfull_boxes + 1;
+  }
+  return best[n];
+}
+
+int main() {
+  int p;
+  int n;
+  int cost;
+  int checksum;
+  total_cost = 0;
+  total_lines = 0;
+  for (p = 0; p < 14; p = p + 1) {
+    n = 64 + rand(160);
+    make_paragraph(n, 1000 + p);
+    cost = break_lines(n, 24 + rand(16));
+    total_cost = (total_cost + cost) % 1000000007;
+    paragraphs_done = paragraphs_done + 1;
+  }
+  print_int(paragraphs_done);
+  print_int(total_lines);
+  print_int(total_cost);
+  checksum = 0;
+  for (p = 0; p < 64; p = p + 1) {
+    checksum = checksum + line_len_hist[p] * (p + 1);
+  }
+  print_int(checksum);
+  return 0;
+}
+|}

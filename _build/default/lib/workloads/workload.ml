@@ -1,0 +1,131 @@
+type t = {
+  name : string;
+  description : string;
+  paper_analogue : string;
+  source : string;
+  seed : int;
+  expected_output : string option;
+}
+
+let compiler =
+  {
+    name = "compiler";
+    description = "expression scanner/parser/constant-folder";
+    paper_analogue = "GCC v1.4 compiling rtl.c";
+    source = Mc_compiler.source;
+    seed = 11;
+    expected_output = Some "1724
+802
+1724
+301
+479
+0
+480
+0
+3438512
+";
+  }
+
+let typeset =
+  {
+    name = "typeset";
+    description = "dynamic-programming paragraph line breaker";
+    paper_analogue = "CommonTeX v2.9 typesetting a 4-page document";
+    source = Mc_typeset.source;
+    seed = 22;
+    expected_output = Some "14
+455
+54844
+2456
+";
+  }
+
+let circuit =
+  {
+    name = "circuit";
+    description = "Gauss-Seidel transient nodal analysis";
+    paper_analogue = "Spice v3c1 transient analysis of a differential pair";
+    source = Mc_circuit.source;
+    seed = 33;
+    expected_output = Some "24
+174
+0
+96
+194306
+";
+  }
+
+let lattice =
+  {
+    name = "lattice";
+    description = "stencil relaxation over a global lattice";
+    paper_analogue = "QCD quantum-chromodynamics simulation";
+    source = Mc_lattice.source;
+    seed = 44;
+    expected_output = Some "20
+24745
+1100
+81849
+";
+  }
+
+let puzzle =
+  {
+    name = "puzzle";
+    description = "best-first 8-puzzle search";
+    paper_analogue = "BPS Bayesian problem solver (8-puzzle)";
+    source = Mc_puzzle.source;
+    seed = 55;
+    expected_output = Some "1833
+2879
+764
+45
+1973
+2879
+";
+  }
+
+let all = [ compiler; typeset; circuit; lattice; puzzle ]
+
+let by_name name = List.find_opt (fun w -> w.name = name) all
+
+type run = {
+  workload : t;
+  compiled : Ebp_lang.Compiler.output;
+  result : Ebp_runtime.Loader.run_result;
+  trace : Ebp_trace.Trace.t;
+  base_ms : float;
+}
+
+let record ?fuel w =
+  match Ebp_lang.Compiler.compile w.source with
+  | Error msg -> Error (Printf.sprintf "%s: compile error: %s" w.name msg)
+  | Ok compiled -> (
+      let loader = Ebp_runtime.Loader.load ~seed:w.seed compiled in
+      let result, trace = Ebp_trace.Recorder.record ?fuel loader in
+      match result.Ebp_runtime.Loader.status with
+      | Ebp_machine.Machine.Halted 0 -> (
+          match result.Ebp_runtime.Loader.runtime_error with
+          | Some msg -> Error (Printf.sprintf "%s: runtime error: %s" w.name msg)
+          | None -> (
+              match w.expected_output with
+              | Some expected when expected <> result.Ebp_runtime.Loader.output ->
+                  Error
+                    (Printf.sprintf "%s: output mismatch:\nexpected:\n%s\ngot:\n%s"
+                       w.name expected result.Ebp_runtime.Loader.output)
+              | Some _ | None ->
+                  Ok
+                    {
+                      workload = w;
+                      compiled;
+                      result;
+                      trace;
+                      base_ms =
+                        Ebp_machine.Cost_model.ms_of_cycles
+                          result.Ebp_runtime.Loader.cycles;
+                    }))
+      | Ebp_machine.Machine.Halted code ->
+          Error (Printf.sprintf "%s: exited with code %d" w.name code)
+      | Ebp_machine.Machine.Out_of_fuel -> Error (Printf.sprintf "%s: out of fuel" w.name)
+      | Ebp_machine.Machine.Machine_error msg ->
+          Error (Printf.sprintf "%s: machine error: %s" w.name msg))

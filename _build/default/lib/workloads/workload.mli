@@ -1,0 +1,55 @@
+(** The five benchmark programs (paper §6), as MiniC sources.
+
+    Each stands in for one of the paper's C programs, engineered to
+    reproduce that program's memory-behaviour shape rather than its
+    function (see DESIGN.md §2):
+
+    - [compiler] ~ GCC: scanning + recursive tree building, heap-heavy with
+      many globals;
+    - [typeset] ~ CommonTeX: dynamic-programming line breaking over static
+      arrays — {e no heap objects}, so no heap sessions exist (Table 1);
+    - [circuit] ~ Spice: iterative Gauss–Seidel nodal analysis with
+      heap-allocated matrices;
+    - [lattice] ~ QCD: stencil sweeps over global lattices with tiny helper
+      functions — the most writes and monitor installs, no heap;
+    - [puzzle] ~ BPS: best-first 8-puzzle search allocating thousands of
+      small heap nodes — dominating the OneHeap session count.
+
+    [expected_output] lets tests pin each workload's observable behaviour:
+    the programs self-check (e.g. print a checksum) so a compiler or
+    machine regression is caught by the workload suite itself. *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_analogue : string;  (** the paper program this one stands in for *)
+  source : string;  (** MiniC translation unit *)
+  seed : int;  (** PRNG seed for the [rand] builtin *)
+  expected_output : string option;
+      (** full expected stdout, when deterministic (always, currently) *)
+}
+
+val all : t list
+(** In the paper's Table 1 order: compiler, typeset, circuit, lattice,
+    puzzle. *)
+
+val by_name : string -> t option
+
+val compiler : t
+val typeset : t
+val circuit : t
+val lattice : t
+val puzzle : t
+
+(** A compiled-and-traced workload, ready for phase 2. *)
+type run = {
+  workload : t;
+  compiled : Ebp_lang.Compiler.output;
+  result : Ebp_runtime.Loader.run_result;
+  trace : Ebp_trace.Trace.t;
+  base_ms : float;  (** base execution time at the simulated clock *)
+}
+
+val record : ?fuel:int -> t -> (run, string) result
+(** Compile, load, run under the trace recorder. Fails on compile errors,
+    machine errors, runtime errors, or an output mismatch. *)

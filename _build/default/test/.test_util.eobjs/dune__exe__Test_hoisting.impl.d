@@ -1,0 +1,1 @@
+test/test_hoisting.ml: Alcotest Ebp_core Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Ebp_util Ebp_wms Ebp_workloads List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_inline_cp.ml: Alcotest Ebp_core Ebp_isa Ebp_machine Ebp_runtime Ebp_util Ebp_wms Fun List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_inline_cp.mli:

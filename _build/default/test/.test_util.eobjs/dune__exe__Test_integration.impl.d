@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Ebp_core Ebp_isa Ebp_lang Ebp_machine Ebp_model Ebp_runtime Ebp_sessions Ebp_trace Ebp_util Ebp_wms Ebp_workloads Hashtbl Lazy List Printf Result String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Ebp_isa Fun List Printf QCheck2 QCheck_alcotest Result String

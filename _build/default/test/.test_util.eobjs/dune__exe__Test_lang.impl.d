@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ebp_isa Ebp_lang Ebp_machine Ebp_runtime Int List Printf QCheck2 QCheck_alcotest Result String

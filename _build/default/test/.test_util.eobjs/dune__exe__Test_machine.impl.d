@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ebp_isa Ebp_machine Ebp_util Hashtbl List QCheck2 QCheck_alcotest String

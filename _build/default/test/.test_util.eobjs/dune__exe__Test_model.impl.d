@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ebp_model Ebp_sessions Ebp_wms List

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ebp_lang Ebp_machine Ebp_runtime List Option QCheck2 QCheck_alcotest Result

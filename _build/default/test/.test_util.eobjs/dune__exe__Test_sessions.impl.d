@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Array Ebp_sessions Ebp_trace Ebp_util Hashtbl List Option QCheck2 QCheck_alcotest

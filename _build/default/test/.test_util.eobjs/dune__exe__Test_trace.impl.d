@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ebp_trace Ebp_util Filename Fun Int List String Sys

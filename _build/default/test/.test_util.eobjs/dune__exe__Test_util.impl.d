@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ebp_util Float Fun Hashtbl Int List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wms.ml: Alcotest Ebp_isa Ebp_machine Ebp_util Ebp_wms List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,37 @@
+  $ ebp list
+  $ cat > tiny.mc <<'MC'
+  > int main() {
+  >   int i;
+  >   int s;
+  >   s = 0;
+  >   for (i = 0; i < 10; i = i + 1) { s = s + i; }
+  >   print_int(s);
+  >   return 0;
+  > }
+  > MC
+  $ ebp run tiny.mc 2>/dev/null
+  $ cat > broken.mc <<'MC'
+  > int main() {
+  >   return nope;
+  > }
+  > MC
+  $ ebp run broken.mc
+  $ ebp trace tiny.mc -o tiny.trace 2>/dev/null
+  $ ebp sessions --from-trace tiny.trace | tail -n 1
+  $ ebp sessions tiny.mc | tail -n 1
+  $ ebp disasm tiny.mc | grep -c 'sw '
+  $ plain=$(ebp disasm tiny.mc | wc -l)
+  $ patched=$(ebp disasm tiny.mc --patch cp | wc -l)
+  $ echo $((patched - plain))
+  $ ebp disasm tiny.mc --patch hcp 2>&1 >/dev/null
+  $ printf 'watch global g\nbreak 10\nrun\nquit\n' | ebp debug watchme.mc
+  $ cat > watchme.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 100; i = i + 1) { g = g + 1; }
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+  $ printf 'watch global g\nbreak 10\nrun\nquit\n' | ebp debug watchme.mc | head -n 3

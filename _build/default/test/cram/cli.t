@@ -1,0 +1,77 @@
+The workload list is stable:
+
+  $ ebp list
+  compiler   expression scanner/parser/constant-folder (stands in for GCC v1.4 compiling rtl.c)
+  typeset    dynamic-programming paragraph line breaker (stands in for CommonTeX v2.9 typesetting a 4-page document)
+  circuit    Gauss-Seidel transient nodal analysis (stands in for Spice v3c1 transient analysis of a differential pair)
+  lattice    stencil relaxation over a global lattice (stands in for QCD quantum-chromodynamics simulation)
+  puzzle     best-first 8-puzzle search (stands in for BPS Bayesian problem solver (8-puzzle))
+
+Running a MiniC file prints its output and reports simulated time on stderr:
+
+  $ cat > tiny.mc <<'MC'
+  > int main() {
+  >   int i;
+  >   int s;
+  >   s = 0;
+  >   for (i = 0; i < 10; i = i + 1) { s = s + i; }
+  >   print_int(s);
+  >   return 0;
+  > }
+  > MC
+  $ ebp run tiny.mc 2>/dev/null
+  45
+
+Compile errors name the line:
+
+  $ cat > broken.mc <<'MC'
+  > int main() {
+  >   return nope;
+  > }
+  > MC
+  $ ebp run broken.mc
+  ebp: line 2: undefined variable nope
+  [1]
+
+Tracing and replaying through a file agree with live session discovery:
+
+  $ ebp trace tiny.mc -o tiny.trace 2>/dev/null
+  $ ebp sessions --from-trace tiny.trace | tail -n 1
+  3 sessions
+  $ ebp sessions tiny.mc | tail -n 1
+  3 sessions
+
+The disassembler shows instrumented programs; CodePatch adds three
+instructions per explicit store:
+
+  $ ebp disasm tiny.mc | grep -c 'sw '
+  7
+  $ plain=$(ebp disasm tiny.mc | wc -l)
+  $ patched=$(ebp disasm tiny.mc --patch cp | wc -l)
+  $ echo $((patched - plain))
+  12
+
+The hoisting pass reports what it optimized (two explicit stores are
+loop-invariant: i and s live at fixed frame offsets):
+
+  $ ebp disasm tiny.mc --patch hcp 2>&1 >/dev/null
+  ; 4 stores, 2 hoisted, 1 loops optimized
+
+The scriptable debugger stops on a conditional data breakpoint:
+
+  $ printf 'watch global g\nbreak 10\nrun\nquit\n' | ebp debug watchme.mc
+  ebp: no workload or file named "watchme.mc"
+  [1]
+  $ cat > watchme.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 100; i = i + 1) { g = g + 1; }
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+  $ printf 'watch global g\nbreak 10\nrun\nquit\n' | ebp debug watchme.mc | head -n 3
+  watching global g
+  breaking on the first write of 10
+  stopped at data breakpoint:

@@ -1,0 +1,442 @@
+(* Tests for the §9 CodePatch loop-hoisting optimization: Ebp_isa.Cfg loop
+   analysis and Ebp_wms.Hoisted_code_patch, including hit-for-hit
+   equivalence with plain CodePatch under adversarial schedules (monitors
+   armed and disarmed while loops are running). *)
+
+module Interval = Ebp_util.Interval
+module Instr = Ebp_isa.Instr
+module Reg = Ebp_isa.Reg
+module Program = Ebp_isa.Program
+module Cfg = Ebp_isa.Cfg
+module Machine = Ebp_machine.Machine
+module Hcp = Ebp_wms.Hoisted_code_patch
+module Cp = Ebp_wms.Code_patch
+module Wms = Ebp_wms.Wms
+module Debugger = Ebp_core.Debugger
+module Loader = Ebp_runtime.Loader
+
+let assemble src =
+  match Ebp_isa.Asm.parse_resolved src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "assembly error: %s" e
+
+(* --- Cfg --- *)
+
+let simple_loop_src =
+  {|
+  li t0, 0
+  li t1, 10
+loop:
+  addi t0, t0, 1
+  blt t0, t1, loop
+  halt
+|}
+
+let test_cfg_simple_loop () =
+  let p = assemble simple_loop_src in
+  match Cfg.loops p with
+  | [ { Cfg.header = 2; back_edge = 3 } ] -> ()
+  | ls -> Alcotest.failf "expected one loop [2,3], got %d" (List.length ls)
+
+let test_cfg_rejects_calls () =
+  let p =
+    assemble
+      {|
+  li t0, 0
+loop:
+  jal f
+  addi t0, t0, 1
+  blt t0, zero, loop
+  halt
+f:
+  ret
+|}
+  in
+  Alcotest.(check int) "loop with call rejected" 0 (List.length (Cfg.loops p))
+
+let test_cfg_rejects_header_zero () =
+  let p = assemble "loop:\n  addi t0, t0, 1\n  jmp loop\n" in
+  Alcotest.(check int) "header 0 rejected" 0 (List.length (Cfg.loops p))
+
+let test_cfg_nested_loops () =
+  let p =
+    assemble
+      {|
+  li t0, 0
+outer:
+  li t1, 0
+inner:
+  addi t1, t1, 1
+  blt t1, t2, inner
+  addi t0, t0, 1
+  blt t0, t3, outer
+  halt
+|}
+  in
+  let ls = Cfg.loops p in
+  Alcotest.(check int) "two loops" 2 (List.length ls);
+  (* Sorted innermost first. *)
+  (match ls with
+  | [ a; b ] ->
+      Alcotest.(check bool) "inner smaller" true
+        (a.Cfg.back_edge - a.Cfg.header < b.Cfg.back_edge - b.Cfg.header);
+      Alcotest.(check int) "inner header" 2 a.Cfg.header
+  | _ -> Alcotest.fail "expected two loops");
+  (* innermost_containing picks the small one for an inner index. *)
+  match Cfg.innermost_containing ls 3 with
+  | Some l -> Alcotest.(check int) "innermost of idx 3" 2 l.Cfg.header
+  | None -> Alcotest.fail "no loop found"
+
+let test_cfg_defined_regs () =
+  Alcotest.(check bool) "li defines rd" true
+    (List.exists (Reg.equal (Reg.t_ 0)) (Cfg.defined_regs (Instr.Li (Reg.t_ 0, 1))));
+  Alcotest.(check bool) "store defines nothing" true
+    (Cfg.defined_regs (Instr.Sw (Reg.t_ 0, Reg.fp, 0)) = []);
+  Alcotest.(check bool) "jal defines ra" true
+    (List.exists (Reg.equal Reg.ra) (Cfg.defined_regs (Instr.Jal (Instr.Abs 0))));
+  Alcotest.(check bool) "syscall defines v0" true
+    (List.exists (Reg.equal Reg.v0) (Cfg.defined_regs (Instr.Syscall 3)))
+
+let test_cfg_invariance () =
+  let p = assemble simple_loop_src in
+  Alcotest.(check bool) "t0 varies" false (Cfg.reg_invariant p ~lo:2 ~hi:3 (Reg.t_ 0));
+  Alcotest.(check bool) "t1 invariant" true (Cfg.reg_invariant p ~lo:2 ~hi:3 (Reg.t_ 1));
+  Alcotest.(check bool) "zero always invariant" true
+    (Cfg.reg_invariant p ~lo:0 ~hi:4 Reg.zero)
+
+(* --- instrumentation structure --- *)
+
+let hoistable_src =
+  {|
+  li t1, 8192      ; invariant base
+  li t0, 0
+loop:
+  sw t0, 0(t1)     ; hoistable: t1 invariant in loop
+  add t2, t1, t0
+  sw t0, 0(t2)     ; not hoistable: t2 redefined each iteration
+  addi t0, t0, 4
+  blt t0, t3, loop
+  sw t0, 4(t1)     ; outside any loop: plain
+  halt
+|}
+
+let test_instrument_classification () =
+  let p = assemble hoistable_src in
+  let patched = Hcp.instrument p in
+  Alcotest.(check int) "three stores" 3 (Hcp.patched_stores patched);
+  Alcotest.(check int) "one hoisted" 1 (Hcp.hoisted_stores patched);
+  Alcotest.(check int) "one loop optimized" 1 (Hcp.loops_optimized patched);
+  Alcotest.(check bool) "expansion grew" true (Hcp.expansion patched > 1.0)
+
+let test_instrument_no_loops_degenerates_to_cp () =
+  let src = "  li t1, 8192\n  sw t0, 0(t1)\n  halt\n" in
+  let p = assemble src in
+  let patched = Hcp.instrument p in
+  Alcotest.(check int) "nothing hoisted" 0 (Hcp.hoisted_stores patched);
+  (* Same instruction count as plain CodePatch on the same input. *)
+  Alcotest.(check int) "same size as CP"
+    (Program.length (Cp.program (Cp.instrument p)))
+    (Program.length (Hcp.program patched))
+
+(* --- semantics: same final memory as the unpatched program --- *)
+
+let run_to_halt prog ~with_chk_handler =
+  let m = Machine.create prog in
+  if with_chk_handler then Machine.set_chk_handler m (Some (fun _ ~range:_ ~pc:_ -> ()));
+  (match Machine.run m with
+  | Machine.Halted _ -> ()
+  | Machine.Out_of_fuel -> Alcotest.fail "fuel"
+  | Machine.Machine_error e -> Alcotest.fail e);
+  m
+
+let test_patched_program_same_memory () =
+  let p = assemble hoistable_src in
+  (* Give t3 a bound via an initial li: patch the source instead. *)
+  let src_with_bound =
+    {|
+  li t3, 40
+  li t1, 8192
+  li t0, 0
+loop:
+  sw t0, 0(t1)
+  add t2, t1, t0
+  sw t0, 0(t2)
+  addi t0, t0, 4
+  blt t0, t3, loop
+  sw t0, 4(t1)
+  halt
+|}
+  in
+  let p = ignore p; assemble src_with_bound in
+  let patched = Hcp.instrument p in
+  let m_plain = run_to_halt p ~with_chk_handler:false in
+  let m_patched = run_to_halt (Hcp.program patched) ~with_chk_handler:true in
+  for i = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "word %d" i)
+      (Ebp_machine.Memory.load_word (Machine.memory m_plain) (8192 + (4 * i)))
+      (Ebp_machine.Memory.load_word (Machine.memory m_patched) (8192 + (4 * i)))
+  done
+
+(* --- equivalence with plain CodePatch through the Debugger --- *)
+
+let hits_of kind src ~watch =
+  let d =
+    match Debugger.load_source ~strategy:kind src with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  watch d;
+  let r = Debugger.run d in
+  (match r.Loader.status with
+  | Machine.Halted 0 -> ()
+  | _ -> Alcotest.fail "program failed");
+  Alcotest.(check (list string)) "no errors" [] (Debugger.errors d);
+  ( List.map
+      (fun (h : Debugger.hit) -> (h.Debugger.pc, Interval.lo h.Debugger.write))
+      (Debugger.hits d),
+    Debugger.cycles d )
+
+let check_equivalent name src watch =
+  let cp_hits, cp_cycles = hits_of Debugger.Code_patch src ~watch in
+  let hcp_hits, hcp_cycles = hits_of Debugger.Code_patch_hoisted src ~watch in
+  Alcotest.(check (list (pair int int))) (name ^ ": identical hits") cp_hits hcp_hits;
+  (cp_cycles, hcp_cycles)
+
+let test_equiv_global_in_loop () =
+  (* The watched global is written every iteration: flags stay armed, so
+     hoisting saves nothing on it but must not lose notifications. *)
+  let src =
+    {|
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) {
+    g = g + i;
+  }
+  print_int(g);
+  return 0;
+}
+|}
+  in
+  let _ =
+    check_equivalent "armed loop" src (fun d ->
+        Result.get_ok (Debugger.watch_global d "g"))
+  in
+  ()
+
+let test_equiv_unwatched_loop_saves_cycles () =
+  (* Nothing watched inside the hot loop: every hoisted store skips its
+     lookup, so hoisted CP must be strictly cheaper. *)
+  let src =
+    {|
+int g;
+int sink[8];
+int main() {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 500; i = i + 1) {
+    acc = acc + i;
+    sink[i % 8] = acc;
+  }
+  g = acc;
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let cp, hcp =
+    check_equivalent "cold loop" src (fun d ->
+        Result.get_ok (Debugger.watch_global d "g"))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hoisting cheaper (cp=%d hcp=%d)" cp hcp)
+    true (hcp < cp)
+
+let test_equiv_monitor_armed_mid_loop () =
+  (* The heap watch arms at an allocation *inside* the loop, after several
+     iterations have already run with clear flags. The install-refresh
+     path must rearm the flags so later iterations notify. *)
+  let src =
+    {|
+int keep[16];
+int main() {
+  int i;
+  int* p;
+  int* q;
+  p = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    if (i == 5) {
+      p = malloc(8);
+    }
+    if (p != 0) {
+      p[0] = i;          // pointer invariant once set? p reloaded each iter
+    }
+    keep[i] = i;
+  }
+  q = p;
+  free(q);
+  print_int(1);
+  return 0;
+}
+|}
+  in
+  let _ =
+    check_equivalent "mid-loop arming" src (fun d ->
+        Debugger.watch_alloc d ~site:"main" ~nth:1)
+  in
+  ()
+
+let test_equiv_monitor_removed_mid_loop () =
+  (* The watched object is freed inside the loop: flags must disarm. *)
+  let src =
+    {|
+int main() {
+  int i;
+  int* p;
+  p = malloc(8);
+  for (i = 0; i < 12; i = i + 1) {
+    if (i < 6) {
+      p[0] = i;
+    }
+    if (i == 6) {
+      free(p);
+    }
+  }
+  print_int(i);
+  return 0;
+}
+|}
+  in
+  let _ =
+    check_equivalent "mid-loop disarm" src (fun d ->
+        Debugger.watch_alloc d ~site:"main" ~nth:1)
+  in
+  ()
+
+let test_equiv_local_watch () =
+  (* Local-variable watches arm at function entry and disarm on return,
+     driving install/remove churn across loop executions. *)
+  let src =
+    {|
+int work(int n) {
+  int acc;
+  int i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + i;
+  }
+  return acc;
+}
+int main() {
+  int total;
+  int r;
+  total = 0;
+  for (r = 0; r < 5; r = r + 1) {
+    total = total + work(10 + r);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+  in
+  let _ =
+    check_equivalent "local watch" src (fun d ->
+        Result.get_ok (Debugger.watch_local d ~func:"work" ~var:"acc"))
+  in
+  ()
+
+let test_equiv_on_workload () =
+  (* A whole benchmark program: the lattice workload under a global watch. *)
+  let src = Ebp_workloads.Workload.lattice.Ebp_workloads.Workload.source in
+  let cp, hcp =
+    check_equivalent "lattice workload" src (fun d ->
+        Result.get_ok (Debugger.watch_global d "sweep_count"))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hoisting helps on lattice (cp=%d hcp=%d)" cp hcp)
+    true (hcp < cp)
+
+(* --- strategy accounting --- *)
+
+let test_skip_accounting () =
+  let src =
+    {|
+int g;
+int main() {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    acc = acc + i;
+  }
+  g = acc;
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let compiled =
+    match Ebp_lang.Compiler.compile src with Ok c -> c | Error e -> Alcotest.fail e
+  in
+  let patched = Hcp.instrument compiled.Ebp_lang.Compiler.program in
+  Alcotest.(check bool) "some stores hoisted" true (Hcp.hoisted_stores patched > 0);
+  let loader =
+    Loader.load
+      { Ebp_lang.Compiler.program = Hcp.program patched;
+        debug = compiled.Ebp_lang.Compiler.debug }
+  in
+  let machine = Loader.machine loader in
+  let t = Hcp.attach patched machine ~notify:(fun _ -> ()) in
+  let s = Hcp.strategy t in
+  (* Watch g so the map is non-empty but the loop stores stay cold. *)
+  let g = Ebp_lang.Debug_info.global_by_name compiled.Ebp_lang.Compiler.debug "g" in
+  let g = Option.get g in
+  (match
+     s.Wms.install
+       (Interval.of_base_size ~base:g.Ebp_lang.Debug_info.g_addr
+          ~size:g.Ebp_lang.Debug_info.g_size)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let r = Loader.run loader in
+  (match r.Loader.status with
+  | Machine.Halted 0 -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check bool) "pre-checks ran" true (Hcp.pre_checks_executed t > 0);
+  Alcotest.(check bool) "lookups were skipped" true (Hcp.guarded_checks_skipped t > 50);
+  Alcotest.(check int) "the g store still hit" 1 (Hcp.stats t).Wms.hits
+
+let () =
+  Alcotest.run "hoisting"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "simple loop" `Quick test_cfg_simple_loop;
+          Alcotest.test_case "rejects calls" `Quick test_cfg_rejects_calls;
+          Alcotest.test_case "rejects header 0" `Quick test_cfg_rejects_header_zero;
+          Alcotest.test_case "nested loops" `Quick test_cfg_nested_loops;
+          Alcotest.test_case "defined regs" `Quick test_cfg_defined_regs;
+          Alcotest.test_case "invariance" `Quick test_cfg_invariance;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "classification" `Quick test_instrument_classification;
+          Alcotest.test_case "no loops = plain CP" `Quick
+            test_instrument_no_loops_degenerates_to_cp;
+          Alcotest.test_case "memory semantics" `Quick test_patched_program_same_memory;
+        ] );
+      ( "equivalence with CodePatch",
+        [
+          Alcotest.test_case "armed loop" `Quick test_equiv_global_in_loop;
+          Alcotest.test_case "cold loop saves cycles" `Quick
+            test_equiv_unwatched_loop_saves_cycles;
+          Alcotest.test_case "arming mid-loop" `Quick test_equiv_monitor_armed_mid_loop;
+          Alcotest.test_case "disarming mid-loop" `Quick
+            test_equiv_monitor_removed_mid_loop;
+          Alcotest.test_case "local watch churn" `Quick test_equiv_local_watch;
+          Alcotest.test_case "lattice workload" `Slow test_equiv_on_workload;
+        ] );
+      ("accounting", [ Alcotest.test_case "skips counted" `Quick test_skip_accounting ]);
+    ]

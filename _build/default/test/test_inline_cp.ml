@@ -1,0 +1,291 @@
+(* Tests for Ebp_wms.Inline_code_patch: the CodePatch variant whose check
+   is real machine code walking a monitor map kept in debuggee memory. *)
+
+module Interval = Ebp_util.Interval
+module Prng = Ebp_util.Prng
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+module Icp = Ebp_wms.Inline_code_patch
+module Reference_map = Ebp_wms.Reference_map
+module Wms = Ebp_wms.Wms
+module Debugger = Ebp_core.Debugger
+module Loader = Ebp_runtime.Loader
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let assemble src =
+  match Ebp_isa.Asm.parse_resolved src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "assembly error: %s" e
+
+(* --- instrumentation structure --- *)
+
+let test_instrument_shape () =
+  let p = assemble "  li t1, 8192\n  sw t0, 0(t1)\n  sb t0, 64(t1)\n  halt\n" in
+  let patched = Icp.instrument p in
+  Alcotest.(check int) "two stores" 2 (Icp.patched_stores patched);
+  let p' = Icp.program patched in
+  Alcotest.(check int) "13 instructions per stub" (Program.length p + 26)
+    (Program.length p');
+  (* The patched site jumps into the stub; the stub ends with the store
+     and a jump back. *)
+  match Program.get p' 1 with
+  | Instr.Jmp (Instr.Abs s) -> (
+      (match Program.get p' s with
+      | Instr.Sw _ -> ()  (* the store runs first: notify-after-write *)
+      | i -> Alcotest.failf "stub head: %s" (Instr.to_string i));
+      (match Program.get p' (s + 1) with
+      | Instr.Alui (Instr.Add, _, _, 0) -> ()
+      | i -> Alcotest.failf "stub check head: %s" (Instr.to_string i));
+      match Program.get p' (s + 12) with
+      | Instr.Jmp (Instr.Abs 2) -> ()
+      | i -> Alcotest.failf "stub return: %s" (Instr.to_string i))
+  | i -> Alcotest.failf "site not patched: %s" (Instr.to_string i)
+
+let test_original_site () =
+  let p = assemble "  li t1, 8192\n  sw t0, 0(t1)\n  sw t0, 4(t1)\n  halt\n" in
+  let patched = Icp.instrument p in
+  let plen = Program.length p in
+  Alcotest.(check (option int)) "first stub maps to store 1" (Some 1)
+    (Icp.original_site patched plen);
+  Alcotest.(check (option int)) "second stub maps to store 2" (Some 2)
+    (Icp.original_site patched (plen + 13 + 5));
+  Alcotest.(check (option int)) "original code has no site" None
+    (Icp.original_site patched 0)
+
+(* --- live behaviour on assembly --- *)
+
+let scenario_src =
+  {|
+  li t1, 8192
+  li t2, 16384
+  li t3, 0
+  li t4, 5
+loop:
+  slli t6, t3, 2
+  add t5, t1, t6
+  sw t3, 0(t5)
+  add t5, t2, t6
+  sw t3, 0(t5)
+  addi t3, t3, 1
+  blt t3, t4, loop
+  halt
+|}
+
+let run_scenario ~monitor =
+  let p = assemble scenario_src in
+  let patched = Icp.instrument p in
+  let m = Machine.create (Icp.program patched) in
+  let hits = ref [] in
+  let t =
+    Icp.attach patched m ~notify:(fun n ->
+        hits := (Interval.lo n.Wms.write, n.Wms.pc) :: !hits)
+  in
+  let s = Icp.strategy t in
+  (match s.Wms.install monitor with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Machine.run m with
+  | Machine.Halted _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  (m, t, List.rev !hits)
+
+let test_live_hits () =
+  let _, t, hits = run_scenario ~monitor:(iv 8192 8211) in
+  Alcotest.(check (list int)) "hit addresses" [ 8192; 8196; 8200; 8204; 8208 ]
+    (List.map fst hits);
+  Alcotest.(check int) "stats" 5 (Icp.stats t).Wms.hits;
+  (* Notification pc is the original store index. *)
+  List.iter (fun (_, pc) -> Alcotest.(check int) "pc is store site" 6 pc) hits
+
+let test_live_memory_effects () =
+  let m, _, _ = run_scenario ~monitor:(iv 8192 8211) in
+  for i = 0 to 4 do
+    Alcotest.(check int) "monitored array" i
+      (Memory.load_word (Machine.memory m) (8192 + (4 * i)));
+    Alcotest.(check int) "unmonitored array" i
+      (Memory.load_word (Machine.memory m) (16384 + (4 * i)))
+  done
+
+let test_remove_stops_hits () =
+  let p = assemble scenario_src in
+  let patched = Icp.instrument p in
+  let m = Machine.create (Icp.program patched) in
+  let count = ref 0 in
+  let t = Icp.attach patched m ~notify:(fun _ -> incr count) in
+  let s = Icp.strategy t in
+  ignore (s.Wms.install (iv 8192 8211));
+  ignore (s.Wms.remove (iv 8192 8211));
+  Alcotest.(check int) "no words left" 0 (Icp.monitored_words t);
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "no hits after remove" 0 !count
+
+(* --- the in-memory data structure --- *)
+
+let test_structure_layout () =
+  let p = assemble "  halt\n" in
+  let patched = Icp.instrument p in
+  let m = Machine.create (Icp.program patched) in
+  let t = Icp.attach patched m ~notify:(fun _ -> ()) in
+  let s = Icp.strategy t in
+  ignore (s.Wms.install (iv 8192 8195));
+  let mem = Machine.memory m in
+  (* Chunk 0's L1 entry points at the first arena map. *)
+  Alcotest.(check int) "L1[0]" Icp.arena_base (Memory.load_word mem Icp.l1_base);
+  Alcotest.(check int) "map byte for word 2048" 1
+    (Memory.load_byte mem (Icp.arena_base + (8192 / 4)));
+  Alcotest.(check int) "neighbour byte clear" 0
+    (Memory.load_byte mem (Icp.arena_base + (8196 / 4)));
+  Alcotest.(check int) "one chunk mapped" 1 (Icp.mapped_chunks t);
+  (* Another monitor in chunk 0 reuses its map. *)
+  ignore (s.Wms.install (iv 0x0010_0000 0x0010_0003));
+  Alcotest.(check int) "same chunk reused" 1 (Icp.mapped_chunks t);
+  ignore (s.Wms.install (iv 0x0440_0000 0x0440_0003));
+  Alcotest.(check int) "distinct chunk" 2 (Icp.mapped_chunks t)
+
+let prop_structure_matches_reference =
+  (* Random installs/removes: every word byte in memory must agree with
+     the hash-set reference. *)
+  QCheck2.Test.make ~name:"in-memory map matches reference" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 1) (int_range 0 4000) (int_range 0 10)))
+    (fun ops ->
+      let p = assemble "  halt\n" in
+      let patched = Icp.instrument p in
+      let m = Machine.create (Icp.program patched) in
+      let t = Icp.attach patched m ~notify:(fun _ -> ()) in
+      let s = Icp.strategy t in
+      let reference = Reference_map.create () in
+      List.iter
+        (fun (kind, word, len) ->
+          let range = iv (word * 4) ((word * 4) + (len * 4) + 3) in
+          if kind = 0 then begin
+            ignore (s.Wms.install range);
+            Reference_map.install reference range
+          end
+          else begin
+            ignore (s.Wms.remove range);
+            Reference_map.remove reference range
+          end)
+        ops;
+      let mem = Machine.memory m in
+      Icp.monitored_words t = Reference_map.monitored_words reference
+      && List.for_all
+           (fun w ->
+             let expected =
+               if Reference_map.overlaps reference (iv (w * 4) ((w * 4) + 3)) then 1
+               else 0
+             in
+             let l1 = Memory.load_word mem (Icp.l1_base + (w lsr 20 * 4)) in
+             let actual = if l1 = 0 then 0 else Memory.load_byte mem (l1 + (w land 0xFFFFF)) in
+             actual = expected)
+           (List.init 4060 Fun.id))
+
+(* --- equivalence with modeled CodePatch through the Debugger --- *)
+
+let check_equivalent name src watch =
+  let run kind =
+    let d =
+      match Debugger.load_source ~strategy:kind src with
+      | Ok d -> d
+      | Error e -> Alcotest.failf "compile: %s" e
+    in
+    watch d;
+    let r = Debugger.run d in
+    (match r.Loader.status with
+    | Machine.Halted 0 -> ()
+    | _ -> Alcotest.fail "program failed");
+    ( List.map
+        (fun (h : Debugger.hit) -> (h.Debugger.pc, Interval.lo h.Debugger.write))
+        (Debugger.hits d),
+      Debugger.cycles d )
+  in
+  let cp_hits, cp_cycles = run Debugger.Code_patch in
+  let icp_hits, icp_cycles = run Debugger.Code_patch_inline in
+  Alcotest.(check (list (pair int int))) (name ^ ": identical hits") cp_hits icp_hits;
+  (cp_cycles, icp_cycles)
+
+let test_equiv_minic () =
+  let src =
+    {|
+int g;
+int table[8];
+int touch(int* p, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    p[i] = p[i] + i;
+  }
+  return p[0];
+}
+int main() {
+  int* p;
+  p = malloc(32);
+  touch(p, 8);
+  touch(table, 8);
+  g = touch(p, 4);
+  p = realloc(p, 64);
+  p[9] = 9;
+  free(p);
+  print_int(g);
+  return 0;
+}
+|}
+  in
+  let cp, icp =
+    check_equivalent "minic program" src (fun d ->
+        Result.get_ok (Debugger.watch_global d "g");
+        Result.get_ok (Debugger.watch_global d "table");
+        Debugger.watch_alloc d ~site:"main" ~nth:1)
+  in
+  (* The inline check's machine cost is far below the modeled 2.75us
+     charge, so the real-code variant must be cheaper overall here. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "inline cheaper (cp=%d icp=%d)" cp icp)
+    true (icp < cp)
+
+let test_equiv_local_watch () =
+  let src =
+    {|
+int work(int n) {
+  int acc;
+  int i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+  return acc;
+}
+int main() { print_int(work(10) + work(20)); return 0; }
+|}
+  in
+  let _ =
+    check_equivalent "local watch" src (fun d ->
+        Result.get_ok (Debugger.watch_local d ~func:"work" ~var:"acc"))
+  in
+  ()
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "inline_cp"
+    [
+      ( "instrumentation",
+        [
+          Alcotest.test_case "shape" `Quick test_instrument_shape;
+          Alcotest.test_case "original_site" `Quick test_original_site;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "hits" `Quick test_live_hits;
+          Alcotest.test_case "memory effects" `Quick test_live_memory_effects;
+          Alcotest.test_case "remove stops hits" `Quick test_remove_stops_hits;
+        ] );
+      ( "data structure",
+        [
+          Alcotest.test_case "layout" `Quick test_structure_layout;
+          q prop_structure_matches_reference;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "minic program" `Quick test_equiv_minic;
+          Alcotest.test_case "local watch" `Quick test_equiv_local_watch;
+        ] );
+    ]

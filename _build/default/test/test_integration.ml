@@ -1,0 +1,486 @@
+(* Integration tests: workloads end-to-end, live-strategy vs phase-2-replay
+   agreement (DESIGN.md X1), the Debugger facade, and the experiment
+   pipeline's qualitative shape (the paper's §8/§9 conclusions). *)
+
+module Interval = Ebp_util.Interval
+module Stats = Ebp_util.Stats
+module Machine = Ebp_machine.Machine
+module Loader = Ebp_runtime.Loader
+module Trace = Ebp_trace.Trace
+module Recorder = Ebp_trace.Recorder
+module Session = Ebp_sessions.Session
+module Counts = Ebp_sessions.Counts
+module Replay = Ebp_sessions.Replay
+module Model = Ebp_model.Strategy_model
+module Workload = Ebp_workloads.Workload
+module Experiment = Ebp_core.Experiment
+module Debugger = Ebp_core.Debugger
+
+(* --- workloads --- *)
+
+let test_all_workloads_self_check () =
+  (* Workload.record verifies exit status and the pinned self-check
+     output; failure of either fails here. *)
+  List.iter
+    (fun w ->
+      match Workload.record w with
+      | Ok run ->
+          Alcotest.(check bool)
+            (w.Workload.name ^ " produced events")
+            true
+            (Trace.length run.Workload.trace > 1000)
+      | Error msg -> Alcotest.fail msg)
+    Workload.all
+
+let record_cached =
+  let tbl = Hashtbl.create 8 in
+  fun w ->
+    match Hashtbl.find_opt tbl w.Workload.name with
+    | Some run -> run
+    | None -> (
+        match Workload.record w with
+        | Ok run ->
+            Hashtbl.add tbl w.Workload.name run;
+            run
+        | Error msg -> Alcotest.fail msg)
+
+let test_heapless_workloads () =
+  (* The paper's Table 1 signature: CTeX and QCD have no heap sessions. *)
+  List.iter
+    (fun (w, expect_heap) ->
+      let run = record_cached w in
+      let has_heap =
+        Array.exists
+          (function Ebp_trace.Object_desc.Heap _ -> true | _ -> false)
+          (Trace.objects run.Workload.trace)
+      in
+      Alcotest.(check bool) (w.Workload.name ^ " heap presence") expect_heap has_heap)
+    [ (Workload.typeset, false); (Workload.lattice, false);
+      (Workload.compiler, true); (Workload.circuit, true); (Workload.puzzle, true) ]
+
+let test_workload_traces_balanced () =
+  List.iter
+    (fun w ->
+      let run = record_cached w in
+      let s = Trace.stats run.Workload.trace in
+      Alcotest.(check int) (w.Workload.name ^ " installs=removes") s.Trace.installs
+        s.Trace.removes)
+    [ Workload.compiler; Workload.circuit ]
+
+let test_workload_by_name () =
+  Alcotest.(check bool) "known" true (Workload.by_name "puzzle" <> None);
+  Alcotest.(check bool) "unknown" true (Workload.by_name "nope" = None);
+  Alcotest.(check int) "five workloads" 5 (List.length Workload.all)
+
+(* --- live vs replay agreement (X1) --- *)
+
+let validation_src =
+  {|
+int g;
+int table[8];
+
+int fill(int* t, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    t[i] = i * 3;
+  }
+  return n;
+}
+
+int churn(int rounds) {
+  int acc;
+  int r;
+  acc = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    g = g + r;
+    acc = acc + g;
+  }
+  return acc;
+}
+
+int main() {
+  int* p;
+  fill(table, 8);
+  p = malloc(24);
+  fill(p, 6);
+  churn(10);
+  p[2] = 99;
+  free(p);
+  return 0;
+}
+|}
+
+let compile_ok src =
+  match Ebp_lang.Compiler.compile src with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile error: %s" e
+
+let replay_hits session =
+  let compiled = compile_ok validation_src in
+  let loader = Loader.load compiled in
+  let _, trace = Recorder.record loader in
+  (Replay.replay trace session).Counts.hits
+
+let live_hits strategy ~watch =
+  let compiled = compile_ok validation_src in
+  let dbg = Debugger.load ~strategy compiled in
+  watch dbg;
+  let r = Debugger.run dbg in
+  (match r.Loader.status with
+  | Machine.Halted 0 -> ()
+  | _ -> Alcotest.fail "validation program failed");
+  Alcotest.(check (list string)) "no arming errors" [] (Debugger.errors dbg);
+  List.length (Debugger.hits dbg)
+
+let all_strategies =
+  [ Debugger.Native_hardware; Debugger.Virtual_memory; Debugger.Trap_patch;
+    Debugger.Code_patch; Debugger.Code_patch_hoisted; Debugger.Code_patch_inline ]
+
+let check_live_matches_replay name session watch =
+  let expected = replay_hits session in
+  Alcotest.(check bool) (name ^ " session has hits") true (expected > 0);
+  List.iter
+    (fun strategy ->
+      let live = live_hits strategy ~watch in
+      Alcotest.(check int)
+        (Printf.sprintf "%s under %s" name (Debugger.strategy_name strategy))
+        expected live)
+    all_strategies
+
+let test_live_vs_replay_global () =
+  check_live_matches_replay "OneGlobalStatic(g)"
+    (Session.One_global_static { var = "g" })
+    (fun dbg -> Result.get_ok (Debugger.watch_global dbg "g"))
+
+let test_live_vs_replay_global_array () =
+  check_live_matches_replay "OneGlobalStatic(table)"
+    (Session.One_global_static { var = "table" })
+    (fun dbg -> Result.get_ok (Debugger.watch_global dbg "table"))
+
+let test_live_vs_replay_local () =
+  check_live_matches_replay "OneLocalAuto(churn.acc)"
+    (Session.One_local_auto { func = "churn"; var = "acc" })
+    (fun dbg -> Result.get_ok (Debugger.watch_local dbg ~func:"churn" ~var:"acc"))
+
+let test_live_vs_replay_heap () =
+  check_live_matches_replay "OneHeap(main#1)"
+    (Session.One_heap { site = "main"; seq = 1 })
+    (fun dbg -> Debugger.watch_alloc dbg ~site:"main" ~nth:1)
+
+(* --- Debugger facade --- *)
+
+let test_debugger_attribution () =
+  let dbg =
+    match Debugger.load_source validation_src with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Result.get_ok (Debugger.watch_global dbg "g");
+  ignore (Debugger.run dbg);
+  let hits = Debugger.hits dbg in
+  Alcotest.(check bool) "has hits" true (hits <> []);
+  List.iter
+    (fun (h : Debugger.hit) ->
+      Alcotest.(check (option string)) "g is written in churn" (Some "churn") h.Debugger.func;
+      match h.Debugger.instr with
+      | Some i -> Alcotest.(check bool) "instr is a store" true (Ebp_isa.Instr.is_store i)
+      | None -> Alcotest.fail "missing instruction")
+    hits
+
+let test_debugger_unknown_targets () =
+  let dbg = Debugger.load (compile_ok validation_src) in
+  Alcotest.(check bool) "unknown global" true
+    (Result.is_error (Debugger.watch_global dbg "nope"));
+  Alcotest.(check bool) "unknown local" true
+    (Result.is_error (Debugger.watch_local dbg ~func:"churn" ~var:"nope"));
+  Alcotest.(check bool) "unknown func" true
+    (Result.is_error (Debugger.watch_local dbg ~func:"nope" ~var:"x"))
+
+let test_debugger_nh_capacity_errors () =
+  let dbg =
+    Debugger.load ~strategy:Debugger.Native_hardware ~monitor_reg_count:2
+      (compile_ok validation_src)
+  in
+  (* 3 watches > 2 registers; the third arming fails but execution
+     continues. Globals arm eagerly, so errors surface immediately. *)
+  Result.get_ok (Debugger.watch_global dbg "g");
+  Result.get_ok (Debugger.watch_global dbg "table");
+  Alcotest.(check bool) "third global fails to arm" true
+    (Result.is_error (Debugger.watch_global dbg "g"))
+
+let test_debugger_heap_watch_follows_realloc () =
+  let src =
+    {|
+int main() {
+  int* p;
+  p = malloc(8);
+  p[0] = 1;
+  p = realloc(p, 400);
+  p[50] = 2;
+  free(p);
+  return 0;
+}
+|}
+  in
+  let dbg =
+    match Debugger.load_source src with Ok d -> d | Error e -> Alcotest.fail e
+  in
+  Debugger.watch_alloc dbg ~site:"main" ~nth:1;
+  ignore (Debugger.run dbg);
+  Alcotest.(check int) "hits before and after realloc" 2
+    (List.length (Debugger.hits dbg))
+
+(* --- experiment shape (the paper's conclusions, §8/§9) --- *)
+
+let experiment =
+  lazy
+    (match
+       Experiment.run ~workloads:[ Workload.compiler; Workload.circuit ] ()
+     with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "experiment failed: %s" e)
+
+let summaries pd t =
+  List.map
+    (fun a -> (a, Stats.summarize (Experiment.relative_overheads t pd a)))
+    t.Experiment.approaches
+
+let test_shape_cp_low_and_flat () =
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let s = List.assoc Model.CP (summaries pd t) in
+      let name = pd.Experiment.run.Workload.workload.Workload.name in
+      Alcotest.(check bool) (name ^ ": CP t-mean acceptable (< 30x)") true
+        (s.Stats.t_mean < 30.0);
+      (* "CodePatch exhibited extremely low variance": the 90th percentile
+         stays within 2x of the minimum. *)
+      Alcotest.(check bool) (name ^ ": CP low variance") true
+        (s.Stats.p90 < s.Stats.min *. 2.0 +. 1.0))
+    t.Experiment.programs
+
+let test_shape_tp_uniformly_slow () =
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let all = summaries pd t in
+      let tp = List.assoc Model.TP all in
+      let cp = List.assoc Model.CP all in
+      let name = pd.Experiment.run.Workload.workload.Workload.name in
+      Alcotest.(check bool) (name ^ ": TP unacceptably slow (> 30x)") true
+        (tp.Stats.t_mean > 30.0);
+      Alcotest.(check bool) (name ^ ": TP >> CP") true
+        (tp.Stats.t_mean > cp.Stats.t_mean *. 5.0);
+      Alcotest.(check bool) (name ^ ": TP flat") true
+        (tp.Stats.max < tp.Stats.min *. 1.5))
+    t.Experiment.programs
+
+let test_shape_vm_heavy_tailed () =
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let all = summaries pd t in
+      let vm4 = List.assoc (Model.VM 4096) all in
+      let vm8 = List.assoc (Model.VM 8192) all in
+      let cp = List.assoc Model.CP all in
+      let name = pd.Experiment.run.Workload.workload.Workload.name in
+      Alcotest.(check bool) (name ^ ": VM max far above CP max") true
+        (vm4.Stats.max > cp.Stats.max *. 5.0);
+      Alcotest.(check bool) (name ^ ": VM-8K >= VM-4K (t-mean)") true
+        (vm8.Stats.t_mean >= vm4.Stats.t_mean -. 1e-9);
+      Alcotest.(check bool) (name ^ ": VM heavy-tailed (max >> t-mean)") true
+        (vm4.Stats.max > vm4.Stats.t_mean *. 3.0))
+    t.Experiment.programs
+
+let test_shape_nh_cheap_means_extreme_maxima () =
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let s = List.assoc Model.NH (summaries pd t) in
+      let name = pd.Experiment.run.Workload.workload.Workload.name in
+      Alcotest.(check bool) (name ^ ": NH t-mean tiny (< 1x)") true
+        (s.Stats.t_mean < 1.0);
+      Alcotest.(check bool) (name ^ ": NH has expensive outliers") true
+        (s.Stats.max > 10.0))
+    t.Experiment.programs
+
+let test_shape_cp_beats_nh_on_worst_case () =
+  (* §9: "for the most demanding monitor sessions, [CP] provided better
+     performance than even NativeHardware". *)
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let all = summaries pd t in
+      let nh = List.assoc Model.NH all in
+      let cp = List.assoc Model.CP all in
+      Alcotest.(check bool)
+        (pd.Experiment.run.Workload.workload.Workload.name ^ ": CP max < NH max")
+        true (cp.Stats.max < nh.Stats.max))
+    t.Experiment.programs
+
+let test_code_expansion_modest () =
+  (* §8: the paper estimates 12-15% code expansion on SPARC. Our ISA stubs
+     are 3 instructions per store; assert the same order of magnitude. *)
+  List.iter
+    (fun w ->
+      let run = record_cached w in
+      let e =
+        Ebp_wms.Code_patch.expansion_of_program
+          run.Workload.compiled.Ebp_lang.Compiler.program
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s expansion %.1f%% within [5%%, 45%%]" w.Workload.name
+           ((e -. 1.0) *. 100.0))
+        true
+        (e > 1.05 && e < 1.45))
+    [ Workload.compiler; Workload.typeset; Workload.circuit ]
+
+let test_reports_render () =
+  let t = Lazy.force experiment in
+  List.iter
+    (fun (name, text) ->
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length text > 100))
+    [
+      ("table1", Experiment.table1 t);
+      ("table2", Experiment.table2 t);
+      ("table3", Experiment.table3 t);
+      ("table4", Experiment.table4 t);
+      ("fig7", Experiment.figure t ~stat:Experiment.Max);
+      ("fig8", Experiment.figure t ~stat:Experiment.P90);
+      ("fig9", Experiment.figure t ~stat:Experiment.T_mean);
+      ("breakdown", Experiment.breakdown_report t);
+      ("expansion", Experiment.code_expansion_report t);
+      ("full", Experiment.full_report t);
+    ]
+
+let test_breakdown_dominated_by_expected_variables () =
+  (* §8: NH 100% NHFaultHandler; TP ~97% TPFaultHandler; CP 98-99%
+     SoftwareLookup. *)
+  let t = Lazy.force experiment in
+  let pd = List.hd t.Experiment.programs in
+  let dominant approach =
+    let overheads =
+      List.map
+        (fun (_, c) -> Model.overhead t.Experiment.timing approach c)
+        pd.Experiment.sessions
+    in
+    match Ebp_model.Breakdown.mean_percentages overheads with
+    | (var, pct) :: _ -> (var, pct)
+    | [] -> Alcotest.fail "no breakdown"
+  in
+  (match dominant Model.NH with
+  | "NHFaultHandler", pct -> Alcotest.(check (float 1e-6)) "NH 100%" 100.0 pct
+  | v, _ -> Alcotest.failf "NH dominated by %s" v);
+  (match dominant Model.TP with
+  | "TPFaultHandler", pct ->
+      Alcotest.(check bool) "TP ~97%" true (pct > 95.0 && pct < 99.0)
+  | v, _ -> Alcotest.failf "TP dominated by %s" v);
+  (match dominant Model.CP with
+  | "SoftwareLookup", pct -> Alcotest.(check bool) "CP > 95%" true (pct > 95.0)
+  | v, _ -> Alcotest.failf "CP dominated by %s" v);
+  match dominant (Model.VM 4096) with
+  | "VMFaultHandler", pct -> Alcotest.(check bool) "VM fault-dominated" true (pct > 60.0)
+  | v, _ -> Alcotest.failf "VM dominated by %s" v
+
+
+let test_debugger_value_capture () =
+  (* The §2 ordering: notification after the write succeeds, so the hit
+     carries the NEW value — under every strategy. *)
+  let src =
+    {|
+int g;
+int main() {
+  g = 7;
+  g = g * 6;
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun strategy ->
+      let dbg =
+        match Debugger.load_source ~strategy src with
+        | Ok d -> d
+        | Error e -> Alcotest.fail e
+      in
+      Result.get_ok (Debugger.watch_global dbg "g");
+      ignore (Debugger.run dbg);
+      let values = List.map (fun (h : Debugger.hit) -> h.Debugger.value) (Debugger.hits dbg) in
+      Alcotest.(check (list int))
+        (Debugger.strategy_name strategy ^ " new values")
+        [ 7; 42 ] values)
+    (Debugger.Code_patch_hoisted :: Debugger.Code_patch_inline :: all_strategies)
+
+let test_debugger_break_when () =
+  let src =
+    {|
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) {
+    g = g + i;
+  }
+  print_int(g);
+  return 0;
+}
+|}
+  in
+  let dbg =
+    match Debugger.load_source src with Ok d -> d | Error e -> Alcotest.fail e
+  in
+  Result.get_ok (Debugger.watch_global dbg "g");
+  (* Suspend when g first exceeds 100: 0+1+...+14 = 105. *)
+  Debugger.break_when dbg (fun h -> h.Debugger.value > 100);
+  let r = Debugger.run dbg in
+  (match r.Loader.status with
+  | Machine.Halted 42 -> ()
+  | _ -> Alcotest.fail "expected conditional-breakpoint stop");
+  match Debugger.break_hit dbg with
+  | Some h ->
+      Alcotest.(check int) "stopped at the first qualifying value" 105 h.Debugger.value;
+      Alcotest.(check (option string)) "in main" (Some "main") h.Debugger.func
+  | None -> Alcotest.fail "no break hit recorded"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "self checks" `Slow test_all_workloads_self_check;
+          Alcotest.test_case "heapless signature" `Slow test_heapless_workloads;
+          Alcotest.test_case "balanced traces" `Slow test_workload_traces_balanced;
+          Alcotest.test_case "by name" `Quick test_workload_by_name;
+        ] );
+      ( "live vs replay",
+        [
+          Alcotest.test_case "global scalar" `Quick test_live_vs_replay_global;
+          Alcotest.test_case "global array" `Quick test_live_vs_replay_global_array;
+          Alcotest.test_case "local" `Quick test_live_vs_replay_local;
+          Alcotest.test_case "heap object" `Quick test_live_vs_replay_heap;
+        ] );
+      ( "debugger",
+        [
+          Alcotest.test_case "attribution" `Quick test_debugger_attribution;
+          Alcotest.test_case "unknown targets" `Quick test_debugger_unknown_targets;
+          Alcotest.test_case "NH capacity errors" `Quick
+            test_debugger_nh_capacity_errors;
+          Alcotest.test_case "heap watch across realloc" `Quick
+            test_debugger_heap_watch_follows_realloc;
+          Alcotest.test_case "value capture" `Quick test_debugger_value_capture;
+          Alcotest.test_case "conditional breakpoint" `Quick test_debugger_break_when;
+        ] );
+      ( "experiment shape",
+        [
+          Alcotest.test_case "CP low and flat" `Slow test_shape_cp_low_and_flat;
+          Alcotest.test_case "TP uniformly slow" `Slow test_shape_tp_uniformly_slow;
+          Alcotest.test_case "VM heavy-tailed" `Slow test_shape_vm_heavy_tailed;
+          Alcotest.test_case "NH cheap but spiky" `Slow
+            test_shape_nh_cheap_means_extreme_maxima;
+          Alcotest.test_case "CP beats NH worst case" `Slow
+            test_shape_cp_beats_nh_on_worst_case;
+          Alcotest.test_case "code expansion" `Slow test_code_expansion_modest;
+          Alcotest.test_case "reports render" `Slow test_reports_render;
+          Alcotest.test_case "breakdown variables" `Slow
+            test_breakdown_dominated_by_expected_variables;
+        ] );
+    ]

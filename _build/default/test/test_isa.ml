@@ -1,0 +1,280 @@
+(* Tests for Ebp_isa: registers, instructions, programs, assembler. *)
+
+module Reg = Ebp_isa.Reg
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Asm = Ebp_isa.Asm
+
+(* --- Reg --- *)
+
+let test_reg_names_roundtrip () =
+  for i = 0 to Reg.count - 1 do
+    let r = Reg.of_int i in
+    match Reg.of_name (Reg.name r) with
+    | Some r' -> Alcotest.(check int) "roundtrip" i (Reg.to_int r')
+    | None -> Alcotest.fail ("name did not parse: " ^ Reg.name r)
+  done
+
+let test_reg_raw_names () =
+  (match Reg.of_name "r31" with
+  | Some r -> Alcotest.(check int) "r31" 31 (Reg.to_int r)
+  | None -> Alcotest.fail "r31 should parse");
+  Alcotest.(check bool) "bogus" true (Reg.of_name "r99" = None);
+  Alcotest.(check bool) "garbage" true (Reg.of_name "xyz" = None)
+
+let test_reg_bounds () =
+  Alcotest.check_raises "oob" (Invalid_argument "Reg.of_int: 32 outside [0,31]")
+    (fun () -> ignore (Reg.of_int 32));
+  Alcotest.check_raises "t8" (Invalid_argument "Reg.t_: index outside [0,7]")
+    (fun () -> ignore (Reg.t_ 8))
+
+let test_reg_conventions () =
+  Alcotest.(check int) "zero" 0 (Reg.to_int Reg.zero);
+  Alcotest.(check string) "fp name" "fp" (Reg.name Reg.fp);
+  Alcotest.(check string) "t3 name" "t3" (Reg.name (Reg.t_ 3));
+  Alcotest.(check bool) "a regs contiguous" true
+    (Reg.to_int Reg.a5 = Reg.to_int Reg.a0 + 5)
+
+(* --- Instr --- *)
+
+let test_instr_store_predicates () =
+  let sw = Instr.Sw (Reg.t_ 0, Reg.fp, -4) in
+  let sb = Instr.Sb (Reg.t_ 0, Reg.fp, -4) in
+  let lw = Instr.Lw (Reg.t_ 0, Reg.fp, -4) in
+  Alcotest.(check bool) "sw is store" true (Instr.is_store sw);
+  Alcotest.(check bool) "sb is store" true (Instr.is_store sb);
+  Alcotest.(check bool) "lw is not" false (Instr.is_store lw);
+  Alcotest.(check (option int)) "sw width" (Some 4) (Instr.store_width sw);
+  Alcotest.(check (option int)) "sb width" (Some 1) (Instr.store_width sb);
+  Alcotest.(check (option int)) "lw width" None (Instr.store_width lw)
+
+let test_instr_targets () =
+  let br = Instr.Br (Instr.Eq, Reg.t_ 0, Reg.zero, Instr.Label "x") in
+  (match Instr.branch_target br with
+  | Some (Instr.Label "x") -> ()
+  | _ -> Alcotest.fail "expected label x");
+  let br' = Instr.with_target br (Instr.Abs 7) in
+  (match Instr.branch_target br' with
+  | Some (Instr.Abs 7) -> ()
+  | _ -> Alcotest.fail "expected Abs 7");
+  Alcotest.check_raises "no target"
+    (Invalid_argument "Instr.with_target: instruction has no target") (fun () ->
+      ignore (Instr.with_target Instr.Nop (Instr.Abs 0)))
+
+(* --- Program --- *)
+
+let sample_instrs =
+  [
+    Instr.Li (Reg.t_ 0, 5);
+    Instr.Sw (Reg.t_ 0, Reg.fp, -4);
+    Instr.Br (Instr.Ne, Reg.t_ 0, Reg.zero, Instr.Label "loop");
+    Instr.Halt;
+  ]
+
+let test_program_resolve () =
+  let p = Program.of_instrs ~labels:[ ("loop", 0) ] sample_instrs in
+  Alcotest.(check bool) "unresolved" false (Program.is_resolved p);
+  match Program.resolve p with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      Alcotest.(check bool) "resolved" true (Program.is_resolved p);
+      match Program.get p 2 with
+      | Instr.Br (_, _, _, Instr.Abs 0) -> ()
+      | i -> Alcotest.fail ("bad resolution: " ^ Instr.to_string i))
+
+let test_program_resolve_missing () =
+  let p = Program.of_instrs [ Instr.Jmp (Instr.Label "nowhere") ] in
+  match Program.resolve p with
+  | Error msg ->
+      Alcotest.(check string) "error names label" "undefined label: nowhere" msg
+  | Ok _ -> Alcotest.fail "should not resolve"
+
+let test_program_duplicate_label () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Program.of_items: duplicate label x") (fun () ->
+      ignore (Program.of_instrs ~labels:[ ("x", 0); ("x", 1) ] sample_instrs))
+
+let test_program_stores_excludes_implicit () =
+  let items =
+    [
+      { Program.instr = Instr.Sw (Reg.ra, Reg.sp, 4); implicit = true };
+      { Program.instr = Instr.Sw (Reg.t_ 0, Reg.fp, -4); implicit = false };
+      { Program.instr = Instr.Sb (Reg.t_ 1, Reg.fp, -8); implicit = false };
+      { Program.instr = Instr.Nop; implicit = false };
+    ]
+  in
+  let p = Program.of_items items in
+  Alcotest.(check int) "two explicit stores" 2 (List.length (Program.stores p));
+  Alcotest.(check bool) "first flagged" true (Program.implicit p 0)
+
+let test_program_set_append () =
+  let p = Program.of_instrs sample_instrs in
+  let p2 = Program.set p 0 Instr.Nop in
+  Alcotest.(check bool) "set changed copy" true (Program.get p2 0 = Instr.Nop);
+  Alcotest.(check bool) "original untouched" true
+    (Program.get p 0 = Instr.Li (Reg.t_ 0, 5));
+  let p3, base = Program.append p [ { Program.instr = Instr.Halt; implicit = false } ] in
+  Alcotest.(check int) "append index" 4 base;
+  Alcotest.(check int) "new length" 5 (Program.length p3)
+
+(* --- Asm --- *)
+
+let asm_source =
+  {|
+; a tiny program
+main:
+  li   t0, 10
+  li   t1, 0
+loop:
+  addi t1, t1, 1
+  sw   t1, -4(fp)
+  !sw  ra, 4(sp)
+  blt  t1, t0, loop
+  chk  -4(fp), 4
+  jal  helper
+  halt
+helper:
+  mv   v0, t1
+  ret
+|}
+
+let test_asm_parse () =
+  match Asm.parse asm_source with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check int) "instruction count" 11 (Program.length p);
+      Alcotest.(check (option int)) "main label" (Some 0) (Program.label_index p "main");
+      Alcotest.(check (option int)) "loop label" (Some 2) (Program.label_index p "loop");
+      Alcotest.(check bool) "implicit store flagged" true (Program.implicit p 4);
+      (match Program.get p 6 with
+      | Instr.Chk { off = -4; width = 4; _ } -> ()
+      | i -> Alcotest.fail ("chk parse: " ^ Instr.to_string i))
+
+let test_asm_roundtrip () =
+  match Asm.parse asm_source with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      let printed = Asm.print p in
+      match Asm.parse printed with
+      | Error e -> Alcotest.fail ("reparse: " ^ e)
+      | Ok p2 ->
+          Alcotest.(check int) "same length" (Program.length p) (Program.length p2);
+          for i = 0 to Program.length p - 1 do
+            if not (Instr.equal (Program.get p i) (Program.get p2 i)) then
+              Alcotest.fail
+                (Printf.sprintf "instr %d differs: %s vs %s" i
+                   (Instr.to_string (Program.get p i))
+                   (Instr.to_string (Program.get p2 i)));
+            if Program.implicit p i <> Program.implicit p2 i then
+              Alcotest.fail (Printf.sprintf "implicit flag %d differs" i)
+          done)
+
+let test_asm_errors () =
+  (match Asm.parse "  bogus t0, t1" with
+  | Error msg ->
+      Alcotest.(check bool) "line number" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 1")
+  | Ok _ -> Alcotest.fail "should fail");
+  (match Asm.parse "  jmp missing\n" |> Result.get_ok |> Ebp_isa.Program.resolve with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined label should not resolve");
+  match Asm.parse_resolved "  li t0, 1\n  halt\n" with
+  | Ok p -> Alcotest.(check bool) "resolved" true (Program.is_resolved p)
+  | Error e -> Alcotest.fail e
+
+let test_asm_abs_targets () =
+  match Asm.parse_resolved "  jmp @1\n  halt\n" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Program.get p 0 with
+      | Instr.Jmp (Instr.Abs 1) -> ()
+      | i -> Alcotest.fail (Instr.to_string i))
+
+(* Round-trip property over random instructions. *)
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = map Reg.of_int (int_range 0 31) in
+  let off = int_range (-4096) 4096 in
+  let alu =
+    oneofl
+      [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+        Instr.Or; Instr.Xor; Instr.Sll; Instr.Srl; Instr.Sra; Instr.Slt;
+        Instr.Sle; Instr.Seq; Instr.Sne ]
+  in
+  let cond =
+    oneofl [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Ge; Instr.Gt; Instr.Le ]
+  in
+  oneof
+    [
+      return Instr.Nop;
+      return Instr.Halt;
+      return Instr.Ret;
+      map2 (fun r i -> Instr.Li (r, i)) reg (int_range (-100000) 100000);
+      map2 (fun a b -> Instr.Mv (a, b)) reg reg;
+      map3 (fun op (a, b) c -> Instr.Alu (op, a, b, c)) alu (pair reg reg) reg;
+      map3 (fun op (a, b) i -> Instr.Alui (op, a, b, i)) alu (pair reg reg) off;
+      map3 (fun a b o -> Instr.Lw (a, b, o)) reg reg off;
+      map3 (fun a b o -> Instr.Sw (a, b, o)) reg reg off;
+      map3 (fun a b o -> Instr.Lb (a, b, o)) reg reg off;
+      map3 (fun a b o -> Instr.Sb (a, b, o)) reg reg off;
+      map3
+        (fun c (a, b) t -> Instr.Br (c, a, b, Instr.Abs t))
+        cond (pair reg reg) (int_range 0 100);
+      map (fun t -> Instr.Jmp (Instr.Abs t)) (int_range 0 100);
+      map (fun t -> Instr.Jal (Instr.Abs t)) (int_range 0 100);
+      map (fun r -> Instr.Jalr r) reg;
+      map (fun n -> Instr.Syscall n) (int_range 0 20);
+      map (fun n -> Instr.Trap n) (int_range 0 1000);
+      map2 (fun base (off, width) -> Instr.Chk { base; off; width }) reg
+        (pair off (oneofl [ 1; 4 ]));
+      map (fun f -> Instr.Enter f) (int_range 0 50);
+      map (fun f -> Instr.Leave f) (int_range 0 50);
+    ]
+
+let prop_disasm_asm_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round-trips any program" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) instr_gen)
+    (fun instrs ->
+      let p = Program.of_instrs instrs in
+      match Asm.parse (Asm.print p) with
+      | Error _ -> false
+      | Ok p2 ->
+          Program.length p = Program.length p2
+          && List.for_all
+               (fun i -> Instr.equal (Program.get p i) (Program.get p2 i))
+               (List.init (Program.length p) Fun.id))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "name roundtrip" `Quick test_reg_names_roundtrip;
+          Alcotest.test_case "raw names" `Quick test_reg_raw_names;
+          Alcotest.test_case "bounds" `Quick test_reg_bounds;
+          Alcotest.test_case "conventions" `Quick test_reg_conventions;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "store predicates" `Quick test_instr_store_predicates;
+          Alcotest.test_case "targets" `Quick test_instr_targets;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "resolve" `Quick test_program_resolve;
+          Alcotest.test_case "resolve missing" `Quick test_program_resolve_missing;
+          Alcotest.test_case "duplicate label" `Quick test_program_duplicate_label;
+          Alcotest.test_case "stores exclude implicit" `Quick
+            test_program_stores_excludes_implicit;
+          Alcotest.test_case "set/append" `Quick test_program_set_append;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "parse" `Quick test_asm_parse;
+          Alcotest.test_case "roundtrip sample" `Quick test_asm_roundtrip;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "absolute targets" `Quick test_asm_abs_targets;
+          q prop_disasm_asm_roundtrip;
+        ] );
+    ]

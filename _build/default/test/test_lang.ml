@@ -1,0 +1,643 @@
+(* Tests for Ebp_lang: lexer, parser, semantic analysis, and — through the
+   runtime — end-to-end correctness of generated code. *)
+
+module Token = Ebp_lang.Token
+module Lexer = Ebp_lang.Lexer
+module Parser = Ebp_lang.Parser
+module Ast = Ebp_lang.Ast
+module Sema = Ebp_lang.Sema
+module Compiler = Ebp_lang.Compiler
+module Debug_info = Ebp_lang.Debug_info
+module Loader = Ebp_runtime.Loader
+
+(* Run a MiniC program and return its printed output lines as ints. *)
+let run_ints ?seed src =
+  match Loader.run_source ?seed src with
+  | Error msg -> Alcotest.failf "compile error: %s" msg
+  | Ok r -> (
+      (match r.Loader.runtime_error with
+      | Some e -> Alcotest.failf "runtime error: %s" e
+      | None -> ());
+      match r.Loader.status with
+      | Ebp_machine.Machine.Halted 0 ->
+          List.filter_map int_of_string_opt
+            (String.split_on_char '\n' r.Loader.output)
+      | Ebp_machine.Machine.Halted c -> Alcotest.failf "exit code %d" c
+      | Ebp_machine.Machine.Out_of_fuel -> Alcotest.fail "out of fuel"
+      | Ebp_machine.Machine.Machine_error m -> Alcotest.fail m)
+
+let check_prints name src expected = Alcotest.(check (list int)) name expected (run_ints src)
+
+let expect_compile_error name src fragment =
+  match Compiler.compile src with
+  | Ok _ -> Alcotest.failf "%s: expected a compile error" name
+  | Error msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if not (contains msg fragment) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg fragment
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "int x = 0x1F + 42; // comment\n/* block\n*/ x <= y" with
+  | Error e -> Alcotest.fail e
+  | Ok spanned ->
+      let tokens = List.map (fun s -> s.Lexer.token) spanned in
+      Alcotest.(check bool) "sequence" true
+        (tokens
+        = [ Token.Kw_int; Token.Ident "x"; Token.Assign; Token.Int_lit 31;
+            Token.Plus; Token.Int_lit 42; Token.Semi; Token.Ident "x";
+            Token.Le; Token.Ident "y"; Token.Eof ])
+
+let test_lexer_line_numbers () =
+  match Lexer.tokenize "int\nx\n=\n1;" with
+  | Error e -> Alcotest.fail e
+  | Ok spanned ->
+      Alcotest.(check int) "x on line 2" 2 (List.nth spanned 1).Lexer.line;
+      Alcotest.(check int) "1 on line 4" 4 (List.nth spanned 3).Lexer.line
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "int $bad;" with
+  | Error msg -> Alcotest.(check bool) "mentions line" true (String.sub msg 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Lexer.tokenize "/* unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated comment accepted"
+
+(* --- Parser --- *)
+
+let test_parser_expression_precedence () =
+  (* 2 + 3 * 4 parses as 2 + (3 * 4); verified by evaluation. *)
+  check_prints "precedence"
+    "int main() { print_int(2 + 3 * 4); print_int((2 + 3) * 4); return 0; }"
+    [ 14; 20 ]
+
+let test_parser_rejects_garbage () =
+  (match Parser.parse "int main() { 1 +; }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad expression");
+  (match Parser.parse "int main() { int a[0]; }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted zero-size array");
+  match Parser.parse "int f(" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated input"
+
+let test_parser_assignment_targets () =
+  (match Parser.parse "int main() { 1 = 2; }" with
+  | Error msg ->
+      Alcotest.(check bool) "not assignable" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "accepted literal assignment");
+  match Parser.parse "int main() { int x; x = 1; return x; }" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_parser_structure () =
+  match Parser.parse "int g; int a[3]; int f(int x) { return x; } int main() { return 0; }" with
+  | Error e -> Alcotest.fail e
+  | Ok prog ->
+      Alcotest.(check int) "globals" 2 (List.length prog.Ast.globals);
+      Alcotest.(check int) "functions" 2 (List.length prog.Ast.funcs);
+      let arr = List.nth prog.Ast.globals 1 in
+      Alcotest.(check (option int)) "array size" (Some 3) arr.Ast.v_array
+
+let test_parse_expr_helper () =
+  match Parser.parse_expr "1 + f(x, *p) * a[2]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- Sema errors --- *)
+
+let test_sema_undefined_var () =
+  expect_compile_error "undefined var" "int main() { return nope; }" "undefined variable"
+
+let test_sema_undefined_func () =
+  expect_compile_error "undefined func" "int main() { return nope(); }" "undefined function"
+
+let test_sema_arity () =
+  expect_compile_error "arity"
+    "int f(int a, int b) { return a + b; } int main() { return f(1); }"
+    "expects 2 argument(s)"
+
+let test_sema_builtin_arity () =
+  expect_compile_error "builtin arity" "int main() { free(1, 2); return 0; }"
+    "expects 1 argument"
+
+let test_sema_no_main () = expect_compile_error "no main" "int f() { return 1; }" "no main"
+
+let test_sema_main_params () =
+  expect_compile_error "main params" "int main(int argc) { return 0; }"
+    "main must take no parameters"
+
+let test_sema_break_outside_loop () =
+  expect_compile_error "stray break" "int main() { break; }" "break outside a loop"
+
+let test_sema_too_many_params () =
+  expect_compile_error "7 params"
+    "int f(int a, int b, int c, int d, int e, int f, int g) { return 0; } int main() { return 0; }"
+    "more than 6 parameters"
+
+let test_sema_nonconst_global_init () =
+  expect_compile_error "global init" "int g = rand(5); int main() { return 0; }"
+    "must be a constant"
+
+let test_sema_duplicate_function () =
+  expect_compile_error "dup func"
+    "int f() { return 1; } int f() { return 2; } int main() { return 0; }"
+    "duplicate function"
+
+let test_sema_deref_int () =
+  expect_compile_error "deref int" "int main() { int x; return *x; }"
+    "cannot dereference"
+
+let test_sema_assign_to_array () =
+  expect_compile_error "assign array" "int a[3]; int main() { a = 0; return 0; }"
+    "cannot assign to an array"
+
+let test_sema_ptr_plus_ptr () =
+  expect_compile_error "ptr+ptr"
+    "int main() { int* p; int* q; return (p + q) == 0; }" "cannot add two pointers"
+
+let test_sema_const_eval () =
+  Alcotest.(check (option int)) "arith" (Some 14)
+    (Result.get_ok (Parser.parse_expr "2 + 3 * 4") |> Sema.const_eval);
+  Alcotest.(check (option int)) "shift" (Some 8)
+    (Result.get_ok (Parser.parse_expr "1 << 3") |> Sema.const_eval);
+  Alcotest.(check (option int)) "non-const" None
+    (Result.get_ok (Parser.parse_expr "f(1)") |> Sema.const_eval)
+
+(* --- end-to-end codegen correctness --- *)
+
+let test_codegen_arith_ops () =
+  check_prints "arith"
+    {|int main() {
+        print_int(17 / 5); print_int(17 % 5); print_int(0 - 17 / 5);
+        print_int(6 & 3); print_int(6 | 3); print_int(6 ^ 3);
+        print_int(1 << 10); print_int(1024 >> 3); print_int(~0);
+        return 0; }|}
+    [ 3; 2; -3; 2; 7; 5; 1024; 128; -1 ]
+
+let test_codegen_comparisons () =
+  check_prints "comparisons"
+    {|int main() {
+        print_int(3 < 4); print_int(4 < 3); print_int(3 <= 3);
+        print_int(3 > 4); print_int(4 > 3); print_int(4 >= 4);
+        print_int(5 == 5); print_int(5 != 5);
+        return 0; }|}
+    [ 1; 0; 1; 0; 1; 1; 1; 0 ]
+
+let test_codegen_short_circuit () =
+  (* The right operand must not evaluate when the left decides. *)
+  check_prints "short circuit"
+    {|int calls;
+      int bump() { calls = calls + 1; return 1; }
+      int main() {
+        print_int(0 && bump());
+        print_int(calls);
+        print_int(1 || bump());
+        print_int(calls);
+        print_int(1 && bump());
+        print_int(calls);
+        print_int(2 && 3);
+        return 0; }|}
+    [ 0; 0; 1; 0; 1; 1; 1 ]
+
+let test_codegen_unary () =
+  check_prints "unary"
+    "int main() { print_int(-5); print_int(!0); print_int(!7); print_int(- -3); return 0; }"
+    [ -5; 1; 0; 3 ]
+
+let test_codegen_recursion () =
+  check_prints "fib"
+    {|int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+      int main() { print_int(fib(15)); return 0; }|}
+    [ 610 ]
+
+let test_codegen_mutual_recursion () =
+  check_prints "mutual"
+    {|int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+      int main() { print_int(is_even(10)); print_int(is_odd(10)); return 0; }|}
+    [ 1; 0 ]
+
+let test_codegen_pointers () =
+  check_prints "pointers"
+    {|void set(int* p, int v) { *p = v; }
+      int main() {
+        int x;
+        int* p;
+        p = &x;
+        set(p, 41);
+        *p = *p + 1;
+        print_int(x);
+        return 0; }|}
+    [ 42 ]
+
+let test_codegen_pointer_arith () =
+  check_prints "ptr arith"
+    {|int a[5];
+      int main() {
+        int* p;
+        int* q;
+        int i;
+        for (i = 0; i < 5; i = i + 1) { a[i] = i * 10; }
+        p = a;
+        q = p + 3;
+        print_int(*q);
+        print_int(*(q - 2));
+        print_int(q - p);
+        p = p + 1;
+        print_int(*p);
+        return 0; }|}
+    [ 30; 10; 3; 10 ]
+
+let test_codegen_arrays_local () =
+  check_prints "local array"
+    {|int main() {
+        int a[4];
+        int i;
+        int s;
+        for (i = 0; i < 4; i = i + 1) { a[i] = i + 1; }
+        s = 0;
+        for (i = 0; i < 4; i = i + 1) { s = s + a[i]; }
+        print_int(s);
+        return 0; }|}
+    [ 10 ]
+
+let test_codegen_globals_init () =
+  check_prints "global init"
+    {|int g = 5 * 8 + 2;
+      int h;
+      int main() { print_int(g); print_int(h); return 0; }|}
+    [ 42; 0 ]
+
+let test_codegen_statics_persist () =
+  check_prints "static persists"
+    {|int counter() { static int n = 100; n = n + 1; return n; }
+      int main() {
+        print_int(counter()); print_int(counter()); print_int(counter());
+        return 0; }|}
+    [ 101; 102; 103 ]
+
+let test_codegen_shadowing () =
+  check_prints "shadowing"
+    {|int main() {
+        int x;
+        x = 1;
+        {
+          int x;
+          x = 2;
+          print_int(x);
+        }
+        print_int(x);
+        return 0; }|}
+    [ 2; 1 ]
+
+let test_codegen_for_break_continue () =
+  check_prints "break/continue"
+    {|int main() {
+        int i;
+        int s;
+        s = 0;
+        for (i = 0; i < 100; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 10) { break; }
+          s = s + i;
+        }
+        print_int(s);   // 1+3+5+7+9 = 25
+        print_int(i);   // 11, loop variable after break
+        return 0; }|}
+    [ 25; 11 ]
+
+let test_codegen_while () =
+  check_prints "while"
+    {|int main() {
+        int n;
+        int steps;
+        n = 27;
+        steps = 0;
+        while (n != 1) {
+          if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+          steps = steps + 1;
+        }
+        print_int(steps);
+        return 0; }|}
+    [ 111 ]
+
+let test_codegen_six_params () =
+  check_prints "six params"
+    {|int f(int a, int b, int c, int d, int e, int g) {
+        return a + 10 * b + 100 * c + 1000 * d + 10000 * e + 100000 * g;
+      }
+      int main() { print_int(f(1, 2, 3, 4, 5, 6)); return 0; }|}
+    [ 654321 ]
+
+let test_codegen_deep_expression () =
+  (* Forces the register-stack spill path (depth > 8). *)
+  check_prints "deep nesting"
+    {|int main() {
+        print_int(1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12)))))))))));
+        print_int(((((((((1 + 2) * 3) + 4) * 5) + 6) * 7) + 8) * 9));
+        return 0; }|}
+    [ 78; 4545 ]
+
+let test_codegen_call_in_deep_expression () =
+  check_prints "call under depth"
+    {|int id(int x) { return x; }
+      int main() {
+        print_int(id(1) + (id(2) + (id(3) + (id(4) + (id(5) + (id(6) + (id(7) + (id(8) + id(9)))))))));
+        return 0; }|}
+    [ 45 ]
+
+let test_codegen_nested_calls () =
+  check_prints "nested calls"
+    {|int add(int a, int b) { return a + b; }
+      int main() { print_int(add(add(1, 2), add(add(3, 4), 5))); return 0; }|}
+    [ 15 ]
+
+let test_codegen_void_function () =
+  check_prints "void"
+    {|int g;
+      void set_g(int v) { g = v; }
+      void nop() { return; }
+      int main() { set_g(9); nop(); print_int(g); return 0; }|}
+    [ 9 ]
+
+let test_codegen_fallthrough_returns_zero () =
+  check_prints "fallthrough"
+    {|int f(int x) { if (x > 0) { return 7; } }
+      int main() { print_int(f(1)); print_int(f(0)); return 0; }|}
+    [ 7; 0 ]
+
+let test_codegen_exprs_as_stmts () =
+  check_prints "expression statement"
+    {|int calls;
+      int bump() { calls = calls + 1; return calls; }
+      int main() { bump(); bump(); print_int(calls); return 0; }|}
+    [ 2 ]
+
+(* --- debug info --- *)
+
+let compile_ok src =
+  match Compiler.compile src with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile error: %s" e
+
+let test_debug_info_layout () =
+  let c =
+    compile_ok
+      {|int g;
+        int arr[10];
+        int f(int p) { int x; int buf[3]; static int s; s = p; x = s; return x + buf[0]; }
+        int main() { return f(1); }|}
+  in
+  let d = c.Compiler.debug in
+  (* Globals are laid out from data_base, word-aligned, in order. *)
+  (match d.Debug_info.globals with
+  | [ g; arr ] ->
+      Alcotest.(check int) "g addr" Ebp_lang.Layout.data_base g.Debug_info.g_addr;
+      Alcotest.(check int) "g size" 4 g.Debug_info.g_size;
+      Alcotest.(check int) "arr addr" (Ebp_lang.Layout.data_base + 4) arr.Debug_info.g_addr;
+      Alcotest.(check int) "arr size" 40 arr.Debug_info.g_size;
+      Alcotest.(check bool) "arr flagged" true arr.Debug_info.g_is_array
+  | _ -> Alcotest.fail "expected two globals");
+  (* Function f: param p, local x, array buf, static s. *)
+  match Debug_info.func_by_name d "f" with
+  | None -> Alcotest.fail "no f"
+  | Some f ->
+      Alcotest.(check int) "var count" 4 (List.length f.Debug_info.vars);
+      let var name =
+        List.find (fun v -> v.Debug_info.var_name = name) f.Debug_info.vars
+      in
+      Alcotest.(check bool) "p is param" true (var "p").Debug_info.is_param;
+      (match (var "p").Debug_info.location with
+      | Debug_info.Frame off -> Alcotest.(check bool) "p below fp" true (off < 0)
+      | Debug_info.Static _ -> Alcotest.fail "param should be on the frame");
+      (match (var "s").Debug_info.location with
+      | Debug_info.Static addr ->
+          Alcotest.(check bool) "static in data segment" true
+            (addr >= Ebp_lang.Layout.data_base && addr < d.Debug_info.data_end)
+      | Debug_info.Frame _ -> Alcotest.fail "static should not be on the frame");
+      Alcotest.(check int) "buf size" 12 (var "buf").Debug_info.size;
+      (* Frame slots must not overlap. *)
+      let frame_slots =
+        List.filter_map
+          (fun v ->
+            match v.Debug_info.location with
+            | Debug_info.Frame off -> Some (off, v.Debug_info.size)
+            | Debug_info.Static _ -> None)
+          f.Debug_info.vars
+      in
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) frame_slots in
+      let rec no_overlap = function
+        | (o1, s1) :: ((o2, _) :: _ as rest) ->
+            if o1 + s1 > o2 then Alcotest.fail "frame slots overlap";
+            no_overlap rest
+        | _ -> ()
+      in
+      no_overlap sorted
+
+let test_debug_info_function_ids () =
+  let c =
+    compile_ok "int a() { return 1; } int b() { return 2; } int main() { return 0; }"
+  in
+  let d = c.Compiler.debug in
+  Array.iteri
+    (fun i f -> Alcotest.(check int) "id matches index" i f.Debug_info.id)
+    d.Debug_info.functions
+
+let test_no_variables_in_registers () =
+  (* Every read of a variable loads from memory: two reads of x in a row
+     must produce two loads. This pins the paper's "no variables were
+     allocated to registers" property. *)
+  let c = compile_ok "int main() { int x; x = 1; return x + x; }" in
+  let p = c.Compiler.program in
+  let loads = ref 0 in
+  Ebp_isa.Program.fold
+    (fun _ item acc ->
+      (match item.Ebp_isa.Program.instr with
+      | Ebp_isa.Instr.Lw (_, base, _) when Ebp_isa.Reg.equal base Ebp_isa.Reg.fp ->
+          incr loads
+      | _ -> ());
+      acc)
+    p ();
+  Alcotest.(check bool) "two fp-relative loads for x + x" true (!loads >= 2)
+
+
+(* --- differential fuzzing: compiled code vs a reference evaluator --- *)
+
+(* Random integer expressions over two variables, avoiding division (whose
+   by-zero behaviour differs between the reference and the machine) and
+   shifts (whose out-of-range counts are masked differently). The compiled
+   program must print exactly what the OCaml reference computes, 32-bit
+   wrapped. *)
+type fuzz_expr =
+  | F_const of int
+  | F_var_a
+  | F_var_b
+  | F_neg of fuzz_expr
+  | F_not of fuzz_expr
+  | F_add of fuzz_expr * fuzz_expr
+  | F_sub of fuzz_expr * fuzz_expr
+  | F_mul of fuzz_expr * fuzz_expr
+  | F_and of fuzz_expr * fuzz_expr
+  | F_or of fuzz_expr * fuzz_expr
+  | F_xor of fuzz_expr * fuzz_expr
+  | F_lt of fuzz_expr * fuzz_expr
+  | F_eq of fuzz_expr * fuzz_expr
+  | F_land of fuzz_expr * fuzz_expr
+  | F_lor of fuzz_expr * fuzz_expr
+
+let rec fuzz_to_c = function
+  | F_const c -> if c < 0 then Printf.sprintf "(0 - %d)" (-c) else string_of_int c
+  | F_var_a -> "a"
+  | F_var_b -> "b"
+  | F_neg e -> Printf.sprintf "(-%s)" (fuzz_to_c e)
+  | F_not e -> Printf.sprintf "(!%s)" (fuzz_to_c e)
+  | F_add (x, y) -> Printf.sprintf "(%s + %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_sub (x, y) -> Printf.sprintf "(%s - %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_mul (x, y) -> Printf.sprintf "(%s * %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_and (x, y) -> Printf.sprintf "(%s & %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_or (x, y) -> Printf.sprintf "(%s | %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_xor (x, y) -> Printf.sprintf "(%s ^ %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_lt (x, y) -> Printf.sprintf "(%s < %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_eq (x, y) -> Printf.sprintf "(%s == %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_land (x, y) -> Printf.sprintf "(%s && %s)" (fuzz_to_c x) (fuzz_to_c y)
+  | F_lor (x, y) -> Printf.sprintf "(%s || %s)" (fuzz_to_c x) (fuzz_to_c y)
+
+let wrap32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let rec fuzz_eval ~a ~b = function
+  | F_const c -> wrap32 c
+  | F_var_a -> a
+  | F_var_b -> b
+  | F_neg e -> wrap32 (-fuzz_eval ~a ~b e)
+  | F_not e -> if fuzz_eval ~a ~b e = 0 then 1 else 0
+  | F_add (x, y) -> wrap32 (fuzz_eval ~a ~b x + fuzz_eval ~a ~b y)
+  | F_sub (x, y) -> wrap32 (fuzz_eval ~a ~b x - fuzz_eval ~a ~b y)
+  | F_mul (x, y) -> wrap32 (fuzz_eval ~a ~b x * fuzz_eval ~a ~b y)
+  | F_and (x, y) -> fuzz_eval ~a ~b x land fuzz_eval ~a ~b y
+  | F_or (x, y) -> fuzz_eval ~a ~b x lor fuzz_eval ~a ~b y
+  | F_xor (x, y) -> fuzz_eval ~a ~b x lxor fuzz_eval ~a ~b y
+  | F_lt (x, y) -> if fuzz_eval ~a ~b x < fuzz_eval ~a ~b y then 1 else 0
+  | F_eq (x, y) -> if fuzz_eval ~a ~b x = fuzz_eval ~a ~b y then 1 else 0
+  | F_land (x, y) ->
+      if fuzz_eval ~a ~b x <> 0 && fuzz_eval ~a ~b y <> 0 then 1 else 0
+  | F_lor (x, y) ->
+      if fuzz_eval ~a ~b x <> 0 || fuzz_eval ~a ~b y <> 0 then 1 else 0
+
+let fuzz_gen =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 24)
+  @@ fix (fun self n ->
+         if n <= 1 then
+           oneof
+             [ map (fun c -> F_const c) (int_range (-100000) 100000);
+               return F_var_a; return F_var_b ]
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               map (fun e -> F_neg e) (self (n - 1));
+               map (fun e -> F_not e) (self (n - 1));
+               map2 (fun x y -> F_add (x, y)) sub sub;
+               map2 (fun x y -> F_sub (x, y)) sub sub;
+               map2 (fun x y -> F_mul (x, y)) sub sub;
+               map2 (fun x y -> F_and (x, y)) sub sub;
+               map2 (fun x y -> F_or (x, y)) sub sub;
+               map2 (fun x y -> F_xor (x, y)) sub sub;
+               map2 (fun x y -> F_lt (x, y)) sub sub;
+               map2 (fun x y -> F_eq (x, y)) sub sub;
+               map2 (fun x y -> F_land (x, y)) sub sub;
+               map2 (fun x y -> F_lor (x, y)) sub sub;
+             ])
+
+let prop_compiled_matches_reference =
+  QCheck2.Test.make ~name:"compiled expressions match reference evaluator"
+    ~count:150
+    QCheck2.Gen.(triple fuzz_gen (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (e, a, b) ->
+      let src =
+        Printf.sprintf
+          "int main() { int a; int b; a = %d; b = %d; print_int(%s); return 0; }"
+          a b (fuzz_to_c e)
+      in
+      match run_ints src with
+      | [ got ] -> got = fuzz_eval ~a ~b e
+      | _ -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lang"
+    [
+      ("fuzz", [ q prop_compiled_matches_reference ]);
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_expression_precedence;
+          Alcotest.test_case "rejects garbage" `Quick test_parser_rejects_garbage;
+          Alcotest.test_case "assignment targets" `Quick test_parser_assignment_targets;
+          Alcotest.test_case "structure" `Quick test_parser_structure;
+          Alcotest.test_case "parse_expr" `Quick test_parse_expr_helper;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "undefined var" `Quick test_sema_undefined_var;
+          Alcotest.test_case "undefined func" `Quick test_sema_undefined_func;
+          Alcotest.test_case "arity" `Quick test_sema_arity;
+          Alcotest.test_case "builtin arity" `Quick test_sema_builtin_arity;
+          Alcotest.test_case "no main" `Quick test_sema_no_main;
+          Alcotest.test_case "main params" `Quick test_sema_main_params;
+          Alcotest.test_case "stray break" `Quick test_sema_break_outside_loop;
+          Alcotest.test_case "param limit" `Quick test_sema_too_many_params;
+          Alcotest.test_case "global init const" `Quick test_sema_nonconst_global_init;
+          Alcotest.test_case "duplicate function" `Quick test_sema_duplicate_function;
+          Alcotest.test_case "deref int" `Quick test_sema_deref_int;
+          Alcotest.test_case "assign to array" `Quick test_sema_assign_to_array;
+          Alcotest.test_case "ptr+ptr" `Quick test_sema_ptr_plus_ptr;
+          Alcotest.test_case "const eval" `Quick test_sema_const_eval;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "arith ops" `Quick test_codegen_arith_ops;
+          Alcotest.test_case "comparisons" `Quick test_codegen_comparisons;
+          Alcotest.test_case "short circuit" `Quick test_codegen_short_circuit;
+          Alcotest.test_case "unary" `Quick test_codegen_unary;
+          Alcotest.test_case "recursion" `Quick test_codegen_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_codegen_mutual_recursion;
+          Alcotest.test_case "pointers" `Quick test_codegen_pointers;
+          Alcotest.test_case "pointer arith" `Quick test_codegen_pointer_arith;
+          Alcotest.test_case "local arrays" `Quick test_codegen_arrays_local;
+          Alcotest.test_case "globals init" `Quick test_codegen_globals_init;
+          Alcotest.test_case "statics persist" `Quick test_codegen_statics_persist;
+          Alcotest.test_case "shadowing" `Quick test_codegen_shadowing;
+          Alcotest.test_case "for/break/continue" `Quick test_codegen_for_break_continue;
+          Alcotest.test_case "while" `Quick test_codegen_while;
+          Alcotest.test_case "six params" `Quick test_codegen_six_params;
+          Alcotest.test_case "deep expression" `Quick test_codegen_deep_expression;
+          Alcotest.test_case "call under depth" `Quick test_codegen_call_in_deep_expression;
+          Alcotest.test_case "nested calls" `Quick test_codegen_nested_calls;
+          Alcotest.test_case "void functions" `Quick test_codegen_void_function;
+          Alcotest.test_case "fallthrough return" `Quick
+            test_codegen_fallthrough_returns_zero;
+          Alcotest.test_case "expression statements" `Quick test_codegen_exprs_as_stmts;
+        ] );
+      ( "debug info",
+        [
+          Alcotest.test_case "layout" `Quick test_debug_info_layout;
+          Alcotest.test_case "function ids" `Quick test_debug_info_function_ids;
+          Alcotest.test_case "no register variables" `Quick test_no_variables_in_registers;
+        ] );
+    ]

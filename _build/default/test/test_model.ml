@@ -1,0 +1,272 @@
+(* Tests for Ebp_model: the analytical models of Figures 3-6, checked
+   against hand-computed values with the paper's Table 2 timing. *)
+
+module Timing = Ebp_wms.Timing
+module Counts = Ebp_sessions.Counts
+module Model = Ebp_model.Strategy_model
+module Breakdown = Ebp_model.Breakdown
+
+let t2 = Timing.sparcstation2
+
+let counts ?(installs = 0) ?(removes = 0) ?(hits = 0) ?(misses = 0)
+    ?(vm4 = (0, 0, 0)) ?(vm8 = (0, 0, 0)) () =
+  let mk page_size (protects, unprotects, apm) =
+    { Counts.page_size; protects; unprotects; active_page_misses = apm }
+  in
+  { Counts.installs; removes; hits; misses; vm = [ mk 4096 vm4; mk 8192 vm8 ] }
+
+let check_us = Alcotest.(check (float 1e-6))
+
+(* --- NativeHardware (Figure 3) --- *)
+
+let test_nh_model () =
+  let c = counts ~installs:10 ~removes:10 ~hits:100 ~misses:100000 () in
+  let o = Model.overhead t2 Model.NH c in
+  check_us "hit = hits * 131us" (100.0 *. 131.0) o.Model.hit_us;
+  check_us "misses free" 0.0 o.Model.miss_us;
+  check_us "installs free" 0.0 o.Model.install_us;
+  check_us "removes free" 0.0 o.Model.remove_us;
+  check_us "total" 13100.0 o.Model.total_us;
+  match o.Model.breakdown with
+  | [ ("NHFaultHandler", us) ] -> check_us "breakdown is all fault handler" 13100.0 us
+  | _ -> Alcotest.fail "unexpected breakdown"
+
+let test_nh_zero_hits_zero_cost () =
+  let c = counts ~installs:5 ~removes:5 ~misses:1_000_000 () in
+  let o = Model.overhead t2 Model.NH c in
+  check_us "free when no hits" 0.0 o.Model.total_us
+
+(* --- VirtualMemory (Figure 4) --- *)
+
+let test_vm_model () =
+  (* Hand-computed from Figure 4:
+       hits=10, apm=20 -> (10+20) * (561 + 2.75)
+       installs=3, protects=2 -> 3*(299+22+80) + 2*80
+       removes=3, unprotects=2 -> 3*(299+22+80) + 2*299 *)
+  let c = counts ~installs:3 ~removes:3 ~hits:10 ~misses:500 ~vm4:(2, 2, 20) () in
+  let o = Model.overhead t2 (Model.VM 4096) c in
+  check_us "hit" (10.0 *. 563.75) o.Model.hit_us;
+  check_us "miss" (20.0 *. 563.75) o.Model.miss_us;
+  check_us "install" ((3.0 *. 401.0) +. (2.0 *. 80.0)) o.Model.install_us;
+  check_us "remove" ((3.0 *. 401.0) +. (2.0 *. 299.0)) o.Model.remove_us;
+  check_us "total"
+    ((30.0 *. 563.75) +. (3.0 *. 401.0) +. 160.0 +. (3.0 *. 401.0) +. 598.0)
+    o.Model.total_us
+
+let test_vm_uses_requested_page_size () =
+  let c =
+    counts ~installs:1 ~removes:1 ~hits:0 ~misses:100 ~vm4:(1, 1, 10) ~vm8:(1, 1, 50) ()
+  in
+  let o4 = Model.overhead t2 (Model.VM 4096) c in
+  let o8 = Model.overhead t2 (Model.VM 8192) c in
+  Alcotest.(check bool) "8K pays for more false sharing" true
+    (o8.Model.total_us > o4.Model.total_us);
+  check_us "difference is 40 faults" (40.0 *. 563.75)
+    (o8.Model.miss_us -. o4.Model.miss_us)
+
+let test_vm_missing_page_size () =
+  let c = counts () in
+  Alcotest.(check bool) "unknown page size rejected" true
+    (match Model.overhead t2 (Model.VM 1024) c with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- TrapPatch (Figure 5) --- *)
+
+let test_tp_model () =
+  let c = counts ~installs:4 ~removes:4 ~hits:10 ~misses:990 () in
+  let o = Model.overhead t2 Model.TP c in
+  check_us "hit" (10.0 *. 104.75) o.Model.hit_us;
+  check_us "miss" (990.0 *. 104.75) o.Model.miss_us;
+  check_us "install" (4.0 *. 22.0) o.Model.install_us;
+  check_us "remove" (4.0 *. 22.0) o.Model.remove_us;
+  (* Every write pays: TP's cost is driven by total writes, not hits. *)
+  check_us "total" ((1000.0 *. 104.75) +. 176.0) o.Model.total_us
+
+(* --- CodePatch (Figure 6) --- *)
+
+let test_cp_model () =
+  let c = counts ~installs:4 ~removes:4 ~hits:10 ~misses:990 () in
+  let o = Model.overhead t2 Model.CP c in
+  check_us "hit" (10.0 *. 2.75) o.Model.hit_us;
+  check_us "miss" (990.0 *. 2.75) o.Model.miss_us;
+  check_us "total" ((1000.0 *. 2.75) +. 176.0) o.Model.total_us
+
+let test_cp_beats_tp_always () =
+  (* Same counting variables: CP is strictly cheaper than TP whenever any
+     write occurs (the lookup is a strict subset of TP's work). *)
+  let c = counts ~installs:2 ~removes:2 ~hits:5 ~misses:95 () in
+  let cp = Model.overhead t2 Model.CP c in
+  let tp = Model.overhead t2 Model.TP c in
+  Alcotest.(check bool) "cp < tp" true (cp.Model.total_us < tp.Model.total_us)
+
+let test_cp_vs_nh_crossover () =
+  (* The paper's §9 observation: for hit-dominated sessions CP beats NH.
+     NH = hits * 131; CP = writes * 2.75 (+updates). With all writes
+     hitting, CP wins by ~47x. *)
+  let hot = counts ~hits:1000 ~misses:0 () in
+  let nh = Model.overhead t2 Model.NH hot in
+  let cp = Model.overhead t2 Model.CP hot in
+  Alcotest.(check bool) "hot session: CP < NH" true (cp.Model.total_us < nh.Model.total_us);
+  let cold = counts ~hits:1 ~misses:100000 () in
+  let nh = Model.overhead t2 Model.NH cold in
+  let cp = Model.overhead t2 Model.CP cold in
+  Alcotest.(check bool) "cold session: NH < CP" true (nh.Model.total_us < cp.Model.total_us)
+
+(* --- shared properties --- *)
+
+let test_components_sum_to_total () =
+  let c =
+    counts ~installs:7 ~removes:6 ~hits:13 ~misses:1234 ~vm4:(3, 2, 17) ~vm8:(2, 1, 29) ()
+  in
+  List.iter
+    (fun a ->
+      let o = Model.overhead t2 a c in
+      check_us
+        (Model.name a ^ " components sum")
+        o.Model.total_us
+        (o.Model.hit_us +. o.Model.miss_us +. o.Model.install_us +. o.Model.remove_us);
+      check_us
+        (Model.name a ^ " breakdown sums")
+        o.Model.total_us
+        (List.fold_left (fun acc (_, us) -> acc +. us) 0.0 o.Model.breakdown))
+    Model.default_approaches
+
+let test_zero_timing_zero_overhead () =
+  let c = counts ~installs:5 ~removes:5 ~hits:50 ~misses:5000 ~vm4:(1, 1, 7) ~vm8:(1, 1, 9) () in
+  List.iter
+    (fun a ->
+      let o = Model.overhead Timing.zero a c in
+      check_us (Model.name a ^ " zero timing") 0.0 o.Model.total_us)
+    Model.default_approaches
+
+let test_relative_overhead () =
+  let c = counts ~hits:100 () in
+  let o = Model.overhead t2 Model.NH c in
+  (* 100 * 131us = 13.1ms; against a 13.1ms base run -> 1.0x. *)
+  Alcotest.(check (float 1e-9)) "relative" 1.0 (Model.relative o ~base_ms:13.1);
+  Alcotest.(check bool) "zero base rejected" true
+    (match Model.relative o ~base_ms:0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_names () =
+  Alcotest.(check string) "NH" "NH" (Model.name Model.NH);
+  Alcotest.(check string) "VM-4K" "VM-4K" (Model.name (Model.VM 4096));
+  Alcotest.(check string) "VM-8K" "VM-8K" (Model.name (Model.VM 8192));
+  Alcotest.(check string) "odd size" "VM-512" (Model.name (Model.VM 512));
+  Alcotest.(check string) "long" "VirtualMemory-4K" (Model.long_name (Model.VM 4096));
+  Alcotest.(check int) "five defaults" 5 (List.length Model.default_approaches)
+
+(* --- Breakdown --- *)
+
+let test_breakdown_percentages () =
+  (* TP with many writes: TPFaultHandler should dominate at
+     102 / 104.75 = 97.4% — the paper reports "consistently 97%". *)
+  let c = counts ~installs:1 ~removes:1 ~hits:10 ~misses:9990 () in
+  let o = Model.overhead t2 Model.TP c in
+  let shares = Breakdown.mean_percentages [ o ] in
+  (match List.assoc_opt "TPFaultHandler" shares with
+  | Some pct -> Alcotest.(check bool) "TP fault ~97%" true (pct > 96.0 && pct < 98.0)
+  | None -> Alcotest.fail "missing TPFaultHandler");
+  (* CP: SoftwareLookup dominates (98-99% in the paper). *)
+  let o = Model.overhead t2 Model.CP c in
+  match Breakdown.mean_percentages [ o ] with
+  | ("SoftwareLookup", pct) :: _ ->
+      Alcotest.(check bool) "CP lookup > 98%" true (pct > 98.0)
+  | _ -> Alcotest.fail "SoftwareLookup should dominate CP"
+
+let test_breakdown_skips_zero_sessions () =
+  let zero = Model.overhead t2 Model.NH (counts ()) in
+  let busy = Model.overhead t2 Model.NH (counts ~hits:10 ()) in
+  match Breakdown.mean_percentages [ zero; busy ] with
+  | [ ("NHFaultHandler", pct) ] -> Alcotest.(check (float 1e-9)) "100%" 100.0 pct
+  | _ -> Alcotest.fail "zero-cost session should be skipped"
+
+let test_breakdown_empty () =
+  Alcotest.(check int) "empty input" 0 (List.length (Breakdown.mean_percentages []))
+
+
+(* --- Remote (§3.4 ptrace-style) variant --- *)
+
+let test_remote_tp () =
+  let c = counts ~installs:2 ~removes:2 ~hits:10 ~misses:90 () in
+  let base = Model.overhead t2 Model.TP c in
+  let remote = Model.overhead t2 (Model.Remote Model.TP) c in
+  (* 100 faults x 2 x 200us on top of plain TP. *)
+  check_us "switch cost added" (base.Model.total_us +. (100.0 *. 400.0))
+    remote.Model.total_us;
+  check_us "components still sum" remote.Model.total_us
+    (remote.Model.hit_us +. remote.Model.miss_us +. remote.Model.install_us
+   +. remote.Model.remove_us);
+  match List.assoc_opt "ContextSwitch" remote.Model.breakdown with
+  | Some us -> check_us "breakdown entry" 40000.0 us
+  | None -> Alcotest.fail "no ContextSwitch in breakdown"
+
+let test_remote_nh_only_hits () =
+  let c = counts ~hits:5 ~misses:100000 () in
+  let base = Model.overhead t2 Model.NH c in
+  let remote = Model.overhead t2 (Model.Remote Model.NH) c in
+  (* NH misses are free even remotely: only the 5 hits switch. *)
+  check_us "only hits pay" (base.Model.total_us +. (5.0 *. 400.0)) remote.Model.total_us
+
+let test_remote_vm_faults () =
+  let c = counts ~hits:3 ~misses:500 ~vm4:(1, 1, 7) ~vm8:(1, 1, 9) () in
+  let base = Model.overhead t2 (Model.VM 4096) c in
+  let remote = Model.overhead t2 (Model.Remote (Model.VM 4096)) c in
+  check_us "hits + active-page misses pay" (base.Model.total_us +. (10.0 *. 400.0))
+    remote.Model.total_us
+
+let test_remote_cp_rejected () =
+  Alcotest.(check bool) "Remote CP rejected" true
+    (match Model.overhead t2 (Model.Remote Model.CP) (counts ~hits:1 ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "nested Remote rejected" true
+    (match Model.overhead t2 (Model.Remote (Model.Remote Model.TP)) (counts ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_remote_names () =
+  Alcotest.(check string) "name" "TP-rem" (Model.name (Model.Remote Model.TP));
+  Alcotest.(check string) "long" "VirtualMemory-4K-remote"
+    (Model.long_name (Model.Remote (Model.VM 4096)))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "figures 3-6",
+        [
+          Alcotest.test_case "NH model" `Quick test_nh_model;
+          Alcotest.test_case "NH zero hits" `Quick test_nh_zero_hits_zero_cost;
+          Alcotest.test_case "VM model" `Quick test_vm_model;
+          Alcotest.test_case "VM page sizes" `Quick test_vm_uses_requested_page_size;
+          Alcotest.test_case "VM missing page size" `Quick test_vm_missing_page_size;
+          Alcotest.test_case "TP model" `Quick test_tp_model;
+          Alcotest.test_case "CP model" `Quick test_cp_model;
+          Alcotest.test_case "CP < TP" `Quick test_cp_beats_tp_always;
+          Alcotest.test_case "CP vs NH crossover" `Quick test_cp_vs_nh_crossover;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "components sum" `Quick test_components_sum_to_total;
+          Alcotest.test_case "zero timing" `Quick test_zero_timing_zero_overhead;
+          Alcotest.test_case "relative overhead" `Quick test_relative_overhead;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+      ( "remote (3.4)",
+        [
+          Alcotest.test_case "TP" `Quick test_remote_tp;
+          Alcotest.test_case "NH hits only" `Quick test_remote_nh_only_hits;
+          Alcotest.test_case "VM faults" `Quick test_remote_vm_faults;
+          Alcotest.test_case "CP rejected" `Quick test_remote_cp_rejected;
+          Alcotest.test_case "names" `Quick test_remote_names;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "percentages" `Quick test_breakdown_percentages;
+          Alcotest.test_case "skips zero sessions" `Quick
+            test_breakdown_skips_zero_sessions;
+          Alcotest.test_case "empty" `Quick test_breakdown_empty;
+        ] );
+    ]

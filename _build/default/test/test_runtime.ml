@@ -1,0 +1,282 @@
+(* Tests for Ebp_runtime: the heap allocator and the loader/syscall layer. *)
+
+module Allocator = Ebp_runtime.Allocator
+module Loader = Ebp_runtime.Loader
+module Machine = Ebp_machine.Machine
+
+let base = Ebp_lang.Layout.heap_base
+
+let fresh () = Allocator.create ()
+
+(* --- Allocator --- *)
+
+let test_alloc_basic () =
+  let a = fresh () in
+  let p1 = Option.get (Allocator.malloc a 10) in
+  let p2 = Option.get (Allocator.malloc a 4) in
+  Alcotest.(check int) "first at heap base" base p1;
+  Alcotest.(check bool) "disjoint" true (p2 >= p1 + 12);
+  Alcotest.(check (option int)) "size rounded to words" (Some 12)
+    (Allocator.size_of a p1);
+  Alcotest.(check int) "live bytes" 16 (Allocator.live_bytes a)
+
+let test_alloc_zero_size () =
+  let a = fresh () in
+  let p = Option.get (Allocator.malloc a 0) in
+  Alcotest.(check (option int)) "minimal block" (Some 4) (Allocator.size_of a p)
+
+let test_free_and_reuse () =
+  let a = fresh () in
+  let p1 = Option.get (Allocator.malloc a 16) in
+  let _p2 = Option.get (Allocator.malloc a 16) in
+  (match Allocator.free a p1 with Ok () -> () | Error e -> Alcotest.fail e);
+  let p3 = Option.get (Allocator.malloc a 16) in
+  Alcotest.(check int) "first-fit reuses the hole" p1 p3
+
+let test_free_coalescing () =
+  let a = fresh () in
+  let p1 = Option.get (Allocator.malloc a 16) in
+  let p2 = Option.get (Allocator.malloc a 16) in
+  let p3 = Option.get (Allocator.malloc a 16) in
+  ignore (Allocator.malloc a 16);
+  (* Free in an order that requires both-side coalescing for the middle. *)
+  ignore (Allocator.free a p1);
+  ignore (Allocator.free a p3);
+  ignore (Allocator.free a p2);
+  let big = Option.get (Allocator.malloc a 48) in
+  Alcotest.(check int) "coalesced hole fits a 48-byte block" p1 big
+
+let test_free_errors () =
+  let a = fresh () in
+  let p = Option.get (Allocator.malloc a 8) in
+  (match Allocator.free a (p + 4) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "interior free accepted");
+  ignore (Allocator.free a p);
+  match Allocator.free a p with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double free accepted"
+
+let test_exhaustion () =
+  let a = Allocator.create ~base ~limit:(base + 64) () in
+  Alcotest.(check bool) "fits" true (Allocator.malloc a 32 <> None);
+  Alcotest.(check bool) "exhausted" true (Allocator.malloc a 64 = None);
+  Alcotest.(check bool) "smaller still fits" true (Allocator.malloc a 32 <> None)
+
+let test_realloc_grow_copies () =
+  let copied = ref [] in
+  let copy ~src ~dst ~len = copied := (src, dst, len) :: !copied in
+  let a = fresh () in
+  let p = Option.get (Allocator.malloc a 8) in
+  ignore (Allocator.malloc a 8);
+  (* block the in-place growth *)
+  match Allocator.realloc a p 32 ~copy with
+  | Ok (Some p') ->
+      Alcotest.(check bool) "moved" true (p' <> p);
+      Alcotest.(check (list (triple int int int))) "copied old contents"
+        [ (p, p', 8) ] !copied;
+      Alcotest.(check bool) "old freed" true (Allocator.size_of a p = None)
+  | Ok None -> Alcotest.fail "unexpected exhaustion"
+  | Error e -> Alcotest.fail e
+
+let test_realloc_shrink_in_place () =
+  let a = fresh () in
+  let p = Option.get (Allocator.malloc a 32) in
+  match Allocator.realloc a p 8 ~copy:(fun ~src:_ ~dst:_ ~len:_ -> Alcotest.fail "no copy") with
+  | Ok (Some p') -> Alcotest.(check int) "same address" p p'
+  | _ -> Alcotest.fail "shrink failed"
+
+let test_realloc_null_is_malloc () =
+  let a = fresh () in
+  match Allocator.realloc a 0 16 ~copy:(fun ~src:_ ~dst:_ ~len:_ -> ()) with
+  | Ok (Some p) -> Alcotest.(check int) "allocates" base p
+  | _ -> Alcotest.fail "realloc(0, n) failed"
+
+let test_allocator_events () =
+  let events = ref [] in
+  let a = fresh () in
+  Allocator.set_event_hook a (Some (fun e -> events := e :: !events));
+  let p = Option.get (Allocator.malloc a 8) in
+  let p' =
+    match Allocator.realloc a p 64 ~copy:(fun ~src:_ ~dst:_ ~len:_ -> ()) with
+    | Ok (Some p') -> p'
+    | _ -> Alcotest.fail "realloc"
+  in
+  ignore (Allocator.free a p');
+  match List.rev !events with
+  | [ Allocator.Alloc { addr; size = 8 };
+      Allocator.Realloc { old_addr; new_addr; new_size = 64; _ };
+      Allocator.Free { addr = freed; size = 64 } ] ->
+      Alcotest.(check int) "alloc addr" p addr;
+      Alcotest.(check int) "realloc old" p old_addr;
+      Alcotest.(check int) "realloc new" p' new_addr;
+      Alcotest.(check int) "free addr" p' freed
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+(* No two live blocks ever overlap, and free+malloc never loses bytes. *)
+let prop_allocator_disjoint =
+  let op_gen = QCheck2.Gen.(pair (int_range 0 2) (int_range 1 200)) in
+  QCheck2.Test.make ~name:"live blocks stay disjoint" ~count:150
+    QCheck2.Gen.(list_size (int_range 1 80) op_gen)
+    (fun ops ->
+      let a = Allocator.create ~base ~limit:(base + 4096) () in
+      let live = ref [] in
+      List.iter
+        (fun (kind, size) ->
+          match kind with
+          | 0 | 1 -> (
+              match Allocator.malloc a size with
+              | Some p -> live := p :: !live
+              | None -> ())
+          | _ -> (
+              match !live with
+              | p :: rest ->
+                  (match Allocator.free a p with
+                  | Ok () -> ()
+                  | Error e -> failwith e);
+                  live := rest
+              | [] -> ()))
+        ops;
+      let blocks = Allocator.live_blocks a in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) -> a1 + s1 <= a2 && disjoint rest
+        | _ -> true
+      in
+      disjoint blocks
+      && List.length blocks = List.length !live
+      && Allocator.live_bytes a + Allocator.free_bytes a = 4096)
+
+(* --- Loader / syscalls --- *)
+
+let run src =
+  match Loader.run_source src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "compile error: %s" e
+
+let run_raw = run
+
+let test_loader_print_output () =
+  let r = run "int main() { print_int(42); print_char(65); print_char(10); return 0; }" in
+  Alcotest.(check string) "output" "42\nA\n" r.Loader.output
+
+let test_loader_exit_code () =
+  let r = run "int main() { return 3; }" in
+  match r.Loader.status with
+  | Machine.Halted 3 -> ()
+  | _ -> Alcotest.fail "expected exit 3"
+
+let test_loader_malloc_returns_null_on_oom () =
+  let r =
+    run
+      {|int main() {
+          int* p;
+          p = malloc(100000000);
+          if (p == 0) { print_int(1); } else { print_int(0); }
+          return 0; }|}
+  in
+  Alcotest.(check string) "null on exhaustion" "1\n" r.Loader.output
+
+let test_loader_bad_free_is_runtime_error () =
+  let r = run "int main() { free(12345); return 0; }" in
+  Alcotest.(check bool) "runtime error recorded" true (r.Loader.runtime_error <> None);
+  match r.Loader.status with
+  | Machine.Halted -1 -> ()
+  | _ -> Alcotest.fail "expected abnormal halt"
+
+let test_loader_rand_deterministic () =
+  let src =
+    "int main() { print_int(rand(1000)); print_int(rand(1000)); return 0; }"
+  in
+  let r1 = Loader.run_source ~seed:7 src |> Result.get_ok in
+  let r2 = Loader.run_source ~seed:7 src |> Result.get_ok in
+  let r3 = Loader.run_source ~seed:8 src |> Result.get_ok in
+  Alcotest.(check string) "same seed same stream" r1.Loader.output r2.Loader.output;
+  Alcotest.(check bool) "different seed differs" true
+    (r1.Loader.output <> r3.Loader.output)
+
+let test_loader_srand () =
+  let src =
+    {|int main() {
+        int a;
+        int b;
+        srand(99);
+        a = rand(100000);
+        srand(99);
+        b = rand(100000);
+        print_int(a == b);
+        return 0; }|}
+  in
+  let r = run src in
+  Alcotest.(check string) "srand resets the stream" "1\n" r.Loader.output
+
+let test_loader_realloc_preserves_contents () =
+  let r =
+    run
+      {|int main() {
+          int* p;
+          int i;
+          int ok;
+          p = malloc(20);
+          for (i = 0; i < 5; i = i + 1) { p[i] = i * 7; }
+          p = realloc(p, 400);
+          ok = 1;
+          for (i = 0; i < 5; i = i + 1) { if (p[i] != i * 7) { ok = 0; } }
+          print_int(ok);
+          return 0; }|}
+  in
+  Alcotest.(check string) "contents preserved" "1\n" r.Loader.output
+
+let test_loader_global_initializers_applied () =
+  let r = run "int g = 1234; int main() { print_int(g); return 0; }" in
+  Alcotest.(check string) "init" "1234\n" r.Loader.output
+
+let test_loader_cycle_accounting () =
+  let r = run "int main() { return 0; }" in
+  Alcotest.(check bool) "cycles counted" true (r.Loader.cycles > 0);
+  Alcotest.(check bool) "instructions counted" true (r.Loader.instructions > 0);
+  Alcotest.(check bool) "cycles >= instructions" true
+    (r.Loader.cycles >= r.Loader.instructions)
+
+
+let test_loader_exit_builtin () =
+  let r = run_raw "int main() { print_int(1); exit(9); print_int(2); return 0; }" in
+  Alcotest.(check string) "output stops at exit" "1\n" r.Loader.output;
+  match r.Loader.status with
+  | Machine.Halted 9 -> ()
+  | _ -> Alcotest.fail "expected exit code 9"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [
+      ( "allocator",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "zero size" `Quick test_alloc_zero_size;
+          Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+          Alcotest.test_case "coalescing" `Quick test_free_coalescing;
+          Alcotest.test_case "free errors" `Quick test_free_errors;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "realloc grow" `Quick test_realloc_grow_copies;
+          Alcotest.test_case "realloc shrink" `Quick test_realloc_shrink_in_place;
+          Alcotest.test_case "realloc null" `Quick test_realloc_null_is_malloc;
+          Alcotest.test_case "events" `Quick test_allocator_events;
+          q prop_allocator_disjoint;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "print output" `Quick test_loader_print_output;
+          Alcotest.test_case "exit code" `Quick test_loader_exit_code;
+          Alcotest.test_case "malloc OOM -> null" `Quick
+            test_loader_malloc_returns_null_on_oom;
+          Alcotest.test_case "bad free" `Quick test_loader_bad_free_is_runtime_error;
+          Alcotest.test_case "rand deterministic" `Quick test_loader_rand_deterministic;
+          Alcotest.test_case "srand" `Quick test_loader_srand;
+          Alcotest.test_case "realloc preserves" `Quick
+            test_loader_realloc_preserves_contents;
+          Alcotest.test_case "global initializers" `Quick
+            test_loader_global_initializers_applied;
+          Alcotest.test_case "cycle accounting" `Quick test_loader_cycle_accounting;
+          Alcotest.test_case "exit builtin" `Quick test_loader_exit_builtin;
+        ] );
+    ]

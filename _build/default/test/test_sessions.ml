@@ -1,0 +1,385 @@
+(* Tests for Ebp_sessions: session matching, discovery, and the phase-2
+   replay's counting variables — including hand-computed scenarios and a
+   property check of replay_all against a naive per-event oracle. *)
+
+module Interval = Ebp_util.Interval
+module Object_desc = Ebp_trace.Object_desc
+module Trace = Ebp_trace.Trace
+module Session = Ebp_sessions.Session
+module Discovery = Ebp_sessions.Discovery
+module Counts = Ebp_sessions.Counts
+module Replay = Ebp_sessions.Replay
+
+let iv lo hi = Interval.make ~lo ~hi
+
+(* --- Session.matches --- *)
+
+let local ~func ~var ~inst = Object_desc.Local { func; var; inst }
+
+let test_matches_one_local_auto () =
+  let s = Session.One_local_auto { func = "f"; var = "x" } in
+  Alcotest.(check bool) "inst 1" true (Session.matches s (local ~func:"f" ~var:"x" ~inst:1));
+  Alcotest.(check bool) "inst 9 (all instantiations)" true
+    (Session.matches s (local ~func:"f" ~var:"x" ~inst:9));
+  Alcotest.(check bool) "other var" false
+    (Session.matches s (local ~func:"f" ~var:"y" ~inst:1));
+  Alcotest.(check bool) "other func" false
+    (Session.matches s (local ~func:"g" ~var:"x" ~inst:1));
+  Alcotest.(check bool) "statics are not automatic" false
+    (Session.matches s (Object_desc.Local_static { func = "f"; var = "x" }))
+
+let test_matches_all_local_in_func () =
+  let s = Session.All_local_in_func { func = "f" } in
+  Alcotest.(check bool) "any local" true
+    (Session.matches s (local ~func:"f" ~var:"anything" ~inst:3));
+  Alcotest.(check bool) "includes statics (§5)" true
+    (Session.matches s (Object_desc.Local_static { func = "f"; var = "n" }));
+  Alcotest.(check bool) "other func" false
+    (Session.matches s (local ~func:"g" ~var:"x" ~inst:1));
+  Alcotest.(check bool) "not globals" false
+    (Session.matches s (Object_desc.Global { var = "f" }))
+
+let test_matches_one_heap () =
+  let s = Session.One_heap { site = "alloc"; seq = 7 } in
+  Alcotest.(check bool) "match" true
+    (Session.matches s (Object_desc.Heap { context = [ "alloc"; "main" ]; seq = 7 }));
+  Alcotest.(check bool) "wrong seq" false
+    (Session.matches s (Object_desc.Heap { context = [ "alloc"; "main" ]; seq = 8 }));
+  Alcotest.(check bool) "wrong site" false
+    (Session.matches s (Object_desc.Heap { context = [ "other"; "main" ]; seq = 7 }))
+
+let test_matches_all_heap_in_func () =
+  let s = Session.All_heap_in_func { func = "build" } in
+  Alcotest.(check bool) "direct allocator" true
+    (Session.matches s (Object_desc.Heap { context = [ "build"; "main" ]; seq = 1 }));
+  Alcotest.(check bool) "dynamic context (§5)" true
+    (Session.matches s (Object_desc.Heap { context = [ "alloc"; "build"; "main" ]; seq = 2 }));
+  Alcotest.(check bool) "unrelated" false
+    (Session.matches s (Object_desc.Heap { context = [ "main" ]; seq = 3 }))
+
+let test_matches_global () =
+  let s = Session.One_global_static { var = "g" } in
+  Alcotest.(check bool) "match" true (Session.matches s (Object_desc.Global { var = "g" }));
+  Alcotest.(check bool) "other" false (Session.matches s (Object_desc.Global { var = "h" }))
+
+(* --- Discovery --- *)
+
+let build_trace events =
+  let b = Trace.Builder.create () in
+  List.iter
+    (fun e ->
+      match e with
+      | `I (obj, lo, hi) -> Trace.Builder.add_install b obj (iv lo hi)
+      | `R (obj, lo, hi) -> Trace.Builder.add_remove b obj (iv lo hi)
+      | `W (lo, hi) -> Trace.Builder.add_write b (iv lo hi) ~pc:0)
+    events;
+  Trace.Builder.finish b
+
+let test_discovery () =
+  let x1 = local ~func:"f" ~var:"x" ~inst:1 in
+  let x2 = local ~func:"f" ~var:"x" ~inst:2 in
+  let st = Object_desc.Local_static { func = "g"; var = "s" } in
+  let gl = Object_desc.Global { var = "tbl" } in
+  let h1 = Object_desc.Heap { context = [ "alloc"; "main" ]; seq = 1 } in
+  let h2 = Object_desc.Heap { context = [ "alloc"; "main" ]; seq = 2 } in
+  let trace =
+    build_trace
+      [ `I (x1, 0, 3); `R (x1, 0, 3); `I (x2, 0, 3); `R (x2, 0, 3);
+        `I (st, 100, 103); `I (gl, 200, 207); `I (h1, 300, 311);
+        `I (h2, 320, 331); `R (h1, 300, 311); `R (h2, 320, 331);
+        `R (st, 100, 103); `R (gl, 200, 207) ]
+  in
+  let sessions = Discovery.discover trace in
+  let by_kind = Discovery.count_by_kind sessions in
+  Alcotest.(check int) "one OneLocalAuto (two instantiations)" 1
+    (List.assoc Session.K_one_local_auto by_kind);
+  (* f has locals; g has the static: two AllLocalInFunc. *)
+  Alcotest.(check int) "AllLocalInFunc" 2 (List.assoc Session.K_all_local_in_func by_kind);
+  Alcotest.(check int) "globals" 1 (List.assoc Session.K_one_global_static by_kind);
+  Alcotest.(check int) "OneHeap per object" 2 (List.assoc Session.K_one_heap by_kind);
+  (* alloc and main both appear in heap contexts. *)
+  Alcotest.(check int) "AllHeapInFunc" 2 (List.assoc Session.K_all_heap_in_func by_kind)
+
+(* --- Replay: hand-computed scenario --- *)
+
+(* Object layout: global g at [0x1000, 0x1003]; heap object h at
+   [0x2000, 0x200b] installed then removed mid-trace. Writes:
+     w1 hits g, w2 hits h, w3 misses everything, w4 to h's range after
+     its removal (a miss), w5 to g's page but not g (VM page miss). *)
+let scenario () =
+  let g = Object_desc.Global { var = "g" } in
+  let h = Object_desc.Heap { context = [ "main" ]; seq = 1 } in
+  build_trace
+    [
+      `I (g, 0x1000, 0x1003);
+      `I (h, 0x2000, 0x200b);
+      `W (0x1000, 0x1003) (* w1: hit g *);
+      `W (0x2004, 0x2007) (* w2: hit h *);
+      `W (0x5000, 0x5003) (* w3: miss *);
+      `R (h, 0x2000, 0x200b);
+      `W (0x2004, 0x2007) (* w4: h gone -> miss *);
+      `W (0x1ffc, 0x1fff) (* w5: g's 8K page (0x1000-0x2fff? no) *);
+      `R (g, 0x1000, 0x1003);
+    ]
+
+let test_replay_global_session () =
+  let trace = scenario () in
+  let c = Replay.replay trace (Session.One_global_static { var = "g" }) in
+  Alcotest.(check int) "installs" 1 c.Counts.installs;
+  Alcotest.(check int) "removes" 1 c.Counts.removes;
+  Alcotest.(check int) "hits" 1 c.Counts.hits;
+  Alcotest.(check int) "misses = writes - hits" 4 c.Counts.misses;
+  let vm4 = Counts.vm_for c ~page_size:4096 in
+  Alcotest.(check int) "4K protects" 1 vm4.Counts.protects;
+  Alcotest.(check int) "4K unprotects" 1 vm4.Counts.unprotects;
+  (* w5 at 0x1ffc is on g's 4K page [0x1000,0x1fff]: one active-page miss. *)
+  Alcotest.(check int) "4K active page misses" 1 vm4.Counts.active_page_misses;
+  let vm8 = Counts.vm_for c ~page_size:8192 in
+  (* 8K page [0, 0x1fff] also covers w5 but not w3/w2/w4 (0x2000+). *)
+  Alcotest.(check int) "8K active page misses" 1 vm8.Counts.active_page_misses
+
+let test_replay_heap_session () =
+  let trace = scenario () in
+  let c = Replay.replay trace (Session.One_heap { site = "main"; seq = 1 }) in
+  Alcotest.(check int) "installs" 1 c.Counts.installs;
+  Alcotest.(check int) "hits (removal respected)" 1 c.Counts.hits;
+  Alcotest.(check int) "misses" 4 c.Counts.misses;
+  let vm4 = Counts.vm_for c ~page_size:4096 in
+  (* w4 lands on h's former page after removal: the page is no longer
+     protected, so no active-page miss. w5 at 0x1ffc is on page 0x1000
+     which never held h. *)
+  Alcotest.(check int) "no active page misses" 0 vm4.Counts.active_page_misses
+
+let test_replay_8k_false_sharing () =
+  (* h at 0x2000 lives on 8K page 1 ([0x2000,0x3fff]); a write at 0x3000
+     misses at 4K but is an active-page miss at 8K — the false sharing that
+     makes VM-8K worse than VM-4K. *)
+  let h = Object_desc.Heap { context = [ "main" ]; seq = 1 } in
+  let trace =
+    build_trace
+      [ `I (h, 0x2000, 0x200b); `W (0x3000, 0x3003); `R (h, 0x2000, 0x200b) ]
+  in
+  let c = Replay.replay trace (Session.One_heap { site = "main"; seq = 1 }) in
+  Alcotest.(check int) "4K: not an active page miss" 0
+    (Counts.vm_for c ~page_size:4096).Counts.active_page_misses;
+  Alcotest.(check int) "8K: active page miss" 1
+    (Counts.vm_for c ~page_size:8192).Counts.active_page_misses
+
+let test_replay_cross_page_monitor () =
+  (* A monitor spanning a page boundary protects both pages. *)
+  let g = Object_desc.Global { var = "big" } in
+  let trace =
+    build_trace [ `I (g, 0x1ff8, 0x2007); `W (0x3000, 0x3003); `R (g, 0x1ff8, 0x2007) ]
+  in
+  let c = Replay.replay trace (Session.One_global_static { var = "big" }) in
+  let vm4 = Counts.vm_for c ~page_size:4096 in
+  Alcotest.(check int) "two pages protected" 2 vm4.Counts.protects;
+  Alcotest.(check int) "two pages unprotected" 2 vm4.Counts.unprotects
+
+let test_replay_word_granularity () =
+  (* Monitors are word-aligned: a byte write to another byte of a
+     monitored word still hits (footnote 7). *)
+  let g = Object_desc.Global { var = "g" } in
+  let trace =
+    build_trace [ `I (g, 0x1001, 0x1001); `W (0x1003, 0x1003); `W (0x1004, 0x1004) ]
+  in
+  let c = Replay.replay trace (Session.One_global_static { var = "g" }) in
+  Alcotest.(check int) "same-word byte hits" 1 c.Counts.hits;
+  Alcotest.(check int) "next word misses" 1 c.Counts.misses
+
+let test_replay_all_heap_in_func () =
+  let h1 = Object_desc.Heap { context = [ "alloc"; "build"; "main" ]; seq = 1 } in
+  let h2 = Object_desc.Heap { context = [ "other"; "main" ]; seq = 2 } in
+  let trace =
+    build_trace
+      [
+        `I (h1, 0x2000, 0x2007);
+        `I (h2, 0x3000, 0x3007);
+        `W (0x2000, 0x2003) (* hits h1 *);
+        `W (0x3000, 0x3003) (* hits h2 *);
+      ]
+  in
+  let c = Replay.replay trace (Session.All_heap_in_func { func = "build" }) in
+  Alcotest.(check int) "only h1 belongs" 1 c.Counts.installs;
+  Alcotest.(check int) "one hit" 1 c.Counts.hits;
+  let c_main = Replay.replay trace (Session.All_heap_in_func { func = "main" }) in
+  Alcotest.(check int) "main covers both" 2 c_main.Counts.installs;
+  Alcotest.(check int) "two hits" 2 c_main.Counts.hits
+
+let test_replay_multiple_sessions_consistent () =
+  (* replay_all must equal per-session replay. *)
+  let trace = scenario () in
+  let sessions =
+    [
+      Session.One_global_static { var = "g" };
+      Session.One_heap { site = "main"; seq = 1 };
+      Session.All_heap_in_func { func = "main" };
+    ]
+  in
+  let together = Replay.replay_all trace sessions in
+  List.iter
+    (fun (s, c) ->
+      let alone = Replay.replay trace s in
+      if c <> alone then
+        Alcotest.failf "session %s differs between replay_all and replay"
+          (Session.to_string s))
+    together
+
+let test_discover_and_replay_filters_hitless () =
+  let g = Object_desc.Global { var = "quiet" } in
+  let h = Object_desc.Global { var = "busy" } in
+  let trace =
+    build_trace
+      [ `I (g, 0x1000, 0x1003); `I (h, 0x2000, 0x2003); `W (0x2000, 0x2003) ]
+  in
+  let kept = Replay.discover_and_replay trace in
+  Alcotest.(check int) "only the busy session" 1 (List.length kept);
+  (match kept with
+  | [ (Session.One_global_static { var = "busy" }, _) ] -> ()
+  | _ -> Alcotest.fail "wrong session kept");
+  let all = Replay.discover_and_replay ~keep_hitless:true trace in
+  Alcotest.(check int) "both without filtering" 2 (List.length all)
+
+(* --- Oracle property: replay_all vs a naive per-session simulation --- *)
+
+let naive_replay trace session ~page_size =
+  let active = ref [] in
+  let installs = ref 0 and removes = ref 0 and hits = ref 0 and misses = ref 0 in
+  let protects = ref 0 and unprotects = ref 0 and apm = ref 0 in
+  let page_count = Hashtbl.create 16 in
+  let word_align r = iv (Interval.lo r land lnot 3) (Interval.hi r lor 3) in
+  let pages r =
+    let first = Interval.lo r / page_size and last = Interval.hi r / page_size in
+    List.init (last - first + 1) (fun i -> first + i)
+  in
+  Trace.iter trace (fun event ->
+      match event with
+      | Trace.Install { obj; range } ->
+          if Session.matches session obj then begin
+            incr installs;
+            let range = word_align range in
+            active := range :: !active;
+            List.iter
+              (fun pg ->
+                let c = Option.value ~default:0 (Hashtbl.find_opt page_count pg) in
+                Hashtbl.replace page_count pg (c + 1);
+                if c = 0 then incr protects)
+              (pages range)
+          end
+      | Trace.Remove { obj; range } ->
+          if Session.matches session obj then begin
+            incr removes;
+            let range = word_align range in
+            active := List.filter (fun r -> not (Interval.equal r range)) !active;
+            List.iter
+              (fun pg ->
+                match Hashtbl.find_opt page_count pg with
+                | Some 1 ->
+                    Hashtbl.remove page_count pg;
+                    incr unprotects
+                | Some c -> Hashtbl.replace page_count pg (c - 1)
+                | None -> ())
+              (pages range)
+          end
+      | Trace.Write { range; _ } ->
+          let range = word_align range in
+          if List.exists (fun r -> Interval.overlaps r range) !active then incr hits
+          else begin
+            incr misses;
+            if List.exists (fun pg -> Hashtbl.mem page_count pg) (pages range) then
+              incr apm
+          end);
+  (!installs, !removes, !hits, !misses, !protects, !unprotects, !apm)
+
+let trace_gen =
+  (* Random traces over a small universe of objects so install/remove pair
+     up naturally and writes hit often enough to be interesting. *)
+  let open QCheck2.Gen in
+  let objects =
+    [|
+      (Object_desc.Global { var = "a" }, iv 0x1000 0x1003);
+      (Object_desc.Global { var = "b" }, iv 0x1ff8 0x2007);
+      (Object_desc.Heap { context = [ "f"; "main" ]; seq = 1 }, iv 0x3000 0x302b);
+      (local ~func:"f" ~var:"x" ~inst:1, iv 0x8000 0x8003);
+      (local ~func:"f" ~var:"x" ~inst:2, iv 0x8100 0x8103);
+    |]
+  in
+  let* ops = list_size (int_range 1 80) (pair (int_range 0 4) (int_range 0 5)) in
+  return
+    (let b = Trace.Builder.create () in
+     let live = Array.make (Array.length objects) false in
+     List.iter
+       (fun (kind, idx) ->
+         let idx = idx mod Array.length objects in
+         let obj, range = objects.(idx) in
+         match kind with
+         | 0 | 3 ->
+             if not live.(idx) then begin
+               Trace.Builder.add_install b obj range;
+               live.(idx) <- true
+             end
+         | 1 ->
+             if live.(idx) then begin
+               Trace.Builder.add_remove b obj range;
+               live.(idx) <- false
+             end
+         | _ ->
+             (* Write somewhere near the object, sometimes exactly on it. *)
+             let lo =
+               if kind = 2 then Interval.lo range
+               else (Interval.lo range + (idx * 812)) land lnot 3
+             in
+             Trace.Builder.add_write b (iv lo (lo + 3)) ~pc:idx)
+       ops;
+     Trace.Builder.finish b)
+
+let sessions_under_test =
+  [
+    Session.One_global_static { var = "a" };
+    Session.One_global_static { var = "b" };
+    Session.One_heap { site = "f"; seq = 1 };
+    Session.One_local_auto { func = "f"; var = "x" };
+    Session.All_heap_in_func { func = "main" };
+  ]
+
+let prop_replay_matches_oracle =
+  QCheck2.Test.make ~name:"replay_all matches naive oracle" ~count:150 trace_gen
+    (fun trace ->
+      let results = Replay.replay_all ~page_sizes:[ 4096 ] trace sessions_under_test in
+      List.for_all
+        (fun (s, c) ->
+          let i, r, h, m, p, u, apm = naive_replay trace s ~page_size:4096 in
+          let vm = Counts.vm_for c ~page_size:4096 in
+          c.Counts.installs = i && c.Counts.removes = r && c.Counts.hits = h
+          && c.Counts.misses = m && vm.Counts.protects = p
+          && vm.Counts.unprotects = u && vm.Counts.active_page_misses = apm)
+        results)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sessions"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "OneLocalAuto" `Quick test_matches_one_local_auto;
+          Alcotest.test_case "AllLocalInFunc" `Quick test_matches_all_local_in_func;
+          Alcotest.test_case "OneHeap" `Quick test_matches_one_heap;
+          Alcotest.test_case "AllHeapInFunc" `Quick test_matches_all_heap_in_func;
+          Alcotest.test_case "OneGlobalStatic" `Quick test_matches_global;
+        ] );
+      ("discovery", [ Alcotest.test_case "kinds and dedup" `Quick test_discovery ]);
+      ( "replay",
+        [
+          Alcotest.test_case "global session" `Quick test_replay_global_session;
+          Alcotest.test_case "heap session" `Quick test_replay_heap_session;
+          Alcotest.test_case "8K false sharing" `Quick test_replay_8k_false_sharing;
+          Alcotest.test_case "cross-page monitor" `Quick test_replay_cross_page_monitor;
+          Alcotest.test_case "word granularity" `Quick test_replay_word_granularity;
+          Alcotest.test_case "AllHeapInFunc" `Quick test_replay_all_heap_in_func;
+          Alcotest.test_case "replay_all consistent" `Quick
+            test_replay_multiple_sessions_consistent;
+          Alcotest.test_case "hitless filtered" `Quick
+            test_discover_and_replay_filters_hitless;
+          q prop_replay_matches_oracle;
+        ] );
+    ]

@@ -1,0 +1,353 @@
+(* Tests for Ebp_trace: object descriptors, trace storage, codecs, and the
+   recorder's install/remove/write semantics. *)
+
+module Interval = Ebp_util.Interval
+module Object_desc = Ebp_trace.Object_desc
+module Trace = Ebp_trace.Trace
+module Recorder = Ebp_trace.Recorder
+
+let iv lo hi = Interval.make ~lo ~hi
+
+(* --- Object_desc --- *)
+
+let all_desc_examples =
+  [
+    Object_desc.Local { func = "f"; var = "x"; inst = 3 };
+    Object_desc.Local { func = "f"; var = "x.1"; inst = 1 };
+    Object_desc.Local_static { func = "g"; var = "counter" };
+    Object_desc.Global { var = "table" };
+    Object_desc.Heap { context = [ "alloc_vec"; "build"; "main" ]; seq = 17 };
+    Object_desc.Heap { context = [ "main" ]; seq = 1 };
+  ]
+
+let test_desc_string_roundtrip () =
+  List.iter
+    (fun d ->
+      match Object_desc.of_string (Object_desc.to_string d) with
+      | Some d' ->
+          if not (Object_desc.equal d d') then
+            Alcotest.failf "roundtrip failed for %s" (Object_desc.to_string d)
+      | None -> Alcotest.failf "parse failed for %s" (Object_desc.to_string d))
+    all_desc_examples
+
+let test_desc_site () =
+  Alcotest.(check (option string)) "innermost is the site" (Some "alloc_vec")
+    (Object_desc.site
+       (Object_desc.Heap { context = [ "alloc_vec"; "main" ]; seq = 1 }));
+  Alcotest.(check (option string)) "non-heap has no site" None
+    (Object_desc.site (Object_desc.Global { var = "g" }))
+
+let test_desc_bad_strings () =
+  List.iter
+    (fun s ->
+      if Object_desc.of_string s <> None then Alcotest.failf "parsed garbage %S" s)
+    [ ""; "nope"; "local:xy"; "heap:zz"; "local:f.x#zz" ]
+
+(* --- Trace storage --- *)
+
+let build_sample () =
+  let b = Trace.Builder.create () in
+  let obj1 = Object_desc.Global { var = "g" } in
+  let obj2 = Object_desc.Heap { context = [ "main" ]; seq = 1 } in
+  Trace.Builder.add_install b obj1 (iv 100 103);
+  Trace.Builder.add_write b (iv 100 103) ~pc:7;
+  Trace.Builder.add_install b obj2 (iv 200 239);
+  Trace.Builder.add_write b (iv 300 300) ~pc:9;
+  Trace.Builder.add_remove b obj2 (iv 200 239);
+  Trace.Builder.add_remove b obj1 (iv 100 103);
+  Trace.Builder.finish b
+
+let test_trace_build_and_get () =
+  let t = build_sample () in
+  Alcotest.(check int) "length" 6 (Trace.length t);
+  (match Trace.get t 0 with
+  | Trace.Install { obj = Object_desc.Global { var = "g" }; range } ->
+      Alcotest.(check int) "range lo" 100 (Interval.lo range)
+  | _ -> Alcotest.fail "event 0");
+  (match Trace.get t 1 with
+  | Trace.Write { range; pc = 7 } -> Alcotest.(check int) "write hi" 103 (Interval.hi range)
+  | _ -> Alcotest.fail "event 1");
+  match Trace.get t 4 with
+  | Trace.Remove { obj = Object_desc.Heap { seq = 1; _ }; _ } -> ()
+  | _ -> Alcotest.fail "event 4"
+
+let test_trace_interning () =
+  let t = build_sample () in
+  Alcotest.(check int) "two distinct objects" 2 (Trace.object_count t);
+  match Trace.object_of_id t 0 with
+  | Object_desc.Global { var = "g" } -> ()
+  | _ -> Alcotest.fail "object 0"
+
+let test_trace_stats () =
+  let t = build_sample () in
+  let s = Trace.stats t in
+  Alcotest.(check int) "installs" 2 s.Trace.installs;
+  Alcotest.(check int) "removes" 2 s.Trace.removes;
+  Alcotest.(check int) "writes" 2 s.Trace.writes;
+  Alcotest.(check int) "write bytes" 5 s.Trace.write_bytes;
+  Alcotest.(check int) "objects" 2 s.Trace.distinct_objects
+
+let test_trace_iter_raw () =
+  let t = build_sample () in
+  let tags = ref [] in
+  Trace.iter_raw t (fun ~tag ~obj ~lo:_ ~hi:_ ~pc -> tags := (tag, obj, pc) :: !tags);
+  match List.rev !tags with
+  | [ (0, 0, -1); (2, -1, 7); (0, 1, -1); (2, -1, 9); (1, 1, -1); (1, 0, -1) ] -> ()
+  | _ -> Alcotest.fail "raw iteration mismatch"
+
+let test_trace_text_roundtrip () =
+  let t = build_sample () in
+  match Trace.of_text (Trace.to_text t) with
+  | Error e -> Alcotest.fail e
+  | Ok t2 ->
+      Alcotest.(check int) "length" (Trace.length t) (Trace.length t2);
+      for i = 0 to Trace.length t - 1 do
+        if Trace.get t i <> Trace.get t2 i then Alcotest.failf "event %d differs" i
+      done
+
+let test_trace_text_errors () =
+  (match Trace.of_text "X 1 2 3\n" with
+  | Error msg -> Alcotest.(check bool) "line number" true (String.sub msg 0 4 = "line")
+  | Ok _ -> Alcotest.fail "accepted junk");
+  match Trace.of_text "W 5 2 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted inverted range"
+
+let test_trace_binary_roundtrip () =
+  let t = build_sample () in
+  let path = Filename.temp_file "ebp_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Trace.write_binary oc t;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Trace.read_binary ic with
+          | Error e -> Alcotest.fail e
+          | Ok t2 ->
+              Alcotest.(check int) "length" (Trace.length t) (Trace.length t2);
+              for i = 0 to Trace.length t - 1 do
+                if Trace.get t i <> Trace.get t2 i then
+                  Alcotest.failf "event %d differs" i
+              done))
+
+let test_trace_binary_rejects_garbage () =
+  let path = Filename.temp_file "ebp_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "NOTATRACE";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Trace.read_binary ic with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "accepted garbage"))
+
+(* Builder growth across the initial capacity. *)
+let test_trace_many_events () =
+  let b = Trace.Builder.create () in
+  for i = 0 to 9_999 do
+    Trace.Builder.add_write b (iv (4 * i) ((4 * i) + 3)) ~pc:i
+  done;
+  let t = Trace.Builder.finish b in
+  Alcotest.(check int) "length" 10_000 (Trace.length t);
+  match Trace.get t 9_999 with
+  | Trace.Write { pc = 9_999; _ } -> ()
+  | _ -> Alcotest.fail "last event"
+
+(* --- Recorder semantics --- *)
+
+let record src =
+  match Recorder.record_source src with
+  | Error e -> Alcotest.failf "compile error: %s" e
+  | Ok (result, trace, debug) -> (result, trace, debug)
+
+let count_events trace pred =
+  let n = ref 0 in
+  Trace.iter trace (fun e -> if pred e then incr n);
+  !n
+
+let test_recorder_balanced_installs () =
+  let _, trace, _ =
+    record
+      {|int g;
+        int f(int n) { int x; x = n; if (n > 0) { return f(n - 1); } return x; }
+        int main() { int* p; p = malloc(8); f(3); free(p); return g; }|}
+  in
+  let s = Trace.stats trace in
+  Alcotest.(check int) "installs = removes" s.Trace.installs s.Trace.removes
+
+let test_recorder_local_instantiations () =
+  (* f recurses 4 activations deep: its local x gets 4 distinct Local
+     descriptors, all sharing func and var. *)
+  let _, trace, _ =
+    record
+      {|int f(int n) { int x; x = n; if (n > 0) { return f(n - 1); } return x; }
+        int main() { return f(3); }|}
+  in
+  let insts =
+    Array.to_list (Trace.objects trace)
+    |> List.filter_map (function
+         | Object_desc.Local { func = "f"; var = "x"; inst } -> Some inst
+         | _ -> None)
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "four instantiations" [ 1; 2; 3; 4 ] insts
+
+let test_recorder_heap_context () =
+  let _, trace, _ =
+    record
+      {|int* wrap(int n) { return malloc(n); }
+        int main() { int* p; p = wrap(8); free(p); return 0; }|}
+  in
+  let heaps =
+    Array.to_list (Trace.objects trace)
+    |> List.filter_map (function
+         | Object_desc.Heap { context; seq } -> Some (context, seq)
+         | _ -> None)
+  in
+  match heaps with
+  | [ ([ "wrap"; "main" ], 1) ] -> ()
+  | _ -> Alcotest.fail "heap context should list wrap then main"
+
+let test_recorder_realloc_same_object () =
+  let _, trace, _ =
+    record
+      {|int main() {
+          int* p;
+          p = malloc(8);
+          p = realloc(p, 64);
+          free(p);
+          return 0; }|}
+  in
+  let heap_objs =
+    Array.to_list (Trace.objects trace)
+    |> List.filter (function Object_desc.Heap _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one heap object across realloc" 1 (List.length heap_objs);
+  (* Its install count is 2 (original + post-realloc), remove count 2. *)
+  let installs =
+    count_events trace (function
+      | Trace.Install { obj = Object_desc.Heap _; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "two installs" 2 installs
+
+let test_recorder_implicit_writes_excluded () =
+  (* A function call writes ra/fp/params to the stack; none of those may
+     appear as Write events. The only explicit stores here are g = ... *)
+  let _, trace, _ =
+    record
+      {|int g;
+        int f(int a, int b) { return a + b; }
+        int main() { g = f(1, 2); return 0; }|}
+  in
+  let s = Trace.stats trace in
+  Alcotest.(check int) "only the global store traced" 1 s.Trace.writes
+
+let test_recorder_statics_installed_once () =
+  let _, trace, _ =
+    record
+      {|int f() { static int n; n = n + 1; return n; }
+        int main() { f(); f(); f(); return 0; }|}
+  in
+  let static_installs =
+    count_events trace (function
+      | Trace.Install { obj = Object_desc.Local_static { func = "f"; var = "n" }; _ } ->
+          true
+      | _ -> false)
+  in
+  Alcotest.(check int) "static installed once, not per call" 1 static_installs
+
+let test_recorder_writes_have_pcs () =
+  let _, trace, _ = record "int g; int main() { g = 1; g = 2; return 0; }" in
+  Trace.iter trace (function
+    | Trace.Write { pc; _ } ->
+        if pc < 0 then Alcotest.fail "write without a pc"
+    | Trace.Install _ | Trace.Remove _ -> ())
+
+let test_recorder_globals_installed () =
+  let _, trace, _ = record "int a; int b[5]; int main() { a = 1; return 0; }" in
+  let globals =
+    Array.to_list (Trace.objects trace)
+    |> List.filter_map (function
+         | Object_desc.Global { var } -> Some var
+         | _ -> None)
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "both globals" [ "a"; "b" ] globals
+
+
+let test_recorder_exit_mid_chain () =
+  (* exit() three frames deep leaves activations live; finish must emit
+     their removes so installs and removes still balance. *)
+  let _, trace, _ =
+    record
+      {|int f(int n) {
+          int x;
+          x = n;
+          if (n == 0) { exit(5); }
+          return f(n - 1);
+        }
+        int main() { f(3); print_int(999); return 0; }|}
+  in
+  let s = Trace.stats trace in
+  Alcotest.(check int) "balanced despite exit" s.Trace.installs s.Trace.removes;
+  Alcotest.(check bool) "several activations traced" true (s.Trace.installs >= 4)
+
+let test_recorder_leaked_heap_removed_at_finish () =
+  let _, trace, _ =
+    record "int main() { int* p; p = malloc(16); p[0] = 1; return 0; }"
+  in
+  let s = Trace.stats trace in
+  Alcotest.(check int) "leak still balanced" s.Trace.installs s.Trace.removes
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "object_desc",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_desc_string_roundtrip;
+          Alcotest.test_case "site" `Quick test_desc_site;
+          Alcotest.test_case "bad strings" `Quick test_desc_bad_strings;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "build/get" `Quick test_trace_build_and_get;
+          Alcotest.test_case "interning" `Quick test_trace_interning;
+          Alcotest.test_case "stats" `Quick test_trace_stats;
+          Alcotest.test_case "iter_raw" `Quick test_trace_iter_raw;
+          Alcotest.test_case "many events" `Quick test_trace_many_events;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_trace_text_roundtrip;
+          Alcotest.test_case "text errors" `Quick test_trace_text_errors;
+          Alcotest.test_case "binary roundtrip" `Quick test_trace_binary_roundtrip;
+          Alcotest.test_case "binary garbage" `Quick test_trace_binary_rejects_garbage;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "balanced installs" `Quick test_recorder_balanced_installs;
+          Alcotest.test_case "local instantiations" `Quick
+            test_recorder_local_instantiations;
+          Alcotest.test_case "heap context" `Quick test_recorder_heap_context;
+          Alcotest.test_case "realloc identity" `Quick test_recorder_realloc_same_object;
+          Alcotest.test_case "implicit writes excluded" `Quick
+            test_recorder_implicit_writes_excluded;
+          Alcotest.test_case "statics once" `Quick test_recorder_statics_installed_once;
+          Alcotest.test_case "write pcs" `Quick test_recorder_writes_have_pcs;
+          Alcotest.test_case "globals installed" `Quick test_recorder_globals_installed;
+          Alcotest.test_case "exit mid-chain" `Quick test_recorder_exit_mid_chain;
+          Alcotest.test_case "leaked heap removed" `Quick
+            test_recorder_leaked_heap_removed_at_finish;
+        ] );
+    ]

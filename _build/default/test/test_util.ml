@@ -1,0 +1,340 @@
+(* Tests for Ebp_util: intervals, bitmaps, PRNG, statistics, rendering. *)
+
+module Interval = Ebp_util.Interval
+module Bitmap = Ebp_util.Bitmap
+module Prng = Ebp_util.Prng
+module Stats = Ebp_util.Stats
+module Text_table = Ebp_util.Text_table
+module Bar_chart = Ebp_util.Bar_chart
+
+let iv lo hi = Interval.make ~lo ~hi
+
+(* --- Interval --- *)
+
+let test_interval_basics () =
+  let i = iv 4 7 in
+  Alcotest.(check int) "lo" 4 (Interval.lo i);
+  Alcotest.(check int) "hi" 7 (Interval.hi i);
+  Alcotest.(check int) "size" 4 (Interval.size i);
+  Alcotest.(check bool) "contains lo" true (Interval.contains i 4);
+  Alcotest.(check bool) "contains hi" true (Interval.contains i 7);
+  Alcotest.(check bool) "not contains" false (Interval.contains i 8);
+  Alcotest.(check int) "singleton size" 1 (Interval.size (iv 5 5))
+
+let test_interval_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo (3) > hi (2)")
+    (fun () -> ignore (iv 3 2));
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Interval.of_base_size: size <= 0") (fun () ->
+      ignore (Interval.of_base_size ~base:0 ~size:0))
+
+let test_interval_of_base_size () =
+  let i = Interval.of_base_size ~base:100 ~size:4 in
+  Alcotest.(check int) "lo" 100 (Interval.lo i);
+  Alcotest.(check int) "hi" 103 (Interval.hi i)
+
+let test_interval_overlaps () =
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps (iv 0 3) (iv 4 7));
+  Alcotest.(check bool) "touching" true (Interval.overlaps (iv 0 4) (iv 4 7));
+  Alcotest.(check bool) "nested" true (Interval.overlaps (iv 0 10) (iv 3 5));
+  Alcotest.(check bool) "symmetric" true (Interval.overlaps (iv 3 5) (iv 0 10))
+
+let test_interval_intersect () =
+  (match Interval.intersect (iv 0 5) (iv 3 9) with
+  | Some i -> Alcotest.(check string) "intersection" "[0x3,0x5]" (Interval.to_string i)
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "disjoint -> None" true
+    (Interval.intersect (iv 0 2) (iv 5 9) = None)
+
+let test_interval_subsumes () =
+  Alcotest.(check bool) "yes" true (Interval.subsumes (iv 0 10) (iv 2 9));
+  Alcotest.(check bool) "equal" true (Interval.subsumes (iv 0 10) (iv 0 10));
+  Alcotest.(check bool) "no" false (Interval.subsumes (iv 2 9) (iv 0 10))
+
+let interval_gen =
+  QCheck2.Gen.(
+    let* lo = int_range 0 10_000 in
+    let* len = int_range 1 200 in
+    return (iv lo (lo + len - 1)))
+
+let prop_overlap_symmetric =
+  QCheck2.Test.make ~name:"interval overlap is symmetric" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) -> Interval.overlaps a b = Interval.overlaps b a)
+
+let prop_intersect_consistent =
+  QCheck2.Test.make ~name:"intersect agrees with overlaps" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      match Interval.intersect a b with
+      | Some i ->
+          Interval.overlaps a b && Interval.subsumes a i && Interval.subsumes b i
+      | None -> not (Interval.overlaps a b))
+
+(* --- Bitmap --- *)
+
+let test_bitmap_set_get () =
+  let b = Bitmap.create 100 in
+  Alcotest.(check bool) "initially clear" false (Bitmap.get b 50);
+  Bitmap.set b 50;
+  Alcotest.(check bool) "set" true (Bitmap.get b 50);
+  Alcotest.(check bool) "neighbour untouched" false (Bitmap.get b 51);
+  Bitmap.clear b 50;
+  Alcotest.(check bool) "cleared" false (Bitmap.get b 50)
+
+let test_bitmap_ranges () =
+  let b = Bitmap.create 64 in
+  Bitmap.set_range b ~lo:10 ~hi:20;
+  Alcotest.(check int) "count" 11 (Bitmap.count b);
+  Alcotest.(check bool) "any inside" true (Bitmap.any_in_range b ~lo:0 ~hi:10);
+  Alcotest.(check bool) "any outside" false (Bitmap.any_in_range b ~lo:0 ~hi:9);
+  Alcotest.(check bool) "any above" false (Bitmap.any_in_range b ~lo:21 ~hi:63);
+  Bitmap.clear_range b ~lo:10 ~hi:15;
+  Alcotest.(check int) "after clear" 5 (Bitmap.count b);
+  Alcotest.(check bool) "empty check" false (Bitmap.is_empty b);
+  Bitmap.clear_range b ~lo:0 ~hi:63;
+  Alcotest.(check bool) "now empty" true (Bitmap.is_empty b)
+
+let test_bitmap_bounds () =
+  let b = Bitmap.create 8 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Bitmap.get: index 8 out of [0,8)")
+    (fun () -> ignore (Bitmap.get b 8));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitmap.set: index -1 out of [0,8)")
+    (fun () -> Bitmap.set b (-1))
+
+let prop_bitmap_matches_set =
+  (* Bitmap vs a reference implementation using a Hashtbl-set. *)
+  let op_gen =
+    QCheck2.Gen.(
+      let* kind = int_range 0 2 in
+      let* lo = int_range 0 199 in
+      let* hi = int_range lo 199 in
+      return (kind, lo, hi))
+  in
+  QCheck2.Test.make ~name:"bitmap matches reference set" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) op_gen)
+    (fun ops ->
+      let b = Bitmap.create 200 in
+      let reference = Hashtbl.create 64 in
+      List.for_all
+        (fun (kind, lo, hi) ->
+          match kind with
+          | 0 ->
+              Bitmap.set_range b ~lo ~hi;
+              for i = lo to hi do
+                Hashtbl.replace reference i ()
+              done;
+              true
+          | 1 ->
+              Bitmap.clear_range b ~lo ~hi;
+              for i = lo to hi do
+                Hashtbl.remove reference i
+              done;
+              true
+          | _ ->
+              let expect =
+                let rec go i = i <= hi && (Hashtbl.mem reference i || go (i + 1)) in
+                go lo
+              in
+              Bitmap.any_in_range b ~lo ~hi = expect
+              && Bitmap.count b = Hashtbl.length reference)
+        ops)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in p ~lo:(-5) ~hi:5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_in out of bounds"
+  done
+
+let test_prng_float () =
+  let p = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_prng_shuffle_permutes () =
+  let p = Prng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_errors () =
+  let p = Prng.create 1 in
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Prng.int p 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick p [||]))
+
+(* --- Stats --- *)
+
+let test_percentile_simple () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0 (Stats.percentile xs 25.0)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "median of unsorted" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "input unchanged" 5.0 xs.(0)
+
+let test_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.stddev xs)
+
+let test_trimmed_mean () =
+  (* One huge outlier must not survive a 10-90 trim. *)
+  let xs = Array.append (Array.make 99 1.0) [| 1000.0 |] in
+  let t = Stats.trimmed_mean xs ~lo_pct:10.0 ~hi_pct:90.0 in
+  Alcotest.(check (float 1e-9)) "outlier trimmed" 1.0 t;
+  Alcotest.(check bool) "mean keeps outlier" true (Stats.mean xs > 10.0)
+
+let test_summarize () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.mean
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]))
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 50) (float_bound_exclusive 1000.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck2.Test.make ~name:"summary orders min <= t_mean/mean <= max" ~count:300
+    QCheck2.Gen.(array_size (int_range 1 60) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9
+      && s.Stats.mean <= s.Stats.max +. 1e-9
+      && s.Stats.min <= s.Stats.t_mean +. 1e-9
+      && s.Stats.t_mean <= s.Stats.max +. 1e-9)
+
+(* --- Text_table / Bar_chart --- *)
+
+let test_table_render () =
+  let out =
+    Text_table.render ~header:[ "Name"; "N" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  Alcotest.(check string) "header" "Name    N" (List.nth lines 0);
+  Alcotest.(check string) "row right-aligned" "alpha   1" (List.nth lines 2)
+
+let test_table_pads_short_rows () =
+  let out = Text_table.render ~header:[ "A"; "B" ] ~rows:[ [ "x" ] ] () in
+  Alcotest.(check bool) "renders" true (String.length out > 0);
+  Alcotest.check_raises "wide row rejected"
+    (Invalid_argument "Text_table.render: row wider than header") (fun () ->
+      ignore (Text_table.render ~header:[ "A" ] ~rows:[ [ "x"; "y" ] ] ()))
+
+let test_bar_chart () =
+  let out =
+    Bar_chart.render ~title:"t"
+      ~groups:
+        [
+          {
+            Bar_chart.name = "g";
+            series =
+              [
+                { Bar_chart.label = "a"; value = 10.0 };
+                { Bar_chart.label = "b"; value = 5.0 };
+              ];
+          };
+        ]
+      ()
+  in
+  Alcotest.(check bool) "mentions labels" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.exists (fun l -> String.trim l = "g"));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Bar_chart.render: negative value") (fun () ->
+      ignore
+        (Bar_chart.render ~title:"t"
+           ~groups:
+             [
+               {
+                 Bar_chart.name = "g";
+                 series = [ { Bar_chart.label = "a"; value = -1.0 } ];
+               };
+             ]
+           ()))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "invalid" `Quick test_interval_invalid;
+          Alcotest.test_case "of_base_size" `Quick test_interval_of_base_size;
+          Alcotest.test_case "overlaps" `Quick test_interval_overlaps;
+          Alcotest.test_case "intersect" `Quick test_interval_intersect;
+          Alcotest.test_case "subsumes" `Quick test_interval_subsumes;
+          q prop_overlap_symmetric;
+          q prop_intersect_consistent;
+        ] );
+      ( "bitmap",
+        [
+          Alcotest.test_case "set/get" `Quick test_bitmap_set_get;
+          Alcotest.test_case "ranges" `Quick test_bitmap_ranges;
+          Alcotest.test_case "bounds" `Quick test_bitmap_bounds;
+          q prop_bitmap_matches_set;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "errors" `Quick test_prng_errors;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile simple" `Quick test_percentile_simple;
+          Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "trimmed mean" `Quick test_trimmed_mean;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+          q prop_percentile_monotone;
+          q prop_mean_between_min_max;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "table row widths" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        ] );
+    ]

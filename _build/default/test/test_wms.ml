@@ -1,0 +1,592 @@
+(* Tests for Ebp_wms: the monitor maps, instrumentation passes, and the
+   four live strategies driven on hand-written assembly. *)
+
+module Interval = Ebp_util.Interval
+module Prng = Ebp_util.Prng
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+module Reg = Ebp_isa.Reg
+module Instr = Ebp_isa.Instr
+module Program = Ebp_isa.Program
+module Timing = Ebp_wms.Timing
+module Monitor_map = Ebp_wms.Monitor_map
+module Reference_map = Ebp_wms.Reference_map
+module Interval_map = Ebp_wms.Interval_map
+module Wms = Ebp_wms.Wms
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let assemble src =
+  match Ebp_isa.Asm.parse_resolved src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "assembly error: %s" e
+
+(* --- Monitor_map --- *)
+
+let test_map_basic () =
+  let m = Monitor_map.create () in
+  Alcotest.(check bool) "empty" true (Monitor_map.is_empty m);
+  Monitor_map.install m (iv 0x1000 0x100f);
+  Alcotest.(check bool) "hit inside" true (Monitor_map.overlaps m (iv 0x1004 0x1007));
+  Alcotest.(check bool) "miss outside" false (Monitor_map.overlaps m (iv 0x1010 0x1013));
+  Alcotest.(check int) "4 words" 4 (Monitor_map.monitored_words m);
+  Monitor_map.remove m (iv 0x1000 0x100f);
+  Alcotest.(check bool) "empty after remove" true (Monitor_map.is_empty m)
+
+let test_map_word_alignment () =
+  (* Footnote 7: monitors are word-aligned, so a 1-byte monitor covers its
+     whole word, and a write to any byte of that word hits. *)
+  let m = Monitor_map.create () in
+  Monitor_map.install m (iv 0x1001 0x1001);
+  Alcotest.(check bool) "same word other byte" true
+    (Monitor_map.overlaps m (iv 0x1003 0x1003));
+  Alcotest.(check bool) "next word" false (Monitor_map.overlaps m (iv 0x1004 0x1004))
+
+let test_map_cross_page () =
+  let m = Monitor_map.create ~page_size:4096 () in
+  Monitor_map.install m (iv 4090 4100);
+  Alcotest.(check int) "two active pages" 2 (Monitor_map.active_pages m);
+  Alcotest.(check bool) "page 0 active" true (Monitor_map.page_is_active m 0);
+  Alcotest.(check bool) "page 1 active" true (Monitor_map.page_is_active m 1);
+  Alcotest.(check bool) "low side hit" true (Monitor_map.overlaps m (iv 4088 4091));
+  Alcotest.(check bool) "high side hit" true (Monitor_map.overlaps m (iv 4100 4103));
+  Monitor_map.remove m (iv 4090 4100);
+  Alcotest.(check int) "pages drop to zero" 0 (Monitor_map.active_pages m)
+
+let test_map_page_size_validation () =
+  Alcotest.(check bool) "page size 2 rejected" true
+    (match Monitor_map.create ~page_size:2 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let random_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (triple (int_range 0 2) (int_range 0 2000) (int_range 0 48)))
+
+let ops_to_ranges ops =
+  List.map
+    (fun (kind, word, len) ->
+      let lo = word * 4 in
+      (kind, iv lo (lo + len)))
+    ops
+
+let prop_map_matches_reference =
+  QCheck2.Test.make ~name:"monitor map matches hash-set reference" ~count:200
+    random_ops_gen
+    (fun ops ->
+      let m = Monitor_map.create ~page_size:256 () in
+      let r = Reference_map.create () in
+      List.for_all
+        (fun (kind, range) ->
+          match kind with
+          | 0 ->
+              Monitor_map.install m range;
+              Reference_map.install r range;
+              true
+          | 1 ->
+              Monitor_map.remove m range;
+              Reference_map.remove r range;
+              true
+          | _ ->
+              Monitor_map.overlaps m range = Reference_map.overlaps r range
+              && Monitor_map.monitored_words m = Reference_map.monitored_words r)
+        (ops_to_ranges ops))
+
+(* Interval_map (ablation baseline) agrees with the reference as long as
+   installed monitors are disjoint and removal is by installed range. *)
+let prop_interval_map_agrees =
+  QCheck2.Test.make ~name:"interval map agrees on disjoint monitors" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 30) (list_size (int_range 1 60) (int_range 0 4000)))
+    (fun (nmonitors, probes) ->
+      let m = Monitor_map.create () in
+      let l = Interval_map.create () in
+      (* Disjoint word-aligned monitors: monitor k covers words 4k..4k+1. *)
+      for k = 0 to nmonitors - 1 do
+        let lo = k * 16 in
+        let range = iv lo (lo + 7) in
+        Monitor_map.install m range;
+        Interval_map.install l range
+      done;
+      List.for_all
+        (fun addr ->
+          let probe = iv addr (addr + 3) in
+          Monitor_map.overlaps m probe = Interval_map.overlaps l probe)
+        probes)
+
+let test_interval_map_remove () =
+  let l = Interval_map.create () in
+  Interval_map.install l (iv 0 7);
+  Interval_map.install l (iv 16 23);
+  (match Interval_map.remove l (iv 0 7) with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one left" 1 (Interval_map.active_monitors l);
+  match Interval_map.remove l (iv 0 7) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "removed a non-installed range"
+
+(* --- instrumentation passes --- *)
+
+let store_heavy_src =
+  {|
+  li t1, 8192
+  li t0, 1
+  sw t0, 0(t1)
+  !sw t0, 4(t1)    ; implicit: must not be patched
+  sb t0, 8(t1)
+  lw t2, 0(t1)
+  halt
+|}
+
+let test_trap_patch_instrument () =
+  let p = assemble store_heavy_src in
+  let patched = Ebp_wms.Trap_patch.instrument p in
+  Alcotest.(check int) "two stores patched" 2
+    (Ebp_wms.Trap_patch.patched_stores patched);
+  let p' = Ebp_wms.Trap_patch.program patched in
+  Alcotest.(check int) "length unchanged" (Program.length p) (Program.length p');
+  (match Program.get p' 2 with
+  | Instr.Trap 2 -> ()
+  | i -> Alcotest.failf "expected trap at 2, got %s" (Instr.to_string i));
+  match Program.get p' 3 with
+  | Instr.Sw _ -> () (* implicit store left alone *)
+  | i -> Alcotest.failf "implicit store was patched: %s" (Instr.to_string i)
+
+let test_code_patch_instrument () =
+  let p = assemble store_heavy_src in
+  let patched = Ebp_wms.Code_patch.instrument p in
+  Alcotest.(check int) "two stores patched" 2
+    (Ebp_wms.Code_patch.patched_stores patched);
+  let p' = Ebp_wms.Code_patch.program patched in
+  Alcotest.(check int) "3 extra instrs per store" (Program.length p + 6)
+    (Program.length p');
+  (* The patched site jumps to a stub: store, then check, then jump back
+     (notify-after-write, paper §2). *)
+  (match Program.get p' 2 with
+  | Instr.Jmp (Instr.Abs stub) -> (
+      (match Program.get p' stub with
+      | Instr.Sw _ -> ()
+      | i -> Alcotest.failf "stub starts with %s" (Instr.to_string i));
+      (match Program.get p' (stub + 1) with
+      | Instr.Chk { width = 4; _ } -> ()
+      | i -> Alcotest.failf "stub check is %s" (Instr.to_string i));
+      match Program.get p' (stub + 2) with
+      | Instr.Jmp (Instr.Abs 3) -> ()
+      | i -> Alcotest.failf "stub return is %s" (Instr.to_string i))
+  | i -> Alcotest.failf "site not patched: %s" (Instr.to_string i));
+  Alcotest.(check bool) "expansion reported" true
+    (Ebp_wms.Code_patch.expansion patched > 1.0)
+
+let test_code_patch_preserves_semantics () =
+  (* A memcpy-ish loop must compute the same result patched or not. *)
+  let src =
+    {|
+  li t1, 8192     ; src
+  li t2, 12288    ; dst
+  li t3, 0        ; i
+  li t4, 10
+init:
+  beq t3, t4, copy
+  mul t5, t3, t3
+  slli t6, t3, 2
+  add t6, t1, t6
+  sw t5, 0(t6)
+  addi t3, t3, 1
+  jmp init
+copy:
+  li t3, 0
+loop:
+  beq t3, t4, done
+  slli t6, t3, 2
+  add t5, t1, t6
+  lw t5, 0(t5)
+  add t6, t2, t6
+  sw t5, 0(t6)
+  addi t3, t3, 1
+  jmp loop
+done:
+  lw v0, 36(t2)   ; dst[9] = 81
+  halt
+|}
+  in
+  let p = assemble src in
+  let run_program prog =
+    let m = Machine.create prog in
+    Machine.set_chk_handler m (Some (fun _ ~range:_ ~pc:_ -> ()));
+    match Machine.run m with
+    | Machine.Halted v -> v
+    | _ -> Alcotest.fail "did not halt"
+  in
+  let plain = run_program p in
+  let patched = run_program (Ebp_wms.Code_patch.program (Ebp_wms.Code_patch.instrument p)) in
+  Alcotest.(check int) "same result" plain patched;
+  Alcotest.(check int) "expected value" 81 plain
+
+let test_expansion_estimate () =
+  let p = assemble store_heavy_src in
+  let e = Ebp_wms.Code_patch.expansion_of_program p in
+  (* 7 instructions, 2 explicit stores -> (7 + 6) / 7 *)
+  Alcotest.(check (float 1e-9)) "formula" (13.0 /. 7.0) e
+
+(* --- live strategies on a common scenario --- *)
+
+(* Writes a loop over two arrays; we monitor one of them. *)
+let scenario_src =
+  {|
+  li t1, 8192     ; monitored array
+  li t2, 16384    ; unmonitored array
+  li t3, 0
+loop:
+  slli t6, t3, 2
+  add t5, t1, t6
+  sw t3, 0(t5)
+  add t5, t2, t6
+  sw t3, 0(t5)
+  addi t3, t3, 1
+  blt t3, zero, loop   ; never taken twice; keep it simple
+  li t4, 5
+  beq t3, t4, done
+  jmp loop
+done:
+  halt
+|}
+
+let monitored = iv 8192 (8192 + 19) (* the five words written *)
+
+let run_strategy kind =
+  let p = assemble scenario_src in
+  let hits = ref [] in
+  let notify (n : Wms.notification) = hits := (Interval.lo n.Wms.write, n.Wms.pc) :: !hits in
+  let finish machine strategy =
+    (match strategy.Wms.install monitored with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (match Machine.run machine with
+    | Machine.Halted _ -> ()
+    | Machine.Out_of_fuel -> Alcotest.fail "fuel"
+    | Machine.Machine_error m -> Alcotest.fail m);
+    (machine, strategy, List.rev !hits)
+  in
+  match kind with
+  | `NH ->
+      let m = Machine.create p in
+      let t = Ebp_wms.Native_hardware.attach m ~notify in
+      finish m (Ebp_wms.Native_hardware.strategy t)
+  | `VM ->
+      let m = Machine.create p in
+      let t = Ebp_wms.Virtual_memory.attach m ~notify in
+      finish m (Ebp_wms.Virtual_memory.strategy t)
+  | `TP ->
+      let patched = Ebp_wms.Trap_patch.instrument p in
+      let m = Machine.create (Ebp_wms.Trap_patch.program patched) in
+      let t = Ebp_wms.Trap_patch.attach patched m ~notify in
+      finish m (Ebp_wms.Trap_patch.strategy t)
+  | `CP ->
+      let patched = Ebp_wms.Code_patch.instrument p in
+      let m = Machine.create (Ebp_wms.Code_patch.program patched) in
+      let t = Ebp_wms.Code_patch.attach patched m ~notify in
+      finish m (Ebp_wms.Code_patch.strategy t)
+
+let expected_hit_addrs = [ 8192; 8196; 8200; 8204; 8208 ]
+
+let test_all_strategies_agree_on_hits () =
+  let results =
+    List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP ]
+  in
+  List.iter
+    (fun (_, strategy, hits) ->
+      Alcotest.(check (list int))
+        (strategy.Wms.name ^ " hit addresses")
+        expected_hit_addrs (List.map fst hits))
+    results
+
+let test_memory_state_identical_across_strategies () =
+  let results = List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP ] in
+  let dump (machine, _, _) =
+    List.init 5 (fun i -> Memory.load_word (Machine.memory machine) (8192 + (4 * i)))
+    @ List.init 5 (fun i -> Memory.load_word (Machine.memory machine) (16384 + (4 * i)))
+  in
+  let reference = dump (List.hd results) in
+  Alcotest.(check (list int)) "expected contents" [ 0; 1; 2; 3; 4; 0; 1; 2; 3; 4 ]
+    reference;
+  List.iter
+    (fun ((_, strategy, _) as r) ->
+      Alcotest.(check (list int)) (strategy.Wms.name ^ " memory") reference (dump r))
+    (List.tl results)
+
+let test_strategy_costs_ordering () =
+  (* With Table 2 timing, per-write costs order CP < NH < TP < VM here
+     (VM pays for misses on the monitored page; NH pays only hits). *)
+  let cycles_of k =
+    let machine, _, _ = run_strategy k in
+    Machine.cycles machine
+  in
+  let nh = cycles_of `NH and vm = cycles_of `VM and tp = cycles_of `TP and cp = cycles_of `CP in
+  Alcotest.(check bool) "cp cheapest" true (cp < nh && cp < tp && cp < vm);
+  Alcotest.(check bool) "tp > nh" true (tp > nh)
+
+let test_nh_capacity () =
+  let p = assemble "  halt\n" in
+  let m = Machine.create ~monitor_reg_count:2 p in
+  let t = Ebp_wms.Native_hardware.attach m ~notify:(fun _ -> ()) in
+  let s = Ebp_wms.Native_hardware.strategy t in
+  Alcotest.(check bool) "1" true (Result.is_ok (s.Wms.install (iv 0 3)));
+  Alcotest.(check bool) "2" true (Result.is_ok (s.Wms.install (iv 8 11)));
+  Alcotest.(check bool) "3 fails" true (Result.is_error (s.Wms.install (iv 16 19)));
+  Alcotest.(check int) "active" 2 (s.Wms.active_monitors ());
+  Alcotest.(check bool) "remove frees a register" true
+    (Result.is_ok (s.Wms.remove (iv 0 3)));
+  Alcotest.(check bool) "reinstall works" true (Result.is_ok (s.Wms.install (iv 16 19)));
+  Alcotest.(check bool) "remove unknown fails" true
+    (Result.is_error (s.Wms.remove (iv 999996 999999)))
+
+let test_vm_protection_lifecycle () =
+  let p = assemble "  halt\n" in
+  let m = Machine.create p in
+  let mem = Machine.memory m in
+  let t = Ebp_wms.Virtual_memory.attach m ~notify:(fun _ -> ()) in
+  let s = Ebp_wms.Virtual_memory.strategy t in
+  let r1 = iv 8192 8195 and r2 = iv 8200 8203 in
+  ignore (s.Wms.install r1);
+  Alcotest.(check bool) "page protected" true
+    (Memory.protection mem ~page:(Memory.page_of mem 8192) = Memory.Read_only);
+  ignore (s.Wms.install r2);
+  ignore (s.Wms.remove r1);
+  Alcotest.(check bool) "still protected while r2 lives" true
+    (Memory.protection mem ~page:(Memory.page_of mem 8192) = Memory.Read_only);
+  ignore (s.Wms.remove r2);
+  Alcotest.(check bool) "unprotected when last monitor goes" true
+    (Memory.protection mem ~page:(Memory.page_of mem 8192) = Memory.Read_write)
+
+let test_vm_page_miss_counted () =
+  (* A store to the protected page that misses the monitor still faults. *)
+  let src = "  li t1, 8192\n  li t0, 7\n  sw t0, 64(t1)\n  halt\n" in
+  let m = Machine.create (assemble src) in
+  let t = Ebp_wms.Virtual_memory.attach m ~notify:(fun _ -> Alcotest.fail "no hit expected") in
+  let s = Ebp_wms.Virtual_memory.strategy t in
+  ignore (s.Wms.install (iv 8192 8195));
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "page miss fault" 1 (Ebp_wms.Virtual_memory.page_miss_faults t);
+  Alcotest.(check int) "write emulated" 7 (Memory.load_word (Machine.memory m) 8256)
+
+let test_timing_charges () =
+  (* One monitored store under CP charges exactly one SoftwareLookup. *)
+  let p = assemble "  li t1, 8192\n  li t0, 1\n  sw t0, 0(t1)\n  halt\n" in
+  let patched = Ebp_wms.Code_patch.instrument p in
+  let m = Machine.create (Ebp_wms.Code_patch.program patched) in
+  let t = Ebp_wms.Code_patch.attach patched m ~notify:(fun _ -> ()) in
+  let s = Ebp_wms.Code_patch.strategy t in
+  let before = Machine.cycles m in
+  ignore (s.Wms.install (iv 8192 8195));
+  let install_cost = Machine.cycles m - before in
+  Alcotest.(check int) "install charges SoftwareUpdate" (Timing.cycles 22.0) install_cost;
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  let stats = Ebp_wms.Code_patch.stats t in
+  Alcotest.(check int) "one lookup" 1 stats.Wms.lookups;
+  Alcotest.(check int) "one hit" 1 stats.Wms.hits
+
+let test_timing_defaults () =
+  let t = Timing.sparcstation2 in
+  Alcotest.(check (float 1e-9)) "lookup" 2.75 t.Timing.software_lookup_us;
+  Alcotest.(check (float 1e-9)) "vm fault" 561.0 t.Timing.vm_fault_handler_us;
+  Alcotest.(check int) "2.75us at 40MHz" 110 (Timing.cycles 2.75)
+
+
+
+(* --- Write_barrier: the "other" service of §2 --- *)
+
+module Barrier = Ebp_wms.Write_barrier
+
+let barrier_scenario =
+  {|
+  li t1, 8192
+  li t0, 11
+  sw t0, 0(t1)      ; guarded: consult the client
+  sw t0, 64(t1)     ; same page, unguarded: bystander, always allowed
+  li t0, 22
+  sw t0, 4(t1)      ; guarded again
+  halt
+|}
+
+let run_barrier ~decide =
+  let p = assemble barrier_scenario in
+  let m = Machine.create p in
+  let b = Barrier.attach m ~decide in
+  (match Barrier.guard b (iv 8192 8199) with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  (m, b)
+
+let test_barrier_deny_suppresses_write () =
+  let m, b = run_barrier ~decide:(fun _ -> Barrier.Deny) in
+  let mem = Machine.memory m in
+  Alcotest.(check int) "denied count" 2 (Barrier.denied b);
+  Alcotest.(check int) "bystander count" 1 (Barrier.bystanders b);
+  Alcotest.(check int) "guarded word untouched" 0 (Memory.load_word mem 8192);
+  Alcotest.(check int) "second guarded word untouched" 0 (Memory.load_word mem 8196);
+  Alcotest.(check int) "bystander write landed" 11 (Memory.load_word mem 8256)
+
+let test_barrier_allow_lets_write_through () =
+  let m, b = run_barrier ~decide:(fun _ -> Barrier.Allow) in
+  let mem = Machine.memory m in
+  Alcotest.(check int) "allowed count" 2 (Barrier.allowed b);
+  Alcotest.(check int) "write landed" 11 (Memory.load_word mem 8192);
+  Alcotest.(check int) "second write landed" 22 (Memory.load_word mem 8196)
+
+let test_barrier_selective_verdicts () =
+  let m, b =
+    run_barrier ~decide:(fun a ->
+        (* Allow only the value-22 store. *)
+        if a.Barrier.value = 22 then Barrier.Allow else Barrier.Deny)
+  in
+  let mem = Machine.memory m in
+  Alcotest.(check int) "one denied" 1 (Barrier.denied b);
+  Alcotest.(check int) "one allowed" 1 (Barrier.allowed b);
+  Alcotest.(check int) "vetoed word clear" 0 (Memory.load_word mem 8192);
+  Alcotest.(check int) "permitted word set" 22 (Memory.load_word mem 8196)
+
+let test_barrier_unguard () =
+  let p = assemble "  li t1, 8192\n  li t0, 5\n  sw t0, 0(t1)\n  halt\n" in
+  let m = Machine.create p in
+  let consulted = ref 0 in
+  let b = Barrier.attach m ~decide:(fun _ -> incr consulted; Barrier.Deny) in
+  ignore (Barrier.guard b (iv 8192 8195));
+  ignore (Barrier.unguard b (iv 8192 8195));
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "client never consulted" 0 !consulted;
+  Alcotest.(check int) "write landed without faulting" 5
+    (Memory.load_word (Machine.memory m) 8192)
+
+(* --- Access_code_patch: read + write monitoring --- *)
+
+module Acp = Ebp_wms.Access_code_patch
+
+let access_scenario =
+  {|
+  li t1, 8192
+  li t0, 7
+  sw t0, 0(t1)     ; write to the watched word
+  lw t2, 0(t1)     ; read it back
+  lw t3, 64(t1)    ; read elsewhere
+  sw t0, 64(t1)    ; write elsewhere
+  !sw t0, 128(t1)  ; implicit: not instrumented
+  halt
+|}
+
+let attach_access () =
+  let p = assemble access_scenario in
+  let patched = Acp.instrument p in
+  let m = Machine.create (Acp.program patched) in
+  let events = ref [] in
+  let t = Acp.attach patched m ~notify:(fun n -> events := n :: !events) in
+  (patched, m, t, events)
+
+let test_access_instrument_counts () =
+  let p = assemble access_scenario in
+  let patched = Acp.instrument p in
+  Alcotest.(check int) "explicit stores" 2 (Acp.patched_stores patched);
+  Alcotest.(check int) "loads" 2 (Acp.patched_loads patched);
+  Alcotest.(check bool) "expansion" true (Acp.expansion patched > 1.0)
+
+let test_access_read_and_write_hits () =
+  let patched, m, t, events = attach_access () in
+  ignore patched;
+  (match Acp.install t ~on:`Both (iv 8192 8195) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "one write hit" 1 (Acp.write_hits t);
+  Alcotest.(check int) "one read hit" 1 (Acp.read_hits t);
+  match List.rev !events with
+  | [ { Acp.access = Acp.Write; pc = 2; _ }; { Acp.access = Acp.Read; pc = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_access_independent_maps () =
+  let _, m, t, _ = attach_access () in
+  (* Read-only watch: the write to the same word must NOT notify. *)
+  ignore (Acp.install t ~on:`Read (iv 8192 8195));
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "no write hits" 0 (Acp.write_hits t);
+  Alcotest.(check int) "one read hit" 1 (Acp.read_hits t)
+
+let test_access_remove () =
+  let _, m, t, _ = attach_access () in
+  ignore (Acp.install t ~on:`Both (iv 8192 8195));
+  ignore (Acp.remove t ~on:`Read (iv 8192 8195));
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "write watch survives" 1 (Acp.write_hits t);
+  Alcotest.(check int) "read watch removed" 0 (Acp.read_hits t)
+
+let test_access_load_clobbering_base () =
+  (* lw t1, 0(t1): the check must run before the load destroys the base. *)
+  let src = "  li t1, 8192\n  li t0, 12288\n  sw t0, 0(t1)\n  lw t1, 0(t1)\n  lw v0, 0(t1)\n  halt\n" in
+  let p = assemble src in
+  let patched = Acp.instrument p in
+  let m = Machine.create (Acp.program patched) in
+  let reads = ref [] in
+  let t =
+    Acp.attach patched m ~notify:(fun n ->
+        if n.Acp.access = Acp.Read then reads := Interval.lo n.Acp.range :: !reads)
+  in
+  ignore (Acp.install t ~on:`Read (iv 8192 8195));
+  (match Machine.run m with
+  | Machine.Halted _ -> ()
+  | _ -> Alcotest.fail "run failed");
+  (* The first load reads 8192 (hit); it then points t1 at 12288, whose
+     read misses. Program semantics must survive instrumenting both. *)
+  Alcotest.(check (list int)) "read hit on the aliased load" [ 8192 ] !reads;
+  Alcotest.(check int) "program result intact" 0
+    (Memory.load_word (Machine.memory m) 12288)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wms"
+    [
+      ( "monitor map",
+        [
+          Alcotest.test_case "basic" `Quick test_map_basic;
+          Alcotest.test_case "word alignment" `Quick test_map_word_alignment;
+          Alcotest.test_case "cross page" `Quick test_map_cross_page;
+          Alcotest.test_case "page size validation" `Quick test_map_page_size_validation;
+          q prop_map_matches_reference;
+          q prop_interval_map_agrees;
+          Alcotest.test_case "interval map remove" `Quick test_interval_map_remove;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "trap patch" `Quick test_trap_patch_instrument;
+          Alcotest.test_case "code patch" `Quick test_code_patch_instrument;
+          Alcotest.test_case "code patch semantics" `Quick
+            test_code_patch_preserves_semantics;
+          Alcotest.test_case "expansion estimate" `Quick test_expansion_estimate;
+        ] );
+      ( "write barrier",
+        [
+          Alcotest.test_case "deny suppresses" `Quick test_barrier_deny_suppresses_write;
+          Alcotest.test_case "allow passes" `Quick test_barrier_allow_lets_write_through;
+          Alcotest.test_case "selective verdicts" `Quick test_barrier_selective_verdicts;
+          Alcotest.test_case "unguard" `Quick test_barrier_unguard;
+        ] );
+      ( "access monitoring",
+        [
+          Alcotest.test_case "instrument counts" `Quick test_access_instrument_counts;
+          Alcotest.test_case "read and write hits" `Quick
+            test_access_read_and_write_hits;
+          Alcotest.test_case "independent maps" `Quick test_access_independent_maps;
+          Alcotest.test_case "remove" `Quick test_access_remove;
+          Alcotest.test_case "base-clobbering load" `Quick
+            test_access_load_clobbering_base;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "hits agree" `Quick test_all_strategies_agree_on_hits;
+          Alcotest.test_case "memory identical" `Quick
+            test_memory_state_identical_across_strategies;
+          Alcotest.test_case "cost ordering" `Quick test_strategy_costs_ordering;
+          Alcotest.test_case "NH capacity" `Quick test_nh_capacity;
+          Alcotest.test_case "VM protection lifecycle" `Quick
+            test_vm_protection_lifecycle;
+          Alcotest.test_case "VM page miss" `Quick test_vm_page_miss_counted;
+          Alcotest.test_case "timing charges" `Quick test_timing_charges;
+          Alcotest.test_case "timing defaults" `Quick test_timing_defaults;
+        ] );
+    ]
