@@ -331,6 +331,94 @@ let run_hoisting_ablation () =
        ~rows ());
   print_newline ()
 
+(* --- parallel experiment engine: sequential vs sharded phase-2 replay --- *)
+
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+let run_parallel_engine (t : Ebp_core.Experiment.t) ~cache_dir ~seq_report =
+  let module Replay = Ebp_sessions.Replay in
+  let module Discovery = Ebp_sessions.Discovery in
+  Printf.printf
+    "Parallel engine: phase-2 replay sharded over domains (host has %d)\n"
+    (Domain.recommended_domain_count ());
+  let totals = Array.make 3 0.0 in
+  let rows =
+    List.map
+      (fun pd ->
+        let trace = pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.trace in
+        let sessions = Discovery.discover trace in
+        let seq, seq_ms = wall_ms (fun () -> Replay.replay_all trace sessions) in
+        let par2, ms2 =
+          wall_ms (fun () -> Replay.replay_all ~domains:2 trace sessions)
+        in
+        let par4, ms4 =
+          wall_ms (fun () -> Replay.replay_all ~domains:4 trace sessions)
+        in
+        let identical = par2 = seq && par4 = seq in
+        totals.(0) <- totals.(0) +. seq_ms;
+        totals.(1) <- totals.(1) +. ms2;
+        totals.(2) <- totals.(2) +. ms4;
+        [
+          pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.workload
+            .Ebp_workloads.Workload.name;
+          string_of_int (List.length sessions);
+          string_of_int (Ebp_trace.Trace.length trace);
+          Printf.sprintf "%.0f" seq_ms;
+          Printf.sprintf "%.0f" ms2;
+          Printf.sprintf "%.0f" ms4;
+          Printf.sprintf "%.2fx" (seq_ms /. Float.min ms2 ms4);
+          (if identical then "yes" else "NO");
+        ])
+      t.Ebp_core.Experiment.programs
+  in
+  let total_row =
+    [
+      "TOTAL"; ""; "";
+      Printf.sprintf "%.0f" totals.(0);
+      Printf.sprintf "%.0f" totals.(1);
+      Printf.sprintf "%.0f" totals.(2);
+      Printf.sprintf "%.2fx" (totals.(0) /. Float.min totals.(1) totals.(2));
+      "";
+    ]
+  in
+  print_string
+    (Ebp_util.Text_table.render
+       ~header:
+         [ "workload"; "sessions"; "events"; "seq ms"; "2 domains ms";
+           "4 domains ms"; "speedup"; "identical" ]
+       ~rows:(rows @ [ total_row ]) ());
+  Printf.printf
+    "phase 2 speedup (sequential / best parallel, whole suite): %.2fx\n"
+    (totals.(0) /. Float.min totals.(1) totals.(2));
+  (* The whole engine, warm cache: phase 1 loads every trace from disk
+     (zero machine execution) and phase 2 runs sharded. The reports must be
+     byte-identical to the sequential engine's. *)
+  let par_t, par_ms =
+    wall_ms (fun () ->
+        match Ebp_core.Experiment.run ~domains:2 ~cache_dir () with
+        | Ok t -> t
+        | Error msg -> failwith ("parallel experiment: " ^ msg))
+  in
+  let executed =
+    List.exists
+      (fun pd ->
+        pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.result <> None)
+      par_t.Ebp_core.Experiment.programs
+  in
+  Printf.printf
+    "full experiment, 2 domains + warm trace cache: %.0f ms (phase-1 machine \
+     execution: %s)\n"
+    par_ms
+    (if executed then "SOME -- cache miss!" else "none");
+  Printf.printf "parallel engine reports identical to sequential: %s\n"
+    (if String.equal (Ebp_core.Experiment.full_report par_t) seq_report then
+       "yes"
+     else "NO");
+  print_newline ()
+
 (* --- remote-WMS ablation (§3.4): ptrace-style cross-address-space WMS --- *)
 
 let run_remote_ablation (t : Ebp_core.Experiment.t) =
@@ -369,13 +457,32 @@ let () =
   run_benchmarks ();
   print_endline "=== Simulation experiment (Tables 1-4, Figures 7-9) ===";
   print_newline ();
-  (match Ebp_core.Experiment.run () with
-  | Error msg ->
-      prerr_endline ("experiment failed: " ^ msg);
-      exit 1
-  | Ok t ->
-      print_string (Ebp_core.Experiment.full_report t);
-      print_newline ();
-      run_remote_ablation t);
+  (* A private trace cache for this bench run: the first (sequential)
+     experiment populates it, the parallel engine below rides it warm. *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ebp-bench-cache-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists cache_dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat cache_dir f))
+          (Sys.readdir cache_dir);
+        Sys.rmdir cache_dir
+      end)
+    (fun () ->
+      match Ebp_core.Experiment.run ~cache_dir () with
+      | Error msg ->
+          prerr_endline ("experiment failed: " ^ msg);
+          exit 1
+      | Ok t ->
+          let seq_report = Ebp_core.Experiment.full_report t in
+          print_string seq_report;
+          print_newline ();
+          print_endline "=== Parallel experiment engine ===";
+          print_newline ();
+          run_parallel_engine t ~cache_dir ~seq_report;
+          run_remote_ablation t);
   run_validation ();
   run_hoisting_ablation ()

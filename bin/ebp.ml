@@ -3,9 +3,12 @@
    Subcommands:
      list                      list the benchmark workloads
      run <workload|file.mc>    compile and run a MiniC program
-     trace <workload> [-o F]   record a program event trace
+     trace <workload> [-o F]   record a program event trace (--cached to
+                               reuse the on-disk trace cache)
      sessions <workload>       discover monitor sessions and their counts
      experiment [--only T1..]  run the full experiment and print reports
+                               (-j N for N domains, --cache-dir for the
+                               phase-1 trace cache)
      disasm <file.mc>          compile a MiniC file and print its assembly *)
 
 open Cmdliner
@@ -75,6 +78,15 @@ let run_cmd =
 
 (* --- trace --- *)
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Trace cache directory (default: \\$XDG_CACHE_HOME/ebp or \
+           ~/.cache/ebp).")
+
 let trace_cmd =
   let doc = "Record a program event trace (phase 1)." in
   let out_arg =
@@ -87,28 +99,67 @@ let trace_cmd =
   let text_arg =
     Arg.(value & flag & info [ "text" ] ~doc:"Dump the trace as text to stdout.")
   in
-  let f target out text =
+  let cached_arg =
+    Arg.(
+      value & flag
+      & info [ "cached" ]
+          ~doc:
+            "Consult the on-disk trace cache: load the trace without \
+             executing anything when it is already cached, record and \
+             cache it otherwise.")
+  in
+  let f target out text cached cache_dir =
     match source_of_arg target with
     | Error msg -> exit_err msg
     | Ok (source, seed) -> (
-        match Ebp_trace.Recorder.record_source ~seed source with
-        | Error msg -> exit_err msg
-        | Ok (_result, trace, _debug) -> (
-            (match out with
-            | Some path ->
-                let oc = open_out_bin path in
-                Fun.protect
-                  ~finally:(fun () -> close_out_noerr oc)
-                  (fun () -> Ebp_trace.Trace.write_binary oc trace);
-                Printf.eprintf "wrote %d events to %s\n"
-                  (Ebp_trace.Trace.length trace) path
-            | None -> ());
-            if text then print_string (Ebp_trace.Trace.to_text trace)
-            else if out = None then
-              Format.printf "%a@." Ebp_trace.Trace.pp_stats
-                (Ebp_trace.Trace.stats trace)))
+        let record () =
+          match Ebp_trace.Recorder.record_source ~seed source with
+          | Error msg -> exit_err msg
+          | Ok (_result, trace, _debug) -> trace
+        in
+        let trace =
+          if not cached then record ()
+          else begin
+            let dir =
+              Option.value cache_dir
+                ~default:(Ebp_trace.Trace_cache.default_dir ())
+            in
+            let key =
+              Ebp_trace.Trace_cache.make_key ~name:target ~source ~seed ()
+            in
+            match Ebp_trace.Trace_cache.lookup ~dir ~key with
+            | Some (trace, _meta) ->
+                Printf.eprintf "phase 1: cache hit, no execution (%d events)\n"
+                  (Ebp_trace.Trace.length trace);
+                trace
+            | None ->
+                let trace = record () in
+                (match Ebp_trace.Trace_cache.store ~dir ~key trace with
+                | Ok () ->
+                    Printf.eprintf "phase 1: traced and cached (%d events)\n"
+                      (Ebp_trace.Trace.length trace)
+                | Error msg ->
+                    Printf.eprintf "phase 1: traced; cache store failed: %s\n"
+                      msg);
+                trace
+          end
+        in
+        (match out with
+        | Some path ->
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> Ebp_trace.Trace.write_binary oc trace);
+            Printf.eprintf "wrote %d events to %s\n"
+              (Ebp_trace.Trace.length trace) path
+        | None -> ());
+        if text then print_string (Ebp_trace.Trace.to_text trace)
+        else if out = None then
+          Format.printf "%a@." Ebp_trace.Trace.pp_stats
+            (Ebp_trace.Trace.stats trace))
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const f $ target_arg $ out_arg $ text_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg)
 
 (* --- sessions --- *)
 
@@ -187,7 +238,16 @@ let experiment_cmd =
       & info [ "workloads" ] ~docv:"NAMES"
           ~doc:"Comma-separated subset of workloads to run.")
   in
-  let f only workloads =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the experiment engine on $(docv) domains: workloads trace \
+             in parallel and each replay is sharded. Output is identical \
+             for every $(docv).")
+  in
+  let f only workloads jobs cache_dir =
     let workloads =
       match workloads with
       | None -> Ebp_workloads.Workload.all
@@ -199,7 +259,10 @@ let experiment_cmd =
               | None -> exit_err (Printf.sprintf "unknown workload %S" n))
             names
     in
-    match Ebp_core.Experiment.run ~workloads () with
+    match
+      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir
+        ~log:prerr_endline ()
+    with
     | Error msg -> exit_err msg
     | Ok t -> (
         let module E = Ebp_core.Experiment in
@@ -216,7 +279,8 @@ let experiment_cmd =
         | Some "expansion" -> print_string (E.code_expansion_report t)
         | Some other -> exit_err (Printf.sprintf "unknown artifact %S" other))
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const f $ only_arg $ workloads_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg)
 
 (* --- debug --- *)
 

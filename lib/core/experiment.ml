@@ -21,28 +21,65 @@ type t = {
 }
 
 let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
-    ?(page_sizes = Replay.default_page_sizes) ?fuel () =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | w :: rest -> (
-        match Workload.record ?fuel w with
-        | Error msg -> Error msg
-        | Ok run ->
-            let sessions =
-              Replay.discover_and_replay ~page_sizes run.Workload.trace
-            in
-            go ({ run; sessions } :: acc) rest)
-  in
-  Result.map
-    (fun programs ->
-      {
-        programs;
-        timing;
-        page_sizes;
-        approaches =
-          Model.NH :: List.map (fun ps -> Model.VM ps) page_sizes @ [ Model.TP; Model.CP ];
-      })
-    (go [] workloads)
+    ?(page_sizes = Replay.default_page_sizes) ?fuel ?(domains = 1) ?cache_dir
+    ?(log = fun (_ : string) -> ()) () =
+  Ebp_util.Domain_pool.with_pool ~domains (fun pool ->
+      (* Phase 1, parallel across workloads: each task compiles and runs
+         (or cache-loads) one workload; nothing is shared between tasks. *)
+      let recordings =
+        Ebp_util.Domain_pool.map pool
+          (fun w ->
+            match cache_dir with
+            | Some dir -> Workload.record_cached ?fuel ~cache_dir:dir w
+            | None -> Workload.record ?fuel w)
+          workloads
+      in
+      (* Log after the batch, in workload order, so output is deterministic
+         whatever the scheduling. *)
+      List.iter
+        (fun recording ->
+          match recording with
+          | Error _ -> ()
+          | Ok run ->
+              log
+                (Printf.sprintf "phase 1 %-10s %s (%d events)"
+                   run.Workload.workload.Workload.name
+                   (if run.Workload.result = None then "cache hit, no execution"
+                    else "traced")
+                   (Ebp_trace.Trace.length run.Workload.trace)))
+        recordings;
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Error msg :: _ -> Error msg
+        | Ok run :: rest -> collect (run :: acc) rest
+      in
+      (* Phase 2: workloads in order, each replay sharded over the pool —
+         session populations are large, so the intra-workload split keeps
+         every domain busy even with few workloads. *)
+      Result.map
+        (fun runs ->
+          {
+            programs =
+              List.map
+                (fun run ->
+                  let sessions =
+                    Replay.discover_and_replay ~page_sizes ~pool
+                      run.Workload.trace
+                  in
+                  log
+                    (Printf.sprintf "phase 2 %-10s %d sessions replayed"
+                       run.Workload.workload.Workload.name
+                       (List.length sessions));
+                  { run; sessions })
+                runs;
+            timing;
+            page_sizes;
+            approaches =
+              Model.NH
+              :: List.map (fun ps -> Model.VM ps) page_sizes
+              @ [ Model.TP; Model.CP ];
+          })
+        (collect [] recordings))
 
 let relative_overheads t pd approach =
   let base_ms = pd.run.Workload.base_ms in

@@ -32,9 +32,26 @@ val run :
   ?timing:Ebp_wms.Timing.t ->
   ?page_sizes:int list ->
   ?fuel:int ->
+  ?domains:int ->
+  ?cache_dir:string ->
+  ?log:(string -> unit) ->
   unit ->
   (t, string) result
-(** Defaults: all five workloads, SPARCstation 2 timing, 4K and 8K pages. *)
+(** Defaults: all five workloads, SPARCstation 2 timing, 4K and 8K pages.
+
+    [~domains:n] (default 1) runs the experiment on a pool of [n] domains:
+    phase 1 traces workloads concurrently, and each workload's phase-2
+    replay is sharded across the pool
+    ({!Ebp_sessions.Replay.replay_all}). Every report is bit-identical to
+    the sequential engine's, whatever [n].
+
+    [~cache_dir] enables the on-disk phase-1 trace cache
+    ({!Ebp_trace.Trace_cache}): workloads whose trace is already cached
+    perform no machine execution at all.
+
+    [~log] receives one deterministic, human-readable progress line per
+    workload per phase (phase-1 lines state whether the trace was recorded
+    or cache-loaded); default ignores them. *)
 
 val relative_overheads :
   t -> program_data -> Ebp_model.Strategy_model.approach -> float array

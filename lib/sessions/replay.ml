@@ -101,7 +101,14 @@ let page_write ps ~lo ~hi touch =
         List.iter (fun id -> if not (List.memq id first_set) then touch id) set.ids
     | None -> ()
 
-let replay_all ?(page_sizes = default_page_sizes) trace sessions =
+(* One shard: the original single-pass replay over an arbitrary subset of
+   the sessions. Every per-session quantity (installs, hits, page
+   transitions...) depends only on the trace and that session — never on
+   which other sessions share the pass — and [total_writes] is a property
+   of the trace alone, so replaying a subset yields exactly the rows the
+   full pass would have produced for it. That independence is what makes
+   the sharded parallel replay below bit-identical to the sequential one. *)
+let replay_shard ~page_sizes trace sessions =
   let sessions_arr = Array.of_list sessions in
   let nsessions = Array.length sessions_arr in
   (* Which sessions does each interned object belong to? Precomputed per
@@ -208,13 +215,39 @@ let replay_all ?(page_sizes = default_page_sizes) trace sessions =
         } ))
     sessions
 
+(* Split [xs] into at most [n] contiguous runs of near-equal length,
+   preserving order; concatenating the result restores [xs]. *)
+let split_contiguous n xs =
+  let arr = Array.of_list xs in
+  let len = Array.length arr in
+  List.filter
+    (fun shard -> shard <> [])
+    (List.init n (fun i ->
+         let lo = len * i / n and hi = len * (i + 1) / n in
+         Array.to_list (Array.sub arr lo (hi - lo))))
+
+let replay_all ?(page_sizes = default_page_sizes) ?pool ?domains trace sessions =
+  let sharded pool =
+    let n = min (Ebp_util.Domain_pool.domains pool) (List.length sessions) in
+    if n <= 1 then replay_shard ~page_sizes trace sessions
+    else
+      List.concat
+        (Ebp_util.Domain_pool.map pool
+           (fun shard -> replay_shard ~page_sizes trace shard)
+           (split_contiguous n sessions))
+  in
+  match (pool, domains) with
+  | Some pool, _ -> sharded pool
+  | None, (None | Some 1) -> replay_shard ~page_sizes trace sessions
+  | None, Some n -> Ebp_util.Domain_pool.with_pool ~domains:n sharded
+
 let replay ?page_sizes trace session =
   match replay_all ?page_sizes trace [ session ] with
   | [ (_, counts) ] -> counts
   | _ -> assert false
 
-let discover_and_replay ?page_sizes ?(keep_hitless = false) trace =
+let discover_and_replay ?page_sizes ?pool ?domains ?(keep_hitless = false) trace =
   let sessions = Discovery.discover trace in
-  let results = replay_all ?page_sizes trace sessions in
+  let results = replay_all ?page_sizes ?pool ?domains trace sessions in
   if keep_hitless then results
   else List.filter (fun (_, c) -> c.Counts.hits > 0) results

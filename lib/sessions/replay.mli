@@ -15,23 +15,41 @@
     {!replay_all} processes any number of sessions in a single pass over the
     trace using a word-level reverse index, so whole-program session
     populations (thousands of sessions, millions of events) replay in
-    seconds. {!replay} is the single-session convenience. *)
+    seconds. {!replay} is the single-session convenience.
+
+    {2 Parallel replay}
+
+    The trace is immutable and every counting variable of a session is
+    independent of which other sessions share the pass, so the session list
+    can be split into contiguous shards replayed concurrently, one domain
+    per shard, all over the {e same} trace. Passing [~domains:n] (or an
+    existing [~pool]) to {!replay_all} / {!discover_and_replay} does
+    exactly that and merges the shard results back in session order — the
+    output is bit-identical to the sequential replay by construction (see
+    [docs/PARALLELISM.md] for the argument). *)
 
 val default_page_sizes : int list
 (** [[4096; 8192]], the paper's VM-4K and VM-8K. *)
 
 val replay_all :
   ?page_sizes:int list ->
+  ?pool:Ebp_util.Domain_pool.t ->
+  ?domains:int ->
   Ebp_trace.Trace.t ->
   Session.t list ->
   (Session.t * Counts.t) list
-(** Order is preserved. @raise Invalid_argument on an invalid page size. *)
+(** Order is preserved, whatever the parallelism. [~pool] replays on an
+    existing domain pool; otherwise [~domains] (default 1, i.e. fully
+    sequential) scopes a temporary pool for this call.
+    @raise Invalid_argument on an invalid page size. *)
 
 val replay :
   ?page_sizes:int list -> Ebp_trace.Trace.t -> Session.t -> Counts.t
 
 val discover_and_replay :
   ?page_sizes:int list ->
+  ?pool:Ebp_util.Domain_pool.t ->
+  ?domains:int ->
   ?keep_hitless:bool ->
   Ebp_trace.Trace.t ->
   (Session.t * Counts.t) list

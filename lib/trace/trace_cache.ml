@@ -1,0 +1,86 @@
+(* Entry layout: magic, 8-byte LE meta length, meta bytes, then the trace
+   in the Trace binary codec. The version constant below is hashed into
+   every key, so bumping it (e.g. on a codec change) silently orphans old
+   entries instead of misreading them. *)
+
+let version = "ebp-trace-cache-v1"
+let magic = "EBPC1"
+
+let default_dir () =
+  let absolute p = String.length p > 0 && p.[0] = '/' in
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some dir when absolute dir -> Filename.concat dir "ebp"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some home when absolute home ->
+          Filename.concat (Filename.concat home ".cache") "ebp"
+      | _ -> ".ebp-cache")
+
+let make_key ~name ~source ~seed ?fuel () =
+  let fuel = match fuel with None -> "unlimited" | Some n -> string_of_int n in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ version; name; Digest.to_hex (Digest.string source);
+            string_of_int seed; fuel ]))
+
+let entry_path ~dir ~key = Filename.concat dir (key ^ ".trace")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_int oc v =
+  for i = 0 to 7 do
+    output_byte oc ((v lsr (8 * i)) land 0xff)
+  done
+
+let read_int ic =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := !v lor (input_byte ic lsl (8 * i))
+  done;
+  !v
+
+let store ~dir ~key ?(meta = "") trace =
+  match
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc magic;
+            write_int oc (String.length meta);
+            output_string oc meta;
+            Trace.write_binary oc trace);
+        Sys.rename tmp (entry_path ~dir ~key))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let lookup ~dir ~key =
+  let path = entry_path ~dir ~key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            let got = really_input_string ic (String.length magic) in
+            if got <> magic then None
+            else
+              let len = read_int ic in
+              let meta = really_input_string ic len in
+              match Trace.read_binary ic with
+              | Ok trace -> Some (trace, meta)
+              | Error _ -> None
+          with
+          | entry -> entry
+          | exception (End_of_file | Sys_error _ | Invalid_argument _) -> None)

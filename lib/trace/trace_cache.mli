@@ -1,0 +1,56 @@
+(** On-disk content-addressed cache of program event traces.
+
+    Phase 1 of the experiment is deterministic: the trace of a workload is
+    a pure function of its source, its PRNG seed, and the machine fuel
+    limit. Re-tracing on every experiment run therefore repeats work the
+    binary codec already knows how to persist. This cache stores each trace
+    once, under a key derived from exactly those inputs, so a warm run
+    skips phase-1 machine execution entirely and goes straight to replay.
+
+    {2 Key scheme}
+
+    {!make_key} hashes the tuple (codec version, program name, source
+    digest, seed, fuel) into a hex string:
+
+    {[ MD5 ("ebp-trace-cache-v1" ^ name ^ MD5 (source) ^ seed ^ fuel) ]}
+
+    Any input that could change the recorded events changes the key, so a
+    stale entry can never be returned for modified source — entries need no
+    invalidation, only garbage collection. The codec version is part of the
+    hash: a future change to the binary trace format bumps the constant and
+    orphans (rather than misparses) old entries.
+
+    {2 Storage}
+
+    One file per entry, [<dir>/<key>.trace]: a magic string, a small
+    length-prefixed metadata string supplied by the caller (the experiment
+    stores the base execution time there), then the {!Trace.write_binary}
+    payload. Writes go to a temporary file in the same directory and are
+    renamed into place, so concurrent producers of the same key race
+    benignly. A corrupt, truncated, or unreadable entry is reported as a
+    miss, never an error. *)
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/ebp] when [XDG_CACHE_HOME] is set and absolute,
+    otherwise [$HOME/.cache/ebp]; falls back to [.ebp-cache] in the working
+    directory when neither variable is usable. The directory is not
+    created until the first {!store}. *)
+
+val make_key : name:string -> source:string -> seed:int -> ?fuel:int -> unit -> string
+(** The cache key for a recording of [source] (a MiniC translation unit)
+    under [name], [seed], and an optional machine [fuel] limit, per the key
+    scheme above. The result is a fixed-width lowercase hex string, safe to
+    use as a file name. *)
+
+val store :
+  dir:string -> key:string -> ?meta:string -> Trace.t -> (unit, string) result
+(** [store ~dir ~key ~meta trace] persists [trace] (and the opaque [meta]
+    string, default [""]) under [key], creating [dir] if needed. Returns
+    [Error _] with a human-readable reason when the filesystem refuses;
+    storing is always safe to skip, so callers typically degrade to a
+    warning. *)
+
+val lookup : dir:string -> key:string -> (Trace.t * string) option
+(** [lookup ~dir ~key] is [Some (trace, meta)] when a well-formed entry for
+    [key] exists, [None] otherwise (including on a corrupt entry or an
+    unreadable directory). *)

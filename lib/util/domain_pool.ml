@@ -1,0 +1,113 @@
+(* Work-queue domain pool. One mutex guards the queue, the stop flag, and
+   every batch's completion counter; two conditions signal "queue became
+   nonempty" (workers) and "a task finished" (the caller waiting out the
+   tail of a batch it can no longer help with). *)
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* a task was queued, or shutdown began *)
+  finished : Condition.t;  (* some task completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* Stopped with an empty queue. *)
+      Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let create ?(domains = Domain.recommended_domain_count ()) () =
+  let domains = max 1 domains in
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.domains
+
+let run t tasks =
+  match tasks with
+  | [] -> []
+  | tasks when t.domains = 1 || List.compare_length_with tasks 1 = 0 ->
+      List.map (fun task -> task ()) tasks
+  | tasks ->
+      let tasks = Array.of_list tasks in
+      let n = Array.length tasks in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let wrap i () =
+        let r =
+          match tasks.(i) () with
+          | v -> Ok v
+          | exception e -> Error e
+        in
+        Mutex.lock t.mutex;
+        results.(i) <- Some r;
+        decr remaining;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (wrap i) t.queue
+      done;
+      Condition.broadcast t.nonempty;
+      (* The caller drains the queue alongside the workers, then waits for
+         tasks still in flight elsewhere. *)
+      let rec drain () =
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            task ();
+            Mutex.lock t.mutex;
+            drain ()
+        | None ->
+            while !remaining > 0 do
+              Condition.wait t.finished t.mutex
+            done
+      in
+      drain ();
+      Mutex.unlock t.mutex;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [||];
+  Array.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

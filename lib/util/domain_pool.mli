@@ -1,0 +1,52 @@
+(** A small fixed-size pool of worker domains with a shared work queue.
+
+    The experiment engine's unit of parallelism: a pool of [n] domains
+    executes batches of independent tasks and returns their results in
+    submission order, so callers get multicore wall-clock speedup with
+    sequential semantics — the result of {!run} is {e identical} to
+    [List.map (fun f -> f ()) tasks], whatever the interleaving.
+
+    The calling domain participates in the work: a pool of [n] domains
+    spawns only [n - 1] workers, and {!run} drains the queue from the
+    caller too. A pool of one domain therefore spawns nothing and runs
+    every task inline, making sequential execution the [domains = 1]
+    special case rather than a separate code path.
+
+    Pools are cheap but not free (each worker is an OS thread with its own
+    minor heap); create one per experiment, share it across phases, and
+    release it with {!shutdown} or, better, scope it with {!with_pool}.
+
+    Concurrency contract: tasks must not block on other tasks of the same
+    or a later batch, and {!run} must only be called from the domain that
+    created the pool, one batch at a time. Tasks run on arbitrary domains,
+    so they must not share mutable state without synchronization — the
+    replay engine shares only an immutable trace. *)
+
+type t
+(** A pool of worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (clamped
+    below at 1). Default: {!Domain.recommended_domain_count}, i.e. the
+    hardware's available parallelism. *)
+
+val domains : t -> int
+(** Number of domains working for the pool, counting the caller. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t tasks] executes every task, concurrently when the pool has more
+    than one domain, and returns their results in submission order. If any
+    task raises, the batch still runs to completion and the exception of
+    the earliest-submitted failing task is re-raised in the caller. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] is [run t (List.map (fun x () -> f x) xs)] — a parallel
+    [List.map] preserving order. *)
+
+val shutdown : t -> unit
+(** Signals the workers to exit and joins them. Idempotent; the pool must
+    not be used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] scopes a pool: creates it, applies [f], and
+    shuts it down even if [f] raises. *)

@@ -92,7 +92,7 @@ let by_name name = List.find_opt (fun w -> w.name = name) all
 type run = {
   workload : t;
   compiled : Ebp_lang.Compiler.output;
-  result : Ebp_runtime.Loader.run_result;
+  result : Ebp_runtime.Loader.run_result option;
   trace : Ebp_trace.Trace.t;
   base_ms : float;
 }
@@ -118,7 +118,7 @@ let record ?fuel w =
                     {
                       workload = w;
                       compiled;
-                      result;
+                      result = Some result;
                       trace;
                       base_ms =
                         Ebp_machine.Cost_model.ms_of_cycles
@@ -129,3 +129,47 @@ let record ?fuel w =
       | Ebp_machine.Machine.Out_of_fuel -> Error (Printf.sprintf "%s: out of fuel" w.name)
       | Ebp_machine.Machine.Machine_error msg ->
           Error (Printf.sprintf "%s: machine error: %s" w.name msg))
+
+(* --- trace cache integration --- *)
+
+module Trace_cache = Ebp_trace.Trace_cache
+
+let cache_key ?fuel w =
+  Trace_cache.make_key ~name:w.name ~source:w.source ~seed:w.seed ?fuel ()
+
+(* The cached metadata is the base execution time as a hex float, which
+   round-trips exactly through printing. *)
+let meta_of_base_ms base_ms = Printf.sprintf "%h" base_ms
+
+let base_ms_of_meta meta =
+  match float_of_string_opt meta with
+  | Some v when Float.is_finite v && v >= 0.0 -> Some v
+  | Some _ | None -> None
+
+let record_cached ?fuel ~cache_dir w =
+  let key = cache_key ?fuel w in
+  let record_and_store () =
+    record ?fuel w
+    |> Result.map (fun run ->
+           (* Best-effort: a read-only cache directory degrades to record. *)
+           ignore
+             (Trace_cache.store ~dir:cache_dir ~key
+                ~meta:(meta_of_base_ms run.base_ms) run.trace
+               : (unit, string) result);
+           run)
+  in
+  match Trace_cache.lookup ~dir:cache_dir ~key with
+  | Some (trace, meta) -> (
+      match base_ms_of_meta meta with
+      | Some base_ms -> (
+          (* The compiled program is still needed (code-expansion reports,
+             instrumentation); compilation is pure and cheap next to the
+             machine run the cache saves. *)
+          match Ebp_lang.Compiler.compile w.source with
+          | Error msg -> Error (Printf.sprintf "%s: compile error: %s" w.name msg)
+          | Ok compiled ->
+              Ok { workload = w; compiled; result = None; trace; base_ms })
+      | None ->
+          (* Unreadable metadata: treat as a miss and overwrite the entry. *)
+          record_and_store ())
+  | None -> record_and_store ()

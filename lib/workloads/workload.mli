@@ -45,11 +45,27 @@ val puzzle : t
 type run = {
   workload : t;
   compiled : Ebp_lang.Compiler.output;
-  result : Ebp_runtime.Loader.run_result;
+  result : Ebp_runtime.Loader.run_result option;
+      (** the machine run that produced the trace; [None] when the trace
+          came from the on-disk cache and no machine execution happened *)
   trace : Ebp_trace.Trace.t;
   base_ms : float;  (** base execution time at the simulated clock *)
 }
 
 val record : ?fuel:int -> t -> (run, string) result
 (** Compile, load, run under the trace recorder. Fails on compile errors,
-    machine errors, runtime errors, or an output mismatch. *)
+    machine errors, runtime errors, or an output mismatch. The [result]
+    field of a successful recording is always [Some _]. *)
+
+val cache_key : ?fuel:int -> t -> string
+(** The {!Ebp_trace.Trace_cache} key of this workload's phase-1 trace:
+    name, source digest, seed, and fuel, hashed per the cache's key
+    scheme. Deterministic recording makes these inputs a complete
+    description of the trace. *)
+
+val record_cached : ?fuel:int -> cache_dir:string -> t -> (run, string) result
+(** Like {!record}, but consults the trace cache under [cache_dir] first.
+    On a hit the machine never runs: the trace and base execution time are
+    loaded from disk and [result] is [None]. On a miss, records normally
+    and then stores the trace (best-effort — a read-only cache directory
+    degrades to plain {!record}). *)

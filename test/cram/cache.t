@@ -1,0 +1,43 @@
+The on-disk trace cache: a cold run records and stores the trace, a warm
+run loads it without executing anything.
+
+  $ cat > cached.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 20; i = i + 1) { g = g + i; }
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+  $ ebp trace cached.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: traced and cached (45 events)
+  $ ebp trace cached.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: cache hit, no execution (45 events)
+
+The cached trace replays exactly like a live one:
+
+  $ ebp sessions cached.mc | tail -n 1
+  3 sessions
+
+Editing the source changes the cache key, so a stale entry is never used:
+
+  $ sed 's/< 20/< 21/' cached.mc > cached2.mc
+  $ mv cached2.mc cached.mc
+  $ ebp trace cached.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: traced and cached (47 events)
+
+The experiment engine drives the same cache: with a warm cache, phase 1
+performs zero machine execution, and the parallel engine (-j) prints the
+same artifacts as the sequential one.
+
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache -j 2 2>cold.err >cold.table
+  $ cat cold.err
+  phase 1 circuit    traced (329544 events)
+  phase 2 circuit    103 sessions replayed
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache -j 2 2>warm.err >warm.table
+  $ cat warm.err
+  phase 1 circuit    cache hit, no execution (329544 events)
+  phase 2 circuit    103 sessions replayed
+  $ diff cold.table warm.table
+  $ ebp experiment --workloads circuit --only table1 2>/dev/null | diff - warm.table

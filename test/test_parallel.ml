@@ -1,0 +1,325 @@
+(* Tests for the parallel experiment engine: the Domain_pool work queue,
+   the determinism of sharded replay (domains 1/2/4 must be byte-identical
+   to the sequential pass), and the on-disk trace cache (round-trip, and
+   zero machine execution on a warm hit). *)
+
+module Interval = Ebp_util.Interval
+module Prng = Ebp_util.Prng
+module Domain_pool = Ebp_util.Domain_pool
+module Object_desc = Ebp_trace.Object_desc
+module Trace = Ebp_trace.Trace
+module Trace_cache = Ebp_trace.Trace_cache
+module Session = Ebp_sessions.Session
+module Discovery = Ebp_sessions.Discovery
+module Counts = Ebp_sessions.Counts
+module Replay = Ebp_sessions.Replay
+module Workload = Ebp_workloads.Workload
+
+let iv lo hi = Interval.make ~lo ~hi
+
+(* --- Domain_pool --- *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun domains ->
+      Domain_pool.with_pool ~domains (fun pool ->
+          let xs = List.init 257 Fun.id in
+          Alcotest.(check (list int))
+            (Printf.sprintf "order preserved on %d domains" domains)
+            (List.map (fun x -> x * x) xs)
+            (Domain_pool.map pool (fun x -> x * x) xs)))
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_single () =
+  Domain_pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty batch" [] (Domain_pool.run pool []);
+      Alcotest.(check (list string)) "single task" [ "one" ]
+        (Domain_pool.run pool [ (fun () -> "one") ]))
+
+let test_pool_exception_propagates () =
+  Domain_pool.with_pool ~domains:4 (fun pool ->
+      (match
+         Domain_pool.run pool
+           [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "reusable after failure" [ 2; 4 ]
+        (Domain_pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_pool_domains_clamped () =
+  Domain_pool.with_pool ~domains:0 (fun pool ->
+      Alcotest.(check int) "at least one domain" 1 (Domain_pool.domains pool))
+
+(* --- sharded replay determinism --- *)
+
+(* A deterministic synthetic trace big enough to shard interestingly:
+   interleaved install/remove lifetimes over dozens of objects of every
+   descriptor kind, with writes scattered on and off the monitored words. *)
+let synthetic_trace () =
+  let prng = Prng.create 0xeb9 in
+  let objects =
+    Array.init 48 (fun i ->
+        let base = 0x1000 + (i * 0x340) in
+        let range = iv base (base + 3 + (4 * Prng.int prng 8)) in
+        let obj =
+          match i mod 4 with
+          | 0 -> Object_desc.Global { var = Printf.sprintf "g%d" i }
+          | 1 ->
+              Object_desc.Local
+                { func = Printf.sprintf "f%d" (i mod 6); var = "x"; inst = i }
+          | 2 ->
+              Object_desc.Heap
+                { context = [ Printf.sprintf "alloc%d" (i mod 3); "main" ]; seq = i }
+          | _ ->
+              Object_desc.Local_static
+                { func = Printf.sprintf "f%d" (i mod 6); var = "s" }
+        in
+        (obj, range))
+  in
+  let live = Array.make (Array.length objects) false in
+  let b = Trace.Builder.create () in
+  for _ = 1 to 4000 do
+    let i = Prng.int prng (Array.length objects) in
+    let obj, range = objects.(i) in
+    match Prng.int prng 5 with
+    | 0 ->
+        if not live.(i) then begin
+          Trace.Builder.add_install b obj range;
+          live.(i) <- true
+        end
+    | 1 ->
+        if live.(i) then begin
+          Trace.Builder.add_remove b obj range;
+          live.(i) <- false
+        end
+    | _ ->
+        let lo =
+          if Prng.bool prng then Interval.lo range
+          else (Interval.lo range + (4 * Prng.int prng 0x200)) land lnot 3
+        in
+        Trace.Builder.add_write b (iv lo (lo + 3)) ~pc:i
+  done;
+  Trace.Builder.finish b
+
+let check_bit_identical name expected actual =
+  (* Structural equality plus a digest of the marshalled representation:
+     the sharded engine must merge to the very same value. (Marshal also
+     encodes sharing, so this check is only valid when both values were
+     computed from the same in-memory trace.) *)
+  Alcotest.(check bool) (name ^ " (structural)") true (expected = actual);
+  Alcotest.(check string)
+    (name ^ " (marshalled bytes)")
+    (Digest.to_hex (Digest.string (Marshal.to_string expected [])))
+    (Digest.to_hex (Digest.string (Marshal.to_string actual [])))
+
+let check_same_counts name expected actual =
+  (* Across a serialization boundary structural equality is the meaningful
+     comparison — equal strings need not be the same string object, so the
+     marshalled bytes may legitimately differ in sharing. *)
+  Alcotest.(check bool) name true (expected = actual)
+
+let test_replay_determinism_synthetic () =
+  let trace = synthetic_trace () in
+  let sessions = Discovery.discover trace in
+  Alcotest.(check bool) "enough sessions to shard" true
+    (List.length sessions > 8);
+  let sequential = Replay.replay_all trace sessions in
+  List.iter
+    (fun domains ->
+      check_bit_identical
+        (Printf.sprintf "replay_all ~domains:%d" domains)
+        sequential
+        (Replay.replay_all ~domains trace sessions))
+    [ 1; 2; 4 ]
+
+let test_replay_determinism_workload () =
+  match Workload.record Workload.circuit with
+  | Error msg -> Alcotest.fail msg
+  | Ok run ->
+      let trace = run.Workload.trace in
+      let sequential = Replay.discover_and_replay trace in
+      List.iter
+        (fun domains ->
+          check_bit_identical
+            (Printf.sprintf "discover_and_replay ~domains:%d" domains)
+            sequential
+            (Replay.discover_and_replay ~domains trace))
+        [ 1; 2; 4 ]
+
+let test_replay_shared_pool () =
+  let trace = synthetic_trace () in
+  let sessions = Discovery.discover trace in
+  let sequential = Replay.replay_all trace sessions in
+  Domain_pool.with_pool ~domains:3 (fun pool ->
+      (* Two consecutive replays on the same pool (the experiment's phase-2
+         pattern) both match the sequential engine. *)
+      check_bit_identical "first replay on shared pool" sequential
+        (Replay.replay_all ~pool trace sessions);
+      check_bit_identical "second replay on shared pool" sequential
+        (Replay.replay_all ~pool trace sessions))
+
+(* --- trace cache --- *)
+
+let with_temp_cache_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ebp-test-cache-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_roundtrip () =
+  with_temp_cache_dir (fun dir ->
+      let trace = synthetic_trace () in
+      let key = Trace_cache.make_key ~name:"t" ~source:"src" ~seed:1 () in
+      Alcotest.(check bool) "miss before store" true
+        (Trace_cache.lookup ~dir ~key = None);
+      (match Trace_cache.store ~dir ~key ~meta:"0x1.8p3" trace with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("store: " ^ msg));
+      match Trace_cache.lookup ~dir ~key with
+      | None -> Alcotest.fail "lookup after store"
+      | Some (loaded, meta) ->
+          Alcotest.(check string) "meta preserved" "0x1.8p3" meta;
+          Alcotest.(check int) "event count" (Trace.length trace)
+            (Trace.length loaded);
+          (* The cached trace replays to the very same counting variables. *)
+          check_same_counts "replay of cached trace"
+            (Replay.discover_and_replay trace)
+            (Replay.discover_and_replay loaded))
+
+let test_cache_key_sensitivity () =
+  let base = Trace_cache.make_key ~name:"w" ~source:"int x;" ~seed:7 () in
+  Alcotest.(check bool) "same inputs, same key" true
+    (base = Trace_cache.make_key ~name:"w" ~source:"int x;" ~seed:7 ());
+  List.iter
+    (fun (what, other) ->
+      Alcotest.(check bool) (what ^ " changes the key") false (base = other))
+    [
+      ("name", Trace_cache.make_key ~name:"v" ~source:"int x;" ~seed:7 ());
+      ("source", Trace_cache.make_key ~name:"w" ~source:"int y;" ~seed:7 ());
+      ("seed", Trace_cache.make_key ~name:"w" ~source:"int x;" ~seed:8 ());
+      ("fuel", Trace_cache.make_key ~name:"w" ~source:"int x;" ~seed:7 ~fuel:10 ());
+    ]
+
+let test_cache_corrupt_entry_is_miss () =
+  with_temp_cache_dir (fun dir ->
+      let key = Trace_cache.make_key ~name:"c" ~source:"s" ~seed:0 () in
+      (match Trace_cache.store ~dir ~key (synthetic_trace ()) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("store: " ^ msg));
+      let path = Filename.concat dir (key ^ ".trace") in
+      let oc = open_out_bin path in
+      output_string oc "EBPC1garbage";
+      close_out oc;
+      Alcotest.(check bool) "corrupt entry reads as a miss" true
+        (Trace_cache.lookup ~dir ~key = None))
+
+(* A fast private workload so the cache tests do not re-run a benchmark. *)
+let tiny_workload =
+  {
+    Workload.name = "tiny-cache-test";
+    description = "cache test";
+    paper_analogue = "none";
+    source =
+      {|
+int total;
+int main() {
+  int i;
+  for (i = 0; i < 50; i = i + 1) { total = total + i; }
+  print_int(total);
+  return 0;
+}
+|};
+    seed = 9;
+    expected_output = Some "1225\n";
+  }
+
+let test_record_cached_skips_execution () =
+  with_temp_cache_dir (fun dir ->
+      let cold =
+        match Workload.record_cached ~cache_dir:dir tiny_workload with
+        | Ok run -> run
+        | Error msg -> Alcotest.fail msg
+      in
+      Alcotest.(check bool) "cold run executed the machine" true
+        (cold.Workload.result <> None);
+      let warm =
+        match Workload.record_cached ~cache_dir:dir tiny_workload with
+        | Ok run -> run
+        | Error msg -> Alcotest.fail msg
+      in
+      (* result = None is the proof of zero phase-1 machine execution: only
+         Loader.run can produce a run_result. *)
+      Alcotest.(check bool) "warm run performed no machine execution" true
+        (warm.Workload.result = None);
+      Alcotest.(check int) "same events"
+        (Trace.length cold.Workload.trace)
+        (Trace.length warm.Workload.trace);
+      Alcotest.(check (float 0.0)) "same base time" cold.Workload.base_ms
+        warm.Workload.base_ms;
+      check_same_counts "identical replay from the cached trace"
+        (Replay.discover_and_replay cold.Workload.trace)
+        (Replay.discover_and_replay warm.Workload.trace))
+
+let test_experiment_parallel_identical () =
+  (* The whole engine end-to-end on one real workload: domains 1 vs 3 and
+     cold vs warm cache must produce byte-identical experiment reports. *)
+  with_temp_cache_dir (fun dir ->
+      let run ?cache_dir ~domains () =
+        match
+          Ebp_core.Experiment.run ~workloads:[ Workload.circuit ] ~domains
+            ?cache_dir ()
+        with
+        | Ok t -> Ebp_core.Experiment.full_report t
+        | Error msg -> Alcotest.fail msg
+      in
+      let sequential = run ~domains:1 () in
+      Alcotest.(check bool) "3-domain report identical" true
+        (sequential = run ~domains:3 ());
+      Alcotest.(check bool) "cold-cache report identical" true
+        (sequential = run ~cache_dir:dir ~domains:2 ());
+      Alcotest.(check bool) "warm-cache report identical" true
+        (sequential = run ~cache_dir:dir ~domains:2 ()))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "empty and single batches" `Quick
+            test_pool_empty_and_single;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "domain count clamped" `Quick
+            test_pool_domains_clamped;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "synthetic trace, domains 1/2/4" `Quick
+            test_replay_determinism_synthetic;
+          Alcotest.test_case "circuit workload, domains 1/2/4" `Slow
+            test_replay_determinism_workload;
+          Alcotest.test_case "shared pool across replays" `Quick
+            test_replay_shared_pool;
+        ] );
+      ( "trace_cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "corrupt entry is a miss" `Quick
+            test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "warm hit skips execution" `Quick
+            test_record_cached_skips_execution;
+          Alcotest.test_case "experiment engines agree" `Slow
+            test_experiment_parallel_identical;
+        ] );
+    ]
