@@ -338,7 +338,8 @@ let wall_ms f =
   let r = f () in
   (r, 1000.0 *. (Unix.gettimeofday () -. t0))
 
-let run_parallel_engine (t : Ebp_core.Experiment.t) ~cache_dir ~seq_report =
+let run_parallel_engine (t : Ebp_core.Experiment.t) ~workloads ~cache_dir
+    ~seq_report =
   let module Replay = Ebp_sessions.Replay in
   let module Discovery = Ebp_sessions.Discovery in
   Printf.printf
@@ -398,7 +399,7 @@ let run_parallel_engine (t : Ebp_core.Experiment.t) ~cache_dir ~seq_report =
      byte-identical to the sequential engine's. *)
   let par_t, par_ms =
     wall_ms (fun () ->
-        match Ebp_core.Experiment.run ~domains:2 ~cache_dir () with
+        match Ebp_core.Experiment.run ~workloads ~domains:2 ~cache_dir () with
         | Ok t -> t
         | Error msg -> failwith ("parallel experiment: " ^ msg))
   in
@@ -413,10 +414,92 @@ let run_parallel_engine (t : Ebp_core.Experiment.t) ~cache_dir ~seq_report =
      execution: %s)\n"
     par_ms
     (if executed then "SOME -- cache miss!" else "none");
+  let identical =
+    String.equal (Ebp_core.Experiment.full_report par_t) seq_report
+  in
   Printf.printf "parallel engine reports identical to sequential: %s\n"
-    (if String.equal (Ebp_core.Experiment.full_report par_t) seq_report then
-       "yes"
-     else "NO");
+    (if identical then "yes" else "NO");
+  if not identical then begin
+    prerr_endline "engine mismatch: parallel report differs from sequential";
+    exit 1
+  end;
+  print_newline ()
+
+(* --- replay engines: scan vs indexed phase-2 replay --- *)
+
+let run_engine_comparison traces =
+  let module Replay = Ebp_sessions.Replay in
+  let module Discovery = Ebp_sessions.Discovery in
+  let module Write_index = Ebp_trace.Write_index in
+  print_endline
+    "Replay engines (phase 2, domains=1): trace scan vs temporal write index";
+  let totals = Array.make 3 0.0 in
+  let mismatch = ref false in
+  let rows =
+    List.map
+      (fun (name, trace) ->
+        let sessions = Discovery.discover trace in
+        (* Compact before each timed section: leftover major-heap garbage
+           from the previous workload otherwise charges its collection
+           cost to whoever runs next. *)
+        Gc.compact ();
+        let scan, scan_ms =
+          wall_ms (fun () -> Replay.replay_all ~engine:Scan trace sessions)
+        in
+        Gc.compact ();
+        let index, build_ms =
+          wall_ms (fun () ->
+              Write_index.build ~page_sizes:Replay.default_page_sizes trace)
+        in
+        Gc.compact ();
+        let indexed, query_ms =
+          wall_ms (fun () ->
+              Replay.replay_all ~engine:Indexed ~index trace sessions)
+        in
+        let identical = indexed = scan in
+        if not identical then mismatch := true;
+        totals.(0) <- totals.(0) +. scan_ms;
+        totals.(1) <- totals.(1) +. build_ms;
+        totals.(2) <- totals.(2) +. query_ms;
+        [
+          name;
+          string_of_int (List.length sessions);
+          string_of_int (Ebp_trace.Trace.length trace);
+          Printf.sprintf "%.0f" scan_ms;
+          Printf.sprintf "%.0f" build_ms;
+          Printf.sprintf "%.0f" query_ms;
+          Printf.sprintf "%.2fx" (scan_ms /. query_ms);
+          Printf.sprintf "%.2fx" (scan_ms /. (build_ms +. query_ms));
+          (if identical then "yes" else "NO");
+        ])
+      traces
+  in
+  let total_row =
+    [
+      "TOTAL"; ""; "";
+      Printf.sprintf "%.0f" totals.(0);
+      Printf.sprintf "%.0f" totals.(1);
+      Printf.sprintf "%.0f" totals.(2);
+      Printf.sprintf "%.2fx" (totals.(0) /. totals.(2));
+      Printf.sprintf "%.2fx" (totals.(0) /. (totals.(1) +. totals.(2)));
+      "";
+    ]
+  in
+  print_string
+    (Ebp_util.Text_table.render
+       ~header:
+         [ "workload"; "sessions"; "events"; "scan ms"; "build ms"; "query ms";
+           "speedup"; "amortized"; "identical" ]
+       ~rows:(rows @ [ total_row ]) ());
+  Printf.printf
+    "indexed speedup, whole suite: %.2fx per query, %.2fx with the one-time \
+     build\n"
+    (totals.(0) /. totals.(2))
+    (totals.(0) /. (totals.(1) +. totals.(2)));
+  if !mismatch then begin
+    prerr_endline "engine mismatch: indexed replay differs from scan replay";
+    exit 1
+  end;
   print_newline ()
 
 (* --- remote-WMS ablation (§3.4): ptrace-style cross-address-space WMS --- *)
@@ -451,10 +534,31 @@ let run_remote_ablation (t : Ebp_core.Experiment.t) =
        ~rows ());
   print_newline ()
 
+let traces_of (t : Ebp_core.Experiment.t) =
+  List.map
+    (fun pd ->
+      ( pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.workload
+          .Ebp_workloads.Workload.name,
+        pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.trace ))
+    t.Ebp_core.Experiment.programs
+
 let () =
+  (* --quick: a CI smoke pass — circuit-only experiment plus the engine
+     comparison, skipping the bechamel micro-benchmarks and the slow
+     ablations. --engines: only the scan-vs-indexed comparison, all
+     workloads (the table EXPERIMENTS.md quotes). *)
+  let flag name = Array.exists (String.equal name) Sys.argv in
+  let quick = flag "--quick" and engines_only = flag "--engines" in
   print_endline "=== Efficient Data Breakpoints: benchmark harness ===";
   print_newline ();
-  run_benchmarks ();
+  if not (quick || engines_only) then run_benchmarks ();
+  let workloads =
+    if quick then
+      List.filter
+        (fun w -> w.Ebp_workloads.Workload.name = "circuit")
+        Ebp_workloads.Workload.all
+    else Ebp_workloads.Workload.all
+  in
   print_endline "=== Simulation experiment (Tables 1-4, Figures 7-9) ===";
   print_newline ();
   (* A private trace cache for this bench run: the first (sequential)
@@ -472,17 +576,26 @@ let () =
         Sys.rmdir cache_dir
       end)
     (fun () ->
-      match Ebp_core.Experiment.run ~cache_dir () with
+      match Ebp_core.Experiment.run ~workloads ~cache_dir () with
       | Error msg ->
           prerr_endline ("experiment failed: " ^ msg);
           exit 1
       | Ok t ->
           let seq_report = Ebp_core.Experiment.full_report t in
-          print_string seq_report;
+          if not engines_only then begin
+            print_string seq_report;
+            print_newline ()
+          end;
+          print_endline "=== Replay engines ===";
           print_newline ();
-          print_endline "=== Parallel experiment engine ===";
-          print_newline ();
-          run_parallel_engine t ~cache_dir ~seq_report;
-          run_remote_ablation t);
-  run_validation ();
-  run_hoisting_ablation ()
+          run_engine_comparison (traces_of t);
+          if not engines_only then begin
+            print_endline "=== Parallel experiment engine ===";
+            print_newline ();
+            run_parallel_engine t ~workloads ~cache_dir ~seq_report;
+            run_remote_ablation t
+          end);
+  if not (quick || engines_only) then begin
+    run_validation ();
+    run_hoisting_ablation ()
+  end

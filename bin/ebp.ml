@@ -8,7 +8,8 @@
      sessions <workload>       discover monitor sessions and their counts
      experiment [--only T1..]  run the full experiment and print reports
                                (-j N for N domains, --cache-dir for the
-                               phase-1 trace cache)
+                               phase-1 trace cache, --engine scan|indexed
+                               for the phase-2 replay engine)
      disasm <file.mc>          compile a MiniC file and print its assembly *)
 
 open Cmdliner
@@ -161,6 +162,23 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg)
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("indexed", Ebp_sessions.Replay.Indexed);
+             ("scan", Ebp_sessions.Replay.Scan);
+           ])
+        Ebp_sessions.Replay.Indexed
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Phase-2 replay engine: $(b,indexed) (default; preprocesses the \
+           trace into a temporal write index and counts each session by \
+           binary-searched range counts) or $(b,scan) (one pass over the \
+           trace per shard). Both produce bit-identical results.")
+
 (* --- sessions --- *)
 
 let sessions_cmd =
@@ -182,7 +200,7 @@ let sessions_cmd =
           ~doc:"Replay a saved binary trace instead of running anything; the \
                 positional argument is ignored.")
   in
-  let f target all from =
+  let f target all from engine =
     let trace =
       match from with
       | Some path -> (
@@ -204,7 +222,7 @@ let sessions_cmd =
               | Ok (_result, trace, _debug) -> trace))
     in
     let results =
-      Ebp_sessions.Replay.discover_and_replay ~keep_hitless:all trace
+      Ebp_sessions.Replay.discover_and_replay ~engine ~keep_hitless:all trace
     in
     List.iter
       (fun (s, c) ->
@@ -216,7 +234,8 @@ let sessions_cmd =
   let target_or_dash =
     Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
   in
-  Cmd.v (Cmd.info "sessions" ~doc) Term.(const f $ target_or_dash $ all_arg $ from_arg)
+  Cmd.v (Cmd.info "sessions" ~doc)
+    Term.(const f $ target_or_dash $ all_arg $ from_arg $ engine_arg)
 
 (* --- experiment --- *)
 
@@ -247,7 +266,7 @@ let experiment_cmd =
              in parallel and each replay is sharded. Output is identical \
              for every $(docv).")
   in
-  let f only workloads jobs cache_dir =
+  let f only workloads jobs cache_dir engine =
     let workloads =
       match workloads with
       | None -> Ebp_workloads.Workload.all
@@ -260,7 +279,7 @@ let experiment_cmd =
             names
     in
     match
-      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir
+      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir ~engine
         ~log:prerr_endline ()
     with
     | Error msg -> exit_err msg
@@ -280,7 +299,8 @@ let experiment_cmd =
         | Some other -> exit_err (Printf.sprintf "unknown artifact %S" other))
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg)
+    Term.(
+      const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg $ engine_arg)
 
 (* --- debug --- *)
 

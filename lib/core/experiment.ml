@@ -22,7 +22,32 @@ type t = {
 
 let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
     ?(page_sizes = Replay.default_page_sizes) ?fuel ?(domains = 1) ?cache_dir
-    ?(log = fun (_ : string) -> ()) () =
+    ?(engine = Replay.Indexed) ?(log = fun (_ : string) -> ()) () =
+  (* Under the indexed engine each workload's write index — like the trace
+     it derives from — is a pure function of cached inputs, so it shares
+     the trace cache: loaded when present, stored (best-effort) after a
+     build. *)
+  let index_for run =
+    match engine with
+    | Replay.Scan -> None
+    | Replay.Indexed -> (
+        let build () =
+          Ebp_trace.Write_index.build ~page_sizes run.Workload.trace
+        in
+        match cache_dir with
+        | None -> Some (build ())
+        | Some dir -> (
+            let key = Workload.cache_key ?fuel run.Workload.workload in
+            match Ebp_trace.Trace_cache.lookup_index ~dir ~key ~page_sizes with
+            | Some index -> Some index
+            | None ->
+                let index = build () in
+                (match
+                   Ebp_trace.Trace_cache.store_index ~dir ~key ~page_sizes index
+                 with
+                | Ok () | Error _ -> ());
+                Some index))
+  in
   Ebp_util.Domain_pool.with_pool ~domains (fun pool ->
       (* Phase 1, parallel across workloads: each task compiles and runs
          (or cache-loads) one workload; nothing is shared between tasks. *)
@@ -63,8 +88,8 @@ let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
               List.map
                 (fun run ->
                   let sessions =
-                    Replay.discover_and_replay ~page_sizes ~pool
-                      run.Workload.trace
+                    Replay.discover_and_replay ~page_sizes ~pool ~engine
+                      ?index:(index_for run) run.Workload.trace
                   in
                   log
                     (Printf.sprintf "phase 2 %-10s %d sessions replayed"

@@ -34,6 +34,7 @@ val run :
   ?fuel:int ->
   ?domains:int ->
   ?cache_dir:string ->
+  ?engine:Ebp_sessions.Replay.engine ->
   ?log:(string -> unit) ->
   unit ->
   (t, string) result
@@ -47,7 +48,12 @@ val run :
 
     [~cache_dir] enables the on-disk phase-1 trace cache
     ({!Ebp_trace.Trace_cache}): workloads whose trace is already cached
-    perform no machine execution at all.
+    perform no machine execution at all. Under the indexed engine the
+    cache also persists each workload's {!Ebp_trace.Write_index}, so a
+    warm run skips the index build too.
+
+    [~engine] selects the phase-2 replay engine (default [Indexed]; see
+    {!Ebp_sessions.Replay}). Both engines produce bit-identical reports.
 
     [~log] receives one deterministic, human-readable progress line per
     workload per phase (phase-1 lines state whether the trace was recorded

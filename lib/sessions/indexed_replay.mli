@@ -1,0 +1,38 @@
+(** Indexed phase-2 replay: counting variables from binary-searched range
+    counts over a {!Ebp_trace.Write_index} instead of a per-shard trace
+    scan.
+
+    Where the scan engine costs [O(shards × events)], this engine costs
+    one index build ([O(events log events)], done by the caller and shared
+    across shards and domains) plus, per session, work proportional to its
+    {e answers}: the session's monitored ranges are grouped into segments
+    — maximal word (page) runs sharing the same install/remove events,
+    hence the same live windows — and each posting key in a segment is
+    counted against the segment's shared windows by binary search (or one
+    linear merge when the window count rivals the key's write count).
+    Hits deduplicate across the words of one write by
+    inclusion–exclusion (exact for writes of ≤ 2 words; wider writes —
+    nonexistent in machine traces — are checked individually), and page
+    touches likewise over a write's first/last page, mirroring the scan
+    engine's [page_write] exactly.
+
+    Semantics quirks of the scan engine are deliberately preserved for
+    bit-identity, notably: word liveness follows idempotent-set rules
+    (any covering remove clears the word even if another matching object
+    still covers it), while page liveness is refcounted per
+    (session, page). [Replay.replay_all ~engine:Indexed] drives this
+    engine; [Replay.replay_shard] remains the correctness oracle, and the
+    equivalence is property-tested in [test/test_indexed.ml] and enforced
+    end-to-end by [test/cram/engine.t]. *)
+
+val replay_shard :
+  index:Ebp_trace.Write_index.t ->
+  page_sizes:int list ->
+  Ebp_trace.Trace.t ->
+  Session.t list ->
+  (Session.t * Counts.t) list
+(** [replay_shard ~index ~page_sizes trace sessions] — [index] must have
+    been built from [trace] with (at least) every size in [page_sizes].
+    Order is preserved; results are bit-identical to
+    [Replay.replay_shard ~page_sizes trace sessions].
+    @raise Invalid_argument if the index lacks a requested page size. *)

@@ -1,14 +1,50 @@
 module Trace = Ebp_trace.Trace
+module Write_index = Ebp_trace.Write_index
+module Bitmap = Ebp_util.Bitmap
 
 let default_page_sizes = [ 4096; 8192 ]
 
-(* Reverse index value: a small mutable set of session ids. Sessions
-   monitoring the same word are few (a heap word belongs to one OneHeap
-   session plus its enclosing AllHeapInFunc sessions), so a list is fine. *)
-type id_set = { mutable ids : int list }
+type engine = Scan | Indexed
 
-let set_add s id = if not (List.memq id s.ids) then s.ids <- id :: s.ids
-let set_remove s id = s.ids <- List.filter (fun x -> x != id) s.ids
+(* Reverse index value: a small mutable set of session ids. Most words are
+   monitored by a handful of sessions (a heap word belongs to one OneHeap
+   session plus its enclosing AllHeapInFunc sessions), so a list carries
+   the members; crowded sets — pages shared by hundreds of co-located
+   sessions — lazily grow a bitmap so membership stays O(1) instead of
+   degrading linearly with co-location. *)
+type id_set = {
+  mutable ids : int list;
+  mutable size : int;
+  mutable bits : Bitmap.t option;
+}
+
+let promote_threshold = 8
+
+let set_mem s id =
+  match s.bits with
+  | Some b -> Bitmap.get b id
+  | None -> List.memq id s.ids
+
+let set_add ~nsessions s id =
+  if not (set_mem s id) then begin
+    s.ids <- id :: s.ids;
+    s.size <- s.size + 1;
+    match s.bits with
+    | Some b -> Bitmap.set b id
+    | None ->
+        if s.size > promote_threshold then begin
+          let b = Bitmap.create nsessions in
+          List.iter (Bitmap.set b) s.ids;
+          s.bits <- Some b
+        end
+  end
+
+let set_remove s id =
+  if set_mem s id then begin
+    s.ids <- List.filter (fun x -> x != id) s.ids;
+    s.size <- s.size - 1;
+    match s.bits with Some b -> Bitmap.clear b id | None -> ()
+  end
 
 (* Per page size state: page-index maps for protection-transition counting
    and the "write touched an active page" statistic. *)
@@ -16,8 +52,7 @@ type page_state = {
   page_size : int;
   page_shift : int;
   (* (session, page) -> number of active monitors of that session on page.
-     Key packed as session lsl 22 lor page: pages of a 32-bit space at 4 KiB
-     granularity need 20 bits; sessions stay well under 2^40. *)
+     Key packed as session lsl page_index_bits lor page. *)
   counts : (int, int) Hashtbl.t;
   (* page -> sessions with at least one active monitor there *)
   active : (int, id_set) Hashtbl.t;
@@ -43,9 +78,21 @@ let make_page_state nsessions page_size =
     touches = Array.make nsessions 0;
   }
 
-let pack session page = (session lsl 22) lor page
+(* 40 page-index bits cover a 32-bit space down to 1-byte pages (1 KiB
+   pages need 22 bits — exactly what a 22-bit shift would have collided
+   on); sessions stay well under the remaining 2^22. The guard turns an
+   address space larger than the packing into an error instead of silent
+   key collisions. *)
+let page_index_bits = 40
 
-let page_install ps session ~lo ~hi =
+let pack session page =
+  if page lsr page_index_bits <> 0 then
+    invalid_arg
+      "Replay: page index exceeds 40 bits (page size too small for this \
+       address space)";
+  (session lsl page_index_bits) lor page
+
+let page_install ~nsessions ps session ~lo ~hi =
   let first = lo lsr ps.page_shift and last = hi lsr ps.page_shift in
   for page = first to last do
     let key = pack session page in
@@ -57,11 +104,11 @@ let page_install ps session ~lo ~hi =
         match Hashtbl.find_opt ps.active page with
         | Some s -> s
         | None ->
-            let s = { ids = [] } in
+            let s = { ids = []; size = 0; bits = None } in
             Hashtbl.add ps.active page s;
             s
       in
-      set_add set session
+      set_add ~nsessions set session
     end
   done
 
@@ -84,22 +131,32 @@ let page_remove ps session ~lo ~hi =
         else Hashtbl.replace ps.counts key (count - 1)
   done
 
-let page_write ps ~lo ~hi touch =
+(* [scratch] is a caller-owned all-clear bitmap used to skip sessions
+   already touched on the write's first page; it is left all-clear. *)
+let page_write ps scratch ~lo ~hi touch =
   let first = lo lsr ps.page_shift and last = hi lsr ps.page_shift in
-  (match Hashtbl.find_opt ps.active first with
-  | Some set -> List.iter touch set.ids
-  | None -> ());
-  if last <> first then
-    match Hashtbl.find_opt ps.active last with
+  if last = first then
+    match Hashtbl.find_opt ps.active first with
+    | Some set -> List.iter touch set.ids
+    | None -> ()
+  else begin
+    let first_ids =
+      match Hashtbl.find_opt ps.active first with
+      | Some set -> set.ids
+      | None -> []
+    in
+    List.iter
+      (fun id ->
+        Bitmap.set scratch id;
+        touch id)
+      first_ids;
+    (match Hashtbl.find_opt ps.active last with
     | Some set ->
         (* Avoid double-counting sessions active on both touched pages. *)
-        let first_set =
-          match Hashtbl.find_opt ps.active first with
-          | Some s -> s.ids
-          | None -> []
-        in
-        List.iter (fun id -> if not (List.memq id first_set) then touch id) set.ids
-    | None -> ()
+        List.iter (fun id -> if not (Bitmap.get scratch id) then touch id) set.ids
+    | None -> ());
+    List.iter (Bitmap.clear scratch) first_ids
+  end
 
 (* One shard: the original single-pass replay over an arbitrary subset of
    the sessions. Every per-session quantity (installs, hits, page
@@ -137,11 +194,11 @@ let replay_shard ~page_sizes trace sessions =
         match Hashtbl.find_opt word_sessions w with
         | Some s -> s
         | None ->
-            let s = { ids = [] } in
+            let s = { ids = []; size = 0; bits = None } in
             Hashtbl.add word_sessions w s;
             s
       in
-      set_add set session
+      set_add ~nsessions set session
     done
   in
   let word_remove session ~lo ~hi =
@@ -153,15 +210,18 @@ let replay_shard ~page_sizes trace sessions =
       | None -> ()
     done
   in
-  (* Scratch buffer for per-write hit dedup (a write touches <= 2 words). *)
-  let hit_scratch = ref [] in
+  (* Per-write hit dedup (a write can touch two monitored words): a shared
+     scratch bitmap plus an undo list, O(1) membership however many
+     sessions co-locate on the written words. *)
+  let scratch = Bitmap.create (max 1 nsessions) in
+  let hit_marks = ref [] in
   Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc:_ ->
       if tag = 0 then
         List.iter
           (fun s ->
             installs.(s) <- installs.(s) + 1;
             word_install s ~lo ~hi;
-            List.iter (fun ps -> page_install ps s ~lo ~hi) page_states)
+            List.iter (fun ps -> page_install ~nsessions ps s ~lo ~hi) page_states)
           obj_sessions.(obj)
       else if tag = 1 then
         List.iter
@@ -172,22 +232,29 @@ let replay_shard ~page_sizes trace sessions =
           obj_sessions.(obj)
       else begin
         incr total_writes;
-        hit_scratch := [];
         let first_word = lo lsr 2 and last_word = hi lsr 2 in
         for w = first_word to last_word do
           match Hashtbl.find_opt word_sessions w with
           | Some set ->
               List.iter
                 (fun s ->
-                  if not (List.memq s !hit_scratch) then begin
-                    hit_scratch := s :: !hit_scratch;
+                  if not (Bitmap.get scratch s) then begin
+                    Bitmap.set scratch s;
+                    hit_marks := s :: !hit_marks;
                     hits.(s) <- hits.(s) + 1
                   end)
                 set.ids
           | None -> ()
         done;
+        (match !hit_marks with
+        | [] -> ()
+        | marks ->
+            List.iter (Bitmap.clear scratch) marks;
+            hit_marks := []);
         List.iter
-          (fun ps -> page_write ps ~lo ~hi (fun s -> ps.touches.(s) <- ps.touches.(s) + 1))
+          (fun ps ->
+            page_write ps scratch ~lo ~hi (fun s ->
+                ps.touches.(s) <- ps.touches.(s) + 1))
           page_states
       end);
   List.mapi
@@ -226,28 +293,41 @@ let split_contiguous n xs =
          let lo = len * i / n and hi = len * (i + 1) / n in
          Array.to_list (Array.sub arr lo (hi - lo))))
 
-let replay_all ?(page_sizes = default_page_sizes) ?pool ?domains trace sessions =
+let replay_all ?(page_sizes = default_page_sizes) ?pool ?domains
+    ?(engine = Indexed) ?index trace sessions =
+  (* The index is built once (or taken prebuilt) and shared immutably by
+     every shard; only the session list is split across domains. *)
+  let shard_fn =
+    match engine with
+    | Scan -> replay_shard ~page_sizes trace
+    | Indexed ->
+        let index =
+          match index with
+          | Some idx -> idx
+          | None -> Write_index.build ~page_sizes trace
+        in
+        Indexed_replay.replay_shard ~index ~page_sizes trace
+  in
   let sharded pool =
     let n = min (Ebp_util.Domain_pool.domains pool) (List.length sessions) in
-    if n <= 1 then replay_shard ~page_sizes trace sessions
+    if n <= 1 then shard_fn sessions
     else
       List.concat
-        (Ebp_util.Domain_pool.map pool
-           (fun shard -> replay_shard ~page_sizes trace shard)
-           (split_contiguous n sessions))
+        (Ebp_util.Domain_pool.map pool shard_fn (split_contiguous n sessions))
   in
   match (pool, domains) with
   | Some pool, _ -> sharded pool
-  | None, (None | Some 1) -> replay_shard ~page_sizes trace sessions
+  | None, (None | Some 1) -> shard_fn sessions
   | None, Some n -> Ebp_util.Domain_pool.with_pool ~domains:n sharded
 
-let replay ?page_sizes trace session =
-  match replay_all ?page_sizes trace [ session ] with
+let replay ?page_sizes ?engine ?index trace session =
+  match replay_all ?page_sizes ?engine ?index trace [ session ] with
   | [ (_, counts) ] -> counts
   | _ -> assert false
 
-let discover_and_replay ?page_sizes ?pool ?domains ?(keep_hitless = false) trace =
+let discover_and_replay ?page_sizes ?pool ?domains ?engine ?index
+    ?(keep_hitless = false) trace =
   let sessions = Discovery.discover trace in
-  let results = replay_all ?page_sizes ?pool ?domains trace sessions in
+  let results = replay_all ?page_sizes ?pool ?domains ?engine ?index trace sessions in
   if keep_hitless then results
   else List.filter (fun (_, c) -> c.Counts.hits > 0) results

@@ -12,10 +12,24 @@
       on a page crossing zero) and [VMActivePageMiss] (misses landing on a
       page holding an active monitor of the session).
 
-    {!replay_all} processes any number of sessions in a single pass over the
-    trace using a word-level reverse index, so whole-program session
-    populations (thousands of sessions, millions of events) replay in
-    seconds. {!replay} is the single-session convenience.
+    {2 Engines}
+
+    Two engines produce these counts, bit-identically:
+
+    - [Scan] — the original single-pass replay: one walk over the trace
+      per shard, maintaining a word-level reverse index of active
+      monitors. [O(shards × events)].
+    - [Indexed] (the default) — preprocesses the trace once into a
+      {!Ebp_trace.Write_index} (sorted posting lists of write positions
+      per word and page, plus object timelines) and computes each
+      session's counts by binary-searched range counts over its live
+      windows, never rescanning the trace. The index is built once and
+      shared immutably across shards and domains; pass [~index] to reuse
+      a prebuilt (e.g. cached) one.
+
+    The scan engine is kept as the correctness oracle:
+    [test/test_indexed.ml] property-checks the equivalence and
+    [test/cram/engine.t] enforces it end-to-end.
 
     {2 Parallel replay}
 
@@ -31,25 +45,49 @@
 val default_page_sizes : int list
 (** [[4096; 8192]], the paper's VM-4K and VM-8K. *)
 
+type engine = Scan | Indexed
+
+val replay_shard :
+  page_sizes:int list ->
+  Ebp_trace.Trace.t ->
+  Session.t list ->
+  (Session.t * Counts.t) list
+(** The scan engine on one shard: a single sequential pass over the trace
+    for exactly [sessions]. Exposed as the correctness oracle for
+    {!Indexed_replay.replay_shard}.
+    @raise Invalid_argument on an invalid page size. *)
+
 val replay_all :
   ?page_sizes:int list ->
   ?pool:Ebp_util.Domain_pool.t ->
   ?domains:int ->
+  ?engine:engine ->
+  ?index:Ebp_trace.Write_index.t ->
   Ebp_trace.Trace.t ->
   Session.t list ->
   (Session.t * Counts.t) list
 (** Order is preserved, whatever the parallelism. [~pool] replays on an
     existing domain pool; otherwise [~domains] (default 1, i.e. fully
-    sequential) scopes a temporary pool for this call.
-    @raise Invalid_argument on an invalid page size. *)
+    sequential) scopes a temporary pool for this call. [~engine] defaults
+    to [Indexed]; [~index] supplies a prebuilt index (ignored under
+    [Scan]) — it must come from this [trace] with at least [page_sizes].
+    @raise Invalid_argument on an invalid page size or an index missing a
+    requested page size. *)
 
 val replay :
-  ?page_sizes:int list -> Ebp_trace.Trace.t -> Session.t -> Counts.t
+  ?page_sizes:int list ->
+  ?engine:engine ->
+  ?index:Ebp_trace.Write_index.t ->
+  Ebp_trace.Trace.t ->
+  Session.t ->
+  Counts.t
 
 val discover_and_replay :
   ?page_sizes:int list ->
   ?pool:Ebp_util.Domain_pool.t ->
   ?domains:int ->
+  ?engine:engine ->
+  ?index:Ebp_trace.Write_index.t ->
   ?keep_hitless:bool ->
   Ebp_trace.Trace.t ->
   (Session.t * Counts.t) list

@@ -54,6 +54,45 @@ let matches t (obj : Object_desc.t) =
 let compare (a : t) (b : t) = Stdlib.compare a b
 let equal (a : t) (b : t) = a = b
 
+(* Inverted matching: every arm of [matches] above is keyed on object
+   attributes, so an object determines its matching sessions directly —
+   a handful of candidate session values to hash, instead of a test
+   against every session of the study. [index sessions] must agree with
+   [matches] exactly: for any [obj], [index sessions obj] is the
+   ascending list of positions [i] with [matches (nth sessions i) obj]. *)
+let index sessions =
+  let tbl : (t, int list) Hashtbl.t = Hashtbl.create 256 in
+  List.iteri
+    (fun i s -> Hashtbl.replace tbl s (i :: Option.value ~default:[] (Hashtbl.find_opt tbl s)))
+    sessions;
+  let positions s = Option.value ~default:[] (Hashtbl.find_opt tbl s) in
+  fun (obj : Object_desc.t) ->
+    let candidates =
+      match obj with
+      | Object_desc.Local l ->
+          [ One_local_auto { func = l.func; var = l.var };
+            All_local_in_func { func = l.func } ]
+      | Object_desc.Local_static l -> [ All_local_in_func { func = l.func } ]
+      | Object_desc.Global g -> [ One_global_static { var = g.var } ]
+      | Object_desc.Heap h ->
+          let one =
+            match h.context with
+            | f :: _ -> [ One_heap { site = f; seq = h.seq } ]
+            | [] -> []
+          in
+          (* A function appearing twice in the context must yield its
+             AllHeapInFunc candidate once, like [List.exists] does. *)
+          let rec uniq seen = function
+            | [] -> []
+            | f :: rest ->
+                if List.exists (String.equal f) seen then uniq seen rest
+                else All_heap_in_func { func = f } :: uniq (f :: seen) rest
+          in
+          one @ uniq [] h.context
+    in
+    List.sort_uniq Int.compare
+      (List.concat_map positions candidates)
+
 let pp ppf = function
   | One_local_auto { func; var } -> Format.fprintf ppf "OneLocalAuto(%s.%s)" func var
   | All_local_in_func { func } -> Format.fprintf ppf "AllLocalInFunc(%s)" func

@@ -34,6 +34,15 @@ val all_kinds : kind list
 val matches : t -> Ebp_trace.Object_desc.t -> bool
 (** Does an install/remove event for this object belong to the session? *)
 
+val index : t list -> Ebp_trace.Object_desc.t -> int list
+(** [index sessions] precomputes a reverse lookup over [sessions]:
+    [index sessions obj] is the ascending list of positions [i] such that
+    [matches (List.nth sessions i) obj]. Each object names its candidate
+    sessions directly (an install event carries the function, variable, or
+    allocation context the five session types key on), so a lookup costs
+    O(candidates) hashes instead of a test against every session —
+    the indexed replay engine's object-matching inversion. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

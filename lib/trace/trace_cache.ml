@@ -64,6 +64,46 @@ let store ~dir ~key ?(meta = "") trace =
   | () -> Ok ()
   | exception Sys_error msg -> Error msg
 
+let index_key ~key ~page_sizes =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (version :: key :: Write_index.codec_version
+          :: List.map string_of_int page_sizes)))
+
+let index_path ~dir ~key ~page_sizes =
+  Filename.concat dir (index_key ~key ~page_sizes ^ ".widx")
+
+let store_index ~dir ~key ~page_sizes index =
+  match
+    mkdir_p dir;
+    let ikey = index_key ~key ~page_sizes in
+    let tmp = Filename.temp_file ~temp_dir:dir ("." ^ ikey) ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Write_index.write_binary oc index);
+        Sys.rename tmp (index_path ~dir ~key ~page_sizes))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let lookup_index ~dir ~key ~page_sizes =
+  let path = index_path ~dir ~key ~page_sizes in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Write_index.read_binary ic with
+          | Ok index -> Some index
+          | Error _ -> None
+          | exception (End_of_file | Sys_error _ | Invalid_argument _) -> None)
+
 let lookup ~dir ~key =
   let path = entry_path ~dir ~key in
   match open_in_bin path with

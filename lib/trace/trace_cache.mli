@@ -54,3 +54,29 @@ val lookup : dir:string -> key:string -> (Trace.t * string) option
 (** [lookup ~dir ~key] is [Some (trace, meta)] when a well-formed entry for
     [key] exists, [None] otherwise (including on a corrupt entry or an
     unreadable directory). *)
+
+(** {2 Write-index entries}
+
+    The {!Write_index} of a trace is itself a pure function of the trace
+    and the page-size list it was built with, so it is cached the same
+    way: one [<dir>/<ikey>.widx] file per (trace key, page sizes) pair,
+    where [ikey] rehashes the trace key together with the index codec
+    version and the page sizes. A warm experiment run thereby skips both
+    phase-1 tracing {e and} the index build. The same atomic
+    temp-and-rename and miss-on-corruption rules apply. *)
+
+val index_key : key:string -> page_sizes:int list -> string
+(** [index_key ~key ~page_sizes] derives the index entry's key from a
+    trace's {!make_key} result. Order of [page_sizes] is significant. *)
+
+val store_index :
+  dir:string ->
+  key:string ->
+  page_sizes:int list ->
+  Write_index.t ->
+  (unit, string) result
+(** Persist an index built from the trace stored under [key] with exactly
+    [page_sizes]. Same failure contract as {!store}. *)
+
+val lookup_index :
+  dir:string -> key:string -> page_sizes:int list -> Write_index.t option

@@ -1,0 +1,440 @@
+(* Temporal write index: the trace preprocessed, once, into sorted
+   posting lists so that phase-2 replay can answer "how many writes
+   touched word w (page p) between events a and b?" with two binary
+   searches instead of a scan. See the .mli for the shape and
+   docs/PARALLELISM.md for how it is shared across domains. *)
+
+(* --- small growable int vector (build-time only) --- *)
+
+module Vec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 8 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
+(* --- posting lists, CSR form --- *)
+
+(* [keys] sorted distinct; the events of key [keys.(i)] are
+   [data.(offs.(i)) .. data.(offs.(i+1)) - 1]), sorted ascending (they are
+   appended in trace order at build time). *)
+type posting = { keys : int array; offs : int array; data : int array }
+
+let posting_of_table (tbl : (int, Vec.t) Hashtbl.t) =
+  let keys = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+  Array.sort Int.compare keys;
+  let nkeys = Array.length keys in
+  let offs = Array.make (nkeys + 1) 0 in
+  for i = 0 to nkeys - 1 do
+    offs.(i + 1) <- offs.(i) + (Hashtbl.find tbl keys.(i)).Vec.len
+  done;
+  let data = Array.make offs.(nkeys) 0 in
+  Array.iteri
+    (fun i key ->
+      let v = Hashtbl.find tbl key in
+      Array.blit v.Vec.data 0 data offs.(i) v.Vec.len)
+    keys;
+  { keys; offs; data }
+
+let find_key p key =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k = p.keys.(mid) in
+      if k = key then Some mid else if k < key then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length p.keys)
+
+let has_key p key = find_key p key <> None
+
+(* First index in [data[lo, hi)] holding a value >= x. *)
+let lower_bound data lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get data mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let posting_count p key ~after ~before =
+  match find_key p key with
+  | None -> 0
+  | Some i ->
+      let lo = p.offs.(i) and hi = p.offs.(i + 1) in
+      lower_bound p.data lo hi before - lower_bound p.data lo hi (after + 1)
+
+(* Key-slice access: consumers that monitor a word/page RANGE iterate only
+   the keys present in the posting — i.e. only words that were ever
+   written — instead of probing every word of the range. *)
+
+let key_range p ~lo ~hi =
+  let n = Array.length p.keys in
+  (lower_bound p.keys 0 n lo, lower_bound p.keys 0 n (hi + 1))
+
+let key_at p i = p.keys.(i)
+
+let count_at p i ~after ~before =
+  let lo = p.offs.(i) and hi = p.offs.(i + 1) in
+  lower_bound p.data lo hi before - lower_bound p.data lo hi (after + 1)
+
+(* Total count over a whole run of windows (flattened open intervals,
+   sorted and disjoint). Adaptive: two binary searches per window when
+   windows are few relative to the key's events, one linear merge of the
+   two sorted runs when they are not (a monitor re-installed on every
+   call can have as many windows as the key has writes — per-window
+   searching would cost windows × log instead of linear). *)
+let count_within p i ~windows =
+  let lo = p.offs.(i) and hi = p.offs.(i + 1) in
+  let len = hi - lo and n = Array.length windows / 2 in
+  if n = 0 || len = 0 then 0
+  else begin
+    let log2_len =
+      let l = ref 0 and v = ref len in
+      while !v > 1 do
+        incr l;
+        v := !v lsr 1
+      done;
+      !l
+    in
+    if 2 * n * log2_len < len + n then begin
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc :=
+          !acc
+          + lower_bound p.data lo hi windows.((2 * k) + 1)
+          - lower_bound p.data lo hi (windows.(2 * k) + 1)
+      done;
+      !acc
+    end
+    else begin
+      let acc = ref 0 and d = ref lo in
+      for k = 0 to n - 1 do
+        let a = windows.(2 * k) and b = windows.((2 * k) + 1) in
+        while !d < hi && Array.unsafe_get p.data !d <= a do
+          incr d
+        done;
+        while !d < hi && Array.unsafe_get p.data !d < b do
+          incr d;
+          incr acc
+        done
+      done;
+      !acc
+    end
+  end
+
+(* --- the index --- *)
+
+type page_view = {
+  page_size : int;
+  page_shift : int;
+  (* Writes touching page p, where "touching" means p is the first or last
+     page of the write's range — the scan engine's page_write semantics. *)
+  page_writes : posting;
+  (* Writes whose range spans exactly the pages (p, p+1), keyed by p. *)
+  page_spans : posting;
+  (* Writes spanning non-adjacent first/last pages: (event, first, last)
+     triples, flattened. Vanishingly rare (write wider than a page). *)
+  wide_pages : int array;
+}
+
+type t = {
+  events : int;
+  total_writes : int;
+  (* Narrow (<= 2 word) writes touching word w. *)
+  word_writes : posting;
+  (* Narrow writes spanning the word boundary (w, w+1), keyed by w. *)
+  word_spans : posting;
+  (* Writes covering 3+ words: (event, first_word, last_word) triples.
+     Machine stores are at most 4 bytes, so this is empty for recorded
+     traces; synthetic traces may populate it. *)
+  wide_words : int array;
+  (* Per interned object, its install/remove timeline: stride-3 records
+     ((event lsl 1) lor tag, lo, hi) with tag 0 = install, 1 = remove.
+     [obj_offs] is in records, so object o's records live at
+     obj_data[3*obj_offs.(o) .. 3*obj_offs.(o+1) - 1]. *)
+  obj_offs : int array;
+  obj_data : int array;
+  pages : page_view array;
+}
+
+let codec_version = "EBPW1"
+
+let log2_exact n =
+  let rec go i v = if v = 1 then i else go (i + 1) (v lsr 1) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Write_index: page size must be a positive power of two"
+  else go 0 n
+
+let build ~page_sizes trace =
+  let events = Trace.length trace in
+  let nobjs = Trace.object_count trace in
+  let obj_vecs = Array.init nobjs (fun _ -> Vec.create ()) in
+  let word_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 4096 in
+  let word_span_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 64 in
+  let wide_words = Vec.create () in
+  let push tbl key x =
+    let v =
+      match Hashtbl.find_opt tbl key with
+      | Some v -> v
+      | None ->
+          let v = Vec.create () in
+          Hashtbl.add tbl key v;
+          v
+    in
+    Vec.push v x
+  in
+  let page_builders =
+    List.map
+      (fun page_size ->
+        ( page_size,
+          log2_exact page_size,
+          (Hashtbl.create 1024 : (int, Vec.t) Hashtbl.t),
+          (Hashtbl.create 64 : (int, Vec.t) Hashtbl.t),
+          Vec.create () ))
+      page_sizes
+  in
+  let total_writes = ref 0 in
+  let pos = ref 0 in
+  Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc:_ ->
+      let t = !pos in
+      incr pos;
+      if tag <= 1 then begin
+        let v = obj_vecs.(obj) in
+        Vec.push v ((t lsl 1) lor tag);
+        Vec.push v lo;
+        Vec.push v hi
+      end
+      else begin
+        incr total_writes;
+        let fw = lo lsr 2 and lw = hi lsr 2 in
+        if lw - fw <= 1 then begin
+          push word_tbl fw t;
+          if lw <> fw then begin
+            push word_tbl lw t;
+            push word_span_tbl fw t
+          end
+        end
+        else begin
+          Vec.push wide_words t;
+          Vec.push wide_words fw;
+          Vec.push wide_words lw
+        end;
+        List.iter
+          (fun (_, shift, wtbl, stbl, wide) ->
+            let fp = lo lsr shift and lp = hi lsr shift in
+            push wtbl fp t;
+            if lp <> fp then begin
+              push wtbl lp t;
+              if lp = fp + 1 then push stbl fp t
+              else begin
+                Vec.push wide t;
+                Vec.push wide fp;
+                Vec.push wide lp
+              end
+            end)
+          page_builders
+      end);
+  let obj_offs = Array.make (nobjs + 1) 0 in
+  for o = 0 to nobjs - 1 do
+    obj_offs.(o + 1) <- obj_offs.(o) + (obj_vecs.(o).Vec.len / 3)
+  done;
+  let obj_data = Array.make (3 * obj_offs.(nobjs)) 0 in
+  Array.iteri
+    (fun o v -> Array.blit v.Vec.data 0 obj_data (3 * obj_offs.(o)) v.Vec.len)
+    obj_vecs;
+  {
+    events;
+    total_writes = !total_writes;
+    word_writes = posting_of_table word_tbl;
+    word_spans = posting_of_table word_span_tbl;
+    wide_words = Vec.to_array wide_words;
+    obj_offs;
+    obj_data;
+    pages =
+      Array.of_list
+        (List.map
+           (fun (page_size, page_shift, wtbl, stbl, wide) ->
+             {
+               page_size;
+               page_shift;
+               page_writes = posting_of_table wtbl;
+               page_spans = posting_of_table stbl;
+               wide_pages = Vec.to_array wide;
+             })
+           page_builders);
+  }
+
+(* --- accessors --- *)
+
+let events t = t.events
+let total_writes t = t.total_writes
+let object_count t = Array.length t.obj_offs - 1
+
+let iter_object_timeline t o f =
+  if o < 0 || o >= object_count t then
+    invalid_arg "Write_index.iter_object_timeline: object id out of range";
+  for k = t.obj_offs.(o) to t.obj_offs.(o + 1) - 1 do
+    let base = 3 * k in
+    let packed = t.obj_data.(base) in
+    f ~ev:(packed lsr 1)
+      ~is_install:(packed land 1 = 0)
+      ~lo:t.obj_data.(base + 1)
+      ~hi:t.obj_data.(base + 2)
+  done
+
+let word_writes t = t.word_writes
+let word_spans t = t.word_spans
+let page_writes v = v.page_writes
+let page_spans v = v.page_spans
+
+let count_word_writes t ~word ~after ~before =
+  posting_count t.word_writes word ~after ~before
+
+let count_word_spans t ~word ~after ~before =
+  posting_count t.word_spans word ~after ~before
+
+let has_word_spans t ~word = has_key t.word_spans word
+
+let iter_wide_word_writes t f =
+  let n = Array.length t.wide_words / 3 in
+  for i = 0 to n - 1 do
+    f ~ev:t.wide_words.(3 * i)
+      ~first:t.wide_words.((3 * i) + 1)
+      ~last:t.wide_words.((3 * i) + 2)
+  done
+
+let page_sizes t = Array.to_list (Array.map (fun v -> v.page_size) t.pages)
+
+let page_view t ~page_size =
+  Array.find_opt (fun v -> v.page_size = page_size) t.pages
+
+let page_shift v = v.page_shift
+
+let count_page_writes v ~page ~after ~before =
+  posting_count v.page_writes page ~after ~before
+
+let count_page_spans v ~page ~after ~before =
+  posting_count v.page_spans page ~after ~before
+
+let has_page_spans v ~page = has_key v.page_spans page
+
+let iter_wide_page_writes v f =
+  let n = Array.length v.wide_pages / 3 in
+  for i = 0 to n - 1 do
+    f ~ev:v.wide_pages.(3 * i)
+      ~first:v.wide_pages.((3 * i) + 1)
+      ~last:v.wide_pages.((3 * i) + 2)
+  done
+
+let equal (a : t) (b : t) = a = b
+
+(* --- binary codec --- *)
+
+let write_int oc v =
+  for i = 0 to 7 do
+    output_byte oc ((v lsr (8 * i)) land 0xff)
+  done
+
+let write_array oc arr =
+  write_int oc (Array.length arr);
+  Array.iter (write_int oc) arr
+
+let write_posting oc p =
+  write_array oc p.keys;
+  write_array oc p.offs;
+  write_array oc p.data
+
+let write_binary oc t =
+  output_string oc codec_version;
+  write_int oc t.events;
+  write_int oc t.total_writes;
+  write_posting oc t.word_writes;
+  write_posting oc t.word_spans;
+  write_array oc t.wide_words;
+  write_array oc t.obj_offs;
+  write_array oc t.obj_data;
+  write_int oc (Array.length t.pages);
+  Array.iter
+    (fun v ->
+      write_int oc v.page_size;
+      write_posting oc v.page_writes;
+      write_posting oc v.page_spans;
+      write_array oc v.wide_pages)
+    t.pages
+
+exception Malformed of string
+
+let read_binary ic =
+  let read_int () =
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := !v lor (input_byte ic lsl (8 * i))
+    done;
+    !v
+  in
+  let read_array () =
+    let n = read_int () in
+    if n < 0 || n > Sys.max_array_length then raise (Malformed "bad array length");
+    Array.init n (fun _ -> read_int ())
+  in
+  let read_posting () =
+    let keys = read_array () in
+    let offs = read_array () in
+    let data = read_array () in
+    if Array.length offs <> Array.length keys + 1 then
+      raise (Malformed "posting offsets do not match keys");
+    if offs.(Array.length keys) <> Array.length data then
+      raise (Malformed "posting data does not match offsets");
+    { keys; offs; data }
+  in
+  try
+    let magic = really_input_string ic (String.length codec_version) in
+    if magic <> codec_version then Error "bad write-index magic"
+    else begin
+      let events = read_int () in
+      let total_writes = read_int () in
+      let word_writes = read_posting () in
+      let word_spans = read_posting () in
+      let wide_words = read_array () in
+      let obj_offs = read_array () in
+      let obj_data = read_array () in
+      let npages = read_int () in
+      if npages < 0 || npages > 64 then raise (Malformed "bad page-view count");
+      let pages =
+        Array.init npages (fun _ ->
+            let page_size = read_int () in
+            let page_shift =
+              try log2_exact page_size
+              with Invalid_argument _ -> raise (Malformed "bad page size")
+            in
+            let page_writes = read_posting () in
+            let page_spans = read_posting () in
+            let wide_pages = read_array () in
+            { page_size; page_shift; page_writes; page_spans; wide_pages })
+      in
+      Ok
+        {
+          events;
+          total_writes;
+          word_writes;
+          word_spans;
+          wide_words;
+          obj_offs;
+          obj_data;
+          pages;
+        }
+    end
+  with
+  | Malformed msg -> Error ("malformed write index: " ^ msg)
+  | End_of_file -> Error "truncated write index"

@@ -1,0 +1,152 @@
+(** Temporal write index over a {!Trace}: the trace preprocessed, once,
+    into sorted posting lists so that phase-2 replay can count the writes
+    touching a word or page inside an event-index window with binary
+    searches instead of rescanning the trace per session.
+
+    The index holds, for the trace it was built from:
+
+    - per {e word}: the sorted event indices of every narrow (≤ 2-word)
+      write touching it, plus boundary lists for writes spanning two
+      adjacent words (so a session can deduplicate a write counted at both
+      of its words by inclusion–exclusion over its live windows);
+    - per {e page}, for each requested page size: the same two lists at
+      page granularity ("touching" a page means the page is the first or
+      last page of the write's range — exactly the scan engine's
+      semantics);
+    - per interned {e object}: its install/remove timeline (event
+      position, range) so a session's live windows on any word or page
+      are reconstructible without touching the trace;
+    - global rare-path lists for writes covering 3+ words (or spanning
+      non-adjacent pages), which the counting identities above cannot
+      handle and which consumers check individually.
+
+    The index is deeply immutable after {!build} — flat [int array]s only —
+    so it can be shared unsynchronized across domains, like the trace
+    itself. It also has a binary codec ({!write_binary}/{!read_binary})
+    so {!Trace_cache} can persist it next to the trace. *)
+
+type t
+
+val build : page_sizes:int list -> Trace.t -> t
+(** One pass over the trace, [O(events · words-per-event)].
+    @raise Invalid_argument if a page size is not a positive power of
+    two. *)
+
+(** {2 Global facts} *)
+
+val events : t -> int
+(** Number of trace events the index was built over; also the exclusive
+    upper bound usable for "never removed" live windows. *)
+
+val total_writes : t -> int
+
+val object_count : t -> int
+
+(** {2 Object timelines} *)
+
+val iter_object_timeline :
+  t -> int -> (ev:int -> is_install:bool -> lo:int -> hi:int -> unit) -> unit
+(** [iter_object_timeline t o f] calls [f] for each install/remove event
+    of object id [o], in trace order, with the event's byte range.
+    @raise Invalid_argument if [o] is not a valid object id. *)
+
+(** {2 Posting lists}
+
+    All windows are open intervals on event indices: a count with
+    [~after:a ~before:b] covers writes at positions [t] with
+    [a < t < b].
+
+    A {!posting} maps sorted keys (word or page indices) to the sorted
+    event positions of the writes touching them. Consumers monitoring a
+    key {e range} should iterate only the keys actually present — every
+    key not in the posting was never written — via {!key_range}: *)
+
+type posting
+
+val word_writes : t -> posting
+(** Narrow (≤ 2-word) writes, keyed by touched word; a 2-word write
+    appears under both of its words. *)
+
+val word_spans : t -> posting
+(** Narrow writes spanning exactly the boundary ([w], [w + 1]), keyed by
+    [w]. *)
+
+val key_range : posting -> lo:int -> hi:int -> int * int
+(** [key_range p ~lo ~hi] is the half-open index range [(i, j)] such that
+    [key_at p k] for [i <= k < j] enumerates exactly the posting's keys
+    within [[lo, hi]], in ascending order. *)
+
+val key_at : posting -> int -> int
+
+val count_at : posting -> int -> after:int -> before:int -> int
+(** [count_at p i ~after ~before] counts the events of the [i]-th key
+    inside the open window — the keyed counts below, minus the key
+    search. *)
+
+val count_within : posting -> int -> windows:int array -> int
+(** [count_within p i ~windows] counts the [i]-th key's events inside any
+    of [windows], a flattened [[a0; b0; a1; b1; ...]] run of sorted,
+    disjoint open intervals. Equivalent to summing {!count_at} per
+    window, but switches to a single linear merge when the window count
+    approaches the key's event count. *)
+
+(** {2 Word-level write counts (by key)} *)
+
+val count_word_writes : t -> word:int -> after:int -> before:int -> int
+(** Narrow (≤ 2-word) writes touching [word] inside the window. A 2-word
+    write is counted at both of its words. *)
+
+val count_word_spans : t -> word:int -> after:int -> before:int -> int
+(** Narrow writes spanning exactly the boundary ([word], [word + 1]). *)
+
+val has_word_spans : t -> word:int -> bool
+
+val iter_wide_word_writes :
+  t -> (ev:int -> first:int -> last:int -> unit) -> unit
+(** Writes covering 3+ words, with their word range. These are {e not} in
+    {!count_word_writes}'s lists; consumers handle them individually.
+    Empty for machine-recorded traces (stores are ≤ 4 bytes). *)
+
+(** {2 Page-level write counts} *)
+
+type page_view
+
+val page_sizes : t -> int list
+
+val page_view : t -> page_size:int -> page_view option
+
+val page_shift : page_view -> int
+
+val page_writes : page_view -> posting
+(** Writes keyed by their first and last page (both, when distinct) —
+    the scan engine's [page_write] touch set. *)
+
+val page_spans : page_view -> posting
+(** Writes spanning exactly the pages ([p], [p + 1]), keyed by [p]. *)
+
+val count_page_writes : page_view -> page:int -> after:int -> before:int -> int
+(** Writes whose first or last page is [page], inside the window; a write
+    spanning two pages is counted at both. *)
+
+val count_page_spans : page_view -> page:int -> after:int -> before:int -> int
+(** Writes spanning exactly the pages ([page], [page + 1]). *)
+
+val has_page_spans : page_view -> page:int -> bool
+
+val iter_wide_page_writes :
+  page_view -> (ev:int -> first:int -> last:int -> unit) -> unit
+(** Writes spanning non-adjacent first/last pages. Unlike wide-word
+    writes these {e are} included in {!count_page_writes} (at both
+    pages); consumers subtract the double count individually. *)
+
+(** {2 Serialization} *)
+
+val equal : t -> t -> bool
+(** Structural equality; [build] is deterministic, so an index
+    round-tripped through the codec is [equal] to the original. *)
+
+val codec_version : string
+(** Codec magic ("EBPW1"); bump-safe cache keying hashes this in. *)
+
+val write_binary : out_channel -> t -> unit
+val read_binary : in_channel -> (t, string) result

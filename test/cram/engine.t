@@ -1,0 +1,32 @@
+The two phase-2 replay engines render identical reports: the scan engine
+is one pass over the trace per shard, the indexed engine answers the same
+counts from a temporal write index. A shared cache keeps phase 1 warm so
+only the engines differ between runs.
+
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache --engine scan 2>scan.err >scan.table
+  $ cat scan.err
+  phase 1 circuit    traced (329544 events)
+  phase 2 circuit    103 sessions replayed
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache --engine indexed 2>indexed.err >indexed.table
+  $ cat indexed.err
+  phase 1 circuit    cache hit, no execution (329544 events)
+  phase 2 circuit    103 sessions replayed
+  $ diff scan.table indexed.table
+
+The default engine is indexed, so no flag gives the same report:
+
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache 2>/dev/null | diff - indexed.table
+
+The sessions command takes the same switch:
+
+  $ cat > tiny.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 10; i = i + 1) { g = g + i; }
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+  $ ebp sessions tiny.mc --engine scan > scan.sessions
+  $ ebp sessions tiny.mc --engine indexed | diff scan.sessions -
