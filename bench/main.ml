@@ -338,6 +338,23 @@ let wall_ms f =
   let r = f () in
   (r, 1000.0 *. (Unix.gettimeofday () -. t0))
 
+(* Run one bench section with the observability subsystem enabled and
+   dump what it accumulated right after the section's own output. The
+   counters are reset per section, so e.g. the cold-cache experiment and
+   the warm-cache parallel engine each show their own trace_cache
+   hit/miss picture. *)
+let with_section_metrics name f =
+  Ebp_obs.Metrics.reset ();
+  Ebp_obs.Span.reset ();
+  Ebp_obs.Metrics.set_enabled true;
+  let finish () =
+    Ebp_obs.Metrics.set_enabled false;
+    Printf.printf "--- metrics: %s ---\n" name;
+    print_string (Ebp_util.Obs_report.render (Ebp_obs.Metrics.snapshot ()));
+    print_newline ()
+  in
+  Fun.protect ~finally:finish f
+
 let run_parallel_engine (t : Ebp_core.Experiment.t) ~workloads ~cache_dir
     ~seq_report =
   let module Replay = Ebp_sessions.Replay in
@@ -576,7 +593,10 @@ let () =
         Sys.rmdir cache_dir
       end)
     (fun () ->
-      match Ebp_core.Experiment.run ~workloads ~cache_dir () with
+      match
+        with_section_metrics "simulation experiment (cold trace cache)"
+          (fun () -> Ebp_core.Experiment.run ~workloads ~cache_dir ())
+      with
       | Error msg ->
           prerr_endline ("experiment failed: " ^ msg);
           exit 1
@@ -588,11 +608,13 @@ let () =
           end;
           print_endline "=== Replay engines ===";
           print_newline ();
-          run_engine_comparison (traces_of t);
+          with_section_metrics "replay engines" (fun () ->
+              run_engine_comparison (traces_of t));
           if not engines_only then begin
             print_endline "=== Parallel experiment engine ===";
             print_newline ();
-            run_parallel_engine t ~workloads ~cache_dir ~seq_report;
+            with_section_metrics "parallel engine (warm trace cache)"
+              (fun () -> run_parallel_engine t ~workloads ~cache_dir ~seq_report);
             run_remote_ablation t
           end);
   if not (quick || engines_only) then begin

@@ -10,7 +10,14 @@
                                (-j N for N domains, --cache-dir for the
                                phase-1 trace cache, --engine scan|indexed
                                for the phase-2 replay engine)
-     disasm <file.mc>          compile a MiniC file and print its assembly *)
+     stats <file.ndjson>       render a metrics snapshot as tables
+     cache ls|clear|gc         inspect / clear / size-bound the trace cache
+     debug <workload>          interactive watchpoint debugger REPL
+     disasm <file.mc>          compile a MiniC file and print its assembly
+
+   trace, sessions and experiment all accept --metrics FILE (NDJSON
+   snapshot of the Ebp_obs counters/histograms) and --trace-events FILE
+   (Chrome trace-event JSON for Perfetto). *)
 
 open Cmdliner
 
@@ -30,6 +37,57 @@ let source_of_arg arg =
 let exit_err msg =
   prerr_endline ("ebp: " ^ msg);
   exit 1
+
+let write_file path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  end
+
+(* --- observability flags --- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect metrics while the command runs and write an NDJSON \
+           snapshot to $(docv) ($(b,-) for stdout). Render it with \
+           $(b,ebp stats).")
+
+let trace_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"FILE"
+        ~doc:
+          "Collect timing spans while the command runs and write Chrome \
+           trace-event JSON to $(docv) ($(b,-) for stdout); load it in \
+           Perfetto or chrome://tracing.")
+
+(* Run [f] with the observability subsystem enabled when either output
+   was requested, then write the requested artifacts. [f] exiting early
+   via [exit_err] skips the writes — an error run has no snapshot worth
+   keeping. *)
+let with_obs ~metrics ~trace_events f =
+  if metrics = None && trace_events = None then f ()
+  else begin
+    Ebp_obs.Metrics.set_enabled true;
+    let result = f () in
+    Ebp_obs.Metrics.set_enabled false;
+    Option.iter
+      (fun path ->
+        write_file path (Ebp_obs.Export.to_ndjson (Ebp_obs.Metrics.snapshot ())))
+      metrics;
+    Option.iter
+      (fun path -> write_file path (Ebp_obs.Span.to_trace_events ()))
+      trace_events;
+    result
+  end
 
 (* --- list --- *)
 
@@ -109,7 +167,8 @@ let trace_cmd =
              executing anything when it is already cached, record and \
              cache it otherwise.")
   in
-  let f target out text cached cache_dir =
+  let f target out text cached cache_dir metrics trace_events =
+    with_obs ~metrics ~trace_events @@ fun () ->
     match source_of_arg target with
     | Error msg -> exit_err msg
     | Ok (source, seed) -> (
@@ -160,7 +219,9 @@ let trace_cmd =
             (Ebp_trace.Trace.stats trace))
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg)
+    Term.(
+      const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg
+      $ metrics_arg $ trace_events_arg)
 
 let engine_arg =
   Arg.(
@@ -200,7 +261,8 @@ let sessions_cmd =
           ~doc:"Replay a saved binary trace instead of running anything; the \
                 positional argument is ignored.")
   in
-  let f target all from engine =
+  let f target all from engine metrics trace_events =
+    with_obs ~metrics ~trace_events @@ fun () ->
     let trace =
       match from with
       | Some path -> (
@@ -235,7 +297,9 @@ let sessions_cmd =
     Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
   in
   Cmd.v (Cmd.info "sessions" ~doc)
-    Term.(const f $ target_or_dash $ all_arg $ from_arg $ engine_arg)
+    Term.(
+      const f $ target_or_dash $ all_arg $ from_arg $ engine_arg $ metrics_arg
+      $ trace_events_arg)
 
 (* --- experiment --- *)
 
@@ -266,7 +330,8 @@ let experiment_cmd =
              in parallel and each replay is sharded. Output is identical \
              for every $(docv).")
   in
-  let f only workloads jobs cache_dir engine =
+  let f only workloads jobs cache_dir engine metrics trace_events =
+    with_obs ~metrics ~trace_events @@ fun () ->
     let workloads =
       match workloads with
       | None -> Ebp_workloads.Workload.all
@@ -300,7 +365,114 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
-      const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg $ engine_arg)
+      const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg $ engine_arg
+      $ metrics_arg $ trace_events_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let doc =
+    "Render a metrics snapshot (the NDJSON written by $(b,--metrics)) as \
+     human-readable tables."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.ndjson" ~doc:"Snapshot file, or $(b,-) for stdin.")
+  in
+  let f path =
+    let contents =
+      if path = "-" then In_channel.input_all stdin
+      else if Sys.file_exists path then read_file path
+      else exit_err (Printf.sprintf "no snapshot file %S" path)
+    in
+    match Ebp_obs.Export.of_ndjson contents with
+    | Error msg -> exit_err (Printf.sprintf "%s: %s" path msg)
+    | Ok snapshot -> print_string (Ebp_util.Obs_report.render snapshot)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const f $ file_arg)
+
+(* --- cache --- *)
+
+let cache_cmd =
+  let dir_of cache_dir =
+    Option.value cache_dir ~default:(Ebp_trace.Trace_cache.default_dir ())
+  in
+  let kind_name = function
+    | Ebp_trace.Trace_cache.Trace_entry -> "trace"
+    | Ebp_trace.Trace_cache.Index_entry -> "index"
+    | Ebp_trace.Trace_cache.Tmp_entry -> "tmp"
+  in
+  let ls_cmd =
+    let doc = "List the cache entries and their total size." in
+    let f cache_dir =
+      let dir = dir_of cache_dir in
+      let entries = Ebp_trace.Trace_cache.entries ~dir in
+      (* Name order for stable output; [gc] evicts by age, not name. *)
+      let entries =
+        List.sort
+          (fun a b ->
+            compare a.Ebp_trace.Trace_cache.entry_file
+              b.Ebp_trace.Trace_cache.entry_file)
+          entries
+      in
+      let rows =
+        List.map
+          (fun e ->
+            [
+              kind_name e.Ebp_trace.Trace_cache.entry_kind;
+              string_of_int e.Ebp_trace.Trace_cache.entry_bytes;
+              e.Ebp_trace.Trace_cache.entry_file;
+            ])
+          entries
+      in
+      if rows <> [] then
+        print_string
+          (Ebp_util.Text_table.render ~header:[ "kind"; "bytes"; "file" ] ~rows
+             ());
+      let total =
+        List.fold_left
+          (fun acc e -> acc + e.Ebp_trace.Trace_cache.entry_bytes)
+          0 entries
+      in
+      Printf.printf "%d entries, %d bytes\n" (List.length entries) total
+    in
+    Cmd.v (Cmd.info "ls" ~doc) Term.(const f $ cache_dir_arg)
+  in
+  let report (removed, reclaimed) =
+    Printf.printf "removed %d entries, reclaimed %d bytes\n" removed reclaimed
+  in
+  let clear_cmd =
+    let doc = "Remove every cache entry (temp files included)." in
+    let f cache_dir metrics =
+      with_obs ~metrics ~trace_events:None @@ fun () ->
+      report (Ebp_trace.Trace_cache.clear ~dir:(dir_of cache_dir))
+    in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const f $ cache_dir_arg $ metrics_arg)
+  in
+  let gc_cmd =
+    let doc =
+      "Garbage-collect the cache: drop orphaned temp files, then evict \
+       oldest entries until the cache fits in $(b,--max-bytes)."
+    in
+    let max_bytes_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:"Target size for the cache directory, in bytes.")
+    in
+    let f cache_dir max_bytes metrics =
+      if max_bytes < 0 then exit_err "--max-bytes must be non-negative";
+      with_obs ~metrics ~trace_events:None @@ fun () ->
+      report (Ebp_trace.Trace_cache.gc ~dir:(dir_of cache_dir) ~max_bytes)
+    in
+    Cmd.v (Cmd.info "gc" ~doc)
+      Term.(const f $ cache_dir_arg $ max_bytes_arg $ metrics_arg)
+  in
+  let doc = "Inspect and garbage-collect the on-disk trace cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; clear_cmd; gc_cmd ]
 
 (* --- debug --- *)
 
@@ -356,4 +528,10 @@ let disasm_cmd =
 let () =
   let doc = "Efficient data breakpoints: write-monitor-service experiment" in
   let info = Cmd.info "ebp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd; disasm_cmd; debug_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd;
+            stats_cmd; cache_cmd; disasm_cmd; debug_cmd;
+          ]))

@@ -7,6 +7,7 @@ module Model = Ebp_model.Strategy_model
 module Stats = Ebp_util.Stats
 module Text_table = Ebp_util.Text_table
 module Bar_chart = Ebp_util.Bar_chart
+module Obs_span = Ebp_obs.Span
 
 type program_data = {
   run : Workload.run;
@@ -48,12 +49,19 @@ let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
                 | Ok () | Error _ -> ());
                 Some index))
   in
+  (* The top-level span brackets the whole experiment; the per-workload
+     phase spans below carve it up on the trace-event timeline. *)
+  Obs_span.with_span "experiment.run" @@ fun () ->
   Ebp_util.Domain_pool.with_pool ~domains (fun pool ->
       (* Phase 1, parallel across workloads: each task compiles and runs
          (or cache-loads) one workload; nothing is shared between tasks. *)
       let recordings =
         Ebp_util.Domain_pool.map pool
           (fun w ->
+            Obs_span.with_span
+              ~args:[ ("workload", w.Workload.name) ]
+              "phase1.workload"
+            @@ fun () ->
             match cache_dir with
             | Some dir -> Workload.record_cached ?fuel ~cache_dir:dir w
             | None -> Workload.record ?fuel w)
@@ -88,6 +96,11 @@ let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
               List.map
                 (fun run ->
                   let sessions =
+                    Obs_span.with_span
+                      ~args:
+                        [ ("workload", run.Workload.workload.Workload.name) ]
+                      "phase2.workload"
+                    @@ fun () ->
                     Replay.discover_and_replay ~page_sizes ~pool ~engine
                       ?index:(index_for run) run.Workload.trace
                   in

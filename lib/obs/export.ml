@@ -1,0 +1,152 @@
+let format_name = "ebp-metrics"
+let format_version = 1
+
+let pairs_to_json ps = Json.List (List.map (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ]) ps)
+
+let to_ndjson (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let line json =
+    Buffer.add_string buf (Json.to_string json);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [
+         ("type", Json.Str "meta");
+         ("format", Json.Str format_name);
+         ("version", Json.Int format_version);
+       ]);
+  List.iter
+    (fun (name, value, per_domain) ->
+      line
+        (Json.Obj
+           ([
+              ("type", Json.Str "counter");
+              ("name", Json.Str name);
+              ("value", Json.Int value);
+            ]
+           @
+           match per_domain with
+           | [] -> []
+           | ps -> [ ("domains", pairs_to_json ps) ])))
+    s.Metrics.counters;
+  List.iter
+    (fun (name, value) ->
+      line
+        (Json.Obj
+           [ ("type", Json.Str "gauge"); ("name", Json.Str name);
+             ("value", Json.Float value) ]))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "histogram");
+             ("name", Json.Str name);
+             ("count", Json.Int h.Metrics.count);
+             ("sum", Json.Int h.Metrics.sum);
+             ("min", Json.Int (if h.Metrics.count = 0 then 0 else h.Metrics.min_v));
+             ("max", Json.Int (if h.Metrics.count = 0 then 0 else h.Metrics.max_v));
+             ("buckets", pairs_to_json h.Metrics.buckets);
+           ]))
+    s.Metrics.hists;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+let ( let* ) = Result.bind
+
+let field_of name conv json what =
+  match Option.bind (Json.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S in %s" name what)
+
+let pairs_of_json json what =
+  match Json.to_list json with
+  | None -> Error (Printf.sprintf "%s: expected an array of pairs" what)
+  | Some xs ->
+      let pair = function
+        | Json.List [ a; b ] -> (
+            match (Json.to_int a, Json.to_int b) with
+            | Some a, Some b -> Ok (a, b)
+            | _ -> Error (Printf.sprintf "%s: non-integer pair" what))
+        | _ -> Error (Printf.sprintf "%s: expected [int, int] pairs" what)
+      in
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* p = pair x in
+          Ok (p :: acc))
+        (Ok []) xs
+      |> Result.map List.rev
+
+let of_ndjson text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let parse_line (counters, gauges, hists) (lineno, line) =
+    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    match Json.of_string line with
+    | Error msg -> fail ("bad JSON: " ^ msg)
+    | Ok json -> (
+        match Option.bind (Json.member "type" json) Json.to_str with
+        | None -> fail "object has no \"type\" field"
+        | Some "meta" -> (
+            match Option.bind (Json.member "format" json) Json.to_str with
+            | Some f when f = format_name -> Ok (counters, gauges, hists)
+            | Some f -> fail (Printf.sprintf "unknown format %S" f)
+            | None -> fail "meta line has no \"format\"")
+        | Some "counter" ->
+            Result.map_error (Printf.sprintf "line %d: %s" lineno)
+              (let* name = field_of "name" Json.to_str json "counter" in
+               let* value = field_of "value" Json.to_int json "counter" in
+               let* domains =
+                 match Json.member "domains" json with
+                 | None -> Ok []
+                 | Some d -> pairs_of_json d "counter domains"
+               in
+               Ok ((name, value, domains) :: counters, gauges, hists))
+        | Some "gauge" ->
+            Result.map_error (Printf.sprintf "line %d: %s" lineno)
+              (let* name = field_of "name" Json.to_str json "gauge" in
+               let* value = field_of "value" Json.to_float json "gauge" in
+               Ok (counters, (name, value) :: gauges, hists))
+        | Some "histogram" ->
+            Result.map_error (Printf.sprintf "line %d: %s" lineno)
+              (let* name = field_of "name" Json.to_str json "histogram" in
+               let* count = field_of "count" Json.to_int json "histogram" in
+               let* sum = field_of "sum" Json.to_int json "histogram" in
+               let* min_v = field_of "min" Json.to_int json "histogram" in
+               let* max_v = field_of "max" Json.to_int json "histogram" in
+               let* buckets =
+                 match Json.member "buckets" json with
+                 | None -> Ok []
+                 | Some b -> pairs_of_json b "histogram buckets"
+               in
+               Ok
+                 ( counters,
+                   gauges,
+                   (name, { Metrics.count; sum; min_v; max_v; buckets }) :: hists ))
+        | Some _ ->
+            (* Unknown record types from a newer writer: skip. *)
+            Ok (counters, gauges, hists))
+  in
+  let* counters, gauges, hists =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        parse_line acc line)
+      (Ok ([], [], []))
+      lines
+  in
+  let by_name_fst (a, _) (b, _) = String.compare a b in
+  Ok
+    {
+      Metrics.counters =
+        List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) counters;
+      gauges = List.sort by_name_fst gauges;
+      hists = List.sort by_name_fst hists;
+    }

@@ -1,0 +1,27 @@
+(** Serialization of metric snapshots: newline-delimited JSON, one metric
+    per line, self-describing via a [type] field.
+
+    The format, versioned by a leading meta line:
+
+    {v
+    {"type":"meta","format":"ebp-metrics","version":1}
+    {"type":"counter","name":"trace_cache.hits","value":5,"domains":[[0,3],[2,2]]}
+    {"type":"gauge","name":"trace_cache.disk_bytes","value":81920.0}
+    {"type":"histogram","name":"span.index.build","count":5,"sum":..,"min":..,"max":..,"buckets":[[24,2],[25,3]]}
+    v}
+
+    [domains] is the per-domain counter breakdown (omitted when no
+    domain contributed); histogram [buckets] pairs are
+    [(bucket index, count)] with the geometry of {!Metrics.bucket_upper}.
+    NDJSON is greppable, appendable, and streams — and {!of_ndjson} reads
+    it back, so a saved snapshot can be re-rendered later
+    ([ebp stats FILE]). *)
+
+val to_ndjson : Metrics.snapshot -> string
+(** Render a snapshot; lines are ordered counters, gauges, histograms,
+    each alphabetically, so equal snapshots serialize identically. *)
+
+val of_ndjson : string -> (Metrics.snapshot, string) result
+(** Parse what {!to_ndjson} produced. Unknown [type] lines are skipped
+    (forward compatibility); a malformed line or a wrong [format] is an
+    error naming the line number. *)

@@ -1,0 +1,32 @@
+(** A minimal JSON tree, writer, and parser — just enough for the
+    observability exporters (NDJSON metric snapshots and Chrome trace
+    events) without an external dependency.
+
+    Integers are kept distinct from floats so counters round-trip
+    exactly. The parser accepts standard JSON (objects, arrays, strings
+    with escapes, numbers, booleans, null); it is strict — trailing
+    garbage after the value is an error. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; [Error] carries a message with a character
+    offset. *)
+
+(** {1 Accessors} — each returns [None] on a kind mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,109 @@
+(* Per-domain span buffers mirror the Metrics shards: each domain appends
+   to its own list (no lock) and registers the buffer once, under the
+   registry-style mutex, on first use. Export merges and sorts. *)
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  tid : int;
+  ts : int; (* ns *)
+  dur : int; (* ns *)
+}
+
+type buffer = {
+  dom : int;
+  mutable events : event list; (* newest first *)
+  hist_memo : (string, Metrics.histogram) Hashtbl.t;
+      (* span name -> [span.<name>] histogram, cached domain-locally so
+         the registry mutex is only taken on a domain's first use of a
+         name *)
+}
+
+let mutex = Mutex.create ()
+let buffers = ref ([] : buffer list)
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int); events = []; hist_memo = Hashtbl.create 16 }
+      in
+      Mutex.lock mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock mutex;
+      b)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let hist_for b name =
+  match Hashtbl.find_opt b.hist_memo name with
+  | Some h -> h
+  | None ->
+      let h = Metrics.histogram ("span." ^ name) in
+      Hashtbl.add b.hist_memo name h;
+      h
+
+let with_span ?(args = []) name f =
+  if not (Metrics.is_enabled ()) then f ()
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let ts = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = now_ns () - ts in
+        b.events <- { name; args; tid = b.dom; ts; dur } :: b.events;
+        Metrics.observe (hist_for b name) dur)
+      f
+  end
+
+let all_events () =
+  Mutex.lock mutex;
+  let buffers = !buffers in
+  Mutex.unlock mutex;
+  List.concat_map (fun b -> b.events) buffers
+  |> List.sort (fun a b ->
+         if a.ts <> b.ts then compare a.ts b.ts else compare a.tid b.tid)
+
+let events () = List.map (fun e -> (e.name, e.tid, e.ts, e.dur)) (all_events ())
+
+let to_trace_events () =
+  let events = all_events () in
+  let t0 = match events with [] -> 0 | e :: _ -> e.ts in
+  let us ns = Float.of_int ns /. 1e3 in
+  let meta name tid label =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str label) ]);
+      ]
+  in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) events) in
+  let metadata =
+    meta "process_name" 0 "ebp"
+    :: List.map (fun tid -> meta "thread_name" tid (Printf.sprintf "domain %d" tid)) tids
+  in
+  let complete e =
+    Json.Obj
+      ([
+         ("name", Json.Str e.name);
+         ("cat", Json.Str "ebp");
+         ("ph", Json.Str "X");
+         ("pid", Json.Int 1);
+         ("tid", Json.Int e.tid);
+         ("ts", Json.Float (us (e.ts - t0)));
+         ("dur", Json.Float (us e.dur));
+       ]
+      @
+      match e.args with
+      | [] -> []
+      | args ->
+          [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ])
+  in
+  Json.to_string (Json.List (metadata @ List.map complete events))
+
+let reset () =
+  Mutex.lock mutex;
+  List.iter (fun b -> b.events <- []) !buffers;
+  Mutex.unlock mutex

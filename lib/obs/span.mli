@@ -1,0 +1,48 @@
+(** Scoped timing spans, recorded per domain and exportable as Chrome
+    trace-event JSON (loadable in Perfetto or [chrome://tracing]).
+
+    A span is a named interval of wall-clock time on one domain:
+
+    {[
+      Span.with_span "phase2.replay" (fun () -> ...)
+    ]}
+
+    When the subsystem is disabled ({!Metrics.is_enabled} = false),
+    [with_span] is a branch and a tail call. Enabled, each completed span
+    is appended to the calling domain's buffer (no lock) and its duration
+    is observed into the histogram [span.<name>] in the {!Metrics}
+    registry, so span populations show up in metric snapshots as well as
+    on the timeline.
+
+    Span names are dotted lowercase paths naming subsystem then
+    operation ([phase1.workload], [index.build], [pool.task]); treat the
+    name as a low-cardinality label and carry per-instance detail in
+    [args]. Nested [with_span] calls produce properly nested intervals
+    (the export uses complete events, so viewers reconstruct the stack
+    from containment). *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (from [Unix.gettimeofday], so microsecond
+    granularity). Monotonic in practice over a run; used for every span
+    timestamp. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()], recording a span covering its
+    execution — also when [f] raises. [args] become the trace event's
+    [args] object. Disabled, it is exactly [f ()] plus one branch. *)
+
+val events : unit -> (string * int * int * int) list
+(** All recorded spans as [(name, domain_id, start_ns, dur_ns)], merged
+    across domains, ordered by start time. Same visibility caveat as
+    {!Metrics.snapshot}: quiesce other domains first. *)
+
+val to_trace_events : unit -> string
+(** The recorded spans as a Chrome trace-event JSON array: one complete
+    ([ph = "X"]) event per span with [pid] 1 and [tid] the domain id,
+    timestamps in microseconds relative to the earliest span, plus
+    metadata events naming the process and each domain. Open the file
+    with {{:https://ui.perfetto.dev}Perfetto} or [chrome://tracing]. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans. Only call while no other domain is
+    recording. *)

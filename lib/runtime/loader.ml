@@ -3,6 +3,13 @@ module Memory = Ebp_machine.Memory
 module Reg = Ebp_isa.Reg
 module Abi = Ebp_lang.Abi
 module Prng = Ebp_util.Prng
+module Metrics = Ebp_obs.Metrics
+
+(* One span and two counter bumps per machine run — phase-1 execution is
+   seconds long, so the instrumentation cost is unmeasurable. *)
+let m_runs = Metrics.counter "loader.runs"
+let m_instructions = Metrics.counter "loader.instructions"
+let m_cycles = Metrics.counter "loader.cycles"
 
 type t = {
   machine : Machine.t;
@@ -84,7 +91,11 @@ let load ?(seed = 42) ?costs ?monitor_reg_count ?mem (compiled : Ebp_lang.Compil
   t
 
 let run ?fuel t =
+  Ebp_obs.Span.with_span "loader.run" @@ fun () ->
   let status = Machine.run ?fuel t.machine in
+  Metrics.incr m_runs;
+  Metrics.add m_cycles (Machine.cycles t.machine);
+  Metrics.add m_instructions (Machine.instructions_executed t.machine);
   {
     status;
     cycles = Machine.cycles t.machine;

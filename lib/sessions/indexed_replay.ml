@@ -14,6 +14,18 @@
 
 module Trace = Ebp_trace.Trace
 module W = Ebp_trace.Write_index
+module Metrics = Ebp_obs.Metrics
+module Obs_span = Ebp_obs.Span
+
+(* [replay.sessions] / [replay.shards] are the same metrics Replay
+   registers (registration is idempotent by name), so the totals hold
+   whichever engine ran. The indexed-only counters are accumulated in
+   shard-local refs and published once per shard — the counting loops
+   themselves stay metrics-free. *)
+let m_sessions = Metrics.counter "replay.sessions"
+let m_shards = Metrics.counter "replay.shards"
+let m_segments = Metrics.counter "replay.indexed.segments"
+let m_range_queries = Metrics.counter "replay.indexed.range_queries"
 
 (* Small growable int vector. *)
 module Vec = struct
@@ -424,7 +436,7 @@ let count_over_intersection p ki wa wb =
    narrow write touches at most 2 adjacent keys (the index keeps wider
    writes out of the postings at word level; at page level a write's
    first/last pages are the only keys by construction). *)
-let count_union writes spans segs =
+let count_union ~queries writes spans segs =
   let acc = ref 0 in
   let nsegs = Array.length segs.s_lo in
   for si = 0 to nsegs - 1 do
@@ -435,6 +447,7 @@ let count_union writes spans segs =
       acc := !acc + count_over writes ki wins
     done;
     let s0, s1 = W.key_range spans ~lo ~hi in
+    queries := !queries + (k1 - k0) + (s1 - s0);
     for ki = s0 to s1 - 1 do
       let k = W.key_at spans ki in
       if k < hi then acc := !acc - count_over spans ki wins
@@ -448,8 +461,11 @@ let count_union writes spans segs =
   !acc
 
 let replay_shard ~index ~page_sizes trace sessions =
+  Obs_span.with_span "replay.indexed.shard" @@ fun () ->
   let sessions_arr = Array.of_list sessions in
   let nsessions = Array.length sessions_arr in
+  (* Shard-local accumulators, published as metrics once at the end. *)
+  let queries = ref 0 and segments = ref 0 in
   let views =
     List.map
       (fun ps ->
@@ -490,7 +506,8 @@ let replay_shard ~index ~page_sizes trace sessions =
       session_objs.(s);
     let wgroups = pgroups_of_grouping word_tbl in
     let wsegs = build_segments ~events ~windows_of:word_windows wgroups in
-    let hits = ref (count_union word_writes word_spans wsegs) in
+    segments := !segments + Array.length wsegs.s_lo;
+    let hits = ref (count_union ~queries word_writes word_spans wsegs) in
     (* Writes covering 3+ words are absent from the postings; a hit iff
        any covered word is live. Empty for machine-recorded traces. *)
     W.iter_wide_word_writes index (fun ~ev ~first ~last ->
@@ -505,8 +522,11 @@ let replay_shard ~index ~page_sizes trace sessions =
             build_segments ~events ~windows_of:page_windows
               (shift_pgroups (shift - 2) wgroups)
           in
+          segments := !segments + Array.length psegs.s_lo;
           let touches =
-            ref (count_union (W.page_writes view) (W.page_spans view) psegs)
+            ref
+              (count_union ~queries (W.page_writes view) (W.page_spans view)
+                 psegs)
           in
           (* A write spanning non-adjacent pages is in the postings at
              both its first and last page; drop the double count when
@@ -534,4 +554,9 @@ let replay_shard ~index ~page_sizes trace sessions =
       vm;
     }
   in
-  List.mapi (fun s session -> (session, counts_for s)) sessions
+  let rows = List.mapi (fun s session -> (session, counts_for s)) sessions in
+  Metrics.incr m_shards;
+  Metrics.add m_sessions nsessions;
+  Metrics.add m_segments !segments;
+  Metrics.add m_range_queries !queries;
+  rows

@@ -1,6 +1,18 @@
 module Trace = Ebp_trace.Trace
 module Write_index = Ebp_trace.Write_index
 module Bitmap = Ebp_util.Bitmap
+module Metrics = Ebp_obs.Metrics
+module Obs_span = Ebp_obs.Span
+
+(* Replay observability, at shard granularity only: counters are bumped
+   once per shard (never per event), so the enabled cost is noise and the
+   disabled cost is a handful of branches per replay call. The
+   scan-vs-indexed pair [replay.scan.writes] / [replay.indexed.writes]
+   (see {!Indexed_replay}) quantifies how much event scanning the index
+   turns into range arithmetic. *)
+let m_sessions = Metrics.counter "replay.sessions"
+let m_shards = Metrics.counter "replay.shards"
+let m_writes_scanned = Metrics.counter "replay.scan.writes"
 
 let default_page_sizes = [ 4096; 8192 ]
 
@@ -166,6 +178,7 @@ let page_write ps scratch ~lo ~hi touch =
    full pass would have produced for it. That independence is what makes
    the sharded parallel replay below bit-identical to the sequential one. *)
 let replay_shard ~page_sizes trace sessions =
+  Obs_span.with_span "replay.scan.shard" @@ fun () ->
   let sessions_arr = Array.of_list sessions in
   let nsessions = Array.length sessions_arr in
   (* Which sessions does each interned object belong to? Precomputed per
@@ -257,6 +270,9 @@ let replay_shard ~page_sizes trace sessions =
                 ps.touches.(s) <- ps.touches.(s) + 1))
           page_states
       end);
+  Metrics.incr m_shards;
+  Metrics.add m_sessions nsessions;
+  Metrics.add m_writes_scanned !total_writes;
   List.mapi
     (fun s session ->
       let vm =

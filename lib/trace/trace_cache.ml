@@ -6,6 +6,33 @@
 let version = "ebp-trace-cache-v1"
 let magic = "EBPC1"
 
+module Metrics = Ebp_obs.Metrics
+module Span = Ebp_obs.Span
+
+(* Cache observability: hit/miss counters and latency histograms for both
+   entry kinds, byte traffic, and what garbage collection reclaimed. All
+   updates are no-ops (one branch) until Metrics.set_enabled. *)
+let m_hits = Metrics.counter "trace_cache.hits"
+let m_misses = Metrics.counter "trace_cache.misses"
+let m_index_hits = Metrics.counter "trace_cache.index_hits"
+let m_index_misses = Metrics.counter "trace_cache.index_misses"
+let m_bytes_read = Metrics.counter "trace_cache.bytes_read"
+let m_bytes_written = Metrics.counter "trace_cache.bytes_written"
+let m_lookup_ns = Metrics.histogram "trace_cache.lookup_ns"
+let m_store_ns = Metrics.histogram "trace_cache.store_ns"
+let m_gc_removed = Metrics.counter "trace_cache.gc_removed"
+let m_gc_reclaimed = Metrics.counter "trace_cache.gc_reclaimed_bytes"
+let g_disk_bytes = Metrics.gauge "trace_cache.disk_bytes"
+
+let timed hist f =
+  if not (Metrics.is_enabled ()) then f ()
+  else begin
+    let started_ns = Span.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> Metrics.observe hist (Span.now_ns () - started_ns))
+      f
+  end
+
 let default_dir () =
   let absolute p = String.length p > 0 && p.[0] = '/' in
   match Sys.getenv_opt "XDG_CACHE_HOME" with
@@ -45,6 +72,7 @@ let read_int ic =
   !v
 
 let store ~dir ~key ?(meta = "") trace =
+  timed m_store_ns @@ fun () ->
   match
     mkdir_p dir;
     let tmp = Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp" in
@@ -58,7 +86,8 @@ let store ~dir ~key ?(meta = "") trace =
             output_string oc magic;
             write_int oc (String.length meta);
             output_string oc meta;
-            Trace.write_binary oc trace);
+            Trace.write_binary oc trace;
+            Metrics.add m_bytes_written (pos_out oc));
         Sys.rename tmp (entry_path ~dir ~key))
   with
   | () -> Ok ()
@@ -75,6 +104,7 @@ let index_path ~dir ~key ~page_sizes =
   Filename.concat dir (index_key ~key ~page_sizes ^ ".widx")
 
 let store_index ~dir ~key ~page_sizes index =
+  timed m_store_ns @@ fun () ->
   match
     mkdir_p dir;
     let ikey = index_key ~key ~page_sizes in
@@ -85,42 +115,153 @@ let store_index ~dir ~key ~page_sizes index =
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> Write_index.write_binary oc index);
+          (fun () ->
+            Write_index.write_binary oc index;
+            Metrics.add m_bytes_written (pos_out oc));
         Sys.rename tmp (index_path ~dir ~key ~page_sizes))
   with
   | () -> Ok ()
   | exception Sys_error msg -> Error msg
 
 let lookup_index ~dir ~key ~page_sizes =
+  timed m_lookup_ns @@ fun () ->
   let path = index_path ~dir ~key ~page_sizes in
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match Write_index.read_binary ic with
-          | Ok index -> Some index
-          | Error _ -> None
-          | exception (End_of_file | Sys_error _ | Invalid_argument _) -> None)
+  let found =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match Write_index.read_binary ic with
+            | Ok index ->
+                Metrics.add m_bytes_read (in_channel_length ic);
+                Some index
+            | Error _ -> None
+            | exception (End_of_file | Sys_error _ | Invalid_argument _) ->
+                None)
+  in
+  Metrics.incr (match found with Some _ -> m_index_hits | None -> m_index_misses);
+  found
 
 let lookup ~dir ~key =
+  timed m_lookup_ns @@ fun () ->
   let path = entry_path ~dir ~key in
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match
-            let got = really_input_string ic (String.length magic) in
-            if got <> magic then None
-            else
-              let len = read_int ic in
-              let meta = really_input_string ic len in
-              match Trace.read_binary ic with
-              | Ok trace -> Some (trace, meta)
-              | Error _ -> None
-          with
-          | entry -> entry
-          | exception (End_of_file | Sys_error _ | Invalid_argument _) -> None)
+  let found =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match
+              let got = really_input_string ic (String.length magic) in
+              if got <> magic then None
+              else
+                let len = read_int ic in
+                let meta = really_input_string ic len in
+                match Trace.read_binary ic with
+                | Ok trace ->
+                    Metrics.add m_bytes_read (in_channel_length ic);
+                    Some (trace, meta)
+                | Error _ -> None
+            with
+            | entry -> entry
+            | exception (End_of_file | Sys_error _ | Invalid_argument _) ->
+                None)
+  in
+  Metrics.incr (match found with Some _ -> m_hits | None -> m_misses);
+  found
+
+(* Garbage collection. The odoc contract is that entries never need
+   invalidation (keys are content hashes over the codec version), only
+   reclamation — so GC is pure space management: drop temp-file litter
+   from interrupted stores, then evict coldest-first by mtime. *)
+
+type entry_kind = Trace_entry | Index_entry | Tmp_entry
+
+type entry = {
+  entry_file : string;
+  entry_kind : entry_kind;
+  entry_bytes : int;
+  entry_mtime : float;
+}
+
+let classify file =
+  (* Temp files look like [.<key>NNNNNN.tmp]; classify on the suffix
+     first so a stray dot-prefixed .trace still counts as a trace. *)
+  if Filename.check_suffix file ".trace" then Some Trace_entry
+  else if Filename.check_suffix file ".widx" then Some Index_entry
+  else if Filename.check_suffix file ".tmp" && String.length file > 0
+          && file.[0] = '.' then Some Tmp_entry
+  else None
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun file ->
+             match classify file with
+             | None -> None
+             | Some entry_kind -> (
+                 match Unix.stat (Filename.concat dir file) with
+                 | exception Unix.Unix_error _ -> None
+                 | st when st.Unix.st_kind <> Unix.S_REG -> None
+                 | st ->
+                     Some
+                       {
+                         entry_file = file;
+                         entry_kind;
+                         entry_bytes = st.Unix.st_size;
+                         entry_mtime = st.Unix.st_mtime;
+                       }))
+      |> List.sort (fun a b ->
+             match compare a.entry_mtime b.entry_mtime with
+             | 0 -> compare a.entry_file b.entry_file
+             | c -> c)
+
+let remove_entry ~dir e =
+  match Sys.remove (Filename.concat dir e.entry_file) with
+  | () ->
+      Metrics.incr m_gc_removed;
+      Metrics.add m_gc_reclaimed e.entry_bytes;
+      true
+  | exception Sys_error _ -> false
+
+let total_bytes es =
+  List.fold_left (fun acc e -> acc + e.entry_bytes) 0 es
+
+let clear ~dir =
+  let removed, reclaimed =
+    List.fold_left
+      (fun (n, b) e ->
+        if remove_entry ~dir e then (n + 1, b + e.entry_bytes) else (n, b))
+      (0, 0) (entries ~dir)
+  in
+  Metrics.set g_disk_bytes (float_of_int (total_bytes (entries ~dir)));
+  (removed, reclaimed)
+
+let gc ~dir ~max_bytes =
+  let tmp, live =
+    List.partition (fun e -> e.entry_kind = Tmp_entry) (entries ~dir)
+  in
+  let drop acc e =
+    let n, b = acc in
+    if remove_entry ~dir e then (n + 1, b + e.entry_bytes) else acc
+  in
+  let acc = List.fold_left drop (0, 0) tmp in
+  (* [entries] sorts oldest-mtime first, so a plain fold evicts coldest
+     entries until the live set fits. *)
+  let acc, _ =
+    List.fold_left
+      (fun ((n, b), remaining) e ->
+        if remaining <= max_bytes then ((n, b), remaining)
+        else if remove_entry ~dir e then
+          ((n + 1, b + e.entry_bytes), remaining - e.entry_bytes)
+        else ((n, b), remaining))
+      (acc, total_bytes live)
+      live
+  in
+  Metrics.set g_disk_bytes (float_of_int (total_bytes (entries ~dir)));
+  acc

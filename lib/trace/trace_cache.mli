@@ -80,3 +80,45 @@ val store_index :
 
 val lookup_index :
   dir:string -> key:string -> page_sizes:int list -> Write_index.t option
+
+(** {2 Garbage collection}
+
+    Keys are content hashes over the codec version, so entries never go
+    stale — the only maintenance a cache directory needs is reclaiming
+    space. [ebp cache ls|clear|gc] drives the functions below.
+
+    Every operation in this module updates the [trace_cache.*] metrics
+    when {!Ebp_obs.Metrics} is enabled: hit/miss and byte counters for
+    lookups and stores, latency histograms, and
+    [trace_cache.gc_removed] / [trace_cache.gc_reclaimed_bytes] plus the
+    [trace_cache.disk_bytes] gauge for the GC entry points. *)
+
+type entry_kind =
+  | Trace_entry  (** a [<key>.trace] phase-1 recording *)
+  | Index_entry  (** a [<ikey>.widx] write index *)
+  | Tmp_entry    (** a [.<key>*.tmp] temp file orphaned by an interrupted
+                     store *)
+
+type entry = {
+  entry_file : string;  (** file name relative to the cache directory *)
+  entry_kind : entry_kind;
+  entry_bytes : int;
+  entry_mtime : float;
+}
+
+val entries : dir:string -> entry list
+(** Every cache-owned regular file in [dir] (unrecognised names are left
+    alone), sorted oldest mtime first, ties broken by name — i.e. in
+    eviction order. An unreadable directory is an empty list. *)
+
+val clear : dir:string -> int * int
+(** Remove every entry, temp files included. Returns
+    [(removed, reclaimed_bytes)]; files that vanish concurrently are
+    skipped, not errors. *)
+
+val gc : dir:string -> max_bytes:int -> int * int
+(** [gc ~dir ~max_bytes] first deletes all temp files (an interrupted
+    store's litter — harmless to a store in flight, which degrades to a
+    warning), then evicts live entries oldest-mtime-first until the
+    directory's cache-owned footprint is at most [max_bytes]. Returns
+    [(removed, reclaimed_bytes)]. *)

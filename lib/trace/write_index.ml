@@ -177,6 +177,9 @@ let log2_exact n =
   else go 0 n
 
 let build ~page_sizes trace =
+  (* The whole build is one span: it is the warm-run cost the .widx cache
+     exists to amortize, so its duration is worth a timeline entry. *)
+  Ebp_obs.Span.with_span "index.build" @@ fun () ->
   let events = Trace.length trace in
   let nobjs = Trace.object_count trace in
   let obj_vecs = Array.init nobjs (fun _ -> Vec.create ()) in

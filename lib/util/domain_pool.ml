@@ -3,6 +3,18 @@
    nonempty" (workers) and "a task finished" (the caller waiting out the
    tail of a batch it can no longer help with). *)
 
+module Metrics = Ebp_obs.Metrics
+module Span = Ebp_obs.Span
+
+(* Pool observability: per-domain task counts and busy time (the metrics
+   shards are per-domain, so the snapshot breakdown IS the utilization
+   picture), queue-wait latency, and one span per task for the timeline.
+   All of it is gated on Metrics.is_enabled — the disabled path adds one
+   branch per task, nothing per queue operation. *)
+let m_tasks = Metrics.counter "pool.tasks"
+let m_busy = Metrics.counter "pool.busy_ns"
+let m_queue_wait = Metrics.histogram "pool.queue_wait_ns"
+
 type t = {
   domains : int;
   mutex : Mutex.t;
@@ -46,19 +58,43 @@ let create ?(domains = Domain.recommended_domain_count ()) () =
 
 let domains t = t.domains
 
+(* Execute one task under the pool's observability: a [pool.task] span
+   (which also histograms its duration) plus the per-domain task and
+   busy-time counters. Only reached when metrics are enabled. *)
+let exec_observed task =
+  Metrics.incr m_tasks;
+  let started_ns = Span.now_ns () in
+  Fun.protect
+    ~finally:(fun () -> Metrics.add m_busy (Span.now_ns () - started_ns))
+    (fun () -> Span.with_span "pool.task" task)
+
+(* Queued tasks additionally record the enqueue-to-dequeue latency. *)
+let instrument task =
+  if not (Metrics.is_enabled ()) then task
+  else begin
+    let enqueued_ns = Span.now_ns () in
+    fun () ->
+      Metrics.observe m_queue_wait (Span.now_ns () - enqueued_ns);
+      exec_observed task
+  end
+
 let run t tasks =
   match tasks with
   | [] -> []
   | tasks when t.domains = 1 || List.compare_length_with tasks 1 = 0 ->
-      List.map (fun task -> task ()) tasks
+      List.map
+        (fun task -> if Metrics.is_enabled () then exec_observed task else task ())
+        tasks
   | tasks ->
       let tasks = Array.of_list tasks in
       let n = Array.length tasks in
       let results = Array.make n None in
       let remaining = ref n in
-      let wrap i () =
+      let wrap i =
+        let task = instrument tasks.(i) in
+        fun () ->
         let r =
-          match tasks.(i) () with
+          match task () with
           | v -> Ok v
           | exception e -> Error e
         in

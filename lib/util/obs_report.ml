@@ -1,0 +1,75 @@
+module Metrics = Ebp_obs.Metrics
+
+let fmt_ns ns =
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+
+(* Upper bound of the bucket where the [q]-quantile observation falls —
+   the tightest statement a log-bucketed histogram supports, hence the
+   "p90 <=" column heads. *)
+let quantile_upper (h : Metrics.hist) q =
+  let rank = max 1 (int_of_float (Float.round (q *. float_of_int h.Metrics.count))) in
+  let rec go cum = function
+    | [] -> h.Metrics.max_v
+    | (k, n) :: rest ->
+        if cum + n >= rank then min (Metrics.bucket_upper k) h.Metrics.max_v
+        else go (cum + n) rest
+  in
+  go 0 h.Metrics.buckets
+
+let counters_table counters =
+  let rows =
+    List.map
+      (fun (name, total, per_domain) ->
+        let breakdown =
+          match per_domain with
+          | [] | [ _ ] -> ""
+          | ps ->
+              String.concat " "
+                (List.map (fun (dom, v) -> Printf.sprintf "%d:%d" dom v) ps)
+        in
+        [ name; string_of_int total; breakdown ])
+      counters
+  in
+  "counters\n"
+  ^ Text_table.render ~header:[ "counter"; "value"; "per-domain" ] ~rows ()
+
+let gauges_table gauges =
+  let rows =
+    List.map (fun (name, v) -> [ name; Printf.sprintf "%.12g" v ]) gauges
+  in
+  "gauges\n" ^ Text_table.render ~header:[ "gauge"; "value" ] ~rows ()
+
+let hists_table hists =
+  let rows =
+    List.map
+      (fun (name, h) ->
+        if h.Metrics.count = 0 then [ name; "0"; "-"; "-"; "-"; "-"; "-" ]
+        else
+          [
+            name;
+            string_of_int h.Metrics.count;
+            fmt_ns (h.Metrics.sum / h.Metrics.count);
+            fmt_ns h.Metrics.min_v;
+            fmt_ns h.Metrics.max_v;
+            fmt_ns (quantile_upper h 0.5);
+            fmt_ns (quantile_upper h 0.9);
+          ])
+      hists
+  in
+  "timings (log-bucketed histograms, ns)\n"
+  ^ Text_table.render
+      ~header:[ "histogram"; "count"; "mean"; "min"; "max"; "p50<="; "p90<=" ]
+      ~rows ()
+
+let render (s : Metrics.snapshot) =
+  let sections =
+    (if s.Metrics.counters = [] then [] else [ counters_table s.Metrics.counters ])
+    @ (if s.Metrics.gauges = [] then [] else [ gauges_table s.Metrics.gauges ])
+    @ if s.Metrics.hists = [] then [] else [ hists_table s.Metrics.hists ]
+  in
+  match sections with
+  | [] -> "no metrics recorded\n"
+  | sections -> String.concat "\n" sections

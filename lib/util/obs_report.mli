@@ -1,0 +1,16 @@
+(** Human-readable rendering of observability snapshots.
+
+    Turns an {!Ebp_obs.Metrics.snapshot} into aligned {!Text_table}
+    tables: one for counters (with the per-domain breakdown when more
+    than one domain contributed), one for gauges, and one for histograms
+    — rendered as durations, since by convention every histogram in this
+    codebase records nanoseconds. Used by [ebp stats], the [--metrics]
+    flags, and the bench harness's per-section metric dumps. *)
+
+val render : Ebp_obs.Metrics.snapshot -> string
+(** All three tables (sections with empty bodies are skipped), each
+    preceded by a one-line heading. Deterministic for a given snapshot. *)
+
+val fmt_ns : int -> string
+(** A nanosecond count as a compact human duration ([741ns], [3.4us],
+    [12.7ms], [2.10s]). *)

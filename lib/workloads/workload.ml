@@ -7,6 +7,16 @@ type t = {
   expected_output : string option;
 }
 
+module Metrics = Ebp_obs.Metrics
+module Obs_span = Ebp_obs.Span
+
+(* Phase-1 observability: how many workloads were actually traced (as
+   opposed to served from the cache) and how many events those traces
+   carry. The [phase1.record] span wraps compile + machine run + trace
+   build, i.e. exactly the work a cache hit skips. *)
+let m_runs = Metrics.counter "phase1.runs"
+let m_events = Metrics.counter "phase1.events"
+
 let compiler =
   {
     name = "compiler";
@@ -98,6 +108,9 @@ type run = {
 }
 
 let record ?fuel w =
+  Obs_span.with_span ~args:[ ("workload", w.name) ] "phase1.record"
+  @@ fun () ->
+  Metrics.incr m_runs;
   match Ebp_lang.Compiler.compile w.source with
   | Error msg -> Error (Printf.sprintf "%s: compile error: %s" w.name msg)
   | Ok compiled -> (
@@ -114,6 +127,7 @@ let record ?fuel w =
                     (Printf.sprintf "%s: output mismatch:\nexpected:\n%s\ngot:\n%s"
                        w.name expected result.Ebp_runtime.Loader.output)
               | Some _ | None ->
+                  Metrics.add m_events (Ebp_trace.Trace.length trace);
                   Ok
                     {
                       workload = w;

@@ -1,0 +1,97 @@
+Observability end to end: --metrics writes an NDJSON snapshot, --trace-events
+writes Chrome trace-event JSON, ebp stats renders a snapshot as tables, and
+ebp cache inspects and garbage-collects the trace cache. Counters on the
+simulated machine are exact, so everything below is stable; only wall-clock
+durations are scrubbed.
+
+  $ cat > obs.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 20; i = i + 1) { g = g + i; }
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+
+A replay with metrics and spans enabled:
+
+  $ ebp sessions obs.mc --metrics m.ndjson --trace-events te.json | tail -n 1
+  3 sessions
+
+The snapshot leads with a format line and holds one JSON object per metric:
+
+  $ head -n 1 m.ndjson
+  {"type":"meta","format":"ebp-metrics","version":1}
+  $ grep -c '"type":"counter"' m.ndjson > /dev/null && echo has-counters
+  has-counters
+
+ebp stats renders it. The counters table is exact on the simulated
+machine; the timings table is wall-clock, so we only check which span
+histograms it carries.
+
+  $ ebp stats m.ndjson | sed -n '1,/^$/p'
+  counters
+  counter                         value  per-domain
+  ------------------------------  -----  ----------
+  loader.cycles                     439            
+  loader.instructions               291            
+  loader.runs                         1            
+  phase1.events                       0            
+  phase1.runs                         0            
+  pool.busy_ns                        0            
+  pool.tasks                          0            
+  replay.indexed.range_queries        9            
+  replay.indexed.segments             9            
+  replay.scan.writes                  0            
+  replay.sessions                     3            
+  replay.shards                       1            
+  trace_cache.bytes_read              0            
+  trace_cache.bytes_written           0            
+  trace_cache.gc_reclaimed_bytes      0            
+  trace_cache.gc_removed              0            
+  trace_cache.hits                    0            
+  trace_cache.index_hits              0            
+  trace_cache.index_misses            0            
+  trace_cache.misses                  0            
+  
+  $ ebp stats m.ndjson | grep -oE 'span\.[a-z._]+' | sort
+  span.index.build
+  span.loader.run
+  span.replay.indexed.shard
+
+The trace-event export is the Chrome array format: one complete event
+per span plus per-domain metadata records.
+
+  $ grep -o '"ph":"X"' te.json | wc -l | tr -d ' '
+  3
+  $ grep -o '"ph":"M"' te.json | wc -l | tr -d ' '
+  2
+  $ grep -o '"name":"replay.indexed.shard"' te.json | wc -l | tr -d ' '
+  1
+
+The cache subcommand. A cold cached trace run stores one entry:
+
+  $ ebp trace obs.mc --cached --cache-dir cache --metrics cold.ndjson 2>/dev/null >/dev/null
+  $ grep '"name":"trace_cache.misses"' cold.ndjson | grep -o '"value":[0-9]*'
+  "value":1
+  $ ebp cache ls --cache-dir cache | tail -n 1 | cut -d, -f1
+  1 entries
+
+A warm run hits it:
+
+  $ ebp trace obs.mc --cached --cache-dir cache --metrics warm.ndjson 2>/dev/null >/dev/null
+  $ grep '"name":"trace_cache.hits"' warm.ndjson | grep -o '"value":[0-9]*'
+  "value":1
+
+gc to a zero-byte budget evicts everything and reports what it reclaimed,
+through both the exit message and the gc metrics:
+
+  $ ebp cache gc --cache-dir cache --max-bytes 0 --metrics gc.ndjson | sed -E 's/reclaimed [0-9]+ bytes/reclaimed N bytes/'
+  removed 1 entries, reclaimed N bytes
+  $ grep '"name":"trace_cache.gc_removed"' gc.ndjson | grep -o '"value":[0-9]*'
+  "value":1
+  $ ebp cache ls --cache-dir cache
+  0 entries, 0 bytes
+  $ ebp cache clear --cache-dir cache
+  removed 0 entries, reclaimed 0 bytes

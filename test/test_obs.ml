@@ -1,0 +1,286 @@
+(* Tests for the observability subsystem: per-domain counter and
+   histogram shards must merge into exact totals whatever the domain
+   count, spans must nest and stay balanced across exceptions, the
+   disabled path must be a strict no-op, and an NDJSON snapshot must
+   round-trip structurally. *)
+
+module Metrics = Ebp_obs.Metrics
+module Span = Ebp_obs.Span
+module Export = Ebp_obs.Export
+module Json = Ebp_obs.Json
+
+(* The registry is process-global; every test starts from a clean,
+   disabled slate. Metric names are namespaced per test anyway, since
+   registration is permanent. *)
+let fresh () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  Span.reset ()
+
+let find_counter s name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) s.Metrics.counters
+  with
+  | Some (_, total, per_domain) -> (total, per_domain)
+  | None -> Alcotest.fail ("counter not in snapshot: " ^ name)
+
+let find_hist s name =
+  match List.assoc_opt name s.Metrics.hists with
+  | Some h -> h
+  | None -> Alcotest.fail ("histogram not in snapshot: " ^ name)
+
+(* --- counter merge across domains --- *)
+
+let test_counter_merge () =
+  List.iter
+    (fun domains ->
+      fresh ();
+      Metrics.set_enabled true;
+      let c = Metrics.counter "t.merge.c" in
+      let per_domain = 10_000 in
+      let work () =
+        for _ = 1 to per_domain do
+          Metrics.incr c
+        done
+      in
+      let others =
+        List.init (domains - 1) (fun _ -> Domain.spawn work)
+      in
+      work ();
+      List.iter Domain.join others;
+      Metrics.set_enabled false;
+      let total, breakdown = find_counter (Metrics.snapshot ()) "t.merge.c" in
+      Alcotest.(check int)
+        (Printf.sprintf "total on %d domains" domains)
+        (domains * per_domain) total;
+      Alcotest.(check int)
+        (Printf.sprintf "breakdown sums to total on %d domains" domains)
+        total
+        (List.fold_left (fun acc (_, v) -> acc + v) 0 breakdown);
+      Alcotest.(check int)
+        (Printf.sprintf "%d contributing domains" domains)
+        domains (List.length breakdown))
+    [ 1; 2; 4 ]
+
+(* --- histogram merge correctness (property) --- *)
+
+(* Reference bucket histogram built sequentially, compared against the
+   sharded one built by two racing domains. *)
+let prop_histogram_merge =
+  QCheck2.Test.make ~name:"histogram merge across 2 domains is exact"
+    ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 200) (int_range (-5) 2_000_000))
+        (list_size (int_range 0 200) (int_range (-5) 2_000_000)))
+    (fun (xs, ys) ->
+      fresh ();
+      Metrics.set_enabled true;
+      let h = Metrics.histogram "t.merge.h" in
+      let other = Domain.spawn (fun () -> List.iter (Metrics.observe h) ys) in
+      List.iter (Metrics.observe h) xs;
+      Domain.join other;
+      Metrics.set_enabled false;
+      let got = find_hist (Metrics.snapshot ()) "t.merge.h" in
+      let all = xs @ ys in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          let b = Metrics.bucket_of_value v in
+          Hashtbl.replace reference b
+            (1 + Option.value ~default:0 (Hashtbl.find_opt reference b)))
+        all;
+      let ref_buckets =
+        Hashtbl.fold (fun k n acc -> (k, n) :: acc) reference []
+        |> List.sort compare
+      in
+      got.Metrics.count = List.length all
+      && got.Metrics.sum = List.fold_left ( + ) 0 all
+      && List.sort compare got.Metrics.buckets = ref_buckets
+      && (all = []
+         || got.Metrics.min_v = List.fold_left min max_int all
+            && got.Metrics.max_v = List.fold_left max min_int all))
+
+let test_bucket_bounds () =
+  (* bucket 0 holds v <= 0; bucket k holds [2^(k-1), 2^k). *)
+  Alcotest.(check int) "zero" 0 (Metrics.bucket_of_value 0);
+  Alcotest.(check int) "negative" 0 (Metrics.bucket_of_value (-7));
+  Alcotest.(check int) "one" 1 (Metrics.bucket_of_value 1);
+  List.iter
+    (fun k ->
+      let lo = 1 lsl (k - 1) in
+      Alcotest.(check int) (Printf.sprintf "lower edge of %d" k) k
+        (Metrics.bucket_of_value lo);
+      Alcotest.(check int)
+        (Printf.sprintf "upper edge of %d" k)
+        k
+        (Metrics.bucket_of_value ((lo * 2) - 1));
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_upper %d" k)
+        ((1 lsl k) - 1) (Metrics.bucket_upper k))
+    [ 2; 5; 17; 40 ]
+
+(* --- registration --- *)
+
+let test_registration () =
+  fresh ();
+  let c1 = Metrics.counter "t.reg.same" in
+  let c2 = Metrics.counter "t.reg.same" in
+  Metrics.set_enabled true;
+  Metrics.incr c1;
+  Metrics.incr c2;
+  Metrics.set_enabled false;
+  let total, _ = find_counter (Metrics.snapshot ()) "t.reg.same" in
+  Alcotest.(check int) "same name, same cell" 2 total;
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"t.reg.same\" is a counter, not a histogram")
+    (fun () -> ignore (Metrics.histogram "t.reg.same"))
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  fresh ();
+  Metrics.set_enabled true;
+  let r =
+    Span.with_span "t.outer" (fun () ->
+        1 + Span.with_span "t.inner" (fun () -> 41))
+  in
+  Metrics.set_enabled false;
+  Alcotest.(check int) "value through nested spans" 42 r;
+  let events = Span.events () in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  let ev name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) events with
+    | Some (_, tid, ts, dur) -> (tid, ts, dur)
+    | None -> Alcotest.fail ("no event " ^ name)
+  in
+  let otid, ots, odur = ev "t.outer" in
+  let itid, its, idur = ev "t.inner" in
+  Alcotest.(check int) "same domain" otid itid;
+  Alcotest.(check bool) "inner nested in outer" true
+    (ots <= its && its + idur <= ots + odur);
+  (* Span durations also feed the histogram registry. *)
+  let h = find_hist (Metrics.snapshot ()) "span.t.outer" in
+  Alcotest.(check int) "span histogram count" 1 h.Metrics.count
+
+let test_span_balance_on_exception () =
+  fresh ();
+  Metrics.set_enabled true;
+  (match Span.with_span "t.boom" (fun () -> raise Exit) with
+  | () -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  Metrics.set_enabled false;
+  Alcotest.(check int) "event recorded despite raise" 1
+    (List.length (Span.events ()));
+  (* The export is the Chrome "JSON array" trace format: metadata events
+     (process/thread names) plus the one complete event. *)
+  let json = Span.to_trace_events () in
+  match Json.of_string json with
+  | Error msg -> Alcotest.fail ("trace events unparseable: " ^ msg)
+  | Ok (Json.List evs) ->
+      let phases =
+        List.filter_map
+          (fun ev -> Option.bind (Json.member "ph" ev) Json.to_str)
+          evs
+      in
+      Alcotest.(check int) "one complete event" 1
+        (List.length (List.filter (String.equal "X") phases));
+      Alcotest.(check bool) "metadata events present" true
+        (List.mem "M" phases)
+  | Ok _ -> Alcotest.fail "trace-event JSON is not an array"
+
+(* --- disabled path is a no-op --- *)
+
+let test_disabled_noop () =
+  fresh ();
+  let c = Metrics.counter "t.disabled.c" in
+  let h = Metrics.histogram "t.disabled.h" in
+  let g = Metrics.gauge "t.disabled.g" in
+  Metrics.incr c;
+  Metrics.add c 17;
+  Metrics.observe h 123;
+  Metrics.set g 4.5;
+  let r = Span.with_span "t.disabled.span" (fun () -> "through") in
+  Alcotest.(check string) "with_span passes value through" "through" r;
+  Alcotest.(check (list string)) "no span events" []
+    (List.map (fun (n, _, _, _) -> n) (Span.events ()));
+  let s = Metrics.snapshot () in
+  let total, breakdown = find_counter s "t.disabled.c" in
+  Alcotest.(check int) "counter untouched" 0 total;
+  Alcotest.(check int) "no contributing domains" 0 (List.length breakdown);
+  Alcotest.(check int) "histogram untouched" 0
+    (find_hist s "t.disabled.h").Metrics.count;
+  Alcotest.(check bool) "gauge untouched" true
+    (List.assoc_opt "t.disabled.g" s.Metrics.gauges = None)
+
+(* --- NDJSON round-trip --- *)
+
+let test_ndjson_roundtrip () =
+  fresh ();
+  Metrics.set_enabled true;
+  let c = Metrics.counter "t.rt.c" in
+  let h = Metrics.histogram "t.rt.h" in
+  let g = Metrics.gauge "t.rt.g" in
+  let other =
+    Domain.spawn (fun () ->
+        for i = 1 to 500 do
+          Metrics.add c 3;
+          Metrics.observe h (i * 1000)
+        done)
+  in
+  for i = 1 to 300 do
+    Metrics.incr c;
+    Metrics.observe h i
+  done;
+  Domain.join other;
+  Metrics.set g 0.125;
+  Metrics.set_enabled false;
+  let s = Metrics.snapshot () in
+  (match Export.of_ndjson (Export.to_ndjson s) with
+  | Error msg -> Alcotest.fail ("round-trip parse: " ^ msg)
+  | Ok s' ->
+      Alcotest.(check bool) "snapshot survives NDJSON round-trip" true
+        (s = s'));
+  (* Corrupt input is a line-numbered error, not an exception. *)
+  match Export.of_ndjson "{\"type\":\"meta\"}\nnot json\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length msg > 0 && msg.[0] = 'l')
+
+(* --- reset --- *)
+
+let test_reset () =
+  fresh ();
+  Metrics.set_enabled true;
+  let c = Metrics.counter "t.reset.c" in
+  Metrics.add c 9;
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let total, _ = find_counter (Metrics.snapshot ()) "t.reset.c" in
+  Alcotest.(check int) "counter zeroed, registration kept" 0 total
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter merge across 1/2/4 domains" `Quick
+            test_counter_merge;
+          QCheck_alcotest.to_alcotest prop_histogram_merge;
+          Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+          Alcotest.test_case "idempotent registration, kind clash" `Quick
+            test_registration;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "balance across exceptions" `Quick
+            test_span_balance_on_exception;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "everything is a no-op" `Quick test_disabled_noop ] );
+      ( "export",
+        [ Alcotest.test_case "NDJSON round-trip" `Quick test_ndjson_roundtrip ] );
+    ]

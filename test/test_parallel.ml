@@ -269,6 +269,81 @@ let test_record_cached_skips_execution () =
         (Replay.discover_and_replay cold.Workload.trace)
         (Replay.discover_and_replay warm.Workload.trace))
 
+let test_cache_entries_and_clear () =
+  with_temp_cache_dir (fun dir ->
+      Alcotest.(check int) "missing dir lists nothing" 0
+        (List.length (Trace_cache.entries ~dir:(Filename.concat dir "absent")));
+      let trace = synthetic_trace () in
+      let key = Trace_cache.make_key ~name:"e" ~source:"s" ~seed:1 () in
+      (match Trace_cache.store ~dir ~key trace with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      let index = Ebp_trace.Write_index.build ~page_sizes:[ 4096 ] trace in
+      (match Trace_cache.store_index ~dir ~key ~page_sizes:[ 4096 ] index with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      let es = Trace_cache.entries ~dir in
+      let kinds = List.map (fun e -> e.Trace_cache.entry_kind) es in
+      Alcotest.(check int) "two entries" 2 (List.length es);
+      Alcotest.(check bool) "one trace, one index" true
+        (List.mem Trace_cache.Trace_entry kinds
+        && List.mem Trace_cache.Index_entry kinds);
+      Alcotest.(check bool) "sizes recorded" true
+        (List.for_all (fun e -> e.Trace_cache.entry_bytes > 0) es);
+      let removed, reclaimed = Trace_cache.clear ~dir in
+      Alcotest.(check int) "clear removes both" 2 removed;
+      Alcotest.(check int) "clear reclaims their bytes"
+        (List.fold_left (fun acc e -> acc + e.Trace_cache.entry_bytes) 0 es)
+        reclaimed;
+      Alcotest.(check int) "empty after clear" 0
+        (List.length (Trace_cache.entries ~dir)))
+
+let test_cache_gc_evicts_oldest () =
+  with_temp_cache_dir (fun dir ->
+      let trace = synthetic_trace () in
+      let store name =
+        let key = Trace_cache.make_key ~name ~source:"s" ~seed:1 () in
+        (match Trace_cache.store ~dir ~key trace with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg);
+        key
+      in
+      let k1 = store "first" and k2 = store "second" and k3 = store "third" in
+      (* An orphaned temp file, as an interrupted store would leave. *)
+      let tmp = Filename.concat dir ".deadbeef0000.tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc "partial";
+      close_out oc;
+      (* Pin mtimes so age order (k2 oldest) differs from both store and
+         name order — gc must follow mtime. *)
+      let set_age key age =
+        let t = Unix.gettimeofday () -. age in
+        Unix.utimes (Filename.concat dir (key ^ ".trace")) t t
+      in
+      set_age k2 300.0;
+      set_age k1 200.0;
+      set_age k3 100.0;
+      let entry_bytes =
+        (Unix.stat (Filename.concat dir (k1 ^ ".trace"))).Unix.st_size
+      in
+      (* Budget for two entries: gc drops the temp file and evicts exactly
+         the oldest entry. *)
+      let removed, reclaimed =
+        Trace_cache.gc ~dir ~max_bytes:(2 * entry_bytes)
+      in
+      Alcotest.(check int) "removed temp file + oldest entry" 2 removed;
+      Alcotest.(check int) "reclaimed their bytes" (entry_bytes + 7) reclaimed;
+      Alcotest.(check bool) "temp file gone" true (not (Sys.file_exists tmp));
+      Alcotest.(check bool) "oldest entry evicted" true
+        (Trace_cache.lookup ~dir ~key:k2 = None);
+      Alcotest.(check bool) "newer entries survive" true
+        (Trace_cache.lookup ~dir ~key:k1 <> None
+        && Trace_cache.lookup ~dir ~key:k3 <> None);
+      let removed, _ = Trace_cache.gc ~dir ~max_bytes:0 in
+      Alcotest.(check int) "gc to zero removes the rest" 2 removed;
+      Alcotest.(check (pair int int)) "nothing left to clear" (0, 0)
+        (Trace_cache.clear ~dir))
+
 let test_experiment_parallel_identical () =
   (* The whole engine end-to-end on one real workload: domains 1 vs 3 and
      cold vs warm cache must produce byte-identical experiment reports. *)
@@ -319,6 +394,10 @@ let () =
             test_cache_corrupt_entry_is_miss;
           Alcotest.test_case "warm hit skips execution" `Quick
             test_record_cached_skips_execution;
+          Alcotest.test_case "entries and clear" `Quick
+            test_cache_entries_and_clear;
+          Alcotest.test_case "gc evicts oldest first" `Quick
+            test_cache_gc_evicts_oldest;
           Alcotest.test_case "experiment engines agree" `Slow
             test_experiment_parallel_identical;
         ] );
