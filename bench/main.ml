@@ -338,6 +338,29 @@ let wall_ms f =
   let r = f () in
   (r, 1000.0 *. (Unix.gettimeofday () -. t0))
 
+(* --- machine-readable output (--json FILE) --- *)
+
+module Json = Ebp_obs.Json
+
+(* Rows accumulated by the phase-1 and replay-engine sections; written as
+   one JSON object at the end of the run so CI can archive the perf
+   trajectory (BENCH_CI.json artifact). *)
+let json_phase1 : Json.t list ref = ref []
+let json_phase2 : Json.t list ref = ref []
+
+let write_json_file path =
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Str "ebp-bench/v1");
+        ("phase1", Json.List (List.rev !json_phase1));
+        ("phase2", Json.List (List.rev !json_phase2));
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n')
+
 (* Run one bench section with the observability subsystem enabled and
    dump what it accumulated right after the section's own output. The
    counters are reset per section, so e.g. the cold-cache experiment and
@@ -442,6 +465,101 @@ let run_parallel_engine (t : Ebp_core.Experiment.t) ~workloads ~cache_dir
   end;
   print_newline ()
 
+(* --- phase 1: cold trace generation throughput + codec/cache I/O --- *)
+
+let run_phase1 workloads =
+  let module Workload = Ebp_workloads.Workload in
+  let module Trace = Ebp_trace.Trace in
+  let module Trace_cache = Ebp_trace.Trace_cache in
+  print_endline
+    "Phase 1: cold trace generation (predecoded interpreter), binary codec,\n\
+     and trace-cache I/O";
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ebp-bench-phase1-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists cache_dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat cache_dir f))
+          (Sys.readdir cache_dir);
+        Sys.rmdir cache_dir
+      end)
+    (fun () ->
+      let rows =
+        List.map
+          (fun (w : Workload.t) ->
+            Gc.compact ();
+            let run, record_ms =
+              wall_ms (fun () ->
+                  match Workload.record w with
+                  | Ok run -> run
+                  | Error msg -> failwith ("phase-1 bench: " ^ msg))
+            in
+            let instructions =
+              match run.Workload.result with
+              | Some r -> r.Ebp_runtime.Loader.instructions
+              | None -> 0
+            in
+            let events = Trace.length run.Workload.trace in
+            let minstr_s = float_of_int instructions /. record_ms /. 1000.0 in
+            let key = Workload.cache_key w in
+            (match
+               Trace_cache.store ~dir:cache_dir ~key run.Workload.trace
+             with
+            | Ok () -> ()
+            | Error msg -> failwith ("phase-1 bench: cache store: " ^ msg));
+            let entry_bytes =
+              List.fold_left
+                (fun acc (e : Trace_cache.entry) -> acc + e.Trace_cache.entry_bytes)
+                0
+                (Trace_cache.entries ~dir:cache_dir)
+            in
+            let bytes_per_event = float_of_int entry_bytes /. float_of_int events in
+            Gc.compact ();
+            let loaded, load_ms =
+              wall_ms (fun () -> Trace_cache.lookup ~dir:cache_dir ~key)
+            in
+            (match loaded with
+            | Some (t, _) when Trace.length t = events -> ()
+            | Some _ -> failwith "phase-1 bench: warm load returned a different trace"
+            | None -> failwith "phase-1 bench: warm load missed");
+            (* One cache entry at a time keeps [entries] attribution exact. *)
+            Trace_cache.clear ~dir:cache_dir |> ignore;
+            json_phase1 :=
+              Json.Obj
+                [
+                  ("workload", Json.Str w.Workload.name);
+                  ("record_ms", Json.Float record_ms);
+                  ("instructions", Json.Int instructions);
+                  ("minstr_per_s", Json.Float minstr_s);
+                  ("events", Json.Int events);
+                  ("cache_entry_bytes", Json.Int entry_bytes);
+                  ("bytes_per_event", Json.Float bytes_per_event);
+                  ("warm_load_ms", Json.Float load_ms);
+                ]
+              :: !json_phase1;
+            [
+              w.Workload.name;
+              Printf.sprintf "%.0f" record_ms;
+              string_of_int instructions;
+              Printf.sprintf "%.1f" minstr_s;
+              string_of_int events;
+              string_of_int entry_bytes;
+              Printf.sprintf "%.1f" bytes_per_event;
+              Printf.sprintf "%.0f" load_ms;
+            ])
+          workloads
+      in
+      print_string
+        (Ebp_util.Text_table.render
+           ~header:
+             [ "workload"; "record ms"; "instructions"; "Minstr/s"; "events";
+               "cache bytes"; "B/event"; "warm load ms" ]
+           ~rows ());
+      print_newline ())
+
 (* --- replay engines: scan vs indexed phase-2 replay --- *)
 
 let run_engine_comparison traces =
@@ -478,6 +596,18 @@ let run_engine_comparison traces =
         totals.(0) <- totals.(0) +. scan_ms;
         totals.(1) <- totals.(1) +. build_ms;
         totals.(2) <- totals.(2) +. query_ms;
+        json_phase2 :=
+          Json.Obj
+            [
+              ("workload", Json.Str name);
+              ("sessions", Json.Int (List.length sessions));
+              ("events", Json.Int (Ebp_trace.Trace.length trace));
+              ("scan_ms", Json.Float scan_ms);
+              ("index_build_ms", Json.Float build_ms);
+              ("indexed_query_ms", Json.Float query_ms);
+              ("identical", Json.Bool identical);
+            ]
+          :: !json_phase2;
         [
           name;
           string_of_int (List.length sessions);
@@ -563,9 +693,18 @@ let () =
   (* --quick: a CI smoke pass — circuit-only experiment plus the engine
      comparison, skipping the bechamel micro-benchmarks and the slow
      ablations. --engines: only the scan-vs-indexed comparison, all
-     workloads (the table EXPERIMENTS.md quotes). *)
+     workloads (the table EXPERIMENTS.md quotes). --json FILE: also dump
+     the phase-1/phase-2 rows as machine-readable JSON. *)
   let flag name = Array.exists (String.equal name) Sys.argv in
   let quick = flag "--quick" and engines_only = flag "--engines" in
+  let json_path =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
   print_endline "=== Efficient Data Breakpoints: benchmark harness ===";
   print_newline ();
   if not (quick || engines_only) then run_benchmarks ();
@@ -576,6 +715,12 @@ let () =
         Ebp_workloads.Workload.all
     else Ebp_workloads.Workload.all
   in
+  if not engines_only then begin
+    print_endline "=== Phase 1: trace generation ===";
+    print_newline ();
+    with_section_metrics "phase 1 (cold record, codec, cache)" (fun () ->
+        run_phase1 workloads)
+  end;
   print_endline "=== Simulation experiment (Tables 1-4, Figures 7-9) ===";
   print_newline ();
   (* A private trace cache for this bench run: the first (sequential)
@@ -620,4 +765,9 @@ let () =
   if not (quick || engines_only) then begin
     run_validation ();
     run_hoisting_ablation ()
-  end
+  end;
+  match json_path with
+  | Some path ->
+      write_json_file path;
+      Printf.printf "bench JSON written to %s\n" path
+  | None -> ()

@@ -2,21 +2,113 @@ module Interval = Ebp_util.Interval
 module Instr = Ebp_isa.Instr
 module Reg = Ebp_isa.Reg
 module Program = Ebp_isa.Program
+module Metrics = Ebp_obs.Metrics
 
 type stop_reason = Halted of int | Out_of_fuel | Machine_error of string
+
+(* Published as batch deltas when [run] returns (and one at a time from
+   [step]), never per instruction, so the hot loop stays metric-free. *)
+let m_steps = Metrics.counter "machine.steps"
+let m_stores = Metrics.counter "machine.stores"
+
+(* The program is predecoded at [create] into flat parallel int arrays —
+   one opcode dispatch, no boxed [Instr.t] traversal, no per-step
+   allocation. Operand meaning per opcode (unused fields are 0):
+
+     op              rd        r1        r2     sub          imm
+     0  Nop          -         -         -      -            -
+     1  Halt         -         -         -      -            -
+     2  Li           dest      -         -      -            value
+     3  Mv           dest      src       -      -            -
+     4  Lw           dest      base      -      -            offset
+     5  Lb           dest      base      -      -            offset
+     6  Sw           value     base      -      -            offset
+     7  Sb           value     base      -      -            offset
+     8  Br           -         lhs       rhs    cond index   target pc
+     9  Jmp          -         -         -      -            target pc
+     10 Jal          -         -         -      -            target pc
+     11 Jalr         -         dest reg  -      -            -
+     12 Ret          -         -         -      -            -
+     13 Syscall      -         -         -      -            number
+     14 Trap         -         -         -      -            code
+     15 Chk          -         base      -      width        offset
+     16 Enter        -         -         -      -            func id
+     17 Leave        -         -         -      -            func id
+     18 Alu          dest      lhs       rhs    alu index    -
+     19 Alui         dest      lhs       -      alu index    value
+
+   Branch/jump targets are resolved to absolute pcs at decode time, and
+   the cost model is folded into [d_cost] so the loop charges cycles with
+   one array read. *)
+
+let op_nop = 0
+let op_halt = 1
+let op_li = 2
+let op_mv = 3
+let op_lw = 4
+let op_lb = 5
+let op_sw = 6
+let op_sb = 7
+let op_br = 8
+let op_jmp = 9
+let op_jal = 10
+let op_jalr = 11
+let op_ret = 12
+let op_syscall = 13
+let op_trap = 14
+let op_chk = 15
+let op_enter = 16
+let op_leave = 17
+let op_alu = 18
+let op_alui = 19
+
+let alu_index : Instr.alu_op -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Sll -> 8
+  | Srl -> 9
+  | Sra -> 10
+  | Slt -> 11
+  | Sle -> 12
+  | Seq -> 13
+  | Sne -> 14
+
+let cond_index : Instr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Gt -> 4
+  | Le -> 5
 
 type t = {
   mem : Memory.t;
   costs : Cost_model.t;
   prog : Program.t;
-  code : Program.item array;
+  code_len : int;
+  d_op : int array;
+  d_rd : int array;
+  d_r1 : int array;
+  d_r2 : int array;
+  d_sub : int array;
+  d_imm : int array;
+  d_cost : int array;
+  d_implicit : bool array;
   regs : int array;
   mutable pc : int;
   mutable cycles : int;
   mutable executed : int;
+  mutable stores : int;
   mutable funcs : int list;
   mutable halted : int option;
   monitor_regs : Interval.t option array;
+  mutable live_monitors : int;
   mutable store_hook :
     (t -> addr:int -> width:int -> value:int -> pc:int -> implicit:bool -> unit) option;
   mutable enter_hook : (t -> int -> unit) option;
@@ -30,24 +122,124 @@ type t = {
   mutable chk_handler : (t -> range:Interval.t -> pc:int -> unit) option;
 }
 
+let reg_ra = Reg.to_int Reg.ra
+let reg_v0 = Reg.to_int Reg.v0
+
+let target_index = function
+  | Instr.Abs i -> i
+  | Instr.Label l -> invalid_arg ("Machine: unresolved label " ^ l)
+
 let create ?mem ?(costs = Cost_model.default) ?(monitor_reg_count = 4) prog =
   if not (Program.is_resolved prog) then
     invalid_arg "Machine.create: program has unresolved labels";
   if monitor_reg_count < 0 then
     invalid_arg "Machine.create: negative monitor register count";
   let mem = match mem with Some m -> m | None -> Memory.create () in
+  let items = Program.items prog in
+  let n = Array.length items in
+  let d_op = Array.make n 0 in
+  let d_rd = Array.make n 0 in
+  let d_r1 = Array.make n 0 in
+  let d_r2 = Array.make n 0 in
+  let d_sub = Array.make n 0 in
+  let d_imm = Array.make n 0 in
+  let d_cost = Array.make n 0 in
+  let d_implicit = Array.make n false in
+  for i = 0 to n - 1 do
+    let { Program.instr; implicit } = items.(i) in
+    d_implicit.(i) <- implicit;
+    d_cost.(i) <- Cost_model.cost costs instr;
+    (match instr with
+    | Nop -> d_op.(i) <- op_nop
+    | Halt -> d_op.(i) <- op_halt
+    | Li (rd, imm) ->
+        d_op.(i) <- op_li;
+        d_rd.(i) <- Reg.to_int rd;
+        d_imm.(i) <- imm
+    | Mv (rd, rs) ->
+        d_op.(i) <- op_mv;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int rs
+    | Alu (op, rd, r1, r2) ->
+        d_op.(i) <- op_alu;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int r1;
+        d_r2.(i) <- Reg.to_int r2;
+        d_sub.(i) <- alu_index op
+    | Alui (op, rd, r1, imm) ->
+        d_op.(i) <- op_alui;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int r1;
+        d_sub.(i) <- alu_index op;
+        d_imm.(i) <- imm
+    | Lw (rd, rs, off) ->
+        d_op.(i) <- op_lw;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int rs;
+        d_imm.(i) <- off
+    | Lb (rd, rs, off) ->
+        d_op.(i) <- op_lb;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int rs;
+        d_imm.(i) <- off
+    | Sw (rd, rs, off) ->
+        d_op.(i) <- op_sw;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int rs;
+        d_imm.(i) <- off
+    | Sb (rd, rs, off) ->
+        d_op.(i) <- op_sb;
+        d_rd.(i) <- Reg.to_int rd;
+        d_r1.(i) <- Reg.to_int rs;
+        d_imm.(i) <- off
+    | Br (c, r1, r2, target) ->
+        d_op.(i) <- op_br;
+        d_r1.(i) <- Reg.to_int r1;
+        d_r2.(i) <- Reg.to_int r2;
+        d_sub.(i) <- cond_index c;
+        d_imm.(i) <- target_index target
+    | Jmp target ->
+        d_op.(i) <- op_jmp;
+        d_imm.(i) <- target_index target
+    | Jal target ->
+        d_op.(i) <- op_jal;
+        d_imm.(i) <- target_index target
+    | Jalr rs ->
+        d_op.(i) <- op_jalr;
+        d_r1.(i) <- Reg.to_int rs
+    | Ret -> d_op.(i) <- op_ret
+    | Syscall n -> d_op.(i) <- op_syscall; d_imm.(i) <- n
+    | Trap code -> d_op.(i) <- op_trap; d_imm.(i) <- code
+    | Chk { base; off; width } ->
+        d_op.(i) <- op_chk;
+        d_r1.(i) <- Reg.to_int base;
+        d_sub.(i) <- width;
+        d_imm.(i) <- off
+    | Enter f -> d_op.(i) <- op_enter; d_imm.(i) <- f
+    | Leave f -> d_op.(i) <- op_leave; d_imm.(i) <- f)
+  done;
   {
     mem;
     costs;
     prog;
-    code = Program.items prog;
+    code_len = n;
+    d_op;
+    d_rd;
+    d_r1;
+    d_r2;
+    d_sub;
+    d_imm;
+    d_cost;
+    d_implicit;
     regs = Array.make Reg.count 0;
     pc = 0;
     cycles = 0;
     executed = 0;
+    stores = 0;
     funcs = [];
     halted = None;
     monitor_regs = Array.make monitor_reg_count None;
+    live_monitors = 0;
     store_hook = None;
     enter_hook = None;
     leave_hook = None;
@@ -70,6 +262,9 @@ let get_reg t r = t.regs.(Reg.to_int r)
 let set_reg t r v =
   let i = Reg.to_int r in
   if i <> 0 then t.regs.(i) <- truncate32 v
+
+(* Register writes from the decoded loop: [rd] is already an int index. *)
+let[@inline] write_reg t rd v = if rd <> 0 then t.regs.(rd) <- truncate32 v
 
 let pc t = t.pc
 let set_pc t pc = t.pc <- pc
@@ -94,215 +289,220 @@ let check_monitor_idx t i =
   if i < 0 || i >= Array.length t.monitor_regs then
     invalid_arg (Printf.sprintf "Machine: monitor register %d out of range" i)
 
+(* [live_monitors] counts the [Some _] slots so stores can skip the scan
+   (and the Interval allocation) entirely while no monitors are armed —
+   the overwhelmingly common case during phase-1 trace recording. *)
 let set_monitor_reg t i v =
   check_monitor_idx t i;
+  (match (t.monitor_regs.(i), v) with
+  | None, Some _ -> t.live_monitors <- t.live_monitors + 1
+  | Some _, None -> t.live_monitors <- t.live_monitors - 1
+  | None, None | Some _, Some _ -> ());
   t.monitor_regs.(i) <- v
 
 let monitor_reg t i =
   check_monitor_idx t i;
   t.monitor_regs.(i)
 
-let monitor_hit t range =
-  let n = Array.length t.monitor_regs in
+(* First armed monitor register overlapping [lo, hi], or -1. *)
+let monitor_hit_raw t ~lo ~hi =
+  let regs = t.monitor_regs in
+  let n = Array.length regs in
   let rec go i =
-    if i >= n then None
+    if i >= n then -1
     else
-      match t.monitor_regs.(i) with
-      | Some m when Interval.overlaps m range -> Some i
+      match Array.unsafe_get regs i with
+      | Some m when Interval.lo m <= hi && lo <= Interval.hi m -> i
       | Some _ | None -> go (i + 1)
   in
   go 0
 
-let alu_eval op a b =
-  let bool_int c = if c then 1 else 0 in
-  match (op : Instr.alu_op) with
-  | Add -> Some (a + b)
-  | Sub -> Some (a - b)
-  | Mul -> Some (a * b)
-  | Div -> if b = 0 then None else Some (a / b)
-  | Rem -> if b = 0 then None else Some (a mod b)
-  | And -> Some (a land b)
-  | Or -> Some (a lor b)
-  | Xor -> Some (a lxor b)
-  | Sll -> Some (a lsl (b land 31))
-  | Srl -> Some ((a land 0xFFFFFFFF) lsr (b land 31))
-  | Sra -> Some (a asr (b land 31))
-  | Slt -> Some (bool_int (a < b))
-  | Sle -> Some (bool_int (a <= b))
-  | Seq -> Some (bool_int (a = b))
-  | Sne -> Some (bool_int (a <> b))
+exception Stop of stop_reason
 
-let cond_eval c a b =
-  match (c : Instr.cond) with
-  | Eq -> a = b
-  | Ne -> a <> b
-  | Lt -> a < b
-  | Ge -> a >= b
-  | Gt -> a > b
-  | Le -> a <= b
+let stop_error fmt = Printf.ksprintf (fun msg -> raise (Stop (Machine_error msg))) fmt
 
-let target_index = function
-  | Instr.Abs i -> i
-  | Instr.Label l -> invalid_arg ("Machine: unresolved label " ^ l)
+let alu_eval_sub sub a b instr_pc =
+  match sub with
+  | 0 (* Add *) -> a + b
+  | 1 (* Sub *) -> a - b
+  | 2 (* Mul *) -> a * b
+  | 3 (* Div *) ->
+      if b = 0 then stop_error "division by zero at pc %d" instr_pc else a / b
+  | 4 (* Rem *) ->
+      if b = 0 then stop_error "division by zero at pc %d" instr_pc else a mod b
+  | 5 (* And *) -> a land b
+  | 6 (* Or *) -> a lor b
+  | 7 (* Xor *) -> a lxor b
+  | 8 (* Sll *) -> a lsl (b land 31)
+  | 9 (* Srl *) -> (a land 0xFFFFFFFF) lsr (b land 31)
+  | 10 (* Sra *) -> a asr (b land 31)
+  | 11 (* Slt *) -> if a < b then 1 else 0
+  | 12 (* Sle *) -> if a <= b then 1 else 0
+  | 13 (* Seq *) -> if a = b then 1 else 0
+  | _ (* Sne *) -> if a <> b then 1 else 0
+
+let cond_eval_sub sub a b =
+  match sub with
+  | 0 (* Eq *) -> a = b
+  | 1 (* Ne *) -> a <> b
+  | 2 (* Lt *) -> a < b
+  | 3 (* Ge *) -> a >= b
+  | 4 (* Gt *) -> a > b
+  | _ (* Le *) -> a <= b
 
 (* Execute a store. Order of events (§2, §3.1): protection is checked
    before the write (VM faults are barriers at the page level); hardware
    monitor notification happens after the write has succeeded. *)
 let exec_store t instr_pc ~addr ~width ~value ~implicit =
-  let store () =
+  match
     if width = 4 then Memory.store_word t.mem addr value
     else Memory.store_byte t.mem addr value
-  in
-  match store () with
+  with
   | () ->
       t.pc <- instr_pc + 1;
-      (match monitor_hit t (Interval.of_base_size ~base:addr ~size:width) with
-      | Some reg -> (
+      t.stores <- t.stores + 1;
+      if t.live_monitors > 0 then begin
+        let reg = monitor_hit_raw t ~lo:addr ~hi:(addr + width - 1) in
+        if reg >= 0 then
           match t.monitor_fault_handler with
           | Some h -> h t ~reg ~addr ~width ~pc:instr_pc
-          | None -> ())
-      | None -> ());
+          | None -> ()
+      end;
       (match t.store_hook with
       | Some h -> h t ~addr ~width ~value ~pc:instr_pc ~implicit
-      | None -> ());
-      None
+      | None -> ())
   | exception Memory.Write_fault _ -> (
       match t.write_fault_handler with
       | Some h ->
           t.pc <- instr_pc + 1;
-          h t ~addr ~width ~value ~pc:instr_pc;
-          None
-      | None ->
-          Some
-            (Machine_error
-               (Printf.sprintf "unhandled write fault at 0x%x (pc %d)" addr
-                  instr_pc)))
+          h t ~addr ~width ~value ~pc:instr_pc
+      | None -> stop_error "unhandled write fault at 0x%x (pc %d)" addr instr_pc)
+
+(* Execute the instruction at [t.pc]. Assumes the pc is in range and the
+   machine is not halted; raises [Stop] instead of returning a reason so
+   the steady state allocates nothing. Hook-visible pc convention, kept
+   bit-for-bit from the boxed interpreter: Chk/Enter/Leave handlers run
+   with [pc] still at the instruction; store/syscall/trap/write-fault
+   handlers run with [pc] already advanced past it. *)
+let exec_one t =
+  let i = t.pc in
+  t.executed <- t.executed + 1;
+  t.cycles <- t.cycles + Array.unsafe_get t.d_cost i;
+  (match Array.unsafe_get t.d_op i with
+  | 0 (* Nop *) -> t.pc <- i + 1
+  | 1 (* Halt *) -> raise (Stop (Halted t.regs.(reg_v0)))
+  | 2 (* Li *) ->
+      write_reg t t.d_rd.(i) t.d_imm.(i);
+      t.pc <- i + 1
+  | 3 (* Mv *) ->
+      write_reg t t.d_rd.(i) t.regs.(t.d_r1.(i));
+      t.pc <- i + 1
+  | 4 (* Lw *) ->
+      write_reg t t.d_rd.(i) (Memory.load_word t.mem (t.regs.(t.d_r1.(i)) + t.d_imm.(i)));
+      t.pc <- i + 1
+  | 5 (* Lb *) ->
+      write_reg t t.d_rd.(i) (Memory.load_byte t.mem (t.regs.(t.d_r1.(i)) + t.d_imm.(i)));
+      t.pc <- i + 1
+  | 6 (* Sw *) ->
+      exec_store t i
+        ~addr:(t.regs.(t.d_r1.(i)) + t.d_imm.(i))
+        ~width:4 ~value:t.regs.(t.d_rd.(i))
+        ~implicit:(Array.unsafe_get t.d_implicit i)
+  | 7 (* Sb *) ->
+      exec_store t i
+        ~addr:(t.regs.(t.d_r1.(i)) + t.d_imm.(i))
+        ~width:1
+        ~value:(t.regs.(t.d_rd.(i)) land 0xff)
+        ~implicit:(Array.unsafe_get t.d_implicit i)
+  | 8 (* Br *) ->
+      if cond_eval_sub t.d_sub.(i) t.regs.(t.d_r1.(i)) t.regs.(t.d_r2.(i)) then
+        t.pc <- t.d_imm.(i)
+      else t.pc <- i + 1
+  | 9 (* Jmp *) -> t.pc <- t.d_imm.(i)
+  | 10 (* Jal *) ->
+      write_reg t reg_ra (i + 1);
+      t.pc <- t.d_imm.(i)
+  | 11 (* Jalr *) ->
+      let dest = t.regs.(t.d_r1.(i)) in
+      write_reg t reg_ra (i + 1);
+      t.pc <- dest
+  | 12 (* Ret *) -> t.pc <- t.regs.(reg_ra)
+  | 13 (* Syscall *) -> (
+      match t.syscall_handler with
+      | Some h ->
+          t.pc <- i + 1;
+          h t t.d_imm.(i)
+      | None -> stop_error "syscall %d with no handler at pc %d" t.d_imm.(i) i)
+  | 14 (* Trap *) -> (
+      match t.trap_handler with
+      | Some h ->
+          t.pc <- i + 1;
+          h t ~code:t.d_imm.(i) ~trap_pc:i
+      | None -> stop_error "trap %d with no handler at pc %d" t.d_imm.(i) i)
+  | 15 (* Chk *) ->
+      (match t.chk_handler with
+      | Some h ->
+          let lo = t.regs.(t.d_r1.(i)) + t.d_imm.(i) in
+          h t ~range:(Interval.of_base_size ~base:lo ~size:t.d_sub.(i)) ~pc:i
+      | None -> ());
+      t.pc <- i + 1
+  | 16 (* Enter *) ->
+      let f = t.d_imm.(i) in
+      t.funcs <- f :: t.funcs;
+      (match t.enter_hook with Some h -> h t f | None -> ());
+      t.pc <- i + 1
+  | 17 (* Leave *) ->
+      let f = t.d_imm.(i) in
+      (match t.funcs with g :: rest when g = f -> t.funcs <- rest | _ -> ());
+      (match t.leave_hook with Some h -> h t f | None -> ());
+      t.pc <- i + 1
+  | 18 (* Alu *) ->
+      write_reg t t.d_rd.(i)
+        (alu_eval_sub t.d_sub.(i) t.regs.(t.d_r1.(i)) t.regs.(t.d_r2.(i)) i);
+      t.pc <- i + 1
+  | _ (* Alui *) ->
+      write_reg t t.d_rd.(i)
+        (alu_eval_sub t.d_sub.(i) t.regs.(t.d_r1.(i)) t.d_imm.(i) i);
+      t.pc <- i + 1);
+  (* A handler may have requested an orderly halt. *)
+  match t.halted with Some code -> raise (Stop (Halted code)) | None -> ()
 
 let step t =
   match t.halted with
   | Some code -> Some (Halted code)
   | None ->
-      if t.pc < 0 || t.pc >= Array.length t.code then
+      if t.pc < 0 || t.pc >= t.code_len then
         Some (Machine_error (Printf.sprintf "pc out of range: %d" t.pc))
       else begin
-        let { Program.instr; implicit } = t.code.(t.pc) in
-        let instr_pc = t.pc in
-        t.executed <- t.executed + 1;
-        t.cycles <- t.cycles + Cost_model.cost t.costs instr;
-        let continue () =
-          t.pc <- instr_pc + 1;
-          None
-        in
+        let stores0 = t.stores in
         let result =
-          match instr with
-          | Nop -> continue ()
-          | Halt -> Some (Halted (get_reg t Reg.v0))
-          | Li (rd, imm) ->
-              set_reg t rd imm;
-              continue ()
-          | Mv (rd, rs) ->
-              set_reg t rd (get_reg t rs);
-              continue ()
-          | Alu (op, rd, r1, r2) -> (
-              match alu_eval op (get_reg t r1) (get_reg t r2) with
-              | Some v ->
-                  set_reg t rd v;
-                  continue ()
-              | None ->
-                  Some (Machine_error (Printf.sprintf "division by zero at pc %d" instr_pc)))
-          | Alui (op, rd, r1, imm) -> (
-              match alu_eval op (get_reg t r1) imm with
-              | Some v ->
-                  set_reg t rd v;
-                  continue ()
-              | None ->
-                  Some (Machine_error (Printf.sprintf "division by zero at pc %d" instr_pc)))
-          | Lw (rd, rs, off) ->
-              set_reg t rd (Memory.load_word t.mem (get_reg t rs + off));
-              continue ()
-          | Lb (rd, rs, off) ->
-              set_reg t rd (Memory.load_byte t.mem (get_reg t rs + off));
-              continue ()
-          | Sw (rd, rs, off) ->
-              exec_store t instr_pc ~addr:(get_reg t rs + off) ~width:4
-                ~value:(get_reg t rd) ~implicit
-          | Sb (rd, rs, off) ->
-              exec_store t instr_pc ~addr:(get_reg t rs + off) ~width:1
-                ~value:(get_reg t rd land 0xff) ~implicit
-          | Br (c, r1, r2, target) ->
-              if cond_eval c (get_reg t r1) (get_reg t r2) then
-                t.pc <- target_index target
-              else t.pc <- instr_pc + 1;
-              None
-          | Jmp target ->
-              t.pc <- target_index target;
-              None
-          | Jal target ->
-              set_reg t Reg.ra (instr_pc + 1);
-              t.pc <- target_index target;
-              None
-          | Jalr rs ->
-              let dest = get_reg t rs in
-              set_reg t Reg.ra (instr_pc + 1);
-              t.pc <- dest;
-              None
-          | Ret ->
-              t.pc <- get_reg t Reg.ra;
-              None
-          | Syscall n -> (
-              match t.syscall_handler with
-              | Some h ->
-                  t.pc <- instr_pc + 1;
-                  h t n;
-                  None
-              | None ->
-                  Some
-                    (Machine_error
-                       (Printf.sprintf "syscall %d with no handler at pc %d" n instr_pc)))
-          | Trap code -> (
-              match t.trap_handler with
-              | Some h ->
-                  t.pc <- instr_pc + 1;
-                  h t ~code ~trap_pc:instr_pc;
-                  None
-              | None ->
-                  Some
-                    (Machine_error
-                       (Printf.sprintf "trap %d with no handler at pc %d" code instr_pc)))
-          | Chk { base; off; width } ->
-              let lo = get_reg t base + off in
-              (match t.chk_handler with
-              | Some h ->
-                  h t ~range:(Interval.of_base_size ~base:lo ~size:width) ~pc:instr_pc
-              | None -> ());
-              continue ()
-          | Enter f ->
-              t.funcs <- f :: t.funcs;
-              (match t.enter_hook with Some h -> h t f | None -> ());
-              continue ()
-          | Leave f ->
-              (match t.funcs with
-              | g :: rest when g = f -> t.funcs <- rest
-              | _ -> ());
-              (match t.leave_hook with Some h -> h t f | None -> ());
-              continue ()
+          match exec_one t with () -> None | exception Stop reason -> Some reason
         in
-        match result with
-        | Some _ as stop -> stop
-        | None -> (
-            (* A handler may have requested an orderly halt. *)
-            match t.halted with Some code -> Some (Halted code) | None -> None)
+        Metrics.incr m_steps;
+        Metrics.add m_stores (t.stores - stores0);
+        result
       end
 
-exception Stop of stop_reason
-
 let run ?(fuel = 200_000_000) t =
+  let executed0 = t.executed and stores0 = t.stores in
+  let finish reason =
+    Metrics.add m_steps (t.executed - executed0);
+    Metrics.add m_stores (t.stores - stores0);
+    reason
+  in
   try
+    if fuel > 0 then
+      (match t.halted with
+      | Some code -> raise (Stop (Halted code))
+      | None -> ());
     for _ = 1 to fuel do
-      match step t with Some reason -> raise (Stop reason) | None -> ()
+      if t.pc < 0 || t.pc >= t.code_len then
+        stop_error "pc out of range: %d" t.pc;
+      exec_one t
     done;
-    Out_of_fuel
+    finish Out_of_fuel
   with
-  | Stop reason -> reason
+  | Stop reason -> finish reason
   | Memory.Bad_address { addr; what } ->
-      Machine_error (Printf.sprintf "%s: bad address 0x%x (pc %d)" what addr t.pc)
+      finish
+        (Machine_error (Printf.sprintf "%s: bad address 0x%x (pc %d)" what addr t.pc))

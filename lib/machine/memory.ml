@@ -4,10 +4,16 @@ type protection = Read_write | Read_only
 
 type page = { bytes : Bytes.t; mutable prot : protection }
 
+(* [cache_idx]/[cache_page] memoize the last page touched: workload
+   memory traffic is strongly page-local, so most accesses skip the
+   hashtable probe. The cache is never stale — pages are never removed
+   from [pages], and [protect] mutates the shared page record in place. *)
 type t = {
   page_size : int;
   page_shift : int;
   pages : (int, page) Hashtbl.t;
+  mutable cache_idx : int;
+  mutable cache_page : page;
 }
 
 exception Write_fault of { addr : int; width : int }
@@ -21,7 +27,15 @@ let create ?(page_size = 4096) () =
   if not (is_power_of_two page_size) then
     invalid_arg "Memory.create: page_size must be a positive power of two";
   let rec log2 n = if n = 1 then 0 else 1 + log2 (n lsr 1) in
-  { page_size; page_shift = log2 page_size; pages = Hashtbl.create 64 }
+  {
+    page_size;
+    page_shift = log2 page_size;
+    pages = Hashtbl.create 64;
+    (* Page indices are non-negative, so -1 never hits; the dummy page is
+       unreachable through the cache. *)
+    cache_idx = -1;
+    cache_page = { bytes = Bytes.empty; prot = Read_write };
+  }
 
 let page_size t = t.page_size
 
@@ -37,59 +51,82 @@ let pages_of_range t range =
   let first = page_of t (Interval.lo range) and last = page_of t (Interval.hi range) in
   List.init (last - first + 1) (fun i -> first + i)
 
+(* Materializing lookup: absent pages spring into writable existence. *)
 let find_page t idx =
-  match Hashtbl.find_opt t.pages idx with
-  | Some p -> p
-  | None ->
-      let p = { bytes = Bytes.make t.page_size '\000'; prot = Read_write } in
-      Hashtbl.add t.pages idx p;
-      p
+  if t.cache_idx = idx then t.cache_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+          let p = { bytes = Bytes.make t.page_size '\000'; prot = Read_write } in
+          Hashtbl.add t.pages idx p;
+          p
+    in
+    t.cache_idx <- idx;
+    t.cache_page <- p;
+    p
+  end
 
 (* A word access never spans pages because page sizes are power-of-two
    multiples of the word size and word accesses are aligned. *)
 
+let[@inline] byte_at p off = Char.code (Bytes.unsafe_get p.bytes off)
+
+let[@inline] word_at p off =
+  let b i = Char.code (Bytes.unsafe_get p.bytes (off + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  if v land 0x80000000 <> 0 then v - address_space else v
+
+(* Loads do not materialize pages: an absent page reads as zeroes. *)
+
 let load_byte t addr =
   check_addr t addr 1 "load_byte";
-  match Hashtbl.find_opt t.pages (page_of t addr) with
-  | None -> 0
-  | Some p -> Char.code (Bytes.unsafe_get p.bytes (addr land (t.page_size - 1)))
+  let idx = page_of t addr in
+  if t.cache_idx = idx then byte_at t.cache_page (addr land (t.page_size - 1))
+  else
+    match Hashtbl.find t.pages idx with
+    | p ->
+        t.cache_idx <- idx;
+        t.cache_page <- p;
+        byte_at p (addr land (t.page_size - 1))
+    | exception Not_found -> 0
 
 let load_word t addr =
   check_addr t addr 4 "load_word";
-  match Hashtbl.find_opt t.pages (page_of t addr) with
-  | None -> 0
-  | Some p ->
-      let off = addr land (t.page_size - 1) in
-      let b i = Char.code (Bytes.unsafe_get p.bytes (off + i)) in
-      let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
-      if v land 0x80000000 <> 0 then v - address_space else v
+  let idx = page_of t addr in
+  if t.cache_idx = idx then word_at t.cache_page (addr land (t.page_size - 1))
+  else
+    match Hashtbl.find t.pages idx with
+    | p ->
+        t.cache_idx <- idx;
+        t.cache_page <- p;
+        word_at p (addr land (t.page_size - 1))
+    | exception Not_found -> 0
 
-let raw_store_byte t addr v =
-  let p = find_page t (page_of t addr) in
-  Bytes.unsafe_set p.bytes (addr land (t.page_size - 1)) (Char.chr (v land 0xff))
+let[@inline] set_byte p off v = Bytes.unsafe_set p.bytes off (Char.unsafe_chr (v land 0xff))
 
-let raw_store_word t addr v =
-  let p = find_page t (page_of t addr) in
-  let off = addr land (t.page_size - 1) in
-  Bytes.unsafe_set p.bytes off (Char.chr (v land 0xff));
-  Bytes.unsafe_set p.bytes (off + 1) (Char.chr ((v lsr 8) land 0xff));
-  Bytes.unsafe_set p.bytes (off + 2) (Char.chr ((v lsr 16) land 0xff));
-  Bytes.unsafe_set p.bytes (off + 3) (Char.chr ((v lsr 24) land 0xff))
+let[@inline] set_word p off v =
+  Bytes.unsafe_set p.bytes off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set p.bytes (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set p.bytes (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set p.bytes (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
-let writable t addr =
-  match Hashtbl.find_opt t.pages (page_of t addr) with
-  | None -> true
-  | Some p -> p.prot = Read_write
+let raw_store_byte t addr v = set_byte (find_page t (page_of t addr)) (addr land (t.page_size - 1)) v
+
+let raw_store_word t addr v = set_word (find_page t (page_of t addr)) (addr land (t.page_size - 1)) v
 
 let store_byte t addr v =
   check_addr t addr 1 "store_byte";
-  if not (writable t addr) then raise (Write_fault { addr; width = 1 });
-  raw_store_byte t addr v
+  let p = find_page t (page_of t addr) in
+  if p.prot <> Read_write then raise (Write_fault { addr; width = 1 });
+  set_byte p (addr land (t.page_size - 1)) v
 
 let store_word t addr v =
   check_addr t addr 4 "store_word";
-  if not (writable t addr) then raise (Write_fault { addr; width = 4 });
-  raw_store_word t addr v
+  let p = find_page t (page_of t addr) in
+  if p.prot <> Read_write then raise (Write_fault { addr; width = 4 });
+  set_word p (addr land (t.page_size - 1)) v
 
 let privileged_store_byte t addr v =
   check_addr t addr 1 "privileged_store_byte";

@@ -1,56 +1,77 @@
-module Interval = Ebp_util.Interval
 module Machine = Ebp_machine.Machine
 module Reg = Ebp_isa.Reg
 module Debug_info = Ebp_lang.Debug_info
 module Loader = Ebp_runtime.Loader
 module Allocator = Ebp_runtime.Allocator
 
+(* Per-function data the enter hook needs, precomputed at attach time so
+   entering a function does no debug-info traversal. [vars] holds the
+   non-static variables in declaration order. *)
+type fn_info = { fname : string; vars : Debug_info.variable array }
+
 type t = {
   builder : Trace.Builder.t;
   debug : Debug_info.t;
   loader : Loader.t;
-  activations : (string, int) Hashtbl.t;  (* function -> activation count *)
-  mutable frames : (Object_desc.t * Interval.t) list list;  (* per live activation *)
-  heap_live : (int, Object_desc.t * Interval.t) Hashtbl.t;  (* addr -> object *)
+  fn_info : fn_info array;  (* indexed by function id *)
+  acts : int array;  (* per-function activation count *)
+  mutable frames : int array list;
+      (* per live activation: packed (object id, lo, hi) triples *)
+  heap_live : (int, int * int * int) Hashtbl.t;  (* addr -> id, lo, hi *)
   mutable heap_seq : int;
-  mutable statics : (Object_desc.t * Interval.t) list;  (* globals + static locals *)
+  mutable statics : (int * int * int) list;  (* globals + static locals *)
   mutable finished : bool;
 }
 
-let var_range ~fp (v : Debug_info.variable) =
-  match v.Debug_info.location with
-  | Debug_info.Frame off -> Interval.of_base_size ~base:(fp + off) ~size:v.Debug_info.size
-  | Debug_info.Static addr -> Interval.of_base_size ~base:addr ~size:v.Debug_info.size
+let var_bounds ~fp (v : Debug_info.variable) =
+  let base =
+    match v.Debug_info.location with
+    | Debug_info.Frame off -> fp + off
+    | Debug_info.Static addr -> addr
+  in
+  (base, base + v.Debug_info.size - 1)
 
+(* Enter/leave run once per call — with store recording, the hottest hook
+   sites in phase 1. Each activation's locals are fresh objects by
+   construction (the activation count is part of the descriptor), so they
+   are [register]ed — no intern hashing — and their ids carried in the
+   frame so leave never looks a descriptor up again. *)
 let on_enter t machine fid =
-  let func = Debug_info.find_func t.debug fid in
+  let info = t.fn_info.(fid) in
   let fp = Machine.get_reg machine Reg.fp in
-  let act =
-    let current = Option.value ~default:0 (Hashtbl.find_opt t.activations func.Debug_info.name) in
-    Hashtbl.replace t.activations func.Debug_info.name (current + 1);
-    current + 1
-  in
-  let installed =
-    List.filter_map
-      (fun (v : Debug_info.variable) ->
-        if v.Debug_info.is_static then None
-        else begin
-          let obj =
-            Object_desc.Local
-              { func = func.Debug_info.name; var = v.Debug_info.var_name; inst = act }
-          in
-          let range = var_range ~fp v in
-          Trace.Builder.add_install t.builder obj range;
-          Some (obj, range)
-        end)
-      func.Debug_info.vars
-  in
-  t.frames <- installed :: t.frames
+  let act = t.acts.(fid) + 1 in
+  t.acts.(fid) <- act;
+  let vars = info.vars in
+  let n = Array.length vars in
+  let frame = Array.make (n * 3) 0 in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get vars i in
+    let lo, hi = var_bounds ~fp v in
+    let id =
+      Trace.Builder.register t.builder
+        (Object_desc.Local
+           { func = info.fname; var = v.Debug_info.var_name; inst = act })
+    in
+    Trace.Builder.add_install_id t.builder id ~lo ~hi;
+    frame.(i * 3) <- id;
+    frame.((i * 3) + 1) <- lo;
+    frame.((i * 3) + 2) <- hi
+  done;
+  t.frames <- frame :: t.frames
+
+let remove_frame t frame =
+  let n = Array.length frame / 3 in
+  for i = 0 to n - 1 do
+    Trace.Builder.add_remove_id t.builder
+      frame.(i * 3)
+      ~lo:frame.((i * 3) + 1)
+      ~hi:frame.((i * 3) + 2)
+  done
 
 let on_leave t _machine _fid =
   match t.frames with
-  | installed :: rest ->
-      List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) installed;
+  | frame :: rest ->
+      remove_frame t frame;
       t.frames <- rest
   | [] -> ()
 
@@ -67,39 +88,56 @@ let on_alloc_event t event =
         Object_desc.Heap
           { context = context_names t (Loader.machine t.loader); seq = t.heap_seq }
       in
-      let range = Interval.of_base_size ~base:addr ~size in
-      Trace.Builder.add_install t.builder obj range;
-      Hashtbl.replace t.heap_live addr (obj, range)
+      let id = Trace.Builder.register t.builder obj in
+      let lo = addr and hi = addr + size - 1 in
+      Trace.Builder.add_install_id t.builder id ~lo ~hi;
+      Hashtbl.replace t.heap_live addr (id, lo, hi)
   | Allocator.Free { addr; size = _ } -> (
       match Hashtbl.find_opt t.heap_live addr with
-      | Some (obj, range) ->
-          Trace.Builder.add_remove t.builder obj range;
+      | Some (id, lo, hi) ->
+          Trace.Builder.add_remove_id t.builder id ~lo ~hi;
           Hashtbl.remove t.heap_live addr
       | None -> ())
   | Allocator.Realloc { old_addr; old_size = _; new_addr; new_size } -> (
       (* Same object, possibly relocated (footnote 4): remove the old
          range, install the new one under the same descriptor. *)
       match Hashtbl.find_opt t.heap_live old_addr with
-      | Some (obj, old_range) ->
-          Trace.Builder.add_remove t.builder obj old_range;
+      | Some (id, lo, hi) ->
+          Trace.Builder.add_remove_id t.builder id ~lo ~hi;
           Hashtbl.remove t.heap_live old_addr;
-          let range = Interval.of_base_size ~base:new_addr ~size:new_size in
-          Trace.Builder.add_install t.builder obj range;
-          Hashtbl.replace t.heap_live new_addr (obj, range)
+          let lo = new_addr and hi = new_addr + new_size - 1 in
+          Trace.Builder.add_install_id t.builder id ~lo ~hi;
+          Hashtbl.replace t.heap_live new_addr (id, lo, hi)
       | None -> ())
 
+(* The store hook runs once per user-code store — the hottest call site
+   in phase 1 — so the write is pushed as raw ints, no Interval. *)
 let on_store t _machine ~addr ~width ~value:_ ~pc ~implicit =
   if not implicit then
-    Trace.Builder.add_write t.builder (Interval.of_base_size ~base:addr ~size:width) ~pc
+    Trace.Builder.add_write_raw t.builder ~lo:addr ~hi:(addr + width - 1) ~pc
 
-let attach loader =
+let attach ?hint loader =
   let debug = Loader.debug loader in
+  let fn_info =
+    Array.map
+      (fun (f : Debug_info.func) ->
+        {
+          fname = f.Debug_info.name;
+          vars =
+            Array.of_list
+              (List.filter
+                 (fun (v : Debug_info.variable) -> not v.Debug_info.is_static)
+                 f.Debug_info.vars);
+        })
+      debug.Debug_info.functions
+  in
   let t =
     {
-      builder = Trace.Builder.create ();
+      builder = Trace.Builder.create ?hint ();
       debug;
       loader;
-      activations = Hashtbl.create 32;
+      fn_info;
+      acts = Array.make (Array.length fn_info) 0;
       frames = [];
       heap_live = Hashtbl.create 64;
       heap_seq = 0;
@@ -107,26 +145,29 @@ let attach loader =
       finished = false;
     }
   in
+  let install_static obj ~lo ~hi =
+    let id = Trace.Builder.register t.builder obj in
+    Trace.Builder.add_install_id t.builder id ~lo ~hi;
+    t.statics <- (id, lo, hi) :: t.statics
+  in
   (* Globals and static locals exist for the whole run: install up front. *)
   List.iter
     (fun (g : Debug_info.global) ->
-      let obj = Object_desc.Global { var = g.Debug_info.g_name } in
-      let range = Interval.of_base_size ~base:g.Debug_info.g_addr ~size:g.Debug_info.g_size in
-      Trace.Builder.add_install t.builder obj range;
-      t.statics <- (obj, range) :: t.statics)
+      install_static
+        (Object_desc.Global { var = g.Debug_info.g_name })
+        ~lo:g.Debug_info.g_addr
+        ~hi:(g.Debug_info.g_addr + g.Debug_info.g_size - 1))
     debug.Debug_info.globals;
   Array.iter
     (fun (f : Debug_info.func) ->
       List.iter
         (fun (v : Debug_info.variable) ->
           if v.Debug_info.is_static then begin
-            let obj =
-              Object_desc.Local_static
-                { func = f.Debug_info.name; var = v.Debug_info.var_name }
-            in
-            let range = var_range ~fp:0 v in
-            Trace.Builder.add_install t.builder obj range;
-            t.statics <- (obj, range) :: t.statics
+            let lo, hi = var_bounds ~fp:0 v in
+            install_static
+              (Object_desc.Local_static
+                 { func = f.Debug_info.name; var = v.Debug_info.var_name })
+              ~lo ~hi
           end)
         f.Debug_info.vars)
     debug.Debug_info.functions;
@@ -142,21 +183,20 @@ let finish t =
   t.finished <- true;
   (* An exit() mid-call-chain leaves frames live; remove them innermost
      first, then leaked heap objects, then the statics. *)
-  List.iter
-    (fun installed ->
-      List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) installed)
-    t.frames;
+  List.iter (fun frame -> remove_frame t frame) t.frames;
   t.frames <- [];
   Hashtbl.iter
-    (fun _ (obj, range) -> Trace.Builder.add_remove t.builder obj range)
+    (fun _ (id, lo, hi) -> Trace.Builder.add_remove_id t.builder id ~lo ~hi)
     t.heap_live;
   Hashtbl.reset t.heap_live;
-  List.iter (fun (obj, range) -> Trace.Builder.add_remove t.builder obj range) t.statics;
+  List.iter
+    (fun (id, lo, hi) -> Trace.Builder.add_remove_id t.builder id ~lo ~hi)
+    t.statics;
   t.statics <- [];
   Trace.Builder.finish t.builder
 
-let record ?fuel loader =
-  let t = attach loader in
+let record ?hint ?fuel loader =
+  let t = attach ?hint loader in
   let result = Loader.run ?fuel loader in
   (result, finish t)
 

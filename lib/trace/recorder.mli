@@ -19,15 +19,18 @@
 
 type t
 
-val attach : Ebp_runtime.Loader.t -> t
+val attach : ?hint:int -> Ebp_runtime.Loader.t -> t
 (** Install hooks on the loader's machine and allocator. The recorder owns
     the machine's store/enter/leave hooks and the allocator's event hook
-    from this point. *)
+    from this point. [hint] sizes the trace builder to the expected event
+    count (see {!Trace.Builder.create}). *)
 
 val finish : t -> Trace.t
 (** Emit final removes and freeze the trace. Call after the run completes. *)
 
-val record : ?fuel:int -> Ebp_runtime.Loader.t -> Ebp_runtime.Loader.run_result * Trace.t
+val record :
+  ?hint:int -> ?fuel:int -> Ebp_runtime.Loader.t ->
+  Ebp_runtime.Loader.run_result * Trace.t
 (** Convenience: attach, run, finish. *)
 
 val record_source :

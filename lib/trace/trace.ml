@@ -28,9 +28,9 @@ module Builder = struct
     intern : (Object_desc.t, int) Hashtbl.t;
   }
 
-  let create () =
-    { data = Array.make 4096 0; count = 0; objs = []; obj_count = 0;
-      intern = Hashtbl.create 64 }
+  let create ?(hint = 1024) () =
+    { data = Array.make (max 16 hint * stride) 0; count = 0; objs = [];
+      obj_count = 0; intern = Hashtbl.create 64 }
 
   let ensure b =
     let needed = (b.count + 1) * stride in
@@ -40,14 +40,24 @@ module Builder = struct
       b.data <- bigger
     end
 
+  (* [register] appends without consulting the intern table: the recorder
+     mints a fresh descriptor per activation, so an intern lookup would
+     hash two strings only to miss. Callers that might see the same
+     descriptor twice go through [intern] instead; both draw ids from the
+     same sequence, so they can be mixed as long as no descriptor is fed
+     to both. *)
+  let register b obj =
+    let id = b.obj_count in
+    b.objs <- obj :: b.objs;
+    b.obj_count <- id + 1;
+    id
+
   let intern b obj =
     match Hashtbl.find_opt b.intern obj with
     | Some id -> id
     | None ->
-        let id = b.obj_count in
+        let id = register b obj in
         Hashtbl.add b.intern obj id;
-        b.objs <- obj :: b.objs;
-        b.obj_count <- id + 1;
         id
 
   let push b w0 lo hi pc =
@@ -59,24 +69,29 @@ module Builder = struct
     b.data.(base + 3) <- pc;
     b.count <- b.count + 1
 
+  let add_install_id b id ~lo ~hi = push b ((id lsl 2) lor tag_install) lo hi (-1)
+
+  let add_remove_id b id ~lo ~hi = push b ((id lsl 2) lor tag_remove) lo hi (-1)
+
   let add_install b obj range =
-    push b
-      ((intern b obj lsl 2) lor tag_install)
-      (Interval.lo range) (Interval.hi range) (-1)
+    add_install_id b (intern b obj) ~lo:(Interval.lo range) ~hi:(Interval.hi range)
 
   let add_remove b obj range =
-    push b
-      ((intern b obj lsl 2) lor tag_remove)
-      (Interval.lo range) (Interval.hi range) (-1)
+    add_remove_id b (intern b obj) ~lo:(Interval.lo range) ~hi:(Interval.hi range)
 
   let add_write b range ~pc =
     push b tag_write (Interval.lo range) (Interval.hi range) pc
 
+  let add_write_raw b ~lo ~hi ~pc = push b tag_write lo hi pc
+
   let length b = b.count
 
   let finish b =
+    let used = b.count * stride in
     {
-      data = Array.sub b.data 0 (b.count * stride);
+      (* A well-hinted builder lands exactly full: hand the buffer over
+         without the copy. The builder must not be reused after. *)
+      data = (if Array.length b.data = used then b.data else Array.sub b.data 0 used);
       count = b.count;
       objs = Array.of_list (List.rev b.objs);
     }
@@ -195,62 +210,173 @@ let of_text text =
     (String.split_on_char '\n' text);
   match !error with Some msg -> Error msg | None -> Ok (Builder.finish b)
 
-(* --- binary codec --- *)
+(* --- binary codec ---
 
-let magic = "EBPT1"
+   EBPT2 is a struct-of-arrays layout: after the header, each event field
+   is one contiguous column, encoded with LEB128 varints.
 
-let write_binary oc t =
-  output_string oc magic;
-  let write_int v =
-    (* 63-bit values, little-endian, 8 bytes. *)
-    for i = 0 to 7 do
-      output_byte oc ((v lsr (8 * i)) land 0xff)
-    done
+     magic "EBPT2"
+     uvarint nobjs, then per object: uvarint length + descriptor string
+     uvarint count
+     column 1: w0 (tagged object word) as uvarint, per event
+     column 2: lo, zigzag-varint delta against the previous event's lo
+     column 3: hi - lo as uvarint (store widths: almost always 0 or 3)
+     column 4: pc, zigzag-varint delta against the previous *write*'s pc,
+               write events only (install/remove pcs are -1 by
+               construction and are reconstructed, not stored)
+
+   Both delta chains start from 0. Traces have strong spatial (lo) and
+   code (pc) locality, so a write event typically costs 4-6 bytes against
+   the 32 of the old fixed-width codec. Varints are chains of 7-bit
+   groups, low first, high bit = continuation; zigzag maps sign bit to
+   bit 0 ((v lsl 1) lxor (v asr 62) on 63-bit ints) so small negative
+   deltas stay short. *)
+
+module Metrics = Ebp_obs.Metrics
+module Obs_span = Ebp_obs.Span
+
+let m_bytes_out = Metrics.counter "trace.codec.bytes_out"
+let m_bytes_in = Metrics.counter "trace.codec.bytes_in"
+
+let codec_version = "EBPT2"
+
+let add_uvarint buf v =
+  let rec go v =
+    if 0 <= v && v < 0x80 then Buffer.add_char buf (Char.unsafe_chr v)
+    else begin
+      Buffer.add_char buf (Char.unsafe_chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
   in
-  write_int (Array.length t.objs);
+  go v
+
+let[@inline] zigzag v = (v lsl 1) lxor (v asr 62)
+let[@inline] unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+let add_svarint buf v = add_uvarint buf (zigzag v)
+
+let encode t =
+  Obs_span.with_span "codec.encode" @@ fun () ->
+  let buf = Buffer.create (64 + (t.count * 6)) in
+  Buffer.add_string buf codec_version;
+  add_uvarint buf (Array.length t.objs);
   Array.iter
     (fun obj ->
       let s = Object_desc.to_string obj in
-      write_int (String.length s);
-      output_string oc s)
+      add_uvarint buf (String.length s);
+      Buffer.add_string buf s)
     t.objs;
-  write_int t.count;
-  Array.iter write_int t.data
+  add_uvarint buf t.count;
+  for i = 0 to t.count - 1 do
+    add_uvarint buf t.data.(i * stride)
+  done;
+  let prev_lo = ref 0 in
+  for i = 0 to t.count - 1 do
+    let lo = t.data.((i * stride) + 1) in
+    add_svarint buf (lo - !prev_lo);
+    prev_lo := lo
+  done;
+  for i = 0 to t.count - 1 do
+    let base = i * stride in
+    add_uvarint buf (t.data.(base + 2) - t.data.(base + 1))
+  done;
+  let prev_pc = ref 0 in
+  for i = 0 to t.count - 1 do
+    let base = i * stride in
+    if t.data.(base) land 3 = tag_write then begin
+      let pc = t.data.(base + 3) in
+      add_svarint buf (pc - !prev_pc);
+      prev_pc := pc
+    end
+  done;
+  let s = Buffer.contents buf in
+  Metrics.add m_bytes_out (String.length s);
+  s
 
-let read_binary ic =
-  let read_exact n =
-    let b = Bytes.create n in
-    really_input ic b 0 n;
-    Bytes.to_string b
+exception Malformed of string
+
+let decode s =
+  Obs_span.with_span "codec.decode" @@ fun () ->
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed msg) in
+  let next_byte () =
+    if !pos >= len then fail "truncated trace";
+    let b = Char.code (String.unsafe_get s !pos) in
+    incr pos;
+    b
   in
-  let read_int () =
-    let v = ref 0 in
-    for i = 0 to 7 do
-      v := !v lor (input_byte ic lsl (8 * i))
-    done;
-    !v
+  let read_uvarint () =
+    let rec go shift acc =
+      (* 9 groups cover all 63 bits; a longer chain is corrupt. *)
+      if shift > 56 then fail "oversized varint in trace";
+      let b = next_byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b < 0x80 then acc else go (shift + 7) acc
+    in
+    go 0 0
   in
-  try
-    if read_exact (String.length magic) <> magic then Error "bad trace magic"
+  let read_svarint () = unzigzag (read_uvarint ()) in
+  match
+    if len < String.length codec_version
+       || String.sub s 0 (String.length codec_version) <> codec_version
+    then Error "bad trace magic"
     else begin
-      let nobjs = read_int () in
+      pos := String.length codec_version;
+      let nobjs = read_uvarint () in
+      if nobjs < 0 || nobjs > len - !pos then fail "bad object count in trace";
       let objs =
         Array.init nobjs (fun _ ->
-            let len = read_int () in
-            read_exact len)
-      in
-      let objs =
-        Array.map
-          (fun s ->
-            match Object_desc.of_string s with
+            let slen = read_uvarint () in
+            if slen < 0 || slen > len - !pos then fail "truncated trace";
+            let str = String.sub s !pos slen in
+            pos := !pos + slen;
+            match Object_desc.of_string str with
             | Some o -> o
-            | None -> raise Exit)
-          objs
+            | None -> fail "bad object descriptor in trace")
       in
-      let count = read_int () in
-      let data = Array.init (count * stride) (fun _ -> read_int ()) in
+      let count = read_uvarint () in
+      (* Every event spends at least 3 bytes across its columns, so the
+         count is bounded by the remaining payload — this rejects corrupt
+         headers before the allocation below. *)
+      if count < 0 || count > len - !pos then fail "bad event count in trace";
+      let data = Array.make (count * stride) 0 in
+      for i = 0 to count - 1 do
+        let w0 = read_uvarint () in
+        let tag = w0 land 3 in
+        if tag > tag_write then fail "bad event tag in trace";
+        if tag <> tag_write && w0 lsr 2 >= nobjs then
+          fail "bad object id in trace";
+        data.(i * stride) <- w0
+      done;
+      let prev_lo = ref 0 in
+      for i = 0 to count - 1 do
+        let lo = !prev_lo + read_svarint () in
+        data.((i * stride) + 1) <- lo;
+        prev_lo := lo
+      done;
+      for i = 0 to count - 1 do
+        let base = i * stride in
+        data.(base + 2) <- data.(base + 1) + read_uvarint ()
+      done;
+      let prev_pc = ref 0 in
+      for i = 0 to count - 1 do
+        let base = i * stride in
+        if data.(base) land 3 = tag_write then begin
+          let pc = !prev_pc + read_svarint () in
+          data.(base + 3) <- pc;
+          prev_pc := pc
+        end
+        else data.(base + 3) <- -1
+      done;
+      if !pos <> len then fail "trailing bytes in trace";
+      Metrics.add m_bytes_in len;
       Ok { data; count; objs }
     end
   with
-  | Exit -> Error "bad object descriptor in trace"
-  | End_of_file -> Error "truncated trace"
+  | result -> result
+  | exception Malformed msg -> Error msg
+
+let write_binary oc t = output_string oc (encode t)
+
+let read_binary ic = decode (In_channel.input_all ic)

@@ -27,12 +27,41 @@ module Builder : sig
   type trace := t
   type t
 
-  val create : unit -> t
+  val create : ?hint:int -> unit -> t
+  (** [hint] is the expected event count (default 1024): a builder sized
+      to its workload never reallocates, and {!finish} can hand over its
+      buffer without copying. A wrong hint only costs the usual doubling
+      or one final copy. *)
+
   val add_install : t -> Object_desc.t -> Ebp_util.Interval.t -> unit
   val add_remove : t -> Object_desc.t -> Ebp_util.Interval.t -> unit
   val add_write : t -> Ebp_util.Interval.t -> pc:int -> unit
+
+  val register : t -> Object_desc.t -> int
+  (** Assign the next object id to [obj] without an intern lookup, for
+      callers that know the descriptor is fresh (the recorder mints one
+      per activation). Ids from [register] and from the interning
+      {!add_install}/{!add_remove} share one sequence, so the two styles
+      may be mixed — but feeding the same descriptor to both creates two
+      ids for it. *)
+
+  val add_install_id : t -> int -> lo:int -> hi:int -> unit
+  val add_remove_id : t -> int -> lo:int -> hi:int -> unit
+  (** Allocation-free install/remove of a registered object over
+      [[lo, hi]]. Requires [lo <= hi] and an id from {!register} (or the
+      interning adders). *)
+
+  val add_write_raw : t -> lo:int -> hi:int -> pc:int -> unit
+  (** Allocation-free equivalent of {!add_write} for the phase-1 hot
+      path: records the write [[lo, hi]] without going through an
+      {!Ebp_util.Interval.t}. Requires [lo <= hi]. *)
+
   val length : t -> int
+
   val finish : t -> trace
+  (** Freeze the builder into a trace. When the buffer is exactly full
+      (precise [hint]), ownership transfers without a copy — do not add
+      events to a finished builder. *)
 end
 
 val length : t -> int
@@ -70,6 +99,24 @@ val to_text : t -> string
 
 val of_text : string -> (t, string) result
 
+val codec_version : string
+(** Magic/version tag of the binary codec ("EBPT2"). {!Trace_cache}
+    hashes it into every key, so bumping it orphans old cache entries
+    instead of misreading them. *)
+
+val encode : t -> string
+(** Serialize to the compact binary format: struct-of-arrays columns with
+    LEB128 varints, delta-encoded [lo] and write-[pc] chains (see the
+    codec comment in the implementation). A workload trace lands around
+    5 bytes/event against 32 for the old fixed-width layout. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}. Rejects bad magic, truncated or trailing bytes,
+    unknown event tags, and out-of-range object ids. *)
+
 val write_binary : out_channel -> t -> unit
+(** [output_string oc (encode t)]. *)
+
 val read_binary : in_channel -> (t, string) result
-(** Compact length-prefixed binary codec ("EBPT1" magic). *)
+(** Decode a trace from [ic], consuming the channel to end-of-file (the
+    trace must be the final payload of the file). *)

@@ -1,10 +1,11 @@
 (* Entry layout: magic, 8-byte LE meta length, meta bytes, then the trace
-   in the Trace binary codec. The version constant below is hashed into
-   every key, so bumping it (e.g. on a codec change) silently orphans old
-   entries instead of misreading them. *)
+   in the Trace binary codec, which must be the file's final payload
+   (Trace.read_binary consumes to EOF). The version string below is
+   hashed into every key and includes the trace codec version, so a codec
+   change silently orphans old entries instead of misreading them. *)
 
-let version = "ebp-trace-cache-v1"
-let magic = "EBPC1"
+let version = "ebp-trace-cache-v2:" ^ Trace.codec_version
+let magic = "EBPC2"
 
 module Metrics = Ebp_obs.Metrics
 module Span = Ebp_obs.Span
@@ -60,16 +61,14 @@ let rec mkdir_p dir =
   end
 
 let write_int oc v =
-  for i = 0 to 7 do
-    output_byte oc ((v lsr (8 * i)) land 0xff)
-  done
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  output_bytes oc b
 
 let read_int ic =
-  let v = ref 0 in
-  for i = 0 to 7 do
-    v := !v lor (input_byte ic lsl (8 * i))
-  done;
-  !v
+  let b = Bytes.create 8 in
+  really_input ic b 0 8;
+  Int64.to_int (Bytes.get_int64_le b 0)
 
 let store ~dir ~key ?(meta = "") trace =
   timed m_store_ns @@ fun () ->

@@ -5,6 +5,7 @@ type t = {
   source : string;
   seed : int;
   expected_output : string option;
+  event_hint : int option;
 }
 
 module Metrics = Ebp_obs.Metrics
@@ -34,6 +35,7 @@ let compiler =
 0
 3438512
 ";
+    event_hint = Some 200_000;
   }
 
 let typeset =
@@ -48,6 +50,7 @@ let typeset =
 54844
 2456
 ";
+    event_hint = Some 1_000_000;
   }
 
 let circuit =
@@ -63,6 +66,7 @@ let circuit =
 96
 194306
 ";
+    event_hint = Some 400_000;
   }
 
 let lattice =
@@ -77,6 +81,7 @@ let lattice =
 1100
 81849
 ";
+    event_hint = Some 1_800_000;
   }
 
 let puzzle =
@@ -93,6 +98,7 @@ let puzzle =
 1973
 2879
 ";
+    event_hint = Some 1_300_000;
   }
 
 let all = [ compiler; typeset; circuit; lattice; puzzle ]
@@ -115,7 +121,9 @@ let record ?fuel w =
   | Error msg -> Error (Printf.sprintf "%s: compile error: %s" w.name msg)
   | Ok compiled -> (
       let loader = Ebp_runtime.Loader.load ~seed:w.seed compiled in
-      let result, trace = Ebp_trace.Recorder.record ?fuel loader in
+      let result, trace =
+        Ebp_trace.Recorder.record ?hint:w.event_hint ?fuel loader
+      in
       match result.Ebp_runtime.Loader.status with
       | Ebp_machine.Machine.Halted 0 -> (
           match result.Ebp_runtime.Loader.runtime_error with

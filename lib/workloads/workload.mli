@@ -27,6 +27,10 @@ type t = {
   seed : int;  (** PRNG seed for the [rand] builtin *)
   expected_output : string option;
       (** full expected stdout, when deterministic (always, currently) *)
+  event_hint : int option;
+      (** approximate phase-1 trace event count, used to pre-size the
+          recorder's trace builder so recording neither reallocates nor
+          copies on finish; purely a performance hint *)
 }
 
 val all : t list

@@ -37,6 +37,8 @@ histograms it carries.
   loader.cycles                     439            
   loader.instructions               291            
   loader.runs                         1            
+  machine.steps                     291            
+  machine.stores                     44            
   phase1.events                       0            
   phase1.runs                         0            
   pool.busy_ns                        0            
@@ -46,6 +48,8 @@ histograms it carries.
   replay.scan.writes                  0            
   replay.sessions                     3            
   replay.shards                       1            
+  trace.codec.bytes_in                0            
+  trace.codec.bytes_out               0            
   trace_cache.bytes_read              0            
   trace_cache.bytes_written           0            
   trace_cache.gc_reclaimed_bytes      0            

@@ -368,11 +368,10 @@ let test_machine_unresolved_rejected () =
 
 (* --- fuzz: random straight-line programs terminate cleanly --- *)
 
-let prop_machine_fuzz_safe =
-  (* Random ALU/memory/branch soup over a safe address window, with only
-     forward branches so every program terminates. Whatever the outcome
-     (halt, error, fuel), the machine must return a stop_reason rather
-     than raise. *)
+(* Random ALU/memory/branch soup over a safe address window, with only
+   forward branches so every program terminates. Shared by the
+   stops-cleanly property and the reference-interpreter differential. *)
+let fuzz_program_gen =
   let open QCheck2.Gen in
   let reg = map Ebp_isa.Reg.of_int (int_range 1 27) in
   let addr_reg = map Ebp_isa.Reg.of_int (int_range 1 27) in
@@ -394,23 +393,237 @@ let prop_machine_fuzz_safe =
           (int_range (n + 1) (n + 5));
       ]
   in
+  let* len = int_range 1 40 in
+  flatten_l (List.init len instr_gen)
+
+(* Pad so forward branch targets stay in range, halt, and point every
+   register at a valid window so loads/stores with the fixed 8192 offset
+   stay within bounds. Returns the padded code alongside the machine for
+   the reference interpreter. *)
+let fuzz_setup instrs =
+  let code =
+    Array.of_list (instrs @ List.init 6 (fun _ -> Instr.Nop) @ [ Instr.Halt ])
+  in
+  let m = Machine.create (Ebp_isa.Program.of_instrs (Array.to_list code)) in
+  for i = 1 to 27 do
+    Machine.set_reg m (Ebp_isa.Reg.of_int i) (4 * (i * 13 mod 1000))
+  done;
+  (code, m)
+
+let prop_machine_fuzz_safe =
+  (* Whatever the outcome (halt, error, fuel), the machine must return a
+     stop_reason rather than raise. *)
   QCheck2.Test.make ~name:"random programs stop cleanly" ~count:200
-    (let* len = int_range 1 40 in
-     let* instrs = flatten_l (List.init len instr_gen) in
-     return instrs)
+    fuzz_program_gen
     (fun instrs ->
-      (* Pad so forward branch targets stay in range, then halt. *)
-      let program =
-        Ebp_isa.Program.of_instrs (instrs @ List.init 6 (fun _ -> Instr.Nop) @ [ Instr.Halt ])
-      in
-      let m = Machine.create program in
-      (* Point every register at a valid window so loads/stores with the
-         fixed 8192 offset stay within bounds. *)
-      for i = 1 to 27 do
-        Machine.set_reg m (Ebp_isa.Reg.of_int i) (4 * (i * 13 mod 1000))
-      done;
+      let _, m = fuzz_setup instrs in
       match Machine.run ~fuel:10_000 m with
       | Machine.Halted _ | Machine.Out_of_fuel | Machine.Machine_error _ -> true)
+
+(* --- differential testing against a reference interpreter --- *)
+
+type ref_outcome = R_halt of int | R_fuel | R_error
+
+(* An independent, deliberately naive interpreter for the subset the fuzz
+   generator emits, over a word-keyed hashtable memory. The predecoded
+   machine must agree with it exactly: stop reason, cycles, instruction
+   count, and every register. *)
+let reference_run ~fuel code regs =
+  let truncate32 v =
+    let v = v land 0xFFFFFFFF in
+    if v land 0x80000000 <> 0 then v - 0x100000000 else v
+  in
+  let costs = Cost_model.default in
+  let mem = Hashtbl.create 64 in
+  let get r = regs.(Reg.to_int r) in
+  let set r v =
+    let i = Reg.to_int r in
+    if i <> 0 then regs.(i) <- truncate32 v
+  in
+  let cycles = ref 0 and executed = ref 0 in
+  let pc = ref 0 in
+  let outcome = ref None in
+  let remaining = ref fuel in
+  while !outcome = None && !remaining > 0 do
+    decr remaining;
+    if !pc < 0 || !pc >= Array.length code then outcome := Some R_error
+    else begin
+      let instr = code.(!pc) in
+      incr executed;
+      cycles := !cycles + Cost_model.cost costs instr;
+      match instr with
+      | Instr.Nop -> incr pc
+      | Instr.Halt -> outcome := Some (R_halt (get Reg.v0))
+      | Instr.Li (rd, v) ->
+          set rd v;
+          incr pc
+      | Instr.Alu (op, rd, a, b) ->
+          let x = get a and y = get b in
+          let v =
+            match op with
+            | Instr.Add -> x + y
+            | Instr.Sub -> x - y
+            | Instr.Mul -> x * y
+            | Instr.And -> x land y
+            | Instr.Xor -> x lxor y
+            | _ -> Alcotest.fail "unexpected ALU op in fuzz program"
+          in
+          set rd v;
+          incr pc
+      | Instr.Lw (rd, base, off) ->
+          let addr = get base + off in
+          if addr < 0 || addr + 4 > 0x100000000 || addr land 3 <> 0 then
+            outcome := Some R_error
+          else begin
+            set rd (Option.value ~default:0 (Hashtbl.find_opt mem addr));
+            incr pc
+          end
+      | Instr.Sw (rs, base, off) ->
+          let addr = get base + off in
+          if addr < 0 || addr + 4 > 0x100000000 || addr land 3 <> 0 then
+            outcome := Some R_error
+          else begin
+            Hashtbl.replace mem addr (get rs);
+            incr pc
+          end
+      | Instr.Br (cond, a, b, target) ->
+          let t =
+            match target with
+            | Instr.Abs i -> i
+            | Instr.Label _ -> Alcotest.fail "unresolved label in fuzz program"
+          in
+          let x = get a and y = get b in
+          let taken =
+            match cond with
+            | Instr.Eq -> x = y
+            | Instr.Ne -> x <> y
+            | Instr.Lt -> x < y
+            | _ -> Alcotest.fail "unexpected branch cond in fuzz program"
+          in
+          pc := if taken then t else !pc + 1
+      | _ -> Alcotest.fail "unexpected instruction in fuzz program"
+    end
+  done;
+  let outcome = match !outcome with Some o -> o | None -> R_fuel in
+  (outcome, !cycles, !executed)
+
+let prop_machine_matches_reference =
+  QCheck2.Test.make ~name:"predecoded machine matches reference interpreter"
+    ~count:300 fuzz_program_gen
+    (fun instrs ->
+      let code, m = fuzz_setup instrs in
+      let regs = Array.make 32 0 in
+      for i = 1 to 27 do
+        regs.(i) <- 4 * (i * 13 mod 1000)
+      done;
+      let fuel = 10_000 in
+      let outcome, cycles, executed = reference_run ~fuel code regs in
+      let stop = Machine.run ~fuel m in
+      let stop_ok =
+        match (stop, outcome) with
+        | Machine.Halted a, R_halt b -> a = b
+        | Machine.Out_of_fuel, R_fuel -> true
+        | Machine.Machine_error _, R_error -> true
+        | _ -> false
+      in
+      stop_ok
+      && Machine.cycles m = cycles
+      && Machine.instructions_executed m = executed
+      &&
+      let ok = ref true in
+      for i = 0 to 27 do
+        if Machine.get_reg m (Reg.of_int i) <> regs.(i) then ok := false
+      done;
+      !ok)
+
+(* --- run vs step differential over the real workloads --- *)
+
+module Workload = Ebp_workloads.Workload
+module Loader = Ebp_runtime.Loader
+module Recorder = Ebp_trace.Recorder
+module Trace = Ebp_trace.Trace
+
+(* [Machine.run]'s batched loop and [Machine.step]'s one-instruction path
+   must be indistinguishable from the outside: same stop reason, same
+   counters, same output, and bit-identical recorded traces on all five
+   workloads. *)
+let test_workloads_run_vs_step () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let run =
+        match Workload.record w with
+        | Ok run -> run
+        | Error msg -> Alcotest.failf "%s: record failed: %s" w.Workload.name msg
+      in
+      let run_result = Option.get run.Workload.result in
+      let compiled =
+        match Ebp_lang.Compiler.compile w.Workload.source with
+        | Ok c -> c
+        | Error msg -> Alcotest.failf "%s: compile failed: %s" w.Workload.name msg
+      in
+      let loader = Loader.load ~seed:w.Workload.seed compiled in
+      let recorder = Recorder.attach loader in
+      let machine = Loader.machine loader in
+      let rec drive () =
+        match Machine.step machine with None -> drive () | Some reason -> reason
+      in
+      let status = drive () in
+      let trace = Recorder.finish recorder in
+      (match status with
+      | Machine.Halted 0 -> ()
+      | _ -> Alcotest.failf "%s: step-driven run did not halt cleanly" w.Workload.name);
+      Alcotest.(check int)
+        (w.Workload.name ^ ": cycles")
+        run_result.Loader.cycles (Machine.cycles machine);
+      Alcotest.(check int)
+        (w.Workload.name ^ ": instructions")
+        run_result.Loader.instructions
+        (Machine.instructions_executed machine);
+      Alcotest.(check string)
+        (w.Workload.name ^ ": output")
+        run_result.Loader.output (Loader.output loader);
+      Alcotest.(check bool)
+        (w.Workload.name ^ ": trace bytes identical")
+        true
+        (String.equal
+           (Trace.encode run.Workload.trace)
+           (Trace.encode trace)))
+    Workload.all
+
+(* --- observability counters --- *)
+
+let test_machine_obs_counters () =
+  let module Metrics = Ebp_obs.Metrics in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let p =
+        assemble
+          {|
+  li t0, 123
+  li t1, 4096
+  sw t0, 0(t1)
+  sb t0, 8(t1)
+  halt
+|}
+      in
+      let m = Machine.create p in
+      ignore (run_expect_halt m);
+      let counter name =
+        let snap = Metrics.snapshot () in
+        match
+          List.find_opt (fun (n, _, _) -> String.equal n name) snap.Metrics.counters
+        with
+        | Some (_, total, _) -> total
+        | None -> Alcotest.failf "counter %s not registered" name
+      in
+      Alcotest.(check int) "machine.steps" (Machine.instructions_executed m)
+        (counter "machine.steps");
+      Alcotest.(check int) "machine.stores" 2 (counter "machine.stores"))
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -462,5 +675,12 @@ let () =
           Alcotest.test_case "unresolved rejected" `Quick
             test_machine_unresolved_rejected;
           q prop_machine_fuzz_safe;
+        ] );
+      ( "differential",
+        [
+          q prop_machine_matches_reference;
+          Alcotest.test_case "workloads: run vs step" `Slow
+            test_workloads_run_vs_step;
+          Alcotest.test_case "obs counters" `Quick test_machine_obs_counters;
         ] );
     ]

@@ -240,6 +240,7 @@ int main() {
 |};
     seed = 9;
     expected_output = Some "1225\n";
+    event_hint = None;
   }
 
 let test_record_cached_skips_execution () =

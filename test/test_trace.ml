@@ -163,6 +163,171 @@ let test_trace_many_events () =
   | Trace.Write { pc = 9_999; _ } -> ()
   | _ -> Alcotest.fail "last event"
 
+(* --- binary codec (EBPT2) --- *)
+
+let rows t =
+  let acc = ref [] in
+  Trace.iter_raw t (fun ~tag ~obj ~lo ~hi ~pc -> acc := (tag, obj, lo, hi, pc) :: !acc);
+  List.rev !acc
+
+let traces_equal t1 t2 =
+  Trace.length t1 = Trace.length t2
+  && Trace.objects t1 = Trace.objects t2
+  && rows t1 = rows t2
+
+let check_roundtrip t =
+  match Trace.decode (Trace.encode t) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok t2 -> traces_equal t t2
+
+let prop_codec_roundtrip =
+  (* Random event soup: decode (encode t) must reproduce every row and
+     the whole object table. *)
+  let open QCheck2.Gen in
+  let obj_pool =
+    [|
+      Object_desc.Global { var = "g0" };
+      Object_desc.Global { var = "g1" };
+      Object_desc.Local { func = "f"; var = "x"; inst = 1 };
+      Object_desc.Local { func = "f"; var = "x"; inst = 2 };
+      Object_desc.Local_static { func = "g"; var = "counter" };
+      Object_desc.Heap { context = [ "alloc"; "main" ]; seq = 1 };
+      Object_desc.Heap { context = [ "main" ]; seq = 2 };
+    |]
+  in
+  let event =
+    oneof
+      [
+        (let* lo = int_range (-1_000_000) 1_000_000 in
+         let* width = int_range 0 64 in
+         let* pc = int_range 0 100_000 in
+         return (`Write (lo, lo + width, pc)));
+        (let* idx = int_range 0 (Array.length obj_pool - 1) in
+         let* lo = int_range 0 1_000_000 in
+         let* width = int_range 0 64 in
+         return (`Install (idx, lo, lo + width)));
+        (let* idx = int_range 0 (Array.length obj_pool - 1) in
+         let* lo = int_range 0 1_000_000 in
+         let* width = int_range 0 64 in
+         return (`Remove (idx, lo, lo + width)));
+      ]
+  in
+  QCheck2.Test.make ~name:"binary codec roundtrip" ~count:300
+    (list_size (int_range 0 200) event)
+    (fun events ->
+      let b = Trace.Builder.create () in
+      List.iter
+        (function
+          | `Write (lo, hi, pc) -> Trace.Builder.add_write_raw b ~lo ~hi ~pc
+          | `Install (idx, lo, hi) ->
+              Trace.Builder.add_install b obj_pool.(idx) (iv lo hi)
+          | `Remove (idx, lo, hi) ->
+              Trace.Builder.add_remove b obj_pool.(idx) (iv lo hi))
+        events;
+      check_roundtrip (Trace.Builder.finish b))
+
+let test_codec_extreme_values () =
+  (* Deltas wrap at the 63-bit boundary; the zigzag varint chain must
+     round-trip every representable bound anyway. *)
+  let b = Trace.Builder.create () in
+  List.iter
+    (fun lo -> Trace.Builder.add_write_raw b ~lo ~hi:lo ~pc:max_int)
+    [ 0; -1; 1; max_int; min_int; min_int + 1; 0x3FFFFFFFFFF; -0x3FFFFFFFFFF ];
+  let t = Trace.Builder.finish b in
+  Alcotest.(check bool) "roundtrip at extremes" true (check_roundtrip t)
+
+let test_codec_malformed () =
+  let valid = Trace.encode (build_sample ()) in
+  let expect_error what s =
+    match Trace.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" what
+  in
+  expect_error "empty input" "";
+  expect_error "bad magic" ("XXXXX" ^ String.sub valid 5 (String.length valid - 5));
+  expect_error "old codec version" "EBPT1";
+  for cut = String.length Trace.codec_version to String.length valid - 1 do
+    expect_error "truncation" (String.sub valid 0 cut)
+  done;
+  expect_error "trailing bytes" (valid ^ "\x00");
+  expect_error "oversized varint"
+    (Trace.codec_version ^ String.make 10 '\xff')
+
+let test_codec_raw_adders_equivalent () =
+  (* add_write_raw / register + add_install_id are byte-for-byte
+     equivalent to their boxed counterparts. *)
+  let obj = Object_desc.Global { var = "g" } in
+  let boxed = Trace.Builder.create () in
+  Trace.Builder.add_install boxed obj (iv 100 103);
+  Trace.Builder.add_write boxed (iv 100 103) ~pc:7;
+  Trace.Builder.add_remove boxed obj (iv 100 103);
+  let raw = Trace.Builder.create () in
+  let id = Trace.Builder.register raw obj in
+  Trace.Builder.add_install_id raw id ~lo:100 ~hi:103;
+  Trace.Builder.add_write_raw raw ~lo:100 ~hi:103 ~pc:7;
+  Trace.Builder.add_remove_id raw id ~lo:100 ~hi:103;
+  Alcotest.(check string) "identical bytes"
+    (Trace.encode (Trace.Builder.finish boxed))
+    (Trace.encode (Trace.Builder.finish raw))
+
+let test_builder_hint () =
+  (* An exact hint means finish can hand the buffer over; a wrong hint
+     still yields a correct trace. *)
+  List.iter
+    (fun hint ->
+      let b = Trace.Builder.create ~hint () in
+      for i = 0 to 99 do
+        Trace.Builder.add_write_raw b ~lo:(4 * i) ~hi:((4 * i) + 3) ~pc:i
+      done;
+      let t = Trace.Builder.finish b in
+      Alcotest.(check int) "length" 100 (Trace.length t);
+      match Trace.get t 99 with
+      | Trace.Write { pc = 99; _ } -> ()
+      | _ -> Alcotest.fail "last event wrong")
+    [ 100; 1; 1000 ]
+
+let test_codec_compact () =
+  (* A workload-shaped write run (sequential word stores from a handful
+     of pcs) must land well under 8 bytes/event. *)
+  let b = Trace.Builder.create ~hint:10_000 () in
+  for i = 0 to 9_999 do
+    let lo = 4096 + (4 * i) in
+    Trace.Builder.add_write_raw b ~lo ~hi:(lo + 3) ~pc:(100 + (i mod 7))
+  done;
+  let t = Trace.Builder.finish b in
+  let bytes = String.length (Trace.encode t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d bytes for 10k events" bytes)
+    true
+    (bytes < 8 * 10_000)
+
+let test_codec_byte_counters () =
+  let module Metrics = Ebp_obs.Metrics in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let t = build_sample () in
+      let s = Trace.encode t in
+      (match Trace.decode s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let counter name =
+        let snap = Metrics.snapshot () in
+        match
+          List.find_opt (fun (n, _, _) -> String.equal n name) snap.Metrics.counters
+        with
+        | Some (_, total, _) -> total
+        | None -> Alcotest.failf "counter %s not registered" name
+      in
+      Alcotest.(check int) "bytes_out" (String.length s)
+        (counter "trace.codec.bytes_out");
+      Alcotest.(check int) "bytes_in" (String.length s)
+        (counter "trace.codec.bytes_in"))
+
 (* --- Recorder semantics --- *)
 
 let record src =
@@ -333,6 +498,14 @@ let () =
           Alcotest.test_case "text errors" `Quick test_trace_text_errors;
           Alcotest.test_case "binary roundtrip" `Quick test_trace_binary_roundtrip;
           Alcotest.test_case "binary garbage" `Quick test_trace_binary_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          Alcotest.test_case "extreme values" `Quick test_codec_extreme_values;
+          Alcotest.test_case "malformed inputs" `Quick test_codec_malformed;
+          Alcotest.test_case "raw adders equivalent" `Quick
+            test_codec_raw_adders_equivalent;
+          Alcotest.test_case "builder hint" `Quick test_builder_hint;
+          Alcotest.test_case "compactness" `Quick test_codec_compact;
+          Alcotest.test_case "byte counters" `Quick test_codec_byte_counters;
         ] );
       ( "recorder",
         [
