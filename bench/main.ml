@@ -560,6 +560,87 @@ let run_phase1 workloads =
            ~rows ());
       print_newline ())
 
+(* --- robustness: integrity overhead on real cache entries --- *)
+
+(* The checksum trailer is pure insurance; this section prices it: raw
+   CRC-32 throughput over a real encoded trace, then the sealed
+   store -> verify -> checksummed lookup path on a private cache
+   directory. One workload and a handful of I/O round-trips, so it is
+   cheap enough to run under --quick too. *)
+let run_robustness (w : Ebp_workloads.Workload.t) =
+  let module Workload = Ebp_workloads.Workload in
+  let module Trace = Ebp_trace.Trace in
+  let module Trace_cache = Ebp_trace.Trace_cache in
+  print_endline
+    "Integrity overhead: CRC-32 over the encoded trace, and the sealed\n\
+     store -> verify -> checksummed lookup path";
+  let run =
+    match Workload.record w with
+    | Ok run -> run
+    | Error msg -> failwith ("robustness bench: " ^ msg)
+  in
+  let trace = run.Workload.trace in
+  let encoded = Trace.encode trace in
+  let mb = float_of_int (String.length encoded) /. 1048576.0 in
+  let reps = 20 in
+  let crc = ref 0 in
+  let (), crc_ms =
+    wall_ms (fun () ->
+        for _ = 1 to reps do
+          crc := Ebp_util.Crc32.string encoded
+        done)
+  in
+  ignore !crc;
+  let crc_ms = crc_ms /. float_of_int reps in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ebp-bench-robust-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Trace_cache.clear ~dir |> ignore;
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let key = Workload.cache_key w in
+      let (), store_ms =
+        wall_ms (fun () ->
+            match Trace_cache.store ~dir ~key trace with
+            | Ok () -> ()
+            | Error msg -> failwith ("robustness bench: store: " ^ msg))
+      in
+      let report, verify_ms =
+        wall_ms (fun () -> Trace_cache.verify ~quarantine:false ~dir ())
+      in
+      if report.Trace_cache.corrupt <> [] then
+        failwith "robustness bench: fresh entry reported corrupt";
+      let loaded, lookup_ms =
+        wall_ms (fun () -> Trace_cache.lookup ~dir ~key)
+      in
+      (match loaded with
+      | Some _ -> ()
+      | None -> failwith "robustness bench: checksummed lookup missed");
+      print_string
+        (Ebp_util.Text_table.render
+           ~header:
+             [ "workload"; "entry MB"; "crc ms"; "crc MB/s"; "store ms";
+               "verify ms"; "lookup ms" ]
+           ~rows:
+             [
+               [
+                 w.Workload.name;
+                 Printf.sprintf "%.2f" mb;
+                 Printf.sprintf "%.3f" crc_ms;
+                 Printf.sprintf "%.0f" (mb /. (crc_ms /. 1000.0));
+                 Printf.sprintf "%.1f" store_ms;
+                 Printf.sprintf "%.1f" verify_ms;
+                 Printf.sprintf "%.1f" lookup_ms;
+               ];
+             ]
+           ());
+      print_newline ())
+
 (* --- replay engines: scan vs indexed phase-2 replay --- *)
 
 let run_engine_comparison traces =
@@ -719,7 +800,11 @@ let () =
     print_endline "=== Phase 1: trace generation ===";
     print_newline ();
     with_section_metrics "phase 1 (cold record, codec, cache)" (fun () ->
-        run_phase1 workloads)
+        run_phase1 workloads);
+    print_endline "=== Robustness: cache integrity overhead ===";
+    print_newline ();
+    with_section_metrics "robustness (crc, store, verify)" (fun () ->
+        run_robustness (List.hd workloads))
   end;
   print_endline "=== Simulation experiment (Tables 1-4, Figures 7-9) ===";
   print_newline ();

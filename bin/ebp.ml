@@ -11,13 +11,16 @@
                                phase-1 trace cache, --engine scan|indexed
                                for the phase-2 replay engine)
      stats <file.ndjson>       render a metrics snapshot as tables
-     cache ls|clear|gc         inspect / clear / size-bound the trace cache
+     cache ls|clear|gc|verify  inspect / clear / size-bound / integrity-check
+                               the trace cache
+     fuzz --seeds N            differential fuzzing with shrinking
      debug <workload>          interactive watchpoint debugger REPL
      disasm <file.mc>          compile a MiniC file and print its assembly
 
    trace, sessions and experiment all accept --metrics FILE (NDJSON
-   snapshot of the Ebp_obs counters/histograms) and --trace-events FILE
-   (Chrome trace-event JSON for Perfetto). *)
+   snapshot of the Ebp_obs counters/histograms), --trace-events FILE
+   (Chrome trace-event JSON for Perfetto), and --faults SPEC (seeded
+   fault injection at the points cataloged in docs/ROBUSTNESS.md). *)
 
 open Cmdliner
 
@@ -68,6 +71,28 @@ let trace_events_arg =
           "Collect timing spans while the command runs and write Chrome \
            trace-event JSON to $(docv) ($(b,-) for stdout); load it in \
            Perfetto or chrome://tracing.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Enable seeded fault injection while the command runs. $(docv) is \
+           semicolon-separated clauses, each $(b,seed=N) or \
+           $(b,PATTERN:TRIGGER:ACTION): TRIGGER is $(b,always), $(b,nth=N) \
+           or $(b,p=F); ACTION is $(b,fail), $(b,bitflip), $(b,truncate) or \
+           $(b,kill); PATTERN names a fault point, with $(b,*) globbing a \
+           prefix (e.g. $(b,trace_cache.*:p=0.05:fail)). The point catalog \
+           is in docs/ROBUSTNESS.md.")
+
+let with_faults faults f =
+  match faults with
+  | None -> f ()
+  | Some spec -> (
+      match Ebp_util.Fault.configure_spec spec with
+      | Error msg -> exit_err ("bad --faults spec: " ^ msg)
+      | Ok () -> Fun.protect ~finally:Ebp_util.Fault.reset f)
 
 (* Run [f] with the observability subsystem enabled when either output
    was requested, then write the requested artifacts. [f] exiting early
@@ -167,7 +192,8 @@ let trace_cmd =
              executing anything when it is already cached, record and \
              cache it otherwise.")
   in
-  let f target out text cached cache_dir metrics trace_events =
+  let f target out text cached cache_dir faults metrics trace_events =
+    with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
     match source_of_arg target with
     | Error msg -> exit_err msg
@@ -221,7 +247,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg
-      $ metrics_arg $ trace_events_arg)
+      $ faults_arg $ metrics_arg $ trace_events_arg)
 
 let engine_arg =
   Arg.(
@@ -261,7 +287,8 @@ let sessions_cmd =
           ~doc:"Replay a saved binary trace instead of running anything; the \
                 positional argument is ignored.")
   in
-  let f target all from engine metrics trace_events =
+  let f target all from engine faults metrics trace_events =
+    with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
     let trace =
       match from with
@@ -298,8 +325,8 @@ let sessions_cmd =
   in
   Cmd.v (Cmd.info "sessions" ~doc)
     Term.(
-      const f $ target_or_dash $ all_arg $ from_arg $ engine_arg $ metrics_arg
-      $ trace_events_arg)
+      const f $ target_or_dash $ all_arg $ from_arg $ engine_arg $ faults_arg
+      $ metrics_arg $ trace_events_arg)
 
 (* --- experiment --- *)
 
@@ -330,7 +357,8 @@ let experiment_cmd =
              in parallel and each replay is sharded. Output is identical \
              for every $(docv).")
   in
-  let f only workloads jobs cache_dir engine metrics trace_events =
+  let f only workloads jobs cache_dir engine faults metrics trace_events =
+    with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
     let workloads =
       match workloads with
@@ -366,7 +394,7 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg $ engine_arg
-      $ metrics_arg $ trace_events_arg)
+      $ faults_arg $ metrics_arg $ trace_events_arg)
 
 (* --- stats --- *)
 
@@ -403,6 +431,7 @@ let cache_cmd =
     | Ebp_trace.Trace_cache.Trace_entry -> "trace"
     | Ebp_trace.Trace_cache.Index_entry -> "index"
     | Ebp_trace.Trace_cache.Tmp_entry -> "tmp"
+    | Ebp_trace.Trace_cache.Corrupt_entry -> "corrupt"
   in
   let ls_cmd =
     let doc = "List the cache entries and their total size." in
@@ -471,8 +500,120 @@ let cache_cmd =
     Cmd.v (Cmd.info "gc" ~doc)
       Term.(const f $ cache_dir_arg $ max_bytes_arg $ metrics_arg)
   in
-  let doc = "Inspect and garbage-collect the on-disk trace cache." in
-  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; clear_cmd; gc_cmd ]
+  let verify_cmd =
+    let doc =
+      "Check the integrity (checksum trailer and full decode) of every \
+       cache entry, quarantining the corrupt ones as $(b,*.corrupt). Exits \
+       1 when corruption was found."
+    in
+    let no_quarantine_arg =
+      Arg.(
+        value & flag
+        & info [ "no-quarantine" ]
+            ~doc:"Only report corrupt entries, do not rename them.")
+    in
+    let f cache_dir no_quarantine metrics =
+      (* verify prints its own report; silence the stderr hook. *)
+      Ebp_trace.Trace_cache.set_quarantine_log (fun ~file:_ ~reason:_ -> ());
+      with_obs ~metrics ~trace_events:None @@ fun () ->
+      let r =
+        Ebp_trace.Trace_cache.verify ~quarantine:(not no_quarantine)
+          ~dir:(dir_of cache_dir) ()
+      in
+      List.iter
+        (fun (file, reason) ->
+          Printf.printf "corrupt: %s (%s)%s\n" file reason
+            (if no_quarantine then "" else " -> quarantined"))
+        r.Ebp_trace.Trace_cache.corrupt;
+      Printf.printf "%d entries checked: %d intact, %d corrupt, %d temp files\n"
+        r.Ebp_trace.Trace_cache.checked r.Ebp_trace.Trace_cache.intact
+        (List.length r.Ebp_trace.Trace_cache.corrupt)
+        r.Ebp_trace.Trace_cache.tmp_litter;
+      if r.Ebp_trace.Trace_cache.corrupt <> [] then exit 1
+    in
+    Cmd.v (Cmd.info "verify" ~doc)
+      Term.(const f $ cache_dir_arg $ no_quarantine_arg $ metrics_arg)
+  in
+  let doc = "Inspect, garbage-collect, and integrity-check the on-disk trace cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; clear_cmd; gc_cmd; verify_cmd ]
+
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: run generated MiniC programs through the \
+     record / run-vs-record / step-vs-run / codec round-trip / \
+     scan-vs-indexed oracles, shrinking any failure to a minimal \
+     reproducer."
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to check.")
+  in
+  let start_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"S"
+          ~doc:"First seed; the run covers seeds $(docv) .. $(docv)+N-1.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Instruction budget per execution (default 2,000,000).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-failure" ] ~docv:"FILE"
+          ~doc:
+            "On failure, write the shrunk reproducer source to $(docv) \
+             instead of stdout.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report the original failing program without shrinking it.")
+  in
+  let f seeds start fuel save no_shrink =
+    if seeds < 0 then exit_err "--seeds must be non-negative";
+    let failure = ref None in
+    (try
+       for seed = start to start + seeds - 1 do
+         match Ebp_core.Fuzz.check_seed ?fuel seed with
+         | Ok () ->
+             let done_ = seed - start + 1 in
+             if done_ mod 100 = 0 && done_ < seeds then
+               Printf.eprintf "fuzz: %d/%d seeds ok\n%!" done_ seeds
+         | Error f ->
+             failure := Some f;
+             raise Exit
+       done
+     with Exit -> ());
+    match !failure with
+    | None -> Printf.printf "fuzz: %d seeds, all oracles held\n" seeds
+    | Some f ->
+        Printf.eprintf "fuzz: seed %d failed oracle %s (%s)%s\n%!"
+          f.Ebp_core.Fuzz.seed f.Ebp_core.Fuzz.oracle f.Ebp_core.Fuzz.detail
+          (if no_shrink then "" else "; shrinking");
+        let f = if no_shrink then f else Ebp_core.Fuzz.shrink ?fuel f in
+        let reproducer =
+          Printf.sprintf "// seed %d, oracle %s: %s\n%s" f.Ebp_core.Fuzz.seed
+            f.Ebp_core.Fuzz.oracle f.Ebp_core.Fuzz.detail f.Ebp_core.Fuzz.source
+        in
+        (match save with
+        | Some path ->
+            write_file path reproducer;
+            Printf.eprintf "fuzz: reproducer written to %s\n" path
+        | None -> print_string reproducer);
+        exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const f $ seeds_arg $ start_arg $ fuel_arg $ save_arg $ no_shrink_arg)
 
 (* --- debug --- *)
 
@@ -526,6 +667,10 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const f $ target_arg $ patch_arg)
 
 let () =
+  (* Corruption should be visible wherever a command trips over it. *)
+  Ebp_trace.Trace_cache.set_quarantine_log (fun ~file ~reason ->
+      Printf.eprintf "ebp: quarantined corrupt cache entry %s (%s)\n%!" file
+        reason);
   let doc = "Efficient data breakpoints: write-monitor-service experiment" in
   let info = Cmd.info "ebp" ~version:"1.0.0" ~doc in
   exit
@@ -533,5 +678,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd;
-            stats_cmd; cache_cmd; disasm_cmd; debug_cmd;
+            stats_cmd; cache_cmd; fuzz_cmd; disasm_cmd; debug_cmd;
           ]))

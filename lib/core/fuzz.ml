@@ -1,0 +1,347 @@
+(* Differential fuzzing over generated MiniC programs.
+
+   The generator is deterministic from its seed and emits programs as
+   lists of droppable source units (a global declaration, a helper
+   function, one statement group of main) so the shrinker can delete
+   units wholesale and re-render, instead of mutating text. Programs are
+   closed-world by construction: loops are bounded, recursion depth is
+   masked, division and modulo are by positive constants, array and heap
+   subscripts are masked to power-of-two bounds — so every generated
+   program halts with exit code 0 well inside the default fuel, and any
+   oracle failure is a real divergence, not an unlucky program.
+
+   The oracles are the redundancies the codebase already maintains:
+   [Machine.run] vs the single-[step] loop (independent execution loops),
+   recorded vs unrecorded execution (tracing must not perturb the run),
+   the EBPT2 and EBPW1 codec round-trips, and the scan vs indexed replay
+   engines. *)
+
+module Prng = Ebp_util.Prng
+module Machine = Ebp_machine.Machine
+module Loader = Ebp_runtime.Loader
+module Trace = Ebp_trace.Trace
+module Write_index = Ebp_trace.Write_index
+module Replay = Ebp_sessions.Replay
+
+type program = {
+  globals : string list;
+  funcs : (string * string list) list;  (* name, body lines *)
+  main_body : string list;
+}
+
+let render p =
+  let b = Buffer.create 1024 in
+  List.iter (fun g -> Buffer.add_string b (g ^ "\n")) p.globals;
+  List.iter
+    (fun (name, body) ->
+      Buffer.add_string b (Printf.sprintf "\nint %s(int a, int b) {\n" name);
+      List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) body;
+      Buffer.add_string b "}\n")
+    p.funcs;
+  Buffer.add_string b "\nint main() {\n";
+  List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) p.main_body;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let generate ~seed =
+  let g = Prng.create seed in
+  let rand n = Prng.int g n in
+  let pick xs = List.nth xs (rand (List.length xs)) in
+  let n_scalars = 2 + rand 3 in
+  let n_arrays = 1 + rand 2 in
+  let arr_sizes = Array.init n_arrays (fun _ -> pick [ 8; 16; 32 ]) in
+  let globals =
+    List.init n_scalars (fun i -> Printf.sprintf "int g%d;" i)
+    @ List.init n_arrays (fun i -> Printf.sprintf "int arr%d[%d];" i arr_sizes.(i))
+  in
+  let scalars = List.init n_scalars (fun i -> Printf.sprintf "g%d" i) in
+  (* Integer expressions over [vars]: every division/modulo is by a
+     positive constant, shifts are by small constants. *)
+  let rec expr vars depth =
+    if depth = 0 || rand 3 = 0 then
+      match rand 3 with
+      | 0 -> string_of_int (rand 201 - 100)
+      | _ -> if vars = [] then string_of_int (rand 50) else pick vars
+    else
+      let a = expr vars (depth - 1) in
+      match rand 10 with
+      | 0 -> Printf.sprintf "(%s + %s)" a (expr vars (depth - 1))
+      | 1 -> Printf.sprintf "(%s - %s)" a (expr vars (depth - 1))
+      | 2 -> Printf.sprintf "(%s * %s)" a (expr vars (depth - 1))
+      | 3 -> Printf.sprintf "(%s ^ %s)" a (expr vars (depth - 1))
+      | 4 -> Printf.sprintf "(%s & %s)" a (expr vars (depth - 1))
+      | 5 -> Printf.sprintf "(%s | %s)" a (expr vars (depth - 1))
+      | 6 -> Printf.sprintf "(%s << %d)" a (rand 5)
+      | 7 -> Printf.sprintf "(%s >> %d)" a (rand 5)
+      | 8 -> Printf.sprintf "(%s / %d)" a (1 + rand 9)
+      | _ -> Printf.sprintf "(%s %% %d)" a (1 + rand 9)
+  in
+  let n_funcs = 1 + rand 3 in
+  let func i =
+    let ai = rand n_arrays in
+    let mask = arr_sizes.(ai) - 1 in
+    let mid =
+      match rand 3 with
+      | 0 ->
+          Printf.sprintf "for (i = 0; i < %d; i = i + 1) { x = x + ((%s) ^ i); }"
+            (1 + rand 8)
+            (expr [ "a"; "b"; "x" ] 1)
+      | 1 ->
+          Printf.sprintf "if (%s > %s) { x = x - b; } else { x = x + a; }"
+            (pick [ "a"; "b"; "x" ])
+            (pick [ "a"; "b"; "x" ])
+      | _ ->
+          Printf.sprintf "x = x + arr%d[%s & %d];" ai
+            (pick [ "a"; "b"; "x" ])
+            mask
+    in
+    ( Printf.sprintf "f%d" i,
+      [ "int x;"; "int i;";
+        Printf.sprintf "x = %s;" (expr [ "a"; "b" ] 2);
+        mid; "return x;" ] )
+  in
+  let funcs =
+    List.init n_funcs func
+    @ [ ("r0", [ "if (a <= 0) { return b; }"; "return r0(a - 1, b + (a ^ b));" ]) ]
+  in
+  let mvars = "t" :: scalars in
+  let group () =
+    match rand 8 with
+    | 0 -> Printf.sprintf "t = t + %s;" (expr mvars 3)
+    | 1 ->
+        let gv = pick scalars in
+        Printf.sprintf "%s = %s; t = t + %s;" gv (expr mvars 3) gv
+    | 2 ->
+        let a = rand n_arrays in
+        let mask = arr_sizes.(a) - 1 in
+        Printf.sprintf
+          "for (i = 0; i < %d; i = i + 1) { arr%d[i & %d] = %s + i; } t = t + \
+           arr%d[%d];"
+          (4 + rand 12) a mask (expr mvars 2) a
+          (rand arr_sizes.(a))
+    | 3 ->
+        Printf.sprintf
+          "i = 0; while (i < %d) { i = i + 1; if ((i & 3) == %d) { continue; } \
+           t = t + (i * %d); if (i > %d) { break; } }"
+          (5 + rand 10) (rand 4) (1 + rand 5) (3 + rand 10)
+    | 4 ->
+        Printf.sprintf "t = t + f%d(%s, %s);" (rand n_funcs) (expr mvars 1)
+          (expr mvars 1)
+    | 5 ->
+        Printf.sprintf "t = t + r0((%s) & 7, %s);" (expr mvars 1) (expr mvars 1)
+    | 6 ->
+        let words = pick [ 8; 16 ] in
+        let idx = rand words in
+        Printf.sprintf
+          "p = malloc(%d); if (p != 0) { p[%d] = %s; t = t + p[%d]; free(p); }"
+          (words * 4) idx (expr mvars 2) idx
+    | _ -> Printf.sprintf "srand(%d); t = t + rand(%d);" (rand 1000) (1 + rand 50)
+  in
+  let n_groups = 4 + rand 5 in
+  {
+    globals;
+    funcs;
+    main_body =
+      [ "int t;"; "int i;"; "int* p;"; "t = 0;" ]
+      @ List.init n_groups (fun _ -> group ())
+      @ [ "print_int(t);"; "return 0;" ];
+  }
+
+(* --- oracles --- *)
+
+let default_fuel = 2_000_000
+
+let status_str = function
+  | Machine.Halted n -> Printf.sprintf "halted %d" n
+  | Machine.Out_of_fuel -> "out of fuel"
+  | Machine.Machine_error m -> "machine error: " ^ m
+
+let check_source ?(fuel = default_fuel) ~seed source =
+  let ( let* ) = Result.bind in
+  let fail oracle fmt = Printf.ksprintf (fun d -> Error (oracle, d)) fmt in
+  let* recorded, trace =
+    match Ebp_trace.Recorder.record_source ~seed ~fuel source with
+    | Error msg -> fail "record" "compile error: %s" msg
+    | Ok (r, trace, _debug) -> (
+        match (r.Loader.runtime_error, r.Loader.status) with
+        | Some e, _ -> fail "record" "runtime error: %s" e
+        | None, Machine.Halted 0 -> Ok (r, trace)
+        | None, st -> fail "record" "status: %s" (status_str st))
+  in
+  (* Recording must not perturb execution. *)
+  let* plain =
+    match Loader.run_source ~seed ~fuel source with
+    | Error msg -> fail "run-vs-record" "compile error: %s" msg
+    | Ok r ->
+        if r.Loader.status <> recorded.Loader.status then
+          fail "run-vs-record" "status: %s vs %s" (status_str r.Loader.status)
+            (status_str recorded.Loader.status)
+        else if r.Loader.cycles <> recorded.Loader.cycles then
+          fail "run-vs-record" "cycles: %d vs %d" r.Loader.cycles
+            recorded.Loader.cycles
+        else if r.Loader.instructions <> recorded.Loader.instructions then
+          fail "run-vs-record" "instructions: %d vs %d" r.Loader.instructions
+            recorded.Loader.instructions
+        else if r.Loader.output <> recorded.Loader.output then
+          fail "run-vs-record" "output: %S vs %S" r.Loader.output
+            recorded.Loader.output
+        else Ok r
+  in
+  (* [Machine.run]'s batch loop vs the single-step loop. *)
+  let* () =
+    match Ebp_lang.Compiler.compile source with
+    | Error msg -> fail "step-vs-run" "compile error: %s" msg
+    | Ok compiled ->
+        let t = Loader.load ~seed compiled in
+        let m = Loader.machine t in
+        let rec drive budget =
+          if budget = 0 then Machine.Out_of_fuel
+          else
+            match Machine.step m with
+            | None -> drive (budget - 1)
+            | Some r -> r
+        in
+        let status = drive fuel in
+        if status <> plain.Loader.status then
+          fail "step-vs-run" "status: %s vs %s" (status_str status)
+            (status_str plain.Loader.status)
+        else if Machine.cycles m <> plain.Loader.cycles then
+          fail "step-vs-run" "cycles: %d vs %d" (Machine.cycles m)
+            plain.Loader.cycles
+        else if Machine.instructions_executed m <> plain.Loader.instructions
+        then
+          fail "step-vs-run" "instructions: %d vs %d"
+            (Machine.instructions_executed m)
+            plain.Loader.instructions
+        else if Loader.output t <> plain.Loader.output then
+          fail "step-vs-run" "output: %S vs %S" (Loader.output t)
+            plain.Loader.output
+        else Ok ()
+  in
+  let* () =
+    let bytes = Trace.encode trace in
+    match Trace.decode bytes with
+    | Error msg -> fail "trace-codec" "decode: %s" msg
+    | Ok trace' ->
+        if Trace.encode trace' <> bytes then
+          fail "trace-codec" "round-trip: re-encoded bytes differ"
+        else Ok ()
+  in
+  let page_sizes = Replay.default_page_sizes in
+  let* index =
+    let index = Write_index.build ~page_sizes trace in
+    match Write_index.decode (Write_index.encode index) with
+    | Error msg -> fail "index-codec" "decode: %s" msg
+    | Ok index' ->
+        if not (Write_index.equal index index') then
+          fail "index-codec" "round-trip: index differs"
+        else Ok index
+  in
+  let scan = Replay.discover_and_replay ~page_sizes ~engine:Replay.Scan trace in
+  let indexed =
+    Replay.discover_and_replay ~page_sizes ~engine:Replay.Indexed ~index trace
+  in
+  if scan <> indexed then
+    if List.length scan <> List.length indexed then
+      fail "scan-vs-indexed" "session count: %d vs %d" (List.length scan)
+        (List.length indexed)
+    else
+      let diverging =
+        List.find_opt
+          (fun ((s, c), (s', c')) -> not (Ebp_sessions.Session.equal s s') || c <> c')
+          (List.combine scan indexed)
+      in
+      match diverging with
+      | Some ((s, _), _) ->
+          fail "scan-vs-indexed" "counts differ for %s"
+            (Ebp_sessions.Session.to_string s)
+      | None -> fail "scan-vs-indexed" "results differ"
+  else Ok ()
+
+type failure = {
+  seed : int;
+  oracle : string;
+  detail : string;
+  program : program;
+  source : string;
+}
+
+let check_program ?fuel ~seed program =
+  let source = render program in
+  match check_source ?fuel ~seed source with
+  | Ok () -> Ok ()
+  | Error (oracle, detail) -> Error { seed; oracle; detail; program; source }
+
+let check_seed ?fuel seed = check_program ?fuel ~seed (generate ~seed)
+
+(* --- shrinking --- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Two failures count as "the same bug" when the oracle matches and the
+   detail agrees up to its first ':' — specific numbers (cycle counts,
+   error positions) may drift as the program shrinks, but a candidate
+   that fails a different oracle (or turns a divergence into a compile
+   error) is a different bug and is rejected. *)
+let same_class f (oracle, detail) =
+  let head s =
+    match String.index_opt s ':' with Some i -> String.sub s 0 i | None -> s
+  in
+  f.oracle = oracle && head f.detail = head detail
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Deleting a function also deletes every line calling it, so the
+   candidate stays closed. *)
+let without_func p name =
+  let calls l = contains_sub l (name ^ "(") in
+  {
+    globals = p.globals;
+    funcs =
+      List.filter_map
+        (fun (n, body) ->
+          if n = name then None
+          else Some (n, List.filter (fun l -> not (calls l)) body))
+        p.funcs;
+    main_body = List.filter (fun l -> not (calls l)) p.main_body;
+  }
+
+let candidates p =
+  List.init (List.length p.main_body) (fun i ->
+      { p with main_body = drop_nth p.main_body i })
+  @ List.map (fun (name, _) -> without_func p name) p.funcs
+  @ List.concat
+      (List.mapi
+         (fun j (_, body) ->
+           List.init (List.length body) (fun i ->
+               {
+                 p with
+                 funcs =
+                   List.mapi
+                     (fun j' (n, b) ->
+                       if j = j' then (n, drop_nth b i) else (n, b))
+                     p.funcs;
+               }))
+         p.funcs)
+  @ List.init (List.length p.globals) (fun i ->
+        { p with globals = drop_nth p.globals i })
+
+let shrink ?fuel f =
+  (* Greedy fixpoint: take the first accepted deletion and restart. Every
+     acceptance removes at least one source unit, so this terminates. *)
+  let rec fix f =
+    let rec try_candidates = function
+      | [] -> f
+      | p :: rest -> (
+          match check_program ?fuel ~seed:f.seed p with
+          | Ok () -> try_candidates rest
+          | Error f' ->
+              if same_class f (f'.oracle, f'.detail) then fix f'
+              else try_candidates rest)
+    in
+    try_candidates (candidates f.program)
+  in
+  fix f

@@ -1,0 +1,59 @@
+(** Differential fuzzing: generated MiniC programs checked against the
+    codebase's built-in redundancies.
+
+    A seed deterministically generates a small, always-terminating MiniC
+    program (bounded loops, masked recursion depth and subscripts,
+    constant divisors), which is then pushed through six oracles:
+
+    + {b record} — it compiles, runs without a runtime error, and halts
+      with exit code 0;
+    + {b run-vs-record} — recording a trace does not perturb execution
+      (status, cycles, instructions, output);
+    + {b step-vs-run} — the single-{!Ebp_machine.Machine.step} loop and
+      {!Ebp_machine.Machine.run}'s batch loop agree exactly;
+    + {b trace-codec} / {b index-codec} — the EBPT2 and EBPW1 codecs
+      round-trip the recording bit-identically;
+    + {b scan-vs-indexed} — both phase-2 replay engines produce identical
+      session counts.
+
+    A failure carries the offending program; {!shrink} deletes source
+    units (statement groups, helper functions, globals) to a fixpoint
+    while the {e same} oracle keeps failing, yielding a minimal
+    reproducer. [ebp fuzz] drives this; a fixed-seed batch also runs in
+    the tier-1 test suite. *)
+
+type program = {
+  globals : string list;  (** global declaration lines *)
+  funcs : (string * string list) list;  (** helper name, body lines *)
+  main_body : string list;  (** statement groups of [main] *)
+}
+
+val generate : seed:int -> program
+(** Deterministic in [seed]. *)
+
+val render : program -> string
+(** Flatten to MiniC source. *)
+
+val check_source : ?fuel:int -> seed:int -> string -> (unit, string * string) result
+(** Run every oracle over one source string ([seed] seeds the program's
+    PRNG). [Error (oracle, detail)] names the first oracle that failed.
+    [fuel] (default 2,000,000) bounds each execution. *)
+
+type failure = {
+  seed : int;
+  oracle : string;
+  detail : string;
+  program : program;
+  source : string;
+}
+
+val check_program : ?fuel:int -> seed:int -> program -> (unit, failure) result
+
+val check_seed : ?fuel:int -> int -> (unit, failure) result
+(** [check_program] of [generate ~seed], executed with the same seed. *)
+
+val shrink : ?fuel:int -> failure -> failure
+(** Greedy delta-debugging: repeatedly delete the first source unit whose
+    removal still fails the same oracle (details may drift, the oracle and
+    error class may not), to a fixpoint. Deleting a helper function also
+    deletes its call sites, so candidates stay well-formed. *)

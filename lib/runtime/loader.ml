@@ -90,8 +90,13 @@ let load ?(seed = 42) ?costs ?monitor_reg_count ?mem (compiled : Ebp_lang.Compil
   Machine.set_syscall_handler machine (Some (dispatch_syscall t));
   t
 
+let p_run = Ebp_util.Fault.point "loader.run"
+
 let run ?fuel t =
   Ebp_obs.Span.with_span "loader.run" @@ fun () ->
+  (* Evaluated before the machine touches any state, so a retry (the
+     domain pool contains injected task faults) re-runs from scratch. *)
+  Ebp_util.Fault.check p_run;
   let status = Machine.run ?fuel t.machine in
   Metrics.incr m_runs;
   Metrics.add m_cycles (Machine.cycles t.machine);

@@ -295,8 +295,13 @@ let encode t =
 
 exception Malformed of string
 
+let p_decode = Ebp_util.Fault.point "trace.codec.decode"
+
 let decode s =
   Obs_span.with_span "codec.decode" @@ fun () ->
+  match Ebp_util.Fault.fires p_decode with
+  | Some _ -> Error "injected fault at trace.codec.decode"
+  | None ->
   let len = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Malformed msg) in

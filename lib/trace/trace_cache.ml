@@ -1,18 +1,33 @@
-(* Entry layout: magic, 8-byte LE meta length, meta bytes, then the trace
-   in the Trace binary codec, which must be the file's final payload
-   (Trace.read_binary consumes to EOF). The version string below is
-   hashed into every key and includes the trace codec version, so a codec
-   change silently orphans old entries instead of misreading them. *)
+(* Entry layout: a sealed body plus a 12-byte integrity trailer.
 
-let version = "ebp-trace-cache-v2:" ^ Trace.codec_version
-let magic = "EBPC2"
+     body    = magic, 8-byte LE meta length, meta bytes, Trace.encode payload
+     trailer = "EBPZ", 8-byte LE CRC-32 of body
+
+   (Index entries seal a Write_index.encode body the same way.) The CRC
+   is verified before any decoding, so truncation and bit flips are
+   detected up front instead of surfacing as decoder errors — or worse,
+   silently decoding to different events. A failed check quarantines the
+   file (renamed [*.corrupt], counted, surfaced through the quarantine
+   hook) and reads as a miss, so the caller transparently re-records.
+
+   The version string below is hashed into every key and includes the
+   trace codec version, so a format change (like the v2 -> v3 trailer
+   addition) silently orphans old entries instead of misreading them. *)
+
+let version = "ebp-trace-cache-v3:" ^ Trace.codec_version
+let magic = "EBPC3"
+let trailer_magic = "EBPZ"
+let trailer_len = 12
 
 module Metrics = Ebp_obs.Metrics
 module Span = Ebp_obs.Span
+module Fault = Ebp_util.Fault
+module Crc32 = Ebp_util.Crc32
 
 (* Cache observability: hit/miss counters and latency histograms for both
-   entry kinds, byte traffic, and what garbage collection reclaimed. All
-   updates are no-ops (one branch) until Metrics.set_enabled. *)
+   entry kinds, byte traffic, corruption/retry accounting, and what
+   garbage collection reclaimed. All updates are no-ops (one branch)
+   until Metrics.set_enabled. *)
 let m_hits = Metrics.counter "trace_cache.hits"
 let m_misses = Metrics.counter "trace_cache.misses"
 let m_index_hits = Metrics.counter "trace_cache.index_hits"
@@ -23,7 +38,21 @@ let m_lookup_ns = Metrics.histogram "trace_cache.lookup_ns"
 let m_store_ns = Metrics.histogram "trace_cache.store_ns"
 let m_gc_removed = Metrics.counter "trace_cache.gc_removed"
 let m_gc_reclaimed = Metrics.counter "trace_cache.gc_reclaimed_bytes"
+let m_quarantined = Metrics.counter "trace_cache.quarantined"
+let m_retries = Metrics.counter "trace_cache.store_retries"
 let g_disk_bytes = Metrics.gauge "trace_cache.disk_bytes"
+
+(* Fault points (see docs/ROBUSTNESS.md for the catalog). The store path
+   distinguishes a transient I/O failure (retried), data corruption in
+   flight (mangles the sealed bytes, so the CRC catches it on lookup),
+   and three kill sites bracketing the write protocol; the lookup path
+   has one data point mangling what was read. *)
+let p_store_io = Fault.point "trace_cache.store.io"
+let p_store_data = Fault.point "trace_cache.store.data"
+let p_kill_tmp = Fault.point "trace_cache.store.kill_tmp"
+let p_kill_write = Fault.point "trace_cache.store.kill_write"
+let p_kill_rename = Fault.point "trace_cache.store.kill_rename"
+let p_lookup_data = Fault.point "trace_cache.lookup.data"
 
 let timed hist f =
   if not (Metrics.is_enabled ()) then f ()
@@ -60,37 +89,138 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let write_int oc v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.of_int v);
-  output_bytes oc b
+(* --- sealing --- *)
 
-let read_int ic =
+let seal body =
+  let t = Bytes.create trailer_len in
+  Bytes.blit_string trailer_magic 0 t 0 4;
+  Bytes.set_int64_le t 4 (Int64.of_int (Crc32.string body));
+  body ^ Bytes.unsafe_to_string t
+
+let unseal data =
+  let n = String.length data in
+  if n < trailer_len then Error "entry shorter than its checksum trailer"
+  else if String.sub data (n - trailer_len) 4 <> trailer_magic then
+    Error "missing checksum trailer"
+  else
+    let body_len = n - trailer_len in
+    (* Compare all 8 stored bytes: a CRC-32 occupies the low 4, so the
+       high 4 must be zero — masking them off would let flips there pass. *)
+    let stored = String.get_int64_le data (n - 8) in
+    if stored <> Int64.of_int (Crc32.sub data ~pos:0 ~len:body_len) then
+      Error "checksum mismatch"
+    else Ok (String.sub data 0 body_len)
+
+let parse_entry body =
+  let hdr = String.length magic + 8 in
+  if String.length body < hdr then Error "entry header truncated"
+  else if String.sub body 0 (String.length magic) <> magic then
+    Error "bad entry magic"
+  else
+    let mlen = Int64.to_int (String.get_int64_le body (String.length magic)) in
+    (* A corrupt meta length must never size an allocation: clamp it
+       against the bytes actually present and report a miss. *)
+    if mlen < 0 || mlen > String.length body - hdr then
+      Error "meta length out of bounds"
+    else
+      let meta = String.sub body hdr mlen in
+      Result.map
+        (fun trace -> (trace, meta))
+        (Trace.decode
+           (String.sub body (hdr + mlen) (String.length body - hdr - mlen)))
+
+(* --- quarantine --- *)
+
+let quarantine_log = ref (fun ~file:_ ~reason:_ -> ())
+let set_quarantine_log f = quarantine_log := f
+
+let quarantine ~dir ~file ~reason =
+  Metrics.incr m_quarantined;
+  (try
+     Sys.rename (Filename.concat dir file) (Filename.concat dir (file ^ ".corrupt"))
+   with Sys_error _ -> ());
+  !quarantine_log ~file ~reason
+
+(* --- the store protocol --- *)
+
+(* Write the sealed bytes to a fresh temp file and rename it into place.
+   A [Fault.Killed] is a simulated crash: it must leave whatever litter a
+   real kill at that site would (an empty temp file, a partial temp file,
+   a complete-but-unrenamed temp file) for the crash-consistency tests —
+   so only non-kill failures clean up the temp file. Lookups never see a
+   partial entry either way: the rename is the commit point. *)
+let write_entry ~path ~tmp data =
+  let oc = open_out_bin tmp in
+  (match
+     Fault.check p_kill_tmp;
+     let half = String.length data / 2 in
+     output_substring oc data 0 half;
+     Fault.check p_kill_write;
+     output_substring oc data half (String.length data - half);
+     Metrics.add m_bytes_written (String.length data)
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  Fault.check p_kill_rename;
+  Sys.rename tmp path
+
+let max_store_attempts = 3
+
+(* Transient failures (a Sys_error from the filesystem, an injected
+   [Fail]) are retried with exponential backoff; corruption injected by
+   [p_store_data] is NOT an error here — the sealed-then-mangled bytes
+   land on disk and the CRC catches them at lookup time, which is the
+   scenario the fault exists to create. *)
+let store_file ~dir ~path data =
+  let rec attempt n =
+    match
+      Fault.check p_store_io;
+      let data = Fault.mangle p_store_data data in
+      mkdir_p dir;
+      let tmp =
+        Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+      in
+      (try write_entry ~path ~tmp data with
+      | Fault.Killed _ as e -> raise e (* simulated crash: leave the litter *)
+      | e ->
+          (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+          raise e)
+    with
+    | () -> Ok ()
+    | exception ((Sys_error _ | Fault.Injected _) as e) ->
+        if n + 1 < max_store_attempts then begin
+          Metrics.incr m_retries;
+          Unix.sleepf (0.001 *. float_of_int (1 lsl n));
+          attempt (n + 1)
+        end
+        else
+          Error
+            (match e with
+            | Sys_error msg -> msg
+            | Fault.Injected pt -> "injected fault at " ^ pt
+            | _ -> assert false)
+  in
+  attempt 0
+
+let entry_bytes_of ~meta trace =
+  let payload = Trace.encode trace in
+  let buf =
+    Buffer.create (String.length magic + 8 + String.length meta
+                   + String.length payload + trailer_len)
+  in
+  Buffer.add_string buf magic;
   let b = Bytes.create 8 in
-  really_input ic b 0 8;
-  Int64.to_int (Bytes.get_int64_le b 0)
+  Bytes.set_int64_le b 0 (Int64.of_int (String.length meta));
+  Buffer.add_bytes buf b;
+  Buffer.add_string buf meta;
+  Buffer.add_string buf payload;
+  seal (Buffer.contents buf)
 
 let store ~dir ~key ?(meta = "") trace =
   timed m_store_ns @@ fun () ->
-  match
-    mkdir_p dir;
-    let tmp = Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp" in
-    Fun.protect
-      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
-      (fun () ->
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            output_string oc magic;
-            write_int oc (String.length meta);
-            output_string oc meta;
-            Trace.write_binary oc trace;
-            Metrics.add m_bytes_written (pos_out oc));
-        Sys.rename tmp (entry_path ~dir ~key))
-  with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
+  store_file ~dir ~path:(entry_path ~dir ~key) (entry_bytes_of ~meta trace)
 
 let index_key ~key ~page_sizes =
   Digest.to_hex
@@ -104,80 +234,57 @@ let index_path ~dir ~key ~page_sizes =
 
 let store_index ~dir ~key ~page_sizes index =
   timed m_store_ns @@ fun () ->
-  match
-    mkdir_p dir;
-    let ikey = index_key ~key ~page_sizes in
-    let tmp = Filename.temp_file ~temp_dir:dir ("." ^ ikey) ".tmp" in
-    Fun.protect
-      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
-      (fun () ->
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            Write_index.write_binary oc index;
-            Metrics.add m_bytes_written (pos_out oc));
-        Sys.rename tmp (index_path ~dir ~key ~page_sizes))
-  with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
+  store_file ~dir
+    ~path:(index_path ~dir ~key ~page_sizes)
+    (seal (Write_index.encode index))
 
-let lookup_index ~dir ~key ~page_sizes =
-  timed m_lookup_ns @@ fun () ->
-  let path = index_path ~dir ~key ~page_sizes in
-  let found =
-    match open_in_bin path with
-    | exception Sys_error _ -> None
-    | ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            match Write_index.read_binary ic with
-            | Ok index ->
-                Metrics.add m_bytes_read (in_channel_length ic);
-                Some index
-            | Error _ -> None
-            | exception (End_of_file | Sys_error _ | Invalid_argument _) ->
-                None)
-  in
-  Metrics.incr (match found with Some _ -> m_index_hits | None -> m_index_misses);
-  found
+(* --- lookups --- *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Some data
+  | exception Sys_error _ -> None
+
+(* Shared load path: read the whole file, pass it through the lookup
+   fault point, verify the trailer, then parse. An absent or unreadable
+   file is a plain miss; an injected transient read fault is a miss that
+   leaves the (possibly fine) entry alone; a failed integrity check or
+   parse quarantines the file and falls back to a miss, which makes the
+   caller re-record. *)
+let load_entry ~dir ~file parse =
+  match read_file (Filename.concat dir file) with
+  | None -> None
+  | Some data -> (
+      match Fault.mangle p_lookup_data data with
+      | exception Fault.Injected _ -> None
+      | data -> (
+          Metrics.add m_bytes_read (String.length data);
+          match Result.bind (unseal data) parse with
+          | Ok v -> Some v
+          | Error reason ->
+              quarantine ~dir ~file ~reason;
+              None))
 
 let lookup ~dir ~key =
   timed m_lookup_ns @@ fun () ->
-  let path = entry_path ~dir ~key in
-  let found =
-    match open_in_bin path with
-    | exception Sys_error _ -> None
-    | ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            match
-              let got = really_input_string ic (String.length magic) in
-              if got <> magic then None
-              else
-                let len = read_int ic in
-                let meta = really_input_string ic len in
-                match Trace.read_binary ic with
-                | Ok trace ->
-                    Metrics.add m_bytes_read (in_channel_length ic);
-                    Some (trace, meta)
-                | Error _ -> None
-            with
-            | entry -> entry
-            | exception (End_of_file | Sys_error _ | Invalid_argument _) ->
-                None)
-  in
+  let found = load_entry ~dir ~file:(key ^ ".trace") parse_entry in
   Metrics.incr (match found with Some _ -> m_hits | None -> m_misses);
+  found
+
+let lookup_index ~dir ~key ~page_sizes =
+  timed m_lookup_ns @@ fun () ->
+  let file = Filename.basename (index_path ~dir ~key ~page_sizes) in
+  let found = load_entry ~dir ~file Write_index.decode in
+  Metrics.incr (match found with Some _ -> m_index_hits | None -> m_index_misses);
   found
 
 (* Garbage collection. The odoc contract is that entries never need
    invalidation (keys are content hashes over the codec version), only
    reclamation — so GC is pure space management: drop temp-file litter
-   from interrupted stores, then evict coldest-first by mtime. *)
+   from interrupted stores and quarantined corpses, then evict
+   coldest-first by mtime. *)
 
-type entry_kind = Trace_entry | Index_entry | Tmp_entry
+type entry_kind = Trace_entry | Index_entry | Tmp_entry | Corrupt_entry
 
 type entry = {
   entry_file : string;
@@ -187,9 +294,10 @@ type entry = {
 }
 
 let classify file =
-  (* Temp files look like [.<key>NNNNNN.tmp]; classify on the suffix
-     first so a stray dot-prefixed .trace still counts as a trace. *)
-  if Filename.check_suffix file ".trace" then Some Trace_entry
+  (* Quarantined corpses first ([<key>.trace.corrupt] must not count as a
+     trace); temp files look like [.<key>.traceNNNNN.tmp]. *)
+  if Filename.check_suffix file ".corrupt" then Some Corrupt_entry
+  else if Filename.check_suffix file ".trace" then Some Trace_entry
   else if Filename.check_suffix file ".widx" then Some Index_entry
   else if Filename.check_suffix file ".tmp" && String.length file > 0
           && file.[0] = '.' then Some Tmp_entry
@@ -242,14 +350,16 @@ let clear ~dir =
   (removed, reclaimed)
 
 let gc ~dir ~max_bytes =
-  let tmp, live =
-    List.partition (fun e -> e.entry_kind = Tmp_entry) (entries ~dir)
+  let litter, live =
+    List.partition
+      (fun e -> e.entry_kind = Tmp_entry || e.entry_kind = Corrupt_entry)
+      (entries ~dir)
   in
   let drop acc e =
     let n, b = acc in
     if remove_entry ~dir e then (n + 1, b + e.entry_bytes) else acc
   in
-  let acc = List.fold_left drop (0, 0) tmp in
+  let acc = List.fold_left drop (0, 0) litter in
   (* [entries] sorts oldest-mtime first, so a plain fold evicts coldest
      entries until the live set fits. *)
   let acc, _ =
@@ -264,3 +374,57 @@ let gc ~dir ~max_bytes =
   in
   Metrics.set g_disk_bytes (float_of_int (total_bytes (entries ~dir)));
   acc
+
+(* --- integrity scan --- *)
+
+type verify_report = {
+  checked : int;
+  intact : int;
+  corrupt : (string * string) list;
+  tmp_litter : int;
+}
+
+let verify ?(quarantine = true) ~dir () =
+  let quarantine_one ~file ~reason =
+    if quarantine then
+      (* Reuse the lookup path's quarantine so the counter and hook see
+         scans and lookups alike. *)
+      (Metrics.incr m_quarantined;
+       (try
+          Sys.rename (Filename.concat dir file)
+            (Filename.concat dir (file ^ ".corrupt"))
+        with Sys_error _ -> ());
+       !quarantine_log ~file ~reason)
+  in
+  let checked = ref 0 and intact = ref 0 and tmp_litter = ref 0 in
+  let corrupt = ref [] in
+  List.iter
+    (fun e ->
+      match e.entry_kind with
+      | Tmp_entry -> incr tmp_litter
+      | Corrupt_entry -> ()
+      | Trace_entry | Index_entry -> (
+          incr checked;
+          let parse body =
+            match e.entry_kind with
+            | Trace_entry -> Result.map ignore (parse_entry body)
+            | _ -> Result.map ignore (Write_index.decode body)
+          in
+          let result =
+            match read_file (Filename.concat dir e.entry_file) with
+            | None -> Error "unreadable"
+            | Some data -> Result.bind (unseal data) parse
+          in
+          match result with
+          | Ok () -> incr intact
+          | Error reason ->
+              corrupt := (e.entry_file, reason) :: !corrupt;
+              quarantine_one ~file:e.entry_file ~reason))
+    (entries ~dir);
+  {
+    checked = !checked;
+    intact = !intact;
+    corrupt =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !corrupt;
+    tmp_litter = !tmp_litter;
+  }

@@ -12,23 +12,33 @@
     {!make_key} hashes the tuple (codec version, program name, source
     digest, seed, fuel) into a hex string:
 
-    {[ MD5 ("ebp-trace-cache-v1" ^ name ^ MD5 (source) ^ seed ^ fuel) ]}
+    {[ MD5 ("ebp-trace-cache-v3:EBPT2" ^ name ^ MD5 (source) ^ seed ^ fuel) ]}
 
     Any input that could change the recorded events changes the key, so a
     stale entry can never be returned for modified source — entries need no
     invalidation, only garbage collection. The codec version is part of the
-    hash: a future change to the binary trace format bumps the constant and
+    hash: a change to the binary trace format (or to the entry format
+    itself, as the v2 → v3 trailer addition was) bumps the constant and
     orphans (rather than misparses) old entries.
 
-    {2 Storage}
+    {2 Storage and integrity}
 
     One file per entry, [<dir>/<key>.trace]: a magic string, a small
     length-prefixed metadata string supplied by the caller (the experiment
-    stores the base execution time there), then the {!Trace.write_binary}
-    payload. Writes go to a temporary file in the same directory and are
-    renamed into place, so concurrent producers of the same key race
-    benignly. A corrupt, truncated, or unreadable entry is reported as a
-    miss, never an error. *)
+    stores the base execution time there), then the {!Trace.encode}
+    payload — all sealed under a 12-byte trailer (["EBPZ"] plus the 8-byte
+    LE CRC-32 of everything before it). Writes go to a temporary file in
+    the same directory and are renamed into place, so a reader never
+    observes a partial entry and concurrent producers of the same key race
+    benignly; transient [Sys_error]s during a store are retried with
+    exponential backoff (counted in [trace_cache.store_retries]).
+
+    The trailer is verified {e before} any decoding, so truncation and bit
+    flips on disk are caught up front. A corrupt entry is quarantined —
+    renamed [<file>.corrupt], counted in [trace_cache.quarantined],
+    surfaced through {!set_quarantine_log} — and reported as a miss, never
+    an error, so the caller transparently re-records. An unreadable file
+    or directory is a plain miss. *)
 
 val default_dir : unit -> string
 (** [$XDG_CACHE_HOME/ebp] when [XDG_CACHE_HOME] is set and absolute,
@@ -46,14 +56,20 @@ val store :
   dir:string -> key:string -> ?meta:string -> Trace.t -> (unit, string) result
 (** [store ~dir ~key ~meta trace] persists [trace] (and the opaque [meta]
     string, default [""]) under [key], creating [dir] if needed. Returns
-    [Error _] with a human-readable reason when the filesystem refuses;
-    storing is always safe to skip, so callers typically degrade to a
-    warning. *)
+    [Error _] with a human-readable reason when the filesystem (or an
+    injected fault) refuses after the retries are exhausted; storing is
+    always safe to skip, so callers typically degrade to a warning. *)
 
 val lookup : dir:string -> key:string -> (Trace.t * string) option
-(** [lookup ~dir ~key] is [Some (trace, meta)] when a well-formed entry for
-    [key] exists, [None] otherwise (including on a corrupt entry or an
-    unreadable directory). *)
+(** [lookup ~dir ~key] is [Some (trace, meta)] when an entry for [key]
+    exists and passes its integrity check, [None] otherwise (quarantining
+    the file first if it exists but is corrupt). *)
+
+val set_quarantine_log : (file:string -> reason:string -> unit) -> unit
+(** Install the hook called (synchronously, possibly from a pool worker)
+    each time an entry is quarantined, with the entry's file name relative
+    to its cache directory and a human-readable reason. Default: ignore.
+    The CLI points this at stderr. *)
 
 (** {2 Write-index entries}
 
@@ -62,8 +78,8 @@ val lookup : dir:string -> key:string -> (Trace.t * string) option
     way: one [<dir>/<ikey>.widx] file per (trace key, page sizes) pair,
     where [ikey] rehashes the trace key together with the index codec
     version and the page sizes. A warm experiment run thereby skips both
-    phase-1 tracing {e and} the index build. The same atomic
-    temp-and-rename and miss-on-corruption rules apply. *)
+    phase-1 tracing {e and} the index build. The same sealing, atomic
+    temp-and-rename, retry, and quarantine-on-corruption rules apply. *)
 
 val index_key : key:string -> page_sizes:int list -> string
 (** [index_key ~key ~page_sizes] derives the index entry's key from a
@@ -85,19 +101,22 @@ val lookup_index :
 
     Keys are content hashes over the codec version, so entries never go
     stale — the only maintenance a cache directory needs is reclaiming
-    space. [ebp cache ls|clear|gc] drives the functions below.
+    space. [ebp cache ls|clear|gc|verify] drives the functions below.
 
     Every operation in this module updates the [trace_cache.*] metrics
     when {!Ebp_obs.Metrics} is enabled: hit/miss and byte counters for
-    lookups and stores, latency histograms, and
-    [trace_cache.gc_removed] / [trace_cache.gc_reclaimed_bytes] plus the
-    [trace_cache.disk_bytes] gauge for the GC entry points. *)
+    lookups and stores, latency histograms, quarantine and store-retry
+    counters, and [trace_cache.gc_removed] /
+    [trace_cache.gc_reclaimed_bytes] plus the [trace_cache.disk_bytes]
+    gauge for the GC entry points. *)
 
 type entry_kind =
   | Trace_entry  (** a [<key>.trace] phase-1 recording *)
   | Index_entry  (** a [<ikey>.widx] write index *)
   | Tmp_entry    (** a [.<key>*.tmp] temp file orphaned by an interrupted
                      store *)
+  | Corrupt_entry
+      (** a [*.corrupt] file quarantined by a failed integrity check *)
 
 type entry = {
   entry_file : string;  (** file name relative to the cache directory *)
@@ -112,13 +131,30 @@ val entries : dir:string -> entry list
     eviction order. An unreadable directory is an empty list. *)
 
 val clear : dir:string -> int * int
-(** Remove every entry, temp files included. Returns
-    [(removed, reclaimed_bytes)]; files that vanish concurrently are
-    skipped, not errors. *)
+(** Remove every entry, temp files and quarantined corpses included.
+    Returns [(removed, reclaimed_bytes)]; files that vanish concurrently
+    are skipped, not errors. *)
 
 val gc : dir:string -> max_bytes:int -> int * int
 (** [gc ~dir ~max_bytes] first deletes all temp files (an interrupted
     store's litter — harmless to a store in flight, which degrades to a
-    warning), then evicts live entries oldest-mtime-first until the
-    directory's cache-owned footprint is at most [max_bytes]. Returns
-    [(removed, reclaimed_bytes)]. *)
+    warning) and quarantined corpses, then evicts live entries
+    oldest-mtime-first until the directory's cache-owned footprint is at
+    most [max_bytes]. Returns [(removed, reclaimed_bytes)]. *)
+
+(** {2 Integrity scan} *)
+
+type verify_report = {
+  checked : int;  (** trace and index entries examined *)
+  intact : int;
+  corrupt : (string * string) list;
+      (** (file, reason), sorted by file name; already quarantined if
+          requested *)
+  tmp_litter : int;  (** orphaned temp files seen (left for {!gc}) *)
+}
+
+val verify : ?quarantine:bool -> dir:string -> unit -> verify_report
+(** [verify ~dir ()] re-checks the trailer CRC and decodes every trace and
+    index entry in [dir], quarantining the failures exactly as a lookup
+    would (pass [~quarantine:false] to only report). Already-quarantined
+    [*.corrupt] files are skipped. Drives [ebp cache verify]. *)

@@ -344,109 +344,153 @@ let equal (a : t) (b : t) = a = b
 
 (* --- binary codec --- *)
 
-(* Same format as ever — 8-byte LE ints — but arrays go through one
-   [Bytes] buffer and a single channel write instead of a byte-at-a-time
-   loop, which is what made cold `.widx` stores and warm loads slow. *)
+(* 8-byte LE ints, whole structure built in (or parsed from) one string:
+   the in-memory form is what Trace_cache seals under a CRC trailer, so
+   the codec never touches a channel except through thin wrappers. *)
 
-let write_int oc v =
+let buf_int buf v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.of_int v);
-  output_bytes oc b
+  Buffer.add_bytes buf b
 
-let write_array oc arr =
+let buf_array buf arr =
   let n = Array.length arr in
   let b = Bytes.create ((n + 1) * 8) in
   Bytes.set_int64_le b 0 (Int64.of_int n);
   for i = 0 to n - 1 do
     Bytes.set_int64_le b ((i + 1) * 8) (Int64.of_int arr.(i))
   done;
-  output_bytes oc b
+  Buffer.add_bytes buf b
 
-let write_posting oc p =
-  write_array oc p.keys;
-  write_array oc p.offs;
-  write_array oc p.data
+let buf_posting buf p =
+  buf_array buf p.keys;
+  buf_array buf p.offs;
+  buf_array buf p.data
 
-let write_binary oc t =
-  output_string oc codec_version;
-  write_int oc t.events;
-  write_int oc t.total_writes;
-  write_posting oc t.word_writes;
-  write_posting oc t.word_spans;
-  write_array oc t.wide_words;
-  write_array oc t.obj_offs;
-  write_array oc t.obj_data;
-  write_int oc (Array.length t.pages);
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf codec_version;
+  buf_int buf t.events;
+  buf_int buf t.total_writes;
+  buf_posting buf t.word_writes;
+  buf_posting buf t.word_spans;
+  buf_array buf t.wide_words;
+  buf_array buf t.obj_offs;
+  buf_array buf t.obj_data;
+  buf_int buf (Array.length t.pages);
   Array.iter
     (fun v ->
-      write_int oc v.page_size;
-      write_posting oc v.page_writes;
-      write_posting oc v.page_spans;
-      write_array oc v.wide_pages)
-    t.pages
+      buf_int buf v.page_size;
+      buf_posting buf v.page_writes;
+      buf_posting buf v.page_spans;
+      buf_array buf v.wide_pages)
+    t.pages;
+  Buffer.contents buf
+
+let write_binary oc t = output_string oc (encode t)
 
 exception Malformed of string
 
-let read_binary ic =
-  let read_int () =
-    let b = Bytes.create 8 in
-    really_input ic b 0 8;
-    Int64.to_int (Bytes.get_int64_le b 0)
-  in
-  let read_array () =
-    let n = read_int () in
-    if n < 0 || n > Sys.max_array_length then raise (Malformed "bad array length");
-    let b = Bytes.create (n * 8) in
-    really_input ic b 0 (n * 8);
-    Array.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (i * 8)))
-  in
-  let read_posting () =
-    let keys = read_array () in
-    let offs = read_array () in
-    let data = read_array () in
-    if Array.length offs <> Array.length keys + 1 then
-      raise (Malformed "posting offsets do not match keys");
-    if offs.(Array.length keys) <> Array.length data then
-      raise (Malformed "posting data does not match offsets");
-    { keys; offs; data }
-  in
-  try
-    let magic = really_input_string ic (String.length codec_version) in
-    if magic <> codec_version then Error "bad write-index magic"
-    else begin
-      let events = read_int () in
-      let total_writes = read_int () in
-      let word_writes = read_posting () in
-      let word_spans = read_posting () in
-      let wide_words = read_array () in
-      let obj_offs = read_array () in
-      let obj_data = read_array () in
-      let npages = read_int () in
-      if npages < 0 || npages > 64 then raise (Malformed "bad page-view count");
-      let pages =
-        Array.init npages (fun _ ->
-            let page_size = read_int () in
-            let page_shift =
-              try log2_exact page_size
-              with Invalid_argument _ -> raise (Malformed "bad page size")
-            in
-            let page_writes = read_posting () in
-            let page_spans = read_posting () in
-            let wide_pages = read_array () in
-            { page_size; page_shift; page_writes; page_spans; wide_pages })
+let p_decode = Ebp_util.Fault.point "write_index.codec.decode"
+
+(* Adversarial-input contract (see test_indexed.ml's mutation fuzzer):
+   [decode] may accept or reject a mutated blob, but it must never raise,
+   hang, or allocate unboundedly — every count is clamped against the
+   bytes actually present before anything is sized from it. *)
+let decode s =
+  match Ebp_util.Fault.fires p_decode with
+  | Some _ -> Error "injected fault at write_index.codec.decode"
+  | None -> (
+      let len = String.length s in
+      let pos = ref 0 in
+      let read_int () =
+        if !pos + 8 > len then raise (Malformed "truncated int");
+        let v = Int64.to_int (String.get_int64_le s !pos) in
+        pos := !pos + 8;
+        v
       in
-      Ok
-        {
-          events;
-          total_writes;
-          word_writes;
-          word_spans;
-          wide_words;
-          obj_offs;
-          obj_data;
-          pages;
-        }
-    end
-  with
-  | Malformed msg -> Error ("malformed write index: " ^ msg)
-  | End_of_file -> Error "truncated write index"
+      let read_array () =
+        let n = read_int () in
+        (* At most (len - pos) / 8 elements can be present: clamping here
+           bounds the allocation a corrupt count can drive. *)
+        if n < 0 || n > (len - !pos) / 8 then raise (Malformed "bad array length");
+        let arr =
+          Array.init n (fun i -> Int64.to_int (String.get_int64_le s (!pos + (i * 8))))
+        in
+        pos := !pos + (n * 8);
+        arr
+      in
+      let check_monotone what arr =
+        for i = 0 to Array.length arr - 2 do
+          if arr.(i) > arr.(i + 1) then
+            raise (Malformed (what ^ " offsets not monotone"))
+        done
+      in
+      let read_posting () =
+        let keys = read_array () in
+        let offs = read_array () in
+        let data = read_array () in
+        if Array.length offs <> Array.length keys + 1 then
+          raise (Malformed "posting offsets do not match keys");
+        if Array.length offs > 0 && offs.(0) <> 0 then
+          raise (Malformed "posting offsets do not start at zero");
+        check_monotone "posting" offs;
+        if offs.(Array.length keys) <> Array.length data then
+          raise (Malformed "posting data does not match offsets");
+        { keys; offs; data }
+      in
+      try
+        if len < String.length codec_version
+           || String.sub s 0 (String.length codec_version) <> codec_version
+        then Error "bad write-index magic"
+        else begin
+          pos := String.length codec_version;
+          let events = read_int () in
+          let total_writes = read_int () in
+          let word_writes = read_posting () in
+          let word_spans = read_posting () in
+          let wide_words = read_array () in
+          let obj_offs = read_array () in
+          let obj_data = read_array () in
+          if Array.length wide_words mod 3 <> 0 then
+            raise (Malformed "bad wide-word list length");
+          if Array.length obj_offs = 0 then
+            raise (Malformed "empty object offsets");
+          check_monotone "object" obj_offs;
+          if obj_offs.(0) <> 0
+             || 3 * obj_offs.(Array.length obj_offs - 1)
+                <> Array.length obj_data
+          then raise (Malformed "object data does not match offsets");
+          let npages = read_int () in
+          if npages < 0 || npages > 64 then raise (Malformed "bad page-view count");
+          let pages =
+            Array.init npages (fun _ ->
+                let page_size = read_int () in
+                let page_shift =
+                  try log2_exact page_size
+                  with Invalid_argument _ -> raise (Malformed "bad page size")
+                in
+                let page_writes = read_posting () in
+                let page_spans = read_posting () in
+                let wide_pages = read_array () in
+                if Array.length wide_pages mod 3 <> 0 then
+                  raise (Malformed "bad wide-page list length");
+                { page_size; page_shift; page_writes; page_spans; wide_pages })
+          in
+          if !pos <> len then Error "trailing bytes in write index"
+          else
+            Ok
+              {
+                events;
+                total_writes;
+                word_writes;
+                word_spans;
+                wide_words;
+                obj_offs;
+                obj_data;
+                pages;
+              }
+        end
+      with Malformed msg -> Error ("malformed write index: " ^ msg))
+
+let read_binary ic = decode (In_channel.input_all ic)

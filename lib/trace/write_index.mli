@@ -148,5 +148,20 @@ val equal : t -> t -> bool
 val codec_version : string
 (** Codec magic ("EBPW1"); bump-safe cache keying hashes this in. *)
 
+val encode : t -> string
+(** Serialize to the flat binary form (magic, then 8-byte LE ints and
+    length-prefixed arrays). {!Trace_cache} seals exactly these bytes
+    under its CRC trailer. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}. Hardened against adversarial input: every
+    length is clamped against the bytes actually present, posting/object
+    offsets are validated, trailing bytes are rejected, and no input
+    makes it raise (it returns [Error _]). Evaluates the
+    [write_index.codec.decode] fault point. *)
+
 val write_binary : out_channel -> t -> unit
+(** [output_string oc (encode t)]. *)
+
 val read_binary : in_channel -> (t, string) result
+(** [decode] of the channel's remaining contents (reads to EOF). *)

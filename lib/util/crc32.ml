@@ -1,0 +1,26 @@
+(* Table-driven reflected CRC-32, one table lookup per byte. The table is
+   built on first use; 256 ints, shared by every domain (read-only after
+   construction, and idempotent to race on). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub";
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = sub s ~pos:0 ~len:(String.length s)

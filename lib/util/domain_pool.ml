@@ -14,6 +14,9 @@ module Span = Ebp_obs.Span
 let m_tasks = Metrics.counter "pool.tasks"
 let m_busy = Metrics.counter "pool.busy_ns"
 let m_queue_wait = Metrics.histogram "pool.queue_wait_ns"
+let m_task_retries = Metrics.counter "pool.task_retries"
+
+let p_task = Fault.point "pool.task"
 
 type t = {
   domains : int;
@@ -68,6 +71,28 @@ let exec_observed task =
     ~finally:(fun () -> Metrics.add m_busy (Span.now_ns () - started_ns))
     (fun () -> Span.with_span "pool.task" task)
 
+let max_task_attempts = 8
+
+(* Containment: a task that dies with an injected transient fault — at
+   the [pool.task] point itself or at any fault point it evaluates while
+   running — is retried in place, so one crashing shard costs a retry
+   instead of poisoning the whole batch. [Fault.Killed] (a simulated
+   process death) and every real exception still propagate to the batch's
+   caller as before. Tasks must therefore stay idempotent, which the
+   experiment's (record / build / replay) tasks are. *)
+let contain task () =
+  let rec attempt n =
+    match
+      Fault.check p_task;
+      task ()
+    with
+    | v -> v
+    | exception Fault.Injected _ when n + 1 < max_task_attempts ->
+        Metrics.incr m_task_retries;
+        attempt (n + 1)
+  in
+  attempt 0
+
 (* Queued tasks additionally record the enqueue-to-dequeue latency. *)
 let instrument task =
   if not (Metrics.is_enabled ()) then task
@@ -83,7 +108,9 @@ let run t tasks =
   | [] -> []
   | tasks when t.domains = 1 || List.compare_length_with tasks 1 = 0 ->
       List.map
-        (fun task -> if Metrics.is_enabled () then exec_observed task else task ())
+        (fun task ->
+          let task = if Fault.active () then contain task else task in
+          if Metrics.is_enabled () then exec_observed task else task ())
         tasks
   | tasks ->
       let tasks = Array.of_list tasks in
@@ -91,7 +118,9 @@ let run t tasks =
       let results = Array.make n None in
       let remaining = ref n in
       let wrap i =
-        let task = instrument tasks.(i) in
+        let task = tasks.(i) in
+        let task = if Fault.active () then contain task else task in
+        let task = instrument task in
         fun () ->
         let r =
           match task () with

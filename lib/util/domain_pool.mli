@@ -37,7 +37,14 @@ val run : t -> (unit -> 'a) list -> 'a list
 (** [run t tasks] executes every task, concurrently when the pool has more
     than one domain, and returns their results in submission order. If any
     task raises, the batch still runs to completion and the exception of
-    the earliest-submitted failing task is re-raised in the caller. *)
+    the earliest-submitted failing task is re-raised in the caller.
+
+    Fault containment: while fault injection is active
+    ({!Ebp_util.Fault.active}), a task raising {!Ebp_util.Fault.Injected}
+    — from the [pool.task] point or any point it evaluates — is retried
+    in place (counted in [pool.task_retries]) instead of failing the
+    batch, so tasks must be idempotent under injection.
+    {!Ebp_util.Fault.Killed} and real exceptions propagate as above. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] is [run t (List.map (fun x () -> f x) xs)] — a parallel

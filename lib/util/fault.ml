@@ -1,0 +1,207 @@
+(* Fault-point registry. Hot-path design mirrors Ebp_obs.Metrics: the
+   [enabled] flag is a plain bool read without synchronization (configure
+   happens-before the domains that evaluate points, same contract as
+   Metrics.set_enabled), and everything behind the flag — the shared PRNG,
+   per-point evaluation counts — is guarded by one mutex. *)
+
+module Metrics = Ebp_obs.Metrics
+
+type action = Fail | Bit_flip | Truncate | Kill
+type trigger = Always | Nth of int | Probability of float
+type rule = { pattern : string; trigger : trigger; action : action }
+
+exception Injected of string
+exception Killed of string
+
+type point = {
+  pt_name : string;
+  counter : Metrics.counter;
+  (* The first rule matching this point under the current configuration;
+     recomputed by [configure] (and at registration for late points). *)
+  mutable bound : (trigger * action) option;
+  mutable evals : int;  (* evaluations since the last [configure] *)
+}
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 32
+let mutex = Mutex.create ()
+let enabled = ref false
+let rules : rule list ref = ref []
+let prng = ref (Prng.create 0)
+
+let matches pattern name =
+  if pattern = name || pattern = "*" then true
+  else
+    let n = String.length pattern in
+    n > 0
+    && pattern.[n - 1] = '*'
+    && String.length name >= n - 1
+    && String.sub name 0 (n - 1) = String.sub pattern 0 (n - 1)
+
+let bind p =
+  p.evals <- 0;
+  p.bound <-
+    List.find_map
+      (fun r ->
+        if matches r.pattern p.pt_name then Some (r.trigger, r.action) else None)
+      !rules
+
+let point name =
+  Mutex.lock mutex;
+  let p =
+    match Hashtbl.find_opt registry name with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            pt_name = name;
+            counter = Metrics.counter ("fault." ^ name);
+            bound = None;
+            evals = 0;
+          }
+        in
+        Hashtbl.add registry name p;
+        bind p;
+        p
+  in
+  Mutex.unlock mutex;
+  p
+
+let name p = p.pt_name
+
+let configure ?(seed = 0) rs =
+  Mutex.lock mutex;
+  rules := rs;
+  prng := Prng.create seed;
+  Hashtbl.iter (fun _ p -> bind p) registry;
+  Mutex.unlock mutex;
+  enabled := rs <> []
+
+let reset () = configure []
+let active () = !enabled
+
+(* PRNG draws under the mutex: points fire from pool workers. *)
+let draw f =
+  Mutex.lock mutex;
+  let v = f !prng in
+  Mutex.unlock mutex;
+  v
+
+let fires p =
+  if not !enabled then None
+  else
+    match p.bound with
+    | None -> None
+    | Some (trigger, action) ->
+        Mutex.lock mutex;
+        p.evals <- p.evals + 1;
+        let fire =
+          match trigger with
+          | Always -> true
+          | Nth n -> p.evals = n
+          | Probability pr -> Prng.float !prng < pr
+        in
+        Mutex.unlock mutex;
+        if fire then begin
+          Metrics.incr p.counter;
+          Some action
+        end
+        else None
+
+let check p =
+  match fires p with
+  | None -> ()
+  | Some Kill -> raise (Killed p.pt_name)
+  | Some (Fail | Bit_flip | Truncate) -> raise (Injected p.pt_name)
+
+let mangle p data =
+  match fires p with
+  | None -> data
+  | Some Fail -> raise (Injected p.pt_name)
+  | Some Kill -> raise (Killed p.pt_name)
+  | Some Bit_flip ->
+      let len = String.length data in
+      if len = 0 then data
+      else begin
+        let i = draw (fun g -> Prng.int g len) in
+        let bit = draw (fun g -> Prng.int g 8) in
+        let b = Bytes.of_string data in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+        Bytes.unsafe_to_string b
+      end
+  | Some Truncate ->
+      let len = String.length data in
+      if len = 0 then data else String.sub data 0 (draw (fun g -> Prng.int g len))
+
+(* --- CLI spec parser --- *)
+
+let split_on chars s =
+  let out = ref [] and buf = Buffer.create 16 in
+  String.iter
+    (fun c ->
+      if List.mem c chars then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out |> List.filter (fun s -> s <> "")
+
+let parse_trigger s =
+  match s with
+  | "always" -> Ok Always
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i -> (
+          let k = String.sub s 0 i
+          and v = String.sub s (i + 1) (String.length s - i - 1) in
+          match k with
+          | "nth" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> Ok (Nth n)
+              | _ -> Error (Printf.sprintf "bad nth count %S" v))
+          | "p" -> (
+              match float_of_string_opt v with
+              | Some p when p >= 0.0 && p <= 1.0 -> Ok (Probability p)
+              | _ -> Error (Printf.sprintf "bad probability %S" v))
+          | _ -> Error (Printf.sprintf "unknown trigger %S" s))
+      | None -> Error (Printf.sprintf "unknown trigger %S" s))
+
+let parse_action = function
+  | "fail" -> Ok Fail
+  | "bitflip" -> Ok Bit_flip
+  | "truncate" -> Ok Truncate
+  | "kill" -> Ok Kill
+  | s -> Error (Printf.sprintf "unknown action %S" s)
+
+let parse_spec spec =
+  let clauses = split_on [ ';'; ',' ] spec in
+  let rec go seed acc = function
+    | [] -> Ok (seed, List.rev acc)
+    | clause :: rest -> (
+        match split_on [ ':' ] clause with
+        | [ one ] -> (
+            match String.index_opt one '=' with
+            | Some i when String.sub one 0 i = "seed" -> (
+                let v = String.sub one (i + 1) (String.length one - i - 1) in
+                match int_of_string_opt v with
+                | Some seed -> go seed acc rest
+                | None -> Error (Printf.sprintf "bad seed %S" v))
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "clause %S is not seed=N or PATTERN:TRIGGER:ACTION" clause))
+        | [ pattern; trigger; action ] -> (
+            match (parse_trigger trigger, parse_action action) with
+            | Ok trigger, Ok action ->
+                go seed ({ pattern; trigger; action } :: acc) rest
+            | Error e, _ | _, Error e -> Error e)
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "clause %S is not seed=N or PATTERN:TRIGGER:ACTION" clause))
+  in
+  go 0 [] clauses
+
+let configure_spec spec =
+  Result.map (fun (seed, rs) -> configure ~seed rs) (parse_spec spec)

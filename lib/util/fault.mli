@@ -1,0 +1,109 @@
+(** Deterministic fault injection at named points.
+
+    Every layer that touches the outside world (cache I/O, the binary
+    codecs, pool task execution, the loader) declares {e fault points} —
+    named places where a configured test or CLI run can deterministically
+    inject failures: transient errors, bit flips, truncations, or a
+    simulated process kill. Production runs pay one load and one branch
+    per point ({!fires} returns [None] immediately while no configuration
+    is active); configured runs draw from a single seeded PRNG so every
+    fault sequence is reproducible from the seed.
+
+    {2 Vocabulary}
+
+    A {e point} is registered once, by name, at module-initialization
+    time ([let p = Fault.point "trace_cache.store.io"]). A
+    {e rule} attaches a trigger and an action to every point whose name
+    matches its pattern (exact, or a [prefix.*] glob). {!configure}
+    installs a rule set; {!reset} clears it.
+
+    Each firing bumps the counter [fault.<point>] in {!Ebp_obs.Metrics},
+    so `--metrics` output shows exactly which faults fired and how often.
+
+    {2 Threading}
+
+    Configuration must happen from a single domain while no other domain
+    is inside a fault point (the enable flag is a plain bool, like
+    {!Ebp_obs.Metrics.set_enabled}). Once configured, firing decisions
+    take a mutex around the shared PRNG and per-point evaluation counts,
+    so points are safe to evaluate from pool workers. *)
+
+type point
+(** A named fault-injection site. *)
+
+type action =
+  | Fail      (** raise {!Injected} — a transient, retryable error *)
+  | Bit_flip  (** flip one PRNG-chosen bit of the data ({!mangle} only) *)
+  | Truncate  (** cut the data to a PRNG-chosen prefix ({!mangle} only) *)
+  | Kill      (** raise {!Killed} — a simulated crash; never retried *)
+
+type trigger =
+  | Always
+  | Nth of int  (** fire on exactly the [n]-th evaluation (1-based) since
+                    the last {!configure} *)
+  | Probability of float  (** fire on each evaluation with probability
+                              [p], from the configured seed *)
+
+type rule = { pattern : string; trigger : trigger; action : action }
+(** [pattern] is an exact point name, or [prefix.*] matching every point
+    whose name starts with [prefix.] (a bare ["*"] matches everything). *)
+
+exception Injected of string
+(** A transient injected failure at the named point. Consumers treat it
+    like a recoverable [Sys_error]: retry, degrade, or report. *)
+
+exception Killed of string
+(** A simulated crash at the named point. Consumers must {e not} clean up
+    or retry — the point of a kill is to exercise what the next process
+    finds on disk. *)
+
+val point : string -> point
+(** Register (or find) the fault point [name] and its [fault.<name>]
+    counter. Idempotent, like {!Ebp_obs.Metrics.counter}. *)
+
+val name : point -> string
+
+val configure : ?seed:int -> rule list -> unit
+(** Install [rules] (first match wins, in order) and reseed the fault
+    PRNG (default seed 0). An empty list disables injection — the cost
+    at every point returns to one branch. Resets per-point evaluation
+    counts, so [Nth] triggers count from here. *)
+
+val reset : unit -> unit
+(** [configure []]. *)
+
+val active : unit -> bool
+(** Whether any rule set is installed. *)
+
+val fires : point -> action option
+(** Evaluate the point: [None] when disabled or the trigger does not
+    fire; [Some action] (counted) when it does. The primitive under
+    {!check} and {!mangle}, exposed for consumers with bespoke failure
+    modes (e.g. a codec returning [Error] instead of raising). *)
+
+val check : point -> unit
+(** Raise {!Killed} if the point fires with {!Kill}, {!Injected} if it
+    fires with any other action, nothing otherwise. For control points
+    where data corruption is meaningless. *)
+
+val mangle : point -> string -> string
+(** Pass [data] through the point: unchanged when it does not fire;
+    one bit flipped under {!Bit_flip}; cut to a strict prefix under
+    {!Truncate} (empty input passes through); {!Injected} / {!Killed}
+    under {!Fail} / {!Kill}. For data points on the store/load paths. *)
+
+(** {2 CLI spec syntax}
+
+    [--faults] accepts a compact spec: clauses separated by [;] or [,],
+    each either [seed=N] or [PATTERN:TRIGGER:ACTION] with trigger
+    [always], [nth=N], or [p=FLOAT] and action [fail], [bitflip],
+    [truncate], or [kill]. Example:
+
+    {[ seed=7;trace_cache.*:p=0.05:bitflip;pool.task:nth=3:fail ]} *)
+
+val parse_spec : string -> (int * rule list, string) result
+(** Parse the syntax above into [(seed, rules)] without installing it.
+    The seed defaults to 0 when no [seed=] clause appears. *)
+
+val configure_spec : string -> (unit, string) result
+(** [parse_spec] then {!configure}. *)

@@ -32,32 +32,45 @@ histograms it carries.
 
   $ ebp stats m.ndjson | sed -n '1,/^$/p'
   counters
-  counter                         value  per-domain
-  ------------------------------  -----  ----------
-  loader.cycles                     439            
-  loader.instructions               291            
-  loader.runs                         1            
-  machine.steps                     291            
-  machine.stores                     44            
-  phase1.events                       0            
-  phase1.runs                         0            
-  pool.busy_ns                        0            
-  pool.tasks                          0            
-  replay.indexed.range_queries        9            
-  replay.indexed.segments             9            
-  replay.scan.writes                  0            
-  replay.sessions                     3            
-  replay.shards                       1            
-  trace.codec.bytes_in                0            
-  trace.codec.bytes_out               0            
-  trace_cache.bytes_read              0            
-  trace_cache.bytes_written           0            
-  trace_cache.gc_reclaimed_bytes      0            
-  trace_cache.gc_removed              0            
-  trace_cache.hits                    0            
-  trace_cache.index_hits              0            
-  trace_cache.index_misses            0            
-  trace_cache.misses                  0            
+  counter                              value  per-domain
+  -----------------------------------  -----  ----------
+  fault.loader.run                         0            
+  fault.pool.task                          0            
+  fault.trace.codec.decode                 0            
+  fault.trace_cache.lookup.data            0            
+  fault.trace_cache.store.data             0            
+  fault.trace_cache.store.io               0            
+  fault.trace_cache.store.kill_rename      0            
+  fault.trace_cache.store.kill_tmp         0            
+  fault.trace_cache.store.kill_write       0            
+  fault.write_index.codec.decode           0            
+  loader.cycles                          439            
+  loader.instructions                    291            
+  loader.runs                              1            
+  machine.steps                          291            
+  machine.stores                          44            
+  phase1.events                            0            
+  phase1.runs                              0            
+  pool.busy_ns                             0            
+  pool.task_retries                        0            
+  pool.tasks                               0            
+  replay.indexed.range_queries             9            
+  replay.indexed.segments                  9            
+  replay.scan.writes                       0            
+  replay.sessions                          3            
+  replay.shards                            1            
+  trace.codec.bytes_in                     0            
+  trace.codec.bytes_out                    0            
+  trace_cache.bytes_read                   0            
+  trace_cache.bytes_written                0            
+  trace_cache.gc_reclaimed_bytes           0            
+  trace_cache.gc_removed                   0            
+  trace_cache.hits                         0            
+  trace_cache.index_hits                   0            
+  trace_cache.index_misses                 0            
+  trace_cache.misses                       0            
+  trace_cache.quarantined                  0            
+  trace_cache.store_retries                0            
   
   $ ebp stats m.ndjson | grep -oE 'span\.[a-z._]+' | sort
   span.index.build

@@ -1,0 +1,67 @@
+Corruption handling end to end: a damaged cache entry is detected by the
+checksum trailer, quarantined (renamed *.corrupt), and the next cached
+run falls back to re-recording instead of failing.
+
+  $ cat > tiny.mc <<'MC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 10; i = i + 1) { g = g + i; }
+  >   return 0;
+  > }
+  > MC
+  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: traced and cached (25 events)
+
+Flip one byte in the stored entry's body:
+
+  $ entry=$(ls cache/*.trace)
+  $ printf '\377' | dd of="$entry" bs=1 seek=40 conv=notrunc status=none
+
+The scanner reports the damage, quarantines the file, and exits 1:
+
+  $ ebp cache verify --cache-dir cache > scan.out
+  [1]
+  $ sed -E 's/[0-9a-f]{32}/KEY/g' scan.out
+  corrupt: KEY.trace (checksum mismatch) -> quarantined
+  1 entries checked: 0 intact, 1 corrupt, 0 temp files
+  $ ls cache | sed -E 's/[0-9a-f]{32}/KEY/g'
+  KEY.trace.corrupt
+
+The quarantined corpse is not an entry: a re-scan is clean, and a cached
+run treats the key as a miss and re-records through it:
+
+  $ ebp cache verify --cache-dir cache
+  0 entries checked: 0 intact, 0 corrupt, 0 temp files
+  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: traced and cached (25 events)
+  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: cache hit, no execution (25 events)
+
+Corruption discovered mid-run is quarantined on the fly (stderr notice)
+and the run recovers the same way:
+
+  $ entry=$(ls cache/*.trace)
+  $ printf '\377' | dd of="$entry" bs=1 seek=40 conv=notrunc status=none
+  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null \
+  >   | sed -E 's/[0-9a-f]{32}/KEY/g'
+  ebp: quarantined corrupt cache entry KEY.trace (checksum mismatch)
+  phase 1: traced and cached (25 events)
+
+The experiment engine recovers the same way when its cached write index
+is damaged — the report is identical to a cache-free run:
+
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache 2>/dev/null >/dev/null
+  $ widx=$(ls cache/*.widx)
+  $ printf '\377' | dd of="$widx" bs=1 seek=40 conv=notrunc status=none
+  $ ebp experiment --workloads circuit --only table1 --cache-dir cache 2>/dev/null >report1
+  $ ebp experiment --workloads circuit --only table1 2>/dev/null >report2
+  $ diff report1 report2
+
+gc sweeps the quarantined corpses (both of them) before anything else,
+leaving a cache that scans clean:
+
+  $ ebp cache gc --cache-dir cache --max-bytes 100000000 | sed -E 's/[0-9]+ bytes/N bytes/'
+  removed 2 entries, reclaimed N bytes
+  $ ebp cache verify --cache-dir cache
+  3 entries checked: 3 intact, 0 corrupt, 0 temp files

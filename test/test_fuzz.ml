@@ -1,0 +1,116 @@
+(* The tier-1 differential fuzzing gate. A fixed window of seeds runs
+   through every oracle on each [dune runtest] — cheap (a seed costs well
+   under a millisecond) but it exercises the whole stack: generator,
+   compiler, both interpreters, recorder, both codecs, both replay
+   engines. Any failure here is a real cross-layer disagreement, and
+   [ebp fuzz] reproduces it from the printed seed. *)
+
+module Fuzz = Ebp_core.Fuzz
+
+let seed_lo = 0
+let seed_hi = 127
+
+let test_fixed_seed_batch () =
+  for seed = seed_lo to seed_hi do
+    match Fuzz.check_seed seed with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "seed %d failed oracle %s: %s\n%s" f.Fuzz.seed
+          f.Fuzz.oracle f.Fuzz.detail f.Fuzz.source
+  done
+
+let test_generator_deterministic () =
+  for seed = 0 to 31 do
+    let a = Fuzz.render (Fuzz.generate ~seed) in
+    let b = Fuzz.render (Fuzz.generate ~seed) in
+    Alcotest.(check string) (Printf.sprintf "seed %d renders stably" seed) a b
+  done;
+  (* Not a strict requirement of the API, but if many adjacent seeds
+     collapse to one program the batch above tests nothing. *)
+  let distinct =
+    List.sort_uniq compare
+      (List.init 32 (fun seed -> Fuzz.render (Fuzz.generate ~seed)))
+  in
+  Alcotest.(check bool) "seeds produce varied programs" true
+    (List.length distinct > 24)
+
+let test_render_shape () =
+  let src = Fuzz.render (Fuzz.generate ~seed:1) in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has main" true (contains_sub src "int main");
+  Alcotest.(check bool) "returns 0" true (contains_sub src "return 0;")
+
+let test_shrink_minimizes () =
+  (* A handcrafted failure of the "record" oracle: one poison statement
+     buried among droppable noise. Shrink must keep failing the same
+     oracle while never growing the program, and the fixpoint must have
+     dropped the independent noise units. *)
+  let program =
+    {
+      Fuzz.globals = [ "int g0;"; "int g1;" ];
+      funcs = [ ("f0", [ "return a + b;" ]) ];
+      main_body =
+        [
+          "g0 = f0(1, 2);";
+          "g1 = g0 + 39;";
+          "return 1;" (* the bug: non-zero exit *);
+        ];
+    }
+  in
+  let source = Fuzz.render program in
+  let failure =
+    match Fuzz.check_source ~seed:0 source with
+    | Error (oracle, detail) ->
+        { Fuzz.seed = 0; oracle; detail; program; source }
+    | Ok () -> Alcotest.fail "poison program unexpectedly passed"
+  in
+  Alcotest.(check string) "record oracle caught it" "record"
+    failure.Fuzz.oracle;
+  let size p =
+    List.length p.Fuzz.globals
+    + List.fold_left (fun n (_, b) -> n + List.length b) 0 p.Fuzz.funcs
+    + List.length p.Fuzz.main_body
+  in
+  let shrunk = Fuzz.shrink failure in
+  Alcotest.(check string) "same oracle after shrink" "record"
+    shrunk.Fuzz.oracle;
+  Alcotest.(check bool) "shrink never grows" true
+    (size shrunk.Fuzz.program <= size failure.Fuzz.program);
+  (match Fuzz.check_source ~seed:0 shrunk.Fuzz.source with
+  | Error ("record", _) -> ()
+  | Error (oracle, detail) ->
+      Alcotest.failf "shrunk program fails different oracle %s: %s" oracle
+        detail
+  | Ok () -> Alcotest.fail "shrunk program no longer fails");
+  (* The noise units are independent of the bug, so the fixpoint must
+     have removed them all: no globals, no helpers, one statement. *)
+  Alcotest.(check int) "globals dropped" 0
+    (List.length shrunk.Fuzz.program.Fuzz.globals);
+  Alcotest.(check int) "helpers dropped" 0
+    (List.length shrunk.Fuzz.program.Fuzz.funcs);
+  Alcotest.(check int) "main reduced to the bug" 1
+    (List.length shrunk.Fuzz.program.Fuzz.main_body)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential gate",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "seeds %d-%d pass all oracles" seed_lo seed_hi)
+            `Quick test_fixed_seed_batch;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "renders a runnable shape" `Quick
+            test_render_shape;
+        ] );
+      ( "shrinker",
+        [ Alcotest.test_case "minimizes to the bug" `Quick test_shrink_minimizes ] );
+    ]

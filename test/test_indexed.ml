@@ -213,6 +213,44 @@ let test_pack_rejects_overflow () =
         (Replay.replay_all ~page_sizes:[ 1024 ] ~engine:Replay.Scan trace
            [ Session.One_global_static { var = "g" } ]))
 
+(* --- decoder hardening --- *)
+
+let test_codec_mutation_fuzz () =
+  (* A valid index blob under exhaustive single-bit flips and all
+     mutated strict prefixes: [decode] must return [Error] or a
+     (possibly different) [Ok] without ever raising — every array length
+     it reads is clamped against the bytes present. Strict prefixes must
+     always be [Error]: the field sequence is deterministic, so a
+     truncated blob runs out of bytes mid-read. *)
+  let trace =
+    let b = Trace.Builder.create () in
+    Array.iter
+      (fun (o, range) ->
+        Trace.Builder.add_install b o range;
+        Trace.Builder.add_write b range ~pc:1;
+        Trace.Builder.add_remove b o range)
+      objects;
+    Trace.Builder.finish b
+  in
+  let valid = Write_index.encode (Write_index.build ~page_sizes trace) in
+  let len = String.length valid in
+  for cut = 0 to len - 1 do
+    match Write_index.decode (String.sub valid 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "strict prefix of length %d/%d decoded" cut len
+  done;
+  for i = 0 to len - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string valid in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Write_index.decode (Bytes.unsafe_to_string b) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "decode raised %s on bit %d of byte %d"
+            (Printexc.to_string e) bit i
+    done
+  done
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "indexed"
@@ -220,7 +258,11 @@ let () =
       ( "engine equivalence",
         [ q prop_indexed_matches_scan; q prop_replay_all_engines_agree ] );
       ("session index", [ q prop_session_index_matches ]);
-      ("codec", [ q prop_codec_round_trip ]);
+      ( "codec",
+        [
+          q prop_codec_round_trip;
+          Alcotest.test_case "mutation fuzz" `Quick test_codec_mutation_fuzz;
+        ] );
       ( "pack guard",
         [
           Alcotest.test_case "1K pages past 2^32" `Quick

@@ -52,6 +52,45 @@ let test_pool_domains_clamped () =
   Domain_pool.with_pool ~domains:0 (fun pool ->
       Alcotest.(check int) "at least one domain" 1 (Domain_pool.domains pool))
 
+(* While fault injection is active, a task dying with [Fault.Injected] is
+   retried in place instead of failing the batch — one crashing shard
+   must not poison the pool. [Killed] still propagates. *)
+let test_pool_contains_injected_faults () =
+  let module Fault = Ebp_util.Fault in
+  let p = Fault.point "test.pool.body" in
+  Fault.configure [ { Fault.pattern = "test.pool.body"; trigger = Fault.Nth 2; action = Fault.Fail } ];
+  Fun.protect ~finally:Fault.reset (fun () ->
+      List.iter
+        (fun domains ->
+          Fault.configure
+            [ { Fault.pattern = "test.pool.body"; trigger = Fault.Nth 2; action = Fault.Fail } ];
+          Domain_pool.with_pool ~domains (fun pool ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "batch survives a faulted task on %d domains"
+                   domains)
+                [ 10; 20; 30; 40 ]
+                (Domain_pool.run pool
+                   (List.map
+                      (fun x () ->
+                        Fault.check p;
+                        10 * x)
+                      [ 1; 2; 3; 4 ]))))
+        [ 1; 3 ])
+
+let test_pool_kill_propagates () =
+  let module Fault = Ebp_util.Fault in
+  let p = Fault.point "test.pool.kill" in
+  Fault.configure
+    [ { Fault.pattern = "test.pool.kill"; trigger = Fault.Nth 1; action = Fault.Kill } ];
+  Fun.protect ~finally:Fault.reset (fun () ->
+      Domain_pool.with_pool ~domains:2 (fun pool ->
+          match
+            Domain_pool.run pool
+              [ (fun () -> 1); (fun () -> Fault.check p; 2); (fun () -> 3) ]
+          with
+          | _ -> Alcotest.fail "expected Killed to propagate"
+          | exception Fault.Killed "test.pool.kill" -> ()))
+
 (* --- sharded replay determinism --- *)
 
 (* A deterministic synthetic trace big enough to shard interestingly:
@@ -345,6 +384,77 @@ let test_cache_gc_evicts_oldest () =
       Alcotest.(check (pair int int)) "nothing left to clear" (0, 0)
         (Trace_cache.clear ~dir))
 
+(* --- crash consistency ---
+
+   Kill the store protocol at each of its injected sites in turn. The
+   invariant: whatever litter the simulated crash leaves (an empty, a
+   half-written, or a complete-but-unrenamed temp file), a lookup never
+   observes a partial entry, [gc] reclaims the litter, and a re-run
+   store lands the entry normally. *)
+let kill_sites =
+  [
+    "trace_cache.store.kill_tmp";
+    "trace_cache.store.kill_write";
+    "trace_cache.store.kill_rename";
+  ]
+
+let count_kind ~dir kind =
+  List.length
+    (List.filter
+       (fun e -> e.Trace_cache.entry_kind = kind)
+       (Trace_cache.entries ~dir))
+
+let test_store_crash_consistency () =
+  let module Fault = Ebp_util.Fault in
+  let trace = synthetic_trace () in
+  let index = Ebp_trace.Write_index.build ~page_sizes:[ 4096 ] trace in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun (what, store) ->
+          with_temp_cache_dir (fun dir ->
+              let key =
+                Trace_cache.make_key ~name:(what ^ site) ~source:"s" ~seed:1 ()
+              in
+              Fault.configure
+                [ { Fault.pattern = site; trigger = Fault.Nth 1; action = Fault.Kill } ];
+              Fun.protect ~finally:Fault.reset (fun () ->
+                  (match store ~dir ~key with
+                  | (_ : (unit, string) result) ->
+                      Alcotest.failf "%s: store survived the kill at %s" what
+                        site
+                  | exception Fault.Killed s ->
+                      Alcotest.(check string) "killed at the site" site s);
+                  Fault.reset ();
+                  (* No partial entry is ever visible... *)
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: no entry after kill at %s" what site)
+                    true
+                    (Trace_cache.lookup ~dir ~key = None
+                    && Trace_cache.lookup_index ~dir ~key ~page_sizes:[ 4096 ]
+                       = None);
+                  (* ...the crash left at most temp litter, which gc
+                     reclaims... *)
+                  let tmp_before = count_kind ~dir Trace_cache.Tmp_entry in
+                  let removed, _ = Trace_cache.gc ~dir ~max_bytes:max_int in
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s: gc reclaims the litter of %s" what
+                       site)
+                    tmp_before removed;
+                  Alcotest.(check int) "no litter left" 0
+                    (count_kind ~dir Trace_cache.Tmp_entry);
+                  (* ...and the next (uninterrupted) store works. *)
+                  match store ~dir ~key with
+                  | Ok () -> ()
+                  | Error msg -> Alcotest.failf "%s: re-store failed: %s" what msg)))
+        [
+          ("trace", fun ~dir ~key -> Trace_cache.store ~dir ~key trace);
+          ( "index",
+            fun ~dir ~key ->
+              Trace_cache.store_index ~dir ~key ~page_sizes:[ 4096 ] index );
+        ])
+    kill_sites
+
 let test_experiment_parallel_identical () =
   (* The whole engine end-to-end on one real workload: domains 1 vs 3 and
      cold vs warm cache must produce byte-identical experiment reports. *)
@@ -365,6 +475,40 @@ let test_experiment_parallel_identical () =
       Alcotest.(check bool) "warm-cache report identical" true
         (sequential = run ~cache_dir:dir ~domains:2 ()))
 
+(* With seeded faults injected at every cache, codec, pool, and loader
+   point, the experiment must still terminate and report bit-identically
+   to the fault-free run: injected store failures degrade to re-recording,
+   corrupted entries are quarantined and re-recorded, transient task and
+   loader faults are retried by the pool. *)
+let test_experiment_faulted_identical () =
+  let module Fault = Ebp_util.Fault in
+  let run ?cache_dir () =
+    match
+      Ebp_core.Experiment.run ~workloads:[ tiny_workload ] ~domains:2
+        ?cache_dir ()
+    with
+    | Ok t -> Ebp_core.Experiment.full_report t
+    | Error msg -> Alcotest.fail msg
+  in
+  let clean = run () in
+  let spec =
+    "seed=42;trace_cache.store.data:p=0.3:bitflip;\
+     trace_cache.store.io:p=0.2:fail;trace_cache.lookup.data:p=0.2:bitflip;\
+     trace.codec.decode:p=0.2:fail;write_index.codec.decode:p=0.2:fail;\
+     pool.task:p=0.1:fail;loader.run:p=0.1:fail"
+  in
+  with_temp_cache_dir (fun dir ->
+      (match Fault.configure_spec spec with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Fun.protect ~finally:Fault.reset (fun () ->
+          Alcotest.(check bool) "cold-cache faulted report identical" true
+            (clean = run ~cache_dir:dir ());
+          Alcotest.(check bool) "warm-cache faulted report identical" true
+            (clean = run ~cache_dir:dir ());
+          Alcotest.(check bool) "cache-free faulted report identical" true
+            (clean = run ())))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -377,6 +521,10 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "domain count clamped" `Quick
             test_pool_domains_clamped;
+          Alcotest.test_case "contains injected faults" `Quick
+            test_pool_contains_injected_faults;
+          Alcotest.test_case "kill propagates" `Quick
+            test_pool_kill_propagates;
         ] );
       ( "determinism",
         [
@@ -399,7 +547,11 @@ let () =
             test_cache_entries_and_clear;
           Alcotest.test_case "gc evicts oldest first" `Quick
             test_cache_gc_evicts_oldest;
+          Alcotest.test_case "store crash consistency" `Quick
+            test_store_crash_consistency;
           Alcotest.test_case "experiment engines agree" `Slow
             test_experiment_parallel_identical;
+          Alcotest.test_case "experiment identical under faults" `Quick
+            test_experiment_faulted_identical;
         ] );
     ]

@@ -253,6 +253,36 @@ let test_codec_malformed () =
   expect_error "oversized varint"
     (Trace.codec_version ^ String.make 10 '\xff')
 
+let test_codec_mutation_fuzz () =
+  (* Exhaustive single-bit mutations of a valid blob: the decoder must
+     always return ([Ok] or [Error] — no exception, no hang), whatever
+     the flip hits. Detection of silent misdecodes is the cache layer's
+     job (its CRC trailer; see test_fault.ml) — this guards the decoder
+     itself against crashes on adversarial input. *)
+  let valid = Trace.encode (build_sample ()) in
+  for i = 0 to String.length valid - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string valid in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Trace.decode (Bytes.unsafe_to_string b) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "decode raised %s on bit %d of byte %d"
+            (Printexc.to_string e) bit i
+    done
+  done;
+  (* Flip-then-truncate: a mutated length field must never drive an
+     unbounded read past the end of the buffer. *)
+  for cut = 0 to String.length valid - 1 do
+    let b = Bytes.of_string (String.sub valid 0 cut) in
+    if cut > 0 then Bytes.set b (cut / 2) '\xff';
+    match Trace.decode (Bytes.unsafe_to_string b) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "decode raised %s on mutated prefix %d"
+          (Printexc.to_string e) cut
+  done
+
 let test_codec_raw_adders_equivalent () =
   (* add_write_raw / register + add_install_id are byte-for-byte
      equivalent to their boxed counterparts. *)
@@ -501,6 +531,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_codec_roundtrip;
           Alcotest.test_case "extreme values" `Quick test_codec_extreme_values;
           Alcotest.test_case "malformed inputs" `Quick test_codec_malformed;
+          Alcotest.test_case "mutation fuzz" `Quick test_codec_mutation_fuzz;
           Alcotest.test_case "raw adders equivalent" `Quick
             test_codec_raw_adders_equivalent;
           Alcotest.test_case "builder hint" `Quick test_builder_hint;
