@@ -641,6 +641,74 @@ let run_robustness (w : Ebp_workloads.Workload.t) =
            ());
       print_newline ())
 
+(* --- resident service: in-process core latency, warm vs cold --- *)
+
+(* Prices what [ebp serve] exists to sell: the second query for a trace
+   skips phase 1 entirely (LRU hit), and identical queries arriving
+   together are answered by one replay. Runs against Core directly — no
+   socket — so the numbers isolate the service scheduling + store, not
+   connection plumbing. Cheap enough for --quick. *)
+let run_serve (w : Ebp_workloads.Workload.t) =
+  let module Core = Ebp_serve.Server.Core in
+  let module P = Ebp_serve.Protocol in
+  let module Workload = Ebp_workloads.Workload in
+  print_endline
+    "Resident service (ebp serve core): cold query (record + replay) vs\n\
+     warm query (LRU hit), and a coalesced batch of identical queries";
+  let core = Core.create { Core.default_config with domains = 2 } in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  let query =
+    P.Sessions_query
+      {
+        name = w.Workload.name;
+        source = w.Workload.source;
+        seed = w.Workload.seed;
+        engine = "indexed";
+        keep_hitless = false;
+      }
+  in
+  let one () =
+    let ok = ref false in
+    Core.submit core ~tenant:"bench"
+      ~reply:(function P.Report _ -> ok := true | _ -> ())
+      query;
+    Core.drain core;
+    if not !ok then failwith "serve bench: query failed"
+  in
+  let (), cold_ms = wall_ms one in
+  let (), warm_ms = wall_ms one in
+  let riders = 8 in
+  let answered = ref 0 in
+  let (), batch_ms =
+    wall_ms (fun () ->
+        for i = 1 to riders do
+          Core.submit core
+            ~tenant:(Printf.sprintf "tenant%d" (i mod 3))
+            ~reply:(function P.Report _ -> incr answered | _ -> ())
+            query
+        done;
+        Core.drain core)
+  in
+  if !answered <> riders then failwith "serve bench: batch incomplete";
+  print_string
+    (Ebp_util.Text_table.render
+       ~header:
+         [ "workload"; "cold ms"; "warm ms"; "warm speedup";
+           Printf.sprintf "batch of %d ms" riders; "per rider ms" ]
+       ~rows:
+         [
+           [
+             w.Workload.name;
+             Printf.sprintf "%.0f" cold_ms;
+             Printf.sprintf "%.1f" warm_ms;
+             Printf.sprintf "%.1fx" (cold_ms /. warm_ms);
+             Printf.sprintf "%.1f" batch_ms;
+             Printf.sprintf "%.1f" (batch_ms /. float_of_int riders);
+           ];
+         ]
+       ());
+  print_newline ()
+
 (* --- replay engines: scan vs indexed phase-2 replay --- *)
 
 let run_engine_comparison traces =
@@ -804,7 +872,11 @@ let () =
     print_endline "=== Robustness: cache integrity overhead ===";
     print_newline ();
     with_section_metrics "robustness (crc, store, verify)" (fun () ->
-        run_robustness (List.hd workloads))
+        run_robustness (List.hd workloads));
+    print_endline "=== Resident service: warm-store query latency ===";
+    print_newline ();
+    with_section_metrics "resident service (serve core)" (fun () ->
+        run_serve (List.hd workloads))
   end;
   print_endline "=== Simulation experiment (Tables 1-4, Figures 7-9) ===";
   print_newline ();

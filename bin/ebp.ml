@@ -10,6 +10,12 @@
                                (-j N for N domains, --cache-dir for the
                                phase-1 trace cache, --engine scan|indexed
                                for the phase-2 replay engine)
+     serve                     run the resident trace service on a Unix
+                               socket (LRU of decoded traces, bounded
+                               admission queue, per-tenant fairness,
+                               batch coalescing; docs/SERVICE.md)
+     client <sub>              query a running serve daemon: ping,
+                               sessions, experiment, stats, shutdown
      stats <file.ndjson>       render a metrics snapshot as tables
      cache ls|clear|gc|verify  inspect / clear / size-bound / integrity-check
                                the trace cache
@@ -24,11 +30,21 @@
 
 open Cmdliner
 
+let exit_err msg =
+  prerr_endline ("ebp: " ^ msg);
+  exit 1
+
+(* File errors must surface as one-line messages naming the offending
+   path, never as an uncaught Sys_error backtrace (exit 125). *)
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  if Sys.file_exists path && Sys.is_directory path then
+    exit_err (Printf.sprintf "%S is a directory" path);
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> exit_err (Printf.sprintf "cannot read %S: %s" path msg)
 
 let source_of_arg arg =
   match Ebp_workloads.Workload.by_name arg with
@@ -37,18 +53,16 @@ let source_of_arg arg =
       if Sys.file_exists arg then Ok (read_file arg, 42)
       else Error (Printf.sprintf "no workload or file named %S" arg)
 
-let exit_err msg =
-  prerr_endline ("ebp: " ^ msg);
-  exit 1
-
 let write_file path content =
   if path = "-" then print_string content
-  else begin
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc content)
-  end
+  else
+    try
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
+    with Sys_error msg ->
+      exit_err (Printf.sprintf "cannot write %S: %s" path msg)
 
 (* --- observability flags --- *)
 
@@ -232,10 +246,7 @@ let trace_cmd =
         in
         (match out with
         | Some path ->
-            let oc = open_out_bin path in
-            Fun.protect
-              ~finally:(fun () -> close_out_noerr oc)
-              (fun () -> Ebp_trace.Trace.write_binary oc trace);
+            write_file path (Ebp_trace.Trace.encode trace);
             Printf.eprintf "wrote %d events to %s\n"
               (Ebp_trace.Trace.length trace) path
         | None -> ());
@@ -295,13 +306,9 @@ let sessions_cmd =
       | Some path -> (
           if not (Sys.file_exists path) then
             exit_err (Printf.sprintf "no trace file %S" path);
-          let ic = open_in_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              match Ebp_trace.Trace.read_binary ic with
-              | Ok t -> t
-              | Error msg -> exit_err ("bad trace file: " ^ msg)))
+          match Ebp_trace.Trace.decode (read_file path) with
+          | Ok t -> t
+          | Error msg -> exit_err ("bad trace file: " ^ msg))
       | None -> (
           match source_of_arg target with
           | Error msg -> exit_err msg
@@ -313,12 +320,9 @@ let sessions_cmd =
     let results =
       Ebp_sessions.Replay.discover_and_replay ~engine ~keep_hitless:all trace
     in
-    List.iter
-      (fun (s, c) ->
-        Format.printf "%-50s %a@." (Ebp_sessions.Session.to_string s)
-          Ebp_sessions.Counts.pp c)
-      results;
-    Printf.printf "%d sessions\n" (List.length results)
+    (* Render through the one path the serve daemon also uses, so batch
+       and served reports stay byte-identical (test/cram/serve.t). *)
+    print_string (Ebp_serve.Render.sessions_report results)
   in
   let target_or_dash =
     Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
@@ -377,19 +381,10 @@ let experiment_cmd =
     with
     | Error msg -> exit_err msg
     | Ok t -> (
-        let module E = Ebp_core.Experiment in
-        match only with
-        | None -> print_string (E.full_report t)
-        | Some "table1" -> print_string (E.table1 t)
-        | Some "table2" -> print_string (E.table2 t)
-        | Some "table3" -> print_string (E.table3 t)
-        | Some "table4" -> print_string (E.table4 t)
-        | Some "fig7" -> print_string (E.figure t ~stat:E.Max)
-        | Some "fig8" -> print_string (E.figure t ~stat:E.P90)
-        | Some "fig9" -> print_string (E.figure t ~stat:E.T_mean)
-        | Some "breakdown" -> print_string (E.breakdown_report t)
-        | Some "expansion" -> print_string (E.code_expansion_report t)
-        | Some other -> exit_err (Printf.sprintf "unknown artifact %S" other))
+        let artifact = Option.value only ~default:"full" in
+        match Ebp_serve.Render.experiment_report t ~artifact with
+        | Ok text -> print_string text
+        | Error msg -> exit_err msg)
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
@@ -615,6 +610,240 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const f $ seeds_arg $ start_arg $ fuel_arg $ save_arg $ no_shrink_arg)
 
+(* --- serve / client --- *)
+
+module Proto = Ebp_serve.Protocol
+
+let default_socket_path () =
+  match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+  | Some d when d <> "" -> Filename.concat d "ebp.sock"
+  | _ ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ebp-%d.sock" (Unix.getuid ()))
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the service listens on (default: \
+           \\$XDG_RUNTIME_DIR/ebp.sock, else a per-user socket in the \
+           temp directory).")
+
+let serve_cmd =
+  let doc =
+    "Run the resident trace service: a long-running daemon holding an LRU \
+     of decoded traces and write indices, answering concurrent \
+     $(b,ebp client) queries over a Unix-domain socket with bounded \
+     admission, per-tenant fairness, and batch coalescing. The wire \
+     protocol and ops runbook are in docs/SERVICE.md."
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: at most $(docv) queries wait at once; \
+             the rest are refused with an explicit Overloaded response \
+             instead of buffering without bound.")
+  in
+  let lru_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "lru-capacity" ] ~docv:"N"
+          ~doc:
+            "How many decoded traces (with their write indices) stay \
+             resident in memory; least-recently-used entries are evicted \
+             past $(docv).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width: each replay is sharded across $(docv) \
+             domains, shared by all requests.")
+  in
+  let f socket queue_limit lru jobs cache_dir metrics faults =
+    if queue_limit < 1 then exit_err "--queue-limit must be at least 1";
+    if lru < 1 then exit_err "--lru-capacity must be at least 1";
+    if jobs < 1 then exit_err "--jobs must be at least 1";
+    let socket_path = Option.value socket ~default:(default_socket_path ()) in
+    with_faults faults @@ fun () ->
+    (* The daemon always runs with metrics on: the runbook's signals and
+       the Stats_query response are served from this registry. *)
+    Ebp_obs.Metrics.set_enabled true;
+    let config =
+      {
+        Ebp_serve.Server.Core.queue_limit;
+        lru_capacity = lru;
+        domains = jobs;
+        cache_dir;
+        server_name = "ebp serve/1.0.0";
+      }
+    in
+    let on_ready () =
+      Printf.eprintf "ebp serve: listening on %s (pid %d)\n%!" socket_path
+        (Unix.getpid ())
+    in
+    match Ebp_serve.Server.serve ~on_ready ~socket_path config () with
+    | Error msg -> exit_err msg
+    | Ok () ->
+        Printf.eprintf "ebp serve: drained and stopped\n%!";
+        Option.iter
+          (fun path ->
+            write_file path
+              (Ebp_obs.Export.to_ndjson (Ebp_obs.Metrics.snapshot ())))
+          metrics
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const f $ socket_arg $ queue_limit_arg $ lru_arg $ jobs_arg
+      $ cache_dir_arg $ metrics_arg $ faults_arg)
+
+let client_cmd =
+  let tenant_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:
+            "Tenant identity sent in the Hello frame; the server schedules \
+             fairly across tenants and keeps per-tenant latency \
+             histograms.")
+  in
+  let run_request socket tenant req on_ok =
+    let socket_path = Option.value socket ~default:(default_socket_path ()) in
+    match
+      Ebp_serve.Client.with_client ~tenant ~socket_path (fun c ->
+          Ebp_serve.Client.request c req)
+    with
+    | Error msg -> exit_err msg
+    | Ok (Proto.Error_resp { code; message }) ->
+        exit_err
+          (Printf.sprintf "server error (%s): %s"
+             (Proto.error_code_name code)
+             message)
+    | Ok (Proto.Overloaded { queued; limit }) ->
+        exit_err
+          (Printf.sprintf "server overloaded (%d queued, limit %d); retry later"
+             queued limit)
+    | Ok resp -> on_ok resp
+  in
+  let unexpected () = exit_err "unexpected response type from server" in
+  let ping_cmd =
+    let doc = "Round-trip one Ping frame." in
+    let f socket tenant =
+      run_request socket tenant Proto.Ping (function
+        | Proto.Pong -> print_endline "pong"
+        | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "ping" ~doc) Term.(const f $ socket_arg $ tenant_arg)
+  in
+  let sessions_cmd =
+    let doc =
+      "Run a phase-2 session query on the server and print the report — \
+       byte-identical to $(b,ebp sessions) for the same program."
+    in
+    let all_arg =
+      Arg.(
+        value & flag
+        & info [ "all" ] ~doc:"Include sessions with zero monitor hits.")
+    in
+    let f socket tenant target all engine =
+      match source_of_arg target with
+      | Error msg -> exit_err msg
+      | Ok (source, seed) ->
+          let engine =
+            match engine with
+            | Ebp_sessions.Replay.Indexed -> "indexed"
+            | Ebp_sessions.Replay.Scan -> "scan"
+          in
+          run_request socket tenant
+            (Proto.Sessions_query
+               { name = target; source; seed; engine; keep_hitless = all })
+            (function
+              | Proto.Report text -> print_string text
+              | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "sessions" ~doc)
+      Term.(
+        const f $ socket_arg $ tenant_arg $ target_arg $ all_arg $ engine_arg)
+  in
+  let experiment_cmd =
+    let doc =
+      "Run the experiment on the server and print one artifact — \
+       byte-identical to $(b,ebp experiment)."
+    in
+    let only_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "only" ] ~docv:"ARTIFACT"
+            ~doc:
+              "Print a single artifact: table1, table2, table3, table4, \
+               fig7, fig8, fig9, breakdown, expansion.")
+    in
+    let workloads_arg =
+      Arg.(
+        value
+        & opt (some (list string)) None
+        & info [ "workloads" ] ~docv:"NAMES"
+            ~doc:"Comma-separated subset of workloads to run.")
+    in
+    let f socket tenant only workloads =
+      let artifact = Option.value only ~default:"full" in
+      let workloads = Option.value workloads ~default:[] in
+      run_request socket tenant
+        (Proto.Experiment_query { workloads; artifact })
+        (function
+          | Proto.Report text -> print_string text
+          | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "experiment" ~doc)
+      Term.(const f $ socket_arg $ tenant_arg $ only_arg $ workloads_arg)
+  in
+  let stats_cmd =
+    let doc =
+      "Fetch the server's live metrics snapshot and render it as tables \
+       (or dump the raw NDJSON with $(b,--raw))."
+    in
+    let raw_arg =
+      Arg.(
+        value & flag
+        & info [ "raw" ]
+            ~doc:"Print the NDJSON snapshot instead of rendered tables.")
+    in
+    let f socket tenant raw =
+      run_request socket tenant Proto.Stats_query (function
+        | Proto.Stats ndjson -> (
+            if raw then print_string ndjson
+            else
+              match Ebp_obs.Export.of_ndjson ndjson with
+              | Error msg -> exit_err ("bad snapshot from server: " ^ msg)
+              | Ok snapshot ->
+                  print_string (Ebp_util.Obs_report.render snapshot))
+        | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "stats" ~doc)
+      Term.(const f $ socket_arg $ tenant_arg $ raw_arg)
+  in
+  let shutdown_cmd =
+    let doc =
+      "Ask the server to shut down gracefully: it stops accepting, drains \
+       queued queries, flushes replies, and exits."
+    in
+    let f socket tenant =
+      run_request socket tenant Proto.Shutdown (function
+        | Proto.Shutdown_ack -> print_endline "server shutting down"
+        | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "shutdown" ~doc) Term.(const f $ socket_arg $ tenant_arg)
+  in
+  let doc = "Query a running $(b,ebp serve) daemon over its socket." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ ping_cmd; sessions_cmd; experiment_cmd; stats_cmd; shutdown_cmd ]
+
 (* --- debug --- *)
 
 let debug_cmd =
@@ -678,5 +907,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd;
-            stats_cmd; cache_cmd; fuzz_cmd; disasm_cmd; debug_cmd;
+            serve_cmd; client_cmd; stats_cmd; cache_cmd; fuzz_cmd;
+            disasm_cmd; debug_cmd;
           ]))

@@ -1,0 +1,93 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; inbuf : Buffer.t; mutable open_ : bool }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let send t req =
+  match write_all t.fd (P.encode_request req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+(* Read until the buffer holds one complete frame. The server answers
+   requests in order, one response frame each. *)
+let read_response t =
+  let chunk = Bytes.create 65536 in
+  let rec try_decode () =
+    let s = Buffer.contents t.inbuf in
+    match P.decode ~buf:s ~pos:0 ~len:(String.length s) with
+    | `Corrupt msg -> Error (Printf.sprintf "corrupt frame from server: %s" msg)
+    | `Frame (frame, consumed) -> (
+        let rest = String.sub s consumed (String.length s - consumed) in
+        Buffer.clear t.inbuf;
+        Buffer.add_string t.inbuf rest;
+        match frame with
+        | P.Response r -> Ok r
+        | P.Request _ -> Error "server sent a request frame")
+    | `Need_more -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Buffer.add_subbytes t.inbuf chunk 0 n;
+            try_decode ())
+  in
+  try_decode ()
+
+let request t req =
+  if not t.open_ then Error "client is closed"
+  else match send t req with Error _ as e -> e | Ok () -> read_response t
+
+let connect ?(tenant = "default") ?(retries = 40) ?(retry_delay = 0.05)
+    ~socket_path () =
+  let addr = Unix.ADDR_UNIX socket_path in
+  let rec attempt n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n > 0 then begin
+          Unix.sleepf retry_delay;
+          attempt (n - 1)
+        end
+        else
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket_path
+               (Unix.error_message e))
+  in
+  match attempt retries with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let t = { fd; inbuf = Buffer.create 256; open_ = true } in
+      match
+        request t (P.Hello { tenant; max_version = P.protocol_version })
+      with
+      | Ok (P.Hello_ok _) -> Ok t
+      | Ok (P.Error_resp { message; _ }) ->
+          close t;
+          Error (Printf.sprintf "server refused hello: %s" message)
+      | Ok _ ->
+          close t;
+          Error "unexpected response to hello"
+      | Error msg ->
+          close t;
+          Error msg)
+
+let with_client ?tenant ?retries ~socket_path f =
+  match connect ?tenant ?retries ~socket_path () with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

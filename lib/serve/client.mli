@@ -1,0 +1,37 @@
+(** Blocking client for the {!Protocol} service, behind [ebp client].
+
+    A client owns one connection and runs one request/response exchange at
+    a time (the protocol permits pipelining; this client does not use it).
+    {!connect} retries for a moment before giving up, so a client started
+    concurrently with the daemon (CI, scripts) does not race its bind. *)
+
+type t
+
+val connect :
+  ?tenant:string ->
+  ?retries:int ->
+  ?retry_delay:float ->
+  socket_path:string ->
+  unit ->
+  (t, string) result
+(** Connect to the daemon at [socket_path] and complete the
+    [Hello]/[Hello_ok] exchange as [tenant] (default ["default"]).
+    Retries the connection [retries] times (default 40) every
+    [retry_delay] seconds (default 0.05) while the socket is absent or
+    refusing, then fails with a human-readable reason. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response. [Error _] reports a
+    transport or framing failure (connection closed, corrupt frame) —
+    service-level failures arrive as {!Protocol.Error_resp} /
+    {!Protocol.Overloaded} responses. *)
+
+val close : t -> unit
+
+val with_client :
+  ?tenant:string ->
+  ?retries:int ->
+  socket_path:string ->
+  (t -> ('a, string) result) ->
+  ('a, string) result
+(** Scope a connection: connect, apply, close (also on exceptions). *)

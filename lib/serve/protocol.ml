@@ -1,0 +1,329 @@
+(* EBPS frames: "EBPS" + version + type tag + LEB128 payload length +
+   payload + CRC-32(LE) of everything before the CRC. See protocol.mli
+   and docs/SERVICE.md for the layout contract. *)
+
+module Fault = Ebp_util.Fault
+module Crc32 = Ebp_util.Crc32
+
+let protocol_version = 1
+let magic = "EBPS"
+let max_payload = 1 lsl 26
+
+let fp_decode = Fault.point "serve.frame.decode"
+
+type error_code =
+  | Bad_request
+  | Unknown_workload
+  | Unknown_artifact
+  | Unsupported_version
+  | Shutting_down
+  | Internal
+
+let error_code_to_int = function
+  | Bad_request -> 1
+  | Unknown_workload -> 2
+  | Unknown_artifact -> 3
+  | Unsupported_version -> 4
+  | Shutting_down -> 5
+  | Internal -> 6
+
+let error_code_of_int = function
+  | 1 -> Some Bad_request
+  | 2 -> Some Unknown_workload
+  | 3 -> Some Unknown_artifact
+  | 4 -> Some Unsupported_version
+  | 5 -> Some Shutting_down
+  | 6 -> Some Internal
+  | _ -> None
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Unknown_workload -> "unknown-workload"
+  | Unknown_artifact -> "unknown-artifact"
+  | Unsupported_version -> "unsupported-version"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+type request =
+  | Hello of { tenant : string; max_version : int }
+  | Ping
+  | Sessions_query of {
+      name : string;
+      source : string;
+      seed : int;
+      engine : string;
+      keep_hitless : bool;
+    }
+  | Experiment_query of { workloads : string list; artifact : string }
+  | Stats_query
+  | Shutdown
+
+type response =
+  | Hello_ok of { version : int; server : string }
+  | Pong
+  | Report of string
+  | Stats of string
+  | Error_resp of { code : error_code; message : string }
+  | Overloaded of { queued : int; limit : int }
+  | Shutdown_ack
+
+type frame = Request of request | Response of response
+
+let equal_frame (a : frame) (b : frame) = a = b
+
+(* --- frame type tags --- *)
+
+let tag_of_frame = function
+  | Request (Hello _) -> 0x01
+  | Request Ping -> 0x02
+  | Request (Sessions_query _) -> 0x03
+  | Request (Experiment_query _) -> 0x04
+  | Request Stats_query -> 0x05
+  | Request Shutdown -> 0x06
+  | Response (Hello_ok _) -> 0x81
+  | Response Pong -> 0x82
+  | Response (Report _) -> 0x83
+  | Response (Stats _) -> 0x84
+  | Response (Error_resp _) -> 0x85
+  | Response (Overloaded _) -> 0x86
+  | Response Shutdown_ack -> 0x87
+
+(* --- payload writing --- *)
+
+let put_varint b n =
+  if n < 0 then invalid_arg "Protocol.put_varint: negative";
+  let n = ref n in
+  let fin = ref false in
+  while not !fin do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      fin := true
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_list b put xs =
+  put_varint b (List.length xs);
+  List.iter (put b) xs
+
+let encode_payload b = function
+  | Request (Hello { tenant; max_version }) ->
+      put_string b tenant;
+      put_varint b max_version
+  | Request Ping | Request Stats_query | Request Shutdown -> ()
+  | Request (Sessions_query { name; source; seed; engine; keep_hitless }) ->
+      put_string b name;
+      put_string b source;
+      put_varint b seed;
+      put_string b engine;
+      put_bool b keep_hitless
+  | Request (Experiment_query { workloads; artifact }) ->
+      put_list b put_string workloads;
+      put_string b artifact
+  | Response (Hello_ok { version; server }) ->
+      put_varint b version;
+      put_string b server
+  | Response Pong | Response Shutdown_ack -> ()
+  | Response (Report text) -> put_string b text
+  | Response (Stats ndjson) -> put_string b ndjson
+  | Response (Error_resp { code; message }) ->
+      put_varint b (error_code_to_int code);
+      put_string b message
+  | Response (Overloaded { queued; limit }) ->
+      put_varint b queued;
+      put_varint b limit
+
+let encode frame =
+  let payload =
+    let b = Buffer.create 64 in
+    encode_payload b frame;
+    Buffer.contents b
+  in
+  let b = Buffer.create (String.length payload + 16) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr protocol_version);
+  Buffer.add_char b (Char.chr (tag_of_frame frame));
+  put_varint b (String.length payload);
+  Buffer.add_string b payload;
+  let crc = Crc32.string (Buffer.contents b) in
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((crc lsr (8 * i)) land 0xff))
+  done;
+  Buffer.contents b
+
+let encode_request r = encode (Request r)
+let encode_response r = encode (Response r)
+
+(* --- payload reading --- *)
+
+exception Bad of string
+
+type reader = { buf : string; limit : int; mutable rpos : int }
+
+let need r n = if r.rpos + n > r.limit then raise (Bad "truncated payload")
+
+let get_byte r =
+  need r 1;
+  let c = Char.code r.buf.[r.rpos] in
+  r.rpos <- r.rpos + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Bad "varint overflow");
+    let b = get_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_string r =
+  let n = get_varint r in
+  if n > max_payload then raise (Bad "oversized string");
+  need r n;
+  let s = String.sub r.buf r.rpos n in
+  r.rpos <- r.rpos + n;
+  s
+
+let get_bool r =
+  match get_byte r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise (Bad "bad boolean")
+
+let get_list r get =
+  let n = get_varint r in
+  if n > 4096 then raise (Bad "oversized list");
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get r :: acc) in
+  go n []
+
+let decode_payload tag r =
+  match tag with
+  | 0x01 ->
+      let tenant = get_string r in
+      let max_version = get_varint r in
+      Request (Hello { tenant; max_version })
+  | 0x02 -> Request Ping
+  | 0x03 ->
+      let name = get_string r in
+      let source = get_string r in
+      let seed = get_varint r in
+      let engine = get_string r in
+      let keep_hitless = get_bool r in
+      Request (Sessions_query { name; source; seed; engine; keep_hitless })
+  | 0x04 ->
+      let workloads = get_list r get_string in
+      let artifact = get_string r in
+      Request (Experiment_query { workloads; artifact })
+  | 0x05 -> Request Stats_query
+  | 0x06 -> Request Shutdown
+  | 0x81 ->
+      let version = get_varint r in
+      let server = get_string r in
+      Response (Hello_ok { version; server })
+  | 0x82 -> Response Pong
+  | 0x83 -> Response (Report (get_string r))
+  | 0x84 -> Response (Stats (get_string r))
+  | 0x85 ->
+      let code =
+        match error_code_of_int (get_varint r) with
+        | Some c -> c
+        | None -> raise (Bad "unknown error code")
+      in
+      Response (Error_resp { code; message = get_string r })
+  | 0x86 ->
+      let queued = get_varint r in
+      let limit = get_varint r in
+      Response (Overloaded { queued; limit })
+  | 0x87 -> Response Shutdown_ack
+  | t -> raise (Bad (Printf.sprintf "unknown frame type 0x%02x" t))
+
+(* Parse the envelope's LEB128 length field incrementally: the buffer may
+   end in the middle of it. *)
+let rec scan_varint buf ~pos ~stop ~shift ~acc =
+  if pos >= stop then `Need_more
+  else if shift > 62 then `Corrupt "varint overflow in frame length"
+  else
+    let b = Char.code buf.[pos] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then `Value (acc, pos + 1)
+    else scan_varint buf ~pos:(pos + 1) ~stop ~shift:(shift + 7) ~acc
+
+let decode ~buf ~pos ~len =
+  match Fault.fires fp_decode with
+  | Some _ -> `Corrupt "injected fault at serve.frame.decode"
+  | None -> (
+      if len = 0 then `Need_more
+      else
+        let mlen = min len 4 in
+        if String.sub buf pos mlen <> String.sub magic 0 mlen then
+          `Corrupt "bad frame magic"
+        else if len < 6 then `Need_more
+        else
+          let version = Char.code buf.[pos + 4] in
+          if version <> protocol_version then
+            `Corrupt (Printf.sprintf "unsupported frame version %d" version)
+          else
+            let tag = Char.code buf.[pos + 5] in
+            match
+              scan_varint buf ~pos:(pos + 6) ~stop:(pos + len) ~shift:0 ~acc:0
+            with
+            | `Need_more -> `Need_more
+            | `Corrupt _ as c -> c
+            | `Value (plen, body) ->
+                if plen > max_payload then
+                  `Corrupt (Printf.sprintf "oversized frame (%d bytes)" plen)
+                else if pos + len < body + plen + 4 then `Need_more
+                else begin
+                  let crc_pos = body + plen in
+                  let stored =
+                    Char.code buf.[crc_pos]
+                    lor (Char.code buf.[crc_pos + 1] lsl 8)
+                    lor (Char.code buf.[crc_pos + 2] lsl 16)
+                    lor (Char.code buf.[crc_pos + 3] lsl 24)
+                  in
+                  let computed = Crc32.sub buf ~pos ~len:(crc_pos - pos) in
+                  if stored <> computed then `Corrupt "frame crc mismatch"
+                  else
+                    let r = { buf; limit = crc_pos; rpos = body } in
+                    match decode_payload tag r with
+                    | exception Bad msg -> `Corrupt msg
+                    | frame ->
+                        if r.rpos <> crc_pos then
+                          `Corrupt "trailing payload bytes"
+                        else `Frame (frame, crc_pos + 4 - pos)
+                end)
+
+let pp_frame ppf frame =
+  let p fmt = Format.fprintf ppf fmt in
+  match frame with
+  | Request (Hello { tenant; max_version }) ->
+      p "Hello{tenant=%S;max_version=%d}" tenant max_version
+  | Request Ping -> p "Ping"
+  | Request (Sessions_query { name; source; seed; engine; keep_hitless }) ->
+      p "Sessions_query{name=%S;source=<%d bytes>;seed=%d;engine=%s;hitless=%b}"
+        name (String.length source) seed engine keep_hitless
+  | Request (Experiment_query { workloads; artifact }) ->
+      p "Experiment_query{workloads=[%s];artifact=%s}"
+        (String.concat "," workloads)
+        artifact
+  | Request Stats_query -> p "Stats_query"
+  | Request Shutdown -> p "Shutdown"
+  | Response (Hello_ok { version; server }) ->
+      p "Hello_ok{version=%d;server=%S}" version server
+  | Response Pong -> p "Pong"
+  | Response (Report s) -> p "Report<%d bytes>" (String.length s)
+  | Response (Stats s) -> p "Stats<%d bytes>" (String.length s)
+  | Response (Error_resp { code; message }) ->
+      p "Error{%s;%S}" (error_code_name code) message
+  | Response (Overloaded { queued; limit }) ->
+      p "Overloaded{queued=%d;limit=%d}" queued limit
+  | Response Shutdown_ack -> p "Shutdown_ack"

@@ -1,0 +1,120 @@
+(** The EBPS wire protocol: length-prefixed, CRC-sealed binary frames over
+    a byte stream (in practice, a Unix-domain socket).
+
+    One frame carries one request or one response. The layout reuses the
+    machinery the on-disk codecs already trust — LEB128 varints for every
+    integer and {!Ebp_util.Crc32} sealing every frame — so a truncated or
+    bit-flipped frame is detected before any payload field is believed:
+
+    {v
+    offset  size  field
+    0       4     magic "EBPS"
+    4       1     protocol version (0x01)
+    5       1     frame type tag
+    6       var   payload length N (LEB128 varint)
+    ..      N     payload (fields per frame type)
+    ..      4     CRC-32 (LE) of every preceding byte of the frame
+    v}
+
+    Inside payloads: integers are LEB128 varints, strings are a varint
+    byte count followed by the bytes, booleans one byte (0/1), lists a
+    varint count followed by the elements. The full specification, with a
+    worked hex example, is [docs/SERVICE.md].
+
+    Version negotiation happens in-band: a client's first frame should be
+    {!Hello} carrying the highest protocol version it speaks; the server
+    answers {!Hello_ok} with the version it chose (currently always 1) or
+    an {!Error_resp} with {!Unsupported_version}. The frame envelope's
+    version byte is fixed per connection after that; a frame with an
+    unexpected version byte is a framing error and closes the connection.
+
+    The decoder is strict: bad magic, an unknown version or type tag, an
+    oversized length, a CRC mismatch, or payload bytes left over after
+    the typed fields all reject the frame ({!decode} returns [`Corrupt]),
+    and a prefix of a frame is reported as [`Need_more], never misread. *)
+
+val protocol_version : int
+(** The (single, currently) protocol version this build speaks: 1. *)
+
+val magic : string
+(** ["EBPS"]. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length (64 MiB). The decoder rejects
+    larger claims up front, so a corrupt length field cannot provoke an
+    attacker-sized allocation. *)
+
+(** Machine-readable error category carried by {!Error_resp}. *)
+type error_code =
+  | Bad_request  (** malformed or inapplicable request *)
+  | Unknown_workload
+  | Unknown_artifact
+  | Unsupported_version
+  | Shutting_down  (** server is draining; retry against a new instance *)
+  | Internal
+
+val error_code_name : error_code -> string
+(** Stable kebab-case name, e.g. ["unknown-workload"]. *)
+
+type request =
+  | Hello of { tenant : string; max_version : int }
+      (** Identify the connection's tenant (fairness and metrics key) and
+          negotiate the protocol version. Optional; an un-helloed
+          connection runs as tenant ["default"]. *)
+  | Ping
+  | Sessions_query of {
+      name : string;  (** display / cache-key name of the program *)
+      source : string;  (** MiniC translation unit, sent inline *)
+      seed : int;
+      engine : string;  (** ["indexed"] or ["scan"] *)
+      keep_hitless : bool;
+    }
+      (** Phase-2 replay: discover sessions in a trace of [source] and
+          count them. The response [Report] is byte-identical to
+          [ebp sessions] output for the same inputs. *)
+  | Experiment_query of { workloads : string list; artifact : string }
+      (** Run the experiment over the named workloads and render one
+          artifact: ["full"], ["table1".."table4"], ["fig7".."fig9"],
+          ["breakdown"], or ["expansion"]. *)
+  | Stats_query  (** Fetch the server's live metrics snapshot. *)
+  | Shutdown
+      (** Graceful shutdown: the server acks, drains its queue, refuses
+          new work, flushes, and exits. *)
+
+type response =
+  | Hello_ok of { version : int; server : string }
+  | Pong
+  | Report of string  (** rendered report text, exactly as the batch CLI *)
+  | Stats of string  (** NDJSON metrics snapshot ({!Ebp_obs.Export}) *)
+  | Error_resp of { code : error_code; message : string }
+  | Overloaded of { queued : int; limit : int }
+      (** Backpressure: the admission queue is full. The request was not
+          queued and will not be answered; resubmit later. *)
+  | Shutdown_ack
+
+type frame = Request of request | Response of response
+
+val equal_frame : frame -> frame -> bool
+
+val encode : frame -> string
+(** The complete frame for one request or response, ready to write. *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode :
+  buf:string ->
+  pos:int ->
+  len:int ->
+  [ `Frame of frame * int | `Need_more | `Corrupt of string ]
+(** [decode ~buf ~pos ~len] examines the [len] bytes of [buf] starting at
+    [pos] — the readable prefix of a stream. [`Frame (f, consumed)] hands
+    back one complete, CRC-verified frame and how many bytes it occupied;
+    [`Need_more] means the prefix is a valid but incomplete frame;
+    [`Corrupt reason] means the stream can no longer be trusted (the
+    connection should be torn down after a best-effort error response).
+    Evaluates the [serve.frame.decode] fault point, so the robustness
+    suite can reject frames at will. *)
+
+val pp_frame : Format.formatter -> frame -> unit
+(** One-line human description, for logs and test failures. *)

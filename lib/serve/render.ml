@@ -1,0 +1,33 @@
+let sessions_report results =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (s, c) ->
+      Format.fprintf ppf "%-50s %a@."
+        (Ebp_sessions.Session.to_string s)
+        Ebp_sessions.Counts.pp c)
+    results;
+  Format.pp_print_flush ppf ();
+  Buffer.add_string buf (Printf.sprintf "%d sessions\n" (List.length results));
+  Buffer.contents buf
+
+let experiment_artifacts =
+  [
+    "full"; "table1"; "table2"; "table3"; "table4"; "fig7"; "fig8"; "fig9";
+    "breakdown"; "expansion";
+  ]
+
+let experiment_report t ~artifact =
+  let module E = Ebp_core.Experiment in
+  match artifact with
+  | "full" -> Ok (E.full_report t)
+  | "table1" -> Ok (E.table1 t)
+  | "table2" -> Ok (E.table2 t)
+  | "table3" -> Ok (E.table3 t)
+  | "table4" -> Ok (E.table4 t)
+  | "fig7" -> Ok (E.figure t ~stat:E.Max)
+  | "fig8" -> Ok (E.figure t ~stat:E.P90)
+  | "fig9" -> Ok (E.figure t ~stat:E.T_mean)
+  | "breakdown" -> Ok (E.breakdown_report t)
+  | "expansion" -> Ok (E.code_expansion_report t)
+  | other -> Error (Printf.sprintf "unknown artifact %S" other)

@@ -1,0 +1,24 @@
+(** The one rendering path shared by the batch CLI and the trace service.
+
+    [ebp sessions] / [ebp experiment] and the serve daemon's
+    {!Protocol.Sessions_query} / {!Protocol.Experiment_query} must produce
+    byte-identical text for the same inputs — the service is a resident
+    cache in front of the same computation, not a different one. Both
+    front ends therefore render through this module; the equivalence is by
+    construction and enforced end-to-end by [test/test_serve.ml] and
+    [test/cram/serve.t]. *)
+
+val sessions_report :
+  (Ebp_sessions.Session.t * Ebp_sessions.Counts.t) list -> string
+(** One line per session ([%-50s] session, then the counts) followed by
+    the ["%d sessions"] summary line — exactly what [ebp sessions]
+    prints. *)
+
+val experiment_artifacts : string list
+(** The valid [artifact] selectors, ["full"] first. *)
+
+val experiment_report :
+  Ebp_core.Experiment.t -> artifact:string -> (string, string) result
+(** Render one artifact of a finished experiment: ["full"],
+    ["table1".."table4"], ["fig7".."fig9"], ["breakdown"], or
+    ["expansion"]. [Error _] names the unknown artifact. *)

@@ -1,0 +1,87 @@
+(** The resident trace service: admission control, per-tenant fairness,
+    batch coalescing, and the Unix-domain-socket event loop behind
+    [ebp serve].
+
+    The module is layered so the scheduling policy is testable without a
+    socket:
+
+    - {!Core} is the service state machine. {!Core.submit} answers
+      control requests immediately and admits queries to a {e bounded}
+      queue — a full queue returns {!Protocol.Overloaded} to the caller
+      synchronously; nothing in the server buffers without bound.
+      {!Core.dispatch_one} picks the next tenant round-robin, {e
+      coalesces} every queued query identical to the picked one (any
+      tenant) into the same batch, executes once on the shared
+      {!Ebp_util.Domain_pool}, and replies to every member.
+    - {!serve} wraps a {!Core.t} in a [select]-based event loop on a
+      Unix-domain socket: length-prefixed {!Protocol} frames in, one
+      response frame per request out, many concurrent connections, no
+      thread per client.
+
+    Operational metrics ([serve.*] — queue delay, per-tenant latency,
+    warm/cold store tiers, coalesce and overload counts) are cataloged in
+    [docs/SERVICE.md], as are the graceful-shutdown and crash-recovery
+    stories. Fault points: [serve.accept], [serve.read], [serve.write],
+    and [serve.frame.decode]. *)
+
+module Core : sig
+  type config = {
+    queue_limit : int;  (** max queries admitted and not yet answered *)
+    lru_capacity : int;  (** resident decoded traces ({!Trace_store}) *)
+    domains : int;  (** pool width for sharded replays and experiments *)
+    cache_dir : string option;  (** disk tier; [None] = in-memory only *)
+    server_name : string;  (** advertised in [Hello_ok] *)
+  }
+
+  val default_config : config
+  (** queue 64, LRU 8, 1 domain, no disk tier, ["ebp serve/1.0.0"]. *)
+
+  type t
+
+  val create : config -> t
+  (** Also creates the domain pool; release it with {!shutdown}. *)
+
+  val submit :
+    t -> tenant:string -> reply:(Protocol.response -> unit) -> Protocol.request -> unit
+  (** Feed one request in. [reply] is invoked exactly once per request —
+      immediately for control requests ([Hello]/[Ping]/[Stats_query]/
+      [Shutdown]), for a rejected query ([Overloaded] on a full queue,
+      [Error_resp Shutting_down] while draining), and from a later
+      {!dispatch_one} for an admitted query. *)
+
+  val pending : t -> int
+  (** Queries admitted and not yet dispatched. *)
+
+  val draining : t -> bool
+  (** True once a [Shutdown] request was accepted: queued queries still
+      run to completion, new ones are refused. *)
+
+  val request_shutdown : t -> unit
+  (** Enter draining without a [Shutdown] frame (signal handler path). *)
+
+  val dispatch_one : t -> bool
+  (** Run one coalesced batch: pop the round-robin-next tenant's oldest
+      query, absorb every identical queued query, execute once, reply to
+      all. [false] when the queue was empty. *)
+
+  val drain : t -> unit
+  (** {!dispatch_one} until the queue is empty. *)
+
+  val shutdown : t -> unit
+  (** {!drain}, then release the domain pool. The core must not be used
+      afterwards. *)
+end
+
+val serve :
+  ?on_ready:(unit -> unit) ->
+  socket_path:string ->
+  Core.config ->
+  unit ->
+  (unit, string) result
+(** Run the daemon on [socket_path] until a graceful shutdown completes:
+    bind (refusing to start when a live daemon already owns the path;
+    replacing a stale socket file), call [on_ready] once accepting,
+    then loop. On [Shutdown] (or SIGTERM/SIGINT) the listener closes
+    immediately — new connections are refused by the OS — queued queries
+    drain, replies flush, and the socket file is unlinked. [Error _] is
+    reserved for setup failures (bad path, address in use). *)

@@ -1,0 +1,132 @@
+module Metrics = Ebp_obs.Metrics
+module Span = Ebp_obs.Span
+module Trace_cache = Ebp_trace.Trace_cache
+module Write_index = Ebp_trace.Write_index
+
+let m_warm = Metrics.counter "serve.store.warm_hits"
+let m_disk = Metrics.counter "serve.store.disk_hits"
+let m_cold = Metrics.counter "serve.store.cold_records"
+let m_evict = Metrics.counter "serve.store.evictions"
+let m_resident = Metrics.gauge "serve.store.resident"
+let m_load_ns = Metrics.histogram "serve.store.load_ns"
+
+type entry = {
+  trace : Ebp_trace.Trace.t;
+  index : Write_index.t;
+  mutable last_used : int;
+}
+
+type t = {
+  cap : int;
+  cache_dir : string option;
+  page_sizes : int list;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 8) ?cache_dir
+    ?(page_sizes = Ebp_sessions.Replay.default_page_sizes) () =
+  {
+    cap = max 1 capacity;
+    cache_dir;
+    page_sizes;
+    tbl = Hashtbl.create 16;
+    tick = 0;
+  }
+
+let resident t = Hashtbl.length t.tbl
+let capacity t = t.cap
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let evict_to_fit t =
+  while Hashtbl.length t.tbl >= t.cap do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (key, e))
+        t.tbl None
+    in
+    match victim with
+    | None -> assert false (* length >= cap >= 1 *)
+    | Some (key, _) ->
+        Hashtbl.remove t.tbl key;
+        Metrics.incr m_evict
+  done
+
+let insert t key trace index =
+  evict_to_fit t;
+  let e = { trace; index; last_used = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl key e;
+  Metrics.set m_resident (float_of_int (Hashtbl.length t.tbl));
+  e
+
+(* Record [source] from scratch and persist it (best-effort) with the same
+   base-time metadata the experiment engine stores, so a serve-populated
+   cache entry is a first-class warm hit for [ebp experiment] too. *)
+let record_cold t ~key ~source ~seed =
+  match Ebp_trace.Recorder.record_source ~seed source with
+  | Error _ as e -> e
+  | Ok (result, trace, _debug) ->
+      Metrics.incr m_cold;
+      let index = Write_index.build ~page_sizes:t.page_sizes trace in
+      Option.iter
+        (fun dir ->
+          let base_ms =
+            Ebp_machine.Cost_model.ms_of_cycles
+              result.Ebp_runtime.Loader.cycles
+          in
+          ignore
+            (Trace_cache.store ~dir ~key
+               ~meta:(Printf.sprintf "%h" base_ms)
+               trace
+              : (unit, string) result);
+          ignore
+            (Trace_cache.store_index ~dir ~key ~page_sizes:t.page_sizes index
+              : (unit, string) result))
+        t.cache_dir;
+      Ok (trace, index)
+
+let load t ~key ~source ~seed =
+  match t.cache_dir with
+  | None -> record_cold t ~key ~source ~seed
+  | Some dir -> (
+      match Trace_cache.lookup ~dir ~key with
+      | None -> record_cold t ~key ~source ~seed
+      | Some (trace, _meta) ->
+          Metrics.incr m_disk;
+          let index =
+            match
+              Trace_cache.lookup_index ~dir ~key ~page_sizes:t.page_sizes
+            with
+            | Some index -> index
+            | None ->
+                let index = Write_index.build ~page_sizes:t.page_sizes trace in
+                ignore
+                  (Trace_cache.store_index ~dir ~key
+                     ~page_sizes:t.page_sizes index
+                    : (unit, string) result);
+                index
+          in
+          Ok (trace, index))
+
+let fetch t ~name ~source ~seed =
+  let key = Trace_cache.make_key ~name ~source ~seed () in
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      Metrics.incr m_warm;
+      touch t e;
+      Ok (e.trace, e.index)
+  | None -> (
+      let t0 = Span.now_ns () in
+      match Span.with_span "serve.store.load" (fun () -> load t ~key ~source ~seed) with
+      | Error _ as e -> e
+      | Ok (trace, index) ->
+          Metrics.observe m_load_ns (Span.now_ns () - t0);
+          let e = insert t key trace index in
+          Ok (e.trace, e.index))

@@ -1,0 +1,43 @@
+CLI error paths: bad input earns a one-line diagnostic naming the offending
+input and a nonzero exit — never an uncaught exception backtrace.
+
+A stats file that does not exist:
+
+  $ ebp stats missing.ndjson
+  ebp: no snapshot file "missing.ndjson"
+  [1]
+
+A directory where a file was expected, for both readers:
+
+  $ mkdir somedir
+  $ ebp stats somedir
+  ebp: "somedir" is a directory
+  [1]
+  $ ebp sessions somedir
+  ebp: "somedir" is a directory
+  [1]
+
+A malformed --faults spec names the clause it could not parse:
+
+  $ ebp sessions circuit --faults garbage
+  ebp: bad --faults spec: clause "garbage" is not seed=N or PATTERN:TRIGGER:ACTION
+  [1]
+
+An unwritable trace output path:
+
+  $ ebp trace circuit -o nosuchdir/x.trace
+  ebp: cannot write "nosuchdir/x.trace": nosuchdir/x.trace: No such file or directory
+  [1]
+
+A name that is neither a workload nor a file:
+
+  $ ebp run no-such-workload.mc
+  ebp: no workload or file named "no-such-workload.mc"
+  [1]
+
+A trace file that is not a trace:
+
+  $ echo "not a trace" > bogus.trace
+  $ ebp sessions --from-trace bogus.trace
+  ebp: bad trace file: bad trace magic
+  [1]

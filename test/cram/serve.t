@@ -1,0 +1,51 @@
+The resident trace service end to end: start a daemon, query it with
+clients, check the served report is byte-identical to the batch CLI, read
+its metrics, and shut it down gracefully.
+
+  $ ebp serve --socket ebp.sock --lru-capacity 4 --queue-limit 8 \
+  >   --cache-dir cache --metrics serve.ndjson 2> serve.log &
+
+The client retries its connect, so it safely races the daemon's bind:
+
+  $ ebp client ping --socket ebp.sock
+  pong
+
+A served session report is byte-identical to the batch pipeline:
+
+  $ ebp client sessions circuit --socket ebp.sock > served.txt
+  $ ebp sessions circuit > batch.txt
+  $ diff served.txt batch.txt && echo identical
+  identical
+  $ tail -n 1 served.txt
+  103 sessions
+
+A second query for the same trace is a warm hit — no re-record. The
+stats frame carries the live serve.* counters:
+
+  $ ebp client sessions circuit --socket ebp.sock --tenant other > /dev/null
+  $ ebp client stats --socket ebp.sock --raw > stats.ndjson
+  $ grep '"name":"serve.store.warm_hits"' stats.ndjson | grep -o '"value":[0-9]*'
+  "value":1
+  $ grep '"name":"serve.store.cold_records"' stats.ndjson | grep -o '"value":[0-9]*'
+  "value":1
+
+Served experiment artifacts render through the same path as the batch
+CLI. An unknown artifact is a service-level error, not a hang:
+
+  $ ebp client experiment --socket ebp.sock --only tableX 2>&1
+  ebp: server error (unknown-artifact): unknown artifact "tableX"
+  [1]
+
+Graceful shutdown: the daemon acks, drains, writes its metrics snapshot,
+and exits zero:
+
+  $ ebp client shutdown --socket ebp.sock
+  server shutting down
+  $ wait $!
+  $ sed 's/pid [0-9]*/pid N/' serve.log
+  ebp serve: listening on ebp.sock (pid N)
+  ebp serve: drained and stopped
+  $ test -f serve.ndjson && echo snapshot-written
+  snapshot-written
+  $ test -S ebp.sock || echo socket-unlinked
+  socket-unlinked

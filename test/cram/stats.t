@@ -36,6 +36,10 @@ histograms it carries.
   -----------------------------------  -----  ----------
   fault.loader.run                         0            
   fault.pool.task                          0            
+  fault.serve.accept                       0            
+  fault.serve.frame.decode                 0            
+  fault.serve.read                         0            
+  fault.serve.write                        0            
   fault.trace.codec.decode                 0            
   fault.trace_cache.lookup.data            0            
   fault.trace_cache.store.data             0            
@@ -59,6 +63,19 @@ histograms it carries.
   replay.scan.writes                       0            
   replay.sessions                          3            
   replay.shards                            1            
+  serve.accepts                            0            
+  serve.batches                            0            
+  serve.bytes_in                           0            
+  serve.bytes_out                          0            
+  serve.coalesced                          0            
+  serve.conn_errors                        0            
+  serve.overloaded                         0            
+  serve.queries                            0            
+  serve.requests                           0            
+  serve.store.cold_records                 0            
+  serve.store.disk_hits                    0            
+  serve.store.evictions                    0            
+  serve.store.warm_hits                    0            
   trace.codec.bytes_in                     0            
   trace.codec.bytes_out                    0            
   trace_cache.bytes_read                   0            
