@@ -347,6 +347,7 @@ module Json = Ebp_obs.Json
    trajectory (BENCH_CI.json artifact). *)
 let json_phase1 : Json.t list ref = ref []
 let json_phase2 : Json.t list ref = ref []
+let json_store : Json.t list ref = ref []
 
 let write_json_file path =
   let j =
@@ -355,6 +356,7 @@ let write_json_file path =
         ("schema", Json.Str "ebp-bench/v1");
         ("phase1", Json.List (List.rev !json_phase1));
         ("phase2", Json.List (List.rev !json_phase2));
+        ("store", Json.List (List.rev !json_store));
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -798,6 +800,182 @@ let run_engine_comparison traces =
   end;
   print_newline ()
 
+(* --- zero-copy store: mmap vs decode, parallel build, planner --- *)
+
+(* Prices the EBPT3 tier end to end: a warm load through the mmap'd
+   columnar sidecar vs a warm EBPT2 decode (time and allocation — the
+   mapped load must be near-allocation-free), the chunked index build vs
+   the serial one (asserted structurally identical), and the cost-based
+   planner against both fixed engines (asserted bit-identical). Cheap
+   enough for --quick. *)
+let run_store traces =
+  let module Trace = Ebp_trace.Trace in
+  let module Trace_cache = Ebp_trace.Trace_cache in
+  let module Write_index = Ebp_trace.Write_index in
+  let module Replay = Ebp_sessions.Replay in
+  let module Planner = Ebp_sessions.Planner in
+  print_endline
+    "Zero-copy trace store (EBPT3): warm load via mmap vs EBPT2 decode,\n\
+     serial vs chunked index build, and the cost-based planner vs both\n\
+     fixed engines";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ebp-bench-store-%d" (Unix.getpid ()))
+  in
+  let domains = min 4 (Domain.recommended_domain_count ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Trace_cache.clear ~dir |> ignore;
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let reps = 5 in
+      let timed_alloc f =
+        (* Mean wall time and allocation of [reps] runs, after a compact
+           so the previous row's garbage is not charged here. *)
+        Gc.compact ();
+        let a0 = Gc.allocated_bytes () in
+        let last = ref None in
+        let (), ms =
+          wall_ms (fun () ->
+              for _ = 1 to reps do
+                last := Some (f ())
+              done)
+        in
+        let alloc = (Gc.allocated_bytes () -. a0) /. float_of_int reps in
+        match !last with
+        | Some r -> (r, ms /. float_of_int reps, alloc)
+        | None -> assert false
+      in
+      let load_rows, planner_rows =
+        List.split
+          (List.map
+             (fun (name, trace) ->
+               let key =
+                 Trace_cache.make_key ~name:("bench-store-" ^ name) ~source:""
+                   ~seed:0 ()
+               in
+               (match Trace_cache.store ~dir ~key trace with
+               | Ok () -> ()
+               | Error msg -> failwith ("store bench: " ^ msg));
+               let decoded, decode_ms, decode_alloc =
+                 timed_alloc (fun () ->
+                     match Trace_cache.lookup_decoded ~dir ~key with
+                     | Some (t, _) -> t
+                     | None -> failwith "store bench: decoded lookup missed")
+               in
+               let mapped, map_ms, map_alloc =
+                 timed_alloc (fun () ->
+                     match Trace_cache.lookup ~dir ~key with
+                     | Some (t, _) -> t
+                     | None -> failwith "store bench: mapped lookup missed")
+               in
+               if Trace.is_mapped decoded then
+                 failwith "store bench: decoded tier returned a mapping";
+               if not (Trace.is_mapped mapped) then
+                 failwith "store bench: warm lookup did not mmap";
+               let speedup = decode_ms /. map_ms in
+               (* Chunked index build across a pool vs the serial build. *)
+               let page_sizes = Replay.default_page_sizes in
+               Gc.compact ();
+               let serial_ix, serial_ms =
+                 wall_ms (fun () -> Write_index.build ~page_sizes trace)
+               in
+               Gc.compact ();
+               let parallel_ix, parallel_ms =
+                 Ebp_util.Domain_pool.with_pool ~domains (fun pool ->
+                     wall_ms (fun () ->
+                         Write_index.build ~pool ~page_sizes trace))
+               in
+               let build_identical = Write_index.equal serial_ix parallel_ix in
+               if not build_identical then begin
+                 prerr_endline
+                   ("store bench: parallel index build differs on " ^ name);
+                 exit 1
+               end;
+               (* The planner (cold, no cached index) against both fixed
+                  engines, all on the mapped trace. *)
+               let decision = ref "?" in
+               let planned, planner_ms =
+                 wall_ms (fun () ->
+                     Planner.replay
+                       ~log:(fun line ->
+                         decision :=
+                           String.sub line 9
+                             (String.index_from line 9 ' ' - 9))
+                       mapped)
+               in
+               let scan, scan_ms =
+                 wall_ms (fun () ->
+                     Replay.discover_and_replay ~engine:Replay.Scan mapped)
+               in
+               let indexed, indexed_ms =
+                 wall_ms (fun () ->
+                     Replay.discover_and_replay ~engine:Replay.Indexed mapped)
+               in
+               let planner_identical = planned = scan && planned = indexed in
+               if not planner_identical then begin
+                 prerr_endline
+                   ("store bench: planner report differs from a fixed engine \
+                     on " ^ name);
+                 exit 1
+               end;
+               json_store :=
+                 Json.Obj
+                   [
+                     ("workload", Json.Str name);
+                     ("events", Json.Int (Trace.length trace));
+                     ("decoded_warm_ms", Json.Float decode_ms);
+                     ("mmap_warm_ms", Json.Float map_ms);
+                     ("warm_load_speedup", Json.Float speedup);
+                     ("decoded_alloc_bytes", Json.Float decode_alloc);
+                     ("mmap_alloc_bytes", Json.Float map_alloc);
+                     ("index_build_serial_ms", Json.Float serial_ms);
+                     ("index_build_parallel_ms", Json.Float parallel_ms);
+                     ("parallel_build_identical", Json.Bool build_identical);
+                     ("planner_decision", Json.Str !decision);
+                     ("planner_ms", Json.Float planner_ms);
+                     ("planner_identical", Json.Bool planner_identical);
+                   ]
+                 :: !json_store;
+               ( [
+                   name;
+                   string_of_int (Trace.length trace);
+                   Printf.sprintf "%.2f" decode_ms;
+                   Printf.sprintf "%.3f" map_ms;
+                   Printf.sprintf "%.1fx" speedup;
+                   Printf.sprintf "%.0f" decode_alloc;
+                   Printf.sprintf "%.0f" map_alloc;
+                   Printf.sprintf "%.0f" serial_ms;
+                   Printf.sprintf "%.0f" parallel_ms;
+                 ],
+                 [
+                   name;
+                   !decision;
+                   Printf.sprintf "%.0f" planner_ms;
+                   Printf.sprintf "%.0f" scan_ms;
+                   Printf.sprintf "%.0f" indexed_ms;
+                   (if planner_identical then "yes" else "NO");
+                 ] ))
+             traces)
+      in
+      print_string
+        (Ebp_util.Text_table.render
+           ~header:
+             [ "workload"; "events"; "decode ms"; "mmap ms"; "speedup";
+               "decode alloc B"; "mmap alloc B";
+               "build ms"; Printf.sprintf "build ms (%dd)" domains ]
+           ~rows:load_rows ());
+      print_newline ();
+      print_string
+        (Ebp_util.Text_table.render
+           ~header:
+             [ "workload"; "decision"; "planner ms"; "scan ms"; "indexed ms";
+               "identical" ]
+           ~rows:planner_rows ());
+      print_newline ())
+
 (* --- remote-WMS ablation (§3.4): ptrace-style cross-address-space WMS --- *)
 
 let run_remote_ablation (t : Ebp_core.Experiment.t) =
@@ -912,6 +1090,12 @@ let () =
           print_newline ();
           with_section_metrics "replay engines" (fun () ->
               run_engine_comparison (traces_of t));
+          if not engines_only then begin
+            print_endline "=== Zero-copy store and planner ===";
+            print_newline ();
+            with_section_metrics "zero-copy store (mmap, chunked build, planner)"
+              (fun () -> run_store (traces_of t))
+          end;
           if not engines_only then begin
             print_endline "=== Parallel experiment engine ===";
             print_newline ();

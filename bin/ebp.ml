@@ -266,16 +266,19 @@ let engine_arg =
     & opt
         (enum
            [
-             ("indexed", Ebp_sessions.Replay.Indexed);
-             ("scan", Ebp_sessions.Replay.Scan);
+             ("auto", None);
+             ("indexed", Some Ebp_sessions.Replay.Indexed);
+             ("scan", Some Ebp_sessions.Replay.Scan);
            ])
-        Ebp_sessions.Replay.Indexed
+        None
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Phase-2 replay engine: $(b,indexed) (default; preprocesses the \
+          "Phase-2 replay engine: $(b,auto) (default; a cost model picks \
+           per trace from its length, session count, domain count, and \
+           cached-index availability), $(b,indexed) (preprocesses the \
            trace into a temporal write index and counts each session by \
-           binary-searched range counts) or $(b,scan) (one pass over the \
-           trace per shard). Both produce bit-identical results.")
+           binary-searched range counts), or $(b,scan) (one pass over the \
+           trace per shard). All three produce bit-identical results.")
 
 (* --- sessions --- *)
 
@@ -318,7 +321,11 @@ let sessions_cmd =
               | Ok (_result, trace, _debug) -> trace))
     in
     let results =
-      Ebp_sessions.Replay.discover_and_replay ~engine ~keep_hitless:all trace
+      match engine with
+      | Some engine ->
+          Ebp_sessions.Replay.discover_and_replay ~engine ~keep_hitless:all
+            trace
+      | None -> Ebp_sessions.Planner.replay ~keep_hitless:all trace
     in
     (* Render through the one path the serve daemon also uses, so batch
        and served reports stay byte-identical (test/cram/serve.t). *)
@@ -376,7 +383,7 @@ let experiment_cmd =
             names
     in
     match
-      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir ~engine
+      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir ?engine
         ~log:prerr_endline ()
     with
     | Error msg -> exit_err msg
@@ -425,11 +432,15 @@ let cache_cmd =
   let kind_name = function
     | Ebp_trace.Trace_cache.Trace_entry -> "trace"
     | Ebp_trace.Trace_cache.Index_entry -> "index"
+    | Ebp_trace.Trace_cache.Columnar_entry -> "columnar"
     | Ebp_trace.Trace_cache.Tmp_entry -> "tmp"
     | Ebp_trace.Trace_cache.Corrupt_entry -> "corrupt"
   in
   let ls_cmd =
-    let doc = "List the cache entries and their total size." in
+    let doc =
+      "List the cache entries, a per-artifact-type size breakdown, and the \
+       total size."
+    in
     let f cache_dir =
       let dir = dir_of cache_dir in
       let entries = Ebp_trace.Trace_cache.entries ~dir in
@@ -455,6 +466,28 @@ let cache_cmd =
         print_string
           (Ebp_util.Text_table.render ~header:[ "kind"; "bytes"; "file" ] ~rows
              ());
+      (* Per-kind breakdown in a fixed order (skipping absent kinds), so
+         the columnar sidecars' disk cost is visible at a glance. *)
+      List.iter
+        (fun kind ->
+          let n, bytes =
+            List.fold_left
+              (fun (n, b) e ->
+                if e.Ebp_trace.Trace_cache.entry_kind = kind then
+                  (n + 1, b + e.Ebp_trace.Trace_cache.entry_bytes)
+                else (n, b))
+              (0, 0) entries
+          in
+          if n > 0 then
+            Printf.printf "%-8s %d entries, %d bytes\n" (kind_name kind) n
+              bytes)
+        [
+          Ebp_trace.Trace_cache.Trace_entry;
+          Ebp_trace.Trace_cache.Index_entry;
+          Ebp_trace.Trace_cache.Columnar_entry;
+          Ebp_trace.Trace_cache.Tmp_entry;
+          Ebp_trace.Trace_cache.Corrupt_entry;
+        ];
       let total =
         List.fold_left
           (fun acc e -> acc + e.Ebp_trace.Trace_cache.entry_bytes)
@@ -756,8 +789,9 @@ let client_cmd =
       | Ok (source, seed) ->
           let engine =
             match engine with
-            | Ebp_sessions.Replay.Indexed -> "indexed"
-            | Ebp_sessions.Replay.Scan -> "scan"
+            | None -> "auto"
+            | Some Ebp_sessions.Replay.Indexed -> "indexed"
+            | Some Ebp_sessions.Replay.Scan -> "scan"
           in
           run_request socket tenant
             (Proto.Sessions_query

@@ -52,8 +52,13 @@ val run :
     cache also persists each workload's {!Ebp_trace.Write_index}, so a
     warm run skips the index build too.
 
-    [~engine] selects the phase-2 replay engine (default [Indexed]; see
-    {!Ebp_sessions.Replay}). Both engines produce bit-identical reports.
+    [~engine] pins the phase-2 replay engine (see
+    {!Ebp_sessions.Replay}). When omitted, the cost-based
+    {!Ebp_sessions.Planner} chooses per workload from trace length,
+    session count, domain count, and cached-index availability — logging
+    its decision through the [planner.decision.*] counters. Engines and
+    planner produce bit-identical reports, so the choice is invisible in
+    the output.
 
     [~log] receives one deterministic, human-readable progress line per
     workload per phase (phase-1 lines state whether the trace was recorded

@@ -13,8 +13,8 @@
    The oracles are the redundancies the codebase already maintains:
    [Machine.run] vs the single-[step] loop (independent execution loops),
    recorded vs unrecorded execution (tracing must not perturb the run),
-   the EBPT2 and EBPW1 codec round-trips, and the scan vs indexed replay
-   engines. *)
+   the EBPT2, EBPT3 and EBPW1 codec round-trips, and the scan vs indexed
+   replay engines. *)
 
 module Prng = Ebp_util.Prng
 module Machine = Ebp_machine.Machine
@@ -225,6 +225,20 @@ let check_source ?(fuel = default_fuel) ~seed source =
     | Ok trace' ->
         if Trace.encode trace' <> bytes then
           fail "trace-codec" "round-trip: re-encoded bytes differ"
+        else Ok ()
+  in
+  (* The columnar codec must agree with the canonical EBPT2 bytes: a
+     fully-checked decode of the EBPT3 image round-trips the metadata and
+     re-encodes (canonically) to the same EBPT2 bytes. *)
+  let* () =
+    let bytes = Trace.encode_columnar ~meta:"fuzz" trace in
+    match Trace.decode_columnar bytes with
+    | Error msg -> fail "columnar-codec" "decode: %s" msg
+    | Ok (trace', meta) ->
+        if meta <> "fuzz" then
+          fail "columnar-codec" "meta: %S round-tripped as %S" "fuzz" meta
+        else if Trace.encode trace' <> Trace.encode trace then
+          fail "columnar-codec" "round-trip: canonical bytes differ"
         else Ok ()
   in
   let page_sizes = Replay.default_page_sizes in

@@ -3,7 +3,7 @@
 
     A seed deterministically generates a small, always-terminating MiniC
     program (bounded loops, masked recursion depth and subscripts,
-    constant divisors), which is then pushed through six oracles:
+    constant divisors), which is then pushed through seven oracles:
 
     + {b record} — it compiles, runs without a runtime error, and halts
       with exit code 0;
@@ -11,8 +11,9 @@
       (status, cycles, instructions, output);
     + {b step-vs-run} — the single-{!Ebp_machine.Machine.step} loop and
       {!Ebp_machine.Machine.run}'s batch loop agree exactly;
-    + {b trace-codec} / {b index-codec} — the EBPT2 and EBPW1 codecs
-      round-trip the recording bit-identically;
+    + {b trace-codec} / {b columnar-codec} / {b index-codec} — the
+      EBPT2, EBPT3 and EBPW1 codecs round-trip the recording
+      bit-identically;
     + {b scan-vs-indexed} — both phase-2 replay engines produce identical
       session counts.
 

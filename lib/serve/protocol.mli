@@ -66,7 +66,8 @@ type request =
       name : string;  (** display / cache-key name of the program *)
       source : string;  (** MiniC translation unit, sent inline *)
       seed : int;
-      engine : string;  (** ["indexed"] or ["scan"] *)
+      engine : string;
+          (** ["auto"] (planner decides), ["indexed"], or ["scan"] *)
       keep_hitless : bool;
     }
       (** Phase-2 replay: discover sessions in a trace of [source] and

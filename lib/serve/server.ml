@@ -69,12 +69,13 @@ module Core = struct
   }
 
   let create config =
+    let pool = Ebp_util.Domain_pool.create ~domains:(max 1 config.domains) () in
     {
       config;
       store =
         Trace_store.create ~capacity:config.lru_capacity
-          ?cache_dir:config.cache_dir ();
-      pool = Ebp_util.Domain_pool.create ~domains:(max 1 config.domains) ();
+          ?cache_dir:config.cache_dir ~pool ();
+      pool;
       queues = Hashtbl.create 8;
       ring = Queue.create ();
       queued = 0;
@@ -87,9 +88,12 @@ module Core = struct
 
   (* --- execution --- *)
 
+  (* [None] = let the planner decide. Parsed before the (possibly
+     expensive) fetch so a bad engine string still fails fast. *)
   let engine_of_string = function
-    | "indexed" -> Ok Ebp_sessions.Replay.Indexed
-    | "scan" -> Ok Ebp_sessions.Replay.Scan
+    | "auto" -> Ok None
+    | "indexed" -> Ok (Some Ebp_sessions.Replay.Indexed)
+    | "scan" -> Ok (Some Ebp_sessions.Replay.Scan)
     | other -> Error other
 
   let execute_query t (req : P.request) : P.response =
@@ -107,8 +111,22 @@ module Core = struct
             | Error msg -> P.Error_resp { code = P.Bad_request; message = msg }
             | Ok (trace, index) ->
                 let results =
-                  Ebp_sessions.Replay.discover_and_replay ~pool:t.pool ~engine
-                    ~index ~keep_hitless trace
+                  match engine with
+                  | Some engine ->
+                      Ebp_sessions.Replay.discover_and_replay ~pool:t.pool
+                        ~engine ~index ~keep_hitless trace
+                  | None ->
+                      (* The store always holds the index, so for the
+                         planner "reuse" is free: the choice degenerates
+                         to reuse-vs-scan, decided per trace. *)
+                      Ebp_sessions.Planner.replay ~pool:t.pool ~keep_hitless
+                        ~index_source:
+                          {
+                            Ebp_sessions.Planner.cached = true;
+                            load = (fun () -> Some index);
+                            store = ignore;
+                          }
+                        trace
                 in
                 P.Report (Render.sessions_report results)))
     | P.Experiment_query { workloads; artifact } -> (

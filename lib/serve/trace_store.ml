@@ -20,16 +20,18 @@ type t = {
   cap : int;
   cache_dir : string option;
   page_sizes : int list;
+  pool : Ebp_util.Domain_pool.t option;
   tbl : (string, entry) Hashtbl.t;
   mutable tick : int;
 }
 
 let create ?(capacity = 8) ?cache_dir
-    ?(page_sizes = Ebp_sessions.Replay.default_page_sizes) () =
+    ?(page_sizes = Ebp_sessions.Replay.default_page_sizes) ?pool () =
   {
     cap = max 1 capacity;
     cache_dir;
     page_sizes;
+    pool;
     tbl = Hashtbl.create 16;
     tick = 0;
   }
@@ -74,7 +76,7 @@ let record_cold t ~key ~source ~seed =
   | Error _ as e -> e
   | Ok (result, trace, _debug) ->
       Metrics.incr m_cold;
-      let index = Write_index.build ~page_sizes:t.page_sizes trace in
+      let index = Write_index.build ?pool:t.pool ~page_sizes:t.page_sizes trace in
       Option.iter
         (fun dir ->
           let base_ms =
@@ -106,7 +108,9 @@ let load t ~key ~source ~seed =
             with
             | Some index -> index
             | None ->
-                let index = Write_index.build ~page_sizes:t.page_sizes trace in
+                let index =
+                  Write_index.build ?pool:t.pool ~page_sizes:t.page_sizes trace
+                in
                 ignore
                   (Trace_cache.store_index ~dir ~key
                      ~page_sizes:t.page_sizes index

@@ -3,11 +3,16 @@
 
     Three tiers answer a fetch, cheapest first:
 
-    + {b warm} — the (trace, index) pair is already decoded in memory;
-      the request pays a hash lookup.
+    + {b warm} — the (trace, index) pair is already resident; the request
+      pays a hash lookup.
     + {b disk} — the {!Ebp_trace.Trace_cache} under [cache_dir] holds the
-      sealed entry; the request pays a decode (and an index build when no
-      [.widx] entry exists yet — the built index is stored back).
+      entry. When its EBPT3 columnar sidecar is intact the "load" is an
+      [mmap] — the resident tier then caches the {e mapping}, one
+      page-cache copy shared with every other process mapping the same
+      file, not a decoded copy; otherwise the request pays an EBPT2
+      decode. Either way an index build happens only when no [.widx]
+      entry exists yet (the built index is stored back), chunked across
+      the server's pool when one is supplied.
     + {b cold} — nothing anywhere; the program is recorded from source,
       then stored to both tiers (best-effort on disk).
 
@@ -29,12 +34,15 @@ val create :
   ?capacity:int ->
   ?cache_dir:string ->
   ?page_sizes:int list ->
+  ?pool:Ebp_util.Domain_pool.t ->
   unit ->
   t
 (** [capacity] is the resident-entry bound (default 8, clamped below at
     1). [cache_dir] enables the disk tier; without it every LRU miss
     re-records. [page_sizes] parameterizes the write indices (default
-    {!Ebp_sessions.Replay.default_page_sizes}). *)
+    {!Ebp_sessions.Replay.default_page_sizes}). [pool] — typically the
+    server's replay pool — parallelizes index builds on the miss paths;
+    the store never outlives it. *)
 
 val fetch :
   t ->

@@ -1,0 +1,77 @@
+(** Cost-based engine selection for phase-2 replay.
+
+    The scan and indexed engines produce bit-identical reports but cross
+    over in cost: indexed replay wins 5-6x on session-heavy workloads yet
+    only breaks even when a long trace carries a handful of sessions (the
+    EXPERIMENTS.md table), and a cached [.widx] shifts the crossover
+    again by making the index free. This module prices the three options
+    — scan, build-then-index, reuse-cached-index — from quantities that
+    are known {e before} any replay work (trace length, discovered
+    session count, domain count, cached-index availability), picks the
+    cheapest, and logs the decision. [--engine scan|indexed] remains the
+    override; the planner is what [--engine auto] (the default) runs.
+
+    Correctness does not depend on the model: every branch funnels into
+    {!Replay.replay_all}, whose engines are differentially tested, so a
+    mispriced decision costs time, never accuracy. *)
+
+type choice = Use_scan | Build_index | Reuse_index
+
+type estimate = {
+  events : int;
+  sessions : int;
+  domains : int;
+  cached_index : bool;
+  scan_cost : float;  (** modeled cost of one scan pass, all sessions *)
+  build_cost : float;  (** index build + indexed replay *)
+  reuse_cost : float;  (** indexed replay off a cached index *)
+  choice : choice;
+}
+
+val estimate :
+  events:int -> sessions:int -> domains:int -> cached_index:bool -> estimate
+(** Pure — same inputs, same decision, so planned runs stay as
+    reproducible as fixed-engine runs. [Reuse_index] is only ever chosen
+    when [cached_index] is true. Costs are in arbitrary calibrated units;
+    see the model comment in the implementation. *)
+
+val choice_name : choice -> string
+(** ["scan"], ["build"], or ["reuse"] — the token used in the log line
+    and the [planner.decision.*] counter names. *)
+
+val engine_of_choice : choice -> Replay.engine
+
+val log_line : estimate -> string
+(** The one-line human rendering of an estimate, e.g.
+    ["planner: build (events=... sessions=... ...)"] — what
+    {!replay} feeds the [?log] callback. *)
+
+(** How the planner sees the index cache: an existence probe (priced into
+    the estimate), a loader, and a store for freshly built indexes.
+    {!no_index_cache} (never cached, never stores) makes the planner
+    usable without a cache directory. *)
+type source = {
+  cached : bool;
+  load : unit -> Ebp_trace.Write_index.t option;
+  store : Ebp_trace.Write_index.t -> unit;
+}
+
+val no_index_cache : source
+
+val replay :
+  ?page_sizes:int list ->
+  ?pool:Ebp_util.Domain_pool.t ->
+  ?domains:int ->
+  ?keep_hitless:bool ->
+  ?index_source:source ->
+  ?log:(string -> unit) ->
+  Ebp_trace.Trace.t ->
+  (Session.t * Counts.t) list
+(** Discover sessions, {!estimate}, then replay with the chosen engine —
+    the planner's counterpart of {!Replay.discover_and_replay}, with the
+    same sharding ([?pool] / [?domains]) and [?keep_hitless] contract.
+    A [Reuse_index] whose load misses (entry vanished or quarantined
+    between probe and load) degrades to a build, never an error. The
+    decision is counted in [planner.decision.{scan,build,reuse}] and,
+    when [?log] is given, reported through it; there is no default
+    output, so batch report bytes are unchanged. *)

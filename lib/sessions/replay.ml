@@ -13,6 +13,8 @@ module Obs_span = Ebp_obs.Span
 let m_sessions = Metrics.counter "replay.sessions"
 let m_shards = Metrics.counter "replay.shards"
 let m_writes_scanned = Metrics.counter "replay.scan.writes"
+let m_blocks_skipped = Metrics.counter "replay.scan.blocks_skipped"
+let m_writes_skipped = Metrics.counter "replay.scan.writes_skipped"
 
 let default_page_sizes = [ 4096; 8192 ]
 
@@ -228,7 +230,32 @@ let replay_shard ~page_sizes trace sessions =
      sessions co-locate on the written words. *)
   let scratch = Bitmap.create (max 1 nsessions) in
   let hit_marks = ref [] in
-  Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc:_ ->
+  (* Block skipping on mapped traces: monitored words and active pages
+     only ever lie inside the trace's global install bounds, so a block
+     of pure writes whose range is disjoint from those bounds at the
+     COARSEST granularity in play (words are 4 bytes; pages are coarser)
+     can contribute nothing but its write count — and coarse-page
+     disjointness implies disjointness at every finer granularity,
+     because a coarse page is a whole number of fine pages. Only
+     [total_writes] moves, so the resulting counts are bit-identical to
+     the full scan's. *)
+  let blocks_skipped = ref 0 and writes_skipped = ref 0 in
+  let skip =
+    match Trace.install_bounds trace with
+    | None -> fun ~min_lo:_ ~max_hi:_ -> false
+    | Some (ilo, ihi) ->
+        let shift =
+          List.fold_left (fun acc ps -> max acc ps.page_shift) 2 page_states
+        in
+        fun ~min_lo ~max_hi ->
+          max_hi lsr shift < ilo lsr shift || min_lo lsr shift > ihi lsr shift
+  in
+  let on_skip ~writes =
+    total_writes := !total_writes + writes;
+    incr blocks_skipped;
+    writes_skipped := !writes_skipped + writes
+  in
+  Trace.iter_raw_skipping trace ~skip ~on_skip (fun ~tag ~obj ~lo ~hi ~pc:_ ->
       if tag = 0 then
         List.iter
           (fun s ->
@@ -273,6 +300,8 @@ let replay_shard ~page_sizes trace sessions =
   Metrics.incr m_shards;
   Metrics.add m_sessions nsessions;
   Metrics.add m_writes_scanned !total_writes;
+  Metrics.add m_blocks_skipped !blocks_skipped;
+  Metrics.add m_writes_skipped !writes_skipped;
   List.mapi
     (fun s session ->
       let vm =
@@ -312,29 +341,35 @@ let split_contiguous n xs =
 let replay_all ?(page_sizes = default_page_sizes) ?pool ?domains
     ?(engine = Indexed) ?index trace sessions =
   (* The index is built once (or taken prebuilt) and shared immutably by
-     every shard; only the session list is split across domains. *)
-  let shard_fn =
-    match engine with
-    | Scan -> replay_shard ~page_sizes trace
-    | Indexed ->
-        let index =
-          match index with
-          | Some idx -> idx
-          | None -> Write_index.build ~page_sizes trace
-        in
-        Indexed_replay.replay_shard ~index ~page_sizes trace
-  in
-  let sharded pool =
-    let n = min (Ebp_util.Domain_pool.domains pool) (List.length sessions) in
-    if n <= 1 then shard_fn sessions
-    else
-      List.concat
-        (Ebp_util.Domain_pool.map pool shard_fn (split_contiguous n sessions))
+     every shard; only the session list is split across domains. The
+     build itself also uses the pool when one is in play — per-chunk
+     tables merged into a structurally identical index. *)
+  let go pool_opt =
+    let shard_fn =
+      match engine with
+      | Scan -> replay_shard ~page_sizes trace
+      | Indexed ->
+          let index =
+            match index with
+            | Some idx -> idx
+            | None -> Write_index.build ?pool:pool_opt ~page_sizes trace
+          in
+          Indexed_replay.replay_shard ~index ~page_sizes trace
+    in
+    match pool_opt with
+    | None -> shard_fn sessions
+    | Some pool ->
+        let n = min (Ebp_util.Domain_pool.domains pool) (List.length sessions) in
+        if n <= 1 then shard_fn sessions
+        else
+          List.concat
+            (Ebp_util.Domain_pool.map pool shard_fn (split_contiguous n sessions))
   in
   match (pool, domains) with
-  | Some pool, _ -> sharded pool
-  | None, (None | Some 1) -> shard_fn sessions
-  | None, Some n -> Ebp_util.Domain_pool.with_pool ~domains:n sharded
+  | Some pool, _ -> go (Some pool)
+  | None, (None | Some 1) -> go None
+  | None, Some n ->
+      Ebp_util.Domain_pool.with_pool ~domains:n (fun pool -> go (Some pool))
 
 let replay ?page_sizes ?engine ?index trace session =
   match replay_all ?page_sizes ?engine ?index trace [ session ] with

@@ -71,6 +71,10 @@ val replay_all :
     sequential) scopes a temporary pool for this call. [~engine] defaults
     to [Indexed]; [~index] supplies a prebuilt index (ignored under
     [Scan]) — it must come from this [trace] with at least [page_sizes].
+    When the engine builds its own index, the build is sharded over the
+    same pool ({!Ebp_trace.Write_index.build}'s [?pool]). Callers that
+    want the engine {e chosen} per query — what the CLI does without
+    [--engine] — go through {!Planner.replay} instead.
     @raise Invalid_argument on an invalid page size or an index missing a
     requested page size. *)
 

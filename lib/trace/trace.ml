@@ -13,20 +13,55 @@ let tag_install = 0
 let tag_remove = 1
 let tag_write = 2
 
+(* Two physical layouts behind one abstract type:
+
+   - [Heap]: the classic interleaved [int array] (4 ints per event). The
+     builder, the text codec, and the EBPT2 binary decoder all produce
+     this form.
+   - [Mapped]: the EBPT3 columnar form — four struct-of-arrays columns
+     read in place from an mmap'd file as int Bigarrays, plus per-block
+     min/max summaries. Nothing is decoded on load and nothing lives on
+     the OCaml heap except the (small) object side table, so a mapped
+     trace is shareable read-only across domains and across server
+     tenants for free. See the EBPT3 codec comment below. *)
+
+type int_column = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mapped = {
+  m_w0 : int_column;
+  m_lo : int_column;
+  m_hi : int_column;
+  m_pc : int_column;
+  (* 4 ints per block: install/remove count, write count, min write lo,
+     max write hi. *)
+  m_summaries : int_column;
+  m_block_events : int;
+  (* Bounds of every install/remove range in the trace ([max_int] /
+     [min_int] when there are none): anything a session can monitor lies
+     inside, so a pure-write block disjoint from these bounds cannot
+     produce hits or page touches. *)
+  m_install_lo : int;
+  m_install_hi : int;
+}
+
+type storage = Heap of int array | Mapped of mapped
+
 type t = {
-  data : int array;
+  storage : storage;
   count : int;
   objs : Object_desc.t array;
 }
 
 module Builder = struct
-  type t = {
+  type builder = {
     mutable data : int array;
     mutable count : int;
     mutable objs : Object_desc.t list;  (* reversed *)
     mutable obj_count : int;
     intern : (Object_desc.t, int) Hashtbl.t;
   }
+
+  type t = builder
 
   let create ?(hint = 1024) () =
     { data = Array.make (max 16 hint * stride) 0; count = 0; objs = [];
@@ -91,21 +126,48 @@ module Builder = struct
     {
       (* A well-hinted builder lands exactly full: hand the buffer over
          without the copy. The builder must not be reused after. *)
-      data = (if Array.length b.data = used then b.data else Array.sub b.data 0 used);
+      storage =
+        Heap
+          (if Array.length b.data = used then b.data
+           else Array.sub b.data 0 used);
       count = b.count;
       objs = Array.of_list (List.rev b.objs);
     }
 end
 
 let length t = t.count
+let is_mapped t = match t.storage with Mapped _ -> true | Heap _ -> false
+
+let install_bounds t =
+  match t.storage with
+  | Mapped m when m.m_install_lo <= m.m_install_hi ->
+      Some (m.m_install_lo, m.m_install_hi)
+  | _ -> None
+
+(* Column access, one closure per column: cold consumers (the codecs,
+   [get]) dispatch on the storage once and then read either layout
+   through the same shape. The hot iterators below specialize the whole
+   loop per layout instead. *)
+let column_getter t j =
+  match t.storage with
+  | Heap data -> fun i -> Array.unsafe_get data ((i * stride) + j)
+  | Mapped m ->
+      let c =
+        match j with
+        | 0 -> m.m_w0
+        | 1 -> m.m_lo
+        | 2 -> m.m_hi
+        | _ -> m.m_pc
+      in
+      fun i -> Bigarray.Array1.unsafe_get c i
 
 let get t i =
   if i < 0 || i >= t.count then invalid_arg "Trace.get: index out of range";
-  let base = i * stride in
-  let w0 = t.data.(base) in
+  let word j = (column_getter t j) i in
+  let w0 = word 0 in
   let tag = w0 land 3 in
-  let range = Interval.make ~lo:t.data.(base + 1) ~hi:t.data.(base + 2) in
-  if tag = tag_write then Write { range; pc = t.data.(base + 3) }
+  let range = Interval.make ~lo:(word 1) ~hi:(word 2) in
+  if tag = tag_write then Write { range; pc = word 3 }
   else
     let obj = t.objs.(w0 lsr 2) in
     if tag = tag_install then Install { obj; range } else Remove { obj; range }
@@ -115,18 +177,52 @@ let iter t f =
     f (get t i)
   done
 
-let iter_raw t f =
-  let data = t.data in
-  for i = 0 to t.count - 1 do
-    let base = i * stride in
-    let w0 = Array.unsafe_get data base in
-    let tag = w0 land 3 in
-    f ~tag
-      ~obj:(if tag = tag_write then -1 else w0 lsr 2)
-      ~lo:(Array.unsafe_get data (base + 1))
-      ~hi:(Array.unsafe_get data (base + 2))
-      ~pc:(if tag = tag_write then Array.unsafe_get data (base + 3) else -1)
-  done
+let iter_raw_range t ~start ~stop f =
+  if start < 0 || stop > t.count || start > stop then
+    invalid_arg "Trace.iter_raw_range: bad event range";
+  match t.storage with
+  | Heap data ->
+      for i = start to stop - 1 do
+        let base = i * stride in
+        let w0 = Array.unsafe_get data base in
+        let tag = w0 land 3 in
+        f ~tag
+          ~obj:(if tag = tag_write then -1 else w0 lsr 2)
+          ~lo:(Array.unsafe_get data (base + 1))
+          ~hi:(Array.unsafe_get data (base + 2))
+          ~pc:(if tag = tag_write then Array.unsafe_get data (base + 3) else -1)
+      done
+  | Mapped m ->
+      let w0s = m.m_w0 and los = m.m_lo and his = m.m_hi and pcs = m.m_pc in
+      for i = start to stop - 1 do
+        let w0 = Bigarray.Array1.unsafe_get w0s i in
+        let tag = w0 land 3 in
+        f ~tag
+          ~obj:(if tag = tag_write then -1 else w0 lsr 2)
+          ~lo:(Bigarray.Array1.unsafe_get los i)
+          ~hi:(Bigarray.Array1.unsafe_get his i)
+          ~pc:(if tag = tag_write then Bigarray.Array1.unsafe_get pcs i else -1)
+      done
+
+let iter_raw t f = iter_raw_range t ~start:0 ~stop:t.count f
+
+let iter_raw_skipping t ~skip ~on_skip f =
+  match t.storage with
+  | Heap _ -> iter_raw t f
+  | Mapped m ->
+      let s = m.m_summaries in
+      let nblocks = Bigarray.Array1.dim s / 4 in
+      for b = 0 to nblocks - 1 do
+        let base = 4 * b in
+        let meta = s.{base} and writes = s.{base + 1} in
+        if meta = 0 && writes > 0
+           && skip ~min_lo:s.{base + 2} ~max_hi:s.{base + 3}
+        then on_skip ~writes
+        else
+          iter_raw_range t ~start:(b * m.m_block_events)
+            ~stop:(min t.count ((b + 1) * m.m_block_events))
+            f
+      done
 
 let object_count t = Array.length t.objs
 let object_of_id t id = t.objs.(id)
@@ -237,6 +333,8 @@ module Obs_span = Ebp_obs.Span
 
 let m_bytes_out = Metrics.counter "trace.codec.bytes_out"
 let m_bytes_in = Metrics.counter "trace.codec.bytes_in"
+let m_columnar_out = Metrics.counter "trace.codec.columnar_bytes_out"
+let m_mapped_bytes = Metrics.counter "trace.codec.mapped_bytes"
 
 let codec_version = "EBPT2"
 
@@ -257,6 +355,10 @@ let add_svarint buf v = add_uvarint buf (zigzag v)
 
 let encode t =
   Obs_span.with_span "codec.encode" @@ fun () ->
+  let w0_at = column_getter t 0
+  and lo_at = column_getter t 1
+  and hi_at = column_getter t 2
+  and pc_at = column_getter t 3 in
   let buf = Buffer.create (64 + (t.count * 6)) in
   Buffer.add_string buf codec_version;
   add_uvarint buf (Array.length t.objs);
@@ -268,23 +370,21 @@ let encode t =
     t.objs;
   add_uvarint buf t.count;
   for i = 0 to t.count - 1 do
-    add_uvarint buf t.data.(i * stride)
+    add_uvarint buf (w0_at i)
   done;
   let prev_lo = ref 0 in
   for i = 0 to t.count - 1 do
-    let lo = t.data.((i * stride) + 1) in
+    let lo = lo_at i in
     add_svarint buf (lo - !prev_lo);
     prev_lo := lo
   done;
   for i = 0 to t.count - 1 do
-    let base = i * stride in
-    add_uvarint buf (t.data.(base + 2) - t.data.(base + 1))
+    add_uvarint buf (hi_at i - lo_at i)
   done;
   let prev_pc = ref 0 in
   for i = 0 to t.count - 1 do
-    let base = i * stride in
-    if t.data.(base) land 3 = tag_write then begin
-      let pc = t.data.(base + 3) in
+    if w0_at i land 3 = tag_write then begin
+      let pc = pc_at i in
       add_svarint buf (pc - !prev_pc);
       prev_pc := pc
     end
@@ -376,7 +476,7 @@ let decode s =
       done;
       if !pos <> len then fail "trailing bytes in trace";
       Metrics.add m_bytes_in len;
-      Ok { data; count; objs }
+      Ok { storage = Heap data; count; objs }
     end
   with
   | result -> result
@@ -385,3 +485,439 @@ let decode s =
 let write_binary oc t = output_string oc (encode t)
 
 let read_binary ic = decode (In_channel.input_all ic)
+
+(* --- EBPT3: the mmap-able columnar layout ---
+
+   EBPT3 lays the same four columns out as raw 8-byte little-endian
+   words, 8-byte aligned, so a warm load is a single [Unix.map_file]:
+   no per-event decode, no OCaml-heap allocation proportional to the
+   trace, and the page cache shares one physical copy across every
+   domain and every process that maps it. The price is size (32 B/event
+   against EBPT2's ~5) — EBPT3 files are cache sidecars of the compact
+   canonical entry, never the only copy.
+
+     bytes 0-7    magic "EBPT3\0\0\0"
+     bytes 8-71   8 header words (8-byte LE):
+                    count, nobjs, meta_len, objs_len,
+                    block_events, nblocks, install_lo, install_hi
+     then         meta bytes (opaque caller string, as Trace_cache meta)
+     then         object table: a varint string pool (the distinct
+                  function/variable names), then per object a tag byte
+                  plus varint pool indices and integers
+     pad to 8
+     then         block summaries: nblocks x 4 words
+                    (install/remove count, write count, min write lo,
+                     max write hi) over blocks of [block_events] events
+     then         columns w0, lo, hi, pc: count words each
+     trailer      "EBPZ" + 8-byte LE CRC-32 of everything before it
+
+   [decode_columnar] verifies everything including the CRC (it is what
+   [ebp cache verify] and the fuzzer's columnar oracle run).
+   [map_columnar] is the hot path: it validates the header, the object
+   table, the exact file length, the trailer magic, and the whole w0
+   column (tags and object ids), but — deliberately — not the CRC of the
+   column payload: checksumming tens of megabytes on every warm load
+   would cost more than the decode it replaces. Full-payload integrity
+   is the job of the sealed write path, [ebp cache verify], and — when
+   fault injection is active, which is exactly when bytes get mangled in
+   flight — [~verify:true]. docs/PERFORMANCE.md states the tradeoff.
+
+   The summaries give consumers block skipping: a block whose summary
+   shows no install/remove events and whose write range cannot overlap
+   [install_lo, install_hi] (the bounds of everything monitorable) can
+   only contribute its write count, never a hit — [iter_raw_skipping]
+   above exploits exactly that. Words are native-endian in memory and
+   little-endian in the file, so the format assumes a little-endian
+   host, like every other fixed-width codec in this repo. *)
+
+let columnar_version = "EBPT3"
+let columnar_magic = "EBPT3\x00\x00\x00"
+let columnar_block_events = 4096
+let columnar_header_len = 8 + (8 * 8)
+let columnar_trailer_magic = "EBPZ"
+let columnar_trailer_len = 12
+
+let p_map = Ebp_util.Fault.point "trace.codec.map"
+
+let align8 n = (n + 7) land lnot 7
+
+(* The columnar object table. EBPT2 stores each descriptor's printed
+   form and re-parses it on load; at half a million descriptors
+   (lattice) that parse costs more than mapping every column combined.
+   EBPT3 stores descriptors directly: a pool of the distinct strings
+   (function and variable names repeat across activations, so the pool
+   stays tiny), then per descriptor a tag byte plus varint pool indices
+   and integers. Loading allocates each distinct name once and one
+   record per descriptor — nothing is parsed from text. *)
+
+let encode_obj_table objs =
+  let body = Buffer.create 256 and pool_buf = Buffer.create 256 in
+  let pool = Hashtbl.create 64 in
+  let npool = ref 0 in
+  let sidx s =
+    match Hashtbl.find_opt pool s with
+    | Some i -> i
+    | None ->
+        let i = !npool in
+        incr npool;
+        Hashtbl.add pool s i;
+        add_uvarint pool_buf (String.length s);
+        Buffer.add_string pool_buf s;
+        i
+  in
+  Array.iter
+    (fun (obj : Object_desc.t) ->
+      match obj with
+      | Local { func; var; inst } ->
+          let func = sidx func in
+          let var = sidx var in
+          Buffer.add_char body '\x00';
+          add_uvarint body func;
+          add_uvarint body var;
+          add_uvarint body inst
+      | Local_static { func; var } ->
+          let func = sidx func in
+          let var = sidx var in
+          Buffer.add_char body '\x01';
+          add_uvarint body func;
+          add_uvarint body var
+      | Global { var } ->
+          let var = sidx var in
+          Buffer.add_char body '\x02';
+          add_uvarint body var
+      | Heap { context; seq } ->
+          let ctx = List.map sidx context in
+          Buffer.add_char body '\x03';
+          add_uvarint body (List.length ctx);
+          List.iter (add_uvarint body) ctx;
+          add_uvarint body seq)
+    objs;
+  let out =
+    Buffer.create (10 + Buffer.length pool_buf + Buffer.length body)
+  in
+  add_uvarint out !npool;
+  Buffer.add_buffer out pool_buf;
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+(* Strictly bounds-checked against [objs_end]; raises [Malformed] and
+   demands the table fill its region exactly, like every other columnar
+   length check. *)
+let decode_obj_table ~nobjs blob ~pos:pos0 ~objs_end =
+  let fail msg = raise (Malformed msg) in
+  let pos = ref pos0 in
+  let next_byte () =
+    if !pos >= objs_end then fail "truncated columnar object table";
+    let b = Char.code (String.unsafe_get blob !pos) in
+    incr pos;
+    b
+  in
+  (* One closure for the whole table, not one per varint: at half a
+     million descriptors a per-call [go] closure would dominate the
+     load's allocation. *)
+  let rec uvarint shift acc =
+    if shift > 56 then fail "oversized varint in columnar object table";
+    let b = next_byte () in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then acc else uvarint (shift + 7) acc
+  in
+  let read_uvarint () = uvarint 0 0 in
+  if nobjs > objs_end - pos0 then fail "bad object count in columnar trace";
+  let npool = read_uvarint () in
+  if npool < 0 || npool > objs_end - !pos then
+    fail "bad columnar string pool";
+  let pool =
+    Array.init npool (fun _ ->
+        let slen = read_uvarint () in
+        if slen < 0 || slen > objs_end - !pos then
+          fail "truncated columnar string pool";
+        let s = String.sub blob !pos slen in
+        pos := !pos + slen;
+        s)
+  in
+  let str () =
+    let i = read_uvarint () in
+    if i < 0 || i >= npool then
+      fail "bad string index in columnar object table";
+    pool.(i)
+  in
+  let objs =
+    Array.init nobjs (fun _ ->
+        match next_byte () with
+        | 0 ->
+            let func = str () in
+            let var = str () in
+            let inst = read_uvarint () in
+            Object_desc.Local { func; var; inst }
+        | 1 ->
+            let func = str () in
+            let var = str () in
+            Object_desc.Local_static { func; var }
+        | 2 -> Object_desc.Global { var = str () }
+        | 3 ->
+            let n = read_uvarint () in
+            if n < 0 || n > objs_end - !pos then
+              fail "bad heap context in columnar object table";
+            let context = ref [] in
+            for _ = 1 to n do
+              context := str () :: !context
+            done;
+            let seq = read_uvarint () in
+            Object_desc.Heap { context = List.rev !context; seq }
+        | _ -> fail "bad object tag in columnar trace")
+  in
+  if !pos <> objs_end then fail "trailing bytes in columnar object table";
+  objs
+
+(* Per-block summaries plus the global install bounds, computed from
+   either storage. Shared by the encoder and the decoder's consistency
+   check, so a corrupt summary can never silently disable or misdirect
+   block skipping. *)
+let compute_summaries t =
+  let be = columnar_block_events in
+  let nblocks = (t.count + be - 1) / be in
+  let sums = Array.make (nblocks * 4) 0 in
+  let ilo = ref max_int and ihi = ref min_int in
+  for b = 0 to nblocks - 1 do
+    let meta = ref 0 and writes = ref 0 in
+    let mn = ref max_int and mx = ref min_int in
+    iter_raw_range t ~start:(b * be) ~stop:(min t.count ((b + 1) * be))
+      (fun ~tag ~obj:_ ~lo ~hi ~pc:_ ->
+        if tag = tag_write then begin
+          incr writes;
+          if lo < !mn then mn := lo;
+          if hi > !mx then mx := hi
+        end
+        else begin
+          incr meta;
+          if lo < !ilo then ilo := lo;
+          if hi > !ihi then ihi := hi
+        end);
+    let base = 4 * b in
+    sums.(base) <- !meta;
+    sums.(base + 1) <- !writes;
+    sums.(base + 2) <- (if !writes = 0 then 0 else !mn);
+    sums.(base + 3) <- (if !writes = 0 then -1 else !mx)
+  done;
+  (sums, !ilo, !ihi)
+
+let encode_columnar ?(meta = "") t =
+  Obs_span.with_span "codec.encode_columnar" @@ fun () ->
+  let count = t.count in
+  let nobjs = Array.length t.objs in
+  let objs_blob = encode_obj_table t.objs in
+  let objs_len = String.length objs_blob in
+  let meta_len = String.length meta in
+  let sums, install_lo, install_hi = compute_summaries t in
+  let nblocks = Array.length sums / 4 in
+  let data_off = align8 (columnar_header_len + meta_len + objs_len) in
+  let body_len = data_off + ((Array.length sums + (4 * count)) * 8) in
+  let buf = Bytes.make (body_len + columnar_trailer_len) '\x00' in
+  Bytes.blit_string columnar_magic 0 buf 0 8;
+  let set_word pos v = Bytes.set_int64_le buf pos (Int64.of_int v) in
+  List.iteri
+    (fun i v -> set_word (8 + (8 * i)) v)
+    [ count; nobjs; meta_len; objs_len; columnar_block_events; nblocks;
+      install_lo; install_hi ];
+  Bytes.blit_string meta 0 buf columnar_header_len meta_len;
+  Bytes.blit_string objs_blob 0 buf (columnar_header_len + meta_len) objs_len;
+  Array.iteri (fun i v -> set_word (data_off + (8 * i)) v) sums;
+  let cols_off = data_off + (Array.length sums * 8) in
+  for j = 0 to 3 do
+    let get = column_getter t j in
+    let base = cols_off + (j * count * 8) in
+    for i = 0 to count - 1 do
+      Bytes.set_int64_le buf (base + (8 * i)) (Int64.of_int (get i))
+    done
+  done;
+  let body = Bytes.unsafe_to_string buf in
+  Bytes.blit_string columnar_trailer_magic 0 buf body_len 4;
+  Bytes.set_int64_le buf (body_len + 4)
+    (Int64.of_int (Ebp_util.Crc32.sub body ~pos:0 ~len:body_len));
+  Metrics.add m_columnar_out (Bytes.length buf);
+  Bytes.unsafe_to_string buf
+
+(* Header parsing and structural validation shared by the full decoder
+   and the mapping loader. Returns everything needed to locate the
+   column region. *)
+type columnar_header = {
+  h_count : int;
+  h_nobjs : int;
+  h_meta_len : int;
+  h_objs_len : int;
+  h_block_events : int;
+  h_nblocks : int;
+  h_install_lo : int;
+  h_install_hi : int;
+  h_data_off : int;
+  h_body_len : int;
+}
+
+let parse_columnar_header ~file_len first_bytes =
+  (* [first_bytes] must hold at least the fixed header. *)
+  let fail msg = raise (Malformed msg) in
+  if file_len < columnar_header_len + columnar_trailer_len then
+    fail "columnar trace too short";
+  if String.sub first_bytes 0 8 <> columnar_magic then
+    fail "bad columnar magic";
+  let word i = Int64.to_int (String.get_int64_le first_bytes (8 + (8 * i))) in
+  let h_count = word 0 and h_nobjs = word 1 in
+  let h_meta_len = word 2 and h_objs_len = word 3 in
+  let h_block_events = word 4 and h_nblocks = word 5 in
+  let h_install_lo = word 6 and h_install_hi = word 7 in
+  let h_body_len = file_len - columnar_trailer_len in
+  if h_count < 0 || h_nobjs < 0 || h_meta_len < 0 || h_objs_len < 0 then
+    fail "negative size in columnar header";
+  if h_block_events <= 0 then fail "bad columnar block size";
+  if h_nblocks <> (h_count + h_block_events - 1) / h_block_events then
+    fail "bad columnar block count";
+  if h_meta_len > h_body_len || h_objs_len > h_body_len - h_meta_len then
+    fail "columnar header out of bounds";
+  let h_data_off = align8 (columnar_header_len + h_meta_len + h_objs_len) in
+  if h_count > (h_body_len - h_data_off) / (8 * stride)
+     || h_data_off + (((4 * h_nblocks) + (stride * h_count)) * 8) <> h_body_len
+  then fail "columnar length does not match header";
+  {
+    h_count; h_nobjs; h_meta_len; h_objs_len; h_block_events; h_nblocks;
+    h_install_lo; h_install_hi; h_data_off; h_body_len;
+  }
+
+let check_w0 ~nobjs w0 =
+  let tag = w0 land 3 in
+  if tag > tag_write then raise (Malformed "bad event tag in columnar trace");
+  if tag <> tag_write && w0 lsr 2 >= nobjs then
+    raise (Malformed "bad object id in columnar trace")
+
+let decode_columnar s =
+  Obs_span.with_span "codec.decode_columnar" @@ fun () ->
+  let fail msg = raise (Malformed msg) in
+  match
+    let len = String.length s in
+    let h = parse_columnar_header ~file_len:len s in
+    (* Trailer first: like the cache's sealed entries, corruption is
+       caught before anything is sized or decoded from the payload. *)
+    if String.sub s h.h_body_len 4 <> columnar_trailer_magic then
+      fail "missing columnar checksum trailer";
+    if String.get_int64_le s (len - 8)
+       <> Int64.of_int (Ebp_util.Crc32.sub s ~pos:0 ~len:h.h_body_len)
+    then fail "columnar checksum mismatch";
+    let meta = String.sub s columnar_header_len h.h_meta_len in
+    let objs =
+      decode_obj_table ~nobjs:h.h_nobjs s
+        ~pos:(columnar_header_len + h.h_meta_len)
+        ~objs_end:(columnar_header_len + h.h_meta_len + h.h_objs_len)
+    in
+    let sums_off = h.h_data_off in
+    let cols_off = sums_off + (4 * h.h_nblocks * 8) in
+    let data = Array.make (h.h_count * stride) 0 in
+    for j = 0 to 3 do
+      let base = cols_off + (j * h.h_count * 8) in
+      for i = 0 to h.h_count - 1 do
+        data.((i * stride) + j) <-
+          Int64.to_int (String.get_int64_le s (base + (8 * i)))
+      done
+    done;
+    for i = 0 to h.h_count - 1 do
+      check_w0 ~nobjs:h.h_nobjs data.(i * stride)
+    done;
+    let t = { storage = Heap data; count = h.h_count; objs } in
+    (* The summaries drive block skipping; a mismatch would silently
+       change which events replay visits, so they are re-derived and
+       compared, not trusted. *)
+    let sums, install_lo, install_hi = compute_summaries t in
+    if install_lo <> h.h_install_lo || install_hi <> h.h_install_hi then
+      fail "columnar install bounds mismatch";
+    Array.iteri
+      (fun i v ->
+        if Int64.to_int (String.get_int64_le s (sums_off + (8 * i))) <> v then
+          fail "columnar block summary mismatch")
+      sums;
+    Metrics.add m_bytes_in (String.length s);
+    Ok (t, meta)
+  with
+  | result -> result
+  | exception Malformed msg -> Error msg
+
+let really_read fd buf =
+  let n = Bytes.length buf in
+  let got = ref 0 in
+  (try
+     while !got < n do
+       let r = Unix.read fd buf !got (n - !got) in
+       if r = 0 then got := n (* short file: caught by length checks *)
+       else got := !got + r
+     done
+   with Unix.Unix_error _ -> raise (Malformed "unreadable columnar trace"));
+  Bytes.unsafe_to_string buf
+
+let map_columnar ?(verify = false) path =
+  Obs_span.with_span "codec.map" @@ fun () ->
+  (* Raises [Fault.Injected] (a transient, retryable miss — the cache
+     falls back to the decoded entry without quarantining) rather than
+     returning [Error], which means "this file is bad". *)
+  Ebp_util.Fault.check p_map;
+  if verify then
+    (* The slow, fully-checked load: everything [decode_columnar]
+       rejects, this rejects. Used under fault injection, where mangled
+       bytes are the point. *)
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | s -> decode_columnar s
+  else
+    match
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let file_len = (Unix.fstat fd).Unix.st_size in
+      if file_len < columnar_header_len + columnar_trailer_len then
+        raise (Malformed "columnar trace too short");
+      let first = really_read fd (Bytes.create columnar_header_len) in
+      let h = parse_columnar_header ~file_len first in
+      (* meta + object table, read (not mapped): they are small and land
+         on the heap as ordinary values either way. *)
+      let blob = really_read fd (Bytes.create (h.h_meta_len + h.h_objs_len)) in
+      let meta = String.sub blob 0 h.h_meta_len in
+      let objs =
+        decode_obj_table ~nobjs:h.h_nobjs blob ~pos:h.h_meta_len
+          ~objs_end:(h.h_meta_len + h.h_objs_len)
+      in
+      ignore (Unix.lseek fd (file_len - columnar_trailer_len) Unix.SEEK_SET);
+      let trailer = really_read fd (Bytes.create 4) in
+      if trailer <> columnar_trailer_magic then
+        raise (Malformed "missing columnar checksum trailer");
+      let nsums = 4 * h.h_nblocks in
+      let dims = nsums + (stride * h.h_count) in
+      let arr =
+        if dims = 0 then
+          Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+        else
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd ~pos:(Int64.of_int h.h_data_off) Bigarray.int
+               Bigarray.c_layout false [| dims |])
+      in
+      let sub pos len = Bigarray.Array1.sub arr pos len in
+      let m =
+        {
+          m_summaries = sub 0 nsums;
+          m_w0 = sub nsums h.h_count;
+          m_lo = sub (nsums + h.h_count) h.h_count;
+          m_hi = sub (nsums + (2 * h.h_count)) h.h_count;
+          m_pc = sub (nsums + (3 * h.h_count)) h.h_count;
+          m_block_events = h.h_block_events;
+          m_install_lo = h.h_install_lo;
+          m_install_hi = h.h_install_hi;
+        }
+      in
+      (* One pass over the w0 column: every tag and object id is checked
+         up front (they index OCaml arrays later), and the pages of the
+         hottest column are faulted in while we are at it. The other
+         three columns are plain integers — any value is safe. *)
+      for i = 0 to h.h_count - 1 do
+        check_w0 ~nobjs:h.h_nobjs (Bigarray.Array1.unsafe_get m.m_w0 i)
+      done;
+      Metrics.add m_mapped_bytes file_len;
+      Ok ({ storage = Mapped m; count = h.h_count; objs }, meta)
+    with
+    | result -> result
+    | exception Malformed msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | exception Sys_error msg -> Error msg

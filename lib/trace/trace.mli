@@ -73,6 +73,41 @@ val iter : t -> (event -> unit) -> unit
     is [[lo, hi]]; [pc] is [-1] for install/remove. *)
 val iter_raw : t -> (tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> unit) -> unit
 
+val iter_raw_range :
+  t -> start:int -> stop:int ->
+  (tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> unit) -> unit
+(** {!iter_raw} over events [start..stop-1]. Raises [Invalid_argument] on
+    a range outside [0..length t]. Parallel consumers (the chunked index
+    build) split a trace with this. *)
+
+val iter_raw_skipping :
+  t ->
+  skip:(min_lo:int -> max_hi:int -> bool) ->
+  on_skip:(writes:int -> unit) ->
+  (tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> unit) -> unit
+(** {!iter_raw}, except that on a mapped trace (see {!map_columnar}) a
+    block of events containing only writes may be skipped wholesale:
+    when its summary shows no install/remove events and
+    [skip ~min_lo ~max_hi] returns [true] for the bounds of its write
+    ranges, [on_skip ~writes] is called with the block's write count
+    instead of visiting the events. Consumers that only need write
+    {e counts} from regions provably outside every monitorable range
+    (the scan engine) go several times faster on sparse traces. On heap
+    traces this is exactly [iter_raw]. *)
+
+val install_bounds : t -> (int * int) option
+(** [Some (lo, hi)] covering every install/remove range in the trace —
+    the address space outside it can never produce a session hit or page
+    touch. Available only on mapped traces (the EBPT3 header carries it);
+    [None] on heap traces or when the trace installs nothing. *)
+
+val is_mapped : t -> bool
+(** [true] when the trace's columns live in an mmap'd file rather than on
+    the OCaml heap. Mapped traces are immutable, safe to share read-only
+    across domains, and remain valid after the backing file is unlinked
+    (the mapping holds the inode); the mapping is released when the trace
+    is garbage collected. *)
+
 val object_count : t -> int
 val object_of_id : t -> int -> Object_desc.t
 val objects : t -> Object_desc.t array
@@ -120,3 +155,43 @@ val write_binary : out_channel -> t -> unit
 val read_binary : in_channel -> (t, string) result
 (** Decode a trace from [ic], consuming the channel to end-of-file (the
     trace must be the final payload of the file). *)
+
+(** {2 EBPT3 — the zero-copy columnar layout}
+
+    EBPT3 stores the four event columns as raw 8-byte-aligned
+    little-endian words so a warm load is a single [mmap]: no per-event
+    decode, no heap allocation proportional to the trace, one physical
+    copy shared by every domain and process that maps the file. Files are
+    self-sealed ("EBPZ" + CRC-32 trailer) and carry per-block min/max
+    summaries that {!iter_raw_skipping} turns into block skipping. The
+    full layout and the mmap lifetime/safety rules are documented in
+    [docs/PERFORMANCE.md]. *)
+
+val columnar_version : string
+(** Magic/version tag of the columnar codec ("EBPT3"); cache keys hash it
+    alongside {!codec_version}. *)
+
+val encode_columnar : ?meta:string -> t -> string
+(** Serialize to a complete, self-sealed EBPT3 file image (header,
+    [meta], object table, block summaries, columns, CRC trailer). Larger
+    than {!encode} (32 B/event) — it buys load time with disk, so it is
+    written as a cache {e sidecar}, never the canonical copy. *)
+
+val decode_columnar : string -> (t * string, string) result
+(** Fully-checked inverse of {!encode_columnar}: verifies the CRC, every
+    header field against the file length, object descriptors, event tags
+    and ids, and that the block summaries match the events. Returns a
+    heap trace plus the embedded [meta]. This is the verification path
+    ([ebp cache verify], the fuzzer's columnar oracle). *)
+
+val map_columnar : ?verify:bool -> string -> (t * string, string) result
+(** Map the EBPT3 file at [path] and return a trace reading its columns
+    in place. Validates the header, object table, exact file length,
+    trailer magic, and the whole w0 column (tags/object ids) — but not
+    the payload CRC, whose cost would rival the decode being avoided;
+    run [ebp cache verify] (or pass [~verify:true], which loads through
+    {!decode_columnar}) for full integrity checking. Any validation
+    failure or I/O error is [Error]; callers fall back to the EBPT2
+    entry. Under fault injection the [trace.codec.map] point may raise
+    {!Ebp_util.Fault.Injected} — a transient miss, distinct from a bad
+    file. *)

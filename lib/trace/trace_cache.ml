@@ -14,7 +14,14 @@
    trace codec version, so a format change (like the v2 -> v3 trailer
    addition) silently orphans old entries instead of misreading them. *)
 
-let version = "ebp-trace-cache-v3:" ^ Trace.codec_version
+(* v4: the trace key also owns two sidecar artifact families — the EBPT3
+   columnar image ([<key>.ebpt3], self-sealed, loaded by mmap) and the
+   write index ([<key>.<ikey>.widx], key-prefixed so GC can associate it
+   with its trace). Including the columnar codec version here orphans
+   every v3-era entry, including old bare [<ikey>.widx] files, which the
+   orphan sweep in {!gc} then reclaims. *)
+let version =
+  "ebp-trace-cache-v4:" ^ Trace.codec_version ^ "+" ^ Trace.columnar_version
 let magic = "EBPC3"
 let trailer_magic = "EBPZ"
 let trailer_len = 12
@@ -30,6 +37,7 @@ module Crc32 = Ebp_util.Crc32
    until Metrics.set_enabled. *)
 let m_hits = Metrics.counter "trace_cache.hits"
 let m_misses = Metrics.counter "trace_cache.misses"
+let m_mapped_hits = Metrics.counter "trace_cache.mapped_hits"
 let m_index_hits = Metrics.counter "trace_cache.index_hits"
 let m_index_misses = Metrics.counter "trace_cache.index_misses"
 let m_bytes_read = Metrics.counter "trace_cache.bytes_read"
@@ -82,6 +90,7 @@ let make_key ~name ~source ~seed ?fuel () =
             string_of_int seed; fuel ]))
 
 let entry_path ~dir ~key = Filename.concat dir (key ^ ".trace")
+let columnar_path ~dir ~key = Filename.concat dir (key ^ ".ebpt3")
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -218,9 +227,25 @@ let entry_bytes_of ~meta trace =
   Buffer.add_string buf payload;
   seal (Buffer.contents buf)
 
+(* The compact EBPT2 entry is canonical and written first — the crash
+   fault points fire during its protocol, so a simulated kill leaves the
+   cache exactly as sparse as before sidecars existed. The columnar
+   sidecar is pure acceleration: its store is best-effort (a cache with
+   only the canonical entry is merely slower), but a [Killed] still
+   propagates — a simulated crash is a crash wherever it lands. *)
 let store ~dir ~key ?(meta = "") trace =
   timed m_store_ns @@ fun () ->
-  store_file ~dir ~path:(entry_path ~dir ~key) (entry_bytes_of ~meta trace)
+  match store_file ~dir ~path:(entry_path ~dir ~key) (entry_bytes_of ~meta trace)
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      (match
+         store_file ~dir
+           ~path:(columnar_path ~dir ~key)
+           (Trace.encode_columnar ~meta trace)
+       with
+      | Ok () | Error _ -> ());
+      Ok ()
 
 let index_key ~key ~page_sizes =
   Digest.to_hex
@@ -229,8 +254,14 @@ let index_key ~key ~page_sizes =
           (version :: key :: Write_index.codec_version
           :: List.map string_of_int page_sizes)))
 
+(* Key-prefixed ([<key>.<ikey>.widx]) so the GC can group an index with
+   the trace it was built from; [ikey] still hashes the page sizes and
+   codec versions, so distinct configurations coexist. *)
 let index_path ~dir ~key ~page_sizes =
-  Filename.concat dir (index_key ~key ~page_sizes ^ ".widx")
+  Filename.concat dir (key ^ "." ^ index_key ~key ~page_sizes ^ ".widx")
+
+let index_cached ~dir ~key ~page_sizes =
+  Sys.file_exists (index_path ~dir ~key ~page_sizes)
 
 let store_index ~dir ~key ~page_sizes index =
   timed m_store_ns @@ fun () ->
@@ -265,9 +296,41 @@ let load_entry ~dir ~file parse =
               quarantine ~dir ~file ~reason;
               None))
 
-let lookup ~dir ~key =
+let lookup_decoded ~dir ~key =
   timed m_lookup_ns @@ fun () ->
   let found = load_entry ~dir ~file:(key ^ ".trace") parse_entry in
+  Metrics.incr (match found with Some _ -> m_hits | None -> m_misses);
+  found
+
+(* The mapped tier: try to mmap the EBPT3 sidecar before paying for a
+   decode of the canonical entry. Under fault injection the mapping
+   verifies the full checksum (injected corruption targets exactly the
+   bytes the fast path trusts); a bad sidecar is quarantined and the
+   decoded path takes over, so the tier can only ever cost a fallback,
+   never an answer. *)
+let lookup_mapped ~dir ~key =
+  let file = key ^ ".ebpt3" in
+  if not (Sys.file_exists (Filename.concat dir file)) then None
+  else
+    match
+      Trace.map_columnar ~verify:(Fault.active ())
+        (Filename.concat dir file)
+    with
+    | exception Fault.Injected _ -> None
+    | Ok (trace, meta) ->
+        Metrics.incr m_mapped_hits;
+        Some (trace, meta)
+    | Error reason ->
+        quarantine ~dir ~file ~reason;
+        None
+
+let lookup ~dir ~key =
+  timed m_lookup_ns @@ fun () ->
+  let found =
+    match lookup_mapped ~dir ~key with
+    | Some _ as hit -> hit
+    | None -> load_entry ~dir ~file:(key ^ ".trace") parse_entry
+  in
   Metrics.incr (match found with Some _ -> m_hits | None -> m_misses);
   found
 
@@ -284,7 +347,12 @@ let lookup_index ~dir ~key ~page_sizes =
    from interrupted stores and quarantined corpses, then evict
    coldest-first by mtime. *)
 
-type entry_kind = Trace_entry | Index_entry | Tmp_entry | Corrupt_entry
+type entry_kind =
+  | Trace_entry
+  | Index_entry
+  | Columnar_entry
+  | Tmp_entry
+  | Corrupt_entry
 
 type entry = {
   entry_file : string;
@@ -299,9 +367,24 @@ let classify file =
   if Filename.check_suffix file ".corrupt" then Some Corrupt_entry
   else if Filename.check_suffix file ".trace" then Some Trace_entry
   else if Filename.check_suffix file ".widx" then Some Index_entry
+  else if Filename.check_suffix file ".ebpt3" then Some Columnar_entry
   else if Filename.check_suffix file ".tmp" && String.length file > 0
           && file.[0] = '.' then Some Tmp_entry
   else None
+
+(* The trace key a sidecar belongs to. Traces own themselves; new-style
+   index names are [<key>.<ikey>.widx], so the key is the leading dot
+   component — which also classifies a pre-v4 bare [<ikey>.widx] as
+   owned by a key that has no trace, i.e. an orphan. *)
+let owner_key e =
+  match e.entry_kind with
+  | Trace_entry -> Some (Filename.chop_suffix e.entry_file ".trace")
+  | Columnar_entry -> Some (Filename.chop_suffix e.entry_file ".ebpt3")
+  | Index_entry -> (
+      match String.index_opt e.entry_file '.' with
+      | Some i -> Some (String.sub e.entry_file 0 i)
+      | None -> None)
+  | Tmp_entry | Corrupt_entry -> None
 
 let entries ~dir =
   match Sys.readdir dir with
@@ -355,20 +438,57 @@ let gc ~dir ~max_bytes =
       (fun e -> e.entry_kind = Tmp_entry || e.entry_kind = Corrupt_entry)
       (entries ~dir)
   in
+  (* A sidecar (.widx, .ebpt3) whose owning trace entry is gone — deleted
+     by hand, evicted by an older GC, or stranded by the v4 renaming — is
+     dead weight no lookup will ever reach: reclaim it with the litter. *)
+  let trace_keys = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.entry_kind = Trace_entry then
+        match owner_key e with
+        | Some k -> Hashtbl.replace trace_keys k ()
+        | None -> ())
+    live;
+  let orphans, live =
+    List.partition
+      (fun e ->
+        e.entry_kind <> Trace_entry
+        && not
+             (match owner_key e with
+             | Some k -> Hashtbl.mem trace_keys k
+             | None -> false))
+      live
+  in
   let drop acc e =
     let n, b = acc in
     if remove_entry ~dir e then (n + 1, b + e.entry_bytes) else acc
   in
-  let acc = List.fold_left drop (0, 0) litter in
-  (* [entries] sorts oldest-mtime first, so a plain fold evicts coldest
-     entries until the live set fits. *)
+  let acc = List.fold_left drop (0, 0) (litter @ orphans) in
+  (* Evict whole ownership groups (trace + its sidecars), coldest trace
+     first — [live] is oldest-mtime-first and every survivor has an owner
+     in [trace_keys], so walking it and deleting each entry's entire
+     group on first contact preserves the old coldest-first order while
+     never leaving a freshly-orphaned sidecar behind. *)
+  let group_of key =
+    List.filter (fun e -> owner_key e = Some key) live
+  in
+  let evicted = Hashtbl.create 16 in
   let acc, _ =
     List.fold_left
       (fun ((n, b), remaining) e ->
-        if remaining <= max_bytes then ((n, b), remaining)
-        else if remove_entry ~dir e then
-          ((n + 1, b + e.entry_bytes), remaining - e.entry_bytes)
-        else ((n, b), remaining))
+        let key = Option.get (owner_key e) in
+        if Hashtbl.mem evicted key || remaining <= max_bytes then
+          ((n, b), remaining)
+        else begin
+          Hashtbl.add evicted key ();
+          List.fold_left
+            (fun ((n, b), remaining) e ->
+              if remove_entry ~dir e then
+                ((n + 1, b + e.entry_bytes), remaining - e.entry_bytes)
+              else ((n, b), remaining))
+            ((n, b), remaining)
+            (group_of key)
+        end)
       (acc, total_bytes live)
       live
   in
@@ -403,17 +523,24 @@ let verify ?(quarantine = true) ~dir () =
       match e.entry_kind with
       | Tmp_entry -> incr tmp_litter
       | Corrupt_entry -> ()
-      | Trace_entry | Index_entry -> (
+      | Trace_entry | Index_entry | Columnar_entry -> (
           incr checked;
-          let parse body =
-            match e.entry_kind with
-            | Trace_entry -> Result.map ignore (parse_entry body)
-            | _ -> Result.map ignore (Write_index.decode body)
-          in
           let result =
             match read_file (Filename.concat dir e.entry_file) with
             | None -> Error "unreadable"
-            | Some data -> Result.bind (unseal data) parse
+            | Some data -> (
+                (* EBPT3 files are self-sealed: the decoder verifies its
+                   own CRC trailer (and more — the mmap fast path trusts
+                   it, so this is where a damaged sidecar gets caught). *)
+                match e.entry_kind with
+                | Columnar_entry ->
+                    Result.map ignore (Trace.decode_columnar data)
+                | Trace_entry ->
+                    Result.bind (unseal data) (fun body ->
+                        Result.map ignore (parse_entry body))
+                | _ ->
+                    Result.bind (unseal data) (fun body ->
+                        Result.map ignore (Write_index.decode body)))
           in
           match result with
           | Ok () -> incr intact

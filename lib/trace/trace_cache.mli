@@ -12,7 +12,7 @@
     {!make_key} hashes the tuple (codec version, program name, source
     digest, seed, fuel) into a hex string:
 
-    {[ MD5 ("ebp-trace-cache-v3:EBPT2" ^ name ^ MD5 (source) ^ seed ^ fuel) ]}
+    {[ MD5 ("ebp-trace-cache-v4:EBPT2+EBPT3" ^ name ^ MD5 (source) ^ seed ^ fuel) ]}
 
     Any input that could change the recorded events changes the key, so a
     stale entry can never be returned for modified source — entries need no
@@ -38,7 +38,18 @@
     renamed [<file>.corrupt], counted in [trace_cache.quarantined],
     surfaced through {!set_quarantine_log} — and reported as a miss, never
     an error, so the caller transparently re-records. An unreadable file
-    or directory is a plain miss. *)
+    or directory is a plain miss.
+
+    {2 The mapped tier}
+
+    Next to each canonical entry, {!store} writes a best-effort
+    [<key>.ebpt3] sidecar: the same trace in the {!Trace.map_columnar}
+    zero-copy columnar layout. {!lookup} maps the sidecar when present
+    (counted in [trace_cache.mapped_hits]) and only decodes the EBPT2
+    entry when it is absent, damaged (quarantined like any entry), or a
+    fault is injected at [trace.codec.map]. Sidecars are disposable
+    acceleration: deleting one costs a slower next load, nothing else,
+    and {!gc} reclaims any left orphaned by a vanished trace. *)
 
 val default_dir : unit -> string
 (** [$XDG_CACHE_HOME/ebp] when [XDG_CACHE_HOME] is set and absolute,
@@ -63,7 +74,14 @@ val store :
 val lookup : dir:string -> key:string -> (Trace.t * string) option
 (** [lookup ~dir ~key] is [Some (trace, meta)] when an entry for [key]
     exists and passes its integrity check, [None] otherwise (quarantining
-    the file first if it exists but is corrupt). *)
+    the file first if it exists but is corrupt). Prefers the mapped
+    columnar sidecar (see the mapped tier above), so the returned trace
+    usually satisfies {!Trace.is_mapped}. *)
+
+val lookup_decoded : dir:string -> key:string -> (Trace.t * string) option
+(** {!lookup} restricted to the canonical EBPT2 entry — always a decoded
+    heap trace, never a mapping. For consumers that must not hold the
+    file open (and the benchmark's decode-vs-map comparison). *)
 
 val set_quarantine_log : (file:string -> reason:string -> unit) -> unit
 (** Install the hook called (synchronously, possibly from a pool worker)
@@ -75,11 +93,13 @@ val set_quarantine_log : (file:string -> reason:string -> unit) -> unit
 
     The {!Write_index} of a trace is itself a pure function of the trace
     and the page-size list it was built with, so it is cached the same
-    way: one [<dir>/<ikey>.widx] file per (trace key, page sizes) pair,
-    where [ikey] rehashes the trace key together with the index codec
-    version and the page sizes. A warm experiment run thereby skips both
-    phase-1 tracing {e and} the index build. The same sealing, atomic
-    temp-and-rename, retry, and quarantine-on-corruption rules apply. *)
+    way: one [<dir>/<key>.<ikey>.widx] file per (trace key, page sizes)
+    pair, where [ikey] rehashes the trace key together with the index
+    codec version and the page sizes, and the [<key>.] prefix ties the
+    file to its trace for the GC's orphan sweep. A warm experiment run
+    thereby skips both phase-1 tracing {e and} the index build. The same
+    sealing, atomic temp-and-rename, retry, and quarantine-on-corruption
+    rules apply. *)
 
 val index_key : key:string -> page_sizes:int list -> string
 (** [index_key ~key ~page_sizes] derives the index entry's key from a
@@ -97,6 +117,12 @@ val store_index :
 val lookup_index :
   dir:string -> key:string -> page_sizes:int list -> Write_index.t option
 
+val index_cached : dir:string -> key:string -> page_sizes:int list -> bool
+(** Whether an index entry for [(key, page_sizes)] is on disk — a cheap
+    existence probe (no read, no integrity check; a damaged entry still
+    reports [true] and resolves to a miss at {!lookup_index} time). The
+    replay planner prices index reuse with this. *)
+
 (** {2 Garbage collection}
 
     Keys are content hashes over the codec version, so entries never go
@@ -112,7 +138,8 @@ val lookup_index :
 
 type entry_kind =
   | Trace_entry  (** a [<key>.trace] phase-1 recording *)
-  | Index_entry  (** a [<ikey>.widx] write index *)
+  | Index_entry  (** a [<key>.<ikey>.widx] write index *)
+  | Columnar_entry  (** a [<key>.ebpt3] zero-copy columnar sidecar *)
   | Tmp_entry    (** a [.<key>*.tmp] temp file orphaned by an interrupted
                      store *)
   | Corrupt_entry
@@ -138,14 +165,17 @@ val clear : dir:string -> int * int
 val gc : dir:string -> max_bytes:int -> int * int
 (** [gc ~dir ~max_bytes] first deletes all temp files (an interrupted
     store's litter — harmless to a store in flight, which degrades to a
-    warning) and quarantined corpses, then evicts live entries
-    oldest-mtime-first until the directory's cache-owned footprint is at
-    most [max_bytes]. Returns [(removed, reclaimed_bytes)]. *)
+    warning), quarantined corpses, and orphaned sidecars ([.widx] or
+    [.ebpt3] files whose owning [<key>.trace] is gone), then evicts live
+    entries oldest-mtime-first until the directory's cache-owned
+    footprint is at most [max_bytes] — evicting whole ownership groups
+    (a trace together with its sidecars) so it never mints new orphans.
+    Returns [(removed, reclaimed_bytes)]. *)
 
 (** {2 Integrity scan} *)
 
 type verify_report = {
-  checked : int;  (** trace and index entries examined *)
+  checked : int;  (** trace, index, and columnar entries examined *)
   intact : int;
   corrupt : (string * string) list;
       (** (file, reason), sorted by file name; already quarantined if
@@ -154,7 +184,11 @@ type verify_report = {
 }
 
 val verify : ?quarantine:bool -> dir:string -> unit -> verify_report
-(** [verify ~dir ()] re-checks the trailer CRC and decodes every trace and
-    index entry in [dir], quarantining the failures exactly as a lookup
-    would (pass [~quarantine:false] to only report). Already-quarantined
-    [*.corrupt] files are skipped. Drives [ebp cache verify]. *)
+(** [verify ~dir ()] re-checks the trailer CRC and decodes every trace,
+    index, and columnar entry in [dir], quarantining the failures exactly
+    as a lookup would (pass [~quarantine:false] to only report).
+    Columnar sidecars get the {e full} {!Trace.decode_columnar} check —
+    including the payload CRC the mmap fast path deliberately skips, so
+    this scan is the integrity backstop for the mapped tier.
+    Already-quarantined [*.corrupt] files are skipped. Drives
+    [ebp cache verify]. *)

@@ -19,8 +19,6 @@ module Vec = struct
     end;
     v.data.(v.len) <- x;
     v.len <- v.len + 1
-
-  let to_array v = Array.sub v.data 0 v.len
 end
 
 (* --- posting lists, CSR form --- *)
@@ -30,19 +28,44 @@ end
    appended in trace order at build time). *)
 type posting = { keys : int array; offs : int array; data : int array }
 
-let posting_of_table (tbl : (int, Vec.t) Hashtbl.t) =
-  let keys = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+(* Merge per-chunk tables into one posting. The chunks cover disjoint,
+   ascending event ranges, so concatenating a key's per-chunk runs in
+   chunk order yields the same ascending event list a single-pass build
+   appends — the serial build is just the one-chunk case of this
+   function, which is what makes parallel and serial indexes structurally
+   identical (and [equal] is structural). *)
+let posting_of_tables (tbls : (int, Vec.t) Hashtbl.t list) =
+  let keyset = Hashtbl.create 4096 in
+  List.iter
+    (fun tbl -> Hashtbl.iter (fun k _ -> Hashtbl.replace keyset k ()) tbl)
+    tbls;
+  let keys = Array.of_seq (Hashtbl.to_seq_keys keyset) in
   Array.sort Int.compare keys;
   let nkeys = Array.length keys in
   let offs = Array.make (nkeys + 1) 0 in
   for i = 0 to nkeys - 1 do
-    offs.(i + 1) <- offs.(i) + (Hashtbl.find tbl keys.(i)).Vec.len
+    let len =
+      List.fold_left
+        (fun acc tbl ->
+          match Hashtbl.find_opt tbl keys.(i) with
+          | Some v -> acc + v.Vec.len
+          | None -> acc)
+        0 tbls
+    in
+    offs.(i + 1) <- offs.(i) + len
   done;
   let data = Array.make offs.(nkeys) 0 in
   Array.iteri
     (fun i key ->
-      let v = Hashtbl.find tbl key in
-      Array.blit v.Vec.data 0 data offs.(i) v.Vec.len)
+      let dst = ref offs.(i) in
+      List.iter
+        (fun tbl ->
+          match Hashtbl.find_opt tbl key with
+          | Some v ->
+              Array.blit v.Vec.data 0 data !dst v.Vec.len;
+              dst := !dst + v.Vec.len
+          | None -> ())
+        tbls)
     keys;
   { keys; offs; data }
 
@@ -176,11 +199,19 @@ let log2_exact n =
     invalid_arg "Write_index: page size must be a positive power of two"
   else go 0 n
 
-let build ~page_sizes trace =
-  (* The whole build is one span: it is the warm-run cost the .widx cache
-     exists to amortize, so its duration is worth a timeline entry. *)
-  Ebp_obs.Span.with_span "index.build" @@ fun () ->
-  let events = Trace.length trace in
+(* Per-chunk build state: the single-pass tables of the original serial
+   build, restricted to one contiguous event range. Event positions are
+   global trace positions, so chunks can be merged by concatenation. *)
+type chunk = {
+  c_writes : int;
+  c_word : (int, Vec.t) Hashtbl.t;
+  c_word_span : (int, Vec.t) Hashtbl.t;
+  c_wide : Vec.t;
+  c_objs : Vec.t array;
+  c_pages : (int * int * (int, Vec.t) Hashtbl.t * (int, Vec.t) Hashtbl.t * Vec.t) list;
+}
+
+let build_chunk ~page_sizes trace ~start ~stop =
   let nobjs = Trace.object_count trace in
   let obj_vecs = Array.init nobjs (fun _ -> Vec.create ()) in
   let word_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 4096 in
@@ -208,8 +239,8 @@ let build ~page_sizes trace =
       page_sizes
   in
   let total_writes = ref 0 in
-  let pos = ref 0 in
-  Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc:_ ->
+  let pos = ref start in
+  Trace.iter_raw_range trace ~start ~stop (fun ~tag ~obj ~lo ~hi ~pc:_ ->
       let t = !pos in
       incr pos;
       if tag <= 1 then begin
@@ -248,34 +279,110 @@ let build ~page_sizes trace =
             end)
           page_builders
       end);
+  {
+    c_writes = !total_writes;
+    c_word = word_tbl;
+    c_word_span = word_span_tbl;
+    c_wide = wide_words;
+    c_objs = obj_vecs;
+    c_pages = page_builders;
+  }
+
+let concat_vecs vecs =
+  let total = List.fold_left (fun acc v -> acc + v.Vec.len) 0 vecs in
+  let out = Array.make total 0 in
+  let dst = ref 0 in
+  List.iter
+    (fun v ->
+      Array.blit v.Vec.data 0 out !dst v.Vec.len;
+      dst := !dst + v.Vec.len)
+    vecs;
+  out
+
+(* Chunks below this many events are not worth a pool round-trip. *)
+let parallel_threshold = 8192
+let chunk_target = 4096
+
+let m_build_chunks = Ebp_obs.Metrics.counter "index.build.chunks"
+
+let build ?pool ~page_sizes trace =
+  (* The whole build is one span: it is the warm-run cost the .widx cache
+     exists to amortize, so its duration is worth a timeline entry. *)
+  Ebp_obs.Span.with_span "index.build" @@ fun () ->
+  let events = Trace.length trace in
+  let nobjs = Trace.object_count trace in
+  let nchunks, chunks =
+    match pool with
+    | Some pool
+      when Ebp_util.Domain_pool.domains pool > 1 && events >= parallel_threshold ->
+        let n =
+          min (Ebp_util.Domain_pool.domains pool)
+            (max 1 (events / chunk_target))
+        in
+        let bound i = events * i / n in
+        ( n,
+          Ebp_util.Domain_pool.map pool
+            (fun i ->
+              build_chunk ~page_sizes trace ~start:(bound i)
+                ~stop:(bound (i + 1)))
+            (List.init n Fun.id) )
+    | _ -> (1, [ build_chunk ~page_sizes trace ~start:0 ~stop:events ])
+  in
+  Ebp_obs.Metrics.add m_build_chunks nchunks;
   let obj_offs = Array.make (nobjs + 1) 0 in
   for o = 0 to nobjs - 1 do
-    obj_offs.(o + 1) <- obj_offs.(o) + (obj_vecs.(o).Vec.len / 3)
+    obj_offs.(o + 1) <-
+      obj_offs.(o)
+      + List.fold_left (fun acc c -> acc + (c.c_objs.(o).Vec.len / 3)) 0 chunks
   done;
   let obj_data = Array.make (3 * obj_offs.(nobjs)) 0 in
-  Array.iteri
-    (fun o v -> Array.blit v.Vec.data 0 obj_data (3 * obj_offs.(o)) v.Vec.len)
-    obj_vecs;
+  for o = 0 to nobjs - 1 do
+    let dst = ref (3 * obj_offs.(o)) in
+    List.iter
+      (fun c ->
+        let v = c.c_objs.(o) in
+        Array.blit v.Vec.data 0 obj_data !dst v.Vec.len;
+        dst := !dst + v.Vec.len)
+      chunks
+  done;
   {
     events;
-    total_writes = !total_writes;
-    word_writes = posting_of_table word_tbl;
-    word_spans = posting_of_table word_span_tbl;
-    wide_words = Vec.to_array wide_words;
+    total_writes = List.fold_left (fun acc c -> acc + c.c_writes) 0 chunks;
+    word_writes = posting_of_tables (List.map (fun c -> c.c_word) chunks);
+    word_spans = posting_of_tables (List.map (fun c -> c.c_word_span) chunks);
+    wide_words = concat_vecs (List.map (fun c -> c.c_wide) chunks);
     obj_offs;
     obj_data;
     pages =
       Array.of_list
-        (List.map
-           (fun (page_size, page_shift, wtbl, stbl, wide) ->
+        (List.mapi
+           (fun i (page_size, page_shift, _, _, _) ->
              {
                page_size;
                page_shift;
-               page_writes = posting_of_table wtbl;
-               page_spans = posting_of_table stbl;
-               wide_pages = Vec.to_array wide;
+               page_writes =
+                 posting_of_tables
+                   (List.map
+                      (fun c ->
+                        let _, _, wtbl, _, _ = List.nth c.c_pages i in
+                        wtbl)
+                      chunks);
+               page_spans =
+                 posting_of_tables
+                   (List.map
+                      (fun c ->
+                        let _, _, _, stbl, _ = List.nth c.c_pages i in
+                        stbl)
+                      chunks);
+               wide_pages =
+                 concat_vecs
+                   (List.map
+                      (fun c ->
+                        let _, _, _, _, wide = List.nth c.c_pages i in
+                        wide)
+                      chunks);
              })
-           page_builders);
+           (List.hd chunks).c_pages);
   }
 
 (* --- accessors --- *)

@@ -27,8 +27,13 @@
 
 type t
 
-val build : page_sizes:int list -> Trace.t -> t
-(** One pass over the trace, [O(events · words-per-event)].
+val build : ?pool:Ebp_util.Domain_pool.t -> page_sizes:int list -> Trace.t -> t
+(** One pass over the trace, [O(events · words-per-event)]. With [pool]
+    (and a trace long enough to amortize the fan-out), the pass is split
+    into contiguous event chunks built on the pool's domains and merged
+    by concatenating each key's per-chunk runs — event positions are
+    global, so the result is structurally {e identical} to the serial
+    build (asserted by [test_parallel.ml] through {!equal}).
     @raise Invalid_argument if a page size is not a positive power of
     two. *)
 

@@ -14,7 +14,9 @@ durations are scrubbed.
   > }
   > MC
 
-A replay with metrics and spans enabled:
+A replay with metrics and spans enabled. Without --engine the
+cost-based planner picks one; on a trace this small it picks the scan
+engine, and the decision lands in the counters below:
 
   $ ebp sessions obs.mc --metrics m.ndjson --trace-events te.json | tail -n 1
   3 sessions
@@ -41,6 +43,7 @@ histograms it carries.
   fault.serve.read                         0            
   fault.serve.write                        0            
   fault.trace.codec.decode                 0            
+  fault.trace.codec.map                    0            
   fault.trace_cache.lookup.data            0            
   fault.trace_cache.store.data             0            
   fault.trace_cache.store.io               0            
@@ -48,6 +51,7 @@ histograms it carries.
   fault.trace_cache.store.kill_tmp         0            
   fault.trace_cache.store.kill_write       0            
   fault.write_index.codec.decode           0            
+  index.build.chunks                       0            
   loader.cycles                          439            
   loader.instructions                    291            
   loader.runs                              1            
@@ -55,12 +59,17 @@ histograms it carries.
   machine.stores                          44            
   phase1.events                            0            
   phase1.runs                              0            
+  planner.decision.build                   0            
+  planner.decision.reuse                   0            
+  planner.decision.scan                    1            
   pool.busy_ns                             0            
   pool.task_retries                        0            
   pool.tasks                               0            
-  replay.indexed.range_queries             9            
-  replay.indexed.segments                  9            
-  replay.scan.writes                       0            
+  replay.indexed.range_queries             0            
+  replay.indexed.segments                  0            
+  replay.scan.blocks_skipped               0            
+  replay.scan.writes                      41            
+  replay.scan.writes_skipped               0            
   replay.sessions                          3            
   replay.shards                            1            
   serve.accepts                            0            
@@ -78,6 +87,8 @@ histograms it carries.
   serve.store.warm_hits                    0            
   trace.codec.bytes_in                     0            
   trace.codec.bytes_out                    0            
+  trace.codec.columnar_bytes_out           0            
+  trace.codec.mapped_bytes                 0            
   trace_cache.bytes_read                   0            
   trace_cache.bytes_written                0            
   trace_cache.gc_reclaimed_bytes           0            
@@ -85,32 +96,36 @@ histograms it carries.
   trace_cache.hits                         0            
   trace_cache.index_hits                   0            
   trace_cache.index_misses                 0            
+  trace_cache.mapped_hits                  0            
   trace_cache.misses                       0            
   trace_cache.quarantined                  0            
   trace_cache.store_retries                0            
   
   $ ebp stats m.ndjson | grep -oE 'span\.[a-z._]+' | sort
-  span.index.build
   span.loader.run
-  span.replay.indexed.shard
+  span.replay.scan.shard
 
 The trace-event export is the Chrome array format: one complete event
 per span plus per-domain metadata records.
 
   $ grep -o '"ph":"X"' te.json | wc -l | tr -d ' '
-  3
+  2
   $ grep -o '"ph":"M"' te.json | wc -l | tr -d ' '
   2
-  $ grep -o '"name":"replay.indexed.shard"' te.json | wc -l | tr -d ' '
+  $ grep -o '"name":"replay.scan.shard"' te.json | wc -l | tr -d ' '
   1
 
-The cache subcommand. A cold cached trace run stores one entry:
+The cache subcommand. A cold cached trace run stores the canonical
+entry plus its mmap'able columnar sidecar, and ls breaks the disk cost
+down per artifact type:
 
   $ ebp trace obs.mc --cached --cache-dir cache --metrics cold.ndjson 2>/dev/null >/dev/null
   $ grep '"name":"trace_cache.misses"' cold.ndjson | grep -o '"value":[0-9]*'
   "value":1
-  $ ebp cache ls --cache-dir cache | tail -n 1 | cut -d, -f1
-  1 entries
+  $ ebp cache ls --cache-dir cache | grep entries | sed -E 's/[0-9]+ bytes/N bytes/'
+  trace    1 entries, N bytes
+  columnar 1 entries, N bytes
+  2 entries, N bytes
 
 A warm run hits it:
 
@@ -118,13 +133,14 @@ A warm run hits it:
   $ grep '"name":"trace_cache.hits"' warm.ndjson | grep -o '"value":[0-9]*'
   "value":1
 
-gc to a zero-byte budget evicts everything and reports what it reclaimed,
-through both the exit message and the gc metrics:
+gc to a zero-byte budget evicts everything — the entry and its sidecar
+go together — and reports what it reclaimed, through both the exit
+message and the gc metrics:
 
   $ ebp cache gc --cache-dir cache --max-bytes 0 --metrics gc.ndjson | sed -E 's/reclaimed [0-9]+ bytes/reclaimed N bytes/'
-  removed 1 entries, reclaimed N bytes
+  removed 2 entries, reclaimed N bytes
   $ grep '"name":"trace_cache.gc_removed"' gc.ndjson | grep -o '"value":[0-9]*'
-  "value":1
+  "value":2
   $ ebp cache ls --cache-dir cache
   0 entries, 0 bytes
   $ ebp cache clear --cache-dir cache

@@ -1,6 +1,7 @@
-Corruption handling end to end: a damaged cache entry is detected by the
-checksum trailer, quarantined (renamed *.corrupt), and the next cached
-run falls back to re-recording instead of failing.
+Corruption handling end to end: every cache artifact is sealed with a
+checksum, damage is detected and quarantined (renamed *.corrupt), and
+lookups degrade tier by tier — mmap'd columnar sidecar, canonical
+entry, re-record — instead of failing.
 
   $ cat > tiny.mc <<'MC'
   > int g;
@@ -13,40 +14,51 @@ run falls back to re-recording instead of failing.
   $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
   phase 1: traced and cached (25 events)
 
-Flip one byte in the stored entry's body:
+A cached recording is two files — the canonical sealed entry and a
+columnar sidecar that warm runs map instead of decoding:
+
+  $ ls cache | sed -E 's/[0-9a-f]{32}/KEY/g'
+  KEY.ebpt3
+  KEY.trace
+
+Flip one byte in the canonical entry's body:
 
   $ entry=$(ls cache/*.trace)
   $ printf '\377' | dd of="$entry" bs=1 seek=40 conv=notrunc status=none
 
-The scanner reports the damage, quarantines the file, and exits 1:
+The scanner reports the damage, quarantines the file, and exits 1; the
+sidecar is sealed separately and scans intact:
 
   $ ebp cache verify --cache-dir cache > scan.out
   [1]
   $ sed -E 's/[0-9a-f]{32}/KEY/g' scan.out
   corrupt: KEY.trace (checksum mismatch) -> quarantined
-  1 entries checked: 0 intact, 1 corrupt, 0 temp files
+  2 entries checked: 1 intact, 1 corrupt, 0 temp files
   $ ls cache | sed -E 's/[0-9a-f]{32}/KEY/g'
+  KEY.ebpt3
   KEY.trace.corrupt
 
-The quarantined corpse is not an entry: a re-scan is clean, and a cached
-run treats the key as a miss and re-records through it:
+The quarantined corpse is not an entry: a re-scan is clean. And the
+surviving sidecar holds the same recording, so losing the canonical
+entry alone does not cost a re-record:
 
   $ ebp cache verify --cache-dir cache
-  0 entries checked: 0 intact, 0 corrupt, 0 temp files
-  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
-  phase 1: traced and cached (25 events)
+  1 entries checked: 1 intact, 0 corrupt, 0 temp files
   $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
   phase 1: cache hit, no execution (25 events)
 
-Corruption discovered mid-run is quarantined on the fly (stderr notice)
-and the run recovers the same way:
+Corrupting the sidecar too leaves nothing to serve. The next cached run
+quarantines it on the fly (stderr notice), treats the key as a miss,
+and re-records through it:
 
-  $ entry=$(ls cache/*.trace)
-  $ printf '\377' | dd of="$entry" bs=1 seek=40 conv=notrunc status=none
+  $ side=$(ls cache/*.ebpt3)
+  $ printf 'XXXX' | dd of="$side" bs=1 seek=0 conv=notrunc status=none
   $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null \
   >   | sed -E 's/[0-9a-f]{32}/KEY/g'
-  ebp: quarantined corrupt cache entry KEY.trace (checksum mismatch)
+  ebp: quarantined corrupt cache entry KEY.ebpt3 (bad columnar magic)
   phase 1: traced and cached (25 events)
+  $ ebp trace tiny.mc --cached --cache-dir cache 2>&1 >/dev/null
+  phase 1: cache hit, no execution (25 events)
 
 The experiment engine recovers the same way when its cached write index
 is damaged — the report is identical to a cache-free run:
@@ -58,10 +70,10 @@ is damaged — the report is identical to a cache-free run:
   $ ebp experiment --workloads circuit --only table1 2>/dev/null >report2
   $ diff report1 report2
 
-gc sweeps the quarantined corpses (both of them) before anything else,
-leaving a cache that scans clean:
+gc sweeps the quarantined corpses (all three of them) before anything
+else, leaving a cache that scans clean:
 
   $ ebp cache gc --cache-dir cache --max-bytes 100000000 | sed -E 's/[0-9]+ bytes/N bytes/'
-  removed 2 entries, reclaimed N bytes
+  removed 3 entries, reclaimed N bytes
   $ ebp cache verify --cache-dir cache
-  3 entries checked: 3 intact, 0 corrupt, 0 temp files
+  5 entries checked: 5 intact, 0 corrupt, 0 temp files

@@ -211,7 +211,10 @@ let write_raw path data =
 
 (* Any single bit flip anywhere in a stored entry — header, meta, payload,
    or trailer — must read as a miss (CRC-32 detects all single-bit
-   errors), never as a decode of different events. *)
+   errors), never as a decode of different events. [lookup_decoded] is
+   the tier the seal guards; the full [lookup] would mask the damage by
+   serving the intact columnar sidecar, which is the point of the
+   sidecar (see the corrupt-sidecar cases in test_parallel.ml). *)
 let test_every_bitflip_detected () =
   with_temp_cache_dir (fun dir ->
       let key = Trace_cache.make_key ~name:"flip" ~source:"s" ~seed:1 () in
@@ -227,7 +230,7 @@ let test_every_bitflip_detected () =
         Bytes.set b !i
           (Char.chr (Char.code (Bytes.get b !i) lxor (1 lsl bit)));
         write_raw path (Bytes.unsafe_to_string b);
-        (match Trace_cache.lookup ~dir ~key with
+        (match Trace_cache.lookup_decoded ~dir ~key with
         | None -> ()
         | Some _ -> Alcotest.failf "flip at byte %d/%d not detected" !i len);
         (* The corrupt file was quarantined; restore the entry. *)
@@ -237,7 +240,7 @@ let test_every_bitflip_detected () =
         i := !i + step
       done;
       Alcotest.(check bool) "pristine entry still hits" true
-        (Trace_cache.lookup ~dir ~key <> None))
+        (Trace_cache.lookup_decoded ~dir ~key <> None))
 
 let test_every_truncation_detected () =
   with_temp_cache_dir (fun dir ->
@@ -250,7 +253,7 @@ let test_every_truncation_detected () =
       let cut = ref 0 in
       while !cut < len do
         write_raw path (String.sub original 0 !cut);
-        (match Trace_cache.lookup ~dir ~key with
+        (match Trace_cache.lookup_decoded ~dir ~key with
         | None -> ()
         | Some _ -> Alcotest.failf "truncation to %d/%d not detected" !cut len);
         let corpse = path ^ ".corrupt" in
@@ -275,7 +278,7 @@ let test_quarantine_semantics () =
           Trace_cache.set_quarantine_log (fun ~file:_ ~reason:_ -> ()))
         (fun () ->
           Alcotest.(check bool) "corrupt entry is a miss" true
-            (Trace_cache.lookup ~dir ~key = None);
+            (Trace_cache.lookup_decoded ~dir ~key = None);
           Alcotest.(check bool) "quarantine hook fired" true
             (List.mem_assoc (key ^ ".trace") !logged);
           Alcotest.(check bool) "renamed aside" true
@@ -326,25 +329,45 @@ let test_lookup_transient_fault_is_plain_miss () =
         [ rule "trace_cache.lookup.data" (Fault.Nth 1) Fault.Fail ]
         (fun () ->
           Alcotest.(check bool) "injected read fault is a miss" true
-            (Trace_cache.lookup ~dir ~key = None);
+            (Trace_cache.lookup_decoded ~dir ~key = None);
           (* A transient fault must not destroy the (intact) entry. *)
           Alcotest.(check bool) "entry not quarantined" true
             (Sys.file_exists (Filename.concat dir (key ^ ".trace")));
           Alcotest.(check bool) "next lookup hits" true
-            (Trace_cache.lookup ~dir ~key <> None)))
+            (Trace_cache.lookup_decoded ~dir ~key <> None));
+      (* The mapped tier's own transient fault point behaves the same:
+         a plain miss (served by the decoded fallback), no quarantine. *)
+      with_rules
+        [ rule "trace.codec.map" (Fault.Nth 1) Fault.Fail ]
+        (fun () ->
+          (match Trace_cache.lookup ~dir ~key with
+          | Some (t, _) ->
+              Alcotest.(check bool) "fault degrades to the decoded tier"
+                false
+                (Ebp_trace.Trace.is_mapped t)
+          | None -> Alcotest.fail "decoded fallback should still hit");
+          Alcotest.(check bool) "sidecar not quarantined" true
+            (Sys.file_exists (Filename.concat dir (key ^ ".ebpt3")))))
 
 let test_mangled_store_detected_on_lookup () =
   (* Corruption injected while writing (bit flip after sealing) must land
-     on disk and then be caught by the CRC on the way back in. *)
+     on disk — in both the canonical entry and the columnar sidecar — and
+     then be caught on the way back in. While fault injection is active,
+     mapped lookups verify the full payload CRC (the structural-only fast
+     path is for production loads, where [ebp cache verify] is the
+     backstop), so the lookup quarantines both mangled files and misses. *)
   with_temp_cache_dir (fun dir ->
       let key = Trace_cache.make_key ~name:"mangled" ~source:"s" ~seed:7 () in
       with_rules
         [ rule "trace_cache.store.data" Fault.Always Fault.Bit_flip ]
-        (fun () -> store_exn ~dir ~key (small_trace ()));
-      Alcotest.(check bool) "mangled entry is a miss, not bad data" true
-        (Trace_cache.lookup ~dir ~key = None);
-      Alcotest.(check bool) "and was quarantined" true
-        (Sys.file_exists (Filename.concat dir (key ^ ".trace.corrupt"))))
+        (fun () ->
+          store_exn ~dir ~key (small_trace ());
+          Alcotest.(check bool) "mangled entry is a miss, not bad data" true
+            (Trace_cache.lookup ~dir ~key = None));
+      Alcotest.(check bool) "canonical entry quarantined" true
+        (Sys.file_exists (Filename.concat dir (key ^ ".trace.corrupt")));
+      Alcotest.(check bool) "sidecar quarantined" true
+        (Sys.file_exists (Filename.concat dir (key ^ ".ebpt3.corrupt"))))
 
 (* --- verify --- *)
 
@@ -364,9 +387,10 @@ let test_verify_scan () =
       let path = Filename.concat dir (k2 ^ ".trace") in
       let data = read_file path in
       write_raw path (String.sub data 0 (String.length data / 2));
+      (* Two traces, their two columnar sidecars, and one index. *)
       let r = Trace_cache.verify ~quarantine:false ~dir () in
-      Alcotest.(check int) "three entries checked" 3 r.Trace_cache.checked;
-      Alcotest.(check int) "two intact" 2 r.Trace_cache.intact;
+      Alcotest.(check int) "five entries checked" 5 r.Trace_cache.checked;
+      Alcotest.(check int) "four intact" 4 r.Trace_cache.intact;
       Alcotest.(check (list string)) "the corrupt one is named"
         [ k2 ^ ".trace" ]
         (List.map fst r.Trace_cache.corrupt);
@@ -377,7 +401,7 @@ let test_verify_scan () =
       Alcotest.(check bool) "now quarantined" true
         (Sys.file_exists (path ^ ".corrupt") && not (Sys.file_exists path));
       let r = Trace_cache.verify ~dir () in
-      Alcotest.(check int) "corpses skipped on the next scan" 2
+      Alcotest.(check int) "corpses skipped on the next scan" 4
         r.Trace_cache.checked;
       Alcotest.(check (list string)) "clean report" []
         (List.map fst r.Trace_cache.corrupt))
@@ -395,7 +419,7 @@ let test_index_lookup_corruption_is_miss () =
           Alcotest.(check bool) "round-trips" true (Write_index.equal index back)
       | None -> Alcotest.fail "index lookup after store");
       let file =
-        Trace_cache.index_key ~key ~page_sizes:[ 4096 ] ^ ".widx"
+        key ^ "." ^ Trace_cache.index_key ~key ~page_sizes:[ 4096 ] ^ ".widx"
       in
       let path = Filename.concat dir file in
       let data = read_file path in

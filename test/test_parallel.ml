@@ -199,6 +199,39 @@ let test_replay_shared_pool () =
       check_bit_identical "second replay on shared pool" sequential
         (Replay.replay_all ~pool trace sessions))
 
+(* --- parallel index build --- *)
+
+let test_parallel_index_build () =
+  (* The chunked build must be structurally identical (and therefore
+     byte-identical through the codec) to the serial build, on a trace
+     comfortably above the parallelism threshold. *)
+  let module Write_index = Ebp_trace.Write_index in
+  let b = Trace.Builder.create ~hint:30_005 () in
+  let prng = Prng.create 0x1d5 in
+  let obj = Object_desc.Global { var = "g" } in
+  Trace.Builder.add_install b obj (iv 0x1000 0x1fff);
+  for i = 0 to 29_999 do
+    let lo = 0x800 + (4 * Prng.int prng 0x600) in
+    Trace.Builder.add_write b (iv lo (lo + 3)) ~pc:(i mod 97)
+  done;
+  Trace.Builder.add_remove b obj (iv 0x1000 0x1fff);
+  let trace = Trace.Builder.finish b in
+  let page_sizes = Replay.default_page_sizes in
+  let serial = Write_index.build ~page_sizes trace in
+  List.iter
+    (fun domains ->
+      Domain_pool.with_pool ~domains (fun pool ->
+          let parallel = Write_index.build ~pool ~page_sizes trace in
+          Alcotest.(check bool)
+            (Printf.sprintf "structural identity on %d domains" domains)
+            true
+            (Write_index.equal serial parallel);
+          Alcotest.(check string)
+            (Printf.sprintf "byte identity on %d domains" domains)
+            (Digest.to_hex (Digest.string (Write_index.encode serial)))
+            (Digest.to_hex (Digest.string (Write_index.encode parallel)))))
+    [ 1; 2; 4 ]
+
 (* --- trace cache --- *)
 
 let with_temp_cache_dir f =
@@ -229,6 +262,15 @@ let test_cache_roundtrip () =
           Alcotest.(check string) "meta preserved" "0x1.8p3" meta;
           Alcotest.(check int) "event count" (Trace.length trace)
             (Trace.length loaded);
+          (* A warm hit comes from the mmap'd sidecar, not a decode... *)
+          Alcotest.(check bool) "hit is mapped" true (Trace.is_mapped loaded);
+          (* ...while the decoded tier still serves a heap copy. *)
+          (match Trace_cache.lookup_decoded ~dir ~key with
+          | None -> Alcotest.fail "decoded lookup after store"
+          | Some (decoded, meta') ->
+              Alcotest.(check string) "decoded meta" "0x1.8p3" meta';
+              Alcotest.(check bool) "decoded tier is heap" false
+                (Trace.is_mapped decoded));
           (* The cached trace replays to the very same counting variables. *)
           check_same_counts "replay of cached trace"
             (Replay.discover_and_replay trace)
@@ -254,10 +296,22 @@ let test_cache_corrupt_entry_is_miss () =
       (match Trace_cache.store ~dir ~key (synthetic_trace ()) with
       | Ok () -> ()
       | Error msg -> Alcotest.fail ("store: " ^ msg));
-      let path = Filename.concat dir (key ^ ".trace") in
-      let oc = open_out_bin path in
-      output_string oc "EBPC1garbage";
-      close_out oc;
+      let clobber suffix =
+        let oc = open_out_bin (Filename.concat dir (key ^ suffix)) in
+        output_string oc "EBPC1garbage";
+        close_out oc
+      in
+      (* A corrupt sidecar is quarantined and masked by the decoded tier. *)
+      clobber ".ebpt3";
+      (match Trace_cache.lookup ~dir ~key with
+      | None -> Alcotest.fail "decoded fallback should still hit"
+      | Some (loaded, _) ->
+          Alcotest.(check bool) "fallback hit is decoded" false
+            (Trace.is_mapped loaded));
+      Alcotest.(check bool) "sidecar quarantined" true
+        (Sys.file_exists (Filename.concat dir (key ^ ".ebpt3.corrupt")));
+      (* With the canonical entry corrupt too, the key reads as a miss. *)
+      clobber ".trace";
       Alcotest.(check bool) "corrupt entry reads as a miss" true
         (Trace_cache.lookup ~dir ~key = None))
 
@@ -324,14 +378,15 @@ let test_cache_entries_and_clear () =
       | Error msg -> Alcotest.fail msg);
       let es = Trace_cache.entries ~dir in
       let kinds = List.map (fun e -> e.Trace_cache.entry_kind) es in
-      Alcotest.(check int) "two entries" 2 (List.length es);
-      Alcotest.(check bool) "one trace, one index" true
+      Alcotest.(check int) "three entries" 3 (List.length es);
+      Alcotest.(check bool) "one trace, one columnar, one index" true
         (List.mem Trace_cache.Trace_entry kinds
+        && List.mem Trace_cache.Columnar_entry kinds
         && List.mem Trace_cache.Index_entry kinds);
       Alcotest.(check bool) "sizes recorded" true
         (List.for_all (fun e -> e.Trace_cache.entry_bytes > 0) es);
       let removed, reclaimed = Trace_cache.clear ~dir in
-      Alcotest.(check int) "clear removes both" 2 removed;
+      Alcotest.(check int) "clear removes all three" 3 removed;
       Alcotest.(check int) "clear reclaims their bytes"
         (List.fold_left (fun acc e -> acc + e.Trace_cache.entry_bytes) 0 es)
         reclaimed;
@@ -363,26 +418,63 @@ let test_cache_gc_evicts_oldest () =
       set_age k2 300.0;
       set_age k1 200.0;
       set_age k3 100.0;
-      let entry_bytes =
-        (Unix.stat (Filename.concat dir (k1 ^ ".trace"))).Unix.st_size
-      in
-      (* Budget for two entries: gc drops the temp file and evicts exactly
-         the oldest entry. *)
+      (* Each stored key owns a canonical entry plus a columnar sidecar;
+         gc evicts whole ownership groups, so budget in group units. *)
+      let size f = (Unix.stat (Filename.concat dir f)).Unix.st_size in
+      let group_bytes = size (k1 ^ ".trace") + size (k1 ^ ".ebpt3") in
+      (* Budget for two groups: gc drops the temp file and evicts exactly
+         the oldest key's group. *)
       let removed, reclaimed =
-        Trace_cache.gc ~dir ~max_bytes:(2 * entry_bytes)
+        Trace_cache.gc ~dir ~max_bytes:(2 * group_bytes)
       in
-      Alcotest.(check int) "removed temp file + oldest entry" 2 removed;
-      Alcotest.(check int) "reclaimed their bytes" (entry_bytes + 7) reclaimed;
+      Alcotest.(check int) "removed temp file + oldest group" 3 removed;
+      Alcotest.(check int) "reclaimed their bytes" (group_bytes + 7) reclaimed;
       Alcotest.(check bool) "temp file gone" true (not (Sys.file_exists tmp));
       Alcotest.(check bool) "oldest entry evicted" true
         (Trace_cache.lookup ~dir ~key:k2 = None);
+      Alcotest.(check bool) "no orphaned sidecar left behind" true
+        (not (Sys.file_exists (Filename.concat dir (k2 ^ ".ebpt3"))));
       Alcotest.(check bool) "newer entries survive" true
         (Trace_cache.lookup ~dir ~key:k1 <> None
         && Trace_cache.lookup ~dir ~key:k3 <> None);
       let removed, _ = Trace_cache.gc ~dir ~max_bytes:0 in
-      Alcotest.(check int) "gc to zero removes the rest" 2 removed;
+      Alcotest.(check int) "gc to zero removes the rest" 4 removed;
       Alcotest.(check (pair int int)) "nothing left to clear" (0, 0)
         (Trace_cache.clear ~dir))
+
+let test_cache_gc_reclaims_orphans () =
+  (* A sidecar or index whose owning trace entry is gone is an orphan:
+     unreferenceable through any lookup key path once the canonical entry
+     disappears, so gc must reclaim it regardless of the byte budget. *)
+  with_temp_cache_dir (fun dir ->
+      let trace = synthetic_trace () in
+      let key = Trace_cache.make_key ~name:"orphan" ~source:"s" ~seed:1 () in
+      (match Trace_cache.store ~dir ~key trace with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      let index = Ebp_trace.Write_index.build ~page_sizes:[ 4096 ] trace in
+      (match Trace_cache.store_index ~dir ~key ~page_sizes:[ 4096 ] index with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Alcotest.(check int) "trace + sidecar + index" 3
+        (List.length (Trace_cache.entries ~dir));
+      (* Orphan the artifacts by deleting the canonical trace entry. *)
+      Sys.remove (Filename.concat dir (key ^ ".trace"));
+      let removed, reclaimed = Trace_cache.gc ~dir ~max_bytes:max_int in
+      Alcotest.(check int) "both orphans reclaimed" 2 removed;
+      Alcotest.(check bool) "their bytes counted" true (reclaimed > 0);
+      Alcotest.(check int) "cache empty" 0
+        (List.length (Trace_cache.entries ~dir));
+      (* A live key's artifacts are not orphans: re-store and re-index,
+         then gc with an unlimited budget must keep everything. *)
+      (match Trace_cache.store ~dir ~key trace with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      (match Trace_cache.store_index ~dir ~key ~page_sizes:[ 4096 ] index with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Alcotest.(check (pair int int)) "live artifacts kept" (0, 0)
+        (Trace_cache.gc ~dir ~max_bytes:max_int))
 
 (* --- crash consistency ---
 
@@ -534,6 +626,8 @@ let () =
             test_replay_determinism_workload;
           Alcotest.test_case "shared pool across replays" `Quick
             test_replay_shared_pool;
+          Alcotest.test_case "parallel index build identical" `Quick
+            test_parallel_index_build;
         ] );
       ( "trace_cache",
         [
@@ -547,6 +641,8 @@ let () =
             test_cache_entries_and_clear;
           Alcotest.test_case "gc evicts oldest first" `Quick
             test_cache_gc_evicts_oldest;
+          Alcotest.test_case "gc reclaims orphaned artifacts" `Quick
+            test_cache_gc_reclaims_orphans;
           Alcotest.test_case "store crash consistency" `Quick
             test_store_crash_consistency;
           Alcotest.test_case "experiment engines agree" `Slow

@@ -358,6 +358,183 @@ let test_codec_byte_counters () =
       Alcotest.(check int) "bytes_in" (String.length s)
         (counter "trace.codec.bytes_in"))
 
+(* --- columnar codec (EBPT3) and the mmap load path --- *)
+
+let big_sample ?(events = 10_000) () =
+  (* Enough events to span multiple 4096-event summary blocks, with
+     installs so a mapped trace has usable install bounds. *)
+  let b = Trace.Builder.create ~hint:(events + 2) () in
+  let obj = Object_desc.Global { var = "g" } in
+  Trace.Builder.add_install b obj (iv 4096 8191);
+  for i = 0 to events - 1 do
+    let lo = 4096 + (4 * (i mod 1024)) in
+    Trace.Builder.add_write b (iv lo (lo + 3)) ~pc:(100 + (i mod 7))
+  done;
+  Trace.Builder.add_remove b obj (iv 4096 8191);
+  Trace.Builder.finish b
+
+let test_columnar_roundtrip () =
+  List.iter
+    (fun t ->
+      let bytes = Trace.encode_columnar ~meta:"m1" t in
+      match Trace.decode_columnar bytes with
+      | Error e -> Alcotest.failf "decode failed: %s" e
+      | Ok (t2, meta) ->
+          Alcotest.(check string) "meta" "m1" meta;
+          Alcotest.(check bool) "rows and objects" true (traces_equal t t2);
+          Alcotest.(check string) "canonical bytes" (Trace.encode t)
+            (Trace.encode t2))
+    [ build_sample (); big_sample (); Trace.Builder.finish (Trace.Builder.create ()) ]
+
+let test_columnar_malformed () =
+  let valid = Trace.encode_columnar ~meta:"m" (build_sample ()) in
+  let expect_error what s =
+    match Trace.decode_columnar s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" what
+  in
+  expect_error "empty input" "";
+  expect_error "bad magic" ("XXXXXXXX" ^ String.sub valid 8 (String.length valid - 8));
+  for cut = 0 to String.length valid - 1 do
+    expect_error "truncation" (String.sub valid 0 cut)
+  done;
+  expect_error "trailing bytes" (valid ^ "\x00")
+
+let test_columnar_bitflips_detected () =
+  (* Every single-bit flip anywhere in the image must be rejected by the
+     fully-checked decoder (CRC over the body, magic over the rest). *)
+  let valid = Trace.encode_columnar ~meta:"m" (build_sample ()) in
+  for i = 0 to String.length valid - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string valid in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Trace.decode_columnar (Bytes.unsafe_to_string b) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bit %d of byte %d flipped" bit i
+    done
+  done
+
+let with_columnar_file t f =
+  let path = Filename.temp_file "ebp_columnar" ".ebpt3" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Trace.encode_columnar ~meta:"mm" t));
+      f path)
+
+let test_columnar_map () =
+  let t = big_sample () in
+  with_columnar_file t (fun path ->
+      match Trace.map_columnar path with
+      | Error e -> Alcotest.failf "map failed: %s" e
+      | Ok (m, meta) ->
+          Alcotest.(check string) "meta" "mm" meta;
+          Alcotest.(check bool) "mapped storage" true (Trace.is_mapped m);
+          Alcotest.(check bool) "heap original" false (Trace.is_mapped t);
+          (match Trace.install_bounds m with
+          | Some (lo, hi) ->
+              Alcotest.(check int) "install lo" 4096 lo;
+              Alcotest.(check int) "install hi" 8191 hi
+          | None -> Alcotest.fail "mapped trace should expose install bounds");
+          Alcotest.(check bool) "rows and objects" true (traces_equal t m);
+          Alcotest.(check string) "canonical bytes" (Trace.encode t)
+            (Trace.encode m))
+
+let test_columnar_map_verify () =
+  let t = build_sample () in
+  with_columnar_file t (fun path ->
+      match Trace.map_columnar ~verify:true path with
+      | Error e -> Alcotest.failf "verified load failed: %s" e
+      | Ok (m, _) -> Alcotest.(check bool) "rows" true (traces_equal t m))
+
+let test_columnar_map_rejects_damage () =
+  (* Structural damage — truncation, header corruption, bad column tags —
+     must be caught even by the unverified (header-checked) mapping. *)
+  let t = build_sample () in
+  with_columnar_file t (fun path ->
+      let valid = In_channel.with_open_bin path In_channel.input_all in
+      let write s = Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc s)
+      in
+      let expect_error what =
+        match Trace.map_columnar path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "mapped %s" what
+      in
+      write (String.sub valid 0 (String.length valid / 2));
+      expect_error "a truncated file";
+      write ("ZZZZZZZZ" ^ String.sub valid 8 (String.length valid - 8));
+      expect_error "a bad magic";
+      (* Flip a bit in the w0 column's first word: the tag/object check
+         walks the whole column even without the payload CRC. *)
+      let b = Bytes.of_string valid in
+      let w0_off = String.length valid - 12 - (8 * 4 * Trace.length t) in
+      Bytes.set b (w0_off + 7) '\x40';
+      write (Bytes.unsafe_to_string b);
+      expect_error "a corrupt w0 column";
+      write valid;
+      match Trace.map_columnar path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "restored file rejected: %s" e)
+
+let test_columnar_mapped_skipping () =
+  (* iter_raw_skipping over a mapped trace must visit exactly the events
+     iter_raw visits, minus whole skipped blocks whose write counts are
+     reported through on_skip — so visited + skipped = total writes. *)
+  let t = big_sample ~events:20_000 () in
+  with_columnar_file t (fun path ->
+      match Trace.map_columnar path with
+      | Error e -> Alcotest.failf "map failed: %s" e
+      | Ok (m, _) ->
+          (* A window disjoint from every write: everything skippable. *)
+          let visited = ref 0 and skipped = ref 0 in
+          Trace.iter_raw_skipping m
+            ~skip:(fun ~min_lo ~max_hi:_ -> min_lo > 0)
+            ~on_skip:(fun ~writes -> skipped := !skipped + writes)
+            (fun ~tag ~obj:_ ~lo:_ ~hi:_ ~pc:_ ->
+              if tag = 2 then incr visited);
+          Alcotest.(check int) "write accounting" 20_000 (!visited + !skipped);
+          Alcotest.(check bool) "some blocks skipped" true (!skipped > 0);
+          (* A never-skip predicate degenerates to iter_raw. *)
+          let n = ref 0 in
+          Trace.iter_raw_skipping m
+            ~skip:(fun ~min_lo:_ ~max_hi:_ -> false)
+            ~on_skip:(fun ~writes:_ -> Alcotest.fail "skipped despite false")
+            (fun ~tag:_ ~obj:_ ~lo:_ ~hi:_ ~pc:_ -> incr n);
+          Alcotest.(check int) "all events" (Trace.length m) !n)
+
+let test_columnar_byte_counters () =
+  let module Metrics = Ebp_obs.Metrics in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let t = build_sample () in
+      let s = Trace.encode_columnar ~meta:"mm" t in
+      with_columnar_file t (fun path ->
+          match Trace.map_columnar path with
+          | Error e -> Alcotest.fail e
+          | Ok _ ->
+              let counter name =
+                let snap = Metrics.snapshot () in
+                match
+                  List.find_opt
+                    (fun (n, _, _) -> String.equal n name)
+                    snap.Metrics.counters
+                with
+                | Some (_, total, _) -> total
+                | None -> Alcotest.failf "counter %s not registered" name
+              in
+              Alcotest.(check int) "columnar_bytes_out"
+                (2 * String.length s)
+                (counter "trace.codec.columnar_bytes_out");
+              Alcotest.(check bool) "mapped_bytes counted" true
+                (counter "trace.codec.mapped_bytes" > 0)))
+
 (* --- Recorder semantics --- *)
 
 let record src =
@@ -537,6 +714,20 @@ let () =
           Alcotest.test_case "builder hint" `Quick test_builder_hint;
           Alcotest.test_case "compactness" `Quick test_codec_compact;
           Alcotest.test_case "byte counters" `Quick test_codec_byte_counters;
+        ] );
+      ( "columnar",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_columnar_roundtrip;
+          Alcotest.test_case "malformed inputs" `Quick test_columnar_malformed;
+          Alcotest.test_case "bit flips detected" `Quick
+            test_columnar_bitflips_detected;
+          Alcotest.test_case "mmap load" `Quick test_columnar_map;
+          Alcotest.test_case "verified load" `Quick test_columnar_map_verify;
+          Alcotest.test_case "map rejects damage" `Quick
+            test_columnar_map_rejects_damage;
+          Alcotest.test_case "mapped block skipping" `Quick
+            test_columnar_mapped_skipping;
+          Alcotest.test_case "byte counters" `Quick test_columnar_byte_counters;
         ] );
       ( "recorder",
         [
