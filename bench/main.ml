@@ -348,6 +348,7 @@ module Json = Ebp_obs.Json
 let json_phase1 : Json.t list ref = ref []
 let json_phase2 : Json.t list ref = ref []
 let json_store : Json.t list ref = ref []
+let json_query : Json.t list ref = ref []
 
 let write_json_file path =
   let j =
@@ -357,6 +358,7 @@ let write_json_file path =
         ("phase1", Json.List (List.rev !json_phase1));
         ("phase2", Json.List (List.rev !json_phase2));
         ("store", Json.List (List.rev !json_store));
+        ("query", Json.List (List.rev !json_query));
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -800,6 +802,147 @@ let run_engine_comparison traces =
   end;
   print_newline ()
 
+(* --- query engines: compiled-onto-the-index vs streaming scan --- *)
+
+(* The sixth bench workload: a fixed-seed synthetic program from the
+   fuzzer's workload synthesizer, dialed up to >= 10^6 trace events. It
+   exists purely to price query throughput at a scale the five paper
+   workloads don't reach. *)
+let synthetic_trace () =
+  let module Fuzz = Ebp_core.Fuzz in
+  let knobs =
+    { Fuzz.gen_events = 400; gen_heap_churn = 40; gen_session_density = 12 }
+  in
+  let source = Fuzz.render (Fuzz.generate_knobbed ~knobs ~seed:42) in
+  match Ebp_trace.Recorder.record_source ~seed:42 ~fuel:80_000_000 source with
+  | Error msg ->
+      prerr_endline ("synthetic workload failed to record: " ^ msg);
+      exit 1
+  | Ok (_, trace, _) ->
+      let events = Ebp_trace.Trace.length trace in
+      if events < 1_000_000 then begin
+        Printf.eprintf
+          "synthetic workload too small: %d events (need >= 10^6)\n" events;
+        exit 1
+      end;
+      trace
+
+(* One live() spec per workload, naming a scalar global each program
+   actually has — the session-window join shape the paper's phase 2 is
+   built around. *)
+let live_spec_of = function
+  | "compiler" -> "global:node_count"
+  | "typeset" -> "global:total_lines"
+  | "circuit" -> "global:steps_done"
+  | "lattice" -> "global:sweep_count"
+  | "puzzle" -> "global:expansions"
+  | "synthetic" -> "global:q0"
+  | name -> failwith ("no live() spec for workload " ^ name)
+
+let run_query traces =
+  let module Query = Ebp_query.Query in
+  let module Qresult = Ebp_query.Qresult in
+  let module Write_index = Ebp_trace.Write_index in
+  print_endline
+    "Query engines: compiled onto the write index vs streaming scan\n\
+     (each query asserted result-identical between engines; ms is the\n\
+     mean of 5 runs)";
+  let reps = 5 in
+  let timed f =
+    Gc.compact ();
+    let _, ms =
+      wall_ms (fun () ->
+          for _ = 1 to reps do
+            ignore (f ())
+          done)
+    in
+    ms /. float_of_int reps
+  in
+  let mismatch = ref false in
+  let rows =
+    List.concat_map
+      (fun (name, trace) ->
+        let events = Ebp_trace.Trace.length trace in
+        let index, build_ms =
+          wall_ms (fun () ->
+              Write_index.build
+                ~page_sizes:Ebp_sessions.Replay.default_page_sizes trace)
+        in
+        Printf.printf "%-10s %9d events, index built in %.0f ms\n%!" name
+          events build_ms;
+        let shapes =
+          [
+            ("count", "count");
+            ("window", Printf.sprintf "count where time in [0,%d]" (events / 2));
+            ("group-pc", "count group by pc top 5");
+            ("histogram",
+             Printf.sprintf "count bucket by %d" (max 1 (events / 64)));
+            ("live-join",
+             Printf.sprintf "count where live(%s)" (live_spec_of name));
+            ("live-group",
+             Printf.sprintf "count where live(%s) group by pc top 3"
+               (live_spec_of name));
+          ]
+        in
+        List.map
+          (fun (shape, expr) ->
+            let q =
+              match Query.parse expr with
+              | Ok q -> q
+              | Error e ->
+                  prerr_endline
+                    ("bench query failed to parse: "
+                    ^ Ebp_query.Parser.error_line expr e);
+                  exit 1
+            in
+            let indexed = Query.run ~engine:Query.Indexed ~index trace q in
+            let scan = Query.run ~engine:Query.Scan trace q in
+            let identical =
+              Qresult.equal indexed.Query.raw scan.Query.raw
+            in
+            if not identical then mismatch := true;
+            let indexed_ms =
+              timed (fun () -> Query.run ~engine:Query.Indexed ~index trace q)
+            in
+            let scan_ms =
+              timed (fun () -> Query.run ~engine:Query.Scan trace q)
+            in
+            json_query :=
+              Json.Obj
+                [
+                  ("workload", Json.Str name);
+                  ("shape", Json.Str shape);
+                  ("query", Json.Str expr);
+                  ("events", Json.Int events);
+                  ("index_build_ms", Json.Float build_ms);
+                  ("scan_ms", Json.Float scan_ms);
+                  ("indexed_ms", Json.Float indexed_ms);
+                  ("identical", Json.Bool identical);
+                ]
+              :: !json_query;
+            [
+              name;
+              shape;
+              Printf.sprintf "%.2f" scan_ms;
+              Printf.sprintf "%.2f" indexed_ms;
+              Printf.sprintf "%.1fx" (scan_ms /. indexed_ms);
+              (if identical then "yes" else "NO");
+            ])
+          shapes)
+      traces
+  in
+  print_string
+    (Ebp_util.Text_table.render
+       ~header:
+         [ "workload"; "shape"; "scan ms"; "indexed ms"; "speedup";
+           "identical" ]
+       ~rows ());
+  if !mismatch then begin
+    prerr_endline "query engine mismatch: compiled result differs from scan";
+    exit 1
+  end;
+  print_newline ()
+
 (* --- zero-copy store: mmap vs decode, parallel build, planner --- *)
 
 (* Prices the EBPT3 tier end to end: a warm load through the mmap'd
@@ -1090,6 +1233,12 @@ let () =
           print_newline ();
           with_section_metrics "replay engines" (fun () ->
               run_engine_comparison (traces_of t));
+          if not engines_only then begin
+            print_endline "=== Query engines ===";
+            print_newline ();
+            with_section_metrics "query engines (indexed vs scan)" (fun () ->
+                run_query (traces_of t @ [ ("synthetic", synthetic_trace ()) ]))
+          end;
           if not engines_only then begin
             print_endline "=== Zero-copy store and planner ===";
             print_newline ();

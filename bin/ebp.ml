@@ -339,6 +339,182 @@ let sessions_cmd =
       const f $ target_or_dash $ all_arg $ from_arg $ engine_arg $ faults_arg
       $ metrics_arg $ trace_events_arg)
 
+(* --- query --- *)
+
+let query_cmd =
+  let doc =
+    "Run a trace query (docs/QUERY.md): predicates on pc, address range, \
+     time window, and session liveness, with counts, group-bys, and \
+     histograms. Compiled onto the write index or streamed over the trace; \
+     both engines produce byte-identical output."
+  in
+  let expr_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR")
+  in
+  let target_or_dash =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:"Query a saved binary trace instead of running anything; the \
+                positional target is ignored.")
+  in
+  let qengine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", Ebp_query.Query.Auto);
+               ("indexed", Ebp_query.Query.Indexed);
+               ("scan", Ebp_query.Query.Scan);
+             ])
+          Ebp_query.Query.Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Query engine: $(b,auto) (default; the replay cost model picks \
+             from trace length, query shape, and cached-index \
+             availability), $(b,indexed) (compiles the predicate onto \
+             write-index posting lists), or $(b,scan) (one streaming pass \
+             over the trace). All three produce byte-identical output.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("table", Ebp_query.Query.Table); ("ndjson", Ebp_query.Query.Ndjson) ])
+          Ebp_query.Query.Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,table) (default) or $(b,ndjson).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the query through $(b,both) engines and fail unless they \
+             agree (the differential oracle the fuzzer uses).")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the planner's cost-model decision to stderr.")
+  in
+  let cached_arg =
+    Arg.(
+      value & flag
+      & info [ "cached" ]
+          ~doc:
+            "Consult the on-disk caches: reuse (or record and store) the \
+             trace, and reuse (or build and store) its write index, so \
+             repeated queries skip both phase 1 and the index build.")
+  in
+  let f target expr from engine format check explain cached cache_dir faults
+      metrics trace_events =
+    with_faults faults @@ fun () ->
+    with_obs ~metrics ~trace_events @@ fun () ->
+    let q =
+      match Ebp_query.Query.parse expr with
+      | Ok q -> q
+      | Error e ->
+          prerr_endline ("ebp: " ^ Ebp_query.Parser.error_line expr e);
+          prerr_endline (Ebp_query.Parser.error_caret expr e);
+          exit 1
+    in
+    (* [trace_key] is [Some key] only when the trace came from the cache
+       path, which is what guarantees the index entry describes it. *)
+    let trace, trace_key =
+      match from with
+      | Some path -> (
+          if not (Sys.file_exists path) then
+            exit_err (Printf.sprintf "no trace file %S" path);
+          match Ebp_trace.Trace.decode (read_file path) with
+          | Ok t -> (t, None)
+          | Error msg -> exit_err ("bad trace file: " ^ msg))
+      | None -> (
+          match source_of_arg target with
+          | Error msg -> exit_err msg
+          | Ok (source, seed) -> (
+              let record () =
+                match Ebp_trace.Recorder.record_source ~seed source with
+                | Error msg -> exit_err msg
+                | Ok (_result, trace, _debug) -> trace
+              in
+              if not cached then (record (), None)
+              else
+                let dir =
+                  Option.value cache_dir
+                    ~default:(Ebp_trace.Trace_cache.default_dir ())
+                in
+                let key =
+                  Ebp_trace.Trace_cache.make_key ~name:target ~source ~seed ()
+                in
+                match Ebp_trace.Trace_cache.lookup ~dir ~key with
+                | Some (trace, _meta) ->
+                    Printf.eprintf
+                      "phase 1: cache hit, no execution (%d events)\n"
+                      (Ebp_trace.Trace.length trace);
+                    (trace, Some (dir, key))
+                | None ->
+                    let trace = record () in
+                    (match Ebp_trace.Trace_cache.store ~dir ~key trace with
+                    | Ok () ->
+                        Printf.eprintf
+                          "phase 1: traced and cached (%d events)\n"
+                          (Ebp_trace.Trace.length trace)
+                    | Error msg ->
+                        Printf.eprintf
+                          "phase 1: traced; cache store failed: %s\n" msg);
+                    (trace, Some (dir, key))))
+    in
+    let page_sizes = Ebp_sessions.Replay.default_page_sizes in
+    let index_source =
+      match trace_key with
+      | None -> Ebp_sessions.Planner.no_index_cache
+      | Some (dir, key) ->
+          {
+            Ebp_sessions.Planner.cached =
+              Ebp_trace.Trace_cache.index_cached ~dir ~key ~page_sizes;
+            load =
+              (fun () ->
+                Ebp_trace.Trace_cache.lookup_index ~dir ~key ~page_sizes);
+            store =
+              (fun index ->
+                match
+                  Ebp_trace.Trace_cache.store_index ~dir ~key ~page_sizes
+                    index
+                with
+                | Ok () | Error _ -> ());
+          }
+    in
+    let log = if explain then Some prerr_endline else None in
+    let execution =
+      try
+        if check then begin
+          match Ebp_query.Query.check_engines trace q with
+          | Ok execution ->
+              prerr_endline "query: engines agree";
+              execution
+          | Error msg -> exit_err msg
+        end
+        else Ebp_query.Query.run ~engine ~index_source ?log trace q
+      with Ebp_util.Fault.Injected msg ->
+        exit_err ("injected fault: " ^ msg)
+    in
+    print_string
+      (Ebp_query.Query.render ~format trace q execution.Ebp_query.Query.raw)
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const f $ target_or_dash $ expr_arg $ from_arg $ qengine_arg $ format_arg
+      $ check_arg $ explain_arg $ cached_arg $ cache_dir_arg $ faults_arg
+      $ metrics_arg $ trace_events_arg)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -571,8 +747,10 @@ let fuzz_cmd =
   let doc =
     "Differential fuzzing: run generated MiniC programs through the \
      record / run-vs-record / step-vs-run / codec round-trip / \
-     scan-vs-indexed oracles, shrinking any failure to a minimal \
-     reproducer."
+     scan-vs-indexed / query-engines oracles, shrinking any failure to a \
+     minimal reproducer. The $(b,--gen-*) knobs turn the generator into \
+     a workload synthesizer (more events, heap churn, or monitored \
+     globals per program)."
   in
   let seeds_arg =
     Arg.(
@@ -607,12 +785,38 @@ let fuzz_cmd =
       & info [ "no-shrink" ]
           ~doc:"Report the original failing program without shrinking it.")
   in
-  let f seeds start fuel save no_shrink =
+  let gen_events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gen-events" ] ~docv:"N"
+          ~doc:
+            "Append $(docv) hot write loops (~2k writes each) to every \
+             generated program; raise $(b,--fuel) accordingly.")
+  in
+  let gen_heap_churn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gen-heap-churn" ] ~docv:"N"
+          ~doc:"Append $(docv) malloc / write-loop / free groups.")
+  in
+  let gen_session_density_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gen-session-density" ] ~docv:"N"
+          ~doc:"Add $(docv) extra monitored globals, each with writes.")
+  in
+  let f seeds start fuel save no_shrink gen_events gen_heap_churn
+      gen_session_density =
     if seeds < 0 then exit_err "--seeds must be non-negative";
+    if gen_events < 0 || gen_heap_churn < 0 || gen_session_density < 0 then
+      exit_err "--gen-* knobs must be non-negative";
+    let knobs =
+      { Ebp_core.Fuzz.gen_events; gen_heap_churn; gen_session_density }
+    in
     let failure = ref None in
     (try
        for seed = start to start + seeds - 1 do
-         match Ebp_core.Fuzz.check_seed ?fuel seed with
+         match Ebp_core.Fuzz.check_seed ?fuel ~knobs seed with
          | Ok () ->
              let done_ = seed - start + 1 in
              if done_ mod 100 = 0 && done_ < seeds then
@@ -630,8 +834,12 @@ let fuzz_cmd =
           (if no_shrink then "" else "; shrinking");
         let f = if no_shrink then f else Ebp_core.Fuzz.shrink ?fuel f in
         let reproducer =
-          Printf.sprintf "// seed %d, oracle %s: %s\n%s" f.Ebp_core.Fuzz.seed
-            f.Ebp_core.Fuzz.oracle f.Ebp_core.Fuzz.detail f.Ebp_core.Fuzz.source
+          Printf.sprintf "// seed %d, oracle %s: %s\n%s%s" f.Ebp_core.Fuzz.seed
+            f.Ebp_core.Fuzz.oracle f.Ebp_core.Fuzz.detail
+            (match f.Ebp_core.Fuzz.query with
+            | Some q -> Printf.sprintf "// query: %s\n" q
+            | None -> "")
+            f.Ebp_core.Fuzz.source
         in
         (match save with
         | Some path ->
@@ -641,7 +849,9 @@ let fuzz_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const f $ seeds_arg $ start_arg $ fuel_arg $ save_arg $ no_shrink_arg)
+    Term.(
+      const f $ seeds_arg $ start_arg $ fuel_arg $ save_arg $ no_shrink_arg
+      $ gen_events_arg $ gen_heap_churn_arg $ gen_session_density_arg)
 
 (* --- serve / client --- *)
 
@@ -837,6 +1047,45 @@ let client_cmd =
     Cmd.v (Cmd.info "experiment" ~doc)
       Term.(const f $ socket_arg $ tenant_arg $ only_arg $ workloads_arg)
   in
+  let query_cmd =
+    let doc =
+      "Run a trace query on the server and print the result — \
+       byte-identical to $(b,ebp query) for the same program and \
+       expression (docs/QUERY.md)."
+    in
+    let expr_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR")
+    in
+    let engine_arg =
+      Arg.(
+        value
+        & opt (enum [ ("auto", "auto"); ("indexed", "indexed"); ("scan", "scan") ])
+            "auto"
+        & info [ "engine" ] ~docv:"ENGINE"
+            ~doc:"Query engine: $(b,auto), $(b,indexed), or $(b,scan).")
+    in
+    let format_arg =
+      Arg.(
+        value
+        & opt (enum [ ("table", "table"); ("ndjson", "ndjson") ]) "table"
+        & info [ "format" ] ~docv:"FORMAT"
+            ~doc:"Output format: $(b,table) or $(b,ndjson).")
+    in
+    let f socket tenant target expr engine format =
+      match source_of_arg target with
+      | Error msg -> exit_err msg
+      | Ok (source, seed) ->
+          run_request socket tenant
+            (Proto.Query { name = target; source; seed; expr; engine; format })
+            (function
+              | Proto.Report text -> print_string text
+              | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "query" ~doc)
+      Term.(
+        const f $ socket_arg $ tenant_arg $ target_arg $ expr_arg $ engine_arg
+        $ format_arg)
+  in
   let stats_cmd =
     let doc =
       "Fetch the server's live metrics snapshot and render it as tables \
@@ -876,7 +1125,7 @@ let client_cmd =
   in
   let doc = "Query a running $(b,ebp serve) daemon over its socket." in
   Cmd.group (Cmd.info "client" ~doc)
-    [ ping_cmd; sessions_cmd; experiment_cmd; stats_cmd; shutdown_cmd ]
+    [ ping_cmd; sessions_cmd; query_cmd; experiment_cmd; stats_cmd; shutdown_cmd ]
 
 (* --- debug --- *)
 
@@ -940,7 +1189,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; trace_cmd; sessions_cmd; experiment_cmd;
+            list_cmd; run_cmd; trace_cmd; sessions_cmd; query_cmd; experiment_cmd;
             serve_cmd; client_cmd; stats_cmd; cache_cmd; fuzz_cmd;
             disasm_cmd; debug_cmd;
           ]))

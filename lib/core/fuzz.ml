@@ -13,8 +13,16 @@
    The oracles are the redundancies the codebase already maintains:
    [Machine.run] vs the single-[step] loop (independent execution loops),
    recorded vs unrecorded execution (tracing must not perturb the run),
-   the EBPT2, EBPT3 and EBPW1 codec round-trips, and the scan vs indexed
-   replay engines. *)
+   the EBPT2, EBPT3 and EBPW2 codec round-trips, the scan vs indexed
+   replay engines, and the query language's compiled vs streaming
+   engines (random well-typed queries drawn from the trace's own pcs,
+   addresses and discovered sessions).
+
+   Beyond fuzzing, [generate] doubles as a workload synthesizer: knobs
+   append deterministic extra source units — hot write loops, heap
+   churn, extra monitored globals — drawn from a separate PRNG stream so
+   the default program is byte-identical to the knobless one. The bench
+   harness uses this for its large synthetic query workload. *)
 
 module Prng = Ebp_util.Prng
 module Machine = Ebp_machine.Machine
@@ -43,7 +51,62 @@ let render p =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let generate ~seed =
+type knobs = {
+  gen_events : int;
+  gen_heap_churn : int;
+  gen_session_density : int;
+}
+
+let default_knobs = { gen_events = 0; gen_heap_churn = 0; gen_session_density = 0 }
+
+(* Knob-driven source units. Drawn from a PRNG stream independent of the
+   base generator's, so turning a knob never disturbs the base program —
+   with [default_knobs] nothing is drawn at all and [generate] is
+   byte-identical to its knobless behaviour (pinned by test_fuzz.ml). *)
+let synth_units ~seed k =
+  if k = default_knobs then ([], [])
+  else begin
+    let g = Prng.create ((seed * 0x5bd1e995) lxor 0x2545f491) in
+    let rand n = Prng.int g n in
+    let globals = ref [] and groups = ref [] in
+    let add_global l = globals := l :: !globals in
+    let add_group l = groups := l :: !groups in
+    (* Extra monitored globals, each written a handful of times so the
+       sessions discovered on them have hits. *)
+    for j = 0 to k.gen_session_density - 1 do
+      add_global (Printf.sprintf "int q%d;" j);
+      add_group
+        (Printf.sprintf
+           "q%d = t + %d; for (i = 0; i < %d; i = i + 1) { q%d = q%d + i; } t \
+            = t + q%d;"
+           j (rand 100) (4 + rand 8) j j j)
+    done;
+    (* Heap churn: allocation sites cycling through install / write /
+       remove, so object timelines grow and heap sessions multiply. *)
+    for _ = 1 to k.gen_heap_churn do
+      let words = List.nth [ 8; 16; 32 ] (rand 3) in
+      add_group
+        (Printf.sprintf
+           "p = malloc(%d); if (p != 0) { for (i = 0; i < %d; i = i + 1) { \
+            p[i & %d] = i + %d; } t = t + p[%d]; free(p); }"
+           (words * 4) words (words - 1) (rand 50) (rand words))
+    done;
+    (* Hot write loops: ~2k writes each, the event-count dial for large
+       synthetic workloads (raise the fuel along with it). *)
+    if k.gen_events > 0 then begin
+      add_global "int qhot[64];";
+      for _ = 1 to k.gen_events do
+        add_group
+          (Printf.sprintf
+             "for (i = 0; i < 1024; i = i + 1) { qhot[i & 63] = i * %d; t = t \
+              + i; }"
+             (1 + rand 7))
+      done
+    end;
+    (List.rev !globals, List.rev !groups)
+  end
+
+let generate_knobbed ~knobs ~seed =
   let g = Prng.create seed in
   let rand n = Prng.int g n in
   let pick xs = List.nth xs (rand (List.length xs)) in
@@ -138,14 +201,18 @@ let generate ~seed =
     | _ -> Printf.sprintf "srand(%d); t = t + rand(%d);" (rand 1000) (1 + rand 50)
   in
   let n_groups = 4 + rand 5 in
+  let base_groups = List.init n_groups (fun _ -> group ()) in
+  let extra_globals, extra_groups = synth_units ~seed knobs in
   {
-    globals;
+    globals = globals @ extra_globals;
     funcs;
     main_body =
       [ "int t;"; "int i;"; "int* p;"; "t = 0;" ]
-      @ List.init n_groups (fun _ -> group ())
+      @ base_groups @ extra_groups
       @ [ "print_int(t);"; "return 0;" ];
   }
+
+let generate ~seed = generate_knobbed ~knobs:default_knobs ~seed
 
 (* --- oracles --- *)
 
@@ -156,9 +223,75 @@ let status_str = function
   | Machine.Out_of_fuel -> "out of fuel"
   | Machine.Machine_error m -> "machine error: " ^ m
 
+(* A random well-typed query drawn from the trace's own material: real
+   pcs (the index's pc posting keys), real write byte-ranges, and the
+   sessions discovery actually found — so predicates mostly hit, and the
+   engines' agreement is tested on non-empty results. *)
+let random_query g ~events ~pcs ~spots ~sessions =
+  let module Ast = Ebp_query.Ast in
+  let rand = Prng.int g in
+  let pick_pc () =
+    if Array.length pcs = 0 then 4 + rand 1000 else pcs.(rand (Array.length pcs))
+  in
+  let atom () =
+    match rand 8 with
+    | 0 | 1 ->
+        let c =
+          match rand 6 with
+          | 0 -> Ast.Eq
+          | 1 -> Ast.Ne
+          | 2 -> Ast.Lt
+          | 3 -> Ast.Le
+          | 4 -> Ast.Gt
+          | _ -> Ast.Ge
+        in
+        Ast.Pc_cmp (c, pick_pc ())
+    | 2 ->
+        let a = pick_pc () and b = pick_pc () in
+        Ast.Pc_in (min a b, max a b)
+    | 3 | 4 ->
+        if Array.length spots = 0 then Ast.All
+        else
+          let lo, hi = spots.(rand (Array.length spots)) in
+          Ast.Addr_in (max 0 (lo - rand 64), hi + rand 64)
+    | 5 ->
+        let a = rand (events + 1) and b = rand (events + 1) in
+        Ast.Time_in (min a b, max a b)
+    | _ -> (
+        match sessions with
+        | [] -> Ast.All
+        | l -> Ast.Live (List.nth l (rand (List.length l))))
+  in
+  let rec pred depth =
+    if depth = 0 then atom ()
+    else
+      match rand 6 with
+      | 0 -> Ast.And (pred (depth - 1), pred (depth - 1))
+      | 1 -> Ast.Or (pred (depth - 1), pred (depth - 1))
+      | 2 -> Ast.Not (pred (depth - 1))
+      | _ -> atom ()
+  in
+  let pred = pred (1 + rand 2) in
+  let top () = if Prng.bool g then Some (1 + rand 5) else None in
+  match rand 8 with
+  | 0 | 1 ->
+      let field = if Prng.bool g then Ast.D_pc else Ast.D_word in
+      { Ast.agg = Count_distinct field; pred; group = None; top = None;
+        bucket = None }
+  | 2 | 3 ->
+      { Ast.agg = Count; pred; group = Some Ast.G_pc; top = top ();
+        bucket = None }
+  | 4 | 5 ->
+      { Ast.agg = Count; pred; group = Some Ast.G_object; top = top ();
+        bucket = None }
+  | 6 ->
+      { Ast.agg = Count; pred; group = None; top = None;
+        bucket = Some (1 + rand (max 1 events)) }
+  | _ -> { Ast.agg = Count; pred; group = None; top = None; bucket = None }
+
 let check_source ?(fuel = default_fuel) ~seed source =
   let ( let* ) = Result.bind in
-  let fail oracle fmt = Printf.ksprintf (fun d -> Error (oracle, d)) fmt in
+  let fail oracle fmt = Printf.ksprintf (fun d -> Error (oracle, d, None)) fmt in
   let* recorded, trace =
     match Ebp_trace.Recorder.record_source ~seed ~fuel source with
     | Error msg -> fail "record" "compile error: %s" msg
@@ -255,27 +388,58 @@ let check_source ?(fuel = default_fuel) ~seed source =
   let indexed =
     Replay.discover_and_replay ~page_sizes ~engine:Replay.Indexed ~index trace
   in
-  if scan <> indexed then
-    if List.length scan <> List.length indexed then
-      fail "scan-vs-indexed" "session count: %d vs %d" (List.length scan)
-        (List.length indexed)
+  let* () =
+    if scan <> indexed then
+      if List.length scan <> List.length indexed then
+        fail "scan-vs-indexed" "session count: %d vs %d" (List.length scan)
+          (List.length indexed)
+      else
+        let diverging =
+          List.find_opt
+            (fun ((s, c), (s', c')) ->
+              not (Ebp_sessions.Session.equal s s') || c <> c')
+            (List.combine scan indexed)
+        in
+        match diverging with
+        | Some ((s, _), _) ->
+            fail "scan-vs-indexed" "counts differ for %s"
+              (Ebp_sessions.Session.to_string s)
+        | None -> fail "scan-vs-indexed" "results differ"
+    else Ok ()
+  in
+  (* Compiled vs streaming query engines, on random well-typed queries. *)
+  let g = Prng.create ((seed * 0x9e3779b9) lxor 0x51f15eed) in
+  let pcp = Write_index.pc_writes index in
+  let pcs =
+    Array.init (Write_index.key_count pcp) (Write_index.key_at pcp)
+  in
+  let all = Write_index.all_write_positions index in
+  let n_spots = min (Array.length all) 16 in
+  let spots =
+    Array.init n_spots (fun i ->
+        Trace.get_raw trace
+          all.(i * Array.length all / n_spots)
+          (fun ~tag:_ ~obj:_ ~lo ~hi ~pc:_ -> (lo, hi)))
+  in
+  let sessions = List.map fst scan in
+  let rec go k =
+    if k = 0 then Ok ()
     else
-      let diverging =
-        List.find_opt
-          (fun ((s, c), (s', c')) -> not (Ebp_sessions.Session.equal s s') || c <> c')
-          (List.combine scan indexed)
+      let q =
+        random_query g ~events:(Trace.length trace) ~pcs ~spots ~sessions
       in
-      match diverging with
-      | Some ((s, _), _) ->
-          fail "scan-vs-indexed" "counts differ for %s"
-            (Ebp_sessions.Session.to_string s)
-      | None -> fail "scan-vs-indexed" "results differ"
-  else Ok ()
+      match Ebp_query.Query.check_engines ~index trace q with
+      | Ok _ -> go (k - 1)
+      | Error msg ->
+          Error ("query-engines", msg, Some (Ebp_query.Ast.to_string q))
+  in
+  go 8
 
 type failure = {
   seed : int;
   oracle : string;
   detail : string;
+  query : string option;
   program : program;
   source : string;
 }
@@ -284,9 +448,12 @@ let check_program ?fuel ~seed program =
   let source = render program in
   match check_source ?fuel ~seed source with
   | Ok () -> Ok ()
-  | Error (oracle, detail) -> Error { seed; oracle; detail; program; source }
+  | Error (oracle, detail, query) ->
+      Error { seed; oracle; detail; query; program; source }
 
-let check_seed ?fuel seed = check_program ?fuel ~seed (generate ~seed)
+let check_seed ?fuel ?knobs seed =
+  let knobs = Option.value knobs ~default:default_knobs in
+  check_program ?fuel ~seed (generate_knobbed ~knobs ~seed)
 
 (* --- shrinking --- *)
 
@@ -343,6 +510,39 @@ let candidates p =
   @ List.init (List.length p.globals) (fun i ->
         { p with globals = drop_nth p.globals i })
 
+(* Minimize the failing query against the (already shrunk) program: walk
+   [Ast.shrink_candidates] greedily while the engines still disagree on
+   the fixed trace, so a query-engines reproducer is minimal in both the
+   program and the query. *)
+let shrink_query ?fuel f =
+  match f.query with
+  | None -> f
+  | Some text -> (
+      match Ebp_query.Query.parse text with
+      | Error _ -> f
+      | Ok q0 -> (
+          match Ebp_trace.Recorder.record_source ~seed:f.seed ?fuel f.source with
+          | Error _ -> f
+          | Ok (_, trace, _) ->
+              let index =
+                Write_index.build ~page_sizes:Replay.default_page_sizes trace
+              in
+              let fails q =
+                match Ebp_query.Query.check_engines ~index trace q with
+                | Error _ -> true
+                | Ok _ -> false
+              in
+              if not (fails q0) then f
+              else
+                let rec fix q =
+                  match
+                    List.find_opt fails (Ebp_query.Ast.shrink_candidates q)
+                  with
+                  | Some q' -> fix q'
+                  | None -> q
+                in
+                { f with query = Some (Ebp_query.Ast.to_string (fix q0)) }))
+
 let shrink ?fuel f =
   (* Greedy fixpoint: take the first accepted deletion and restart. Every
      acceptance removes at least one source unit, so this terminates. *)
@@ -358,4 +558,4 @@ let shrink ?fuel f =
     in
     try_candidates (candidates f.program)
   in
-  fix f
+  shrink_query ?fuel (fix f)

@@ -3,7 +3,7 @@
 
     A seed deterministically generates a small, always-terminating MiniC
     program (bounded loops, masked recursion depth and subscripts,
-    constant divisors), which is then pushed through seven oracles:
+    constant divisors), which is then pushed through eight oracles:
 
     + {b record} — it compiles, runs without a runtime error, and halts
       with exit code 0;
@@ -12,16 +12,21 @@
     + {b step-vs-run} — the single-{!Ebp_machine.Machine.step} loop and
       {!Ebp_machine.Machine.run}'s batch loop agree exactly;
     + {b trace-codec} / {b columnar-codec} / {b index-codec} — the
-      EBPT2, EBPT3 and EBPW1 codecs round-trip the recording
+      EBPT2, EBPT3 and EBPW2 codecs round-trip the recording
       bit-identically;
     + {b scan-vs-indexed} — both phase-2 replay engines produce identical
-      session counts.
+      session counts;
+    + {b query-engines} — random well-typed trace queries (built from
+      the trace's own pcs, addresses and discovered sessions) produce
+      identical results from {!Ebp_query}'s compiled and streaming
+      engines.
 
-    A failure carries the offending program; {!shrink} deletes source
-    units (statement groups, helper functions, globals) to a fixpoint
-    while the {e same} oracle keeps failing, yielding a minimal
-    reproducer. [ebp fuzz] drives this; a fixed-seed batch also runs in
-    the tier-1 test suite. *)
+    A failure carries the offending program (and, for query-engines, the
+    offending query); {!shrink} deletes source units (statement groups,
+    helper functions, globals) to a fixpoint while the {e same} oracle
+    keeps failing — then minimizes the query over the shrunk program —
+    yielding a minimal reproducer. [ebp fuzz] drives this; a fixed-seed
+    batch also runs in the tier-1 test suite. *)
 
 type program = {
   globals : string list;  (** global declaration lines *)
@@ -29,32 +34,59 @@ type program = {
   main_body : string list;  (** statement groups of [main] *)
 }
 
+type knobs = {
+  gen_events : int;
+      (** extra hot write loops appended to [main], ~2k writes each — the
+          event-count dial for synthesized workloads (raise the fuel
+          accordingly) *)
+  gen_heap_churn : int;  (** extra malloc / write-loop / free groups *)
+  gen_session_density : int;
+      (** extra monitored globals, each with a small write loop *)
+}
+
+val default_knobs : knobs
+(** All zeros: generation is byte-identical to the knobless fuzzer. *)
+
 val generate : seed:int -> program
-(** Deterministic in [seed]. *)
+(** Deterministic in [seed]; [generate_knobbed] with {!default_knobs}. *)
+
+val generate_knobbed : knobs:knobs -> seed:int -> program
+(** Deterministic in [seed] and [knobs]; knob-driven units draw from an
+    independent PRNG stream, so the base program never shifts. *)
 
 val render : program -> string
 (** Flatten to MiniC source. *)
 
-val check_source : ?fuel:int -> seed:int -> string -> (unit, string * string) result
+val check_source :
+  ?fuel:int ->
+  seed:int ->
+  string ->
+  (unit, string * string * string option) result
 (** Run every oracle over one source string ([seed] seeds the program's
-    PRNG). [Error (oracle, detail)] names the first oracle that failed.
-    [fuel] (default 2,000,000) bounds each execution. *)
+    PRNG). [Error (oracle, detail, query)] names the first oracle that
+    failed; [query] is the offending query's canonical text when that
+    oracle is query-engines. [fuel] (default 2,000,000) bounds each
+    execution. *)
 
 type failure = {
   seed : int;
   oracle : string;
   detail : string;
+  query : string option;  (** the failing query, for query-engines *)
   program : program;
   source : string;
 }
 
 val check_program : ?fuel:int -> seed:int -> program -> (unit, failure) result
 
-val check_seed : ?fuel:int -> int -> (unit, failure) result
-(** [check_program] of [generate ~seed], executed with the same seed. *)
+val check_seed : ?fuel:int -> ?knobs:knobs -> int -> (unit, failure) result
+(** [check_program] of [generate_knobbed ~knobs ~seed], executed with the
+    same seed. *)
 
 val shrink : ?fuel:int -> failure -> failure
 (** Greedy delta-debugging: repeatedly delete the first source unit whose
     removal still fails the same oracle (details may drift, the oracle and
     error class may not), to a fixpoint. Deleting a helper function also
-    deletes its call sites, so candidates stay well-formed. *)
+    deletes its call sites, so candidates stay well-formed. A
+    query-engines failure then also has its query minimized (via
+    {!Ebp_query.Ast.shrink_candidates}) against the shrunk program. *)

@@ -1,0 +1,101 @@
+(* Hand-rolled lexer for the query language, in lib/lang's style but
+   tracking byte offsets instead of line numbers: queries are one-liners
+   and every diagnostic carries a caret position. *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+exception Lex_error of string * int
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let emit token ~at = tokens := { Token.token; pos = at } :: !tokens in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let fail ~at msg = raise (Lex_error (msg, at)) in
+  try
+    while !pos < n do
+      let c = source.[!pos] in
+      let start = !pos in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr pos
+      else if is_digit c then begin
+        if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+          pos := !pos + 2;
+          while !pos < n && is_hex_digit source.[!pos] do
+            incr pos
+          done
+        end
+        else
+          while !pos < n && is_digit source.[!pos] do
+            incr pos
+          done;
+        let text = String.sub source start (!pos - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (Token.Int v) ~at:start
+        | None -> fail ~at:start (Printf.sprintf "bad integer literal %S" text)
+      end
+      else if is_ident_start c then begin
+        while !pos < n && is_ident_char source.[!pos] do
+          incr pos
+        done;
+        let text = String.sub source start (!pos - start) in
+        emit (Token.Ident text) ~at:start;
+        (* [live(...)] carries a session descriptor whose syntax (dots,
+           colons, '#') is not made of query tokens: capture the raw
+           text up to the closing paren as one token. *)
+        if text = "live" then begin
+          while !pos < n && (source.[!pos] = ' ' || source.[!pos] = '\t') do
+            incr pos
+          done;
+          if !pos < n && source.[!pos] = '(' then begin
+            emit Token.Lparen ~at:!pos;
+            incr pos;
+            let spec_start = !pos in
+            while !pos < n && source.[!pos] <> ')' do
+              incr pos
+            done;
+            if !pos >= n then
+              fail ~at:(spec_start - 1) "unterminated live(...): missing ')'";
+            let spec = String.trim (String.sub source spec_start (!pos - spec_start)) in
+            emit (Token.Session_spec spec) ~at:spec_start;
+            emit Token.Rparen ~at:!pos;
+            incr pos
+          end
+        end
+      end
+      else begin
+        incr pos;
+        match c with
+        | '(' -> emit Token.Lparen ~at:start
+        | ')' -> emit Token.Rparen ~at:start
+        | '[' -> emit Token.Lbracket ~at:start
+        | ']' -> emit Token.Rbracket ~at:start
+        | ',' -> emit Token.Comma ~at:start
+        | '=' -> emit Token.Eq ~at:start
+        | '!' ->
+            if peek 0 = Some '=' then begin
+              incr pos;
+              emit Token.Ne ~at:start
+            end
+            else fail ~at:start "expected '=' after '!'"
+        | '<' ->
+            if peek 0 = Some '=' then begin
+              incr pos;
+              emit Token.Le ~at:start
+            end
+            else emit Token.Lt ~at:start
+        | '>' ->
+            if peek 0 = Some '=' then begin
+              incr pos;
+              emit Token.Ge ~at:start
+            end
+            else emit Token.Gt ~at:start
+        | c -> fail ~at:start (Printf.sprintf "unexpected character %C" c)
+      end
+    done;
+    emit Token.Eof ~at:n;
+    Ok (List.rev !tokens)
+  with Lex_error (msg, at) -> Error (msg, at)

@@ -1,0 +1,270 @@
+(* Recursive-descent parser for the query language, in lib/lang's style.
+   Every syntax or type error is an {!error} carrying the byte offset of
+   the offending token, rendered as a one-line [query:LINE:COL: message]
+   plus a caret line — the diagnostics test/cram/query.t pins. *)
+
+type error = { message : string; pos : int }
+
+exception Fail of string * int
+
+type state = { toks : Token.spanned array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail_at at msg = raise (Fail (msg, at))
+let fail st msg = fail_at (cur st).Token.pos msg
+
+let expect st token what =
+  let t = cur st in
+  if t.Token.token = token then advance st
+  else fail st (Printf.sprintf "expected %s, got '%s'" what (Token.to_string t.token))
+
+(* Keywords are contextual [Ident]s. *)
+let accept_kw st kw =
+  match (cur st).Token.token with
+  | Token.Ident s when String.equal s kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    fail st
+      (Printf.sprintf "expected '%s', got '%s'" kw (Token.to_string (cur st).token))
+
+let expect_int st what =
+  match (cur st).Token.token with
+  | Token.Int v ->
+      advance st;
+      v
+  | t -> fail st (Printf.sprintf "expected %s, got '%s'" what (Token.to_string t))
+
+(* [ INT , INT ] — inclusive, non-empty. *)
+let range st what =
+  let open_pos = (cur st).Token.pos in
+  expect st Token.Lbracket (Printf.sprintf "'[' to open the %s range" what);
+  let a = expect_int st "an integer" in
+  expect st Token.Comma "','";
+  let b = expect_int st "an integer" in
+  expect st Token.Rbracket "']'";
+  if a > b then
+    fail_at open_pos (Printf.sprintf "empty %s range: %d > %d" what a b);
+  (a, b)
+
+(* Inverse of Ast.spec_of_session; [at] points at the descriptor. *)
+let session_of_spec ~at spec : Ebp_sessions.Session.t =
+  let bad () =
+    fail_at at
+      (Printf.sprintf
+         "bad session descriptor %S (expected local:FUNC.VAR, locals:FUNC, \
+          global:VAR, heap:SITE#N, or heapfn:FUNC)"
+         spec)
+  in
+  let split_once sep s =
+    match String.index_opt s sep with
+    | None -> None
+    | Some i ->
+        Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let nonempty s = if String.length s = 0 then bad () else s in
+  match split_once ':' spec with
+  | Some ("local", rest) -> (
+      match split_once '.' rest with
+      | Some (func, var) ->
+          One_local_auto { func = nonempty func; var = nonempty var }
+      | None -> bad ())
+  | Some ("locals", func) -> All_local_in_func { func = nonempty func }
+  | Some ("global", var) -> One_global_static { var = nonempty var }
+  | Some ("heap", rest) -> (
+      match split_once '#' rest with
+      | Some (site, seq) -> (
+          match int_of_string_opt seq with
+          | Some seq when seq >= 0 -> One_heap { site = nonempty site; seq }
+          | _ -> bad ())
+      | None -> bad ())
+  | Some ("heapfn", func) -> All_heap_in_func { func = nonempty func }
+  | Some _ | None -> bad ()
+
+let cmp_op st =
+  match (cur st).Token.token with
+  | Token.Eq -> advance st; Some Ast.Eq
+  | Token.Ne -> advance st; Some Ast.Ne
+  | Token.Lt -> advance st; Some Ast.Lt
+  | Token.Le -> advance st; Some Ast.Le
+  | Token.Gt -> advance st; Some Ast.Gt
+  | Token.Ge -> advance st; Some Ast.Ge
+  | _ -> None
+
+let rec parse_or st =
+  let left = ref (parse_and st) in
+  while accept_kw st "or" do
+    left := Ast.Or (!left, parse_and st)
+  done;
+  !left
+
+and parse_and st =
+  let left = ref (parse_unary st) in
+  while accept_kw st "and" do
+    left := Ast.And (!left, parse_unary st)
+  done;
+  !left
+
+and parse_unary st =
+  if accept_kw st "not" then Ast.Not (parse_unary st) else parse_atom st
+
+and parse_atom st =
+  match (cur st).Token.token with
+  | Token.Lparen ->
+      advance st;
+      let p = parse_or st in
+      expect st Token.Rparen "')'";
+      p
+  | Token.Ident "all" ->
+      advance st;
+      Ast.All
+  | Token.Ident "pc" ->
+      advance st;
+      if accept_kw st "in" then
+        let a, b = range st "pc" in
+        Ast.Pc_in (a, b)
+      else (
+        match cmp_op st with
+        | Some c ->
+            let n = expect_int st "an integer after the comparison" in
+            Ast.Pc_cmp (c, n)
+        | None ->
+            fail st
+              (Printf.sprintf "expected a comparison or 'in' after 'pc', got '%s'"
+                 (Token.to_string (cur st).token)))
+  | Token.Ident "addr" ->
+      advance st;
+      expect_kw st "in";
+      let a, b = range st "addr" in
+      Ast.Addr_in (a, b)
+  | Token.Ident "time" ->
+      advance st;
+      expect_kw st "in";
+      let a, b = range st "time" in
+      Ast.Time_in (a, b)
+  | Token.Ident "live" ->
+      advance st;
+      expect st Token.Lparen "'(' after 'live'";
+      let spec_tok = cur st in
+      let spec =
+        match spec_tok.Token.token with
+        | Token.Session_spec s ->
+            advance st;
+            s
+        | t ->
+            fail st
+              (Printf.sprintf "expected a session descriptor, got '%s'"
+                 (Token.to_string t))
+      in
+      expect st Token.Rparen "')'";
+      Ast.Live (session_of_spec ~at:spec_tok.Token.pos spec)
+  | t ->
+      fail st
+        (Printf.sprintf "expected a predicate (pc, addr, time, live, not, '('), got '%s'"
+           (Token.to_string t))
+
+let parse_query st : Ast.query =
+  expect_kw st "count";
+  let agg =
+    if accept_kw st "distinct" then
+      if accept_kw st "pc" then Ast.Count_distinct Ast.D_pc
+      else if accept_kw st "word" then Ast.Count_distinct Ast.D_word
+      else
+        fail st
+          (Printf.sprintf "expected 'pc' or 'word' after 'distinct', got '%s'"
+             (Token.to_string (cur st).token))
+    else Ast.Count
+  in
+  let pred = if accept_kw st "where" then parse_or st else Ast.All in
+  let group_pos = (cur st).Token.pos in
+  let group, top =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      let key =
+        if accept_kw st "object" then Ast.G_object
+        else if accept_kw st "pc" then Ast.G_pc
+        else
+          fail st
+            (Printf.sprintf "expected 'object' or 'pc' after 'group by', got '%s'"
+               (Token.to_string (cur st).token))
+      in
+      let top =
+        if accept_kw st "top" then begin
+          let at = (cur st).Token.pos in
+          let k = expect_int st "a row count after 'top'" in
+          if k < 1 then fail_at at "top count must be positive";
+          Some k
+        end
+        else None
+      in
+      (Some key, top)
+    end
+    else (None, None)
+  in
+  let bucket_pos = (cur st).Token.pos in
+  let bucket =
+    if accept_kw st "bucket" then begin
+      expect_kw st "by";
+      let at = (cur st).Token.pos in
+      let w = expect_int st "a bucket width after 'bucket by'" in
+      if w < 1 then fail_at at "bucket width must be positive";
+      Some w
+    end
+    else None
+  in
+  (match (cur st).Token.token with
+  | Token.Eof -> ()
+  | t -> fail st (Printf.sprintf "unexpected '%s' after the query" (Token.to_string t)));
+  (* Type checks: which clauses compose. *)
+  (match (agg, group) with
+  | Ast.Count_distinct _, Some _ ->
+      fail_at group_pos "count distinct cannot be combined with group by"
+  | _ -> ());
+  (match (agg, bucket) with
+  | Ast.Count_distinct _, Some _ ->
+      fail_at bucket_pos "count distinct cannot be combined with bucket by"
+  | _ -> ());
+  (match (group, bucket) with
+  | Some _, Some _ ->
+      fail_at bucket_pos "group by and bucket by cannot be combined"
+  | _ -> ());
+  { agg; pred; group; top; bucket }
+
+let parse source : (Ast.query, error) result =
+  match Lexer.tokenize source with
+  | Error (message, pos) -> Error { message; pos }
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      try Ok (parse_query st)
+      with Fail (message, pos) -> Error { message; pos })
+
+(* --- diagnostics rendering --- *)
+
+(* "query:LINE:COL: message" — the one-line form (also what the EBPS
+   error frame carries). *)
+let error_line (source : string) (e : error) =
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c -> if c = '\n' && i < e.pos then begin incr line; bol := i + 1 end)
+    source;
+  Printf.sprintf "query:%d:%d: %s" !line (e.pos - !bol + 1) e.message
+
+(* The offending source line with a caret under the error position. *)
+let error_caret (source : string) (e : error) =
+  let n = String.length source in
+  let pos = min e.pos n in
+  let bol =
+    match String.rindex_from_opt source (max 0 (pos - 1)) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let eol =
+    match String.index_from_opt source bol '\n' with Some i -> i | None -> n
+  in
+  let text = String.sub source bol (eol - bol) in
+  Printf.sprintf "  %s\n  %s^" text (String.make (pos - bol) ' ')

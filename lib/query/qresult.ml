@@ -1,0 +1,41 @@
+(* Engine-independent query results. Both engines reduce to this shape
+   with the SAME canonical ordering (group keys ascending, buckets
+   ascending, zero rows omitted), so the engine-equivalence guarantee is
+   structural equality here, and byte-identity of the rendered output
+   follows because rendering (Query.render) happens once, downstream of
+   the engines. *)
+
+type raw =
+  | Count of int
+  | Groups of (int * int) list
+      (* (key ordinal, count), key ascending, counts > 0. The ordinal is
+         an object id for [group by object], the pc for [group by pc]. *)
+  | Buckets of (int * int) list
+      (* (bucket start event index, count), ascending, counts > 0 *)
+
+let equal (a : raw) (b : raw) = a = b
+
+let to_debug_string = function
+  | Count n -> Printf.sprintf "count=%d" n
+  | Groups rows ->
+      "groups="
+      ^ String.concat ","
+          (List.map (fun (k, c) -> Printf.sprintf "%d:%d" k c) rows)
+  | Buckets rows ->
+      "buckets="
+      ^ String.concat ","
+          (List.map (fun (k, c) -> Printf.sprintf "%d:%d" k c) rows)
+
+(* Display order for groups: count descending, then key ascending —
+   applied at render time (after the engines are compared on the full
+   canonical form), with [top] truncation. *)
+let sort_groups ?top rows =
+  let sorted =
+    List.sort
+      (fun (k1, c1) (k2, c2) ->
+        if c1 <> c2 then Int.compare c2 c1 else Int.compare k1 k2)
+      rows
+  in
+  match top with
+  | None -> sorted
+  | Some k -> List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,146 @@
+(* The streaming scan engine: one pass over the trace, evaluating the
+   predicate directly against each write while maintaining the active
+   install windows the [live] atoms and [group by object] need. It is
+   deliberately the simplest possible executor — the differential oracle
+   the compiled engine is asserted against, the same role the scan
+   replay engine plays for indexed replay. *)
+
+module Trace = Ebp_trace.Trace
+module Session = Ebp_sessions.Session
+
+(* The predicate with [live] atoms numbered, so the pass keeps one
+   active-window table per atom. *)
+type ipred =
+  | I_all
+  | I_pc_cmp of Ast.cmp * int
+  | I_pc_in of int * int
+  | I_addr_in of int * int
+  | I_time_in of int * int
+  | I_live of int
+  | I_and of ipred * ipred
+  | I_or of ipred * ipred
+  | I_not of ipred
+
+let number_atoms pred =
+  let atoms = ref [] in
+  let n = ref 0 in
+  let rec conv (p : Ast.pred) =
+    match p with
+    | Ast.All -> I_all
+    | Ast.Pc_cmp (c, v) -> I_pc_cmp (c, v)
+    | Ast.Pc_in (a, b) -> I_pc_in (a, b)
+    | Ast.Addr_in (a, b) -> I_addr_in (a, b)
+    | Ast.Time_in (a, b) -> I_time_in (a, b)
+    | Ast.Live s ->
+        atoms := s :: !atoms;
+        incr n;
+        I_live (!n - 1)
+    | Ast.And (a, b) ->
+        let a = conv a in
+        I_and (a, conv b)
+    | Ast.Or (a, b) ->
+        let a = conv a in
+        I_or (a, conv b)
+    | Ast.Not a -> I_not (conv a)
+  in
+  let ip = conv pred in
+  (ip, Array.of_list (List.rev !atoms))
+
+let cmp_holds (c : Ast.cmp) x n =
+  match c with
+  | Ast.Eq -> x = n
+  | Ast.Ne -> x <> n
+  | Ast.Lt -> x < n
+  | Ast.Le -> x <= n
+  | Ast.Gt -> x > n
+  | Ast.Ge -> x >= n
+
+let run trace (q : Ast.query) : Qresult.raw =
+  let ipred, atom_sessions = number_atoms q.Ast.pred in
+  let natoms = Array.length atom_sessions in
+  let nobjs = Trace.object_count trace in
+  (* Which atoms each object id matches, precomputed once. *)
+  let obj_atoms = Array.make nobjs [] in
+  if natoms > 0 then
+    for o = 0 to nobjs - 1 do
+      let desc = Trace.object_of_id trace o in
+      let matching = ref [] in
+      for a = natoms - 1 downto 0 do
+        if Session.matches atom_sessions.(a) desc then matching := a :: !matching
+      done;
+      obj_atoms.(o) <- !matching
+    done;
+  let active = Array.init natoms (fun _ -> Hashtbl.create 16) in
+  let group_objects = q.Ast.group = Some Ast.G_object in
+  let group_active : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  (* Aggregation state. *)
+  let count = ref 0 in
+  let distinct : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let groups : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let buckets : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  let overlaps lo hi (alo, ahi) = lo <= ahi && hi >= alo in
+  let live_hit a lo hi =
+    let tbl = active.(a) in
+    try
+      Hashtbl.iter (fun _ r -> if overlaps lo hi r then raise Exit) tbl;
+      false
+    with Exit -> true
+  in
+  let rec eval p ~i ~lo ~hi ~pc =
+    match p with
+    | I_all -> true
+    | I_pc_cmp (c, n) -> cmp_holds c pc n
+    | I_pc_in (a, b) -> pc >= a && pc <= b
+    | I_addr_in (a, b) -> lo <= b && hi >= a
+    | I_time_in (a, b) -> i >= a && i <= b
+    | I_live a -> live_hit a lo hi
+    | I_and (a, b) -> eval a ~i ~lo ~hi ~pc && eval b ~i ~lo ~hi ~pc
+    | I_or (a, b) -> eval a ~i ~lo ~hi ~pc || eval b ~i ~lo ~hi ~pc
+    | I_not a -> not (eval a ~i ~lo ~hi ~pc)
+  in
+  let i = ref 0 in
+  Trace.iter_raw trace (fun ~tag ~obj ~lo ~hi ~pc ->
+      let pos = !i in
+      incr i;
+      if tag = 2 then begin
+        if eval ipred ~i:pos ~lo ~hi ~pc then begin
+          match (q.Ast.agg, q.Ast.group, q.Ast.bucket) with
+          | Ast.Count_distinct Ast.D_pc, _, _ -> Hashtbl.replace distinct pc ()
+          | Ast.Count_distinct Ast.D_word, _, _ ->
+              for w = lo lsr 2 to hi lsr 2 do
+                Hashtbl.replace distinct w ()
+              done
+          | Ast.Count, Some Ast.G_pc, _ -> bump groups pc
+          | Ast.Count, Some Ast.G_object, _ ->
+              (* A write can land in several live objects; it counts for
+                 each (documented multi-count semantics). *)
+              Hashtbl.iter
+                (fun o r -> if overlaps lo hi r then bump groups o)
+                group_active
+          | Ast.Count, None, Some width -> bump buckets (pos / width)
+          | Ast.Count, None, None -> incr count
+        end
+      end
+      else begin
+        (* tag 0 = install, 1 = remove; a re-install replaces the
+           window's range, a remove ends it. *)
+        List.iter
+          (fun a ->
+            if tag = 0 then Hashtbl.replace active.(a) obj (lo, hi)
+            else Hashtbl.remove active.(a) obj)
+          obj_atoms.(obj);
+        if group_objects then
+          if tag = 0 then Hashtbl.replace group_active obj (lo, hi)
+          else Hashtbl.remove group_active obj
+      end);
+  let sorted_pairs tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  match (q.Ast.agg, q.Ast.group, q.Ast.bucket) with
+  | Ast.Count_distinct _, _, _ -> Qresult.Count (Hashtbl.length distinct)
+  | Ast.Count, Some _, _ -> Qresult.Groups (sorted_pairs groups)
+  | Ast.Count, None, Some width ->
+      Qresult.Buckets (List.map (fun (b, c) -> (b * width, c)) (sorted_pairs buckets))
+  | Ast.Count, None, None -> Qresult.Count !count

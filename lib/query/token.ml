@@ -1,0 +1,41 @@
+(* Lexical tokens of the trace query language (docs/QUERY.md). Keywords
+   stay [Ident]s — they are contextual, and the parser's "expected
+   'where'" messages read better against the word actually written. *)
+
+type t =
+  | Int of int
+  | Ident of string
+  | Session_spec of string  (* the raw text between [live(] and [)] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Ident s -> s
+  | Session_spec s -> s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "end of query"
+
+(* [pos] is the 0-based byte offset of the token's first character in the
+   query string — what the caret in a diagnostic points at. *)
+type spanned = { token : t; pos : int }

@@ -55,6 +55,14 @@ type request =
       keep_hitless : bool;
     }
   | Experiment_query of { workloads : string list; artifact : string }
+  | Query of {
+      name : string;
+      source : string;
+      seed : int;
+      expr : string;
+      engine : string;
+      format : string;
+    }
   | Stats_query
   | Shutdown
 
@@ -80,6 +88,7 @@ let tag_of_frame = function
   | Request (Experiment_query _) -> 0x04
   | Request Stats_query -> 0x05
   | Request Shutdown -> 0x06
+  | Request (Query _) -> 0x07
   | Response (Hello_ok _) -> 0x81
   | Response Pong -> 0x82
   | Response (Report _) -> 0x83
@@ -128,6 +137,13 @@ let encode_payload b = function
   | Request (Experiment_query { workloads; artifact }) ->
       put_list b put_string workloads;
       put_string b artifact
+  | Request (Query { name; source; seed; expr; engine; format }) ->
+      put_string b name;
+      put_string b source;
+      put_varint b seed;
+      put_string b expr;
+      put_string b engine;
+      put_string b format
   | Response (Hello_ok { version; server }) ->
       put_varint b version;
       put_string b server
@@ -225,6 +241,14 @@ let decode_payload tag r =
       Request (Experiment_query { workloads; artifact })
   | 0x05 -> Request Stats_query
   | 0x06 -> Request Shutdown
+  | 0x07 ->
+      let name = get_string r in
+      let source = get_string r in
+      let seed = get_varint r in
+      let expr = get_string r in
+      let engine = get_string r in
+      let format = get_string r in
+      Request (Query { name; source; seed; expr; engine; format })
   | 0x81 ->
       let version = get_varint r in
       let server = get_string r in
@@ -315,6 +339,9 @@ let pp_frame ppf frame =
       p "Experiment_query{workloads=[%s];artifact=%s}"
         (String.concat "," workloads)
         artifact
+  | Request (Query { name; source; seed; expr; engine; format }) ->
+      p "Query{name=%S;source=<%d bytes>;seed=%d;expr=%S;engine=%s;format=%s}"
+        name (String.length source) seed expr engine format
   | Request Stats_query -> p "Stats_query"
   | Request Shutdown -> p "Shutdown"
   | Response (Hello_ok { version; server }) ->

@@ -77,6 +77,19 @@ type request =
       (** Run the experiment over the named workloads and render one
           artifact: ["full"], ["table1".."table4"], ["fig7".."fig9"],
           ["breakdown"], or ["expansion"]. *)
+  | Query of {
+      name : string;  (** display / cache-key name of the program *)
+      source : string;  (** MiniC translation unit, sent inline *)
+      seed : int;
+      expr : string;  (** query text, docs/QUERY.md grammar *)
+      engine : string;  (** ["auto"], ["indexed"], or ["scan"] *)
+      format : string;  (** ["table"] or ["ndjson"] *)
+    }
+      (** Run a trace query against a trace of [source]. A malformed or
+          ill-typed [expr] is answered with a [Bad_request] error frame
+          carrying the one-line caret diagnostic — never a disconnect.
+          The response [Report] is byte-identical to [ebp query] output
+          for the same inputs, whichever engine runs it. *)
   | Stats_query  (** Fetch the server's live metrics snapshot. *)
   | Shutdown
       (** Graceful shutdown: the server acks, drains its queue, refuses

@@ -169,6 +169,28 @@ module Core = struct
                   | Ok text -> P.Report text
                   | Error msg ->
                       P.Error_resp { code = P.Unknown_artifact; message = msg })))
+    | P.Query { name; source; seed; expr; engine; format } -> (
+        let bad message = P.Error_resp { code = P.Bad_request; message } in
+        match
+          ( Ebp_query.Query.engine_of_string engine,
+            Ebp_query.Query.format_of_string format )
+        with
+        | Error msg, _ | _, Error msg -> bad msg
+        | Ok engine, Ok format -> (
+            match Ebp_query.Query.parse expr with
+            | Error e -> bad (Ebp_query.Parser.error_line expr e)
+            | Ok q -> (
+                match Trace_store.fetch t.store ~name ~source ~seed with
+                | Error msg -> bad msg
+                | Ok (trace, index) ->
+                    (* The store's prebuilt index rides along, so under
+                       [auto] the planner prices reuse, not a build. *)
+                    let execution =
+                      Ebp_query.Query.run ~engine ~index ~pool:t.pool trace q
+                    in
+                    P.Report
+                      (Ebp_query.Query.render ~format trace q
+                         execution.Ebp_query.Query.raw))))
     | P.Hello _ | P.Ping | P.Stats_query | P.Shutdown ->
         P.Error_resp { code = P.Internal; message = "not a query" }
 
@@ -215,7 +237,7 @@ module Core = struct
     | P.Shutdown ->
         t.draining <- true;
         reply P.Shutdown_ack
-    | P.Sessions_query _ | P.Experiment_query _ ->
+    | P.Sessions_query _ | P.Experiment_query _ | P.Query _ ->
         if t.draining then
           reply
             (P.Error_resp

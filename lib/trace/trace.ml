@@ -172,6 +172,16 @@ let get t i =
     let obj = t.objs.(w0 lsr 2) in
     if tag = tag_install then Install { obj; range } else Remove { obj; range }
 
+let get_raw t i f =
+  if i < 0 || i >= t.count then invalid_arg "Trace.get_raw: index out of range";
+  let word j = (column_getter t j) i in
+  let w0 = word 0 in
+  let tag = w0 land 3 in
+  f ~tag
+    ~obj:(if tag = tag_write then -1 else w0 lsr 2)
+    ~lo:(word 1) ~hi:(word 2)
+    ~pc:(if tag = tag_write then word 3 else -1)
+
 let iter t f =
   for i = 0 to t.count - 1 do
     f (get t i)

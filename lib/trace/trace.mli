@@ -68,6 +68,14 @@ val length : t -> int
 val get : t -> int -> event
 val iter : t -> (event -> unit) -> unit
 
+val get_raw :
+  t -> int -> (tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> 'a) -> 'a
+(** Positional {!iter_raw}: decode the single event at an index (same
+    field conventions) and pass it to the continuation. The random-access
+    counterpart consumers like the query engine use to fetch attributes
+    of events found through the {!Write_index} posting lists. Raises
+    [Invalid_argument] out of range. *)
+
 (** Raw iteration: [tag] 0 = install, 1 = remove, 2 = write; [obj] is an
     object id valid for {!object_of_id}, or [-1] for writes; the write range
     is [[lo, hi]]; [pc] is [-1] for install/remove. *)

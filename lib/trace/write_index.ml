@@ -105,6 +105,19 @@ let key_range p ~lo ~hi =
   let n = Array.length p.keys in
   (lower_bound p.keys 0 n lo, lower_bound p.keys 0 n (hi + 1))
 
+let key_count p = Array.length p.keys
+let key_lower_bound p x = lower_bound p.keys 0 (Array.length p.keys) x
+
+(* First index holding a key > x — [key_range]'s upper edge without the
+   [x + 1] that overflows at [max_int]. *)
+let key_upper_bound p x =
+  let lo = ref 0 and hi = ref (Array.length p.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get p.keys mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let key_at p i = p.keys.(i)
 
 let count_at p i ~after ~before =
@@ -156,6 +169,93 @@ let count_within p i ~windows =
     end
   end
 
+let positions_at p i ~after ~before =
+  let lo = p.offs.(i) and hi = p.offs.(i + 1) in
+  let a = lower_bound p.data lo hi (after + 1) in
+  let b = lower_bound p.data lo hi before in
+  Array.sub p.data a (b - a)
+
+let positions p key ~after ~before =
+  match find_key p key with
+  | None -> [||]
+  | Some i -> positions_at p i ~after ~before
+
+(* --- position-set algebra ---
+
+   The compiled query engine represents a predicate's result as the
+   sorted, duplicate-free array of matching write positions; boolean
+   connectives become merges over these sets. Inputs are sorted arrays
+   (posting slices are; [union] additionally deduplicates, since a
+   two-word write appears under both of its word keys). Results are
+   always fresh arrays — inputs are never mutated, so posting data can
+   be passed through directly. *)
+module Pos_set = struct
+  let empty = [||]
+
+  let union ls =
+    let total = List.fold_left (fun acc l -> acc + Array.length l) 0 ls in
+    if total = 0 then empty
+    else begin
+      let buf = Array.make total 0 in
+      let dst = ref 0 in
+      List.iter
+        (fun l ->
+          Array.blit l 0 buf !dst (Array.length l);
+          dst := !dst + Array.length l)
+        ls;
+      Array.sort Int.compare buf;
+      let w = ref 1 in
+      for r = 1 to total - 1 do
+        if buf.(r) <> buf.(!w - 1) then begin
+          buf.(!w) <- buf.(r);
+          incr w
+        end
+      done;
+      Array.sub buf 0 !w
+    end
+
+  let inter a b =
+    let na = Array.length a and nb = Array.length b in
+    let out = Array.make (min na nb) 0 in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    while !i < na && !j < nb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then incr i
+      else if x > y then incr j
+      else begin
+        out.(!w) <- x;
+        incr w;
+        incr i;
+        incr j
+      end
+    done;
+    Array.sub out 0 !w
+
+  let diff a b =
+    let na = Array.length a and nb = Array.length b in
+    let out = Array.make na 0 in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    while !i < na do
+      let x = a.(!i) in
+      while !j < nb && b.(!j) < x do
+        incr j
+      done;
+      if !j < nb && b.(!j) = x then incr i
+      else begin
+        out.(!w) <- x;
+        incr w;
+        incr i
+      end
+    done;
+    Array.sub out 0 !w
+
+  let within a ~lo ~hi =
+    let n = Array.length a in
+    let i = lower_bound a 0 n lo in
+    let j = lower_bound a 0 n (hi + 1) in
+    Array.sub a i (j - i)
+end
+
 (* --- the index --- *)
 
 type page_view = {
@@ -182,6 +282,10 @@ type t = {
      Machine stores are at most 4 bytes, so this is empty for recorded
      traces; synthetic traces may populate it. *)
   wide_words : int array;
+  (* Every write (narrow and wide), keyed by pc; each write appears
+     exactly once, so the concatenated data is a permutation of all
+     write positions. Added in EBPW2 for the query engine. *)
+  pc_writes : posting;
   (* Per interned object, its install/remove timeline: stride-3 records
      ((event lsl 1) lor tag, lo, hi) with tag 0 = install, 1 = remove.
      [obj_offs] is in records, so object o's records live at
@@ -191,7 +295,7 @@ type t = {
   pages : page_view array;
 }
 
-let codec_version = "EBPW1"
+let codec_version = "EBPW2"
 
 let log2_exact n =
   let rec go i v = if v = 1 then i else go (i + 1) (v lsr 1) in
@@ -207,6 +311,7 @@ type chunk = {
   c_word : (int, Vec.t) Hashtbl.t;
   c_word_span : (int, Vec.t) Hashtbl.t;
   c_wide : Vec.t;
+  c_pc : (int, Vec.t) Hashtbl.t;
   c_objs : Vec.t array;
   c_pages : (int * int * (int, Vec.t) Hashtbl.t * (int, Vec.t) Hashtbl.t * Vec.t) list;
 }
@@ -216,6 +321,7 @@ let build_chunk ~page_sizes trace ~start ~stop =
   let obj_vecs = Array.init nobjs (fun _ -> Vec.create ()) in
   let word_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 4096 in
   let word_span_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 64 in
+  let pc_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 1024 in
   let wide_words = Vec.create () in
   let push tbl key x =
     let v =
@@ -240,7 +346,7 @@ let build_chunk ~page_sizes trace ~start ~stop =
   in
   let total_writes = ref 0 in
   let pos = ref start in
-  Trace.iter_raw_range trace ~start ~stop (fun ~tag ~obj ~lo ~hi ~pc:_ ->
+  Trace.iter_raw_range trace ~start ~stop (fun ~tag ~obj ~lo ~hi ~pc ->
       let t = !pos in
       incr pos;
       if tag <= 1 then begin
@@ -251,6 +357,7 @@ let build_chunk ~page_sizes trace ~start ~stop =
       end
       else begin
         incr total_writes;
+        push pc_tbl pc t;
         let fw = lo lsr 2 and lw = hi lsr 2 in
         if lw - fw <= 1 then begin
           push word_tbl fw t;
@@ -284,6 +391,7 @@ let build_chunk ~page_sizes trace ~start ~stop =
     c_word = word_tbl;
     c_word_span = word_span_tbl;
     c_wide = wide_words;
+    c_pc = pc_tbl;
     c_objs = obj_vecs;
     c_pages = page_builders;
   }
@@ -351,6 +459,7 @@ let build ?pool ~page_sizes trace =
     word_writes = posting_of_tables (List.map (fun c -> c.c_word) chunks);
     word_spans = posting_of_tables (List.map (fun c -> c.c_word_span) chunks);
     wide_words = concat_vecs (List.map (fun c -> c.c_wide) chunks);
+    pc_writes = posting_of_tables (List.map (fun c -> c.c_pc) chunks);
     obj_offs;
     obj_data;
     pages =
@@ -405,8 +514,17 @@ let iter_object_timeline t o f =
 
 let word_writes t = t.word_writes
 let word_spans t = t.word_spans
+let pc_writes t = t.pc_writes
 let page_writes v = v.page_writes
 let page_spans v = v.page_spans
+
+(* Each write has exactly one pc, so the pc posting's data is a
+   permutation of all write positions: sorting a copy is the full
+   position universe without rescanning the trace. *)
+let all_write_positions t =
+  let u = Array.copy t.pc_writes.data in
+  Array.sort Int.compare u;
+  u
 
 let count_word_writes t ~word ~after ~before =
   posting_count t.word_writes word ~after ~before
@@ -482,6 +600,7 @@ let encode t =
   buf_posting buf t.word_writes;
   buf_posting buf t.word_spans;
   buf_array buf t.wide_words;
+  buf_posting buf t.pc_writes;
   buf_array buf t.obj_offs;
   buf_array buf t.obj_data;
   buf_int buf (Array.length t.pages);
@@ -557,10 +676,13 @@ let decode s =
           let word_writes = read_posting () in
           let word_spans = read_posting () in
           let wide_words = read_array () in
+          let pc_writes = read_posting () in
           let obj_offs = read_array () in
           let obj_data = read_array () in
           if Array.length wide_words mod 3 <> 0 then
             raise (Malformed "bad wide-word list length");
+          if Array.length pc_writes.data <> total_writes then
+            raise (Malformed "pc posting does not cover the writes");
           if Array.length obj_offs = 0 then
             raise (Malformed "empty object offsets");
           check_monotone "object" obj_offs;
@@ -593,6 +715,7 @@ let decode s =
                 word_writes;
                 word_spans;
                 wide_words;
+                pc_writes;
                 obj_offs;
                 obj_data;
                 pages;

@@ -76,12 +76,27 @@ val word_spans : t -> posting
 (** Narrow writes spanning exactly the boundary ([w], [w + 1]), keyed by
     [w]. *)
 
+val pc_writes : t -> posting
+(** Every write — narrow and wide — keyed by its program counter. Each
+    write appears exactly once (a write has one pc), so the posting's
+    concatenated data is a permutation of all write positions. The query
+    engine's pc predicates lower onto this. *)
+
 val key_range : posting -> lo:int -> hi:int -> int * int
 (** [key_range p ~lo ~hi] is the half-open index range [(i, j)] such that
     [key_at p k] for [i <= k < j] enumerates exactly the posting's keys
     within [[lo, hi]], in ascending order. *)
 
 val key_at : posting -> int -> int
+
+val key_count : posting -> int
+
+val key_lower_bound : posting -> int -> int
+(** Index of the first key [>= x] ([key_count] when none). *)
+
+val key_upper_bound : posting -> int -> int
+(** Index of the first key [> x] — {!key_range}'s upper edge, usable at
+    [max_int] without overflow. *)
 
 val count_at : posting -> int -> after:int -> before:int -> int
 (** [count_at p i ~after ~before] counts the events of the [i]-th key
@@ -94,6 +109,41 @@ val count_within : posting -> int -> windows:int array -> int
     disjoint open intervals. Equivalent to summing {!count_at} per
     window, but switches to a single linear merge when the window count
     approaches the key's event count. *)
+
+val positions_at : posting -> int -> after:int -> before:int -> int array
+(** [positions_at p i ~after ~before] materializes (a fresh copy of) the
+    [i]-th key's event positions inside the open window — {!count_at}'s
+    slice, extracted instead of counted. *)
+
+val positions : posting -> int -> after:int -> before:int -> int array
+(** As {!positions_at} but keyed: [positions p key ~after ~before] is
+    [[||]] when [key] is absent. *)
+
+val all_write_positions : t -> int array
+(** The sorted positions of every write in the trace — the position-set
+    universe negation and complements are taken against. [O(writes log
+    writes)]; derived from {!pc_writes} without touching the trace. *)
+
+(** Sorted-int-array set algebra over write positions — what boolean
+    connectives compile to. All inputs must be sorted ascending; [union]
+    also deduplicates (a two-word write appears under both of its word
+    keys). Results are fresh arrays; inputs are never mutated. *)
+module Pos_set : sig
+  val empty : int array
+
+  val union : int array list -> int array
+  (** Sorted, duplicate-free union of the inputs. *)
+
+  val inter : int array -> int array -> int array
+  (** Both inputs must be duplicate-free. *)
+
+  val diff : int array -> int array -> int array
+  (** Elements of the first input not in the second; the first input
+      must be duplicate-free. *)
+
+  val within : int array -> lo:int -> hi:int -> int array
+  (** The slice of values in the {e closed} interval [[lo, hi]]. *)
+end
 
 (** {2 Word-level write counts (by key)} *)
 
@@ -151,7 +201,8 @@ val equal : t -> t -> bool
     round-tripped through the codec is [equal] to the original. *)
 
 val codec_version : string
-(** Codec magic ("EBPW1"); bump-safe cache keying hashes this in. *)
+(** Codec magic ("EBPW2" — EBPW1 plus the pc posting; bump-safe cache
+    keying hashes this in, so stale EBPW1 entries simply orphan). *)
 
 val encode : t -> string
 (** Serialize to the flat binary form (magic, then 8-byte LE ints and

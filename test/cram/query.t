@@ -1,0 +1,100 @@
+The trace query language (docs/QUERY.md): one expression, two engines.
+The compiled engine lowers predicates onto write-index posting lists, the
+scan engine streams the trace once — and every query must render the same
+bytes through either. A tiny program keeps the recordings cheap.
+
+  $ cat > tiny.mc <<'MC'
+  > int g;
+  > int h;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 10; i = i + 1) { g = g + i; }
+  >   h = g * 2;
+  >   print_int(g);
+  >   return 0;
+  > }
+  > MC
+
+A bare count totals every recorded write:
+
+  $ ebp query tiny.mc 'count' 2>/dev/null
+  count
+  -----
+  22   
+
+The session-window join: writes landing inside a monitored object's
+install window.
+
+  $ ebp query tiny.mc 'count where live(global:g)' 2>/dev/null
+  count
+  -----
+  10   
+
+Grouping and distinct-counting, with the same table renderer everywhere:
+
+  $ ebp query tiny.mc 'count group by object' 2>/dev/null
+  object          count
+  --------------  -----
+  local:main.i#1     11
+  global:g           10
+  global:h            1
+
+  $ ebp query tiny.mc 'count distinct pc where live(global:g)' 2>/dev/null
+  distinct_pc
+  -----------
+  1          
+
+NDJSON for machines, one row per line:
+
+  $ ebp query tiny.mc 'count where live(global:g) group by pc' --format ndjson 2>/dev/null
+  {"pc":19,"count":10}
+
+Engine byte-identity: the indexed and scan engines render the same bytes,
+and --check runs both and asserts it in-process.
+
+  $ ebp query tiny.mc 'count where live(global:g) group by pc' --engine indexed 2>/dev/null > indexed.out
+  $ ebp query tiny.mc 'count where live(global:g) group by pc' --engine scan 2>/dev/null > scan.out
+  $ diff indexed.out scan.out
+
+  $ ebp query tiny.mc 'count where live(global:g) and pc > 2' --check 2>check.err >/dev/null
+  $ grep agree check.err
+  query: engines agree
+
+Parse and type errors are one-line diagnostics with a caret, never a
+stack trace, and the command exits nonzero.
+
+  $ ebp query tiny.mc 'count where pc >' 2>&1 >/dev/null
+  ebp: query:1:17: expected an integer after the comparison, got 'end of query'
+    count where pc >
+                    ^
+  [1]
+
+  $ ebp query tiny.mc 'frobnicate' 2>&1 >/dev/null
+  ebp: query:1:1: expected 'count', got 'frobnicate'
+    frobnicate
+    ^
+  [1]
+
+  $ ebp query tiny.mc 'count where live(bogus:g)' 2>&1 >/dev/null
+  ebp: query:1:18: bad session descriptor "bogus:g" (expected local:FUNC.VAR, locals:FUNC, global:VAR, heap:SITE#N, or heapfn:FUNC)
+    count where live(bogus:g)
+                     ^
+  [1]
+
+  $ ebp query tiny.mc 'count where addr in [9,3]' 2>&1 >/dev/null
+  ebp: query:1:21: empty addr range: 9 > 3
+    count where addr in [9,3]
+                        ^
+  [1]
+
+  $ ebp query tiny.mc 'count bucket by 0' 2>&1 >/dev/null
+  ebp: query:1:17: bucket width must be positive
+    count bucket by 0
+                    ^
+  [1]
+
+  $ ebp query tiny.mc 'count where (pc > 1' 2>&1 >/dev/null
+  ebp: query:1:20: expected ')', got 'end of query'
+    count where (pc > 1
+                       ^
+  [1]

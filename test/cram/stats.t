@@ -38,6 +38,8 @@ histograms it carries.
   -----------------------------------  -----  ----------
   fault.loader.run                         0            
   fault.pool.task                          0            
+  fault.query.compile                      0            
+  fault.query.parse                        0            
   fault.serve.accept                       0            
   fault.serve.frame.decode                 0            
   fault.serve.read                         0            
@@ -65,6 +67,8 @@ histograms it carries.
   pool.busy_ns                             0            
   pool.task_retries                        0            
   pool.tasks                               0            
+  query.parse_errors                       0            
+  query.runs                               0            
   replay.indexed.range_queries             0            
   replay.indexed.segments                  0            
   replay.scan.blocks_skipped               0            

@@ -34,6 +34,41 @@ let test_generator_deterministic () =
   Alcotest.(check bool) "seeds produce varied programs" true
     (List.length distinct > 24)
 
+(* Knobs are a workload synthesizer: the base program must be untouched
+   (default knobs are byte-identical, and turning knobs only appends
+   units), and a knobbed program must still pass every oracle — the
+   synthesized workloads feed the query bench, so divergence there would
+   poison the numbers. *)
+let test_knobs_extend () =
+  let seed = 7 in
+  let base = Fuzz.generate ~seed in
+  Alcotest.(check string) "default knobs are byte-identical"
+    (Fuzz.render base)
+    (Fuzz.render (Fuzz.generate_knobbed ~knobs:Fuzz.default_knobs ~seed));
+  let knobs =
+    { Fuzz.gen_events = 2; gen_heap_churn = 3; gen_session_density = 2 }
+  in
+  let knobbed = Fuzz.generate_knobbed ~knobs ~seed in
+  let prefix n xs = List.filteri (fun i _ -> i < n) xs in
+  Alcotest.(check (list string)) "base globals are a prefix"
+    base.Fuzz.globals
+    (prefix (List.length base.Fuzz.globals) knobbed.Fuzz.globals);
+  Alcotest.(check int) "extra globals appended"
+    (List.length base.Fuzz.globals + 3 (* 2 scalars + qhot *))
+    (List.length knobbed.Fuzz.globals);
+  let base_groups = List.length base.Fuzz.main_body in
+  Alcotest.(check (list string)) "base statement groups untouched"
+    (prefix (base_groups - 2) base.Fuzz.main_body)
+    (prefix (base_groups - 2) knobbed.Fuzz.main_body);
+  Alcotest.(check int) "one group per knob unit"
+    (base_groups + 2 + 3 + 2)
+    (List.length knobbed.Fuzz.main_body);
+  match Fuzz.check_program ~seed knobbed with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "knobbed program failed oracle %s: %s" f.Fuzz.oracle
+        f.Fuzz.detail
+
 let test_render_shape () =
   let src = Fuzz.render (Fuzz.generate ~seed:1) in
   let contains_sub s sub =
@@ -64,8 +99,8 @@ let test_shrink_minimizes () =
   let source = Fuzz.render program in
   let failure =
     match Fuzz.check_source ~seed:0 source with
-    | Error (oracle, detail) ->
-        { Fuzz.seed = 0; oracle; detail; program; source }
+    | Error (oracle, detail, query) ->
+        { Fuzz.seed = 0; oracle; detail; query; program; source }
     | Ok () -> Alcotest.fail "poison program unexpectedly passed"
   in
   Alcotest.(check string) "record oracle caught it" "record"
@@ -81,8 +116,8 @@ let test_shrink_minimizes () =
   Alcotest.(check bool) "shrink never grows" true
     (size shrunk.Fuzz.program <= size failure.Fuzz.program);
   (match Fuzz.check_source ~seed:0 shrunk.Fuzz.source with
-  | Error ("record", _) -> ()
-  | Error (oracle, detail) ->
+  | Error ("record", _, _) -> ()
+  | Error (oracle, detail, _) ->
       Alcotest.failf "shrunk program fails different oracle %s: %s" oracle
         detail
   | Ok () -> Alcotest.fail "shrunk program no longer fails");
@@ -110,6 +145,8 @@ let () =
             test_generator_deterministic;
           Alcotest.test_case "renders a runnable shape" `Quick
             test_render_shape;
+          Alcotest.test_case "knobs only append units" `Quick
+            test_knobs_extend;
         ] );
       ( "shrinker",
         [ Alcotest.test_case "minimizes to the bug" `Quick test_shrink_minimizes ] );

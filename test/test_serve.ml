@@ -83,6 +83,13 @@ let frame_gen =
           (fun ws artifact -> P.Request (P.Experiment_query { workloads = ws; artifact }))
           (list_size (0 -- 5) str)
           str );
+      ( 2,
+        let* name = str and* source = str and* seed = small in
+        let* expr = str
+        and* engine = oneofl [ "auto"; "indexed"; "scan" ]
+        and* format = oneofl [ "table"; "ndjson" ] in
+        return (P.Request (P.Query { name; source; seed; expr; engine; format }))
+      );
       (1, return (P.Request P.Stats_query));
       (1, return (P.Request P.Shutdown));
       ( 1,
@@ -302,6 +309,64 @@ let test_control_requests () =
   match !got with
   | Some (P.Error_resp { code = P.Unknown_artifact; _ }) -> ()
   | _ -> Alcotest.fail "unknown artifact"
+
+let query_request ?(expr = "count") ?(engine = "auto") ?(format = "table") () =
+  P.Query { name = "tiny8"; source = tiny_src 8; seed = 1; expr; engine; format }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_query_requests () =
+  let core = default_core () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  let got = ref None in
+  let reply r = got := Some r in
+  Core.submit core ~tenant:"t" ~reply (query_request ());
+  Core.drain core;
+  (* The served rendering is byte-identical to the batch query pipeline
+     computed in this process. *)
+  (match !got with
+  | Some (P.Report served) ->
+      let expected =
+        match Ebp_trace.Recorder.record_source ~seed:1 (tiny_src 8) with
+        | Error msg -> Alcotest.fail msg
+        | Ok (_, trace, _) -> (
+            match Ebp_query.Query.parse "count" with
+            | Error _ -> Alcotest.fail "bench query must parse"
+            | Ok q ->
+                let e = Ebp_query.Query.run trace q in
+                Ebp_query.Query.render ~format:Ebp_query.Query.Table trace q
+                  e.Ebp_query.Query.raw)
+      in
+      Alcotest.(check string) "served = batch" expected served
+  | _ -> Alcotest.fail "query must produce a report");
+  (* A malformed query is a Bad_request carrying the one-line caret
+     diagnostic — never a disconnect or an exception. *)
+  Core.submit core ~tenant:"t" ~reply (query_request ~expr:"count where pc >" ());
+  Core.drain core;
+  (match !got with
+  | Some (P.Error_resp { code = P.Bad_request; message }) ->
+      if not (contains_sub message "query:1:17") then
+        Alcotest.failf "diagnostic lacks caret position: %s" message
+  | _ -> Alcotest.fail "malformed query must be bad-request");
+  (* So is an unknown engine or format string. *)
+  Core.submit core ~tenant:"t" ~reply (query_request ~engine:"warp" ());
+  Core.drain core;
+  (match !got with
+  | Some (P.Error_resp { code = P.Bad_request; _ }) -> ()
+  | _ -> Alcotest.fail "unknown engine must be bad-request");
+  Core.submit core ~tenant:"t" ~reply (query_request ~format:"xml" ());
+  Core.drain core;
+  (match !got with
+  | Some (P.Error_resp { code = P.Bad_request; _ }) -> ()
+  | _ -> Alcotest.fail "unknown format must be bad-request");
+  (* The core is unharmed by the errors. *)
+  Core.submit core ~tenant:"t" ~reply P.Ping;
+  match !got with
+  | Some P.Pong -> ()
+  | _ -> Alcotest.fail "ping after query errors"
 
 (* --- trace store --- *)
 
@@ -529,6 +594,40 @@ let test_socket_garbage_stream () =
   | _ -> Alcotest.fail "shutdown");
   Alcotest.(check int) "clean exit" 0 (wait_exit pid)
 
+let test_socket_malformed_query () =
+  let socket_path = temp_socket () in
+  let pid = fork_server ~socket_path Core.default_config in
+  (* One connection: a malformed query must come back as a clean EBPS
+     error frame, and the same connection must then serve a valid query —
+     the diagnostic is an answer, not a disconnect. *)
+  let result =
+    Client.with_client ~tenant:"q" ~socket_path (fun c ->
+        let bad = Client.request c (query_request ~expr:"count where pc >" ()) in
+        let good = Client.request c (query_request ()) in
+        Ok (bad, good))
+  in
+  (match result with
+  | Error msg -> Alcotest.fail msg
+  | Ok (bad, good) ->
+      (match bad with
+      | Ok (P.Error_resp { code = P.Bad_request; message }) ->
+          if not (contains_sub message "query:1:17") then
+            Alcotest.failf "diagnostic lacks caret position: %s" message
+      | Ok r ->
+          Alcotest.failf "unexpected %s"
+            (Format.asprintf "%a" P.pp_frame (P.Response r))
+      | Error msg -> Alcotest.failf "connection died on bad query: %s" msg);
+      match good with
+      | Ok (P.Report _) -> ()
+      | Ok r ->
+          Alcotest.failf "unexpected %s"
+            (Format.asprintf "%a" P.pp_frame (P.Response r))
+      | Error msg -> Alcotest.failf "valid query after bad one: %s" msg);
+  (match Client.with_client ~socket_path (fun c -> Client.request c P.Shutdown) with
+  | Ok P.Shutdown_ack -> ()
+  | _ -> Alcotest.fail "shutdown");
+  Alcotest.(check int) "clean exit" 0 (wait_exit pid)
+
 let test_socket_read_fault_and_signal () =
   let socket_path = temp_socket () in
   let pid =
@@ -581,6 +680,7 @@ let () =
           Alcotest.test_case "coalescing" `Quick test_coalescing;
           Alcotest.test_case "drain and refuse" `Quick test_drain_and_refuse;
           Alcotest.test_case "control requests" `Quick test_control_requests;
+          Alcotest.test_case "query requests" `Quick test_query_requests;
         ] );
       ( "store",
         [
@@ -592,6 +692,8 @@ let () =
           Alcotest.test_case "bit-identity, all workloads" `Slow test_socket_bit_identity;
           Alcotest.test_case "flood gets backpressure" `Quick test_socket_flood_overload;
           Alcotest.test_case "garbage stream" `Quick test_socket_garbage_stream;
+          Alcotest.test_case "malformed query stays connected" `Quick
+            test_socket_malformed_query;
           Alcotest.test_case "read fault + SIGTERM" `Quick test_socket_read_fault_and_signal;
           Alcotest.test_case "stale socket recovery" `Quick test_stale_socket_recovery;
         ] );
