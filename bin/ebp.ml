@@ -206,11 +206,105 @@ let trace_cmd =
              executing anything when it is already cached, record and \
              cache it otherwise.")
   in
-  let f target out text cached cache_dir faults metrics trace_events =
+  let stream_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stream" ] ~docv:"FILE"
+          ~doc:
+            "Record through the streaming pipeline instead of the batch \
+             builder: sealed, CRC'd blocks are written to $(docv) as the \
+             program runs (format EBPB1, docs/STREAMING.md), so peak \
+             memory is one block regardless of trace length. The \
+             completed stream decodes to a trace byte-identical to the \
+             batch recorder's.")
+  in
+  let block_events_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block-events" ] ~docv:"N"
+          ~doc:"Events per sealed block for $(b,--stream) (default 64Ki).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--stream), take a machine checkpoint every $(docv) \
+             trace events and store the chain in the trace cache; \
+             $(b,ebp travel) restarts replay from the nearest one instead \
+             of step 0.")
+  in
+  let stream_record ~target ~source ~seed ~out ~block_events ~every ~cache_dir =
+    (match block_events with
+    | Some n when n <= 0 -> exit_err "--block-events must be positive"
+    | _ -> ());
+    if every < 0 then exit_err "--checkpoint-every must be non-negative";
+    match Ebp_lang.Compiler.compile source with
+    | Error msg -> exit_err msg
+    | Ok compiled ->
+        let oc =
+          try open_out_bin out
+          with Sys_error msg ->
+            exit_err (Printf.sprintf "cannot write %S: %s" out msg)
+        in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+        let writer =
+          Ebp_trace.Stream.Writer.create ?block_events
+            ~write:(output_string oc) ()
+        in
+        let loader = Ebp_runtime.Loader.load ~seed compiled in
+        let recorder = Ebp_trace.Recorder.attach_stream writer loader in
+        if every = 0 then begin
+          ignore (Ebp_runtime.Loader.run loader);
+          Ebp_trace.Recorder.finish_events recorder;
+          Ebp_trace.Stream.Writer.finish writer;
+          Printf.eprintf "streamed %d events to %s\n"
+            (Ebp_trace.Stream.Writer.events writer)
+            out
+        end
+        else begin
+          let chain = Ebp_trace.Checkpoint.create () in
+          Ebp_trace.Checkpoint.track loader;
+          ignore
+            (Ebp_trace.Checkpoint.run_with_checkpoints ~every
+               ~events:(fun () -> Ebp_trace.Stream.Writer.events writer)
+               ~nobjs:(fun () -> Ebp_trace.Stream.Writer.object_count writer)
+               chain loader recorder);
+          Ebp_trace.Recorder.finish_events recorder;
+          Ebp_trace.Stream.Writer.finish writer;
+          let dir =
+            Option.value cache_dir
+              ~default:(Ebp_trace.Trace_cache.default_dir ())
+          in
+          let key =
+            Ebp_trace.Trace_cache.make_key ~name:target ~source ~seed ()
+          in
+          (match Ebp_trace.Trace_cache.store_checkpoints ~dir ~key chain with
+          | Ok () ->
+              Printf.eprintf "streamed %d events to %s; %d checkpoints cached\n"
+                (Ebp_trace.Stream.Writer.events writer)
+                out
+                (Ebp_trace.Checkpoint.count chain)
+          | Error msg ->
+              Printf.eprintf
+                "streamed %d events to %s; checkpoint store failed: %s\n"
+                (Ebp_trace.Stream.Writer.events writer)
+                out msg)
+        end
+  in
+  let f target out text cached stream block_events checkpoint_every cache_dir
+      faults metrics trace_events =
     with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
     match source_of_arg target with
     | Error msg -> exit_err msg
+    | Ok (source, seed) when stream <> None ->
+        if out <> None || text || cached then
+          exit_err "--stream is exclusive with -o, --text, and --cached";
+        stream_record ~target ~source ~seed ~out:(Option.get stream) ~block_events
+          ~every:checkpoint_every ~cache_dir
     | Ok (source, seed) -> (
         let record () =
           match Ebp_trace.Recorder.record_source ~seed source with
@@ -257,8 +351,9 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const f $ target_arg $ out_arg $ text_arg $ cached_arg $ cache_dir_arg
-      $ faults_arg $ metrics_arg $ trace_events_arg)
+      const f $ target_arg $ out_arg $ text_arg $ cached_arg $ stream_arg
+      $ block_events_arg $ checkpoint_every_arg $ cache_dir_arg $ faults_arg
+      $ metrics_arg $ trace_events_arg)
 
 let engine_arg =
   Arg.(
@@ -609,6 +704,7 @@ let cache_cmd =
     | Ebp_trace.Trace_cache.Trace_entry -> "trace"
     | Ebp_trace.Trace_cache.Index_entry -> "index"
     | Ebp_trace.Trace_cache.Columnar_entry -> "columnar"
+    | Ebp_trace.Trace_cache.Checkpoint_entry -> "checkpoint"
     | Ebp_trace.Trace_cache.Tmp_entry -> "tmp"
     | Ebp_trace.Trace_cache.Corrupt_entry -> "corrupt"
   in
@@ -853,6 +949,158 @@ let fuzz_cmd =
       const f $ seeds_arg $ start_arg $ fuel_arg $ save_arg $ no_shrink_arg
       $ gen_events_arg $ gen_heap_churn_arg $ gen_session_density_arg)
 
+(* --- travel --- *)
+
+let travel_cmd =
+  let doc =
+    "Time-travel to a trace timestamp: restore the machine from the nearest \
+     checkpoint of a recorded run and seek forward, timed against a full \
+     step-0 replay of the same prefix. Both paths must reach a bit-identical \
+     machine state (docs/STREAMING.md) — the command fails if the state \
+     digests differ."
+  in
+  let event_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "event" ] ~docv:"W"
+          ~doc:"Target trace timestamp (event count) to travel to.")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint cadence in trace events when recording the run.")
+  in
+  let cached_arg =
+    Arg.(
+      value & flag
+      & info [ "cached" ]
+          ~doc:
+            "Consult the trace cache for a stored checkpoint chain; record \
+             the run and store one otherwise.")
+  in
+  let f target event every cached cache_dir faults metrics trace_events =
+    with_faults faults @@ fun () ->
+    with_obs ~metrics ~trace_events @@ fun () ->
+    if event < 0 then exit_err "--event must be non-negative";
+    if every <= 0 then exit_err "--checkpoint-every must be positive";
+    match source_of_arg target with
+    | Error msg -> exit_err msg
+    | Ok (source, seed) -> (
+        match Ebp_lang.Compiler.compile source with
+        | Error msg -> exit_err msg
+        | Ok compiled ->
+            let module Ckpt = Ebp_trace.Checkpoint in
+            let load () = Ebp_runtime.Loader.load ~seed compiled in
+            let record_chain () =
+              (* The stream bytes are discarded: travel only needs the
+                 checkpoint chain, and the writer's event counter is the
+                 checkpoint cadence clock. *)
+              let writer =
+                Ebp_trace.Stream.Writer.create ~write:(fun _ -> ()) ()
+              in
+              let loader = load () in
+              let recorder = Ebp_trace.Recorder.attach_stream writer loader in
+              let chain = Ckpt.create () in
+              Ckpt.track loader;
+              ignore
+                (Ckpt.run_with_checkpoints ~every
+                   ~events:(fun () -> Ebp_trace.Stream.Writer.events writer)
+                   ~nobjs:(fun () ->
+                     Ebp_trace.Stream.Writer.object_count writer)
+                   chain loader recorder);
+              Ebp_trace.Recorder.finish_events recorder;
+              Ebp_trace.Stream.Writer.finish writer;
+              chain
+            in
+            let chain =
+              if not cached then record_chain ()
+              else begin
+                let dir =
+                  Option.value cache_dir
+                    ~default:(Ebp_trace.Trace_cache.default_dir ())
+                in
+                let key =
+                  Ebp_trace.Trace_cache.make_key ~name:target ~source ~seed ()
+                in
+                match Ebp_trace.Trace_cache.lookup_checkpoints ~dir ~key with
+                | Some chain ->
+                    Printf.eprintf "checkpoints: cache hit (%d entries)\n"
+                      (Ckpt.count chain);
+                    chain
+                | None ->
+                    let chain = record_chain () in
+                    (match
+                       Ebp_trace.Trace_cache.store_checkpoints ~dir ~key chain
+                     with
+                    | Ok () ->
+                        Printf.eprintf
+                          "checkpoints: recorded and cached (%d entries)\n"
+                          (Ckpt.count chain)
+                    | Error msg ->
+                        Printf.eprintf
+                          "checkpoints: recorded; cache store failed: %s\n" msg);
+                    chain
+              end
+            in
+            let time f =
+              let t0 = Unix.gettimeofday () in
+              let r = f () in
+              (r, (Unix.gettimeofday () -. t0) *. 1000.)
+            in
+            let digest0, step0_ms =
+              time (fun () ->
+                  let loader = load () in
+                  let counters = { Ebp_trace.Recorder.c_events = 0; c_objs = 0 } in
+                  ignore
+                    (Ebp_trace.Recorder.attach_sink
+                       (Ebp_trace.Recorder.counting_sink counters)
+                       loader);
+                  ignore (Ckpt.seek loader counters ~event);
+                  Ckpt.state_digest loader counters)
+            in
+            let restart, restart_ms =
+              time (fun () ->
+                  match Ckpt.restore chain ~event ~load with
+                  | None -> None
+                  | Some r ->
+                      let from = r.Ckpt.rs_counters.Ebp_trace.Recorder.c_events in
+                      ignore
+                        (Ckpt.seek r.Ckpt.rs_loader r.Ckpt.rs_counters ~event);
+                      Some
+                        ( from,
+                          Ckpt.state_digest r.Ckpt.rs_loader r.Ckpt.rs_counters
+                        ))
+            in
+            match restart with
+            | None ->
+                Printf.printf
+                  "travel to event %d: no checkpoint precedes it (chain of \
+                   %d); step-0 replay took %.1f ms\n"
+                  event (Ckpt.count chain) step0_ms
+            | Some (from, digest) ->
+                Printf.printf
+                  "travel to event %d: restart from checkpoint at event %d \
+                   (chain of %d)\n\
+                  \  checkpoint restart: %8.1f ms\n\
+                  \  step-0 replay:      %8.1f ms\n\
+                  \  speedup: %.1fx\n"
+                  event from (Ckpt.count chain) restart_ms step0_ms
+                  (step0_ms /. Float.max 1e-6 restart_ms);
+                if digest <> digest0 then
+                  exit_err
+                    (Printf.sprintf
+                       "state digests differ (restart %s, step-0 %s): \
+                        checkpoint restore is not equivalent"
+                       digest digest0)
+                else print_endline "  state digests match")
+  in
+  Cmd.v (Cmd.info "travel" ~doc)
+    Term.(
+      const f $ target_arg $ event_arg $ every_arg $ cached_arg $ cache_dir_arg
+      $ faults_arg $ metrics_arg $ trace_events_arg)
+
 (* --- serve / client --- *)
 
 module Proto = Ebp_serve.Protocol
@@ -1086,6 +1334,52 @@ let client_cmd =
         const f $ socket_arg $ tenant_arg $ target_arg $ expr_arg $ engine_arg
         $ format_arg)
   in
+  let live_query_cmd =
+    let doc =
+      "Run a query against the server's $(i,live) streaming recording of a \
+       program: the server advances the recording past $(b,--min-events), \
+       then answers over the sealed prefix. The report carries an explicit \
+       high-water mark (printed to stderr); once the recording completes it \
+       is byte-identical to $(b,ebp client query) (docs/STREAMING.md)."
+    in
+    let expr_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR")
+    in
+    let format_arg =
+      Arg.(
+        value
+        & opt (enum [ ("table", "table"); ("ndjson", "ndjson") ]) "table"
+        & info [ "format" ] ~docv:"FORMAT"
+            ~doc:"Output format: $(b,table) or $(b,ndjson).")
+    in
+    let min_events_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "min-events" ] ~docv:"N"
+            ~doc:
+              "Advance the recording until its sealed prefix strictly \
+               exceeds $(docv) events (or the run completes). Pass the \
+               previous reply's high-water mark to poll for progress.")
+    in
+    let f socket tenant target expr format min_events =
+      match source_of_arg target with
+      | Error msg -> exit_err msg
+      | Ok (source, seed) ->
+          run_request socket tenant
+            (Proto.Live_query
+               { name = target; source; seed; expr; format; min_events })
+            (function
+              | Proto.Live_report { report; high_water; complete } ->
+                  Printf.eprintf "live: high_water=%d complete=%b\n" high_water
+                    complete;
+                  print_string report
+              | _ -> unexpected ())
+    in
+    Cmd.v (Cmd.info "live-query" ~doc)
+      Term.(
+        const f $ socket_arg $ tenant_arg $ target_arg $ expr_arg $ format_arg
+        $ min_events_arg)
+  in
   let stats_cmd =
     let doc =
       "Fetch the server's live metrics snapshot and render it as tables \
@@ -1125,7 +1419,10 @@ let client_cmd =
   in
   let doc = "Query a running $(b,ebp serve) daemon over its socket." in
   Cmd.group (Cmd.info "client" ~doc)
-    [ ping_cmd; sessions_cmd; query_cmd; experiment_cmd; stats_cmd; shutdown_cmd ]
+    [
+      ping_cmd; sessions_cmd; query_cmd; live_query_cmd; experiment_cmd;
+      stats_cmd; shutdown_cmd;
+    ]
 
 (* --- debug --- *)
 
@@ -1189,7 +1486,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; trace_cmd; sessions_cmd; query_cmd; experiment_cmd;
-            serve_cmd; client_cmd; stats_cmd; cache_cmd; fuzz_cmd;
-            disasm_cmd; debug_cmd;
+            list_cmd; run_cmd; trace_cmd; sessions_cmd; query_cmd; travel_cmd;
+            experiment_cmd; serve_cmd; client_cmd; stats_cmd; cache_cmd;
+            fuzz_cmd; disasm_cmd; debug_cmd;
           ]))

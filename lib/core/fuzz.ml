@@ -91,15 +91,18 @@ let synth_units ~seed k =
             p[i & %d] = i + %d; } t = t + p[%d]; free(p); }"
            (words * 4) words (words - 1) (rand 50) (rand words))
     done;
-    (* Hot write loops: ~2k writes each, the event-count dial for large
-       synthetic workloads (raise the fuel along with it). *)
+    (* Hot write loops: ~32k writes each, the event-count dial for large
+       synthetic workloads (raise the fuel along with it). The iteration
+       count is deliberately high relative to the unit's source size so
+       a 10^7-event trace comes from a small program — trace length and
+       compile time stay decoupled. *)
     if k.gen_events > 0 then begin
       add_global "int qhot[64];";
       for _ = 1 to k.gen_events do
         add_group
           (Printf.sprintf
-             "for (i = 0; i < 1024; i = i + 1) { qhot[i & 63] = i * %d; t = t \
-              + i; }"
+             "for (i = 0; i < 16384; i = i + 1) { qhot[i & 63] = i * %d; t = \
+              t + i; }"
              (1 + rand 7))
       done
     end;
@@ -383,6 +386,35 @@ let check_source ?(fuel = default_fuel) ~seed source =
         if not (Write_index.equal index index') then
           fail "index-codec" "round-trip: index differs"
         else Ok index
+  in
+  (* Streaming pipeline vs batch: the same program re-recorded through
+     the sealed-block writer — deliberately tiny blocks, so every seed
+     crosses several block boundaries — must stream to a byte-identical
+     trace, and the block-incremental index must equal the batch build. *)
+  let* () =
+    let buf = Buffer.create 4096 in
+    let inc = Write_index.Incremental.create ~page_sizes in
+    match
+      Ebp_trace.Recorder.record_source_stream ~seed ~fuel ~block_events:64
+        ~on_seal:(fun ~first:_ ~count ~nobjs iter ->
+          Write_index.Incremental.add_block inc ~nobjs ~count iter)
+        ~write:(Buffer.add_string buf) source
+    with
+    | Error msg -> fail "stream-vs-batch" "compile error: %s" msg
+    | Ok (_res, _events) -> (
+        match Ebp_trace.Stream.read (Buffer.contents buf) with
+        | Error msg -> fail "stream-vs-batch" "stream read: %s" msg
+        | Ok trace' ->
+            if Trace.encode trace' <> Trace.encode trace then
+              fail "stream-vs-batch" "streamed trace differs from batch"
+            else (
+              match Write_index.Incremental.snapshot inc with
+              | None -> fail "stream-vs-batch" "incremental index degraded"
+              | Some inc_index ->
+                  if not (Write_index.equal inc_index index) then
+                    fail "stream-vs-batch"
+                      "incremental index differs from batch build"
+                  else Ok ()))
   in
   let scan = Replay.discover_and_replay ~page_sizes ~engine:Replay.Scan trace in
   let indexed =

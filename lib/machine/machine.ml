@@ -283,6 +283,53 @@ let set_write_fault_handler t h = t.write_fault_handler <- h
 let set_monitor_fault_handler t h = t.monitor_fault_handler <- h
 let set_chk_handler t h = t.chk_handler <- h
 
+(* --- execution-state snapshots (checkpoint support) ---
+
+   Everything [step] mutates except memory (checkpointed separately as
+   dirty-page deltas) and the hooks (re-attached by the restore path —
+   closures capture the consumer's state, which the consumer snapshots
+   itself). *)
+
+type snapshot = {
+  s_regs : int array;
+  s_pc : int;
+  s_cycles : int;
+  s_executed : int;
+  s_stores : int;
+  s_funcs : int list;
+  s_halted : int option;
+  s_monitor_regs : Interval.t option array;
+  s_live_monitors : int;
+}
+
+let snapshot t =
+  {
+    s_regs = Array.copy t.regs;
+    s_pc = t.pc;
+    s_cycles = t.cycles;
+    s_executed = t.executed;
+    s_stores = t.stores;
+    s_funcs = t.funcs;
+    s_halted = t.halted;
+    s_monitor_regs = Array.copy t.monitor_regs;
+    s_live_monitors = t.live_monitors;
+  }
+
+let restore t s =
+  if
+    Array.length s.s_regs <> Array.length t.regs
+    || Array.length s.s_monitor_regs <> Array.length t.monitor_regs
+  then invalid_arg "Machine.restore: snapshot from a different machine shape";
+  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc <- s.s_pc;
+  t.cycles <- s.s_cycles;
+  t.executed <- s.s_executed;
+  t.stores <- s.s_stores;
+  t.funcs <- s.s_funcs;
+  t.halted <- s.s_halted;
+  Array.blit s.s_monitor_regs 0 t.monitor_regs 0 (Array.length t.monitor_regs);
+  t.live_monitors <- s.s_live_monitors
+
 let monitor_reg_count t = Array.length t.monitor_regs
 
 let check_monitor_idx t i =

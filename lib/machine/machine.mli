@@ -66,6 +66,24 @@ val halt : t -> int -> unit
 (** Request an orderly stop with the given exit code (used by the [exit]
     system call). *)
 
+(** {2 Execution-state snapshots}
+
+    Checkpoint support: a {!snapshot} captures everything {!step} mutates
+    {e except} memory (checkpointed separately as dirty-page deltas — see
+    {!Memory.take_dirty}) and the hooks (closures over consumer state;
+    the restore path re-attaches them). Snapshots are plain data with no
+    machine reference, so they can be serialized. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore registers, pc, counters, the function stack, halt state, and
+    monitor registers onto [t], which must have been created from the
+    same program shape.
+    @raise Invalid_argument on a shape mismatch. *)
+
 (** {2 Hooks and handlers} *)
 
 val set_store_hook :

@@ -8,12 +8,20 @@ type page = { bytes : Bytes.t; mutable prot : protection }
    memory traffic is strongly page-local, so most accesses skip the
    hashtable probe. The cache is never stale — pages are never removed
    from [pages], and [protect] mutates the shared page record in place. *)
+(* [dirty] collects the pages written since the last [take_dirty] while
+   [track_dirty] is on (the checkpointing recorder turns it on; every
+   other consumer pays one untaken branch per store). [last_dirty_idx]
+   memoizes the last marked page, like the access cache: consecutive
+   stores to one page skip the hashtable. *)
 type t = {
   page_size : int;
   page_shift : int;
   pages : (int, page) Hashtbl.t;
   mutable cache_idx : int;
   mutable cache_page : page;
+  mutable track_dirty : bool;
+  dirty : (int, unit) Hashtbl.t;
+  mutable last_dirty_idx : int;
 }
 
 exception Write_fault of { addr : int; width : int }
@@ -35,6 +43,9 @@ let create ?(page_size = 4096) () =
        unreachable through the cache. *)
     cache_idx = -1;
     cache_page = { bytes = Bytes.empty; prot = Read_write };
+    track_dirty = false;
+    dirty = Hashtbl.create 64;
+    last_dirty_idx = -1;
   }
 
 let page_size t = t.page_size
@@ -112,20 +123,36 @@ let[@inline] set_word p off v =
   Bytes.unsafe_set p.bytes (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
   Bytes.unsafe_set p.bytes (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
-let raw_store_byte t addr v = set_byte (find_page t (page_of t addr)) (addr land (t.page_size - 1)) v
+let[@inline] mark_dirty t idx =
+  if t.track_dirty && idx <> t.last_dirty_idx then begin
+    t.last_dirty_idx <- idx;
+    Hashtbl.replace t.dirty idx ()
+  end
 
-let raw_store_word t addr v = set_word (find_page t (page_of t addr)) (addr land (t.page_size - 1)) v
+let raw_store_byte t addr v =
+  let idx = page_of t addr in
+  mark_dirty t idx;
+  set_byte (find_page t idx) (addr land (t.page_size - 1)) v
+
+let raw_store_word t addr v =
+  let idx = page_of t addr in
+  mark_dirty t idx;
+  set_word (find_page t idx) (addr land (t.page_size - 1)) v
 
 let store_byte t addr v =
   check_addr t addr 1 "store_byte";
-  let p = find_page t (page_of t addr) in
+  let idx = page_of t addr in
+  let p = find_page t idx in
   if p.prot <> Read_write then raise (Write_fault { addr; width = 1 });
+  mark_dirty t idx;
   set_byte p (addr land (t.page_size - 1)) v
 
 let store_word t addr v =
   check_addr t addr 4 "store_word";
-  let p = find_page t (page_of t addr) in
+  let idx = page_of t addr in
+  let p = find_page t idx in
   if p.prot <> Read_write then raise (Write_fault { addr; width = 4 });
+  mark_dirty t idx;
   set_word p (addr land (t.page_size - 1)) v
 
 let privileged_store_byte t addr v =
@@ -150,3 +177,33 @@ let protected_page_count t =
   Hashtbl.fold (fun _ p acc -> if p.prot = Read_only then acc + 1 else acc) t.pages 0
 
 let materialized_pages t = Hashtbl.length t.pages
+
+let fold_pages t ~init ~f =
+  let idxs = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
+  let idxs = List.sort Int.compare idxs in
+  List.fold_left (fun acc idx -> f acc idx (Hashtbl.find t.pages idx).bytes) init idxs
+
+(* --- dirty-page tracking (checkpoint support) --- *)
+
+let set_dirty_tracking t on =
+  t.track_dirty <- on;
+  t.last_dirty_idx <- -1
+
+let dirty_tracking t = t.track_dirty
+
+let take_dirty t =
+  let idxs = Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] in
+  let idxs = List.sort Int.compare idxs in
+  let out =
+    (* A dirty page is always materialized (it was stored to), so
+       [find_page] never creates one here. *)
+    List.map (fun idx -> (idx, Bytes.copy (find_page t idx).bytes)) idxs
+  in
+  Hashtbl.reset t.dirty;
+  t.last_dirty_idx <- -1;
+  out
+
+let overlay_page t ~page bytes =
+  if Bytes.length bytes <> t.page_size then
+    invalid_arg "Memory.overlay_page: bytes must be one page";
+  Bytes.blit bytes 0 (find_page t page).bytes 0 t.page_size

@@ -53,3 +53,32 @@ val protected_page_count : t -> int
 
 val materialized_pages : t -> int
 (** Number of pages backed by storage (diagnostics). *)
+
+val fold_pages : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
+(** Fold over materialized pages in ascending index order. The [bytes]
+    are the live page buffer — callers must not mutate them. Note that
+    an all-zero materialized page is semantically identical to an absent
+    one; consumers comparing memories should skip zero pages. *)
+
+(** {2 Dirty-page tracking}
+
+    Checkpoint support: with tracking on, every store (protected,
+    privileged, or faulted-through) marks its page dirty, and
+    {!take_dirty} drains the set as page snapshots. Off by default; the
+    cost when off is one branch per store. *)
+
+val set_dirty_tracking : t -> bool -> unit
+(** Enable/disable tracking. Does not clear an already-collected dirty
+    set — {!take_dirty} does. *)
+
+val dirty_tracking : t -> bool
+
+val take_dirty : t -> (int * bytes) list
+(** The pages written since the last [take_dirty] (or since tracking
+    began), as [(page index, page contents copy)] in ascending index
+    order, and clear the set. *)
+
+val overlay_page : t -> page:int -> bytes -> unit
+(** Replace one page's contents (protection is untouched) — the restore
+    half of {!take_dirty}.
+    @raise Invalid_argument if [bytes] is not exactly one page. *)

@@ -17,9 +17,6 @@ let m_parse_errors = Metrics.counter "query.parse_errors"
 
 (* Same counter names Planner.replay uses — registration is idempotent,
    so query decisions and replay decisions share the cells. *)
-let m_scan = Metrics.counter "planner.decision.scan"
-let m_build = Metrics.counter "planner.decision.build"
-let m_reuse = Metrics.counter "planner.decision.reuse"
 
 type engine = Auto | Indexed | Scan
 
@@ -57,7 +54,7 @@ type execution = {
 }
 
 let run ?(engine = Auto) ?index ?(index_source = Planner.no_index_cache) ?pool
-    ?log trace (q : Ast.query) : execution =
+    ?reason ?log trace (q : Ast.query) : execution =
   Span.with_span "query.run" @@ fun () ->
   Metrics.incr m_runs;
   let run_scan () = Scan_engine.run trace q in
@@ -83,15 +80,12 @@ let run ?(engine = Auto) ?index ?(index_source = Planner.no_index_cache) ?pool
   | Indexed -> { raw = run_indexed (); engine_used = "indexed"; planned = None }
   | Auto -> (
       let est =
-        Planner.estimate ~events:(Trace.length trace)
+        Planner.estimate ?reason ~events:(Trace.length trace)
           ~sessions:(planner_sessions q) ~domains:1
           ~cached_index:(index <> None || index_source.Planner.cached)
+          ()
       in
-      Metrics.incr
-        (match est.choice with
-        | Planner.Use_scan -> m_scan
-        | Planner.Build_index -> m_build
-        | Planner.Reuse_index -> m_reuse);
+      Planner.record_decision est;
       Option.iter (fun log -> log (Planner.log_line est)) log;
       match est.choice with
       | Planner.Use_scan ->

@@ -121,3 +121,18 @@ let live_blocks t =
 
 let live_bytes t = Hashtbl.fold (fun _ size acc -> acc + size) t.allocated 0
 let free_bytes t = List.fold_left (fun acc (_, s) -> acc + s) 0 t.free_list
+
+(* --- snapshots (checkpoint support) ---
+
+   The free list is an immutable list (shared, not copied); the live-set
+   table is copied. The hook is not part of a snapshot — it belongs to
+   whoever attached it. *)
+
+type snapshot = { s_free : (int * int) list; s_allocated : (int, int) Hashtbl.t }
+
+let snapshot t = { s_free = t.free_list; s_allocated = Hashtbl.copy t.allocated }
+
+let restore t s =
+  t.free_list <- s.s_free;
+  Hashtbl.reset t.allocated;
+  Hashtbl.iter (fun addr size -> Hashtbl.replace t.allocated addr size) s.s_allocated

@@ -48,3 +48,13 @@ val live_blocks : t -> (int * int) list
 
 val live_bytes : t -> int
 val free_bytes : t -> int
+
+(** {2 Snapshots}
+
+    Checkpoint support: capture and restore the free list and the live
+    set. The event hook is untouched by both. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -90,6 +90,39 @@ let load ?(seed = 42) ?costs ?monitor_reg_count ?mem (compiled : Ebp_lang.Compil
   Machine.set_syscall_handler machine (Some (dispatch_syscall t));
   t
 
+(* --- snapshots (checkpoint support) ---
+
+   Everything above the machine that a resumed run depends on: the
+   machine's execution state, the allocator, the PRNG, the output
+   buffer, and the error flag. Memory is deliberately absent — the
+   checkpointing layer captures it as dirty-page deltas against the
+   freshly loaded image. *)
+
+type snapshot = {
+  s_machine : Machine.snapshot;
+  s_alloc : Allocator.snapshot;
+  s_prng : Prng.t;
+  s_out : string;
+  s_error : string option;
+}
+
+let snapshot t =
+  {
+    s_machine = Machine.snapshot t.machine;
+    s_alloc = Allocator.snapshot t.allocator;
+    s_prng = Prng.copy t.prng;
+    s_out = Buffer.contents t.out;
+    s_error = t.runtime_error;
+  }
+
+let restore t s =
+  Machine.restore t.machine s.s_machine;
+  Allocator.restore t.allocator s.s_alloc;
+  t.prng <- Prng.copy s.s_prng;
+  Buffer.clear t.out;
+  Buffer.add_string t.out s.s_out;
+  t.runtime_error <- s.s_error
+
 let p_run = Ebp_util.Fault.point "loader.run"
 
 let run ?fuel t =

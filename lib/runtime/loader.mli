@@ -37,6 +37,21 @@ val output : t -> string
 (** Output produced so far. *)
 
 val run : ?fuel:int -> t -> run_result
+(** Resumable: returning {!Ebp_machine.Machine.stop_reason}
+    [Out_of_fuel] leaves the machine state intact, and a later [run]
+    continues from it. *)
+
+(** {2 Snapshots}
+
+    Checkpoint support: machine execution state, allocator, PRNG, output
+    buffer, and error flag — everything a resumed run depends on except
+    memory, which the checkpointing layer captures as dirty-page deltas
+    (see {!Ebp_machine.Memory.take_dirty}). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
 
 val run_source : ?seed:int -> ?fuel:int -> string -> (run_result, string) result
 (** Convenience: compile MiniC source, load, and run it. *)

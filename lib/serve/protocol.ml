@@ -63,6 +63,14 @@ type request =
       engine : string;
       format : string;
     }
+  | Live_query of {
+      name : string;
+      source : string;
+      seed : int;
+      expr : string;
+      format : string;
+      min_events : int;
+    }
   | Stats_query
   | Shutdown
 
@@ -71,6 +79,7 @@ type response =
   | Pong
   | Report of string
   | Stats of string
+  | Live_report of { report : string; high_water : int; complete : bool }
   | Error_resp of { code : error_code; message : string }
   | Overloaded of { queued : int; limit : int }
   | Shutdown_ack
@@ -89,6 +98,7 @@ let tag_of_frame = function
   | Request Stats_query -> 0x05
   | Request Shutdown -> 0x06
   | Request (Query _) -> 0x07
+  | Request (Live_query _) -> 0x08
   | Response (Hello_ok _) -> 0x81
   | Response Pong -> 0x82
   | Response (Report _) -> 0x83
@@ -96,6 +106,7 @@ let tag_of_frame = function
   | Response (Error_resp _) -> 0x85
   | Response (Overloaded _) -> 0x86
   | Response Shutdown_ack -> 0x87
+  | Response (Live_report _) -> 0x88
 
 (* --- payload writing --- *)
 
@@ -144,6 +155,13 @@ let encode_payload b = function
       put_string b expr;
       put_string b engine;
       put_string b format
+  | Request (Live_query { name; source; seed; expr; format; min_events }) ->
+      put_string b name;
+      put_string b source;
+      put_varint b seed;
+      put_string b expr;
+      put_string b format;
+      put_varint b min_events
   | Response (Hello_ok { version; server }) ->
       put_varint b version;
       put_string b server
@@ -156,6 +174,10 @@ let encode_payload b = function
   | Response (Overloaded { queued; limit }) ->
       put_varint b queued;
       put_varint b limit
+  | Response (Live_report { report; high_water; complete }) ->
+      put_string b report;
+      put_varint b high_water;
+      put_bool b complete
 
 let encode frame =
   let payload =
@@ -249,6 +271,14 @@ let decode_payload tag r =
       let engine = get_string r in
       let format = get_string r in
       Request (Query { name; source; seed; expr; engine; format })
+  | 0x08 ->
+      let name = get_string r in
+      let source = get_string r in
+      let seed = get_varint r in
+      let expr = get_string r in
+      let format = get_string r in
+      let min_events = get_varint r in
+      Request (Live_query { name; source; seed; expr; format; min_events })
   | 0x81 ->
       let version = get_varint r in
       let server = get_string r in
@@ -268,6 +298,11 @@ let decode_payload tag r =
       let limit = get_varint r in
       Response (Overloaded { queued; limit })
   | 0x87 -> Response Shutdown_ack
+  | 0x88 ->
+      let report = get_string r in
+      let high_water = get_varint r in
+      let complete = get_bool r in
+      Response (Live_report { report; high_water; complete })
   | t -> raise (Bad (Printf.sprintf "unknown frame type 0x%02x" t))
 
 (* Parse the envelope's LEB128 length field incrementally: the buffer may
@@ -342,6 +377,9 @@ let pp_frame ppf frame =
   | Request (Query { name; source; seed; expr; engine; format }) ->
       p "Query{name=%S;source=<%d bytes>;seed=%d;expr=%S;engine=%s;format=%s}"
         name (String.length source) seed expr engine format
+  | Request (Live_query { name; source; seed; expr; format; min_events }) ->
+      p "Live_query{name=%S;source=<%d bytes>;seed=%d;expr=%S;format=%s;min_events=%d}"
+        name (String.length source) seed expr format min_events
   | Request Stats_query -> p "Stats_query"
   | Request Shutdown -> p "Shutdown"
   | Response (Hello_ok { version; server }) ->
@@ -354,3 +392,6 @@ let pp_frame ppf frame =
   | Response (Overloaded { queued; limit }) ->
       p "Overloaded{queued=%d;limit=%d}" queued limit
   | Response Shutdown_ack -> p "Shutdown_ack"
+  | Response (Live_report { report; high_water; complete }) ->
+      p "Live_report{<%d bytes>;high_water=%d;complete=%b}"
+        (String.length report) high_water complete

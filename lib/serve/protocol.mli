@@ -90,6 +90,25 @@ type request =
           carrying the one-line caret diagnostic — never a disconnect.
           The response [Report] is byte-identical to [ebp query] output
           for the same inputs, whichever engine runs it. *)
+  | Live_query of {
+      name : string;  (** display / live-job key name of the program *)
+      source : string;  (** MiniC translation unit, sent inline *)
+      seed : int;
+      expr : string;  (** query text, docs/QUERY.md grammar *)
+      format : string;  (** ["table"] or ["ndjson"] *)
+      min_events : int;
+          (** answer only once the sealed prefix strictly exceeds this
+              many events (or the recording completed) — pass the
+              previous answer's [high_water] to poll for progress, 0 for
+              the first sealed block *)
+    }
+      (** Streaming-pipeline query: start (or join) an in-progress
+          recording of [source] on the server, advance it, and answer
+          [expr] over the {e sealed prefix} of the trace — before the
+          recording finishes. Answered with {!Live_report} carrying the
+          prefix's high-water timestamp. Once complete, the report is
+          byte-identical to a {!Query} of the same inputs with engine
+          [auto]. See docs/STREAMING.md. *)
   | Stats_query  (** Fetch the server's live metrics snapshot. *)
   | Shutdown
       (** Graceful shutdown: the server acks, drains its queue, refuses
@@ -100,6 +119,11 @@ type response =
   | Pong
   | Report of string  (** rendered report text, exactly as the batch CLI *)
   | Stats of string  (** NDJSON metrics snapshot ({!Ebp_obs.Export}) *)
+  | Live_report of { report : string; high_water : int; complete : bool }
+      (** Answer to {!Live_query}: [report] covers exactly the first
+          [high_water] events of the recording (the sealed prefix);
+          [complete] means the recording has finished and the report is
+          the final, batch-identical answer. *)
   | Error_resp of { code : error_code; message : string }
   | Overloaded of { queued : int; limit : int }
       (** Backpressure: the admission queue is full. The request was not

@@ -58,6 +58,7 @@ module Core = struct
   type t = {
     config : config;
     store : Trace_store.t;
+    live : Live.t;
     pool : Ebp_util.Domain_pool.t;
     queues : (string, queued_query Queue.t) Hashtbl.t;
     ring : string Queue.t;
@@ -75,6 +76,7 @@ module Core = struct
       store =
         Trace_store.create ~capacity:config.lru_capacity
           ?cache_dir:config.cache_dir ~pool ();
+      live = Live.create ();
       pool;
       queues = Hashtbl.create 8;
       ring = Queue.create ();
@@ -191,6 +193,38 @@ module Core = struct
                     P.Report
                       (Ebp_query.Query.render ~format trace q
                          execution.Ebp_query.Query.raw))))
+    | P.Live_query { name; source; seed; expr; format; min_events } -> (
+        let bad message = P.Error_resp { code = P.Bad_request; message } in
+        match Ebp_query.Query.format_of_string format with
+        | Error msg -> bad msg
+        | Ok format -> (
+            match Ebp_query.Query.parse expr with
+            | Error e -> bad (Ebp_query.Parser.error_line expr e)
+            | Ok q -> (
+                match Live.fetch t.live ~name ~source ~seed ~min_events with
+                | Error msg -> bad msg
+                | Ok p ->
+                    (* Answer over the sealed prefix with the incremental
+                       index (absent when fault-degraded — the planner
+                       then prices a build or scan over the prefix). The
+                       reason marks live decisions in the metrics; a
+                       completed recording is a full trace again. *)
+                    let reason =
+                      if p.Live.p_complete then Ebp_sessions.Planner.Full
+                      else Ebp_sessions.Planner.Partial_index
+                    in
+                    let execution =
+                      Ebp_query.Query.run ?index:p.Live.p_index ~pool:t.pool
+                        ~reason p.Live.p_trace q
+                    in
+                    P.Live_report
+                      {
+                        report =
+                          Ebp_query.Query.render ~format p.Live.p_trace q
+                            execution.Ebp_query.Query.raw;
+                        high_water = p.Live.p_high_water;
+                        complete = p.Live.p_complete;
+                      })))
     | P.Hello _ | P.Ping | P.Stats_query | P.Shutdown ->
         P.Error_resp { code = P.Internal; message = "not a query" }
 
@@ -237,7 +271,7 @@ module Core = struct
     | P.Shutdown ->
         t.draining <- true;
         reply P.Shutdown_ack
-    | P.Sessions_query _ | P.Experiment_query _ | P.Query _ ->
+    | P.Sessions_query _ | P.Experiment_query _ | P.Query _ | P.Live_query _ ->
         if t.draining then
           reply
             (P.Error_resp

@@ -4,11 +4,23 @@ module Metrics = Ebp_obs.Metrics
 
 type choice = Use_scan | Build_index | Reuse_index
 
+(* Why the planner was consulted. [Full] is the batch default; the other
+   two mark the streaming pipeline's degraded-input plans: answering
+   over the sealed prefix of an in-progress recording with an
+   incrementally-maintained index ([Partial_index]), or replaying a
+   time-travel seek restarted from a machine checkpoint instead of step
+   0 ([Checkpoint_restart]). The reason does not change the cost model —
+   the same three options are priced over whatever events/sessions are
+   visible — but it is logged and counted so live and travel decisions
+   are distinguishable in the metrics. *)
+type reason = Full | Partial_index | Checkpoint_restart
+
 type estimate = {
   events : int;
   sessions : int;
   domains : int;
   cached_index : bool;
+  reason : reason;
   scan_cost : float;
   build_cost : float;
   reuse_cost : float;
@@ -18,6 +30,8 @@ type estimate = {
 let m_scan = Metrics.counter "planner.decision.scan"
 let m_build = Metrics.counter "planner.decision.build"
 let m_reuse = Metrics.counter "planner.decision.reuse"
+let m_partial = Metrics.counter "planner.decision.partial_index"
+let m_restart = Metrics.counter "planner.decision.checkpoint_restart"
 
 (* The cost model. Unit: "events visited by one domain", calibrated
    against bench/main.ml's engine-comparison section rather than derived
@@ -40,7 +54,7 @@ let m_reuse = Metrics.counter "planner.decision.reuse"
 
    Reuse is only on the menu when a cached .widx exists; the planner
    never pays a speculative index load just to price it. *)
-let estimate ~events ~sessions ~domains ~cached_index =
+let estimate ?(reason = Full) ~events ~sessions ~domains ~cached_index () =
   let ev = float_of_int (max events 1) in
   let se = float_of_int (max sessions 0) in
   let d = float_of_int (max domains 1) in
@@ -54,7 +68,7 @@ let estimate ~events ~sessions ~domains ~cached_index =
     else if build_cost <= scan_cost then Build_index
     else Use_scan
   in
-  { events; sessions; domains; cached_index; scan_cost; build_cost;
+  { events; sessions; domains; cached_index; reason; scan_cost; build_cost;
     reuse_cost; choice }
 
 let choice_name = function
@@ -62,23 +76,34 @@ let choice_name = function
   | Build_index -> "build"
   | Reuse_index -> "reuse"
 
+let reason_name = function
+  | Full -> "full"
+  | Partial_index -> "partial_index"
+  | Checkpoint_restart -> "checkpoint_restart"
+
 let engine_of_choice = function
   | Use_scan -> Replay.Scan
   | Build_index | Reuse_index -> Replay.Indexed
 
+(* The "planner: <choice> (" prefix is parsed by the benchmark's report
+   assertions — extend inside the parentheses only. *)
 let log_line e =
   Printf.sprintf
-    "planner: %s (events=%d sessions=%d domains=%d cached=%b cost scan=%.3g \
-     build=%.3g reuse=%.3g)"
+    "planner: %s (events=%d sessions=%d domains=%d cached=%b reason=%s cost \
+     scan=%.3g build=%.3g reuse=%.3g)"
     (choice_name e.choice) e.events e.sessions e.domains e.cached_index
-    e.scan_cost e.build_cost e.reuse_cost
+    (reason_name e.reason) e.scan_cost e.build_cost e.reuse_cost
 
 let record_decision e =
   Metrics.incr
     (match e.choice with
     | Use_scan -> m_scan
     | Build_index -> m_build
-    | Reuse_index -> m_reuse)
+    | Reuse_index -> m_reuse);
+  match e.reason with
+  | Full -> ()
+  | Partial_index -> Metrics.incr m_partial
+  | Checkpoint_restart -> Metrics.incr m_restart
 
 type source = {
   cached : bool;
@@ -90,7 +115,8 @@ let no_index_cache =
   { cached = false; load = (fun () -> None); store = ignore }
 
 let replay ?(page_sizes = Replay.default_page_sizes) ?pool ?domains
-    ?(keep_hitless = false) ?(index_source = no_index_cache) ?log trace =
+    ?(keep_hitless = false) ?(index_source = no_index_cache) ?reason ?log
+    trace =
   let go pool =
     let sessions = Discovery.discover trace in
     let ndomains =
@@ -99,9 +125,9 @@ let replay ?(page_sizes = Replay.default_page_sizes) ?pool ?domains
       | None -> 1
     in
     let est =
-      estimate ~events:(Trace.length trace)
+      estimate ?reason ~events:(Trace.length trace)
         ~sessions:(List.length sessions) ~domains:ndomains
-        ~cached_index:index_source.cached
+        ~cached_index:index_source.cached ()
     in
     record_decision est;
     (match log with Some f -> f (log_line est) | None -> ());

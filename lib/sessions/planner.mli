@@ -17,11 +17,22 @@
 
 type choice = Use_scan | Build_index | Reuse_index
 
+(** Why the planner was consulted: a complete batch trace ([Full], the
+    default), the sealed prefix of an in-progress streaming recording
+    answered over an incrementally-maintained index ([Partial_index]),
+    or a time-travel replay restarted from a machine checkpoint
+    ([Checkpoint_restart]). The reason never changes the decision — it
+    annotates the log line ([reason=...]) and bumps
+    [planner.decision.partial_index] / [...checkpoint_restart] next to
+    the choice counter, so streaming-mode decisions are observable. *)
+type reason = Full | Partial_index | Checkpoint_restart
+
 type estimate = {
   events : int;
   sessions : int;
   domains : int;
   cached_index : bool;
+  reason : reason;
   scan_cost : float;  (** modeled cost of one scan pass, all sessions *)
   build_cost : float;  (** index build + indexed replay *)
   reuse_cost : float;  (** indexed replay off a cached index *)
@@ -29,7 +40,9 @@ type estimate = {
 }
 
 val estimate :
-  events:int -> sessions:int -> domains:int -> cached_index:bool -> estimate
+  ?reason:reason ->
+  events:int -> sessions:int -> domains:int -> cached_index:bool -> unit ->
+  estimate
 (** Pure — same inputs, same decision, so planned runs stay as
     reproducible as fixed-engine runs. [Reuse_index] is only ever chosen
     when [cached_index] is true. Costs are in arbitrary calibrated units;
@@ -38,6 +51,15 @@ val estimate :
 val choice_name : choice -> string
 (** ["scan"], ["build"], or ["reuse"] — the token used in the log line
     and the [planner.decision.*] counter names. *)
+
+val reason_name : reason -> string
+(** ["full"], ["partial_index"], or ["checkpoint_restart"]. *)
+
+val record_decision : estimate -> unit
+(** Bump [planner.decision.<choice>] (and, for a non-[Full] reason,
+    [planner.decision.<reason>]). {!replay} calls this itself; other
+    surfaces that consult {!estimate} directly (the query front door)
+    share the counters through it. *)
 
 val engine_of_choice : choice -> Replay.engine
 
@@ -64,6 +86,7 @@ val replay :
   ?domains:int ->
   ?keep_hitless:bool ->
   ?index_source:source ->
+  ?reason:reason ->
   ?log:(string -> unit) ->
   Ebp_trace.Trace.t ->
   (Session.t * Counts.t) list

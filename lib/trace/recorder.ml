@@ -9,8 +9,51 @@ module Allocator = Ebp_runtime.Allocator
    non-static variables in declaration order. *)
 type fn_info = { fname : string; vars : Debug_info.variable array }
 
+(* Where the recorder's events go. The batch path is a {!Trace.Builder};
+   the streaming path is a {!Stream.Writer}; the checkpoint-seek path is
+   a bare counter. All three see the identical event sequence — that is
+   the whole equivalence argument, so the hooks below are written once,
+   against this record. *)
+type sink = {
+  register : Object_desc.t -> int;
+  install : int -> lo:int -> hi:int -> unit;
+  remove : int -> lo:int -> hi:int -> unit;
+  write : lo:int -> hi:int -> pc:int -> unit;
+}
+
+let builder_sink b =
+  {
+    register = (fun obj -> Trace.Builder.register b obj);
+    install = (fun id ~lo ~hi -> Trace.Builder.add_install_id b id ~lo ~hi);
+    remove = (fun id ~lo ~hi -> Trace.Builder.add_remove_id b id ~lo ~hi);
+    write = (fun ~lo ~hi ~pc -> Trace.Builder.add_write_raw b ~lo ~hi ~pc);
+  }
+
+let stream_sink w =
+  {
+    register = (fun obj -> Stream.Writer.register w obj);
+    install = (fun id ~lo ~hi -> Stream.Writer.add_install_id w id ~lo ~hi);
+    remove = (fun id ~lo ~hi -> Stream.Writer.add_remove_id w id ~lo ~hi);
+    write = (fun ~lo ~hi ~pc -> Stream.Writer.add_write_raw w ~lo ~hi ~pc);
+  }
+
+(* A sink that only advances (event, object) counters — what the
+   checkpoint seek uses to find "the machine just before event [w]"
+   without building any trace. Counters are mutable so a restore can
+   pre-load them from a checkpoint. *)
+type counters = { mutable c_events : int; mutable c_objs : int }
+
+let counting_sink c =
+  {
+    register = (fun _ -> let id = c.c_objs in c.c_objs <- id + 1; id);
+    install = (fun _ ~lo:_ ~hi:_ -> c.c_events <- c.c_events + 1);
+    remove = (fun _ ~lo:_ ~hi:_ -> c.c_events <- c.c_events + 1);
+    write = (fun ~lo:_ ~hi:_ ~pc:_ -> c.c_events <- c.c_events + 1);
+  }
+
 type t = {
-  builder : Trace.Builder.t;
+  sink : sink;
+  builder : Trace.Builder.t option;  (* the batch path's, for [finish] *)
   debug : Debug_info.t;
   loader : Loader.t;
   fn_info : fn_info array;  (* indexed by function id *)
@@ -48,11 +91,11 @@ let on_enter t machine fid =
     let v = Array.unsafe_get vars i in
     let lo, hi = var_bounds ~fp v in
     let id =
-      Trace.Builder.register t.builder
+      t.sink.register
         (Object_desc.Local
            { func = info.fname; var = v.Debug_info.var_name; inst = act })
     in
-    Trace.Builder.add_install_id t.builder id ~lo ~hi;
+    t.sink.install id ~lo ~hi;
     frame.(i * 3) <- id;
     frame.((i * 3) + 1) <- lo;
     frame.((i * 3) + 2) <- hi
@@ -62,10 +105,7 @@ let on_enter t machine fid =
 let remove_frame t frame =
   let n = Array.length frame / 3 in
   for i = 0 to n - 1 do
-    Trace.Builder.add_remove_id t.builder
-      frame.(i * 3)
-      ~lo:frame.((i * 3) + 1)
-      ~hi:frame.((i * 3) + 2)
+    t.sink.remove frame.(i * 3) ~lo:frame.((i * 3) + 1) ~hi:frame.((i * 3) + 2)
   done
 
 let on_leave t _machine _fid =
@@ -88,14 +128,14 @@ let on_alloc_event t event =
         Object_desc.Heap
           { context = context_names t (Loader.machine t.loader); seq = t.heap_seq }
       in
-      let id = Trace.Builder.register t.builder obj in
+      let id = t.sink.register obj in
       let lo = addr and hi = addr + size - 1 in
-      Trace.Builder.add_install_id t.builder id ~lo ~hi;
+      t.sink.install id ~lo ~hi;
       Hashtbl.replace t.heap_live addr (id, lo, hi)
   | Allocator.Free { addr; size = _ } -> (
       match Hashtbl.find_opt t.heap_live addr with
       | Some (id, lo, hi) ->
-          Trace.Builder.add_remove_id t.builder id ~lo ~hi;
+          t.sink.remove id ~lo ~hi;
           Hashtbl.remove t.heap_live addr
       | None -> ())
   | Allocator.Realloc { old_addr; old_size = _; new_addr; new_size } -> (
@@ -103,20 +143,19 @@ let on_alloc_event t event =
          range, install the new one under the same descriptor. *)
       match Hashtbl.find_opt t.heap_live old_addr with
       | Some (id, lo, hi) ->
-          Trace.Builder.add_remove_id t.builder id ~lo ~hi;
+          t.sink.remove id ~lo ~hi;
           Hashtbl.remove t.heap_live old_addr;
           let lo = new_addr and hi = new_addr + new_size - 1 in
-          Trace.Builder.add_install_id t.builder id ~lo ~hi;
+          t.sink.install id ~lo ~hi;
           Hashtbl.replace t.heap_live new_addr (id, lo, hi)
       | None -> ())
 
 (* The store hook runs once per user-code store — the hottest call site
    in phase 1 — so the write is pushed as raw ints, no Interval. *)
 let on_store t _machine ~addr ~width ~value:_ ~pc ~implicit =
-  if not implicit then
-    Trace.Builder.add_write_raw t.builder ~lo:addr ~hi:(addr + width - 1) ~pc
+  if not implicit then t.sink.write ~lo:addr ~hi:(addr + width - 1) ~pc
 
-let attach ?hint loader =
+let make ?builder sink loader =
   let debug = Loader.debug loader in
   let fn_info =
     Array.map
@@ -131,23 +170,31 @@ let attach ?hint loader =
         })
       debug.Debug_info.functions
   in
-  let t =
-    {
-      builder = Trace.Builder.create ?hint ();
-      debug;
-      loader;
-      fn_info;
-      acts = Array.make (Array.length fn_info) 0;
-      frames = [];
-      heap_live = Hashtbl.create 64;
-      heap_seq = 0;
-      statics = [];
-      finished = false;
-    }
-  in
+  {
+    sink;
+    builder;
+    debug;
+    loader;
+    fn_info;
+    acts = Array.make (Array.length fn_info) 0;
+    frames = [];
+    heap_live = Hashtbl.create 64;
+    heap_seq = 0;
+    statics = [];
+    finished = false;
+  }
+
+let set_hooks t =
+  let machine = Loader.machine t.loader in
+  Machine.set_enter_hook machine (Some (on_enter t));
+  Machine.set_leave_hook machine (Some (on_leave t));
+  Machine.set_store_hook machine (Some (on_store t));
+  Allocator.set_event_hook (Loader.allocator t.loader) (Some (on_alloc_event t))
+
+let install_statics t =
   let install_static obj ~lo ~hi =
-    let id = Trace.Builder.register t.builder obj in
-    Trace.Builder.add_install_id t.builder id ~lo ~hi;
+    let id = t.sink.register obj in
+    t.sink.install id ~lo ~hi;
     t.statics <- (id, lo, hi) :: t.statics
   in
   (* Globals and static locals exist for the whole run: install up front. *)
@@ -157,7 +204,7 @@ let attach ?hint loader =
         (Object_desc.Global { var = g.Debug_info.g_name })
         ~lo:g.Debug_info.g_addr
         ~hi:(g.Debug_info.g_addr + g.Debug_info.g_size - 1))
-    debug.Debug_info.globals;
+    t.debug.Debug_info.globals;
   Array.iter
     (fun (f : Debug_info.func) ->
       List.iter
@@ -170,15 +217,57 @@ let attach ?hint loader =
               ~lo ~hi
           end)
         f.Debug_info.vars)
-    debug.Debug_info.functions;
-  let machine = Loader.machine loader in
-  Machine.set_enter_hook machine (Some (on_enter t));
-  Machine.set_leave_hook machine (Some (on_leave t));
-  Machine.set_store_hook machine (Some (on_store t));
-  Allocator.set_event_hook (Loader.allocator loader) (Some (on_alloc_event t));
+    t.debug.Debug_info.functions
+
+let attach_sink sink loader =
+  let t = make sink loader in
+  install_statics t;
+  set_hooks t;
   t
 
-let finish t =
+let attach ?hint loader =
+  let b = Trace.Builder.create ?hint () in
+  let t = make ~builder:b (builder_sink b) loader in
+  install_statics t;
+  set_hooks t;
+  t
+
+let attach_stream w loader = attach_sink (stream_sink w) loader
+
+(* --- recorder-state snapshots (checkpoint support) --- *)
+
+type snapshot = {
+  r_acts : int array;
+  r_frames : int array list;
+  r_heap_live : (int, int * int * int) Hashtbl.t;
+  r_heap_seq : int;
+  r_statics : (int * int * int) list;
+}
+
+let snapshot t =
+  {
+    r_acts = Array.copy t.acts;
+    r_frames = List.map Array.copy t.frames;
+    r_heap_live = Hashtbl.copy t.heap_live;
+    r_heap_seq = t.heap_seq;
+    r_statics = t.statics;
+  }
+
+(* Re-attach onto a loader whose machine state was restored from a
+   checkpoint: the statics (and everything else already recorded) must
+   NOT be re-emitted — the bookkeeping is restored from the snapshot
+   instead, and the sink continues mid-sequence. *)
+let reattach sink loader s =
+  let t = make sink loader in
+  Array.blit s.r_acts 0 t.acts 0 (Array.length t.acts);
+  t.frames <- List.map Array.copy s.r_frames;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.heap_live k v) s.r_heap_live;
+  t.heap_seq <- s.r_heap_seq;
+  t.statics <- s.r_statics;
+  set_hooks t;
+  t
+
+let finish_events t =
   if t.finished then invalid_arg "Recorder.finish: already finished";
   t.finished <- true;
   (* An exit() mid-call-chain leaves frames live; remove them innermost
@@ -186,14 +275,19 @@ let finish t =
   List.iter (fun frame -> remove_frame t frame) t.frames;
   t.frames <- [];
   Hashtbl.iter
-    (fun _ (id, lo, hi) -> Trace.Builder.add_remove_id t.builder id ~lo ~hi)
+    (fun _ (id, lo, hi) -> t.sink.remove id ~lo ~hi)
     t.heap_live;
   Hashtbl.reset t.heap_live;
-  List.iter
-    (fun (id, lo, hi) -> Trace.Builder.add_remove_id t.builder id ~lo ~hi)
-    t.statics;
-  t.statics <- [];
-  Trace.Builder.finish t.builder
+  List.iter (fun (id, lo, hi) -> t.sink.remove id ~lo ~hi) t.statics;
+  t.statics <- []
+
+let finish t =
+  finish_events t;
+  match t.builder with
+  | Some b -> Trace.Builder.finish b
+  | None ->
+      invalid_arg
+        "Recorder.finish: no builder (streaming recorder; use finish_events)"
 
 let record ?hint ?fuel loader =
   let t = attach ?hint loader in
@@ -206,4 +300,25 @@ let record_source ?seed ?fuel source =
       let loader = Loader.load ?seed compiled in
       let result, trace = record ?fuel loader in
       (result, trace, compiled.Ebp_lang.Compiler.debug))
+    (Ebp_lang.Compiler.compile source)
+
+(* Streaming counterparts: the recorder's state never holds more than
+   the writer's one pending block, so peak memory is O(block) no matter
+   how long the trace is. *)
+
+let record_stream ?fuel writer loader =
+  let t = attach_stream writer loader in
+  let result = Loader.run ?fuel loader in
+  finish_events t;
+  Stream.Writer.finish writer;
+  result
+
+let record_source_stream ?seed ?fuel ?block_events ?on_seal ~write source =
+  Result.map
+    (fun compiled ->
+      let writer = Stream.Writer.create ?block_events ~write () in
+      Option.iter (Stream.Writer.set_on_seal writer) on_seal;
+      let loader = Loader.load ?seed compiled in
+      let result = record_stream ?fuel writer loader in
+      (result, Stream.Writer.events writer))
     (Ebp_lang.Compiler.compile source)

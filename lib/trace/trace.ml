@@ -120,6 +120,7 @@ module Builder = struct
   let add_write_raw b ~lo ~hi ~pc = push b tag_write lo hi pc
 
   let length b = b.count
+  let object_count b = b.obj_count
 
   let finish b =
     let used = b.count * stride in

@@ -58,6 +58,10 @@ module Builder : sig
 
   val length : t -> int
 
+  val object_count : t -> int
+  (** Object ids assigned so far (by {!register} or the interning
+      adders). *)
+
   val finish : t -> trace
   (** Freeze the builder into a trace. When the buffer is exactly full
       (precise [hint]), ownership transfers without a copy — do not add

@@ -40,6 +40,8 @@ let m_misses = Metrics.counter "trace_cache.misses"
 let m_mapped_hits = Metrics.counter "trace_cache.mapped_hits"
 let m_index_hits = Metrics.counter "trace_cache.index_hits"
 let m_index_misses = Metrics.counter "trace_cache.index_misses"
+let m_ckpt_hits = Metrics.counter "trace_cache.checkpoint_hits"
+let m_ckpt_misses = Metrics.counter "trace_cache.checkpoint_misses"
 let m_bytes_read = Metrics.counter "trace_cache.bytes_read"
 let m_bytes_written = Metrics.counter "trace_cache.bytes_written"
 let m_lookup_ns = Metrics.histogram "trace_cache.lookup_ns"
@@ -269,6 +271,26 @@ let store_index ~dir ~key ~page_sizes index =
     ~path:(index_path ~dir ~key ~page_sizes)
     (seal (Write_index.encode index))
 
+(* Checkpoint chains are keyed like indices: [<key>.<ckey>.ckpt], with
+   [ckey] rehashing the trace key and the checkpoint codec version, and
+   the [<key>.] prefix tying the chain to its recording for the GC's
+   orphan sweep. A chain is only meaningful next to the trace it was
+   taken during (same program, seed, fuel — exactly what [key] hashes). *)
+let checkpoint_key ~key =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ version; key; Checkpoint.codec_version ]))
+
+let checkpoint_path ~dir ~key =
+  Filename.concat dir (key ^ "." ^ checkpoint_key ~key ^ ".ckpt")
+
+let checkpoint_cached ~dir ~key = Sys.file_exists (checkpoint_path ~dir ~key)
+
+let store_checkpoints ~dir ~key chain =
+  timed m_store_ns @@ fun () ->
+  store_file ~dir ~path:(checkpoint_path ~dir ~key)
+    (seal (Checkpoint.encode chain))
+
 (* --- lookups --- *)
 
 let read_file path =
@@ -341,6 +363,13 @@ let lookup_index ~dir ~key ~page_sizes =
   Metrics.incr (match found with Some _ -> m_index_hits | None -> m_index_misses);
   found
 
+let lookup_checkpoints ~dir ~key =
+  timed m_lookup_ns @@ fun () ->
+  let file = Filename.basename (checkpoint_path ~dir ~key) in
+  let found = load_entry ~dir ~file Checkpoint.decode in
+  Metrics.incr (match found with Some _ -> m_ckpt_hits | None -> m_ckpt_misses);
+  found
+
 (* Garbage collection. The odoc contract is that entries never need
    invalidation (keys are content hashes over the codec version), only
    reclamation — so GC is pure space management: drop temp-file litter
@@ -351,6 +380,7 @@ type entry_kind =
   | Trace_entry
   | Index_entry
   | Columnar_entry
+  | Checkpoint_entry
   | Tmp_entry
   | Corrupt_entry
 
@@ -368,6 +398,7 @@ let classify file =
   else if Filename.check_suffix file ".trace" then Some Trace_entry
   else if Filename.check_suffix file ".widx" then Some Index_entry
   else if Filename.check_suffix file ".ebpt3" then Some Columnar_entry
+  else if Filename.check_suffix file ".ckpt" then Some Checkpoint_entry
   else if Filename.check_suffix file ".tmp" && String.length file > 0
           && file.[0] = '.' then Some Tmp_entry
   else None
@@ -380,7 +411,7 @@ let owner_key e =
   match e.entry_kind with
   | Trace_entry -> Some (Filename.chop_suffix e.entry_file ".trace")
   | Columnar_entry -> Some (Filename.chop_suffix e.entry_file ".ebpt3")
-  | Index_entry -> (
+  | Index_entry | Checkpoint_entry -> (
       match String.index_opt e.entry_file '.' with
       | Some i -> Some (String.sub e.entry_file 0 i)
       | None -> None)
@@ -523,7 +554,7 @@ let verify ?(quarantine = true) ~dir () =
       match e.entry_kind with
       | Tmp_entry -> incr tmp_litter
       | Corrupt_entry -> ()
-      | Trace_entry | Index_entry | Columnar_entry -> (
+      | Trace_entry | Index_entry | Columnar_entry | Checkpoint_entry -> (
           incr checked;
           let result =
             match read_file (Filename.concat dir e.entry_file) with
@@ -538,6 +569,9 @@ let verify ?(quarantine = true) ~dir () =
                 | Trace_entry ->
                     Result.bind (unseal data) (fun body ->
                         Result.map ignore (parse_entry body))
+                | Checkpoint_entry ->
+                    Result.bind (unseal data) (fun body ->
+                        Result.map ignore (Checkpoint.decode body))
                 | _ ->
                     Result.bind (unseal data) (fun body ->
                         Result.map ignore (Write_index.decode body)))

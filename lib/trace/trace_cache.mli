@@ -123,6 +123,31 @@ val index_cached : dir:string -> key:string -> page_sizes:int list -> bool
     reports [true] and resolves to a miss at {!lookup_index} time). The
     replay planner prices index reuse with this. *)
 
+(** {2 Checkpoint-chain entries}
+
+    A {!Checkpoint.t} chain taken during a recording is stored next to
+    the trace as [<dir>/<key>.<ckey>.ckpt] — key-prefixed like index
+    entries so the GC groups it with (and orphan-sweeps it against) the
+    owning trace. The chain is only meaningful for the exact recording
+    [key] names (same program, seed, fuel), which the key scheme already
+    guarantees. Same sealing, atomic rename, retry, and
+    quarantine-on-corruption rules as every other entry. *)
+
+val checkpoint_key : key:string -> string
+
+val store_checkpoints :
+  dir:string -> key:string -> Checkpoint.t -> (unit, string) result
+(** Same failure contract as {!store}; the [checkpoint.store] fault
+    point additionally governs taking individual checkpoints (see
+    {!Checkpoint.take}), while this store goes through the shared
+    [trace_cache.store.*] points. *)
+
+val lookup_checkpoints : dir:string -> key:string -> Checkpoint.t option
+
+val checkpoint_cached : dir:string -> key:string -> bool
+(** Existence probe, like {!index_cached} — the replay planner prices
+    checkpoint-restart with this. *)
+
 (** {2 Garbage collection}
 
     Keys are content hashes over the codec version, so entries never go
@@ -140,6 +165,7 @@ type entry_kind =
   | Trace_entry  (** a [<key>.trace] phase-1 recording *)
   | Index_entry  (** a [<key>.<ikey>.widx] write index *)
   | Columnar_entry  (** a [<key>.ebpt3] zero-copy columnar sidecar *)
+  | Checkpoint_entry  (** a [<key>.<ckey>.ckpt] checkpoint chain *)
   | Tmp_entry    (** a [.<key>*.tmp] temp file orphaned by an interrupted
                      store *)
   | Corrupt_entry

@@ -316,8 +316,13 @@ type chunk = {
   c_pages : (int * int * (int, Vec.t) Hashtbl.t * (int, Vec.t) Hashtbl.t * Vec.t) list;
 }
 
-let build_chunk ~page_sizes trace ~start ~stop =
-  let nobjs = Trace.object_count trace in
+(* The chunk pass over an arbitrary event source: [iter f] must call [f]
+   once per event, in order. [start] is the global position of the first
+   event, so chunk positions always live in trace coordinates and chunks
+   merge by concatenation. [nobjs] bounds the object ids the source may
+   mention — for a full-trace chunk that is [Trace.object_count]; for an
+   incrementally sealed block it is the objects registered so far. *)
+let build_chunk_iter ~page_sizes ~nobjs ~start iter =
   let obj_vecs = Array.init nobjs (fun _ -> Vec.create ()) in
   let word_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 4096 in
   let word_span_tbl : (int, Vec.t) Hashtbl.t = Hashtbl.create 64 in
@@ -346,7 +351,7 @@ let build_chunk ~page_sizes trace ~start ~stop =
   in
   let total_writes = ref 0 in
   let pos = ref start in
-  Trace.iter_raw_range trace ~start ~stop (fun ~tag ~obj ~lo ~hi ~pc ->
+  iter (fun ~tag ~obj ~lo ~hi ~pc ->
       let t = !pos in
       incr pos;
       if tag <= 1 then begin
@@ -396,6 +401,10 @@ let build_chunk ~page_sizes trace ~start ~stop =
     c_pages = page_builders;
   }
 
+let build_chunk ~page_sizes trace ~start ~stop =
+  build_chunk_iter ~page_sizes ~nobjs:(Trace.object_count trace) ~start
+    (fun f -> Trace.iter_raw_range trace ~start ~stop f)
+
 let concat_vecs vecs =
   let total = List.fold_left (fun acc v -> acc + v.Vec.len) 0 vecs in
   let out = Array.make total 0 in
@@ -413,42 +422,31 @@ let chunk_target = 4096
 
 let m_build_chunks = Ebp_obs.Metrics.counter "index.build.chunks"
 
-let build ?pool ~page_sizes trace =
-  (* The whole build is one span: it is the warm-run cost the .widx cache
-     exists to amortize, so its duration is worth a timeline entry. *)
-  Ebp_obs.Span.with_span "index.build" @@ fun () ->
-  let events = Trace.length trace in
-  let nobjs = Trace.object_count trace in
-  let nchunks, chunks =
-    match pool with
-    | Some pool
-      when Ebp_util.Domain_pool.domains pool > 1 && events >= parallel_threshold ->
-        let n =
-          min (Ebp_util.Domain_pool.domains pool)
-            (max 1 (events / chunk_target))
-        in
-        let bound i = events * i / n in
-        ( n,
-          Ebp_util.Domain_pool.map pool
-            (fun i ->
-              build_chunk ~page_sizes trace ~start:(bound i)
-                ~stop:(bound (i + 1)))
-            (List.init n Fun.id) )
-    | _ -> (1, [ build_chunk ~page_sizes trace ~start:0 ~stop:events ])
-  in
-  Ebp_obs.Metrics.add m_build_chunks nchunks;
+(* An object id beyond a chunk's vector array means the object was
+   registered after the chunk was sealed (incremental builds only): it
+   has no timeline entries in that chunk, so it reads as empty. For the
+   batch build every chunk is sized to the full object count and this
+   branch never fires. *)
+let empty_vec = { Vec.data = [||]; len = 0 }
+let chunk_obj c o = if o < Array.length c.c_objs then c.c_objs.(o) else empty_vec
+
+(* Merge chunks covering disjoint ascending event ranges, in order. The
+   serial build is the one-chunk case; incremental per-block builds reuse
+   exactly this merge, which is what makes the streaming index
+   structurally identical to the batch one. *)
+let merge_chunks ~events ~nobjs chunks =
   let obj_offs = Array.make (nobjs + 1) 0 in
   for o = 0 to nobjs - 1 do
     obj_offs.(o + 1) <-
       obj_offs.(o)
-      + List.fold_left (fun acc c -> acc + (c.c_objs.(o).Vec.len / 3)) 0 chunks
+      + List.fold_left (fun acc c -> acc + ((chunk_obj c o).Vec.len / 3)) 0 chunks
   done;
   let obj_data = Array.make (3 * obj_offs.(nobjs)) 0 in
   for o = 0 to nobjs - 1 do
     let dst = ref (3 * obj_offs.(o)) in
     List.iter
       (fun c ->
-        let v = c.c_objs.(o) in
+        let v = chunk_obj c o in
         Array.blit v.Vec.data 0 obj_data !dst v.Vec.len;
         dst := !dst + v.Vec.len)
       chunks
@@ -493,6 +491,101 @@ let build ?pool ~page_sizes trace =
              })
            (List.hd chunks).c_pages);
   }
+
+let build ?pool ~page_sizes trace =
+  (* The whole build is one span: it is the warm-run cost the .widx cache
+     exists to amortize, so its duration is worth a timeline entry. *)
+  Ebp_obs.Span.with_span "index.build" @@ fun () ->
+  let events = Trace.length trace in
+  let nobjs = Trace.object_count trace in
+  let nchunks, chunks =
+    match pool with
+    | Some pool
+      when Ebp_util.Domain_pool.domains pool > 1 && events >= parallel_threshold ->
+        let n =
+          min (Ebp_util.Domain_pool.domains pool)
+            (max 1 (events / chunk_target))
+        in
+        let bound i = events * i / n in
+        ( n,
+          Ebp_util.Domain_pool.map pool
+            (fun i ->
+              build_chunk ~page_sizes trace ~start:(bound i)
+                ~stop:(bound (i + 1)))
+            (List.init n Fun.id) )
+    | _ -> (1, [ build_chunk ~page_sizes trace ~start:0 ~stop:events ])
+  in
+  Ebp_obs.Metrics.add m_build_chunks nchunks;
+  merge_chunks ~events ~nobjs chunks
+
+(* --- incremental (streaming) builds ---
+
+   One chunk per sealed block, appended as the recording runs; a snapshot
+   merges whatever is sealed so far through the same [merge_chunks] the
+   batch build uses, so the snapshot over a prefix is [equal] to
+   [build] over that prefix trace. Peak state is the per-block tables —
+   O(block), not O(trace) — plus the sealed chunks themselves, which are
+   exactly the posting data the final index needs anyway. *)
+
+module Incremental = struct
+  type builder = {
+    page_sizes : int list;
+    mutable chunks_rev : chunk list;
+    mutable ev_count : int;
+    mutable nobjs : int;
+    mutable degraded : bool;
+  }
+
+  let p_merge = Ebp_util.Fault.point "stream.index_merge"
+  let m_blocks = Ebp_obs.Metrics.counter "index.incremental.blocks"
+  let m_degraded = Ebp_obs.Metrics.counter "index.incremental.degraded"
+
+  let create ~page_sizes =
+    { page_sizes; chunks_rev = []; ev_count = 0; nobjs = 0; degraded = false }
+
+  let events b = b.ev_count
+  let degraded b = b.degraded
+
+  let add_block b ~nobjs ~count iter =
+    let start = b.ev_count in
+    b.ev_count <- start + count;
+    b.nobjs <- max b.nobjs nobjs;
+    if not b.degraded then begin
+      match
+        try
+          Ebp_util.Fault.check p_merge;
+          None
+        with Ebp_util.Fault.Injected msg -> Some msg
+      with
+      | Some _ ->
+          (* Fallback semantics: the incremental index is dropped for the
+             rest of the recording and consumers batch-build over the
+             prefix trace instead — a slower answer, never a wrong one. *)
+          b.degraded <- true;
+          b.chunks_rev <- [];
+          Ebp_obs.Metrics.incr m_degraded
+      | None ->
+          let chunk =
+            build_chunk_iter ~page_sizes:b.page_sizes ~nobjs ~start iter
+          in
+          b.chunks_rev <- chunk :: b.chunks_rev;
+          Ebp_obs.Metrics.incr m_blocks
+    end
+
+  let snapshot b =
+    if b.degraded then None
+    else
+      let chunks =
+        match List.rev b.chunks_rev with
+        | [] ->
+            [
+              build_chunk_iter ~page_sizes:b.page_sizes ~nobjs:0 ~start:0
+                (fun _ -> ());
+            ]
+        | cs -> cs
+      in
+      Some (merge_chunks ~events:b.ev_count ~nobjs:b.nobjs chunks)
+end
 
 (* --- accessors --- *)
 

@@ -37,6 +37,46 @@ val build : ?pool:Ebp_util.Domain_pool.t -> page_sizes:int list -> Trace.t -> t
     @raise Invalid_argument if a page size is not a positive power of
     two. *)
 
+(** {2 Incremental (streaming) builds}
+
+    One chunk per sealed trace block, appended while the recording runs;
+    {!Incremental.snapshot} merges the sealed chunks through the same
+    merge the batch build uses, so a snapshot over a recorded prefix is
+    {!equal} to {!build} over that prefix trace (asserted by
+    [test_stream.ml] and the fuzzer's streaming oracle). Peak state is
+    one block's hash tables — O(block), not O(trace). *)
+
+module Incremental : sig
+  type builder
+
+  val create : page_sizes:int list -> builder
+
+  val add_block :
+    builder ->
+    nobjs:int ->
+    count:int ->
+    ((tag:int -> obj:int -> lo:int -> hi:int -> pc:int -> unit) -> unit) ->
+    unit
+  (** [add_block b ~nobjs ~count iter] seals one block of [count] events
+      into the builder; [iter f] must call [f] once per event of the
+      block, in order, with raw-event fields as in
+      {!Trace.iter_raw_range}. [nobjs] is the number of objects
+      registered so far (ids mentioned by the block must be below it).
+      Evaluates the [stream.index_merge] fault point: an injected fault
+      degrades the builder — later snapshots return [None] and consumers
+      fall back to a batch build over the prefix trace. *)
+
+  val snapshot : builder -> t option
+  (** The index over everything sealed so far — structurally identical to
+      {!build} on the corresponding prefix trace — or [None] once the
+      builder is degraded. *)
+
+  val events : builder -> int
+  (** Events sealed so far (the snapshot's {!events}). *)
+
+  val degraded : builder -> bool
+end
+
 (** {2 Global facts} *)
 
 val events : t -> int

@@ -36,6 +36,11 @@ histograms it carries.
   counters
   counter                              value  per-domain
   -----------------------------------  -----  ----------
+  checkpoint.pages                         0            
+  checkpoint.restores                      0            
+  checkpoint.skipped                       0            
+  checkpoint.taken                         0            
+  fault.checkpoint.store                   0            
   fault.loader.run                         0            
   fault.pool.task                          0            
   fault.query.compile                      0            
@@ -44,6 +49,8 @@ histograms it carries.
   fault.serve.frame.decode                 0            
   fault.serve.read                         0            
   fault.serve.write                        0            
+  fault.stream.index_merge                 0            
+  fault.stream.seal                        0            
   fault.trace.codec.decode                 0            
   fault.trace.codec.map                    0            
   fault.trace_cache.lookup.data            0            
@@ -54,6 +61,8 @@ histograms it carries.
   fault.trace_cache.store.kill_write       0            
   fault.write_index.codec.decode           0            
   index.build.chunks                       0            
+  index.incremental.blocks                 0            
+  index.incremental.degraded               0            
   loader.cycles                          439            
   loader.instructions                    291            
   loader.runs                              1            
@@ -62,6 +71,8 @@ histograms it carries.
   phase1.events                            0            
   phase1.runs                              0            
   planner.decision.build                   0            
+  planner.decision.checkpoint_restart      0            
+  planner.decision.partial_index           0            
   planner.decision.reuse                   0            
   planner.decision.scan                    1            
   pool.busy_ns                             0            
@@ -82,6 +93,9 @@ histograms it carries.
   serve.bytes_out                          0            
   serve.coalesced                          0            
   serve.conn_errors                        0            
+  serve.live.advances                      0            
+  serve.live.completed                     0            
+  serve.live.jobs                          0            
   serve.overloaded                         0            
   serve.queries                            0            
   serve.requests                           0            
@@ -89,12 +103,17 @@ histograms it carries.
   serve.store.disk_hits                    0            
   serve.store.evictions                    0            
   serve.store.warm_hits                    0            
+  stream.blocks_sealed                     0            
+  stream.events_sealed                     0            
+  stream.seal.retries                      0            
   trace.codec.bytes_in                     0            
   trace.codec.bytes_out                    0            
   trace.codec.columnar_bytes_out           0            
   trace.codec.mapped_bytes                 0            
   trace_cache.bytes_read                   0            
   trace_cache.bytes_written                0            
+  trace_cache.checkpoint_hits              0            
+  trace_cache.checkpoint_misses            0            
   trace_cache.gc_reclaimed_bytes           0            
   trace_cache.gc_removed                   0            
   trace_cache.hits                         0            

@@ -39,7 +39,7 @@ let model_table =
 let test_model_table () =
   List.iter
     (fun (events, sessions, domains, cached_index, expected) ->
-      let e = Planner.estimate ~events ~sessions ~domains ~cached_index in
+      let e = Planner.estimate ~events ~sessions ~domains ~cached_index () in
       Alcotest.(check string)
         (Printf.sprintf "events=%d sessions=%d domains=%d cached=%b" events
            sessions domains cached_index)
@@ -52,6 +52,7 @@ let test_model_table () =
 let test_model_pure () =
   let e () =
     Planner.estimate ~events:50_000 ~sessions:40 ~domains:2 ~cached_index:true
+      ()
   in
   Alcotest.(check bool) "same inputs, same estimate" true (e () = e ())
 
@@ -100,6 +101,7 @@ let check_branch name ?index_source trace expected =
       ~sessions:(List.length sessions) ~domains:1
       ~cached_index:
         (match index_source with Some s -> s.Planner.cached | None -> false)
+      ()
   in
   Alcotest.(check string)
     (name ^ ": trace lands in the claimed regime")
@@ -180,6 +182,64 @@ let test_reuse_degrades_to_build () =
   Alcotest.(check bool) "still identical to fixed scan" true
     (planned = Replay.discover_and_replay ~engine:Replay.Scan trace)
 
+(* --- decision reasons (streaming pipeline observability) --- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_reason_default_full () =
+  let e =
+    Planner.estimate ~events:1_000 ~sessions:4 ~domains:1 ~cached_index:false
+      ()
+  in
+  Alcotest.(check string) "default reason" "full"
+    (Planner.reason_name e.Planner.reason);
+  Alcotest.(check bool) "log line carries it" true
+    (contains (Planner.log_line e) "reason=full")
+
+(* A non-Full reason must surface in its counter and the log line while
+   leaving the decision — and the report — untouched. *)
+let check_reason reason =
+  let name = Planner.reason_name reason in
+  let trace = make_trace ~objects:8 ~events:1_500 ~seed:15 in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let logged = ref [] in
+  let planned =
+    Fun.protect
+      ~finally:(fun () -> Metrics.set_enabled false)
+      (fun () ->
+        Planner.replay ~reason ~log:(fun l -> logged := l :: !logged) trace)
+  in
+  let snap = Metrics.snapshot () in
+  Metrics.reset ();
+  Alcotest.(check int)
+    (name ^ ": planner.decision." ^ name ^ " counted")
+    1
+    (counter_value snap ("planner.decision." ^ name));
+  Alcotest.(check int)
+    (name ^ ": the choice is still counted")
+    1
+    (counter_value snap "planner.decision.scan");
+  (match !logged with
+  | [ line ] ->
+      Alcotest.(check bool)
+        (name ^ ": log line names the reason")
+        true
+        (contains line ("reason=" ^ name))
+  | lines -> Alcotest.failf "%s: %d log lines" name (List.length lines));
+  Alcotest.(check bool)
+    (name ^ ": report unchanged by the reason")
+    true
+    (planned = Replay.discover_and_replay ~engine:Replay.Scan trace)
+
+let test_reason_partial_index () = check_reason Planner.Partial_index
+let test_reason_checkpoint_restart () = check_reason Planner.Checkpoint_restart
+
 let () =
   Alcotest.run "planner"
     [
@@ -195,5 +255,12 @@ let () =
           Alcotest.test_case "reuse" `Quick test_branch_reuse;
           Alcotest.test_case "reuse degrades to build" `Quick
             test_reuse_degrades_to_build;
+        ] );
+      ( "reasons",
+        [
+          Alcotest.test_case "default full" `Quick test_reason_default_full;
+          Alcotest.test_case "partial_index" `Quick test_reason_partial_index;
+          Alcotest.test_case "checkpoint_restart" `Quick
+            test_reason_checkpoint_restart;
         ] );
     ]

@@ -90,12 +90,24 @@ let frame_gen =
         and* format = oneofl [ "table"; "ndjson" ] in
         return (P.Request (P.Query { name; source; seed; expr; engine; format }))
       );
+      ( 2,
+        let* name = str and* source = str and* seed = small in
+        let* expr = str
+        and* format = oneofl [ "table"; "ndjson" ]
+        and* min_events = small in
+        return
+          (P.Request (P.Live_query { name; source; seed; expr; format; min_events }))
+      );
       (1, return (P.Request P.Stats_query));
       (1, return (P.Request P.Shutdown));
       ( 1,
         map2 (fun v s -> P.Response (P.Hello_ok { version = v; server = s })) small str );
       (1, return (P.Response P.Pong));
       (3, map (fun s -> P.Response (P.Report s)) str);
+      ( 2,
+        let* report = str and* high_water = small in
+        let* complete = bool in
+        return (P.Response (P.Live_report { report; high_water; complete })) );
       (1, map (fun s -> P.Response (P.Stats s)) str);
       ( 2,
         map2 (fun c m -> P.Response (P.Error_resp { code = c; message = m })) code str );
@@ -367,6 +379,76 @@ let test_query_requests () =
   match !got with
   | Some P.Pong -> ()
   | _ -> Alcotest.fail "ping after query errors"
+
+(* A live query against the core: the sealed prefix must answer before
+   the recording completes, the high-water mark must strictly advance
+   across polls, the planner must record partial_index decisions, and
+   the completed recording's report must be byte-identical to the batch
+   query path. *)
+let test_live_query () =
+  with_metrics @@ fun () ->
+  let core = default_core () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  (* Enough iterations to out-grow one 64Ki-event block, so the first
+     poll observes an incomplete prefix. *)
+  let source = tiny_src 60_000 in
+  let live min_events =
+    let got = ref None in
+    Core.submit core ~tenant:"t"
+      ~reply:(fun r -> got := Some r)
+      (P.Live_query
+         { name = "livetiny"; source; seed = 1; expr = "count";
+           format = "table"; min_events });
+    Core.drain core;
+    match !got with
+    | Some (P.Live_report { report; high_water; complete }) ->
+        (report, high_water, complete)
+    | Some _ -> Alcotest.fail "unexpected live reply"
+    | None -> Alcotest.fail "no live reply"
+  in
+  let _, first_hw, first_complete = live 0 in
+  Alcotest.(check bool) "first prefix non-empty" true (first_hw > 0);
+  Alcotest.(check bool) "answered before completion" false first_complete;
+  let rec drive prev polls =
+    if polls > 100 then Alcotest.fail "live recording never completed";
+    let report, hw, complete = live prev in
+    if complete then (report, hw)
+    else begin
+      Alcotest.(check bool) "high water strictly advances" true (hw > prev);
+      drive hw (polls + 1)
+    end
+  in
+  let final_report, final_hw = drive first_hw 0 in
+  Alcotest.(check bool) "high water grew to completion" true
+    (final_hw > first_hw);
+  let batch =
+    let got = ref None in
+    Core.submit core ~tenant:"t"
+      ~reply:(fun r -> got := Some r)
+      (P.Query
+         { name = "livetiny"; source; seed = 1; expr = "count";
+           engine = "auto"; format = "table" });
+    Core.drain core;
+    match !got with
+    | Some (P.Report text) -> text
+    | _ -> Alcotest.fail "batch query must produce a report"
+  in
+  Alcotest.(check string) "completed live report = batch report" batch
+    final_report;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "partial_index decisions recorded" true
+    (counter_value snap "planner.decision.partial_index" >= 1);
+  (* A malformed live expression is a Bad_request, like Query. *)
+  let got = ref None in
+  Core.submit core ~tenant:"t"
+    ~reply:(fun r -> got := Some r)
+    (P.Live_query
+       { name = "livetiny"; source; seed = 1; expr = "count where";
+         format = "table"; min_events = 0 });
+  Core.drain core;
+  match !got with
+  | Some (P.Error_resp { code = P.Bad_request; _ }) -> ()
+  | _ -> Alcotest.fail "malformed live query must be bad-request"
 
 (* --- trace store --- *)
 
@@ -681,6 +763,7 @@ let () =
           Alcotest.test_case "drain and refuse" `Quick test_drain_and_refuse;
           Alcotest.test_case "control requests" `Quick test_control_requests;
           Alcotest.test_case "query requests" `Quick test_query_requests;
+          Alcotest.test_case "live query" `Quick test_live_query;
         ] );
       ( "store",
         [
