@@ -244,7 +244,7 @@ int main() {
 |}
 
 let run_validation () =
-  print_endline "Validation: one session, four live strategies (must agree)";
+  print_endline "Validation: one session, five live strategies (must agree)";
   let compiled =
     match Ebp_lang.Compiler.compile validation_src with
     | Ok c -> c
@@ -269,7 +269,8 @@ let run_validation () =
             (float_of_int (Ebp_core.Debugger.cycles dbg) /. float_of_int base);
         ])
       [ Ebp_core.Debugger.Native_hardware; Ebp_core.Debugger.Virtual_memory;
-        Ebp_core.Debugger.Trap_patch; Ebp_core.Debugger.Code_patch ]
+        Ebp_core.Debugger.Trap_patch; Ebp_core.Debugger.Code_patch;
+        Ebp_core.Debugger.Virtual_breakpoint ]
   in
   print_string
     (Ebp_util.Text_table.render ~header:[ "strategy"; "hits"; "cycle overhead" ]
@@ -349,6 +350,7 @@ let json_phase1 : Json.t list ref = ref []
 let json_phase2 : Json.t list ref = ref []
 let json_store : Json.t list ref = ref []
 let json_query : Json.t list ref = ref []
+let json_vb : Json.t list ref = ref []
 
 (* Single object, not a row list: the streaming pipeline section measures
    one big run from several angles (bounded memory, first answer,
@@ -364,6 +366,7 @@ let write_json_file path =
         ("phase2", Json.List (List.rev !json_phase2));
         ("store", Json.List (List.rev !json_store));
         ("query", Json.List (List.rev !json_query));
+        ("vb", Json.List (List.rev !json_vb));
         ("streaming", !json_streaming);
       ]
   in
@@ -1359,6 +1362,96 @@ let run_remote_ablation (t : Ebp_core.Experiment.t) =
        ~rows ());
   print_newline ()
 
+(* --- VB vs VM: the fifth strategy against the one it shadows --- *)
+
+(* VirtualBreakpoint inherits VirtualMemory's fault-generating sets at
+   each granularity, so the comparison isolates the per-event price: a
+   hypervisor exit + view switch against a guest trap + signal dispatch
+   + mprotect traffic. Modeled side from the experiment's replayed
+   counts; live side runs one watched global per workload under both
+   strategies and demands identical hit counts. *)
+let run_vb_comparison (t : Ebp_core.Experiment.t) =
+  let module Model = Ebp_model.Strategy_model in
+  let module Stats = Ebp_util.Stats in
+  print_endline
+    "VirtualBreakpoint vs VirtualMemory: same faults, hypervisor prices\n\
+     (T-Mean relative overhead; live cycles on one watched global)";
+  let watched_global (w : Ebp_workloads.Workload.t) =
+    match w.Ebp_workloads.Workload.name with
+    | "typeset" -> "total_lines"
+    | "lattice" -> "sweep_count"
+    | "compiler" -> "node_count"
+    | "circuit" -> "steps_done"
+    | _ -> "expansions"
+  in
+  let live_under kind (w : Ebp_workloads.Workload.t) =
+    let dbg =
+      match
+        Ebp_core.Debugger.load_source ~strategy:kind
+          ~seed:w.Ebp_workloads.Workload.seed w.Ebp_workloads.Workload.source
+      with
+      | Ok d -> d
+      | Error e -> failwith e
+    in
+    (match Ebp_core.Debugger.watch_global dbg (watched_global w) with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    ignore (Ebp_core.Debugger.run dbg);
+    (Ebp_core.Debugger.cycles dbg, List.length (Ebp_core.Debugger.hits dbg))
+  in
+  let rows =
+    List.map
+      (fun pd ->
+        let w =
+          pd.Ebp_core.Experiment.run.Ebp_workloads.Workload.workload
+        in
+        let name = w.Ebp_workloads.Workload.name in
+        let t_mean a =
+          (Stats.summarize (Ebp_core.Experiment.relative_overheads t pd a))
+            .Stats.t_mean
+        in
+        let vm4 = t_mean (Model.VM 4096) and vb4 = t_mean (Model.VB 4096) in
+        let vm8 = t_mean (Model.VM 8192) and vb8 = t_mean (Model.VB 8192) in
+        let vm_cycles, vm_hits = live_under Ebp_core.Debugger.Virtual_memory w in
+        let vb_cycles, vb_hits =
+          live_under Ebp_core.Debugger.Virtual_breakpoint w
+        in
+        json_vb :=
+          Json.Obj
+            [
+              ("workload", Json.Str name);
+              ("vm4k_tmean_rel", Json.Float vm4);
+              ("vb4k_tmean_rel", Json.Float vb4);
+              ("vm8k_tmean_rel", Json.Float vm8);
+              ("vb8k_tmean_rel", Json.Float vb8);
+              ("live_vm_cycles", Json.Int vm_cycles);
+              ("live_vb_cycles", Json.Int vb_cycles);
+              ("live_hits", Json.Int vb_hits);
+              ("live_hits_agree", Json.Bool (vm_hits = vb_hits));
+            ]
+          :: !json_vb;
+        [
+          name;
+          Printf.sprintf "%.2f" vm4;
+          Printf.sprintf "%.2f" vb4;
+          Printf.sprintf "%.1fx" (vm4 /. Float.max vb4 1e-9);
+          Printf.sprintf "%.2f" vm8;
+          Printf.sprintf "%.2f" vb8;
+          string_of_int vm_cycles;
+          string_of_int vb_cycles;
+          (if vm_hits = vb_hits then string_of_int vb_hits
+           else Printf.sprintf "MISMATCH %d/%d" vm_hits vb_hits);
+        ])
+      t.Ebp_core.Experiment.programs
+  in
+  print_string
+    (Ebp_util.Text_table.render
+       ~header:
+         [ "workload"; "VM-4K"; "VB-4K"; "VB gain"; "VM-8K"; "VB-8K";
+           "live VM cycles"; "live VB cycles"; "hits" ]
+       ~rows ());
+  print_newline ()
+
 let traces_of (t : Ebp_core.Experiment.t) =
   List.map
     (fun pd ->
@@ -1467,7 +1560,11 @@ let () =
             print_newline ();
             with_section_metrics "parallel engine (warm trace cache)"
               (fun () -> run_parallel_engine t ~workloads ~cache_dir ~seq_report);
-            run_remote_ablation t
+            run_remote_ablation t;
+            print_endline "=== Virtual breakpoints (VB vs VM) ===";
+            print_newline ();
+            with_section_metrics "virtual breakpoints (VB vs VM)" (fun () ->
+                run_vb_comparison t)
           end);
   if not (quick || engines_only) then begin
     run_validation ();

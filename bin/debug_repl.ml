@@ -4,7 +4,7 @@
 
    Reads commands from stdin (scriptable via a pipe):
 
-     strategy nh|vm|tp|cp|cp+hoist|cp-inline   choose the WMS (before run)
+     strategy nh|vm|tp|cp|cp+hoist|cp-inline|vb   choose the WMS (before run)
      watch global <name>                       data breakpoint on a global
      watch local <func> <var>                  armed per activation
      watch heap <func> <n>                     nth allocation by <func>
@@ -35,7 +35,7 @@ type state = {
 
 let help_text =
   {|commands:
-  strategy nh|vm|tp|cp|cp+hoist|cp-inline
+  strategy nh|vm|tp|cp|cp+hoist|cp-inline|vb
   watch global <name> | watch local <func> <var> | watch heap <func> <n>
   break [<value>]
   run
@@ -49,7 +49,18 @@ let strategy_of_name = function
   | "cp" -> Some Debugger.Code_patch
   | "cp+hoist" -> Some Debugger.Code_patch_hoisted
   | "cp-inline" -> Some Debugger.Code_patch_inline
+  | "vb" -> Some Debugger.Virtual_breakpoint
   | _ -> None
+
+(* One "name=value" list for whatever auxiliary counters the strategy
+   keeps (VM page misses, VB view switches, ...); empty for most. *)
+let extras_line dbg =
+  match (Debugger.strategy dbg).Ebp_wms.Wms.extras () with
+  | [] -> None
+  | extras ->
+      Some
+        (String.concat " "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) extras))
 
 let pp_hit i (h : Debugger.hit) =
   Printf.printf "  #%-3d %s = %d at pc %d in %s  (%s)\n" i
@@ -80,6 +91,7 @@ let cmd_run st =
     (List.length (Debugger.hits dbg))
     (Debugger.cycles dbg)
     (Ebp_machine.Cost_model.ms_of_cycles (Debugger.cycles dbg));
+  Option.iter (Printf.printf "counters: %s\n") (extras_line dbg);
   st.last <- Some dbg
 
 let cmd_hits st n =
@@ -115,7 +127,8 @@ let cmd_info st =
   | Some dbg ->
       Printf.printf "last run: %d hits, %d errors\n"
         (List.length (Debugger.hits dbg))
-        (List.length (Debugger.errors dbg))
+        (List.length (Debugger.errors dbg));
+      Option.iter (Printf.printf "counters: %s\n") (extras_line dbg)
 
 let handle st line =
   let words =
@@ -133,7 +146,8 @@ let handle st line =
       | Some s ->
           st.strategy <- s;
           Printf.printf "strategy set to %s\n" (Debugger.strategy_name s)
-      | None -> print_endline "unknown strategy (nh|vm|tp|cp|cp+hoist|cp-inline)");
+      | None ->
+          print_endline "unknown strategy (nh|vm|tp|cp|cp+hoist|cp-inline|vb)");
       true
   | [ "watch"; "global"; name ] ->
       st.watches <-

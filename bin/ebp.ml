@@ -375,6 +375,35 @@ let engine_arg =
            binary-searched range counts), or $(b,scan) (one pass over the \
            trace per shard). All three produce bit-identical results.")
 
+(* --- model approaches (sessions --approaches, experiment --approaches) --- *)
+
+let approaches_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "approaches" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated model approaches: $(b,NH), $(b,TP), $(b,CP), \
+           $(b,VM-<size>) or $(b,VB-<size>) (size in bytes or $(i,n)K), \
+           each optionally suffixed $(b,-rem) for the remote-debugger \
+           variant. Example: $(b,NH,VM-4K,TP,CP,VB-4K).")
+
+let parse_approaches names =
+  List.map
+    (fun n ->
+      match Ebp_model.Strategy_model.of_name n with
+      | Ok a -> a
+      | Error msg -> exit_err msg)
+    names
+
+let rec approach_page_sizes a =
+  match a with
+  | Ebp_model.Strategy_model.VM ps | Ebp_model.Strategy_model.VB ps -> [ ps ]
+  | Ebp_model.Strategy_model.Remote b -> approach_page_sizes b
+  | Ebp_model.Strategy_model.NH | Ebp_model.Strategy_model.TP
+  | Ebp_model.Strategy_model.CP ->
+      []
+
 (* --- sessions --- *)
 
 let sessions_cmd =
@@ -396,9 +425,21 @@ let sessions_cmd =
           ~doc:"Replay a saved binary trace instead of running anything; the \
                 positional argument is ignored.")
   in
-  let f target all from engine faults metrics trace_events =
+  let f target all from engine approaches faults metrics trace_events =
     with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
+    let approaches = Option.map parse_approaches approaches in
+    let page_sizes =
+      let defaults = Ebp_sessions.Replay.default_page_sizes in
+      match approaches with
+      | None -> defaults
+      | Some l ->
+          defaults
+          @ List.filter
+              (fun ps -> not (List.mem ps defaults))
+              (List.sort_uniq Int.compare
+                 (List.concat_map approach_page_sizes l))
+    in
     let trace =
       match from with
       | Some path -> (
@@ -418,21 +459,25 @@ let sessions_cmd =
     let results =
       match engine with
       | Some engine ->
-          Ebp_sessions.Replay.discover_and_replay ~engine ~keep_hitless:all
-            trace
-      | None -> Ebp_sessions.Planner.replay ~keep_hitless:all trace
+          Ebp_sessions.Replay.discover_and_replay ~engine ~page_sizes
+            ~keep_hitless:all trace
+      | None -> Ebp_sessions.Planner.replay ~page_sizes ~keep_hitless:all trace
     in
     (* Render through the one path the serve daemon also uses, so batch
        and served reports stay byte-identical (test/cram/serve.t). *)
-    print_string (Ebp_serve.Render.sessions_report results)
+    print_string (Ebp_serve.Render.sessions_report results);
+    match approaches with
+    | None -> ()
+    | Some approaches ->
+        print_string (Ebp_serve.Render.model_report results ~approaches)
   in
   let target_or_dash =
     Arg.(value & pos 0 string "-" & info [] ~docv:"WORKLOAD|FILE.mc")
   in
   Cmd.v (Cmd.info "sessions" ~doc)
     Term.(
-      const f $ target_or_dash $ all_arg $ from_arg $ engine_arg $ faults_arg
-      $ metrics_arg $ trace_events_arg)
+      const f $ target_or_dash $ all_arg $ from_arg $ engine_arg
+      $ approaches_arg $ faults_arg $ metrics_arg $ trace_events_arg)
 
 (* --- query --- *)
 
@@ -639,9 +684,11 @@ let experiment_cmd =
              in parallel and each replay is sharded. Output is identical \
              for every $(docv).")
   in
-  let f only workloads jobs cache_dir engine faults metrics trace_events =
+  let f only workloads jobs approaches cache_dir engine faults metrics
+      trace_events =
     with_faults faults @@ fun () ->
     with_obs ~metrics ~trace_events @@ fun () ->
+    let approaches = Option.map parse_approaches approaches in
     let workloads =
       match workloads with
       | None -> Ebp_workloads.Workload.all
@@ -654,8 +701,8 @@ let experiment_cmd =
             names
     in
     match
-      Ebp_core.Experiment.run ~workloads ~domains:jobs ?cache_dir ?engine
-        ~log:prerr_endline ()
+      Ebp_core.Experiment.run ~workloads ?approaches ~domains:jobs ?cache_dir
+        ?engine ~log:prerr_endline ()
     with
     | Error msg -> exit_err msg
     | Ok t -> (
@@ -666,8 +713,9 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
-      const f $ only_arg $ workloads_arg $ jobs_arg $ cache_dir_arg $ engine_arg
-      $ faults_arg $ metrics_arg $ trace_events_arg)
+      const f $ only_arg $ workloads_arg $ jobs_arg $ approaches_arg
+      $ cache_dir_arg $ engine_arg $ faults_arg $ metrics_arg
+      $ trace_events_arg)
 
 (* --- stats --- *)
 
@@ -932,8 +980,12 @@ let fuzz_cmd =
         let reproducer =
           Printf.sprintf "// seed %d, oracle %s: %s\n%s%s" f.Ebp_core.Fuzz.seed
             f.Ebp_core.Fuzz.oracle f.Ebp_core.Fuzz.detail
-            (match f.Ebp_core.Fuzz.query with
-            | Some q -> Printf.sprintf "// query: %s\n" q
+            ((match f.Ebp_core.Fuzz.query with
+             | Some q -> Printf.sprintf "// query: %s\n" q
+             | None -> "")
+            ^
+            match f.Ebp_core.Fuzz.monitors with
+            | Some ms -> Printf.sprintf "// monitors: %s\n" (String.concat " " ms)
             | None -> "")
             f.Ebp_core.Fuzz.source
         in

@@ -14,6 +14,7 @@ type strategy_kind =
   | Code_patch
   | Code_patch_hoisted
   | Code_patch_inline
+  | Virtual_breakpoint
 
 let strategy_name = function
   | Native_hardware -> "NativeHardware"
@@ -22,6 +23,7 @@ let strategy_name = function
   | Code_patch -> "CodePatch"
   | Code_patch_hoisted -> "CodePatch+hoist"
   | Code_patch_inline -> "CodePatch-inline"
+  | Virtual_breakpoint -> "VirtualBreakpoint"
 
 type hit = {
   write : Interval.t;
@@ -54,6 +56,7 @@ type t = {
   mutable user_on_hit : (hit -> unit) option;
   mutable break_pred : (hit -> bool) option;
   mutable break_hit : hit option;
+  mutable extras_published : (string * int) list;  (* metric -> last value *)
 }
 
 let func_starts_of program =
@@ -266,6 +269,11 @@ let load ?(strategy = Code_patch) ?timing ?seed ?monitor_reg_count
           fun machine notify ->
             Ebp_wms.Native_hardware.strategy
               (Ebp_wms.Native_hardware.attach ?timing machine ~notify) )
+    | Virtual_breakpoint ->
+        ( original,
+          fun machine notify ->
+            Ebp_wms.Virtual_breakpoint.strategy
+              (Ebp_wms.Virtual_breakpoint.attach ?timing machine ~notify) )
   in
   let loader =
     Loader.load ?seed ?monitor_reg_count
@@ -290,6 +298,7 @@ let load ?(strategy = Code_patch) ?timing ?seed ?monitor_reg_count
         user_on_hit = None;
         break_pred = None;
         break_hit = None;
+        extras_published = [];
       }
   in
   let t = Lazy.force t in
@@ -334,7 +343,25 @@ let on_hit t f = t.user_on_hit <- Some f
 let break_when t pred = t.break_pred <- Some pred
 let break_hit t = t.break_hit
 
-let run ?fuel t = Loader.run ?fuel t.loader
+let run ?fuel t =
+  let result = Loader.run ?fuel t.loader in
+  (* Surface strategy-specific auxiliary counters (page misses, view
+     switches, ...) through the metrics registry so `ebp stats` renders
+     them uniformly. Counters are cumulative, so publish the delta since
+     the previous run. *)
+  List.iter
+    (fun (key, v) ->
+      let name = Printf.sprintf "wms.%s.%s" t.strategy.Wms.name key in
+      let prev =
+        match List.assoc_opt name t.extras_published with Some p -> p | None -> 0
+      in
+      if v <> prev then begin
+        Ebp_obs.Metrics.add (Ebp_obs.Metrics.counter name) (v - prev);
+        t.extras_published <-
+          (name, v) :: List.remove_assoc name t.extras_published
+      end)
+    (t.strategy.Wms.extras ());
+  result
 
 let hits t = List.rev t.hits
 let errors t = List.rev t.errors

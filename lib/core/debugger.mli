@@ -26,6 +26,10 @@ type strategy_kind =
   | Code_patch_inline
       (** CodePatch with the check compiled to real machine code walking an
           in-debuggee-memory monitor map (no modeled lookup charge) *)
+  | Virtual_breakpoint
+      (** {!Ebp_wms.Virtual_breakpoint}: hypervisor split code/data views
+          (Price, arXiv:1801.09250) — no code patching, no guest-visible
+          protection changes *)
 
 val strategy_name : strategy_kind -> string
 

@@ -21,9 +21,37 @@ type t = {
   approaches : Model.approach list;
 }
 
+(* Granularities an approach needs counting data for (VM page sizes and VB
+   view units), including under [Remote]. *)
+let rec approach_sizes = function
+  | Model.VM ps | Model.VB ps -> [ ps ]
+  | Model.Remote a -> approach_sizes a
+  | Model.NH | Model.TP | Model.CP -> []
+
+let rec uses_vb = function
+  | Model.VB _ -> true
+  | Model.Remote a -> uses_vb a
+  | Model.NH | Model.VM _ | Model.TP | Model.CP -> false
+
 let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
-    ?(page_sizes = Replay.default_page_sizes) ?fuel ?(domains = 1) ?cache_dir
-    ?engine ?(log = fun (_ : string) -> ()) () =
+    ?(page_sizes = Replay.default_page_sizes) ?approaches ?fuel ?(domains = 1)
+    ?cache_dir ?engine ?(log = fun (_ : string) -> ()) () =
+  let approaches =
+    match approaches with
+    | Some l -> l
+    | None ->
+        Model.NH
+        :: List.map (fun ps -> Model.VM ps) page_sizes
+        @ [ Model.TP; Model.CP ]
+        @ List.map (fun ps -> Model.VB ps) page_sizes
+  in
+  (* Replay must count at every granularity the approaches reference. *)
+  let page_sizes =
+    page_sizes
+    @ List.filter
+        (fun ps -> not (List.mem ps page_sizes))
+        (List.sort_uniq Int.compare (List.concat_map approach_sizes approaches))
+  in
   (* [engine] is now an override: [None] (the default) hands each
      workload's engine choice to the cost-based {!Ebp_sessions.Planner},
      which prices scan vs index-build vs cached-index reuse per trace.
@@ -141,10 +169,7 @@ let run ?(workloads = Workload.all) ?(timing = Timing.sparcstation2)
                 runs;
             timing;
             page_sizes;
-            approaches =
-              Model.NH
-              :: List.map (fun ps -> Model.VM ps) page_sizes
-              @ [ Model.TP; Model.CP ];
+            approaches;
           })
         (collect [] recordings))
 
@@ -194,6 +219,15 @@ let table2 t =
       [ "VMUnprotectPage"; Printf.sprintf "%.2f" tv.Timing.vm_unprotect_us ];
       [ "TPFaultHandler"; Printf.sprintf "%.2f" tv.Timing.tp_fault_handler_us ];
     ]
+    (* The VB rows (estimates, not Table 2 measurements) appear only when a
+       VB approach is in play, keeping the four-strategy table unchanged. *)
+    @ (if List.exists uses_vb t.approaches then
+         [
+           [ "VBExit"; Printf.sprintf "%.2f" tv.Timing.vb_exit_us ];
+           [ "VBViewSwitch"; Printf.sprintf "%.2f" tv.Timing.vb_view_switch_us ];
+           [ "VBViewUpdate"; Printf.sprintf "%.2f" tv.Timing.vb_view_update_us ];
+         ]
+       else [])
   in
   "Table 2: timing variable data (microseconds)\n"
   ^ Text_table.render ~header:[ "Timing Variable"; "Time (us)" ] ~rows ()
@@ -395,7 +429,17 @@ let extremes_report ?(top = 4) t =
               Buffer.add_string buf
                 (Printf.sprintf "      %8.1fx  %s\n" ov (Session.to_string session)))
             (take top ranked))
-        [ Model.NH; Model.VM 4096 ])
+        ([ Model.NH; Model.VM 4096 ]
+        @
+        (* The first VB granularity in play joins the extreme-point scan;
+           absent any VB approach the report is byte-identical to before. *)
+        match
+          List.concat_map
+            (fun a -> if uses_vb a then approach_sizes a else [])
+            t.approaches
+        with
+        | g :: _ -> [ Model.VB g ]
+        | [] -> []))
     t.programs;
   Buffer.contents buf
 

@@ -31,6 +31,7 @@ val run :
   ?workloads:Ebp_workloads.Workload.t list ->
   ?timing:Ebp_wms.Timing.t ->
   ?page_sizes:int list ->
+  ?approaches:Ebp_model.Strategy_model.approach list ->
   ?fuel:int ->
   ?domains:int ->
   ?cache_dir:string ->
@@ -39,6 +40,14 @@ val run :
   unit ->
   (t, string) result
 (** Defaults: all five workloads, SPARCstation 2 timing, 4K and 8K pages.
+
+    [~approaches] selects the model columns of tables 2/4, the figures, and
+    the breakdown report (default: NH, VM and VB at each page size, TP,
+    CP). Any VM/VB granularity an approach references is added to the
+    replayed page sizes automatically. With a VB-free list the reports are
+    byte-identical to the historical four-strategy output (the VB timing
+    rows of table 2 and the VB extreme-point scan only appear when a VB
+    approach is present).
 
     [~domains:n] (default 1) runs the experiment on a pool of [n] domains:
     phase 1 traces workloads concurrently, and each workload's phase-2
@@ -81,9 +90,10 @@ val code_expansion_report : t -> string
 
 val extremes_report : ?top:int -> t -> string
 (** §8's qualitative analysis of the extreme points: the most expensive
-    sessions per program under NativeHardware and VirtualMemory. The paper
-    reports that NH's worst sessions monitor induction variables and
-    heap-allocating functions, while VM's monitor local variables of
+    sessions per program under NativeHardware and VirtualMemory (and, when
+    a VB approach is in play, VirtualBreakpoint at its first granularity).
+    The paper reports that NH's worst sessions monitor induction variables
+    and heap-allocating functions, while VM's monitor local variables of
     functions toward the root of the call graph. *)
 
 val full_report : t -> string

@@ -13,10 +13,12 @@
    The oracles are the redundancies the codebase already maintains:
    [Machine.run] vs the single-[step] loop (independent execution loops),
    recorded vs unrecorded execution (tracing must not perturb the run),
-   the EBPT2, EBPT3 and EBPW2 codec round-trips, the scan vs indexed
-   replay engines, and the query language's compiled vs streaming
-   engines (random well-typed queries drawn from the trace's own pcs,
-   addresses and discovered sessions).
+   the five paper strategies armed identically over the same program
+   (identical (pc, interval) notification sequences), the EBPT2, EBPT3
+   and EBPW2 codec round-trips, the scan vs indexed replay engines, and
+   the query language's compiled vs streaming engines (random well-typed
+   queries drawn from the trace's own pcs, addresses and discovered
+   sessions).
 
    Beyond fuzzing, [generate] doubles as a workload synthesizer: knobs
    append deterministic extra source units — hot write loops, heap
@@ -292,6 +294,105 @@ let random_query g ~events ~pcs ~spots ~sessions =
         bucket = Some (1 + rand (max 1 events)) }
   | _ -> { Ast.agg = Count; pred; group = None; top = None; bucket = None }
 
+(* --- strategy equivalence --- *)
+
+(* The five paper strategies are redundant implementations of the same
+   observable contract: armed with the same monitor set over the same
+   program, each must report the identical (pc, interval) notification
+   sequence. The CP variants (hoisted, inline) are covered separately by
+   the integration tests; here we pit the five distinct mechanisms
+   against each other. *)
+let equivalence_kinds =
+  [
+    Debugger.Native_hardware; Debugger.Virtual_memory; Debugger.Trap_patch;
+    Debugger.Code_patch; Debugger.Virtual_breakpoint;
+  ]
+
+(* Monitors default to the program's globals, in declaration order,
+   capped so Native_hardware's register file stays plausible and the
+   shrinker has a small set to minimize. *)
+let default_monitors (debug : Ebp_lang.Debug_info.t) =
+  List.filteri (fun i _ -> i < 6)
+    (List.map (fun g -> g.Ebp_lang.Debug_info.g_name) debug.globals)
+
+let strategy_hits ~fuel ~seed ~monitors compiled kind =
+  let name = Debugger.strategy_name kind in
+  let dbg =
+    Debugger.load ~strategy:kind ~seed
+      ~monitor_reg_count:(max 4 (List.length monitors))
+      compiled
+  in
+  let arm_failure =
+    List.find_map
+      (fun m ->
+        match Debugger.watch_global dbg m with
+        | Ok () -> None
+        | Error e -> Some (Printf.sprintf "%s: watch %s: %s" name m e))
+      monitors
+  in
+  match arm_failure with
+  | Some e -> Error e
+  | None -> (
+      let result = Debugger.run ~fuel dbg in
+      match Debugger.errors dbg with
+      | e :: _ -> Error (Printf.sprintf "%s: arming error: %s" name e)
+      | [] ->
+          if result.Loader.status <> Machine.Halted 0 then
+            Error
+              (Printf.sprintf "%s: status: %s" name
+                 (status_str result.Loader.status))
+          else
+            Ok
+              (List.map
+                 (fun h -> (h.Debugger.pc, h.Debugger.write))
+                 (Debugger.hits dbg)))
+
+let check_strategies ?(fuel = default_fuel) ~seed ?monitors source =
+  match Ebp_lang.Compiler.compile source with
+  | Error msg -> Error (Printf.sprintf "compile error: %s" msg)
+  | Ok compiled -> (
+      let monitors =
+        match monitors with
+        | Some ms -> ms
+        | None -> default_monitors compiled.Ebp_lang.Compiler.debug
+      in
+      let runs =
+        List.map
+          (fun k -> (k, strategy_hits ~fuel ~seed ~monitors compiled k))
+          equivalence_kinds
+      in
+      match
+        List.find_map
+          (fun (_, r) -> match r with Error e -> Some e | Ok _ -> None)
+          runs
+      with
+      | Some e -> Error e
+      | None -> (
+          match List.map (fun (k, r) -> (k, Result.get_ok r)) runs with
+          | [] | [ _ ] -> Ok ()
+          | (k0, ref_hits) :: rest -> (
+              match List.find_opt (fun (_, hs) -> hs <> ref_hits) rest with
+              | None -> Ok ()
+              | Some (k, hits) ->
+                  let pp_hit (pc, w) =
+                    Printf.sprintf "pc %d %s" pc
+                      (Ebp_util.Interval.to_string w)
+                  in
+                  let show = function [] -> "end" | h :: _ -> pp_hit h in
+                  let rec first_diff i a b =
+                    match (a, b) with
+                    | x :: a', y :: b' when x = y -> first_diff (i + 1) a' b'
+                    | a, b ->
+                        Printf.sprintf "hit %d is %s vs %s" i (show a) (show b)
+                  in
+                  Error
+                    (Printf.sprintf
+                       "%s vs %s: %d vs %d hits, first divergence: %s"
+                       (Debugger.strategy_name k0)
+                       (Debugger.strategy_name k) (List.length ref_hits)
+                       (List.length hits)
+                       (first_diff 0 ref_hits hits)))))
+
 let check_source ?(fuel = default_fuel) ~seed source =
   let ( let* ) = Result.bind in
   let fail oracle fmt = Printf.ksprintf (fun d -> Error (oracle, d, None)) fmt in
@@ -353,6 +454,13 @@ let check_source ?(fuel = default_fuel) ~seed source =
           fail "step-vs-run" "output: %S vs %S" (Loader.output t)
             plain.Loader.output
         else Ok ()
+  in
+  (* The five watchpoint strategies, armed identically on the program's
+     globals, must produce identical notification sequences. *)
+  let* () =
+    match check_strategies ~fuel ~seed source with
+    | Ok () -> Ok ()
+    | Error detail -> Error ("strategy-equivalence", detail, None)
   in
   let* () =
     let bytes = Trace.encode trace in
@@ -472,6 +580,7 @@ type failure = {
   oracle : string;
   detail : string;
   query : string option;
+  monitors : string list option;
   program : program;
   source : string;
 }
@@ -481,7 +590,7 @@ let check_program ?fuel ~seed program =
   match check_source ?fuel ~seed source with
   | Ok () -> Ok ()
   | Error (oracle, detail, query) ->
-      Error { seed; oracle; detail; query; program; source }
+      Error { seed; oracle; detail; query; monitors = None; program; source }
 
 let check_seed ?fuel ?knobs seed =
   let knobs = Option.value knobs ~default:default_knobs in
@@ -575,6 +684,41 @@ let shrink_query ?fuel f =
                 in
                 { f with query = Some (Ebp_query.Ast.to_string (fix q0)) }))
 
+(* Minimize the monitor set of a strategy-equivalence failure against
+   the (already shrunk) program: greedily drop monitors while the
+   strategies still disagree, so the reproducer names only the
+   watchpoints that matter. *)
+let shrink_monitors ?fuel f =
+  if f.oracle <> "strategy-equivalence" then f
+  else
+    match Ebp_lang.Compiler.compile f.source with
+    | Error _ -> f
+    | Ok compiled ->
+        let initial =
+          match f.monitors with
+          | Some ms -> ms
+          | None -> default_monitors compiled.Ebp_lang.Compiler.debug
+        in
+        let fails ms =
+          ms <> []
+          &&
+          match check_strategies ?fuel ~seed:f.seed ~monitors:ms f.source with
+          | Error _ -> true
+          | Ok () -> false
+        in
+        if not (fails initial) then f
+        else
+          let rec fix ms =
+            let rec try_drop i =
+              if i >= List.length ms then ms
+              else
+                let ms' = drop_nth ms i in
+                if fails ms' then fix ms' else try_drop (i + 1)
+            in
+            try_drop 0
+          in
+          { f with monitors = Some (fix initial) }
+
 let shrink ?fuel f =
   (* Greedy fixpoint: take the first accepted deletion and restart. Every
      acceptance removes at least one source unit, so this terminates. *)
@@ -590,4 +734,4 @@ let shrink ?fuel f =
     in
     try_candidates (candidates f.program)
   in
-  shrink_query ?fuel (fix f)
+  shrink_query ?fuel (shrink_monitors ?fuel (fix f))

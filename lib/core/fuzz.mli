@@ -3,7 +3,7 @@
 
     A seed deterministically generates a small, always-terminating MiniC
     program (bounded loops, masked recursion depth and subscripts,
-    constant divisors), which is then pushed through eight oracles:
+    constant divisors), which is then pushed through ten oracles:
 
     + {b record} — it compiles, runs without a runtime error, and halts
       with exit code 0;
@@ -11,9 +11,16 @@
       (status, cycles, instructions, output);
     + {b step-vs-run} — the single-{!Ebp_machine.Machine.step} loop and
       {!Ebp_machine.Machine.run}'s batch loop agree exactly;
+    + {b strategy-equivalence} — the five watchpoint strategies (NH, VM,
+      TP, CP, VB), armed on the same globals over the same program, all
+      arm cleanly and report identical (pc, interval) notification
+      sequences;
     + {b trace-codec} / {b columnar-codec} / {b index-codec} — the
       EBPT2, EBPT3 and EBPW2 codecs round-trip the recording
       bit-identically;
+    + {b stream-vs-batch} — the streaming recorder reproduces the batch
+      trace byte-for-byte with an incremental index equal to the batch
+      build;
     + {b scan-vs-indexed} — both phase-2 replay engines produce identical
       session counts;
     + {b query-engines} — random well-typed trace queries (built from
@@ -22,11 +29,12 @@
       engines.
 
     A failure carries the offending program (and, for query-engines, the
-    offending query); {!shrink} deletes source units (statement groups,
-    helper functions, globals) to a fixpoint while the {e same} oracle
-    keeps failing — then minimizes the query over the shrunk program —
-    yielding a minimal reproducer. [ebp fuzz] drives this; a fixed-seed
-    batch also runs in the tier-1 test suite. *)
+    offending query; for strategy-equivalence, the minimized monitor
+    set); {!shrink} deletes source units (statement groups, helper
+    functions, globals) to a fixpoint while the {e same} oracle keeps
+    failing — then minimizes the monitor set and the query over the
+    shrunk program — yielding a minimal reproducer. [ebp fuzz] drives
+    this; a fixed-seed batch also runs in the tier-1 test suite. *)
 
 type program = {
   globals : string list;  (** global declaration lines *)
@@ -68,11 +76,27 @@ val check_source :
     oracle is query-engines. [fuel] (default 2,000,000) bounds each
     execution. *)
 
+val check_strategies :
+  ?fuel:int ->
+  seed:int ->
+  ?monitors:string list ->
+  string ->
+  (unit, string) result
+(** The strategy-equivalence oracle alone: compile [source], arm every
+    strategy in {{!Ebp_core.Debugger.strategy_kind} NH, VM, TP, CP, VB}
+    with the same [monitors] (default: the program's globals, in
+    declaration order, capped at 6), run each to completion, and demand
+    clean arming plus identical (pc, interval) hit sequences. The error
+    names the diverging strategy pair and the first differing hit. *)
+
 type failure = {
   seed : int;
   oracle : string;
   detail : string;
   query : string option;  (** the failing query, for query-engines *)
+  monitors : string list option;
+      (** the minimized monitor set, for strategy-equivalence (filled in
+          by {!shrink}) *)
   program : program;
   source : string;
 }
@@ -88,5 +112,7 @@ val shrink : ?fuel:int -> failure -> failure
     removal still fails the same oracle (details may drift, the oracle and
     error class may not), to a fixpoint. Deleting a helper function also
     deletes its call sites, so candidates stay well-formed. A
-    query-engines failure then also has its query minimized (via
-    {!Ebp_query.Ast.shrink_candidates}) against the shrunk program. *)
+    strategy-equivalence failure then has its monitor set minimized
+    (greedy subset deletion while the strategies still disagree), and a
+    query-engines failure its query (via
+    {!Ebp_query.Ast.shrink_candidates}), against the shrunk program. *)

@@ -117,6 +117,8 @@ type t = {
   mutable trap_handler : (t -> code:int -> trap_pc:int -> unit) option;
   mutable write_fault_handler :
     (t -> addr:int -> width:int -> value:int -> pc:int -> unit) option;
+  mutable view_fault_handler :
+    (t -> addr:int -> width:int -> value:int -> pc:int -> unit) option;
   mutable monitor_fault_handler :
     (t -> reg:int -> addr:int -> width:int -> pc:int -> unit) option;
   mutable chk_handler : (t -> range:Interval.t -> pc:int -> unit) option;
@@ -246,6 +248,7 @@ let create ?mem ?(costs = Cost_model.default) ?(monitor_reg_count = 4) prog =
     syscall_handler = None;
     trap_handler = None;
     write_fault_handler = None;
+    view_fault_handler = None;
     monitor_fault_handler = None;
     chk_handler = None;
   }
@@ -280,6 +283,7 @@ let set_leave_hook t h = t.leave_hook <- h
 let set_syscall_handler t h = t.syscall_handler <- h
 let set_trap_handler t h = t.trap_handler <- h
 let set_write_fault_handler t h = t.write_fault_handler <- h
+let set_view_fault_handler t h = t.view_fault_handler <- h
 let set_monitor_fault_handler t h = t.monitor_fault_handler <- h
 let set_chk_handler t h = t.chk_handler <- h
 
@@ -424,6 +428,12 @@ let exec_store t instr_pc ~addr ~width ~value ~implicit =
           t.pc <- instr_pc + 1;
           h t ~addr ~width ~value ~pc:instr_pc
       | None -> stop_error "unhandled write fault at 0x%x (pc %d)" addr instr_pc)
+  | exception Memory.View_fault _ -> (
+      match t.view_fault_handler with
+      | Some h ->
+          t.pc <- instr_pc + 1;
+          h t ~addr ~width ~value ~pc:instr_pc
+      | None -> stop_error "unhandled view fault at 0x%x (pc %d)" addr instr_pc)
 
 (* Execute the instruction at [t.pc]. Assumes the pc is in range and the
    machine is not halted; raises [Stop] instead of returning a reason so

@@ -105,6 +105,15 @@ val set_write_fault_handler :
     performed; the handler must emulate it (privileged store) if execution
     is to proceed correctly. Resumes after the faulting instruction. *)
 
+val set_view_fault_handler :
+  t -> (t -> addr:int -> width:int -> value:int -> pc:int -> unit) option -> unit
+(** Invoked when a store clears the guest protection but hits a page that is
+    read-only in the hypervisor data view ({!Memory.view_protect}) — the VB
+    strategy's hypervisor exit. Same contract as the write-fault handler:
+    the store has not been performed and must be emulated to proceed. A
+    guest {!Memory.Write_fault} on the same page wins (it is delivered
+    first). *)
+
 val set_monitor_fault_handler :
   t -> (t -> reg:int -> addr:int -> width:int -> pc:int -> unit) option -> unit
 (** Invoked after a store that overlaps an active monitor register. *)

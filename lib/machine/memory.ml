@@ -2,7 +2,12 @@ module Interval = Ebp_util.Interval
 
 type protection = Read_write | Read_only
 
-type page = { bytes : Bytes.t; mutable prot : protection }
+(* [prot] is the guest-visible protection (what mprotect would set);
+   [view] is the hypervisor-maintained data-view protection the VB
+   strategy uses — a second shadow domain the guest cannot observe.
+   Stores must clear both; [prot] faults first (the guest page fault is
+   delivered before any hypervisor exit). *)
+type page = { bytes : Bytes.t; mutable prot : protection; mutable view : protection }
 
 (* [cache_idx]/[cache_page] memoize the last page touched: workload
    memory traffic is strongly page-local, so most accesses skip the
@@ -25,6 +30,7 @@ type t = {
 }
 
 exception Write_fault of { addr : int; width : int }
+exception View_fault of { addr : int; width : int }
 exception Bad_address of { addr : int; what : string }
 
 let address_space = 1 lsl 32
@@ -42,7 +48,7 @@ let create ?(page_size = 4096) () =
     (* Page indices are non-negative, so -1 never hits; the dummy page is
        unreachable through the cache. *)
     cache_idx = -1;
-    cache_page = { bytes = Bytes.empty; prot = Read_write };
+    cache_page = { bytes = Bytes.empty; prot = Read_write; view = Read_write };
     track_dirty = false;
     dirty = Hashtbl.create 64;
     last_dirty_idx = -1;
@@ -70,7 +76,9 @@ let find_page t idx =
       match Hashtbl.find_opt t.pages idx with
       | Some p -> p
       | None ->
-          let p = { bytes = Bytes.make t.page_size '\000'; prot = Read_write } in
+          let p =
+            { bytes = Bytes.make t.page_size '\000'; prot = Read_write; view = Read_write }
+          in
           Hashtbl.add t.pages idx p;
           p
     in
@@ -144,6 +152,7 @@ let store_byte t addr v =
   let idx = page_of t addr in
   let p = find_page t idx in
   if p.prot <> Read_write then raise (Write_fault { addr; width = 1 });
+  if p.view <> Read_write then raise (View_fault { addr; width = 1 });
   mark_dirty t idx;
   set_byte p (addr land (t.page_size - 1)) v
 
@@ -152,6 +161,7 @@ let store_word t addr v =
   let idx = page_of t addr in
   let p = find_page t idx in
   if p.prot <> Read_write then raise (Write_fault { addr; width = 4 });
+  if p.view <> Read_write then raise (View_fault { addr; width = 4 });
   mark_dirty t idx;
   set_word p (addr land (t.page_size - 1)) v
 
@@ -175,6 +185,16 @@ let protect_range t range prot =
 
 let protected_page_count t =
   Hashtbl.fold (fun _ p acc -> if p.prot = Read_only then acc + 1 else acc) t.pages 0
+
+let view_protect t ~page prot = (find_page t page).view <- prot
+
+let view_protection t ~page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> Read_write
+  | Some p -> p.view
+
+let view_protected_page_count t =
+  Hashtbl.fold (fun _ p acc -> if p.view = Read_only then acc + 1 else acc) t.pages 0
 
 let materialized_pages t = Hashtbl.length t.pages
 

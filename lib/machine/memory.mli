@@ -10,13 +10,27 @@
 
     Protected stores raise {!Write_fault}; they never modify memory. The
     privileged accessors bypass protection — they model the fault handler
-    (or the debugger) emulating the faulting instruction. *)
+    (or the debugger) emulating the faulting instruction.
+
+    Each page additionally carries a second, independent protection — the
+    {e data view} — modelling the hypervisor-maintained shadow mapping of
+    the VB strategy (Price, {e Virtual Breakpoints for x86/64},
+    {{:https://arxiv.org/pdf/1801.09250}arXiv:1801.09250}). A store must
+    clear both domains: the guest protection faults first
+    ({!Write_fault}), then the view ({!View_fault}). The view is invisible
+    to guest-level primitives — {!protection}, {!protected_page_count} and
+    mprotect-style {!protect} never observe or touch it. *)
 
 type t
 
 type protection = Read_write | Read_only
 
 exception Write_fault of { addr : int; width : int }
+
+exception View_fault of { addr : int; width : int }
+(** A store cleared the guest protection but hit a write-protected page in
+    the hypervisor's data view — a hypervisor exit, not a guest fault. *)
+
 exception Bad_address of { addr : int; what : string }
 (** Raised on negative, out-of-space, or (for words) unaligned addresses. *)
 
@@ -50,6 +64,15 @@ val protect_range : t -> Ebp_util.Interval.t -> protection -> unit
 
 val protected_page_count : t -> int
 (** Number of pages currently read-only. *)
+
+val view_protect : t -> page:int -> protection -> unit
+(** Change one page's protection in the hypervisor data view. Guest
+    protection and guest-visible accessors are unaffected. *)
+
+val view_protection : t -> page:int -> protection
+
+val view_protected_page_count : t -> int
+(** Number of pages currently read-only in the data view. *)
 
 val materialized_pages : t -> int
 (** Number of pages backed by storage (diagnostics). *)

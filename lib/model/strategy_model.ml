@@ -1,7 +1,7 @@
 module Timing = Ebp_wms.Timing
 module Counts = Ebp_sessions.Counts
 
-type approach = NH | VM of int | TP | CP | Remote of approach
+type approach = NH | VM of int | TP | CP | VB of int | Remote of approach
 
 let rec name = function
   | NH -> "NH"
@@ -9,6 +9,8 @@ let rec name = function
   | VM ps -> Printf.sprintf "VM-%d" ps
   | TP -> "TP"
   | CP -> "CP"
+  | VB g when g mod 1024 = 0 -> Printf.sprintf "VB-%dK" (g / 1024)
+  | VB g -> Printf.sprintf "VB-%d" g
   | Remote a -> name a ^ "-rem"
 
 let rec long_name = function
@@ -17,9 +19,59 @@ let rec long_name = function
   | VM ps -> Printf.sprintf "VirtualMemory-%d" ps
   | TP -> "TrapPatch"
   | CP -> "CodePatch"
+  | VB g when g mod 1024 = 0 -> Printf.sprintf "VirtualBreakpoint-%dK" (g / 1024)
+  | VB g -> Printf.sprintf "VirtualBreakpoint-%d" g
   | Remote a -> long_name a ^ "-remote"
 
-let default_approaches = [ NH; VM 4096; VM 8192; TP; CP ]
+let default_approaches = [ NH; VM 4096; VM 8192; TP; CP; VB 4096; VB 8192 ]
+
+let of_name s =
+  let size_of str =
+    match int_of_string_opt str with
+    | Some n when n > 0 -> Some n
+    | _ ->
+        if String.length str > 1 && str.[String.length str - 1] = 'K' then
+          match int_of_string_opt (String.sub str 0 (String.length str - 1)) with
+          | Some n when n > 0 -> Some (n * 1024)
+          | _ -> None
+        else None
+  in
+  let sized prefix rest =
+    match size_of rest with
+    | Some n -> Ok n
+    | None ->
+        Error
+          (Printf.sprintf "%s-%s: expected a positive size in bytes or <n>K"
+             prefix rest)
+  in
+  let rec go s =
+    if String.length s > 4 && String.ends_with ~suffix:"-rem" s then
+      match go (String.sub s 0 (String.length s - 4)) with
+      | Ok CP -> Error "CP-rem: CP generates no faults to forward (§3.4)"
+      | Ok (Remote _) -> Error (s ^ ": nested -rem is not supported")
+      | Ok a -> Ok (Remote a)
+      | Error _ as e -> e
+    else
+      match s with
+      | "NH" -> Ok NH
+      | "TP" -> Ok TP
+      | "CP" -> Ok CP
+      | _ when String.starts_with ~prefix:"VM-" s ->
+          Result.map
+            (fun n -> VM n)
+            (sized "VM" (String.sub s 3 (String.length s - 3)))
+      | _ when String.starts_with ~prefix:"VB-" s ->
+          Result.map
+            (fun n -> VB n)
+            (sized "VB" (String.sub s 3 (String.length s - 3)))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown approach %S (expected NH, TP, CP, VM-<size> or \
+                VB-<size>, optionally suffixed with -rem)"
+               s)
+  in
+  go s
 
 type overhead = {
   hit_us : float;
@@ -52,23 +104,34 @@ let remote_faults approach (c : Counts.t) =
   | VM page_size ->
       (c.Counts.hits, (Counts.vm_for c ~page_size).Counts.active_page_misses)
   | TP -> (c.Counts.hits, c.Counts.misses)
-  | CP | Remote _ -> invalid_arg "Strategy_model: Remote applies to NH, VM, TP only"
+  | VB granularity ->
+      ( c.Counts.hits,
+        (Counts.vm_for c ~page_size:granularity).Counts.active_page_misses )
+  | CP | Remote _ ->
+      invalid_arg "Strategy_model: Remote applies to NH, VM, TP, VB only"
 
 let rec overhead (t : Timing.t) approach (c : Counts.t) =
   match approach with
   | Remote base ->
       let o = overhead t base c in
       let hit_faults, miss_faults = remote_faults base c in
-      let round_trip = 2.0 *. t.Timing.context_switch_us in
-      let hit_switch = f hit_faults *. round_trip in
-      let miss_switch = f miss_faults *. round_trip in
+      (* Under VB the debugger already lives outside the guest: delivering a
+         notification out-of-guest costs one extra hypervisor exit per fault
+         (the exit cost doubles), not a SunOS context-switch round trip. *)
+      let label, per_fault =
+        match base with
+        | VB _ -> ("VBRemoteExit", t.Timing.vb_exit_us)
+        | _ -> ("ContextSwitch", 2.0 *. t.Timing.context_switch_us)
+      in
+      let hit_switch = f hit_faults *. per_fault in
+      let miss_switch = f miss_faults *. per_fault in
       {
         hit_us = o.hit_us +. hit_switch;
         miss_us = o.miss_us +. miss_switch;
         install_us = o.install_us;
         remove_us = o.remove_us;
         total_us = o.total_us +. hit_switch +. miss_switch;
-        breakdown = ("ContextSwitch", hit_switch +. miss_switch) :: o.breakdown;
+        breakdown = (label, hit_switch +. miss_switch) :: o.breakdown;
       }
   | NH ->
       let hit_us = f c.Counts.hits *. t.Timing.nh_fault_handler_us in
@@ -136,6 +199,43 @@ let rec overhead (t : Timing.t) approach (c : Counts.t) =
             ("SoftwareLookup", f writes *. t.Timing.software_lookup_us);
             ( "SoftwareUpdate",
               f (c.Counts.installs + c.Counts.removes) *. t.Timing.software_update_us );
+          ]
+  | VB granularity ->
+      (* Same fault-generating sets as VM at page size [granularity] — any
+         store into a view-protected unit exits to the hypervisor — but
+         priced with hypervisor costs, and no guest-visible protect or
+         unprotect syscalls: the data view lives outside the guest, so view
+         updates replace both the mapping change and the mprotect pair. *)
+      let vm = Counts.vm_for c ~page_size:granularity in
+      let faults = c.Counts.hits + vm.Counts.active_page_misses in
+      let per_fault =
+        t.Timing.vb_exit_us +. t.Timing.vb_view_switch_us
+        +. t.Timing.software_lookup_us
+      in
+      let hit_us = f c.Counts.hits *. per_fault in
+      let miss_us = f vm.Counts.active_page_misses *. per_fault in
+      let update_pair = t.Timing.vb_view_update_us +. t.Timing.software_update_us in
+      let install_us =
+        (f c.Counts.installs *. update_pair)
+        +. (f vm.Counts.protects *. t.Timing.vb_view_update_us)
+      in
+      let remove_us =
+        (f c.Counts.removes *. update_pair)
+        +. (f vm.Counts.unprotects *. t.Timing.vb_view_update_us)
+      in
+      finish ~hit_us ~miss_us ~install_us ~remove_us
+        ~breakdown:
+          [
+            ("VBExit", f faults *. t.Timing.vb_exit_us);
+            ("VBViewSwitch", f faults *. t.Timing.vb_view_switch_us);
+            ("SoftwareLookup", f faults *. t.Timing.software_lookup_us);
+            ( "SoftwareUpdate",
+              f (c.Counts.installs + c.Counts.removes) *. t.Timing.software_update_us );
+            ( "VBViewUpdate",
+              f
+                (c.Counts.installs + c.Counts.removes + vm.Counts.protects
+               + vm.Counts.unprotects)
+              *. t.Timing.vb_view_update_us );
           ]
 
 let relative overhead ~base_ms =

@@ -19,13 +19,34 @@
         inst/rem = (Installs|Removes) × SoftwareUpdate       (Figure 5)
     CP: hit/miss = (Hits|Misses) × SoftwareLookup
         inst/rem = (Installs|Removes) × SoftwareUpdate       (Figure 6)
-    v} *)
+    VB: hit  = Hits × (VBExit + VBViewSwitch + SoftwareLookup)
+        miss = ActivePageMiss × (VBExit + VBViewSwitch + SoftwareLookup)
+        inst = Installs × (VBViewUpdate + SoftwareUpdate)
+               + Protects × VBViewUpdate
+        rem  = Removes × (VBViewUpdate + SoftwareUpdate)
+               + Unprotects × VBViewUpdate
+    v}
+
+    VB is not from the 1992 paper: it models the virtualization-based
+    strategy of Price, {e Virtual Breakpoints for x86/64}
+    ({{:https://arxiv.org/pdf/1801.09250}arXiv:1801.09250}) — EPT-style
+    split code/data views. Its fault-generating sets are identical to VM at
+    the view granularity (any store into a protected unit traps), but each
+    trap is a hypervisor exit plus a view switch rather than a guest page
+    fault, and protection changes are hypervisor view updates, invisible to
+    the guest — no mprotect pair, no guest TLB shootdown. *)
 
 type approach =
   | NH
   | VM of int  (** page size in bytes (the paper reports 4096 and 8192) *)
   | TP
   | CP
+  | VB of int
+      (** virtualization-based breakpoints (Price, arXiv:1801.09250): a
+          hypervisor keeps a second, write-protected {e data view} of guest
+          memory while instruction fetch rides the unmodified {e code view}.
+          The argument is the view granularity in bytes (the protection unit
+          of the second-level mapping, typically the page size). *)
   | Remote of approach
       (** the §3.4 ptrace-style variant: the WMS mapping lives in a separate
           address space (typically the debugger's), so every fault-driven
@@ -33,16 +54,27 @@ type approach =
           NH, VM, and TP; [Remote CP] is rejected — CodePatch's inline
           checks {e must} read the mapping in-process, which is exactly the
           paper's argument for keeping a little read-only WMS data in the
-          debuggee (§3.4, §9). *)
+          debuggee (§3.4, §9). [Remote (VB _)] is accepted with the exit
+          cost doubled instead: the VB debugger already runs outside the
+          guest, so out-of-guest delivery costs one extra hypervisor exit
+          per fault ([VBRemoteExit]), not a context-switch round trip. *)
 
 val name : approach -> string
-(** ["NH"], ["VM-4K"], ["VM-8K"], ["VM-<n>"], ["TP"], ["CP"]. *)
+(** ["NH"], ["VM-4K"], ["VM-8K"], ["VM-<n>"], ["TP"], ["CP"], ["VB-4K"],
+    ["VB-<n>"]; [Remote] appends ["-rem"]. *)
 
 val long_name : approach -> string
-(** ["NativeHardware"], ["VirtualMemory-4K"], ... *)
+(** ["NativeHardware"], ["VirtualMemory-4K"], ["VirtualBreakpoint-4K"], ... *)
+
+val of_name : string -> (approach, string) result
+(** Parse {!name} output back into an approach: [NH], [TP], [CP],
+    [VM-<size>], [VB-<size>] (size in bytes, or [<n>K]), optionally
+    suffixed [-rem]. Rejects [CP-rem] and nested [-rem] with an
+    explanation. *)
 
 val default_approaches : approach list
-(** The paper's five columns: [NH; VM 4096; VM 8192; TP; CP]. *)
+(** The paper's five columns plus the VB pair:
+    [NH; VM 4096; VM 8192; TP; CP; VB 4096; VB 8192]. *)
 
 (** Modeled overhead of one session under one approach, in microseconds. *)
 type overhead = {
@@ -57,8 +89,8 @@ type overhead = {
 }
 
 val overhead : Ebp_wms.Timing.t -> approach -> Ebp_sessions.Counts.t -> overhead
-(** @raise Invalid_argument for [VM ps] when the counts lack page size [ps],
-    and for [Remote CP] or nested [Remote]. *)
+(** @raise Invalid_argument for [VM ps] / [VB ps] when the counts lack page
+    size [ps], and for [Remote CP] or nested [Remote]. *)
 
 val relative : overhead -> base_ms:float -> float
 (** Relative overhead: modeled overhead divided by base execution time

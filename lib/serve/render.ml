@@ -11,6 +11,22 @@ let sessions_report results =
   Buffer.add_string buf (Printf.sprintf "%d sessions\n" (List.length results));
   Buffer.contents buf
 
+let model_report ?(timing = Ebp_wms.Timing.sparcstation2) results ~approaches =
+  let module Model = Ebp_model.Strategy_model in
+  let header = "Session" :: List.map Model.name approaches in
+  let rows =
+    List.map
+      (fun (s, c) ->
+        Ebp_sessions.Session.to_string s
+        :: List.map
+             (fun a ->
+               Printf.sprintf "%.0f" (Model.overhead timing a c).Model.total_us)
+             approaches)
+      results
+  in
+  "Modeled overhead per session (microseconds)\n"
+  ^ Ebp_util.Text_table.render ~header ~rows ()
+
 let experiment_artifacts =
   [
     "full"; "table1"; "table2"; "table3"; "table4"; "fig7"; "fig8"; "fig9";

@@ -14,6 +14,16 @@ val sessions_report :
     the ["%d sessions"] summary line — exactly what [ebp sessions]
     prints. *)
 
+val model_report :
+  ?timing:Ebp_wms.Timing.t ->
+  (Ebp_sessions.Session.t * Ebp_sessions.Counts.t) list ->
+  approaches:Ebp_model.Strategy_model.approach list ->
+  string
+(** Modeled total overhead (µs) of each session under each approach — what
+    [ebp sessions --approaches] appends after {!sessions_report}. The
+    counts must carry every granularity the approaches reference
+    (replay with matching [page_sizes]). *)
+
 val experiment_artifacts : string list
 (** The valid [artifact] selectors, ["full"] first. *)
 

@@ -169,6 +169,7 @@ let strategy t =
     install = install t;
     remove = remove t;
     active_monitors = (fun () -> t.words);
+    extras = (fun () -> []);
   }
 
 let stats t = t.stats

@@ -60,6 +60,7 @@ let strategy t =
     install = install t;
     remove = remove t;
     active_monitors = (fun () -> active t);
+    extras = (fun () -> []);
   }
 
 let stats t = t.stats

@@ -7,6 +7,9 @@ type t = {
   vm_unprotect_us : float;
   tp_fault_handler_us : float;
   context_switch_us : float;
+  vb_exit_us : float;
+  vb_view_switch_us : float;
+  vb_view_update_us : float;
 }
 
 let sparcstation2 =
@@ -19,6 +22,9 @@ let sparcstation2 =
     vm_unprotect_us = 299.0;
     tp_fault_handler_us = 102.0;
     context_switch_us = 200.0;
+    vb_exit_us = 46.0;
+    vb_view_switch_us = 12.0;
+    vb_view_update_us = 35.0;
   }
 
 let zero =
@@ -31,12 +37,16 @@ let zero =
     vm_unprotect_us = 0.0;
     tp_fault_handler_us = 0.0;
     context_switch_us = 0.0;
+    vb_exit_us = 0.0;
+    vb_view_switch_us = 0.0;
+    vb_view_update_us = 0.0;
   }
 
 let cycles = Ebp_machine.Cost_model.cycles_of_us
 
 let pp ppf t =
   Format.fprintf ppf
-    "update=%.2fus lookup=%.2fus nh=%.0fus vm=%.0fus protect=%.0fus unprotect=%.0fus tp=%.0fus"
+    "update=%.2fus lookup=%.2fus nh=%.0fus vm=%.0fus protect=%.0fus unprotect=%.0fus tp=%.0fus vb=%.0fus"
     t.software_update_us t.software_lookup_us t.nh_fault_handler_us
     t.vm_fault_handler_us t.vm_protect_us t.vm_unprotect_us t.tp_fault_handler_us
+    t.vb_exit_us

@@ -25,12 +25,26 @@ type t = {
       (** one process context switch — the cost of routing a fault through a
           debugger in a separate address space, ptrace-style (§3.4). Not a
           Table 2 value; estimated at 200 µs for a SunOS 4.1.1 workstation. *)
+  vb_exit_us : float;
+      (** one hypervisor exit — the VB strategy's trap cost when a guest
+          store hits a write-protected data-view mapping (Price,
+          "Virtual Breakpoints for x86/64"). Not a Table 2 value; an
+          estimate, like {!context_switch_us}. *)
+  vb_view_switch_us : float;
+      (** switch the active second-level mapping between the code view and
+          the data view to single-step the faulting store. Estimate. *)
+  vb_view_update_us : float;
+      (** change one page's protection in the hypervisor-maintained data
+          view (guest-invisible; no guest TLB shootdown). Estimate. *)
 }
 
 val sparcstation2 : t
 (** Table 2: update 22, lookup 2.75, NH fault 131, VM fault 561,
     protect 80, unprotect 299, TP fault 102 (all µs); context switch
-    estimated at 200 µs. *)
+    estimated at 200 µs. The VB hypervisor costs (exit 46, view switch 12,
+    view update 35 µs) are estimates too — the paper's machine had no
+    hardware virtualization, so they are scaled from the relative costs
+    Price reports for EPT-based breakpoints. *)
 
 val zero : t
 (** All-zero costs (useful to isolate one term in tests). *)

@@ -90,6 +90,7 @@ let strategy t =
     install = install t;
     remove = remove t;
     active_monitors = (fun () -> Monitor_map.monitored_words t.map);
+    extras = (fun () -> []);
   }
 
 let stats t = t.stats

@@ -1,0 +1,146 @@
+module Interval = Ebp_util.Interval
+module Machine = Ebp_machine.Machine
+module Memory = Ebp_machine.Memory
+
+type t = {
+  machine : Machine.t;
+  timing : Timing.t;
+  granularity : int;
+  map : Monitor_map.t;
+  unit_monitors : (int, int) Hashtbl.t;  (* view unit -> active monitor count *)
+  page_refs : (int, int) Hashtbl.t;  (* machine page -> occupied-unit count *)
+  stats : Wms.stats;
+  mutable view_switches : int;
+  mutable view_misses : int;
+  notify : Wms.notification -> unit;
+}
+
+(* One hypervisor exit: switch to the data view, emulate the store there,
+   switch back. The simulator collapses the single-step to a privileged
+   store; the notification arrives after the write has succeeded (write
+   monitors, not write barriers, §2). *)
+let on_view_fault t machine ~addr ~width ~value ~pc =
+  let mem = Machine.memory machine in
+  Machine.charge machine
+    (Timing.cycles
+       (t.timing.Timing.vb_exit_us +. t.timing.Timing.vb_view_switch_us
+      +. t.timing.Timing.software_lookup_us));
+  t.stats.Wms.lookups <- t.stats.Wms.lookups + 1;
+  t.view_switches <- t.view_switches + 1;
+  if width = 4 then Memory.privileged_store_word mem addr value
+  else Memory.privileged_store_byte mem addr value;
+  let range = Interval.of_base_size ~base:addr ~size:width in
+  if Monitor_map.overlaps t.map range then begin
+    t.stats.Wms.hits <- t.stats.Wms.hits + 1;
+    t.notify { Wms.write = range; pc }
+  end
+  else t.view_misses <- t.view_misses + 1
+
+let attach ?(timing = Timing.sparcstation2) ?granularity machine ~notify =
+  let mem = Machine.memory machine in
+  let granularity =
+    match granularity with Some g -> g | None -> Memory.page_size mem
+  in
+  let t =
+    {
+      machine;
+      timing;
+      granularity;
+      map = Monitor_map.create ~page_size:granularity ();
+      unit_monitors = Hashtbl.create 32;
+      page_refs = Hashtbl.create 32;
+      stats = Wms.fresh_stats ();
+      view_switches = 0;
+      view_misses = 0;
+      notify;
+    }
+  in
+  Machine.set_view_fault_handler machine (Some (on_view_fault t));
+  t
+
+let units_of_range t range =
+  let first = Interval.lo range / t.granularity
+  and last = Interval.hi range / t.granularity in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let pages_of_unit t mem u =
+  Memory.pages_of_range mem
+    (Interval.of_base_size ~base:(u * t.granularity) ~size:t.granularity)
+
+(* The mapping lives in the hypervisor, not on a protected debuggee page:
+   updating it is one view update plus the software update — no
+   unprotect/reprotect pair (contrast Virtual_memory.update_cost). *)
+let update_cost timing =
+  Timing.cycles
+    (timing.Timing.vb_view_update_us +. timing.Timing.software_update_us)
+
+let ref_page t mem page =
+  let count = Option.value ~default:0 (Hashtbl.find_opt t.page_refs page) in
+  Hashtbl.replace t.page_refs page (count + 1);
+  if count = 0 then Memory.view_protect mem ~page Memory.Read_only
+
+let unref_page t mem page =
+  match Hashtbl.find_opt t.page_refs page with
+  | None -> ()
+  | Some count ->
+      if count <= 1 then begin
+        Hashtbl.remove t.page_refs page;
+        Memory.view_protect mem ~page Memory.Read_write
+      end
+      else Hashtbl.replace t.page_refs page (count - 1)
+
+let install t range =
+  let mem = Machine.memory t.machine in
+  Machine.charge t.machine (update_cost t.timing);
+  Monitor_map.install t.map range;
+  List.iter
+    (fun u ->
+      let count = Option.value ~default:0 (Hashtbl.find_opt t.unit_monitors u) in
+      Hashtbl.replace t.unit_monitors u (count + 1);
+      if count = 0 then begin
+        (* One view update per unit transition, whatever the unit's page
+           span — the hypervisor batches the mapping change. *)
+        Machine.charge t.machine (Timing.cycles t.timing.Timing.vb_view_update_us);
+        List.iter (ref_page t mem) (pages_of_unit t mem u)
+      end)
+    (units_of_range t range);
+  t.stats.Wms.installs <- t.stats.Wms.installs + 1;
+  Ok ()
+
+let remove t range =
+  let mem = Machine.memory t.machine in
+  Machine.charge t.machine (update_cost t.timing);
+  Monitor_map.remove t.map range;
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt t.unit_monitors u with
+      | None -> ()
+      | Some count ->
+          if count <= 1 then begin
+            Hashtbl.remove t.unit_monitors u;
+            Machine.charge t.machine
+              (Timing.cycles t.timing.Timing.vb_view_update_us);
+            List.iter (unref_page t mem) (pages_of_unit t mem u)
+          end
+          else Hashtbl.replace t.unit_monitors u (count - 1))
+    (units_of_range t range);
+  t.stats.Wms.removes <- t.stats.Wms.removes + 1;
+  Ok ()
+
+let strategy t =
+  {
+    Wms.name = "VirtualBreakpoint";
+    install = install t;
+    remove = remove t;
+    active_monitors = (fun () -> Monitor_map.active_pages t.map);
+    extras =
+      (fun () ->
+        [
+          ("view_switch_faults", t.view_switches);
+          ("view_miss_faults", t.view_misses);
+        ]);
+  }
+
+let stats t = t.stats
+let view_switch_faults t = t.view_switches
+let view_miss_faults t = t.view_misses

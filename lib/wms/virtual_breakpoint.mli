@@ -1,0 +1,58 @@
+(** The VB strategy: virtualization-based breakpoints.
+
+    Not one of the paper's four — this is the strategy of Price,
+    {e Virtual Breakpoints for x86/64}
+    ({{:https://arxiv.org/pdf/1801.09250}arXiv:1801.09250}), transplanted
+    onto the simulator. A hypervisor maintains two second-level views of
+    guest memory: instruction fetch rides the unmodified {e code view},
+    while data accesses go through a {e data view} in which every unit
+    holding an active monitor is write-protected
+    ({!Ebp_machine.Memory.view_protect}). A store into a protected unit
+    exits to the hypervisor, which switches to the data view, single-steps
+    the store (collapsed to a privileged store here), consults the
+    address→monitor mapping, and re-enters the guest.
+
+    Structurally this is VirtualMemory with the protection domain hoisted
+    out of the guest:
+
+    - the guest never sees a protection change — no mprotect pair, no
+      guest-visible fault, so there are no per-page double-fault storms and
+      nothing for the debuggee to observe or subvert;
+    - no code is patched (unlike TP/CP), so code pages stay byte-identical
+      and self-checksumming programs are undisturbed;
+    - each trap costs a hypervisor exit + view switch rather than a SunOS
+      signal delivery, and mapping updates are hypervisor view updates.
+
+    Like VM, stores to a protected unit that miss every monitor still trap
+    (false sharing at the view granularity); {!view_miss_faults} counts
+    them. Timing is charged to the machine's cycle counter from the
+    [vb_*] fields of {!Timing.t}, keeping live runs and the
+    {!Ebp_model.Strategy_model} [VB] prediction in agreement. *)
+
+type t
+
+val attach :
+  ?timing:Timing.t ->
+  ?granularity:int ->
+  Ebp_machine.Machine.t ->
+  notify:(Wms.notification -> unit) ->
+  t
+(** Attach to a machine: installs the view-fault handler. [granularity] is
+    the protection unit of the data view in bytes — a positive power-of-two
+    multiple of 4 (defaults to the machine's memory page size). *)
+
+val install : t -> Ebp_util.Interval.t -> (unit, string) result
+val remove : t -> Ebp_util.Interval.t -> (unit, string) result
+
+val strategy : t -> Wms.strategy
+(** First-class handle (name ["VirtualBreakpoint"]). Extras report
+    [view_switch_faults] and [view_miss_faults]. *)
+
+val stats : t -> Wms.stats
+
+val view_switch_faults : t -> int
+(** Total hypervisor exits taken (hits + misses). *)
+
+val view_miss_faults : t -> int
+(** Exits whose store hit a protected unit but no monitor — the VB
+    analogue of {!Virtual_memory.page_miss_faults}. *)

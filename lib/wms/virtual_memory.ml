@@ -95,6 +95,7 @@ let strategy t =
     install = install t;
     remove = remove t;
     active_monitors = (fun () -> Monitor_map.active_pages t.map);
+    extras = (fun () -> [ ("page_miss_faults", t.page_misses) ]);
   }
 
 let stats t = t.stats

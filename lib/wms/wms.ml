@@ -16,6 +16,8 @@ type strategy = {
   install : Ebp_util.Interval.t -> (unit, string) result;
   remove : Ebp_util.Interval.t -> (unit, string) result;
   active_monitors : unit -> int;
+  extras : unit -> (string * int) list;
+      (* strategy-specific auxiliary counters, e.g. VM's page-miss faults *)
 }
 
 type stats = {

@@ -16,6 +16,12 @@ type strategy = {
   install : Ebp_util.Interval.t -> (unit, string) result;
   remove : Ebp_util.Interval.t -> (unit, string) result;
   active_monitors : unit -> int;
+  extras : unit -> (string * int) list;
+      (** strategy-specific auxiliary counters beyond the common {!stats} —
+          e.g. VirtualMemory's [page_miss_faults], VirtualBreakpoint's
+          [view_switch_faults]/[view_miss_faults] — as stable snake_case
+          keys, rendered uniformly by [ebp stats] and the debug REPL.
+          Strategies without extras return []. *)
 }
 
 (** Operation counters every strategy maintains. *)

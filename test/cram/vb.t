@@ -1,0 +1,107 @@
+The fifth strategy: virtualization-based breakpoints (VB), after Price,
+"Virtual Breakpoints for x86/64" (arXiv:1801.09250). VB takes exactly
+VirtualMemory's fault sets at each granularity — same protects,
+unprotects and active-page misses — but each fault costs an exit plus a
+view switch instead of a guest trap, signal dispatch and mprotect
+traffic. The default experiment now carries seven approach columns.
+
+  $ ebp experiment --workloads circuit --only table4 --cache-dir cache 2>/dev/null
+  Table 4: relative overhead statistics over 103 sessions per program
+  Program  Statistic     NH  VM-4K  VM-8K   TP    CP  VB-4K  VB-8K
+  -------  ---------  -----  -----  -----  ---  ----  -----  -----
+  circuit        Min   0.00   0.01   0.18  142  3.72   0.00   0.02
+                 Max    171    742    742  142  3.95  80.00  80.00
+              T-Mean   0.05  62.70  65.71  142  3.72   9.06   9.37
+                Mean   3.53    135    138  142  3.73  14.55  14.84
+                 90%   3.01    737    737  142  3.73  79.48  79.48
+                 98%  24.90    742    742  142  3.75  79.97  79.97
+
+Table 2 prices the three VB timing variables alongside the paper's:
+
+  $ ebp experiment --workloads circuit --only table2 --cache-dir cache 2>/dev/null
+  Table 2: timing variable data (microseconds)
+  Timing Variable  Time (us)
+  ---------------  ---------
+  SoftwareUpdate       22.00
+  SoftwareLookup        2.75
+  NHFaultHandler      131.00
+  VMFaultHandler      561.00
+  VMProtectPage        80.00
+  VMUnprotectPage     299.00
+  TPFaultHandler      102.00
+  VBExit               46.00
+  VBViewSwitch         12.00
+  VBViewUpdate         35.00
+
+The extremes report gains a VB entry: the same sessions that blow up
+under VM-4K cap out almost an order of magnitude lower under VB-4K:
+
+  $ ebp experiment --workloads circuit --only full --cache-dir cache 2>/dev/null | sed -n '/Extreme points/,$p'
+  Extreme points: most expensive sessions (Section 8 discussion)
+    circuit:
+      NH worst:
+           171.1x  AllLocalInFunc(solve_pass)
+           130.9x  OneLocalAuto(solve_pass.j)
+            25.7x  OneLocalAuto(solve_pass.acc)
+             4.7x  AllHeapInFunc(main)
+      VM-4K worst:
+           742.1x  AllLocalInFunc(main)
+           742.1x  OneLocalAuto(main.i)
+           742.1x  OneLocalAuto(main.checksum)
+           740.8x  AllLocalInFunc(solve_pass)
+      VB-4K worst:
+            80.0x  AllLocalInFunc(solve_pass)
+            80.0x  AllLocalInFunc(main)
+            80.0x  OneLocalAuto(main.i)
+            80.0x  OneLocalAuto(main.checksum)
+
+Restricting --approaches to the original five columns must reproduce
+the pre-VB report byte for byte — the VB rows in table 2 and the VB
+entry in the extremes render only when a VB approach is requested:
+
+  $ ebp experiment --workloads circuit --only table4 --cache-dir cache --approaches NH,VM-4K,VM-8K,TP,CP 2>/dev/null
+  Table 4: relative overhead statistics over 103 sessions per program
+  Program  Statistic     NH  VM-4K  VM-8K   TP    CP
+  -------  ---------  -----  -----  -----  ---  ----
+  circuit        Min   0.00   0.01   0.18  142  3.72
+                 Max    171    742    742  142  3.95
+              T-Mean   0.05  62.70  65.71  142  3.72
+                Mean   3.53    135    138  142  3.73
+                 90%   3.01    737    737  142  3.73
+                 98%  24.90    742    742  142  3.75
+  $ ebp experiment --workloads circuit --only table2 --cache-dir cache --approaches NH,VM-4K,VM-8K,TP,CP 2>/dev/null | tail -3
+  VMProtectPage        80.00
+  VMUnprotectPage     299.00
+  TPFaultHandler      102.00
+
+The sessions command models any approach list on demand, including the
+remote (-rem) forms; Remote VB forwards each event with one extra exit
+rather than a full context-switch round trip:
+
+  $ cat > tiny.mc <<'MC'
+  > int g;
+  > int a[8];
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 12; i = i + 1) { g = g + i; a[i & 7] = g; }
+  >   return 0;
+  > }
+  > MC
+  $ ebp sessions tiny.mc --approaches NH,CP,VB-4K,VB-4K-rem 2>&1 | sed -n '/Modeled overhead/,$p'
+  Modeled overhead per session (microseconds)
+  Session                 NH   CP  VB-4K  VB-4K-rem
+  --------------------  ----  ---  -----  ---------
+  OneLocalAuto(main.i)  1703  146    974       1572
+  AllLocalInFunc(main)  1703  146    974       1572
+  OneGlobalStatic(g)    1572  146   1642       2746
+  OneGlobalStatic(a)    1572  146   1642       2746
+
+Bad approach names are rejected up front, with the §3.4 rule intact
+(CodePatch generates no faults to forward):
+
+  $ ebp sessions tiny.mc --approaches CP-rem
+  ebp: CP-rem: CP generates no faults to forward (§3.4)
+  [1]
+  $ ebp sessions tiny.mc --approaches QP-4K
+  ebp: unknown approach "QP-4K" (expected NH, TP, CP, VM-<size> or VB-<size>, optionally suffixed with -rem)
+  [1]

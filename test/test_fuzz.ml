@@ -69,6 +69,18 @@ let test_knobs_extend () =
       Alcotest.failf "knobbed program failed oracle %s: %s" f.Fuzz.oracle
         f.Fuzz.detail
 
+(* The strategy-equivalence oracle standalone: every generated program
+   has at least the scalars g0,g1, so an explicit monitor subset must
+   agree across the five strategies just like the default set does. *)
+let test_strategy_equivalence () =
+  let source = Fuzz.render (Fuzz.generate ~seed:3) in
+  (match Fuzz.check_strategies ~seed:3 source with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "strategies diverged: %s" d);
+  match Fuzz.check_strategies ~seed:3 ~monitors:[ "g0" ] source with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "strategies diverged on g0 alone: %s" d
+
 let test_render_shape () =
   let src = Fuzz.render (Fuzz.generate ~seed:1) in
   let contains_sub s sub =
@@ -100,7 +112,8 @@ let test_shrink_minimizes () =
   let failure =
     match Fuzz.check_source ~seed:0 source with
     | Error (oracle, detail, query) ->
-        { Fuzz.seed = 0; oracle; detail; query; program; source }
+        { Fuzz.seed = 0; oracle; detail; query; monitors = None; program;
+          source }
     | Ok () -> Alcotest.fail "poison program unexpectedly passed"
   in
   Alcotest.(check string) "record oracle caught it" "record"
@@ -138,6 +151,8 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "seeds %d-%d pass all oracles" seed_lo seed_hi)
             `Quick test_fixed_seed_batch;
+          Alcotest.test_case "five strategies notify identically" `Quick
+            test_strategy_equivalence;
         ] );
       ( "generator",
         [

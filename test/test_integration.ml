@@ -134,7 +134,8 @@ let live_hits strategy ~watch =
 
 let all_strategies =
   [ Debugger.Native_hardware; Debugger.Virtual_memory; Debugger.Trap_patch;
-    Debugger.Code_patch; Debugger.Code_patch_hoisted; Debugger.Code_patch_inline ]
+    Debugger.Code_patch; Debugger.Code_patch_hoisted; Debugger.Code_patch_inline;
+    Debugger.Virtual_breakpoint ]
 
 let check_live_matches_replay name session watch =
   let expected = replay_hits session in
@@ -290,6 +291,29 @@ let test_shape_vm_heavy_tailed () =
         (vm8.Stats.t_mean >= vm4.Stats.t_mean -. 1e-9);
       Alcotest.(check bool) (name ^ ": VM heavy-tailed (max >> t-mean)") true
         (vm4.Stats.max > vm4.Stats.t_mean *. 3.0))
+    t.Experiment.programs
+
+let test_shape_vb_strictly_below_vm () =
+  (* VB takes exactly VM's fault set at each granularity but pays an
+     exit + view switch instead of a guest trap + signal dispatch, so
+     its overhead distribution sits below VM's across the board. *)
+  let t = Lazy.force experiment in
+  List.iter
+    (fun pd ->
+      let all = summaries pd t in
+      let name = pd.Experiment.run.Workload.workload.Workload.name in
+      List.iter
+        (fun g ->
+          let vm = List.assoc (Model.VM g) all in
+          let vb = List.assoc (Model.VB g) all in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: VB t-mean <= VM t-mean at %d" name g)
+            true
+            (vb.Stats.t_mean <= vm.Stats.t_mean +. 1e-9);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: VB max < VM max at %d" name g)
+            true (vb.Stats.max < vm.Stats.max))
+        [ 4096; 8192 ])
     t.Experiment.programs
 
 let test_shape_nh_cheap_means_extreme_maxima () =
@@ -474,6 +498,8 @@ let () =
           Alcotest.test_case "CP low and flat" `Slow test_shape_cp_low_and_flat;
           Alcotest.test_case "TP uniformly slow" `Slow test_shape_tp_uniformly_slow;
           Alcotest.test_case "VM heavy-tailed" `Slow test_shape_vm_heavy_tailed;
+          Alcotest.test_case "VB strictly below VM" `Slow
+            test_shape_vb_strictly_below_vm;
           Alcotest.test_case "NH cheap but spiky" `Slow
             test_shape_nh_cheap_means_extreme_maxima;
           Alcotest.test_case "CP beats NH worst case" `Slow

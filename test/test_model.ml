@@ -113,6 +113,53 @@ let test_cp_vs_nh_crossover () =
   let cp = Model.overhead t2 Model.CP cold in
   Alcotest.(check bool) "cold session: NH < CP" true (nh.Model.total_us < cp.Model.total_us)
 
+(* --- VirtualBreakpoint (EPT-style split views) --- *)
+
+let test_vb_model () =
+  (* Hand-computed with the sparcstation2 VB estimates
+       (exit=46, view switch=12, view update=35):
+       per fault: 46 + 12 + 2.75 = 60.75 over hits=10 + apm=20
+       installs=3, protects=2 -> 3*(35+22) + 2*35
+       removes=3, unprotects=2 -> 3*(35+22) + 2*35 *)
+  let c = counts ~installs:3 ~removes:3 ~hits:10 ~misses:500 ~vm4:(2, 2, 20) () in
+  let o = Model.overhead t2 (Model.VB 4096) c in
+  check_us "hit" (10.0 *. 60.75) o.Model.hit_us;
+  check_us "miss" (20.0 *. 60.75) o.Model.miss_us;
+  check_us "install" ((3.0 *. 57.0) +. (2.0 *. 35.0)) o.Model.install_us;
+  check_us "remove" ((3.0 *. 57.0) +. (2.0 *. 35.0)) o.Model.remove_us;
+  check_us "total" 2304.5 o.Model.total_us;
+  (* No guest mprotect pair anywhere: the view flip is hypervisor-side. *)
+  Alcotest.(check bool) "no Protect row" true
+    (List.assoc_opt "Protect" o.Model.breakdown = None);
+  (match List.assoc_opt "VBExit" o.Model.breakdown with
+  | Some us -> check_us "VBExit row" (30.0 *. 46.0) us
+  | None -> Alcotest.fail "missing VBExit");
+  match List.assoc_opt "VBViewUpdate" o.Model.breakdown with
+  | Some us -> check_us "VBViewUpdate row" (10.0 *. 35.0) us
+  | None -> Alcotest.fail "missing VBViewUpdate"
+
+let test_vb_same_faults_as_vm () =
+  (* VB's fault-generating sets are VM's at the same granularity — only
+     the per-event prices differ, and each VB fault is far cheaper than a
+     VM fault (no guest trap + signal dispatch). *)
+  let c = counts ~hits:7 ~misses:300 ~vm4:(1, 1, 13) ~vm8:(1, 1, 41) () in
+  let vm = Model.overhead t2 (Model.VM 4096) c in
+  let vb = Model.overhead t2 (Model.VB 4096) c in
+  check_us "same fault count, scaled price"
+    (vm.Model.hit_us +. vm.Model.miss_us)
+    ((vb.Model.hit_us +. vb.Model.miss_us) *. (563.75 /. 60.75));
+  Alcotest.(check bool) "VB < VM" true (vb.Model.total_us < vm.Model.total_us);
+  (* 8K granularity reads the 8K counting set, like VM-8K does. *)
+  let vb8 = Model.overhead t2 (Model.VB 8192) c in
+  check_us "8K false sharing" (28.0 *. 60.75)
+    (vb8.Model.miss_us -. vb.Model.miss_us)
+
+let test_vb_missing_granularity () =
+  Alcotest.(check bool) "unknown granularity rejected" true
+    (match Model.overhead t2 (Model.VB 1024) (counts ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* --- shared properties --- *)
 
 let test_components_sum_to_total () =
@@ -156,7 +203,27 @@ let test_names () =
   Alcotest.(check string) "VM-8K" "VM-8K" (Model.name (Model.VM 8192));
   Alcotest.(check string) "odd size" "VM-512" (Model.name (Model.VM 512));
   Alcotest.(check string) "long" "VirtualMemory-4K" (Model.long_name (Model.VM 4096));
-  Alcotest.(check int) "five defaults" 5 (List.length Model.default_approaches)
+  Alcotest.(check string) "VB-4K" "VB-4K" (Model.name (Model.VB 4096));
+  Alcotest.(check string) "VB long" "VirtualBreakpoint-8K"
+    (Model.long_name (Model.VB 8192));
+  Alcotest.(check int) "seven defaults" 7 (List.length Model.default_approaches)
+
+let test_of_name () =
+  (* Round-trip every default, plus remote forms. *)
+  List.iter
+    (fun a ->
+      match Model.of_name (Model.name a) with
+      | Ok a' ->
+          Alcotest.(check string) (Model.name a) (Model.name a) (Model.name a')
+      | Error e -> Alcotest.failf "%s did not parse: %s" (Model.name a) e)
+    (Model.default_approaches
+    @ [ Model.Remote Model.NH; Model.Remote (Model.VB 4096) ]);
+  Alcotest.(check bool) "CP-rem rejected" true
+    (Result.is_error (Model.of_name "CP-rem"));
+  Alcotest.(check bool) "nested -rem rejected" true
+    (Result.is_error (Model.of_name "TP-rem-rem"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Model.of_name "QP-4K"))
 
 (* --- Breakdown --- *)
 
@@ -232,6 +299,24 @@ let test_remote_names () =
   Alcotest.(check string) "long" "VirtualMemory-4K-remote"
     (Model.long_name (Model.Remote (Model.VM 4096)))
 
+let test_remote_vb_exit_doubling () =
+  let c = counts ~hits:3 ~misses:100 ~vm4:(1, 1, 7) () in
+  let base = Model.overhead t2 (Model.VB 4096) c in
+  let remote = Model.overhead t2 (Model.Remote (Model.VB 4096)) c in
+  (* Forwarding a VB event to a debugger process costs one extra exit,
+     not a 2x context-switch round trip: the hypervisor already sits
+     below the guest, so the event re-enters through the same door. *)
+  check_us "one extra exit per fault" (base.Model.total_us +. (10.0 *. 46.0))
+    remote.Model.total_us;
+  (match List.assoc_opt "VBRemoteExit" remote.Model.breakdown with
+  | Some us -> check_us "VBRemoteExit row" 460.0 us
+  | None -> Alcotest.fail "no VBRemoteExit in breakdown");
+  Alcotest.(check bool) "no ContextSwitch row" true
+    (List.assoc_opt "ContextSwitch" remote.Model.breakdown = None);
+  check_us "components still sum" remote.Model.total_us
+    (remote.Model.hit_us +. remote.Model.miss_us +. remote.Model.install_us
+   +. remote.Model.remove_us)
+
 let () =
   Alcotest.run "model"
     [
@@ -247,12 +332,21 @@ let () =
           Alcotest.test_case "CP < TP" `Quick test_cp_beats_tp_always;
           Alcotest.test_case "CP vs NH crossover" `Quick test_cp_vs_nh_crossover;
         ] );
+      ( "virtual breakpoints",
+        [
+          Alcotest.test_case "VB model" `Quick test_vb_model;
+          Alcotest.test_case "VB faults = VM faults" `Quick
+            test_vb_same_faults_as_vm;
+          Alcotest.test_case "VB missing granularity" `Quick
+            test_vb_missing_granularity;
+        ] );
       ( "structure",
         [
           Alcotest.test_case "components sum" `Quick test_components_sum_to_total;
           Alcotest.test_case "zero timing" `Quick test_zero_timing_zero_overhead;
           Alcotest.test_case "relative overhead" `Quick test_relative_overhead;
           Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "of_name" `Quick test_of_name;
         ] );
       ( "remote (3.4)",
         [
@@ -261,6 +355,8 @@ let () =
           Alcotest.test_case "VM faults" `Quick test_remote_vm_faults;
           Alcotest.test_case "CP rejected" `Quick test_remote_cp_rejected;
           Alcotest.test_case "names" `Quick test_remote_names;
+          Alcotest.test_case "VB exit doubling" `Quick
+            test_remote_vb_exit_doubling;
         ] );
       ( "breakdown",
         [

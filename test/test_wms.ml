@@ -286,12 +286,16 @@ let run_strategy kind =
       let m = Machine.create (Ebp_wms.Code_patch.program patched) in
       let t = Ebp_wms.Code_patch.attach patched m ~notify in
       finish m (Ebp_wms.Code_patch.strategy t)
+  | `VB ->
+      let m = Machine.create p in
+      let t = Ebp_wms.Virtual_breakpoint.attach m ~notify in
+      finish m (Ebp_wms.Virtual_breakpoint.strategy t)
 
 let expected_hit_addrs = [ 8192; 8196; 8200; 8204; 8208 ]
 
 let test_all_strategies_agree_on_hits () =
   let results =
-    List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP ]
+    List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP; `VB ]
   in
   List.iter
     (fun (_, strategy, hits) ->
@@ -301,7 +305,7 @@ let test_all_strategies_agree_on_hits () =
     results
 
 let test_memory_state_identical_across_strategies () =
-  let results = List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP ] in
+  let results = List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP; `VB ] in
   let dump (machine, _, _) =
     List.init 5 (fun i -> Memory.load_word (Machine.memory machine) (8192 + (4 * i)))
     @ List.init 5 (fun i -> Memory.load_word (Machine.memory machine) (16384 + (4 * i)))
@@ -323,7 +327,11 @@ let test_strategy_costs_ordering () =
   in
   let nh = cycles_of `NH and vm = cycles_of `VM and tp = cycles_of `TP and cp = cycles_of `CP in
   Alcotest.(check bool) "cp cheapest" true (cp < nh && cp < tp && cp < vm);
-  Alcotest.(check bool) "tp > nh" true (tp > nh)
+  Alcotest.(check bool) "tp > nh" true (tp > nh);
+  (* VB takes the same faults as VM but each one is much cheaper — no
+     guest trap + signal dispatch, just an exit and a view switch. *)
+  let vb = cycles_of `VB in
+  Alcotest.(check bool) "vb < vm" true (vb < vm)
 
 let test_nh_capacity () =
   let p = assemble "  halt\n" in
@@ -368,6 +376,64 @@ let test_vm_page_miss_counted () =
   (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
   Alcotest.(check int) "page miss fault" 1 (Ebp_wms.Virtual_memory.page_miss_faults t);
   Alcotest.(check int) "write emulated" 7 (Memory.load_word (Machine.memory m) 8256)
+
+let test_vb_view_lifecycle () =
+  let p = assemble "  halt\n" in
+  let m = Machine.create p in
+  let mem = Machine.memory m in
+  let t = Ebp_wms.Virtual_breakpoint.attach m ~notify:(fun _ -> ()) in
+  let s = Ebp_wms.Virtual_breakpoint.strategy t in
+  let r1 = iv 8192 8195 and r2 = iv 8200 8203 in
+  ignore (s.Wms.install r1);
+  let page = Memory.page_of mem 8192 in
+  Alcotest.(check bool) "data view write-protected" true
+    (Memory.view_protection mem ~page = Memory.Read_only);
+  (* The whole point of VB: the guest-visible protection never moves. *)
+  Alcotest.(check bool) "guest protection untouched" true
+    (Memory.protection mem ~page = Memory.Read_write);
+  ignore (s.Wms.install r2);
+  ignore (s.Wms.remove r1);
+  Alcotest.(check bool) "view held while r2 lives" true
+    (Memory.view_protection mem ~page = Memory.Read_only);
+  ignore (s.Wms.remove r2);
+  Alcotest.(check bool) "view restored when last monitor goes" true
+    (Memory.view_protection mem ~page = Memory.Read_write);
+  Alcotest.(check int) "no view-protected pages left" 0
+    (Memory.view_protected_page_count mem)
+
+let test_vb_view_miss_emulated () =
+  (* A store into the protected view that misses the monitor set still
+     exits, but resolves against the data view without notifying. *)
+  let src = "  li t1, 8192\n  li t0, 7\n  sw t0, 64(t1)\n  halt\n" in
+  let m = Machine.create (assemble src) in
+  let t =
+    Ebp_wms.Virtual_breakpoint.attach m ~notify:(fun _ ->
+        Alcotest.fail "no hit expected")
+  in
+  let s = Ebp_wms.Virtual_breakpoint.strategy t in
+  ignore (s.Wms.install (iv 8192 8195));
+  (match Machine.run m with Machine.Halted _ -> () | _ -> Alcotest.fail "run");
+  Alcotest.(check int) "view miss fault" 1
+    (Ebp_wms.Virtual_breakpoint.view_miss_faults t);
+  Alcotest.(check int) "store emulated" 7 (Memory.load_word (Machine.memory m) 8256)
+
+let test_strategy_extras () =
+  (* Auxiliary counters are exposed uniformly through [Wms.extras]; the
+     fault-driven strategies publish theirs, the rest stay empty. *)
+  let results = List.map (fun k -> run_strategy k) [ `NH; `VM; `TP; `CP; `VB ] in
+  List.iter
+    (fun (_, strategy, _) ->
+      let extras = strategy.Wms.extras () in
+      match strategy.Wms.name with
+      | "VirtualMemory" ->
+          Alcotest.(check (list (pair string int))) "VM extras"
+            [ ("page_miss_faults", 0) ] extras
+      | "VirtualBreakpoint" ->
+          Alcotest.(check (list (pair string int))) "VB extras"
+            [ ("view_switch_faults", 5); ("view_miss_faults", 0) ] extras
+      | name ->
+          Alcotest.(check int) (name ^ " has no extras") 0 (List.length extras))
+    results
 
 let test_timing_charges () =
   (* One monitored store under CP charges exactly one SoftwareLookup. *)
@@ -586,6 +652,9 @@ let () =
           Alcotest.test_case "VM protection lifecycle" `Quick
             test_vm_protection_lifecycle;
           Alcotest.test_case "VM page miss" `Quick test_vm_page_miss_counted;
+          Alcotest.test_case "VB view lifecycle" `Quick test_vb_view_lifecycle;
+          Alcotest.test_case "VB view miss" `Quick test_vb_view_miss_emulated;
+          Alcotest.test_case "extras" `Quick test_strategy_extras;
           Alcotest.test_case "timing charges" `Quick test_timing_charges;
           Alcotest.test_case "timing defaults" `Quick test_timing_defaults;
         ] );
